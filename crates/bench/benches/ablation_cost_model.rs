@@ -1,0 +1,148 @@
+//! Ablation: how well the analytical cost model (eqs. 5–9) predicts the measured
+//! per-operation simulated time, and what the tuning procedures of Section 3.6 pick.
+//!
+//! This goes beyond the paper's figures: it validates the model the paper only uses
+//! implicitly (to choose node sizes) by comparing its predictions with measurements
+//! from the simulator for both trees and several workload mixes.
+
+use pio_bench::{scaled, setup, Table};
+use pio_btree::cost::{auto_tune, optimal_btree_node_size, CostModel, WorkloadMix};
+use pio_btree::PioConfig;
+use ssd_sim::bench::{characterise, leaf_read_latency};
+use ssd_sim::{DeviceProfile, SsdDevice};
+
+fn main() {
+    let n = setup::initial_entries() * 2;
+    let key_space = setup::key_space();
+    let ops = scaled(20_000);
+    let profile = DeviceProfile::P300;
+    let page_size = 2048usize;
+    let leaf_segments = 4usize;
+    let pool_pages = 128u64;
+    let opq_pages = 32usize;
+
+    // --- Model parameters extracted from the device (the Section 3.6 micro-benchmark).
+    let mut probe = SsdDevice::new(profile.build());
+    let chars = characterise(&mut probe, page_size as u64, 64, 0xAB1);
+    let leaf_read_us = leaf_read_latency(&mut probe, page_size as u64, leaf_segments as u64, 0xAB1);
+    let fanout = (page_size / 16) as f64 * 0.7;
+
+    let model = CostModel {
+        entries: n as f64,
+        fanout,
+        page_read_us: chars.page_read_us,
+        page_write_us: chars.page_write_us,
+        psync_read_us: chars.psync_read_us,
+        psync_write_us: chars.psync_write_us,
+        leaf_read_us,
+        leaf_pages: leaf_segments as f64,
+        pool_pages: pool_pages as f64,
+        opq_pages: opq_pages as f64,
+        opq_entries_per_page: (page_size / 20) as f64,
+        bcnt: 5000.0,
+    };
+
+    let mut table = Table::new(
+        "ablation_cost_model",
+        "Cost model predictions vs measured per-operation simulated time (us), P300",
+        &["workload", "index", "predicted_us", "measured_us", "ratio"],
+    );
+
+    for &insert_ratio in &[0.0f64, 0.5, 1.0] {
+        let mix = WorkloadMix::with_insert_ratio(insert_ratio);
+
+        // Measured B+-tree.
+        let mut bt = setup::build_btree(profile, page_size, pool_pages * page_size as u64, n);
+        let mut state = 3u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let start = bt.store().io_elapsed_us();
+        for i in 0..ops {
+            if ((next() % 100) as f64) < insert_ratio * 100.0 {
+                bt.insert(next() % key_space, i as u64).unwrap();
+            } else {
+                bt.search(next() % key_space).unwrap();
+            }
+        }
+        bt.store().flush().unwrap();
+        let measured_bt = (bt.store().io_elapsed_us() - start) / ops as f64;
+        let predicted_bt = model.btree_cost_buffered(mix);
+        table.row(vec![
+            format!("{:.0}% inserts", insert_ratio * 100.0),
+            "btree".into(),
+            format!("{predicted_bt:.1}"),
+            format!("{measured_bt:.1}"),
+            format!("{:.2}", predicted_bt / measured_bt),
+        ]);
+
+        // Measured PIO B-tree.
+        let config = PioConfig::builder()
+            .page_size(page_size)
+            .leaf_segments(leaf_segments)
+            .opq_pages(opq_pages)
+            .pool_pages(pool_pages - opq_pages as u64)
+            .pio_max(64)
+            .build();
+        let mut pt = setup::build_pio(profile, config, n);
+        let mut state = 3u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let start = pt.io_elapsed_us();
+        for i in 0..ops {
+            if ((next() % 100) as f64) < insert_ratio * 100.0 {
+                pt.insert(next() % key_space, i as u64).unwrap();
+            } else {
+                pt.search(next() % key_space).unwrap();
+            }
+        }
+        pt.checkpoint().unwrap();
+        let measured_pio = (pt.io_elapsed_us() - start) / ops as f64;
+        let predicted_pio = model.pio_cost_buffered(mix);
+        table.row(vec![
+            format!("{:.0}% inserts", insert_ratio * 100.0),
+            "pio-btree".into(),
+            format!("{predicted_pio:.1}"),
+            format!("{measured_pio:.1}"),
+            format!("{:.2}", predicted_pio / measured_pio),
+        ]);
+    }
+    table.finish();
+
+    // --- What the tuning procedures choose.
+    let mut table = Table::new(
+        "ablation_tuning",
+        "Node-size selection (eq. 3) and (L, O) auto-tuning (eq. 10) per device",
+        &["device", "btree_node_bytes", "pio_leaf_pages", "pio_opq_pages"],
+    );
+    for profile in DeviceProfile::experiment_trio() {
+        let mut dev = SsdDevice::new(profile.build());
+        let node = optimal_btree_node_size(&mut dev, &[2048, 4096, 8192, 16384], 0xAB2);
+        let tuning = auto_tune(
+            &mut dev,
+            2048,
+            n,
+            pool_pages,
+            WorkloadMix::with_insert_ratio(0.5),
+            &[1, 2, 4, 8],
+            &[1, 16, 64, 256],
+            64,
+            0xAB2,
+        );
+        table.row(vec![
+            profile.name().into(),
+            node.to_string(),
+            tuning.leaf_pages.to_string(),
+            tuning.opq_pages.to_string(),
+        ]);
+    }
+    table.finish();
+    println!("\nablation_cost_model done.");
+}

@@ -1,0 +1,106 @@
+//! Ablation: sensitivity of the PIO B-tree to its own design parameters.
+//!
+//! These sweeps are not figures in the paper but probe the design choices it
+//! motivates qualitatively:
+//!
+//! * `PioMax` — the psync batch bound (Section 3.1.1 argues a moderate value ~32–64
+//!   already captures most of the parallelism);
+//! * the leaf size `L` — package-level parallelism vs per-search latency
+//!   (Section 3.2);
+//! * the append-only leaf versus rewriting whole leaf nodes on every flush (the
+//!   benefit of Section 3.2.2's asymmetric leaves is approximated by comparing
+//!   `L = 1`, where the append path and the full path coincide, against larger `L`).
+
+use pio_bench::{scaled, setup, us, Table};
+use pio_btree::PioConfig;
+use ssd_sim::DeviceProfile;
+
+fn run_workload(profile: DeviceProfile, config: PioConfig, n: u64, ops: usize) -> (f64, f64) {
+    let key_space = n * 4;
+    let mut t = setup::build_pio(profile, config, n);
+    let mut state = 0xA11u64;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let start = t.io_elapsed_us();
+    for i in 0..ops {
+        t.insert(next() % key_space, i as u64).unwrap();
+    }
+    t.checkpoint().unwrap();
+    let insert_ms = (t.io_elapsed_us() - start) / 1e3;
+    let start = t.io_elapsed_us();
+    for _ in 0..ops / 2 {
+        t.search(next() % key_space).unwrap();
+    }
+    let search_ms = (t.io_elapsed_us() - start) / 1e3;
+    (insert_ms, search_ms)
+}
+
+fn main() {
+    let profile = DeviceProfile::P300;
+    let n = setup::initial_entries() / 2;
+    let ops = scaled(40_000);
+
+    // --- PioMax sweep.
+    let mut table = Table::new(
+        "ablation_piomax",
+        "PioMax sweep: insert/search elapsed simulated time (ms), P300",
+        &["pio_max", "insert_ms", "search_ms"],
+    );
+    for &pio_max in &[1usize, 4, 16, 64, 256] {
+        let config = PioConfig::builder()
+            .page_size(2048)
+            .leaf_segments(4)
+            .opq_pages(64)
+            .pool_pages(256)
+            .pio_max(pio_max)
+            .build();
+        let (insert_ms, search_ms) = run_workload(profile, config, n, ops);
+        table.row(vec![pio_max.to_string(), us(insert_ms), us(search_ms)]);
+    }
+    table.finish();
+
+    // --- Leaf size sweep (package-level parallelism vs leaf-read latency).
+    let mut table = Table::new(
+        "ablation_leafsize",
+        "Leaf size sweep: insert/search elapsed simulated time (ms), P300",
+        &["leaf_segments", "insert_ms", "search_ms"],
+    );
+    for &segments in &[1usize, 2, 4, 8] {
+        let config = PioConfig::builder()
+            .page_size(2048)
+            .leaf_segments(segments)
+            .opq_pages(64)
+            .pool_pages(256)
+            .pio_max(64)
+            .build();
+        let (insert_ms, search_ms) = run_workload(profile, config, n, ops);
+        table.row(vec![segments.to_string(), us(insert_ms), us(search_ms)]);
+    }
+    table.finish();
+
+    // --- speriod sweep (OPQ sort period; affects CPU more than I/O, so the point is
+    //     that the I/O time stays flat).
+    let mut table = Table::new(
+        "ablation_speriod",
+        "speriod sweep: insert elapsed simulated time (ms), P300",
+        &["speriod", "insert_ms", "search_ms"],
+    );
+    for &speriod in &[100usize, 1_000, 5_000, 20_000] {
+        let config = PioConfig::builder()
+            .page_size(2048)
+            .leaf_segments(4)
+            .opq_pages(64)
+            .pool_pages(256)
+            .pio_max(64)
+            .speriod(speriod)
+            .build();
+        let (insert_ms, search_ms) = run_workload(profile, config, n, ops);
+        table.row(vec![speriod.to_string(), us(insert_ms), us(search_ms)]);
+    }
+    table.finish();
+    println!("\nablation_parameters done.");
+}

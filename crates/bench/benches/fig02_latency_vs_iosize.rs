@@ -1,0 +1,51 @@
+//! Figure 2 (a, b): random read / write latency as a function of the I/O size
+//! (2 KiB … 256 KiB) on the six simulated devices.
+//!
+//! Paper expectation: latency grows with the request size but clearly sub-linearly
+//! (package-level parallelism) — e.g. a 4 KiB request costs about the same as a
+//! 2 KiB request on several devices — and writes are slower than reads everywhere.
+
+use pio_bench::{scaled, Table};
+use ssd_sim::bench::latency_vs_size;
+use ssd_sim::{DeviceProfile, IoKind, SsdDevice};
+
+fn main() {
+    let sizes: Vec<u64> = (0..8).map(|i| 2048u64 << i).collect(); // 2K..256K
+    let span = 4u64 << 30;
+    let reps = scaled(200);
+
+    for (suffix, kind) in [("a", IoKind::Read), ("b", IoKind::Write)] {
+        let mut headers = vec!["io_size_kb".to_string()];
+        headers.extend(DeviceProfile::all().iter().map(|p| p.name().to_string()));
+        let mut table = Table::new(
+            &format!("fig02{suffix}"),
+            &format!("Figure 2({suffix}): {:?} latency (us) vs I/O size", kind),
+            &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        );
+
+        let mut per_device: Vec<Vec<f64>> = Vec::new();
+        for profile in DeviceProfile::all() {
+            let mut dev = SsdDevice::new(profile.build());
+            let points = latency_vs_size(&mut dev, kind, &sizes, reps, span, 0xF1602);
+            per_device.push(points.iter().map(|p| p.latency_us).collect());
+        }
+        for (i, &size) in sizes.iter().enumerate() {
+            let mut row = vec![format!("{}", size / 1024)];
+            row.extend(per_device.iter().map(|d| format!("{:.1}", d[i])));
+            table.row(row);
+        }
+        table.finish();
+
+        // Sanity of the reproduced shape: sub-linear growth on every device.
+        for (profile, lat) in DeviceProfile::all().iter().zip(&per_device) {
+            let growth = lat[7] / lat[0];
+            println!(
+                "  {}: 256K/2K latency ratio = {:.1}x for a 128x size increase",
+                profile.name(),
+                growth
+            );
+            assert!(growth < 128.0, "latency must grow sub-linearly on {}", profile.name());
+        }
+    }
+    println!("\nfig02 done.");
+}

@@ -1,0 +1,86 @@
+//! Figure 3 (a, b, c): bandwidth as a function of the outstanding-I/O level.
+//!
+//! * (a) random 4 KiB reads, OutStd 1 … 64, all six devices;
+//! * (b) random 4 KiB writes, same sweep;
+//! * (c) mixed read/write workloads on F120, P300 and Iodrive: highly interleaved
+//!   (read, write, read, write, …) versus grouped (n reads then n writes).
+//!
+//! Paper expectation: more than ten-fold bandwidth growth from OutStd 1 to 64, and
+//! the grouped mix beating the interleaved mix by roughly 1.25–1.4× at OutStd 64.
+
+use pio_bench::{mib, scaled, Table};
+use ssd_sim::bench::{bandwidth_vs_outstanding, mixed_bandwidth_vs_outstanding};
+use ssd_sim::{DeviceProfile, IoKind, SsdDevice};
+
+fn main() {
+    let levels = [1usize, 2, 4, 8, 16, 32, 64];
+    let span = 4u64 << 30;
+    let batches = scaled(40);
+
+    for (suffix, kind) in [("a", IoKind::Read), ("b", IoKind::Write)] {
+        let mut headers = vec!["outstd".to_string()];
+        headers.extend(DeviceProfile::all().iter().map(|p| p.name().to_string()));
+        let mut table = Table::new(
+            &format!("fig03{suffix}"),
+            &format!("Figure 3({suffix}): {:?} bandwidth (MiB/s) vs outstanding I/O level", kind),
+            &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        );
+        let mut per_device: Vec<Vec<f64>> = Vec::new();
+        for profile in DeviceProfile::all() {
+            let mut dev = SsdDevice::new(profile.build());
+            let pts = bandwidth_vs_outstanding(&mut dev, kind, 4096, &levels, batches, span, 0xF1603);
+            per_device.push(pts.iter().map(|p| p.bandwidth_mib_s).collect());
+        }
+        for (i, &lvl) in levels.iter().enumerate() {
+            let mut row = vec![lvl.to_string()];
+            row.extend(per_device.iter().map(|d| mib(d[i])));
+            table.row(row);
+        }
+        table.finish();
+        for (profile, bw) in DeviceProfile::all().iter().zip(&per_device) {
+            let gain = bw[6] / bw[0];
+            println!("  {}: OutStd 64 / OutStd 1 bandwidth gain = {:.1}x", profile.name(), gain);
+            assert!(gain > 3.0, "outstanding I/O must improve bandwidth on {}", profile.name());
+        }
+    }
+
+    // Part (c): interleaved vs grouped mixed workloads.
+    let mix_levels = [2usize, 4, 8, 16, 32, 64, 128, 256];
+    let trio = DeviceProfile::experiment_trio();
+    let mut headers = vec!["outstd".to_string()];
+    for p in &trio {
+        headers.push(format!("{} grouped", p.name()));
+        headers.push(format!("{} interleaved", p.name()));
+    }
+    let mut table = Table::new(
+        "fig03c",
+        "Figure 3(c): mixed read/write bandwidth (MiB/s), grouped vs interleaved",
+        &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+    );
+    let mut grouped_all = Vec::new();
+    let mut interleaved_all = Vec::new();
+    for profile in &trio {
+        let mut dev = SsdDevice::new(profile.build());
+        let grouped = mixed_bandwidth_vs_outstanding(&mut dev, 4096, &mix_levels, batches, false, span, 7);
+        let mut dev = SsdDevice::new(profile.build());
+        let interleaved = mixed_bandwidth_vs_outstanding(&mut dev, 4096, &mix_levels, batches, true, span, 7);
+        grouped_all.push(grouped);
+        interleaved_all.push(interleaved);
+    }
+    for (i, &lvl) in mix_levels.iter().enumerate() {
+        let mut row = vec![lvl.to_string()];
+        for d in 0..trio.len() {
+            row.push(mib(grouped_all[d][i].bandwidth_mib_s));
+            row.push(mib(interleaved_all[d][i].bandwidth_mib_s));
+        }
+        table.row(row);
+    }
+    table.finish();
+    for (d, profile) in trio.iter().enumerate() {
+        let g = grouped_all[d].last().unwrap().bandwidth_mib_s;
+        let i = interleaved_all[d].last().unwrap().bandwidth_mib_s;
+        println!("  {}: grouped / interleaved at OutStd 256 = {:.2}x", profile.name(), g / i);
+        assert!(g > i, "grouped mix must beat the interleaved mix on {}", profile.name());
+    }
+    println!("\nfig03 done.");
+}

@@ -1,0 +1,83 @@
+//! Figure 10: range-search latency as a function of the key range, B+-tree (leaf
+//! chain walk) versus PIO B-tree (prange search), on Iodrive, P300 and F120.
+//!
+//! Paper expectation: prange search is never slower and becomes 3.5–5× faster once
+//! the range spans many leaves, because all leaf nodes of the range are fetched via
+//! psync I/O instead of one at a time.
+
+use pio_bench::{ratio, scaled, setup, Table};
+use pio_btree::PioConfig;
+use ssd_sim::DeviceProfile;
+
+fn main() {
+    let n = setup::initial_entries();
+    let key_space = setup::key_space();
+    // The paper sweeps ranges of 1K … 32M keys against a 1-billion-entry tree; the
+    // same coverage fractions applied to the scaled tree.
+    let ranges: Vec<u64> = vec![
+        (key_space / 4096).max(16),
+        key_space / 512,
+        key_space / 64,
+        key_space / 16,
+        key_space / 4,
+    ];
+    let searches_per_range = scaled(30);
+
+    let mut table = Table::new(
+        "fig10",
+        "Figure 10: average range-search latency (simulated us, per query)",
+        &["device", "key_range", "btree_us", "pio_us", "speedup"],
+    );
+
+    for profile in DeviceProfile::experiment_trio() {
+        let mut bt = setup::build_btree(profile, 4096, 1 << 20, n);
+        let config = PioConfig::builder()
+            .page_size(2048)
+            .leaf_segments(4)
+            .opq_pages(1)
+            .pool_pages((1 << 20) / 2048)
+            .pio_max(64)
+            .build();
+        let mut pt = setup::build_pio(profile, config, n);
+
+        for &range in &ranges {
+            let mut state = 0xFACEu64 ^ range;
+            let mut next_lo = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state % key_space.saturating_sub(range).max(1)
+            };
+            let start = bt.store().io_elapsed_us();
+            for _ in 0..searches_per_range {
+                let lo = next_lo();
+                bt.range_search(lo, lo + range).unwrap();
+            }
+            let btree_us = (bt.store().io_elapsed_us() - start) / searches_per_range as f64;
+
+            let mut state = 0xFACEu64 ^ range;
+            let mut next_lo = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state % key_space.saturating_sub(range).max(1)
+            };
+            let start = pt.io_elapsed_us();
+            for _ in 0..searches_per_range {
+                let lo = next_lo();
+                pt.range_search(lo, lo + range).unwrap();
+            }
+            let pio_us = (pt.io_elapsed_us() - start) / searches_per_range as f64;
+
+            table.row(vec![
+                profile.name().to_string(),
+                range.to_string(),
+                format!("{btree_us:.0}"),
+                format!("{pio_us:.0}"),
+                ratio(btree_us, pio_us),
+            ]);
+        }
+    }
+    table.finish();
+    println!("\nfig10 done.");
+}

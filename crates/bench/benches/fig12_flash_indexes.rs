@@ -1,0 +1,179 @@
+//! Figure 12: mixed insert/search workloads (10/90 … 90/10) comparing BFTL, the
+//! B+-tree, the FD-tree and the PIO B-tree on Iodrive, P300 and F120.
+//!
+//! Paper expectation (overall elapsed time): PIO B-tree < FD-tree < B+-tree < BFTL,
+//! with the PIO-vs-FD gap coming mostly from point-search time and the PIO-vs-B+-tree
+//! gap growing with the insert ratio.
+
+use flash_indexes::{Bftl, BftlConfig, FdTree, FdTreeConfig};
+use pio_bench::{build_store, scaled, setup, us, Table};
+use pio_btree::PioConfig;
+use ssd_sim::DeviceProfile;
+use storage::WritePolicy;
+use workload::{KeyDistribution, MixSpec, Operation, OperationGenerator};
+
+fn main() {
+    let n = setup::initial_entries() / 2;
+    let key_space = n * 4;
+    let ops_per_workload = scaled(20_000);
+    let mixes = [0.1, 0.3, 0.5, 0.7, 0.9];
+    let memory_pages: u64 = 64; // 128 KiB of 2 KiB pages — same pool-to-index ratio as the paper's 16 MiB vs 8 GiB
+
+    let mut table = Table::new(
+        "fig12",
+        "Figure 12: mixed workloads, overall elapsed simulated time (ms) split by op type",
+        &["device", "insert/search", "index", "insert_ms", "search_ms", "total_ms"],
+    );
+
+    for profile in DeviceProfile::experiment_trio() {
+        for &insert_ratio in &mixes {
+            let mix = MixSpec::insert_search(insert_ratio);
+            let ops = OperationGenerator::new(0xF16_12, key_space, KeyDistribution::Uniform, mix)
+                .generate(ops_per_workload);
+            let entries = setup::bulk_entries(n);
+
+            // --- BFTL (its mapping table consumes the memory budget: no buffer pool).
+            let store = build_store(profile, 2048, 0, WritePolicy::WriteThrough, 64 << 30);
+            let mut bftl = Bftl::bulk_load(store, &entries, BftlConfig::default()).expect("bftl bulk load");
+            let (mut ins_us, mut sea_us) = (0.0, 0.0);
+            for op in &ops {
+                match *op {
+                    Operation::Insert { key, value } => {
+                        let t = bftl.store().io_elapsed_us();
+                        bftl.insert(key, value).unwrap();
+                        ins_us += bftl.store().io_elapsed_us() - t;
+                    }
+                    Operation::Search { key } => {
+                        let t = bftl.store().io_elapsed_us();
+                        bftl.search(key).unwrap();
+                        sea_us += bftl.store().io_elapsed_us() - t;
+                    }
+                    _ => {}
+                }
+            }
+            let t = bftl.store().io_elapsed_us();
+            bftl.flush_reservation().unwrap();
+            ins_us += bftl.store().io_elapsed_us() - t;
+            table.row(vec![
+                profile.name().into(),
+                format!("{:.0}/{:.0}", insert_ratio * 100.0, (1.0 - insert_ratio) * 100.0),
+                "bftl".into(),
+                us(ins_us / 1e3),
+                us(sea_us / 1e3),
+                us((ins_us + sea_us) / 1e3),
+            ]);
+
+            // --- Baseline B+-tree with the whole budget as its write-back pool.
+            let mut bt = setup::build_btree(profile, 2048, memory_pages * 2048, n);
+            let (mut ins_us, mut sea_us) = (0.0, 0.0);
+            for op in &ops {
+                match *op {
+                    Operation::Insert { key, value } => {
+                        let t = bt.store().io_elapsed_us();
+                        bt.insert(key, value).unwrap();
+                        ins_us += bt.store().io_elapsed_us() - t;
+                    }
+                    Operation::Search { key } => {
+                        let t = bt.store().io_elapsed_us();
+                        bt.search(key).unwrap();
+                        sea_us += bt.store().io_elapsed_us() - t;
+                    }
+                    _ => {}
+                }
+            }
+            let t = bt.store().io_elapsed_us();
+            bt.store().flush().unwrap();
+            ins_us += bt.store().io_elapsed_us() - t;
+            let bt_total = ins_us + sea_us;
+            table.row(vec![
+                profile.name().into(),
+                format!("{:.0}/{:.0}", insert_ratio * 100.0, (1.0 - insert_ratio) * 100.0),
+                "btree".into(),
+                us(ins_us / 1e3),
+                us(sea_us / 1e3),
+                us(bt_total / 1e3),
+            ]);
+
+            // --- FD-tree: the head tree takes part of the budget.
+            let store = build_store(profile, 2048, memory_pages / 4, WritePolicy::WriteThrough, 64 << 30);
+            // Head tree sized to a handful of pages (the FD-tree keeps most of its
+            // data in the on-flash levels; an over-sized head would hide its merges).
+            let fd_config = FdTreeConfig { head_capacity: 8 * (2048 / 17), size_ratio: 8 };
+            let mut fd = FdTree::bulk_load(store, &entries, fd_config).expect("fd bulk load");
+            let (mut ins_us, mut sea_us) = (0.0, 0.0);
+            for op in &ops {
+                match *op {
+                    Operation::Insert { key, value } => {
+                        let t = fd.store().io_elapsed_us();
+                        fd.insert(key, value).unwrap();
+                        ins_us += fd.store().io_elapsed_us() - t;
+                    }
+                    Operation::Search { key } => {
+                        let t = fd.store().io_elapsed_us();
+                        fd.search(key).unwrap();
+                        sea_us += fd.store().io_elapsed_us() - t;
+                    }
+                    _ => {}
+                }
+            }
+            table.row(vec![
+                profile.name().into(),
+                format!("{:.0}/{:.0}", insert_ratio * 100.0, (1.0 - insert_ratio) * 100.0),
+                "fd-tree".into(),
+                us(ins_us / 1e3),
+                us(sea_us / 1e3),
+                us((ins_us + sea_us) / 1e3),
+            ]);
+
+            // --- PIO B-tree, tuned by the workload mix (larger OPQ for insert-heavy).
+            let opq_pages = ((memory_pages as f64) * insert_ratio * 0.5).max(1.0) as usize;
+            let config = PioConfig::builder()
+                .page_size(2048)
+                .leaf_segments(4)
+                .opq_pages(opq_pages)
+                .pool_pages(memory_pages - opq_pages as u64)
+                .pio_max(64)
+                .build();
+            let mut pt = setup::build_pio(profile, config, n);
+            let (mut ins_us, mut sea_us) = (0.0, 0.0);
+            for op in &ops {
+                match *op {
+                    Operation::Insert { key, value } => {
+                        let t = pt.io_elapsed_us();
+                        pt.insert(key, value).unwrap();
+                        ins_us += pt.io_elapsed_us() - t;
+                    }
+                    Operation::Search { key } => {
+                        let t = pt.io_elapsed_us();
+                        pt.search(key).unwrap();
+                        sea_us += pt.io_elapsed_us() - t;
+                    }
+                    _ => {}
+                }
+            }
+            let t = pt.io_elapsed_us();
+            pt.checkpoint().unwrap();
+            ins_us += pt.io_elapsed_us() - t;
+            let pio_total = ins_us + sea_us;
+            table.row(vec![
+                profile.name().into(),
+                format!("{:.0}/{:.0}", insert_ratio * 100.0, (1.0 - insert_ratio) * 100.0),
+                "pio-btree".into(),
+                us(ins_us / 1e3),
+                us(sea_us / 1e3),
+                us(pio_total / 1e3),
+            ]);
+
+            if pio_total >= bt_total {
+                println!(
+                    "  WARN: PIO B-tree did not beat the B+-tree on {} at mix {insert_ratio} ({:.1} vs {:.1} ms)",
+                    profile.name(),
+                    pio_total / 1e3,
+                    bt_total / 1e3
+                );
+            }
+        }
+    }
+    table.finish();
+    println!("\nfig12 done.");
+}

@@ -1,0 +1,72 @@
+//! Criterion micro-benchmarks of the in-memory building blocks (real CPU time, not
+//! simulated time): OPQ appends and sorting, node and leaf (de)serialisation, and the
+//! MPSearch grouping logic.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pio_btree::{OpEntry, OperationQueue, PioLeaf};
+
+fn bench_opq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("opq");
+    group.sample_size(20);
+    group.bench_function("append_10k_speriod_5000", |b| {
+        b.iter_batched(
+            || OperationQueue::with_capacity(100_000, 5_000),
+            |mut q| {
+                for i in 0..10_000u64 {
+                    q.append(OpEntry::insert((i * 2_654_435_761) % 1_000_003, i));
+                }
+                q
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("lookup_hit", |b| {
+        let mut q = OperationQueue::with_capacity(100_000, 1_000);
+        for i in 0..50_000u64 {
+            q.append(OpEntry::insert(i * 3, i));
+        }
+        q.sort_and_merge();
+        b.iter(|| q.lookup(std::hint::black_box(75_000)))
+    });
+    group.finish();
+}
+
+fn bench_node_codecs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codecs");
+    group.sample_size(20);
+    let internal = btree::InternalNode {
+        keys: (0..200u64).collect(),
+        children: (0..201u64).collect(),
+    };
+    group.bench_function("internal_encode_4k", |b| b.iter(|| internal.encode(4096)));
+    let image = internal.encode(4096);
+    group.bench_function("internal_decode_4k", |b| b.iter(|| btree::Node::decode(&image)));
+
+    let mut leaf = PioLeaf::new(4);
+    leaf.append(&(0..300u64).map(|i| OpEntry::insert(i, i)).collect::<Vec<_>>());
+    group.bench_function("pio_leaf_encode_4x2k", |b| b.iter(|| leaf.encode(2048)));
+    let leaf_image = leaf.encode(2048);
+    group.bench_function("pio_leaf_decode_4x2k", |b| b.iter(|| PioLeaf::decode(&leaf_image, 4, 2048)));
+    group.bench_function("pio_leaf_shrink", |b| {
+        b.iter_batched(
+            || {
+                let mut l = PioLeaf::new(4);
+                l.append(
+                    &(0..300u64)
+                        .map(|i| if i % 3 == 0 { OpEntry::delete(i / 3) } else { OpEntry::insert(i, i) })
+                        .collect::<Vec<_>>(),
+                );
+                l
+            },
+            |mut l| {
+                l.shrink();
+                l
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_opq, bench_node_codecs);
+criterion_main!(benches);

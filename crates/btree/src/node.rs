@@ -1,0 +1,306 @@
+//! On-disk node layout shared by the baseline B+-tree and (for internal nodes) the
+//! PIO B-tree.
+//!
+//! A node occupies exactly one page. The layout follows Figure 5 of the paper: an
+//! internal node is a sequence of keys `K1..K_{c-1}` and child pointers `P1..P_c`
+//! (`F` = maximum number of pointers = fanout); a leaf node is a sorted sequence of
+//! `(key, record-pointer)` index records plus the page id of its right sibling, which
+//! forms the leaf chain used by the conventional range search.
+//!
+//! Encoding (little-endian):
+//!
+//! ```text
+//! byte 0      : tag (1 = internal, 2 = leaf)
+//! bytes 2..4  : entry count (u16)
+//! internal    : 8 + i*8        -> key i            (count keys)
+//!               8 + count*8 + i*8 -> child i       (count+1 children)
+//! leaf        : 8..16          -> right sibling page id
+//!               16 + i*16      -> (key, value) record i
+//! ```
+
+use storage::{PageId, INVALID_PAGE};
+
+/// Index key type (the paper's trees index fixed-width integer keys).
+pub type Key = u64;
+/// Index record payload: the data page id / record pointer.
+pub type Value = u64;
+
+const TAG_INTERNAL: u8 = 1;
+const TAG_LEAF: u8 = 2;
+const HEADER_BYTES: usize = 8;
+const LEAF_HEADER_BYTES: usize = 16;
+
+/// An internal (non-leaf) node: `keys.len() + 1 == children.len()` except while the
+/// node is being built.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct InternalNode {
+    /// Separator keys, sorted ascending.
+    pub keys: Vec<Key>,
+    /// Child node page ids; child `i` covers keys in `[keys[i-1], keys[i])` with the
+    /// conventions `keys[-1] = -inf`, `keys[len] = +inf`.
+    pub children: Vec<PageId>,
+}
+
+/// A leaf node: sorted `(key, value)` records plus the right-sibling pointer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeafNode {
+    /// Sorted index records.
+    pub entries: Vec<(Key, Value)>,
+    /// Page id of the next leaf to the right, or [`INVALID_PAGE`].
+    pub next: PageId,
+}
+
+impl Default for LeafNode {
+    fn default() -> Self {
+        Self { entries: Vec::new(), next: INVALID_PAGE }
+    }
+}
+
+/// Either kind of node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// An internal node.
+    Internal(InternalNode),
+    /// A leaf node.
+    Leaf(LeafNode),
+}
+
+impl InternalNode {
+    /// Maximum number of child pointers (`F`, the fanout) for a page of `page_size`
+    /// bytes.
+    pub fn max_children(page_size: usize) -> usize {
+        // count keys (c-1) * 8 + c * 8 + header <= page_size  =>  c <= (page_size - header + 8) / 16
+        (page_size - HEADER_BYTES + 8) / 16
+    }
+
+    /// Child index to follow for `key`: the `i` with `keys[i-1] <= key < keys[i]`.
+    pub fn child_for(&self, key: Key) -> usize {
+        // partition_point returns the number of separators <= key, which is exactly
+        // the child index under the paper's convention K_{i-1} <= s < K_i.
+        self.keys.partition_point(|&k| k <= key)
+    }
+
+    /// Serialises the node into a page image of `page_size` bytes.
+    pub fn encode(&self, page_size: usize) -> Vec<u8> {
+        assert_eq!(self.children.len(), self.keys.len() + 1, "malformed internal node");
+        assert!(self.children.len() <= Self::max_children(page_size), "node overflow");
+        let mut buf = vec![0u8; page_size];
+        buf[0] = TAG_INTERNAL;
+        buf[2..4].copy_from_slice(&(self.keys.len() as u16).to_le_bytes());
+        let mut off = HEADER_BYTES;
+        for k in &self.keys {
+            buf[off..off + 8].copy_from_slice(&k.to_le_bytes());
+            off += 8;
+        }
+        for c in &self.children {
+            buf[off..off + 8].copy_from_slice(&c.to_le_bytes());
+            off += 8;
+        }
+        buf
+    }
+}
+
+impl LeafNode {
+    /// Maximum number of `(key, value)` records for a page of `page_size` bytes.
+    pub fn max_entries(page_size: usize) -> usize {
+        (page_size - LEAF_HEADER_BYTES) / 16
+    }
+
+    /// Serialises the node into a page image of `page_size` bytes.
+    pub fn encode(&self, page_size: usize) -> Vec<u8> {
+        assert!(self.entries.len() <= Self::max_entries(page_size), "leaf overflow");
+        let mut buf = vec![0u8; page_size];
+        buf[0] = TAG_LEAF;
+        buf[2..4].copy_from_slice(&(self.entries.len() as u16).to_le_bytes());
+        buf[8..16].copy_from_slice(&self.next.to_le_bytes());
+        let mut off = LEAF_HEADER_BYTES;
+        for (k, v) in &self.entries {
+            buf[off..off + 8].copy_from_slice(&k.to_le_bytes());
+            buf[off + 8..off + 16].copy_from_slice(&v.to_le_bytes());
+            off += 16;
+        }
+        buf
+    }
+
+    /// Binary-searches for `key` and returns its value if present.
+    pub fn get(&self, key: Key) -> Option<Value> {
+        self.entries
+            .binary_search_by_key(&key, |&(k, _)| k)
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+}
+
+impl Node {
+    /// Serialises either kind of node.
+    pub fn encode(&self, page_size: usize) -> Vec<u8> {
+        match self {
+            Node::Internal(n) => n.encode(page_size),
+            Node::Leaf(n) => n.encode(page_size),
+        }
+    }
+
+    /// Parses a page image produced by [`Node::encode`].
+    ///
+    /// # Panics
+    /// Panics on an unknown tag byte — pages handed to this function must come from
+    /// the tree's own store.
+    pub fn decode(buf: &[u8]) -> Node {
+        let count = u16::from_le_bytes(buf[2..4].try_into().expect("2 bytes")) as usize;
+        match buf[0] {
+            TAG_INTERNAL => {
+                let mut keys = Vec::with_capacity(count);
+                let mut off = HEADER_BYTES;
+                for _ in 0..count {
+                    keys.push(u64::from_le_bytes(buf[off..off + 8].try_into().expect("8 bytes")));
+                    off += 8;
+                }
+                let mut children = Vec::with_capacity(count + 1);
+                for _ in 0..count + 1 {
+                    children.push(u64::from_le_bytes(buf[off..off + 8].try_into().expect("8 bytes")));
+                    off += 8;
+                }
+                Node::Internal(InternalNode { keys, children })
+            }
+            TAG_LEAF => {
+                let next = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
+                let mut entries = Vec::with_capacity(count);
+                let mut off = LEAF_HEADER_BYTES;
+                for _ in 0..count {
+                    let k = u64::from_le_bytes(buf[off..off + 8].try_into().expect("8 bytes"));
+                    let v = u64::from_le_bytes(buf[off + 8..off + 16].try_into().expect("8 bytes"));
+                    entries.push((k, v));
+                    off += 16;
+                }
+                Node::Leaf(LeafNode { entries, next })
+            }
+            other => panic!("unknown node tag {other}"),
+        }
+    }
+
+    /// Returns the contained leaf, panicking if the node is internal.
+    pub fn expect_leaf(self) -> LeafNode {
+        match self {
+            Node::Leaf(l) => l,
+            Node::Internal(_) => panic!("expected a leaf node"),
+        }
+    }
+
+    /// Returns the contained internal node, panicking if the node is a leaf.
+    pub fn expect_internal(self) -> InternalNode {
+        match self {
+            Node::Internal(i) => i,
+            Node::Leaf(_) => panic!("expected an internal node"),
+        }
+    }
+
+    /// Whether this node is a leaf.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn internal_round_trip() {
+        let node = InternalNode {
+            keys: vec![10, 20, 30],
+            children: vec![100, 200, 300, 400],
+        };
+        let buf = node.encode(4096);
+        assert_eq!(buf.len(), 4096);
+        let back = Node::decode(&buf).expect_internal();
+        assert_eq!(back, node);
+    }
+
+    #[test]
+    fn leaf_round_trip() {
+        let node = LeafNode {
+            entries: (0..100).map(|i| (i * 2, i * 2 + 1)).collect(),
+            next: 77,
+        };
+        let buf = node.encode(4096);
+        let back = Node::decode(&buf).expect_leaf();
+        assert_eq!(back, node);
+    }
+
+    #[test]
+    fn empty_nodes_round_trip() {
+        let leaf = LeafNode::default();
+        assert_eq!(Node::decode(&leaf.encode(2048)).expect_leaf(), leaf);
+        let internal = InternalNode { keys: vec![], children: vec![42] };
+        assert_eq!(Node::decode(&internal.encode(2048)).expect_internal(), internal);
+    }
+
+    #[test]
+    fn capacities_scale_with_page_size() {
+        assert!(InternalNode::max_children(4096) >= 250);
+        assert!(LeafNode::max_entries(4096) >= 250);
+        assert!(InternalNode::max_children(2048) > 100);
+        assert_eq!(InternalNode::max_children(8192), InternalNode::max_children(4096) * 2);
+    }
+
+    #[test]
+    fn child_for_follows_paper_convention() {
+        let node = InternalNode { keys: vec![10, 20, 30], children: vec![0, 1, 2, 3] };
+        assert_eq!(node.child_for(5), 0);
+        assert_eq!(node.child_for(10), 1, "K_{{i-1}} <= s goes right");
+        assert_eq!(node.child_for(15), 1);
+        assert_eq!(node.child_for(20), 2);
+        assert_eq!(node.child_for(29), 2);
+        assert_eq!(node.child_for(30), 3);
+        assert_eq!(node.child_for(1000), 3);
+    }
+
+    #[test]
+    fn leaf_get_uses_binary_search() {
+        let node = LeafNode {
+            entries: vec![(1, 10), (5, 50), (9, 90)],
+            next: INVALID_PAGE,
+        };
+        assert_eq!(node.get(5), Some(50));
+        assert_eq!(node.get(6), None);
+        assert_eq!(node.get(1), Some(10));
+        assert_eq!(node.get(9), Some(90));
+    }
+
+    #[test]
+    fn full_leaf_fits_in_its_page() {
+        let cap = LeafNode::max_entries(2048);
+        let node = LeafNode {
+            entries: (0..cap as u64).map(|i| (i, i)).collect(),
+            next: 3,
+        };
+        let buf = node.encode(2048);
+        assert_eq!(Node::decode(&buf).expect_leaf().entries.len(), cap);
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf overflow")]
+    fn oversized_leaf_is_rejected() {
+        let cap = LeafNode::max_entries(2048);
+        let node = LeafNode {
+            entries: (0..=cap as u64).map(|i| (i, i)).collect(),
+            next: 3,
+        };
+        let _ = node.encode(2048);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node tag")]
+    fn garbage_page_is_rejected() {
+        let buf = vec![0xFFu8; 2048];
+        let _ = Node::decode(&buf);
+    }
+
+    #[test]
+    fn is_leaf_and_expect_helpers() {
+        let leaf = Node::Leaf(LeafNode::default());
+        assert!(leaf.is_leaf());
+        let internal = Node::Internal(InternalNode { keys: vec![], children: vec![0] });
+        assert!(!internal.is_leaf());
+    }
+}

@@ -1,0 +1,175 @@
+//! The concurrent PIO B-tree variant used in the Figure-13(b) experiment.
+//!
+//! The paper's concurrency scheme is deliberately simple (Section 4): the OPQ is
+//! exclusively locked while its entries are sorted (every `speriod` appends) and the
+//! entire index is exclusively locked for the duration of an OPQ flush; searches run
+//! concurrently the rest of the time. Because an OPQ append completes in memory and
+//! sorting/flushing happens only periodically, search concurrency is barely affected.
+//!
+//! This wrapper realises the same scheme with a readers–writer lock: appends and
+//! flushes take the write lock, searches take the read lock, and the round-based
+//! `concurrent_search` entry point batches the point searches of the emulated client
+//! threads through MPSearch — which is exactly what `T` overlapping searches look
+//! like to the device's command queue.
+
+use crate::tree::PioBTree;
+use btree::{Key, Value};
+use parking_lot::RwLock;
+use pio::IoResult;
+
+/// A thread-safe PIO B-tree using the paper's simple locking scheme.
+pub struct ConcurrentPioBTree {
+    inner: RwLock<PioBTree>,
+}
+
+impl ConcurrentPioBTree {
+    /// Wraps an existing tree.
+    pub fn new(tree: PioBTree) -> Self {
+        Self { inner: RwLock::new(tree) }
+    }
+
+    /// Consumes the wrapper and returns the inner tree.
+    pub fn into_inner(self) -> PioBTree {
+        self.inner.into_inner()
+    }
+
+    /// Runs a closure with shared access to the inner tree (for statistics).
+    pub fn with_tree<R>(&self, f: impl FnOnce(&PioBTree) -> R) -> R {
+        f(&self.inner.read())
+    }
+
+    /// Point search from any client thread.
+    ///
+    /// The underlying search only mutates in-memory statistics and the buffer pool
+    /// (which has interior mutability), but the method signature requires `&mut`, so
+    /// the write lock is taken; contention on it is not part of the measured
+    /// (simulated) I/O time.
+    pub fn search(&self, key: Key) -> IoResult<Option<Value>> {
+        self.inner.write().search(key)
+    }
+
+    /// The point searches of one round of `T` concurrent clients, batched via
+    /// MPSearch.
+    pub fn concurrent_search(&self, keys: &[Key]) -> IoResult<Vec<Option<Value>>> {
+        self.inner.write().multi_search(keys)
+    }
+
+    /// Insert: an O(1) OPQ append under the exclusive lock; a full OPQ triggers the
+    /// flush (which holds the lock for its duration, as in the paper).
+    pub fn insert(&self, key: Key, value: Value) -> IoResult<()> {
+        self.inner.write().insert(key, value)
+    }
+
+    /// Delete through the OPQ.
+    pub fn delete(&self, key: Key) -> IoResult<()> {
+        self.inner.write().delete(key)
+    }
+
+    /// Update through the OPQ.
+    pub fn update(&self, key: Key, value: Value) -> IoResult<()> {
+        self.inner.write().update(key, value)
+    }
+
+    /// prange search.
+    pub fn range_search(&self, lo: Key, hi: Key) -> IoResult<Vec<(Key, Value)>> {
+        self.inner.write().range_search(lo, hi)
+    }
+
+    /// Flushes the whole OPQ (checkpoint) under the exclusive lock.
+    pub fn checkpoint(&self) -> IoResult<()> {
+        self.inner.write().checkpoint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PioConfig;
+    use ssd_sim::DeviceProfile;
+    use std::sync::Arc;
+
+    fn tree() -> ConcurrentPioBTree {
+        let config = PioConfig::builder()
+            .page_size(2048)
+            .leaf_segments(2)
+            .opq_pages(2)
+            .pio_max(16)
+            .speriod(32)
+            .bcnt(128)
+            .pool_pages(128)
+            .build();
+        ConcurrentPioBTree::new(PioBTree::create(DeviceProfile::P300, 1 << 30, config).unwrap())
+    }
+
+    #[test]
+    fn single_threaded_usage_matches_the_plain_tree() {
+        let t = tree();
+        for k in 0..2_000u64 {
+            t.insert(k, k + 1).unwrap();
+        }
+        t.checkpoint().unwrap();
+        assert_eq!(t.search(100).unwrap(), Some(101));
+        assert_eq!(t.search(5_000).unwrap(), None);
+        t.delete(100).unwrap();
+        assert_eq!(t.search(100).unwrap(), None);
+        let r = t.range_search(0, 50).unwrap();
+        assert_eq!(r.len(), 50);
+        let batch = t.concurrent_search(&[1, 2, 3, 9_999]).unwrap();
+        assert_eq!(batch, vec![Some(2), Some(3), Some(4), None]);
+    }
+
+    #[test]
+    fn concurrent_clients_preserve_all_their_writes() {
+        let t = Arc::new(tree());
+        let mut handles = Vec::new();
+        for thread in 0..8u64 {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u64 {
+                    let key = thread * 1_000_000 + i;
+                    t.insert(key, key).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        t.checkpoint().unwrap();
+        for thread in 0..8u64 {
+            for i in (0..500u64).step_by(83) {
+                let key = thread * 1_000_000 + i;
+                assert_eq!(t.search(key).unwrap(), Some(key));
+            }
+        }
+        t.with_tree(|tree| {
+            assert_eq!(tree.stats().inserts, 8 * 500);
+        });
+    }
+
+    #[test]
+    fn searches_and_inserts_interleave_across_threads() {
+        let t = Arc::new(tree());
+        for k in 0..5_000u64 {
+            t.insert(k, k).unwrap();
+        }
+        t.checkpoint().unwrap();
+        let mut handles = Vec::new();
+        for thread in 0..4u64 {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..300u64 {
+                    if thread % 2 == 0 {
+                        assert_eq!(t.search(i * 7 % 5_000).unwrap(), Some(i * 7 % 5_000));
+                    } else {
+                        t.insert(10_000 + thread * 1_000 + i, i).unwrap();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        t.checkpoint().unwrap();
+        assert_eq!(t.search(10_000 + 1_000).unwrap(), Some(0));
+    }
+}

@@ -1,0 +1,211 @@
+//! Configuration of a PIO B-tree instance.
+
+/// All tunable parameters of a [`crate::PioBTree`].
+///
+/// Defaults follow the synthetic-workload setup of Section 4.1: `PioMax = 64`,
+/// `speriod = 5000`, `bcnt = 5000`, 4 KiB pages, leaf nodes of 2 segments and a
+/// 1-page OPQ (the smallest configuration the paper shows already beating the
+/// B+-tree by 4–8×).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PioConfig {
+    /// Page size in bytes — the size of an internal node and of one Leaf Segment.
+    pub page_size: usize,
+    /// Leaf node size `L` in segments (pages).
+    pub leaf_segments: usize,
+    /// Operation-queue size `O` in pages.
+    pub opq_pages: usize,
+    /// Maximum number of I/Os submitted per psync call (`PioMax`).
+    pub pio_max: usize,
+    /// OPQ sort period (`speriod`): the unsorted tail is merged every this many
+    /// appends.
+    pub speriod: usize,
+    /// Batch count (`bcnt`): number of OPQ entries processed per bupdate invocation.
+    pub bcnt: usize,
+    /// Buffer-pool capacity in pages (internal-node cache).
+    pub pool_pages: u64,
+    /// Fill factor used when bulk loading.
+    pub fill_factor: f64,
+    /// Whether write-ahead logging (and therefore crash recovery) is enabled.
+    pub wal_enabled: bool,
+}
+
+impl Default for PioConfig {
+    fn default() -> Self {
+        Self {
+            page_size: 4096,
+            leaf_segments: 2,
+            opq_pages: 1,
+            pio_max: 64,
+            speriod: 5000,
+            bcnt: 5000,
+            pool_pages: 1024,
+            fill_factor: 0.7,
+            wal_enabled: false,
+        }
+    }
+}
+
+impl PioConfig {
+    /// Starts a builder pre-loaded with the defaults.
+    pub fn builder() -> PioConfigBuilder {
+        PioConfigBuilder::default()
+    }
+
+    /// Leaf node size in bytes.
+    pub fn leaf_bytes(&self) -> usize {
+        self.page_size * self.leaf_segments
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.page_size < 128 || !self.page_size.is_power_of_two() {
+            return Err("page_size must be a power of two of at least 128 bytes".into());
+        }
+        if self.leaf_segments == 0 {
+            return Err("leaf_segments must be at least 1".into());
+        }
+        if self.pio_max == 0 {
+            return Err("pio_max must be at least 1".into());
+        }
+        if self.bcnt == 0 {
+            return Err("bcnt must be at least 1".into());
+        }
+        if !(0.1..=1.0).contains(&self.fill_factor) {
+            return Err("fill_factor must be in (0.1, 1.0]".into());
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`PioConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct PioConfigBuilder {
+    config: PioConfig,
+}
+
+impl PioConfigBuilder {
+    /// Sets the page size (internal node / Leaf Segment size) in bytes.
+    pub fn page_size(mut self, bytes: usize) -> Self {
+        self.config.page_size = bytes;
+        self
+    }
+
+    /// Sets the leaf node size in segments.
+    pub fn leaf_segments(mut self, segments: usize) -> Self {
+        self.config.leaf_segments = segments;
+        self
+    }
+
+    /// Sets the OPQ size in pages.
+    pub fn opq_pages(mut self, pages: usize) -> Self {
+        self.config.opq_pages = pages;
+        self
+    }
+
+    /// Sets `PioMax`.
+    pub fn pio_max(mut self, pio_max: usize) -> Self {
+        self.config.pio_max = pio_max;
+        self
+    }
+
+    /// Sets the OPQ sort period.
+    pub fn speriod(mut self, speriod: usize) -> Self {
+        self.config.speriod = speriod;
+        self
+    }
+
+    /// Sets the batch count.
+    pub fn bcnt(mut self, bcnt: usize) -> Self {
+        self.config.bcnt = bcnt;
+        self
+    }
+
+    /// Sets the buffer-pool capacity in pages.
+    pub fn pool_pages(mut self, pages: u64) -> Self {
+        self.config.pool_pages = pages;
+        self
+    }
+
+    /// Sets the bulk-load fill factor.
+    pub fn fill_factor(mut self, fill: f64) -> Self {
+        self.config.fill_factor = fill;
+        self
+    }
+
+    /// Enables or disables write-ahead logging.
+    pub fn wal(mut self, enabled: bool) -> Self {
+        self.config.wal_enabled = enabled;
+        self
+    }
+
+    /// Finalises the configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (see [`PioConfig::validate`]).
+    pub fn build(self) -> PioConfig {
+        if let Err(e) = self.config.validate() {
+            panic!("invalid PioConfig: {e}");
+        }
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid_and_match_the_paper() {
+        let c = PioConfig::default();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.pio_max, 64);
+        assert_eq!(c.speriod, 5000);
+        assert_eq!(c.bcnt, 5000);
+    }
+
+    #[test]
+    fn builder_sets_every_field() {
+        let c = PioConfig::builder()
+            .page_size(2048)
+            .leaf_segments(4)
+            .opq_pages(16)
+            .pio_max(32)
+            .speriod(100)
+            .bcnt(200)
+            .pool_pages(64)
+            .fill_factor(0.9)
+            .wal(true)
+            .build();
+        assert_eq!(c.page_size, 2048);
+        assert_eq!(c.leaf_segments, 4);
+        assert_eq!(c.opq_pages, 16);
+        assert_eq!(c.pio_max, 32);
+        assert_eq!(c.speriod, 100);
+        assert_eq!(c.bcnt, 200);
+        assert_eq!(c.pool_pages, 64);
+        assert!(c.wal_enabled);
+        assert_eq!(c.leaf_bytes(), 8192);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid PioConfig")]
+    fn invalid_page_size_panics() {
+        let _ = PioConfig::builder().page_size(1000).build();
+    }
+
+    #[test]
+    fn validation_catches_each_field() {
+        let mut c = PioConfig::default();
+        c.leaf_segments = 0;
+        assert!(c.validate().is_err());
+        let mut c = PioConfig::default();
+        c.pio_max = 0;
+        assert!(c.validate().is_err());
+        let mut c = PioConfig::default();
+        c.bcnt = 0;
+        assert!(c.validate().is_err());
+        let mut c = PioConfig::default();
+        c.fill_factor = 1.5;
+        assert!(c.validate().is_err());
+    }
+}

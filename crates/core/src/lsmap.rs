@@ -1,0 +1,96 @@
+//! The LSMap: an in-memory map caching the last Leaf Segment of every leaf node.
+//!
+//! Section 3.2.2: thanks to the append-only leaf format, an update operation only
+//! needs to read and rewrite the *last* Leaf Segment of its leaf node. Which segment
+//! is last is cached in memory by the LSMap so the tree does not have to read half
+//! the leaf to find out. The paper compresses the cached id by storing it relative to
+//! `⌊L/2⌋` (two bits per leaf); this reproduction keeps the plain id per leaf and
+//! accounts for the map's memory footprint explicitly instead.
+
+use std::collections::HashMap;
+use storage::PageId;
+
+/// In-memory map from a leaf node (identified by its first page id) to the index of
+/// its last Leaf Segment.
+#[derive(Debug, Clone, Default)]
+pub struct LsMap {
+    last_ls: HashMap<PageId, u32>,
+}
+
+impl LsMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `leaf`'s last segment is `ls`.
+    pub fn set(&mut self, leaf: PageId, ls: u32) {
+        self.last_ls.insert(leaf, ls);
+    }
+
+    /// The cached last-segment index of `leaf`, if known.
+    pub fn get(&self, leaf: PageId) -> Option<u32> {
+        self.last_ls.get(&leaf).copied()
+    }
+
+    /// Drops the entry for a leaf that no longer exists (after a merge or split that
+    /// frees the node).
+    pub fn remove(&mut self, leaf: PageId) {
+        self.last_ls.remove(&leaf);
+    }
+
+    /// Number of leaves tracked.
+    pub fn len(&self) -> usize {
+        self.last_ls.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.last_ls.is_empty()
+    }
+
+    /// Approximate main-memory footprint in bytes (used when dividing the memory
+    /// budget between the OPQ, the LSMap and the buffer pool, as in Section 4.1.3).
+    pub fn memory_bytes(&self) -> usize {
+        // key + value + HashMap overhead estimate per entry
+        self.last_ls.len() * (8 + 4 + 12)
+    }
+
+    /// Clears the map.
+    pub fn clear(&mut self) {
+        self.last_ls.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_remove() {
+        let mut m = LsMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.get(10), None);
+        m.set(10, 2);
+        m.set(20, 0);
+        assert_eq!(m.get(10), Some(2));
+        assert_eq!(m.len(), 2);
+        m.set(10, 3);
+        assert_eq!(m.get(10), Some(3), "set overwrites");
+        m.remove(10);
+        assert_eq!(m.get(10), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn memory_accounting_grows_with_entries() {
+        let mut m = LsMap::new();
+        assert_eq!(m.memory_bytes(), 0);
+        for i in 0..100 {
+            m.set(i, 0);
+        }
+        assert!(m.memory_bytes() >= 100 * 12);
+        m.clear();
+        assert_eq!(m.memory_bytes(), 0);
+    }
+}

@@ -1,0 +1,215 @@
+//! MPSearch: multi-path traversal of the internal levels (Section 3.1.1).
+//!
+//! Given a *set* of keys (or a key range), the traversal proceeds level by level from
+//! the root: all internal nodes needed by the key set at one level are fetched with a
+//! single psync call, bounded by `PioMax` outstanding requests. The paper formulates
+//! this recursively (depth-first over `PioMax`-sized pointer sets); this module uses
+//! the equivalent breadth-first formulation — keys are processed in `PioMax`-sized
+//! groups and each group's frontier is fetched in one call — which bounds the
+//! buffer requirement to the same `PioMax · (treeHeight − 1)` pages.
+//!
+//! The functions here only walk the *internal* levels; reading the leaf nodes (and,
+//! for bupdate, writing them back) is the caller's job, because point search, prange
+//! search and bupdate each treat the leaf level differently.
+
+use btree::{InternalNode, Key, Node};
+use pio::IoResult;
+use storage::{CachedStore, PageId};
+
+/// Where a key landed after the internal-level descent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeafLocation {
+    /// First page of the leaf node responsible for the key.
+    pub leaf: PageId,
+    /// Root-to-parent path: `(internal node page, child index taken)` for every
+    /// internal level, starting at the root.
+    pub path: Vec<(PageId, usize)>,
+}
+
+/// Descends the internal levels for every key in `keys` (which must be sorted), using
+/// at most `pio_max` outstanding node reads per psync call. Returns one
+/// [`LeafLocation`] per key, in input order.
+pub fn locate_leaves(
+    store: &CachedStore,
+    root: PageId,
+    internal_levels: usize,
+    keys: &[Key],
+    pio_max: usize,
+) -> IoResult<Vec<LeafLocation>> {
+    debug_assert!(keys.windows(2).all(|w| w[0] <= w[1]), "keys must be sorted");
+    let mut out = Vec::with_capacity(keys.len());
+    if keys.is_empty() {
+        return Ok(out);
+    }
+    let pio_max = pio_max.max(1);
+    for group in keys.chunks(pio_max) {
+        // Every key in the group starts at the root.
+        let mut frontier: Vec<PageId> = vec![root; group.len()];
+        let mut paths: Vec<Vec<(PageId, usize)>> = vec![Vec::with_capacity(internal_levels); group.len()];
+        for _level in 0..internal_levels {
+            // Distinct pages needed by the group at this level, preserving order.
+            let mut pages: Vec<PageId> = Vec::with_capacity(group.len());
+            for &p in &frontier {
+                if pages.last() != Some(&p) && !pages.contains(&p) {
+                    pages.push(p);
+                }
+            }
+            let images = store.read_pages(&pages)?;
+            let nodes: Vec<InternalNode> = images
+                .iter()
+                .map(|img| Node::decode(img).expect_internal())
+                .collect();
+            for (i, &key) in group.iter().enumerate() {
+                let page = frontier[i];
+                let node_idx = pages.iter().position(|&p| p == page).expect("page fetched above");
+                let node = &nodes[node_idx];
+                let child_idx = node.child_for(key);
+                paths[i].push((page, child_idx));
+                frontier[i] = node.children[child_idx];
+            }
+        }
+        for (i, _) in group.iter().enumerate() {
+            out.push(LeafLocation { leaf: frontier[i], path: std::mem::take(&mut paths[i]) });
+        }
+    }
+    Ok(out)
+}
+
+/// Descends the internal levels for a key range `[lo, hi)` and returns the first
+/// pages of every leaf node whose key space intersects the range, in key order.
+/// Internal nodes of each level are fetched in psync batches of at most `pio_max`.
+pub fn locate_leaves_in_range(
+    store: &CachedStore,
+    root: PageId,
+    internal_levels: usize,
+    lo: Key,
+    hi: Key,
+    pio_max: usize,
+) -> IoResult<Vec<PageId>> {
+    if lo >= hi {
+        return Ok(Vec::new());
+    }
+    let pio_max = pio_max.max(1);
+    let mut frontier: Vec<PageId> = vec![root];
+    for _level in 0..internal_levels {
+        let mut next: Vec<PageId> = Vec::new();
+        for batch in frontier.chunks(pio_max) {
+            let images = store.read_pages(batch)?;
+            for img in &images {
+                let node = Node::decode(img).expect_internal();
+                let first = node.child_for(lo);
+                let last = node.child_for(hi - 1);
+                next.extend_from_slice(&node.children[first..=last]);
+            }
+        }
+        frontier = next;
+    }
+    Ok(frontier)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btree::LeafNode;
+    use pio::SimPsyncIo;
+    use ssd_sim::DeviceProfile;
+    use std::sync::Arc;
+    use storage::{PageStore, WritePolicy};
+
+    /// Builds a tiny two-internal-level tree by hand:
+    /// root -> [n0 (keys < 100), n1 (keys >= 100)] -> 4 leaves (placeholder pages).
+    fn build_fixture() -> (Arc<CachedStore>, PageId, Vec<PageId>) {
+        let io = Arc::new(SimPsyncIo::with_profile(DeviceProfile::F120, 64 * 1024 * 1024));
+        let store = Arc::new(CachedStore::new(
+            PageStore::new(io, 2048),
+            64,
+            WritePolicy::WriteThrough,
+        ));
+        let leaves: Vec<PageId> = (0..4).map(|_| store.allocate()).collect();
+        for &l in &leaves {
+            store.write_page(l, &LeafNode::default().encode(2048)).unwrap();
+        }
+        let n0 = store.allocate();
+        let n1 = store.allocate();
+        let root = store.allocate();
+        store
+            .write_page(
+                n0,
+                &Node::Internal(InternalNode { keys: vec![50], children: vec![leaves[0], leaves[1]] }).encode(2048),
+            )
+            .unwrap();
+        store
+            .write_page(
+                n1,
+                &Node::Internal(InternalNode { keys: vec![150], children: vec![leaves[2], leaves[3]] }).encode(2048),
+            )
+            .unwrap();
+        store
+            .write_page(
+                root,
+                &Node::Internal(InternalNode { keys: vec![100], children: vec![n0, n1] }).encode(2048),
+            )
+            .unwrap();
+        (store, root, leaves)
+    }
+
+    #[test]
+    fn locate_leaves_routes_keys_correctly() {
+        let (store, root, leaves) = build_fixture();
+        let keys = vec![10, 60, 120, 200];
+        let locs = locate_leaves(&store, root, 2, &keys, 64).unwrap();
+        assert_eq!(locs.len(), 4);
+        assert_eq!(locs[0].leaf, leaves[0]);
+        assert_eq!(locs[1].leaf, leaves[1]);
+        assert_eq!(locs[2].leaf, leaves[2]);
+        assert_eq!(locs[3].leaf, leaves[3]);
+        // Paths record the root and the level-1 node with the child index taken.
+        assert_eq!(locs[0].path.len(), 2);
+        assert_eq!(locs[0].path[0].0, root);
+        assert_eq!(locs[0].path[0].1, 0);
+        assert_eq!(locs[3].path[1].1, 1);
+    }
+
+    #[test]
+    fn locate_leaves_batches_internal_reads() {
+        let (store, root, _) = build_fixture();
+        store.drop_cache();
+        let before = store.store().stats().read_batches;
+        let keys = vec![10, 60, 120, 200];
+        locate_leaves(&store, root, 2, &keys, 64).unwrap();
+        let batches = store.store().stats().read_batches - before;
+        // One batch for the root level, one for level 1 (not one per key).
+        assert_eq!(batches, 2);
+    }
+
+    #[test]
+    fn pio_max_one_degenerates_to_sequential_but_stays_correct() {
+        let (store, root, leaves) = build_fixture();
+        let keys = vec![10, 60, 120, 200];
+        let locs = locate_leaves(&store, root, 2, &keys, 1).unwrap();
+        let got: Vec<PageId> = locs.iter().map(|l| l.leaf).collect();
+        assert_eq!(got, leaves);
+    }
+
+    #[test]
+    fn empty_key_set_is_a_noop() {
+        let (store, root, _) = build_fixture();
+        assert!(locate_leaves(&store, root, 2, &[], 8).unwrap().is_empty());
+    }
+
+    #[test]
+    fn range_descent_selects_only_overlapping_leaves() {
+        let (store, root, leaves) = build_fixture();
+        // Range entirely inside leaf 1 ([50, 100)).
+        assert_eq!(locate_leaves_in_range(&store, root, 2, 60, 70, 8).unwrap(), vec![leaves[1]]);
+        // Range spanning leaves 1..3.
+        assert_eq!(
+            locate_leaves_in_range(&store, root, 2, 60, 160, 8).unwrap(),
+            vec![leaves[1], leaves[2], leaves[3]]
+        );
+        // Whole key space.
+        assert_eq!(locate_leaves_in_range(&store, root, 2, 0, 1_000, 8).unwrap(), leaves);
+        // Empty range.
+        assert!(locate_leaves_in_range(&store, root, 2, 70, 70, 8).unwrap().is_empty());
+    }
+}

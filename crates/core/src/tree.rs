@@ -1,0 +1,1110 @@
+//! The PIO B-tree itself (Section 3.3): the integration of MPSearch, prange search,
+//! the OPQ with batch updates, and asymmetric append-only leaf nodes.
+//!
+//! Structure on disk:
+//!
+//! * internal nodes are single pages in the same format as the baseline B+-tree
+//!   (sorted separator keys + child pointers);
+//! * leaf nodes are `L` physically consecutive pages (Leaf Segments) holding records
+//!   in the append-only OPQ-entry format (see [`crate::leaf`]);
+//! * there is always at least one internal level (the root), so the tree height is
+//!   `internal levels + 1` and every leaf has a parent to receive fence keys.
+//!
+//! I/O discipline: internal nodes are cached by a write-through buffer pool; leaf
+//! regions are read with single large requests (`Pr(L)` in the cost model); every
+//! batched read or write goes through one psync call bounded by `PioMax`; reads and
+//! writes are never mixed in one call (Principle 3).
+
+use crate::config::PioConfig;
+use crate::entry::{OpEntry, OpKind};
+use crate::leaf::PioLeaf;
+use crate::lsmap::LsMap;
+use crate::mpsearch::{locate_leaves, locate_leaves_in_range, LeafLocation};
+use crate::opq::OperationQueue;
+use crate::recovery::{LogRecord, RecoveryReport};
+use btree::{InternalNode, Key, Node, Value};
+use pio::{IoResult, SimPsyncIo};
+use ssd_sim::DeviceProfile;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use storage::{CachedStore, PageId, PageStore, Wal, WritePolicy};
+
+/// Operation and structural counters of a [`PioBTree`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PioStats {
+    /// Point searches.
+    pub searches: u64,
+    /// Multi-key (MPSearch) calls.
+    pub multi_searches: u64,
+    /// prange searches.
+    pub range_searches: u64,
+    /// Insert operations accepted.
+    pub inserts: u64,
+    /// Delete operations accepted.
+    pub deletes: u64,
+    /// Update operations accepted.
+    pub updates: u64,
+    /// OPQ appends (should equal inserts + deletes + updates).
+    pub opq_appends: u64,
+    /// bupdate invocations.
+    pub bupdates: u64,
+    /// Leaves handled by the append path (last-LS read + segment writes).
+    pub leaf_appends: u64,
+    /// Leaves handled by the full path (whole-region read, shrink, rewrite).
+    pub leaf_rewrites: u64,
+    /// Shrink operations performed.
+    pub shrinks: u64,
+    /// Leaf splits.
+    pub leaf_splits: u64,
+    /// Internal node splits.
+    pub internal_splits: u64,
+    /// Times the tree grew a level.
+    pub height_growths: u64,
+}
+
+/// A pending fence-key insertion produced by a node split during bupdate.
+#[derive(Debug, Clone)]
+struct FenceInsert {
+    /// Root-to-parent path of the node that split (the last element is the parent
+    /// that must receive the fence key).
+    path: Vec<(PageId, usize)>,
+    key: Key,
+    new_child: PageId,
+}
+
+/// One leaf node's share of a bupdate batch.
+#[derive(Debug, Clone)]
+struct LeafJob {
+    leaf: PageId,
+    path: Vec<(PageId, usize)>,
+    ops: Vec<OpEntry>,
+}
+
+/// The PIO B-tree.
+pub struct PioBTree {
+    store: Arc<CachedStore>,
+    config: PioConfig,
+    root: PageId,
+    /// Total levels including the leaf level (always ≥ 2).
+    height: usize,
+    opq: OperationQueue,
+    lsmap: LsMap,
+    stats: PioStats,
+    wal: Option<Wal>,
+    next_flush_id: u64,
+    next_tx: u64,
+}
+
+impl std::fmt::Debug for PioBTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PioBTree")
+            .field("root", &self.root)
+            .field("height", &self.height)
+            .field("opq_len", &self.opq.len())
+            .field("leaves_tracked", &self.lsmap.len())
+            .finish()
+    }
+}
+
+impl PioBTree {
+    // ------------------------------------------------------------------ creation --
+
+    /// Creates an empty PIO B-tree over a freshly simulated device of `profile` with
+    /// `capacity_bytes` of storage.
+    pub fn create(profile: DeviceProfile, capacity_bytes: u64, config: PioConfig) -> IoResult<Self> {
+        let io = Arc::new(SimPsyncIo::with_profile(profile, capacity_bytes));
+        let store = Arc::new(CachedStore::new(
+            PageStore::new(io, config.page_size),
+            config.pool_pages,
+            WritePolicy::WriteThrough,
+        ));
+        let mut tree = Self::bulk_load(store, &[], config.clone())?;
+        if config.wal_enabled {
+            // The log lives in its own file (its own backend) so log appends never
+            // interleave with index-node I/O inside a psync call.
+            let wal_io = Arc::new(SimPsyncIo::with_profile(profile, 256 * 1024 * 1024));
+            tree.wal = Some(Wal::new(wal_io, 0, config.page_size));
+        }
+        Ok(tree)
+    }
+
+    /// Builds a PIO B-tree over an existing cached store (whose page size must match
+    /// the configuration) by bulk loading `entries`, which must be sorted and
+    /// duplicate-free.
+    pub fn bulk_load(store: Arc<CachedStore>, entries: &[(Key, Value)], config: PioConfig) -> IoResult<Self> {
+        config.validate().map_err(|_| pio::IoError::EmptyRequest).ok();
+        assert_eq!(store.page_size(), config.page_size, "store page size must match the config");
+        assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "bulk_load requires sorted, duplicate-free input"
+        );
+        let page_size = config.page_size;
+        let segments = config.leaf_segments;
+        let leaf_cap = PioLeaf::capacity(segments, page_size);
+        let per_leaf = ((leaf_cap as f64 * config.fill_factor).floor() as usize).max(1);
+        let mut lsmap = LsMap::new();
+
+        // --- Leaf level -----------------------------------------------------------
+        let mut level: Vec<(Key, PageId)> = Vec::new();
+        let mut region_writes: Vec<(PageId, Vec<u8>)> = Vec::new();
+        let chunks: Vec<&[(Key, Value)]> = if entries.is_empty() {
+            vec![&[][..]]
+        } else {
+            entries.chunks(per_leaf).collect()
+        };
+        for chunk in chunks {
+            let first = store.allocate_contiguous(segments as u64);
+            let leaf = PioLeaf::from_sorted(segments, chunk);
+            lsmap.set(first, leaf.last_segment(page_size));
+            level.push((chunk.first().map(|&(k, _)| k).unwrap_or(0), first));
+            region_writes.push((first, leaf.encode(page_size)));
+            if region_writes.len() >= 64 {
+                let refs: Vec<(PageId, &[u8])> = region_writes.iter().map(|(p, d)| (*p, d.as_slice())).collect();
+                store.write_regions(&refs)?;
+                region_writes.clear();
+            }
+        }
+        if !region_writes.is_empty() {
+            let refs: Vec<(PageId, &[u8])> = region_writes.iter().map(|(p, d)| (*p, d.as_slice())).collect();
+            store.write_regions(&refs)?;
+        }
+
+        // --- Internal levels --------------------------------------------------------
+        let internal_cap = ((InternalNode::max_children(page_size) as f64 * config.fill_factor).floor() as usize).max(2);
+        let mut height = 1usize;
+        loop {
+            let force_root = height == 1; // always create at least one internal level
+            if level.len() == 1 && !force_root {
+                break;
+            }
+            height += 1;
+            let mut next_level = Vec::new();
+            let mut writes: Vec<(PageId, Vec<u8>)> = Vec::new();
+            for chunk in level.chunks(internal_cap) {
+                let page = store.allocate();
+                let node = InternalNode {
+                    keys: chunk.iter().skip(1).map(|&(k, _)| k).collect(),
+                    children: chunk.iter().map(|&(_, p)| p).collect(),
+                };
+                next_level.push((chunk[0].0, page));
+                writes.push((page, Node::Internal(node).encode(page_size)));
+            }
+            let refs: Vec<(PageId, &[u8])> = writes.iter().map(|(p, d)| (*p, d.as_slice())).collect();
+            store.write_pages(&refs)?;
+            level = next_level;
+            if level.len() == 1 {
+                break;
+            }
+        }
+
+        let root = level[0].1;
+        Ok(Self {
+            store,
+            opq: OperationQueue::new(config.opq_pages, config.page_size, config.speriod),
+            lsmap,
+            root,
+            height,
+            stats: PioStats::default(),
+            wal: None,
+            next_flush_id: 1,
+            next_tx: 1,
+            config,
+        })
+    }
+
+    /// Attaches a write-ahead log (enables crash recovery).
+    pub fn attach_wal(&mut self, wal: Wal) {
+        self.wal = Some(wal);
+    }
+
+    // ------------------------------------------------------------------ accessors --
+
+    /// The tree's configuration.
+    pub fn config(&self) -> &PioConfig {
+        &self.config
+    }
+
+    /// The cached store the tree performs I/O through.
+    pub fn store(&self) -> &Arc<CachedStore> {
+        &self.store
+    }
+
+    /// Tree height in levels, including the leaf level (always ≥ 2).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of internal levels (height − 1).
+    fn internal_levels(&self) -> usize {
+        self.height - 1
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> PioStats {
+        self.stats
+    }
+
+    /// Number of operations currently buffered in the OPQ.
+    pub fn opq_len(&self) -> usize {
+        self.opq.len()
+    }
+
+    /// Simulated (or wall-clock) I/O time consumed by index I/O, in µs.
+    pub fn io_elapsed_us(&self) -> f64 {
+        self.store.io_elapsed_us()
+    }
+
+    /// Approximate main-memory footprint of the LSMap in bytes.
+    pub fn lsmap_bytes(&self) -> usize {
+        self.lsmap.memory_bytes()
+    }
+
+    /// Counts the live entries by scanning the whole key space (exact but expensive;
+    /// meant for tests and examples).
+    pub fn count_entries(&mut self) -> IoResult<u64> {
+        Ok(self.range_search(0, Key::MAX)?.len() as u64)
+    }
+
+    // ----------------------------------------------------------------- operations --
+
+    /// Point search. Consults the OPQ first (Section 3.3), then descends the internal
+    /// levels and reads the leaf region.
+    pub fn search(&mut self, key: Key) -> IoResult<Option<Value>> {
+        self.stats.searches += 1;
+        if let Some(verdict) = self.opq.lookup(key) {
+            return Ok(verdict);
+        }
+        let mut page = self.root;
+        for _ in 0..self.internal_levels() {
+            let node = Node::decode(&self.store.read_page(page)?).expect_internal();
+            page = node.children[node.child_for(key)];
+        }
+        let image = self.store.read_region(page, self.config.leaf_segments as u64)?;
+        let leaf = PioLeaf::decode(&image, self.config.leaf_segments, self.config.page_size);
+        Ok(leaf.lookup(key).unwrap_or(None))
+    }
+
+    /// MPSearch: searches every key in `keys` at once, fetching internal nodes and
+    /// leaf regions level by level with psync calls bounded by `PioMax`. Results are
+    /// returned in the order of `keys`.
+    pub fn multi_search(&mut self, keys: &[Key]) -> IoResult<Vec<Option<Value>>> {
+        self.stats.multi_searches += 1;
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Sort the requests, remembering the original positions.
+        let mut order: Vec<usize> = (0..keys.len()).collect();
+        order.sort_by_key(|&i| keys[i]);
+        let sorted_keys: Vec<Key> = order.iter().map(|&i| keys[i]).collect();
+        let locs = locate_leaves(&self.store, self.root, self.internal_levels(), &sorted_keys, self.config.pio_max)?;
+
+        let mut results = vec![None; keys.len()];
+        let l = self.config.leaf_segments as u64;
+        // Fetch leaf regions in PioMax-sized psync batches, deduplicating repeats.
+        for (group_idx, (group_keys, group_locs)) in sorted_keys
+            .chunks(self.config.pio_max)
+            .zip(locs.chunks(self.config.pio_max))
+            .enumerate()
+        {
+            let mut regions: Vec<(PageId, u64)> = Vec::new();
+            for loc in group_locs {
+                if regions.last().map(|&(p, _)| p) != Some(loc.leaf) {
+                    regions.push((loc.leaf, l));
+                }
+            }
+            let images = self.store.read_regions(&regions)?;
+            let leaves: Vec<PioLeaf> = images
+                .iter()
+                .map(|img| PioLeaf::decode(img, self.config.leaf_segments, self.config.page_size))
+                .collect();
+            for (pos_in_group, loc) in group_locs.iter().enumerate() {
+                let leaf_idx = regions.iter().position(|&(p, _)| p == loc.leaf).expect("region fetched");
+                let key = group_keys[pos_in_group];
+                // Map back from the sorted position to the caller's position.
+                let original_idx = order[group_idx * self.config.pio_max + pos_in_group];
+                let verdict = self
+                    .opq
+                    .lookup(key)
+                    .or_else(|| leaves[leaf_idx].lookup(key))
+                    .unwrap_or(None);
+                results[original_idx] = verdict;
+            }
+        }
+        Ok(results)
+    }
+
+    /// prange search (Section 3.1.2): reads all internal nodes and leaf regions that
+    /// intersect `[lo, hi)` level by level via psync I/O and returns the live entries
+    /// in the range, sorted by key.
+    pub fn range_search(&mut self, lo: Key, hi: Key) -> IoResult<Vec<(Key, Value)>> {
+        self.stats.range_searches += 1;
+        if lo >= hi {
+            return Ok(Vec::new());
+        }
+        let leaves = locate_leaves_in_range(&self.store, self.root, self.internal_levels(), lo, hi, self.config.pio_max)?;
+        let l = self.config.leaf_segments as u64;
+        let mut merged: BTreeMap<Key, Value> = BTreeMap::new();
+        for batch in leaves.chunks(self.config.pio_max) {
+            let regions: Vec<(PageId, u64)> = batch.iter().map(|&p| (p, l)).collect();
+            let images = self.store.read_regions(&regions)?;
+            for img in &images {
+                let leaf = PioLeaf::decode(img, self.config.leaf_segments, self.config.page_size);
+                for (k, v) in leaf.resolve() {
+                    if k >= lo && k < hi {
+                        merged.insert(k, v);
+                    }
+                }
+            }
+        }
+        // Overlay the queued (not yet flushed) operations.
+        for e in self.opq.entries_in_range(lo, hi) {
+            match e.op {
+                OpKind::Insert | OpKind::Update => {
+                    merged.insert(e.key, e.value);
+                }
+                OpKind::Delete => {
+                    merged.remove(&e.key);
+                }
+            }
+        }
+        Ok(merged.into_iter().collect())
+    }
+
+    /// Index-insert: appended to the OPQ; a full OPQ triggers one bupdate of `bcnt`
+    /// entries.
+    pub fn insert(&mut self, key: Key, value: Value) -> IoResult<()> {
+        self.stats.inserts += 1;
+        self.enqueue(OpEntry::insert(key, value))
+    }
+
+    /// Index-delete.
+    pub fn delete(&mut self, key: Key) -> IoResult<()> {
+        self.stats.deletes += 1;
+        self.enqueue(OpEntry::delete(key))
+    }
+
+    /// Index-update (replace the record pointer of `key`).
+    pub fn update(&mut self, key: Key, value: Value) -> IoResult<()> {
+        self.stats.updates += 1;
+        self.enqueue(OpEntry::update(key, value))
+    }
+
+    fn enqueue(&mut self, entry: OpEntry) -> IoResult<()> {
+        self.stats.opq_appends += 1;
+        if let Some(wal) = &self.wal {
+            let tx = self.next_tx;
+            self.next_tx += 1;
+            wal.append(&LogRecord::LogicalRedo { tx, entry }.encode());
+        }
+        if self.opq.append(entry) {
+            self.flush_once()?;
+        }
+        Ok(())
+    }
+
+    /// Runs one bupdate over at most `bcnt` OPQ entries (the paper's latency-bounding
+    /// mechanism). Does nothing if the OPQ is empty.
+    pub fn flush_once(&mut self) -> IoResult<()> {
+        let batch = self.opq.take_batch(self.config.bcnt);
+        self.bupdate(batch)
+    }
+
+    /// Flushes the entire OPQ (checkpoint / shutdown), then writes a checkpoint record
+    /// if a WAL is attached.
+    pub fn checkpoint(&mut self) -> IoResult<()> {
+        while !self.opq.is_empty() {
+            let batch = self.opq.take_batch(self.config.bcnt);
+            self.bupdate(batch)?;
+        }
+        if let Some(wal) = &self.wal {
+            wal.append(&LogRecord::Checkpoint.encode());
+            wal.force()?;
+        }
+        Ok(())
+    }
+
+    // -------------------------------------------------------------------- bupdate --
+
+    /// Batch update (Algorithm 2 + the modified updateNode of Algorithm 3): apply a
+    /// key-sorted batch of OPQ entries to the tree using psync I/O at every level.
+    fn bupdate(&mut self, ops: Vec<OpEntry>) -> IoResult<()> {
+        if ops.is_empty() {
+            return Ok(());
+        }
+        self.stats.bupdates += 1;
+        debug_assert!(ops.windows(2).all(|w| w[0].key <= w[1].key));
+
+        // WAL: the logical redo logs of these entries, then the flush-start event,
+        // must be durable before any node write (write-ahead rule, Section 3.4).
+        let flush_id = self.next_flush_id;
+        self.next_flush_id += 1;
+        if let Some(wal) = &self.wal {
+            wal.force()?;
+            wal.append(
+                &LogRecord::FlushStart {
+                    flush_id,
+                    key_lo: ops.first().expect("non-empty").key,
+                    key_hi: ops.last().expect("non-empty").key,
+                }
+                .encode(),
+            );
+            wal.force()?;
+        }
+
+        // 1. Locate the target leaf of every entry with an MPSearch-style descent.
+        let keys: Vec<Key> = ops.iter().map(|e| e.key).collect();
+        let locs = locate_leaves(&self.store, self.root, self.internal_levels(), &keys, self.config.pio_max)?;
+        let jobs = Self::group_jobs(&ops, &locs);
+
+        // 2. Apply the operations leaf by leaf, in PioMax-sized psync batches.
+        let mut fences: Vec<FenceInsert> = Vec::new();
+        for chunk in jobs.chunks(self.config.pio_max) {
+            self.apply_leaf_chunk(chunk, flush_id, &mut fences)?;
+        }
+
+        // 3. Propagate fence keys upward, level by level.
+        self.propagate_fences(fences, flush_id)?;
+
+        // WAL: flush completed.
+        if let Some(wal) = &self.wal {
+            wal.append(&LogRecord::FlushEnd { flush_id }.encode());
+            wal.force()?;
+        }
+        Ok(())
+    }
+
+    /// Groups key-sorted ops by their destination leaf, preserving op order.
+    fn group_jobs(ops: &[OpEntry], locs: &[LeafLocation]) -> Vec<LeafJob> {
+        let mut jobs: Vec<LeafJob> = Vec::new();
+        for (op, loc) in ops.iter().zip(locs) {
+            match jobs.last_mut() {
+                Some(j) if j.leaf == loc.leaf => j.ops.push(*op),
+                _ => jobs.push(LeafJob { leaf: loc.leaf, path: loc.path.clone(), ops: vec![*op] }),
+            }
+        }
+        jobs
+    }
+
+    /// Applies one PioMax-sized group of leaf jobs: the append path reads each leaf's
+    /// last segment and rewrites only the trailing segments; the full path reads the
+    /// whole region, shrinks, and splits if necessary.
+    fn apply_leaf_chunk(
+        &mut self,
+        chunk: &[LeafJob],
+        flush_id: u64,
+        fences: &mut Vec<FenceInsert>,
+    ) -> IoResult<()> {
+        let page_size = self.config.page_size;
+        let segments = self.config.leaf_segments;
+        let seg_cap = PioLeaf::segment_capacity(page_size);
+        let leaf_cap = PioLeaf::capacity(segments, page_size);
+
+        // Phase A: read the last Leaf Segment of every target leaf in one psync call.
+        let last_ls: Vec<u32> = chunk.iter().map(|j| self.lsmap.get(j.leaf).unwrap_or(0)).collect();
+        let ls_pages: Vec<PageId> = chunk
+            .iter()
+            .zip(&last_ls)
+            .map(|(j, &ls)| j.leaf + ls as u64)
+            .collect();
+        let ls_images = self.store.read_pages(&ls_pages)?;
+
+        let mut page_writes: Vec<(PageId, Vec<u8>)> = Vec::new();
+        let mut full_path: Vec<usize> = Vec::new();
+
+        for (i, job) in chunk.iter().enumerate() {
+            let known = self.lsmap.get(job.leaf).is_some() && PioLeaf::is_segment(&ls_images[i]);
+            if !known {
+                full_path.push(i);
+                continue;
+            }
+            let existing = PioLeaf::decode_segment(&ls_images[i]);
+            let total_before = last_ls[i] as usize * seg_cap + existing.len();
+            if total_before + job.ops.len() > leaf_cap {
+                full_path.push(i);
+                continue;
+            }
+            // Append path: only the trailing segment(s) are rewritten.
+            self.stats.leaf_appends += 1;
+            let mut tail_records = existing;
+            tail_records.extend(job.ops.iter().copied());
+            let mut seg = last_ls[i] as usize;
+            let mut idx = 0usize;
+            while idx < tail_records.len() {
+                let end = (idx + seg_cap).min(tail_records.len());
+                let mut page = vec![0u8; page_size];
+                PioLeaf::encode_segment_into(&tail_records[idx..end], &mut page);
+                if let Some(wal) = &self.wal {
+                    let preimage = if seg == last_ls[i] as usize {
+                        ls_images[i].clone()
+                    } else {
+                        vec![0u8; page_size]
+                    };
+                    wal.append(
+                        &LogRecord::FlushUndo { flush_id, page: job.leaf + seg as u64, preimage }.encode(),
+                    );
+                }
+                page_writes.push((job.leaf + seg as u64, page));
+                idx = end;
+                seg += 1;
+            }
+            self.lsmap.set(job.leaf, (seg - 1) as u32);
+        }
+
+        // Phase B: full path — whole-region reads, shrink, possible splits.
+        let mut region_writes: Vec<(PageId, Vec<u8>)> = Vec::new();
+        if !full_path.is_empty() {
+            let regions: Vec<(PageId, u64)> = full_path.iter().map(|&i| (chunk[i].leaf, segments as u64)).collect();
+            let images = self.store.read_regions(&regions)?;
+            for (&i, image) in full_path.iter().zip(&images) {
+                let job = &chunk[i];
+                if let Some(wal) = &self.wal {
+                    // One undo record per page of the region.
+                    for (p, pre) in image.chunks(page_size).enumerate() {
+                        wal.append(
+                            &LogRecord::FlushUndo { flush_id, page: job.leaf + p as u64, preimage: pre.to_vec() }
+                                .encode(),
+                        );
+                    }
+                }
+                self.stats.leaf_rewrites += 1;
+                let mut leaf = PioLeaf::decode(image, segments, page_size);
+                leaf.append(&job.ops);
+                self.stats.shrinks += 1;
+                leaf.shrink();
+                if leaf.len() <= leaf_cap {
+                    self.lsmap.set(job.leaf, leaf.last_segment(page_size));
+                    region_writes.push((job.leaf, leaf.encode(page_size)));
+                    continue;
+                }
+                // Still full after shrinking: split until every part fits.
+                let mut parts = vec![leaf];
+                while parts.iter().any(|p| p.len() > leaf_cap) {
+                    let mut next = Vec::with_capacity(parts.len() + 1);
+                    for mut p in parts {
+                        if p.len() > leaf_cap {
+                            let (_, right) = p.split();
+                            next.push(p);
+                            next.push(right);
+                        } else {
+                            next.push(p);
+                        }
+                    }
+                    parts = next;
+                }
+                self.stats.leaf_splits += (parts.len() - 1) as u64;
+                for (pi, part) in parts.iter().enumerate() {
+                    let target = if pi == 0 {
+                        job.leaf
+                    } else {
+                        self.store.allocate_contiguous(segments as u64)
+                    };
+                    self.lsmap.set(target, part.last_segment(page_size));
+                    region_writes.push((target, part.encode(page_size)));
+                    if pi > 0 {
+                        fences.push(FenceInsert {
+                            path: job.path.clone(),
+                            key: part.records.first().expect("non-empty split part").key,
+                            new_child: target,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Phase C: write everything back — one psync call for the segment pages, one
+        // for the rewritten regions (reads never mix with writes).
+        if let Some(wal) = &self.wal {
+            wal.force()?;
+        }
+        if !page_writes.is_empty() {
+            let refs: Vec<(PageId, &[u8])> = page_writes.iter().map(|(p, d)| (*p, d.as_slice())).collect();
+            self.store.write_pages(&refs)?;
+        }
+        if !region_writes.is_empty() {
+            let refs: Vec<(PageId, &[u8])> = region_writes.iter().map(|(p, d)| (*p, d.as_slice())).collect();
+            self.store.write_regions(&refs)?;
+        }
+        Ok(())
+    }
+
+    /// Inserts the fence keys produced by leaf splits into their parents, splitting
+    /// internal nodes (and ultimately the root) as needed. Each level's modified
+    /// nodes are written with one psync call.
+    fn propagate_fences(&mut self, mut pending: Vec<FenceInsert>, flush_id: u64) -> IoResult<()> {
+        let page_size = self.config.page_size;
+        let internal_cap = InternalNode::max_children(page_size);
+        while !pending.is_empty() {
+            // Fences whose parent path is empty mean the root split: build a new root.
+            let (rootless, rest): (Vec<FenceInsert>, Vec<FenceInsert>) =
+                pending.into_iter().partition(|f| f.path.is_empty());
+            if !rootless.is_empty() {
+                let mut adds: Vec<(Key, PageId)> = rootless.iter().map(|f| (f.key, f.new_child)).collect();
+                adds.sort_by_key(|&(k, _)| k);
+                let new_root_page = self.store.allocate();
+                let node = InternalNode {
+                    keys: adds.iter().map(|&(k, _)| k).collect(),
+                    children: std::iter::once(self.root).chain(adds.iter().map(|&(_, p)| p)).collect(),
+                };
+                assert!(node.children.len() <= internal_cap, "root fan-in exceeded in one flush");
+                self.store.write_page(new_root_page, &Node::Internal(node).encode(page_size))?;
+                self.root = new_root_page;
+                self.height += 1;
+                self.stats.height_growths += 1;
+            }
+            if rest.is_empty() {
+                break;
+            }
+
+            // Group the remaining fences by the parent node they must be applied to.
+            let mut groups: Vec<(PageId, Vec<FenceInsert>)> = Vec::new();
+            for f in rest {
+                let parent = f.path.last().expect("non-empty path").0;
+                match groups.iter_mut().find(|(p, _)| *p == parent) {
+                    Some((_, v)) => v.push(f),
+                    None => groups.push((parent, vec![f])),
+                }
+            }
+            let parent_pages: Vec<PageId> = groups.iter().map(|&(p, _)| p).collect();
+            let images = self.store.read_pages(&parent_pages)?;
+            let mut writes: Vec<(PageId, Vec<u8>)> = Vec::new();
+            let mut next_pending: Vec<FenceInsert> = Vec::new();
+
+            for ((parent_page, fences), image) in groups.into_iter().zip(images) {
+                if let Some(wal) = &self.wal {
+                    wal.append(&LogRecord::FlushUndo { flush_id, page: parent_page, preimage: image.clone() }.encode());
+                }
+                let mut node = Node::decode(&image).expect_internal();
+                let grandparent_path: Vec<(PageId, usize)> = {
+                    let mut p = fences[0].path.clone();
+                    p.pop();
+                    p
+                };
+                for f in &fences {
+                    let idx = node.keys.partition_point(|&k| k < f.key);
+                    node.keys.insert(idx, f.key);
+                    node.children.insert(idx + 1, f.new_child);
+                }
+                while node.children.len() > internal_cap {
+                    self.stats.internal_splits += 1;
+                    let mid = node.keys.len() / 2;
+                    let promote = node.keys[mid];
+                    let right_keys = node.keys.split_off(mid + 1);
+                    node.keys.pop();
+                    let right_children = node.children.split_off(mid + 1);
+                    let right_page = self.store.allocate();
+                    let right = InternalNode { keys: right_keys, children: right_children };
+                    writes.push((right_page, Node::Internal(right).encode(page_size)));
+                    next_pending.push(FenceInsert { path: grandparent_path.clone(), key: promote, new_child: right_page });
+                }
+                writes.push((parent_page, Node::Internal(node).encode(page_size)));
+            }
+            if let Some(wal) = &self.wal {
+                wal.force()?;
+            }
+            let refs: Vec<(PageId, &[u8])> = writes.iter().map(|(p, d)| (*p, d.as_slice())).collect();
+            self.store.write_pages(&refs)?;
+            pending = next_pending;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------- recovery --
+
+    /// Simulates a crash: the volatile OPQ and buffer pool are lost, as are any WAL
+    /// records that were never forced. Returns the number of OPQ entries lost.
+    pub fn simulate_crash(&mut self) -> usize {
+        let lost = self.opq.len();
+        self.opq.clear();
+        self.store.drop_cache();
+        if let Some(wal) = &self.wal {
+            wal.simulate_crash();
+        }
+        lost
+    }
+
+    /// ARIES-style restart recovery (Section 3.4): undo any incomplete flush from its
+    /// undo records, then re-apply (re-append to the OPQ) every logical redo record
+    /// not covered by a completed flush.
+    pub fn recover(&mut self) -> IoResult<RecoveryReport> {
+        let Some(wal) = &self.wal else {
+            return Ok(RecoveryReport::default());
+        };
+        let mut report = RecoveryReport::default();
+        let records = wal.read_all()?;
+
+        // Analysis: collect flush outcomes.
+        #[derive(Debug)]
+        struct FlushInfo {
+            start_lsn: u64,
+            key_lo: Key,
+            key_hi: Key,
+            complete: bool,
+            undo: Vec<(PageId, Vec<u8>)>,
+        }
+        let mut flushes: Vec<(u64, FlushInfo)> = Vec::new();
+        let mut logical: Vec<(u64, OpEntry)> = Vec::new();
+        for rec in &records {
+            match LogRecord::decode(&rec.payload) {
+                Some(LogRecord::LogicalRedo { entry, .. }) => logical.push((rec.lsn, entry)),
+                Some(LogRecord::FlushStart { flush_id, key_lo, key_hi }) => flushes.push((
+                    flush_id,
+                    FlushInfo { start_lsn: rec.lsn, key_lo, key_hi, complete: false, undo: Vec::new() },
+                )),
+                Some(LogRecord::FlushEnd { flush_id }) => {
+                    if let Some((_, info)) = flushes.iter_mut().find(|(id, _)| *id == flush_id) {
+                        info.complete = true;
+                    }
+                }
+                Some(LogRecord::FlushUndo { flush_id, page, preimage }) => {
+                    if let Some((_, info)) = flushes.iter_mut().find(|(id, _)| *id == flush_id) {
+                        info.undo.push((page, preimage));
+                    }
+                }
+                Some(LogRecord::Checkpoint) | None => {}
+            }
+        }
+
+        // Undo phase: roll back the (at most one) incomplete flush by restoring the
+        // pre-images of every page it touched.
+        for (_, info) in flushes.iter().filter(|(_, i)| !i.complete) {
+            report.incomplete_flushes += 1;
+            let writes: Vec<(PageId, &[u8])> = info.undo.iter().map(|(p, d)| (*p, d.as_slice())).collect();
+            for chunk in writes.chunks(self.config.pio_max) {
+                self.store.write_pages(chunk)?;
+            }
+            report.undone_pages += writes.len();
+        }
+
+        // Redo phase: re-append every logical record not covered by a completed flush.
+        for (lsn, entry) in logical {
+            let covered = flushes.iter().any(|(_, f)| {
+                f.complete && f.start_lsn > lsn && entry.key >= f.key_lo && entry.key <= f.key_hi
+            });
+            if covered {
+                report.skipped_flushed += 1;
+            } else {
+                report.redone += 1;
+                self.opq.append(entry);
+            }
+        }
+        Ok(report)
+    }
+
+    // ----------------------------------------------------------------- validation --
+
+    /// Verifies structural invariants (internal-node sortedness, separator bounds,
+    /// leaf key ranges, LSMap consistency) and returns the number of live entries.
+    /// Queued OPQ entries are not considered. Intended for tests.
+    pub fn check_invariants(&self) -> IoResult<u64> {
+        fn visit(
+            tree: &PioBTree,
+            page: PageId,
+            level: usize,
+            lo: Option<Key>,
+            hi: Option<Key>,
+        ) -> IoResult<u64> {
+            if level == tree.internal_levels() {
+                // Leaf region.
+                let image = tree.store.read_region(page, tree.config.leaf_segments as u64)?;
+                let leaf = PioLeaf::decode(&image, tree.config.leaf_segments, tree.config.page_size);
+                for rec in &leaf.records {
+                    if let Some(lo) = lo {
+                        assert!(rec.key >= lo, "leaf record {} below bound {lo}", rec.key);
+                    }
+                    if let Some(hi) = hi {
+                        assert!(rec.key < hi, "leaf record {} above bound {hi}", rec.key);
+                    }
+                }
+                if let Some(cached) = tree.lsmap.get(page) {
+                    assert_eq!(cached, leaf.last_segment(tree.config.page_size), "LSMap out of date for leaf {page}");
+                }
+                return Ok(leaf.resolve().len() as u64);
+            }
+            let node = Node::decode(&tree.store.read_page(page)?).expect_internal();
+            assert_eq!(node.children.len(), node.keys.len() + 1, "internal arity");
+            assert!(node.keys.windows(2).all(|w| w[0] < w[1]), "internal keys sorted");
+            let mut total = 0;
+            for (i, &child) in node.children.iter().enumerate() {
+                let child_lo = if i == 0 { lo } else { Some(node.keys[i - 1]) };
+                let child_hi = if i == node.keys.len() { hi } else { Some(node.keys[i]) };
+                total += visit(tree, child, level + 1, child_lo, child_hi)?;
+            }
+            Ok(total)
+        }
+        visit(self, self.root, 0, None, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> PioConfig {
+        PioConfig::builder()
+            .page_size(2048)
+            .leaf_segments(2)
+            .opq_pages(1)
+            .pio_max(16)
+            .speriod(50)
+            .bcnt(100)
+            .pool_pages(128)
+            .build()
+    }
+
+    fn tree_with(config: PioConfig) -> PioBTree {
+        PioBTree::create(DeviceProfile::F120, 1 << 30, config).unwrap()
+    }
+
+    #[test]
+    fn empty_tree_has_an_internal_root() {
+        let mut t = tree_with(small_config());
+        assert_eq!(t.height(), 2);
+        assert_eq!(t.search(5).unwrap(), None);
+        assert_eq!(t.count_entries().unwrap(), 0);
+    }
+
+    #[test]
+    fn insert_search_before_and_after_flush() {
+        let mut t = tree_with(small_config());
+        for k in 0..50u64 {
+            t.insert(k, k * 2).unwrap();
+        }
+        // Still (partly) in the OPQ.
+        assert_eq!(t.search(10).unwrap(), Some(20));
+        t.checkpoint().unwrap();
+        assert_eq!(t.opq_len(), 0);
+        assert_eq!(t.search(10).unwrap(), Some(20));
+        assert_eq!(t.search(49).unwrap(), Some(98));
+        assert_eq!(t.search(50).unwrap(), None);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn deletes_and_updates_are_visible_through_the_opq_and_after_flush() {
+        let mut t = tree_with(small_config());
+        for k in 0..100u64 {
+            t.insert(k, k).unwrap();
+        }
+        t.checkpoint().unwrap();
+        t.delete(10).unwrap();
+        t.update(20, 999).unwrap();
+        // Visible while still queued.
+        assert_eq!(t.search(10).unwrap(), None);
+        assert_eq!(t.search(20).unwrap(), Some(999));
+        t.checkpoint().unwrap();
+        assert_eq!(t.search(10).unwrap(), None);
+        assert_eq!(t.search(20).unwrap(), Some(999));
+    }
+
+    #[test]
+    fn many_inserts_split_leaves_and_grow_the_tree() {
+        let mut t = tree_with(small_config());
+        let n = 40_000u64;
+        for k in 0..n {
+            let key = (k * 2_654_435_761) % 1_000_003;
+            t.insert(key, key).unwrap();
+        }
+        t.checkpoint().unwrap();
+        assert!(t.stats().leaf_splits > 0, "splits must have happened");
+        assert!(t.height() >= 3, "tree must have grown");
+        t.check_invariants().unwrap();
+        for k in (0..n).step_by(373) {
+            let key = (k * 2_654_435_761) % 1_000_003;
+            assert_eq!(t.search(key).unwrap(), Some(key), "key {key}");
+        }
+    }
+
+    #[test]
+    fn matches_a_model_under_a_mixed_workload() {
+        let mut t = tree_with(small_config());
+        let mut model: std::collections::BTreeMap<Key, Value> = std::collections::BTreeMap::new();
+        let mut x: u64 = 0x12345678;
+        let mut rand = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..5_000 {
+            let key = rand() % 2_000;
+            match rand() % 10 {
+                0..=5 => {
+                    let v = rand();
+                    t.insert(key, v).unwrap();
+                    model.insert(key, v);
+                }
+                6..=7 => {
+                    t.delete(key).unwrap();
+                    model.remove(&key);
+                }
+                _ => {
+                    let v = rand();
+                    t.update(key, v).unwrap();
+                    model.insert(key, v);
+                }
+            }
+        }
+        // Spot-check while part of the workload is still queued.
+        for key in (0..2_000u64).step_by(37) {
+            assert_eq!(t.search(key).unwrap(), model.get(&key).copied(), "queued state, key {key}");
+        }
+        t.checkpoint().unwrap();
+        for key in 0..2_000u64 {
+            assert_eq!(t.search(key).unwrap(), model.get(&key).copied(), "flushed state, key {key}");
+        }
+        let all = t.range_search(0, u64::MAX).unwrap();
+        assert_eq!(all.len(), model.len());
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn multi_search_agrees_with_point_search() {
+        let mut t = tree_with(small_config());
+        for k in 0..5_000u64 {
+            t.insert(k * 3, k).unwrap();
+        }
+        t.checkpoint().unwrap();
+        let keys: Vec<Key> = (0..200u64).map(|i| i * 77 % 15_000).collect();
+        let batch = t.multi_search(&keys).unwrap();
+        for (k, r) in keys.iter().zip(&batch) {
+            assert_eq!(*r, t.search(*k).unwrap(), "key {k}");
+        }
+    }
+
+    #[test]
+    fn range_search_includes_queued_operations() {
+        let mut t = tree_with(small_config());
+        for k in 0..1_000u64 {
+            t.insert(k, k).unwrap();
+        }
+        t.checkpoint().unwrap();
+        t.delete(500).unwrap();
+        t.insert(1_500, 42).unwrap(); // queued, outside the flushed key space
+        let r = t.range_search(490, 510).unwrap();
+        assert_eq!(r.len(), 19, "500 must be missing");
+        assert!(!r.iter().any(|&(k, _)| k == 500));
+        let r = t.range_search(1_400, 1_600).unwrap();
+        assert_eq!(r, vec![(1_500, 42)]);
+    }
+
+    #[test]
+    fn prange_uses_fewer_psync_batches_than_leaf_count() {
+        let mut t = tree_with(small_config());
+        for k in 0..30_000u64 {
+            t.insert(k, k).unwrap();
+        }
+        t.checkpoint().unwrap();
+        t.store().drop_cache();
+        let before = t.store().store().stats().read_batches;
+        let out = t.range_search(0, 20_000).unwrap();
+        assert_eq!(out.len(), 20_000);
+        let batches = t.store().store().stats().read_batches - before;
+        let leaves_touched = 20_000 / PioLeaf::capacity(2, 2048) as u64 + 2;
+        assert!(
+            batches < leaves_touched,
+            "prange must batch leaf reads: {batches} batches for ~{leaves_touched} leaves"
+        );
+    }
+
+    #[test]
+    fn bupdate_appends_use_the_append_path_for_small_batches() {
+        let mut t = tree_with(small_config());
+        for k in 0..10_000u64 {
+            t.insert(k, k).unwrap();
+        }
+        t.checkpoint().unwrap();
+        let before = t.stats();
+        // A scattered trickle of updates: every leaf receives few records, so the
+        // append path should dominate.
+        for k in (0..10_000u64).step_by(400) {
+            t.update(k, k + 1).unwrap();
+        }
+        t.checkpoint().unwrap();
+        let after = t.stats();
+        assert!(after.leaf_appends > before.leaf_appends);
+        assert_eq!(t.search(400).unwrap(), Some(401));
+    }
+
+    #[test]
+    fn crash_without_wal_loses_queued_operations() {
+        let mut t = tree_with(small_config());
+        for k in 0..50u64 {
+            t.insert(k, k).unwrap();
+        }
+        t.checkpoint().unwrap();
+        t.insert(1_000, 1).unwrap();
+        let lost = t.simulate_crash();
+        assert!(lost >= 1);
+        assert_eq!(t.search(1_000).unwrap(), None, "unlogged queued insert is gone");
+        assert_eq!(t.search(10).unwrap(), Some(10), "flushed data survives");
+    }
+
+    #[test]
+    fn wal_recovery_replays_lost_operations() {
+        let config = PioConfig { wal_enabled: true, ..small_config() };
+        let mut t = tree_with(config);
+        for k in 0..200u64 {
+            t.insert(k, k).unwrap();
+        }
+        t.checkpoint().unwrap();
+        // These stay in the OPQ (bcnt 100 > 3, no flush trigger) but their logical
+        // redo records reach the WAL on the next force; force happens inside
+        // checkpoint/flush, so call flush-once explicitly after logging.
+        t.insert(500, 5).unwrap();
+        t.delete(10).unwrap();
+        t.update(20, 99).unwrap();
+        // Force the redo records (normally done by the transaction commit).
+        if let Some(wal) = &t.wal {
+            wal.force().unwrap();
+        }
+        let lost = t.simulate_crash();
+        assert_eq!(lost, 3);
+        assert_eq!(t.search(500).unwrap(), None, "lost before recovery");
+        let report = t.recover().unwrap();
+        assert_eq!(report.redone, 3);
+        assert!(report.skipped_flushed > 0, "flushed prefix must be skipped");
+        assert_eq!(t.search(500).unwrap(), Some(5));
+        assert_eq!(t.search(10).unwrap(), None);
+        assert_eq!(t.search(20).unwrap(), Some(99));
+        // Flushing the recovered queue must leave a consistent tree.
+        t.checkpoint().unwrap();
+        assert_eq!(t.search(500).unwrap(), Some(5));
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn stats_track_operations() {
+        let mut t = tree_with(small_config());
+        t.insert(1, 1).unwrap();
+        t.delete(1).unwrap();
+        t.update(1, 2).unwrap();
+        t.search(1).unwrap();
+        t.range_search(0, 10).unwrap();
+        t.multi_search(&[1, 2]).unwrap();
+        let s = t.stats();
+        assert_eq!(s.inserts, 1);
+        assert_eq!(s.deletes, 1);
+        assert_eq!(s.updates, 1);
+        assert_eq!(s.searches, 1);
+        assert_eq!(s.range_searches, 1);
+        assert_eq!(s.multi_searches, 1);
+        assert_eq!(s.opq_appends, 3);
+    }
+
+    #[test]
+    fn bulk_load_and_point_lookup() {
+        let io = Arc::new(SimPsyncIo::with_profile(DeviceProfile::P300, 1 << 30));
+        let config = small_config();
+        let store = Arc::new(CachedStore::new(
+            PageStore::new(io, config.page_size),
+            config.pool_pages,
+            WritePolicy::WriteThrough,
+        ));
+        let entries: Vec<(Key, Value)> = (0..50_000u64).map(|k| (k * 2, k)).collect();
+        let mut t = PioBTree::bulk_load(store, &entries, config).unwrap();
+        assert!(t.height() >= 3);
+        assert_eq!(t.search(20_000).unwrap(), Some(10_000));
+        assert_eq!(t.search(20_001).unwrap(), None);
+        t.check_invariants().unwrap();
+    }
+}

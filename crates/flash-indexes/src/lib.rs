@@ -1,0 +1,29 @@
+//! # flash-indexes — the flash-aware baselines of the paper's evaluation
+//!
+//! Figure 12 compares the PIO B-tree against two earlier flash-aware indexes:
+//!
+//! * **BFTL** (Wu, Kuo, Chang — *An efficient B-tree layer implementation for
+//!   flash-memory storage systems*): index records ("index units") are buffered and
+//!   appended to log pages shared by many nodes; an in-memory node translation table
+//!   maps every B-tree node to the list of log pages holding its units, so a node
+//!   read costs several page reads while writes are batched and cheap. The paper
+//!   notes that BFTL's mapping table consumes the entire memory budget, leaving no
+//!   room for a buffer pool.
+//! * **FD-tree** (Li, He, Yang, Luo, Yi — *Tree indexing on solid state drives*): an
+//!   in-memory head tree plus a cascade of sorted runs on flash with a fixed size
+//!   ratio between adjacent levels; inserts go to the head and ripple down through
+//!   sequential merges, searches probe one page per level via fence pointers.
+//!
+//! Both implementations here are clean-room simplifications that preserve the cost
+//! structure the comparison depends on (see `DESIGN.md`), driven by the same
+//! [`storage::CachedStore`] substrate as the other trees and therefore measured in
+//! the same simulated time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bftl;
+pub mod fdtree;
+
+pub use bftl::{Bftl, BftlConfig, BftlStats};
+pub use fdtree::{FdTree, FdTreeConfig, FdTreeStats};

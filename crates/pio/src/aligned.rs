@@ -1,0 +1,168 @@
+//! Aligned heap buffers for direct-I/O style transfers.
+//!
+//! Direct I/O (`O_DIRECT`), which the paper uses for all its device benchmarks,
+//! requires user buffers to be aligned to the logical block size of the device
+//! (typically 512 bytes or 4 KiB). Rust's `Vec<u8>` only guarantees 1-byte alignment,
+//! so this module provides [`AlignedBuf`]: a heap allocation with caller-chosen
+//! alignment. This is the only `unsafe` code in the repository.
+
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::ops::{Deref, DerefMut};
+
+/// A heap-allocated, zero-initialised byte buffer with a guaranteed alignment.
+///
+/// The buffer cannot be resized; it is intended for fixed-size page images.
+pub struct AlignedBuf {
+    ptr: *mut u8,
+    len: usize,
+    align: usize,
+}
+
+// SAFETY: the buffer owns its allocation exclusively; there is no interior sharing,
+// so moving it between threads (Send) or sharing immutable references (Sync) is safe.
+unsafe impl Send for AlignedBuf {}
+unsafe impl Sync for AlignedBuf {}
+
+impl AlignedBuf {
+    /// Allocates a zeroed buffer of `len` bytes aligned to `align` bytes.
+    ///
+    /// # Panics
+    /// Panics if `len` is zero, if `align` is not a power of two, or if the
+    /// allocation fails (mirrors the behaviour of `Vec`).
+    pub fn zeroed(len: usize, align: usize) -> Self {
+        assert!(len > 0, "AlignedBuf length must be non-zero");
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let layout = Layout::from_size_align(len, align).expect("valid layout");
+        // SAFETY: layout has non-zero size (asserted above) and a valid alignment.
+        let ptr = unsafe { alloc_zeroed(layout) };
+        if ptr.is_null() {
+            handle_alloc_error(layout);
+        }
+        Self { ptr, len, align }
+    }
+
+    /// Allocates an aligned buffer and copies `data` into it.
+    pub fn from_slice(data: &[u8], align: usize) -> Self {
+        let mut buf = Self::zeroed(data.len(), align);
+        buf.copy_from_slice(data);
+        buf
+    }
+
+    /// The buffer length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer is empty (never true: zero-length buffers are rejected).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The alignment the buffer was allocated with.
+    pub fn align(&self) -> usize {
+        self.align
+    }
+
+    /// The buffer contents as a shared slice.
+    pub fn as_slice(&self) -> &[u8] {
+        // SAFETY: ptr is valid for len bytes for the lifetime of self and is never
+        // aliased mutably while a shared borrow exists (enforced by &self).
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// The buffer contents as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        // SAFETY: as above, with exclusivity enforced by &mut self.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr, self.len) }
+    }
+}
+
+impl Drop for AlignedBuf {
+    fn drop(&mut self) {
+        let layout = Layout::from_size_align(self.len, self.align).expect("valid layout");
+        // SAFETY: ptr was allocated with exactly this layout in `zeroed`.
+        unsafe { dealloc(self.ptr, layout) };
+    }
+}
+
+impl Deref for AlignedBuf {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl DerefMut for AlignedBuf {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        self.as_mut_slice()
+    }
+}
+
+impl Clone for AlignedBuf {
+    fn clone(&self) -> Self {
+        Self::from_slice(self.as_slice(), self.align)
+    }
+}
+
+impl std::fmt::Debug for AlignedBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AlignedBuf")
+            .field("len", &self.len)
+            .field("align", &self.align)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_is_aligned_and_zeroed() {
+        for align in [512usize, 4096, 8192] {
+            let buf = AlignedBuf::zeroed(16 * 1024, align);
+            assert_eq!(buf.as_slice().as_ptr() as usize % align, 0);
+            assert!(buf.iter().all(|&b| b == 0));
+            assert_eq!(buf.len(), 16 * 1024);
+            assert_eq!(buf.align(), align);
+            assert!(!buf.is_empty());
+        }
+    }
+
+    #[test]
+    fn write_and_read_back() {
+        let mut buf = AlignedBuf::zeroed(4096, 4096);
+        buf[0] = 0xAB;
+        buf[4095] = 0xCD;
+        assert_eq!(buf[0], 0xAB);
+        assert_eq!(buf[4095], 0xCD);
+    }
+
+    #[test]
+    fn from_slice_copies_contents() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        let buf = AlignedBuf::from_slice(&data, 512);
+        assert_eq!(buf.as_slice(), data.as_slice());
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut a = AlignedBuf::from_slice(b"hello world!", 512);
+        let b = a.clone();
+        a[0] = b'X';
+        assert_eq!(&b[..5], b"hello");
+        assert_eq!(a[0], b'X');
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_length_rejected() {
+        let _ = AlignedBuf::zeroed(0, 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_alignment_rejected() {
+        let _ = AlignedBuf::zeroed(512, 3);
+    }
+}

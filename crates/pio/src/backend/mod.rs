@@ -1,0 +1,79 @@
+//! psync I/O backends.
+//!
+//! * [`psync`] — batch submission to the simulated SSD (the psync I/O of the paper).
+//! * [`sync`] — one request per submission (conventional synchronous I/O).
+//! * [`threaded`] — thread-per-I/O "parallel processing" emulation with the POSIX
+//!   shared-file write-ordering behaviour and context-switch accounting.
+//! * [`file`] — a real-file backend using positional reads/writes over a thread pool.
+
+pub mod file;
+pub mod psync;
+pub mod sync;
+pub mod threaded;
+
+use crate::error::IoResult;
+use crate::memdisk::MemDisk;
+use crate::request::{ReadRequest, WriteRequest};
+use crate::stats::{BatchStats, IoStats};
+use parking_lot::Mutex;
+use ssd_sim::{IoKind, SsdDevice, SsdRequest};
+
+/// Shared state of the simulator-backed backends: the timing device, the data plane
+/// and the cumulative statistics, each behind its own lock.
+#[derive(Debug)]
+pub(crate) struct SimShared {
+    pub(crate) device: Mutex<SsdDevice>,
+    pub(crate) disk: Mutex<MemDisk>,
+    pub(crate) stats: Mutex<IoStats>,
+}
+
+impl SimShared {
+    pub(crate) fn new(config: ssd_sim::SsdConfig, capacity_bytes: u64) -> Self {
+        Self {
+            device: Mutex::new(SsdDevice::new(config)),
+            disk: Mutex::new(MemDisk::new(capacity_bytes)),
+            stats: Mutex::new(IoStats::default()),
+        }
+    }
+
+    /// Performs the data-plane part of a read batch (byte copies from the mem disk).
+    pub(crate) fn copy_out(&self, reqs: &[ReadRequest]) -> IoResult<Vec<Vec<u8>>> {
+        let disk = self.disk.lock();
+        reqs.iter().map(|r| disk.read(r.offset, r.len)).collect()
+    }
+
+    /// Performs the data-plane part of a write batch.
+    pub(crate) fn copy_in(&self, reqs: &[WriteRequest<'_>]) -> IoResult<()> {
+        let mut disk = self.disk.lock();
+        for r in reqs {
+            disk.write(r.offset, r.data)?;
+        }
+        Ok(())
+    }
+
+    /// Converts read requests into simulator requests.
+    pub(crate) fn to_sim_reads(reqs: &[ReadRequest]) -> Vec<SsdRequest> {
+        reqs.iter()
+            .map(|r| SsdRequest::new(IoKind::Read, r.offset, r.len.max(1) as u64))
+            .collect()
+    }
+
+    /// Converts write requests into simulator requests.
+    pub(crate) fn to_sim_writes(reqs: &[WriteRequest<'_>]) -> Vec<SsdRequest> {
+        reqs.iter()
+            .map(|r| SsdRequest::new(IoKind::Write, r.offset, r.data.len().max(1) as u64))
+            .collect()
+    }
+
+    pub(crate) fn record(&self, reads: u64, writes: u64, batch: &BatchStats) {
+        self.stats.lock().absorb(reads, writes, batch);
+    }
+
+    pub(crate) fn stats(&self) -> IoStats {
+        *self.stats.lock()
+    }
+
+    pub(crate) fn reset_stats(&self) {
+        *self.stats.lock() = IoStats::default();
+    }
+}

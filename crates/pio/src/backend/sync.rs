@@ -1,0 +1,119 @@
+//! Conventional synchronous I/O: every request is a separate device submission.
+//!
+//! This is the I/O pattern of a textbook B+-tree (read a node, inspect it, read the
+//! next node). It deliberately cannot exploit channel-level parallelism and is the
+//! baseline against which psync I/O is compared throughout the paper.
+
+use super::SimShared;
+use crate::error::IoResult;
+use crate::request::{ReadRequest, WriteRequest};
+use crate::stats::{BatchStats, IoStats};
+use crate::ParallelIo;
+use ssd_sim::SsdConfig;
+
+/// Context switches charged per synchronous request (sleep + wake).
+const SWITCHES_PER_REQUEST: u64 = 2;
+
+/// Synchronous one-at-a-time I/O over the simulated SSD.
+#[derive(Debug)]
+pub struct SimSyncIo {
+    shared: SimShared,
+}
+
+impl SimSyncIo {
+    /// Creates a backend over a device built from `config`, with `capacity_bytes` of
+    /// addressable storage.
+    pub fn new(config: SsdConfig, capacity_bytes: u64) -> Self {
+        Self {
+            shared: SimShared::new(config, capacity_bytes),
+        }
+    }
+
+    /// Convenience constructor from a named device profile.
+    pub fn with_profile(profile: ssd_sim::DeviceProfile, capacity_bytes: u64) -> Self {
+        Self::new(profile.build(), capacity_bytes)
+    }
+
+    /// Simulated time accumulated by the underlying device (µs).
+    pub fn device_time_us(&self) -> f64 {
+        self.shared.device.lock().now_us()
+    }
+}
+
+impl ParallelIo for SimSyncIo {
+    fn psync_read(&self, reqs: &[ReadRequest]) -> IoResult<(Vec<Vec<u8>>, BatchStats)> {
+        if reqs.is_empty() {
+            return Ok((Vec::new(), BatchStats::default()));
+        }
+        let bufs = self.shared.copy_out(reqs)?;
+        let sim_reqs = SimShared::to_sim_reads(reqs);
+        // Even when handed a group, a synchronous caller issues them one at a time.
+        let result = self.shared.device.lock().submit_serial(&sim_reqs);
+        let batch = BatchStats {
+            requests: reqs.len(),
+            bytes: result.bytes,
+            elapsed_us: result.elapsed_us,
+            context_switches: SWITCHES_PER_REQUEST * reqs.len() as u64,
+        };
+        self.shared.record(reqs.len() as u64, 0, &batch);
+        Ok((bufs, batch))
+    }
+
+    fn psync_write(&self, reqs: &[WriteRequest<'_>]) -> IoResult<BatchStats> {
+        if reqs.is_empty() {
+            return Ok(BatchStats::default());
+        }
+        self.shared.copy_in(reqs)?;
+        let sim_reqs = SimShared::to_sim_writes(reqs);
+        let result = self.shared.device.lock().submit_serial(&sim_reqs);
+        let batch = BatchStats {
+            requests: reqs.len(),
+            bytes: result.bytes,
+            elapsed_us: result.elapsed_us,
+            context_switches: SWITCHES_PER_REQUEST * reqs.len() as u64,
+        };
+        self.shared.record(0, reqs.len() as u64, &batch);
+        Ok(batch)
+    }
+
+    fn stats(&self) -> IoStats {
+        self.shared.stats()
+    }
+
+    fn reset_stats(&self) {
+        self.shared.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::psync::SimPsyncIo;
+    use ssd_sim::DeviceProfile;
+
+    #[test]
+    fn round_trip() {
+        let io = SimSyncIo::with_profile(DeviceProfile::F120, 16 * 1024 * 1024);
+        io.write_at(8192, b"sync").unwrap();
+        assert_eq!(io.read_at(8192, 4).unwrap(), b"sync");
+    }
+
+    #[test]
+    fn sync_is_slower_than_psync_for_batches() {
+        let cap = 64 * 1024 * 1024;
+        let sync = SimSyncIo::with_profile(DeviceProfile::P300, cap);
+        let psync = SimPsyncIo::with_profile(DeviceProfile::P300, cap);
+        let reqs: Vec<ReadRequest> = (0..32).map(|i| ReadRequest::new(i * 4096, 4096)).collect();
+        let (_, s) = sync.psync_read(&reqs).unwrap();
+        let (_, p) = psync.psync_read(&reqs).unwrap();
+        assert!(s.elapsed_us > p.elapsed_us * 3.0, "sync {} vs psync {}", s.elapsed_us, p.elapsed_us);
+    }
+
+    #[test]
+    fn context_switches_scale_with_requests() {
+        let io = SimSyncIo::with_profile(DeviceProfile::F120, 16 * 1024 * 1024);
+        let reqs: Vec<ReadRequest> = (0..10).map(|i| ReadRequest::new(i * 4096, 4096)).collect();
+        io.psync_read(&reqs).unwrap();
+        assert_eq!(io.stats().context_switches, 20);
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type shared by all psync I/O backends.
+
+use std::fmt;
+
+/// Result alias used by everything in this crate.
+pub type IoResult<T> = Result<T, IoError>;
+
+/// Errors returned by psync I/O backends.
+#[derive(Debug)]
+pub enum IoError {
+    /// A request referenced an address range outside the backing store.
+    OutOfBounds {
+        /// First byte requested.
+        offset: u64,
+        /// Length requested.
+        len: u64,
+        /// Size of the backing store.
+        capacity: u64,
+    },
+    /// A request had zero length.
+    EmptyRequest,
+    /// An operating-system error from the real-file backend.
+    Os(std::io::Error),
+    /// A worker thread of the file backend panicked or disconnected.
+    WorkerFailed(String),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::OutOfBounds { offset, len, capacity } => write!(
+                f,
+                "I/O request [{offset}, {}) exceeds backing store of {capacity} bytes",
+                offset + len
+            ),
+            IoError::EmptyRequest => write!(f, "I/O request with zero length"),
+            IoError::Os(e) => write!(f, "operating system I/O error: {e}"),
+            IoError::WorkerFailed(msg) => write!(f, "I/O worker failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Os(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Os(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = IoError::OutOfBounds { offset: 10, len: 20, capacity: 15 };
+        assert!(e.to_string().contains("[10, 30)"));
+        assert!(e.to_string().contains("15 bytes"));
+        assert!(IoError::EmptyRequest.to_string().contains("zero length"));
+        let os = IoError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        assert!(os.to_string().contains("boom"));
+        assert!(IoError::WorkerFailed("gone".into()).to_string().contains("gone"));
+    }
+
+    #[test]
+    fn source_is_present_only_for_os_errors() {
+        use std::error::Error;
+        let os = IoError::from(std::io::Error::new(std::io::ErrorKind::Other, "x"));
+        assert!(os.source().is_some());
+        assert!(IoError::EmptyRequest.source().is_none());
+    }
+}

@@ -1,0 +1,89 @@
+//! Simulated clock used by the device and its clients.
+//!
+//! The simulator measures everything in **simulated microseconds** (`f64`). The
+//! clock only ever moves forward; batches submitted to the device advance it by the
+//! elapsed service time of the batch.
+
+use serde::{Deserialize, Serialize};
+
+/// A monotonically increasing simulated clock (microseconds).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimClock {
+    now_us: f64,
+}
+
+impl SimClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current simulated time in microseconds.
+    pub fn now_us(&self) -> f64 {
+        self.now_us
+    }
+
+    /// Advances the clock by `delta_us` microseconds. Negative deltas are ignored so
+    /// that the clock remains monotone even if a caller computes a tiny negative
+    /// rounding artefact.
+    pub fn advance(&mut self, delta_us: f64) {
+        if delta_us > 0.0 {
+            self.now_us += delta_us;
+        }
+    }
+
+    /// Moves the clock to `t_us` if `t_us` is in the future; otherwise leaves it
+    /// unchanged. Returns the (possibly unchanged) current time.
+    pub fn advance_to(&mut self, t_us: f64) -> f64 {
+        if t_us > self.now_us {
+            self.now_us = t_us;
+        }
+        self.now_us
+    }
+
+    /// Resets the clock to zero.
+    pub fn reset(&mut self) {
+        self.now_us = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        let c = SimClock::new();
+        assert_eq!(c.now_us(), 0.0);
+    }
+
+    #[test]
+    fn advance_is_monotone() {
+        let mut c = SimClock::new();
+        c.advance(10.0);
+        assert_eq!(c.now_us(), 10.0);
+        c.advance(-5.0);
+        assert_eq!(c.now_us(), 10.0, "negative delta must be ignored");
+        c.advance(2.5);
+        assert!((c.now_us() - 12.5).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn advance_to_only_moves_forward() {
+        let mut c = SimClock::new();
+        c.advance_to(100.0);
+        assert_eq!(c.now_us(), 100.0);
+        c.advance_to(50.0);
+        assert_eq!(c.now_us(), 100.0);
+        c.advance_to(150.0);
+        assert_eq!(c.now_us(), 150.0);
+    }
+
+    #[test]
+    fn reset_returns_to_zero() {
+        let mut c = SimClock::new();
+        c.advance(42.0);
+        c.reset();
+        assert_eq!(c.now_us(), 0.0);
+    }
+}

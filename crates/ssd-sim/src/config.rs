@@ -1,0 +1,179 @@
+//! Device configuration: geometry and latency parameters of a simulated flash SSD.
+
+use serde::{Deserialize, Serialize};
+
+/// Full parameter set of a simulated flash SSD.
+///
+/// The defaults correspond to a mid-range SATA-II MLC device; the presets in
+/// [`crate::profiles`] override them to model the six devices used in the paper.
+///
+/// Geometry: the logical address space is striped across `channels` channels at flash
+/// page granularity, and within a channel across `packages_per_channel` packages, so
+/// flash page `p` lives on channel `p % channels`, package
+/// `(p / channels) % packages_per_channel` — the layout the paper describes as
+/// RAID-like striping of the gang (Section 2.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SsdConfig {
+    /// Human-readable device name (used by the benchmark tables).
+    pub name: String,
+    /// Number of independent channels (`m` in the paper).
+    pub channels: usize,
+    /// Number of flash packages ganged on each channel (`n` in the paper).
+    pub packages_per_channel: usize,
+    /// Size of a flash page in bytes — the smallest physical I/O unit (typically 2 KiB
+    /// or 4 KiB).
+    pub flash_page_bytes: u64,
+    /// Time to read a flash page from the cells into the package register (µs).
+    pub cell_read_us: f64,
+    /// Time to program (write) a flash page from the register into the cells (µs).
+    pub cell_program_us: f64,
+    /// Per-kilobyte transfer time on a channel data bus (µs/KiB).
+    pub channel_us_per_kb: f64,
+    /// Per-kilobyte transfer time on the host interface (SATA/PCI-E) shared by all
+    /// channels (µs/KiB). This caps the aggregate bandwidth, producing the
+    /// saturation visible in Figure 3 of the paper.
+    pub host_us_per_kb: f64,
+    /// Fixed controller / host-interface overhead charged per request (µs).
+    pub controller_overhead_us: f64,
+    /// Penalty applied on a channel when consecutive operations switch between read
+    /// and write (µs). Models the read/write interference of Figure 3(c).
+    pub rw_switch_penalty_us: f64,
+    /// Native command queue depth: the number of requests serviced per scheduling
+    /// window. Larger batches are processed in successive windows.
+    pub ncq_depth: usize,
+}
+
+impl Default for SsdConfig {
+    fn default() -> Self {
+        Self {
+            name: "generic-ssd".to_string(),
+            channels: 8,
+            packages_per_channel: 4,
+            flash_page_bytes: 2048,
+            cell_read_us: 60.0,
+            cell_program_us: 400.0,
+            channel_us_per_kb: 0.25,
+            host_us_per_kb: 3.5,
+            controller_overhead_us: 25.0,
+            rw_switch_penalty_us: 40.0,
+            ncq_depth: 32,
+        }
+    }
+}
+
+impl SsdConfig {
+    /// Total number of flash packages in the device (`channels × packages_per_channel`).
+    pub fn total_packages(&self) -> usize {
+        self.channels * self.packages_per_channel
+    }
+
+    /// Number of flash pages touched by a request of `len` bytes starting at `offset`.
+    pub fn pages_spanned(&self, offset: u64, len: u64) -> u64 {
+        let first = offset / self.flash_page_bytes;
+        let last = (offset + len - 1) / self.flash_page_bytes;
+        last - first + 1
+    }
+
+    /// Maps a flash page index to `(channel, package)` according to the striping
+    /// layout described in the struct documentation.
+    pub fn locate_page(&self, flash_page: u64) -> (usize, usize) {
+        let channel = (flash_page % self.channels as u64) as usize;
+        let package = ((flash_page / self.channels as u64) % self.packages_per_channel as u64) as usize;
+        (channel, package)
+    }
+
+    /// Validates the configuration, returning a description of the first problem
+    /// found, if any.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.channels == 0 {
+            return Err("channels must be > 0".into());
+        }
+        if self.packages_per_channel == 0 {
+            return Err("packages_per_channel must be > 0".into());
+        }
+        if self.flash_page_bytes == 0 || !self.flash_page_bytes.is_power_of_two() {
+            return Err("flash_page_bytes must be a non-zero power of two".into());
+        }
+        if self.ncq_depth == 0 {
+            return Err("ncq_depth must be > 0".into());
+        }
+        for (name, v) in [
+            ("cell_read_us", self.cell_read_us),
+            ("cell_program_us", self.cell_program_us),
+            ("channel_us_per_kb", self.channel_us_per_kb),
+            ("host_us_per_kb", self.host_us_per_kb),
+            ("controller_overhead_us", self.controller_overhead_us),
+            ("rw_switch_penalty_us", self.rw_switch_penalty_us),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("{name} must be finite and non-negative"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(SsdConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn pages_spanned_counts_boundaries() {
+        let cfg = SsdConfig::default(); // 2 KiB flash pages
+        assert_eq!(cfg.pages_spanned(0, 2048), 1);
+        assert_eq!(cfg.pages_spanned(0, 2049), 2);
+        assert_eq!(cfg.pages_spanned(1, 2048), 2);
+        assert_eq!(cfg.pages_spanned(4096, 8192), 4);
+        assert_eq!(cfg.pages_spanned(100, 1), 1);
+    }
+
+    #[test]
+    fn locate_page_round_robins_channels_then_packages() {
+        let cfg = SsdConfig {
+            channels: 4,
+            packages_per_channel: 2,
+            ..SsdConfig::default()
+        };
+        assert_eq!(cfg.locate_page(0), (0, 0));
+        assert_eq!(cfg.locate_page(1), (1, 0));
+        assert_eq!(cfg.locate_page(3), (3, 0));
+        assert_eq!(cfg.locate_page(4), (0, 1));
+        assert_eq!(cfg.locate_page(7), (3, 1));
+        // wraps around the whole device
+        assert_eq!(cfg.locate_page(8), (0, 0));
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut cfg = SsdConfig::default();
+        cfg.channels = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SsdConfig::default();
+        cfg.flash_page_bytes = 3000;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SsdConfig::default();
+        cfg.cell_read_us = -1.0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SsdConfig::default();
+        cfg.ncq_depth = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn total_packages_is_product() {
+        let cfg = SsdConfig {
+            channels: 5,
+            packages_per_channel: 3,
+            ..SsdConfig::default()
+        };
+        assert_eq!(cfg.total_packages(), 15);
+    }
+}

@@ -1,0 +1,442 @@
+//! The simulated SSD device: NCQ batch service with channel- and package-level
+//! parallelism.
+
+use crate::clock::SimClock;
+use crate::config::SsdConfig;
+use crate::request::{IoKind, SsdRequest};
+use crate::stats::DeviceStats;
+
+/// Result of servicing one batch of requests (one or more NCQ windows).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchResult {
+    /// Wall time (simulated µs) between batch submission and completion of the last
+    /// request in the batch.
+    pub elapsed_us: f64,
+    /// Per-request latency (simulated µs) relative to the batch submission instant,
+    /// in the same order as the submitted slice.
+    pub latencies_us: Vec<f64>,
+    /// Total bytes transferred by the batch.
+    pub bytes: u64,
+}
+
+impl BatchResult {
+    /// Aggregate bandwidth of the batch in MiB/s.
+    pub fn bandwidth_mib_s(&self) -> f64 {
+        if self.elapsed_us <= 0.0 {
+            return 0.0;
+        }
+        (self.bytes as f64 / (1024.0 * 1024.0)) / (self.elapsed_us / 1_000_000.0)
+    }
+
+    /// The mean per-request latency in µs.
+    pub fn mean_latency_us(&self) -> f64 {
+        if self.latencies_us.is_empty() {
+            return 0.0;
+        }
+        self.latencies_us.iter().sum::<f64>() / self.latencies_us.len() as f64
+    }
+
+    /// The maximum per-request latency in µs.
+    pub fn max_latency_us(&self) -> f64 {
+        self.latencies_us.iter().cloned().fold(0.0, f64::max)
+    }
+}
+
+/// Per-resource state tracked while servicing a scheduling window.
+#[derive(Debug, Clone, Copy, Default)]
+struct ChannelState {
+    /// Time at which the channel data bus becomes free.
+    bus_free_us: f64,
+    /// Kind of the last operation that used the bus (for the read/write switch penalty).
+    last_kind: Option<IoKind>,
+}
+
+/// A discrete-event flash SSD simulator.
+///
+/// The device owns a [`SimClock`]; every call to [`SsdDevice::submit_batch`] services
+/// the batch starting at the current simulated time and advances the clock by the
+/// batch's elapsed time. Callers that want to overlap CPU work with I/O (not needed
+/// for the paper's experiments) can use [`SsdDevice::service_batch_at`] directly.
+#[derive(Debug, Clone)]
+pub struct SsdDevice {
+    config: SsdConfig,
+    clock: SimClock,
+    stats: DeviceStats,
+}
+
+impl SsdDevice {
+    /// Creates a device from a validated configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails [`SsdConfig::validate`].
+    pub fn new(config: SsdConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid SsdConfig: {e}");
+        }
+        Self {
+            config,
+            clock: SimClock::new(),
+            stats: DeviceStats::default(),
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &SsdConfig {
+        &self.config
+    }
+
+    /// Current simulated time in µs.
+    pub fn now_us(&self) -> f64 {
+        self.clock.now_us()
+    }
+
+    /// Cumulative service statistics.
+    pub fn stats(&self) -> &DeviceStats {
+        &self.stats
+    }
+
+    /// Resets the clock and statistics (the configuration is kept).
+    pub fn reset(&mut self) {
+        self.clock.reset();
+        self.stats = DeviceStats::default();
+    }
+
+    /// Services `requests` as one submission: the requests are treated as queued
+    /// together (split into NCQ windows of `ncq_depth`), the simulated clock advances
+    /// by the elapsed time, and per-request latencies are returned.
+    ///
+    /// An empty batch returns a zero result and does not advance the clock.
+    pub fn submit_batch(&mut self, requests: &[SsdRequest]) -> BatchResult {
+        let start = self.clock.now_us();
+        let result = self.service_batch_at(start, requests);
+        self.clock.advance(result.elapsed_us);
+        self.record_stats(requests, &result);
+        result
+    }
+
+    /// Services requests one at a time (each request is its own submission), which is
+    /// how a conventional synchronous read/write path drives the device. Returns the
+    /// summed elapsed time and the individual latencies.
+    pub fn submit_serial(&mut self, requests: &[SsdRequest]) -> BatchResult {
+        let mut latencies = Vec::with_capacity(requests.len());
+        let mut elapsed = 0.0;
+        let mut bytes = 0;
+        for req in requests {
+            let r = self.submit_batch(std::slice::from_ref(req));
+            elapsed += r.elapsed_us;
+            bytes += r.bytes;
+            latencies.extend(r.latencies_us);
+        }
+        BatchResult {
+            elapsed_us: elapsed,
+            latencies_us: latencies,
+            bytes,
+        }
+    }
+
+    fn record_stats(&mut self, requests: &[SsdRequest], result: &BatchResult) {
+        self.stats.batches += 1;
+        self.stats.busy_us += result.elapsed_us;
+        for r in requests {
+            match r.kind {
+                IoKind::Read => {
+                    self.stats.reads += 1;
+                    self.stats.read_bytes += r.len;
+                }
+                IoKind::Write => {
+                    self.stats.writes += 1;
+                    self.stats.write_bytes += r.len;
+                }
+            }
+        }
+        let window = requests.len().min(self.config.ncq_depth);
+        if window > self.stats.max_outstanding {
+            self.stats.max_outstanding = window;
+        }
+    }
+
+    /// Computes the service schedule for a batch starting at simulated time
+    /// `start_us`, without touching the device clock or statistics.
+    ///
+    /// The model:
+    /// * each request is decomposed into flash-page operations placed on
+    ///   `(channel, package)` by the striping layout;
+    /// * a **read** occupies its package for `cell_read_us`, then the channel bus for
+    ///   the page transfer;
+    /// * a **write** occupies the channel bus for the transfer, then its package for
+    ///   `cell_program_us` (the bus is released during programming — the
+    ///   write-interleaving effect described in Section 2.1);
+    /// * consecutive bus operations of different kinds on the same channel pay
+    ///   `rw_switch_penalty_us` (read/write interference, Figure 3(c));
+    /// * every completed page crosses the shared host interface, which serialises
+    ///   transfers at `host_us_per_kb` and caps aggregate bandwidth;
+    /// * each request pays `controller_overhead_us` once;
+    /// * requests beyond `ncq_depth` are serviced in subsequent windows.
+    pub fn service_batch_at(&self, start_us: f64, requests: &[SsdRequest]) -> BatchResult {
+        if requests.is_empty() {
+            return BatchResult {
+                elapsed_us: 0.0,
+                latencies_us: Vec::new(),
+                bytes: 0,
+            };
+        }
+
+        let cfg = &self.config;
+        let mut channels = vec![ChannelState::default(); cfg.channels];
+        let mut packages = vec![vec![0.0f64; cfg.packages_per_channel]; cfg.channels];
+        let mut host_free_us = start_us;
+        let mut latencies = vec![0.0f64; requests.len()];
+        let mut window_start = start_us;
+        let mut bytes = 0u64;
+
+        for c in channels.iter_mut() {
+            c.bus_free_us = start_us;
+        }
+
+        for (window_idx, window) in requests.chunks(cfg.ncq_depth).enumerate() {
+            let base = window_idx * cfg.ncq_depth;
+            let mut window_end = window_start;
+            for (idx_in_window, req) in window.iter().enumerate() {
+                let first_page = req.offset / cfg.flash_page_bytes;
+                let n_pages = cfg.pages_spanned(req.offset, req.len);
+                let page_kb = cfg.flash_page_bytes as f64 / 1024.0;
+                let mut req_done = window_start;
+
+                for p in 0..n_pages {
+                    let (ch, pk) = cfg.locate_page(first_page + p);
+                    let chan = &mut channels[ch];
+                    let pkg_free = packages[ch][pk];
+                    let mut switch = 0.0;
+                    if let Some(last) = chan.last_kind {
+                        if last != req.kind {
+                            switch = cfg.rw_switch_penalty_us;
+                        }
+                    }
+                    let transfer_us = page_kb * cfg.channel_us_per_kb;
+                    let flash_done;
+                    match req.kind {
+                        IoKind::Read => {
+                            // cell read on the package, then bus transfer out.
+                            let cell_start = pkg_free.max(window_start);
+                            let cell_end = cell_start + cfg.cell_read_us;
+                            let bus_start = cell_end.max(chan.bus_free_us) + switch;
+                            let bus_end = bus_start + transfer_us;
+                            chan.bus_free_us = bus_end;
+                            packages[ch][pk] = bus_end;
+                            flash_done = bus_end;
+                        }
+                        IoKind::Write => {
+                            // bus transfer in, then programming on the package
+                            // (bus is free while the package programs).
+                            let bus_start = chan.bus_free_us.max(pkg_free).max(window_start) + switch;
+                            let bus_end = bus_start + transfer_us;
+                            chan.bus_free_us = bus_end;
+                            let program_end = bus_end + cfg.cell_program_us;
+                            packages[ch][pk] = program_end;
+                            flash_done = program_end;
+                        }
+                    }
+                    chan.last_kind = Some(req.kind);
+
+                    // Host interface transfer (serialised across the whole device).
+                    let host_start = flash_done.max(host_free_us);
+                    let host_end = host_start + page_kb * cfg.host_us_per_kb;
+                    host_free_us = host_end;
+                    if host_end > req_done {
+                        req_done = host_end;
+                    }
+                }
+
+                // The controller charges a fixed per-command processing cost on top of
+                // the flash and host-interface schedule.
+                req_done += cfg.controller_overhead_us;
+                let latency = req_done - start_us;
+                latencies[base + idx_in_window] = latency;
+                bytes += req.len;
+                if req_done > window_end {
+                    window_end = req_done;
+                }
+            }
+            window_start = window_end;
+        }
+
+        let elapsed = window_start - start_us;
+        BatchResult {
+            elapsed_us: elapsed,
+            latencies_us: latencies,
+            bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::DeviceProfile;
+
+    fn dev() -> SsdDevice {
+        SsdDevice::new(DeviceProfile::p300().build())
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let mut d = dev();
+        let r = d.submit_batch(&[]);
+        assert_eq!(r.elapsed_us, 0.0);
+        assert_eq!(r.bytes, 0);
+        assert_eq!(d.now_us(), 0.0);
+    }
+
+    #[test]
+    fn single_read_latency_is_positive_and_clock_advances() {
+        let mut d = dev();
+        let r = d.submit_batch(&[SsdRequest::read(0, 4096)]);
+        assert!(r.elapsed_us > 0.0);
+        assert_eq!(r.latencies_us.len(), 1);
+        assert!((d.now_us() - r.elapsed_us).abs() < 1e-9);
+        assert_eq!(r.bytes, 4096);
+    }
+
+    #[test]
+    fn batched_reads_are_faster_than_serial_reads() {
+        let reqs: Vec<SsdRequest> = (0..16)
+            .map(|i| SsdRequest::read(i * 4096, 4096))
+            .collect();
+        let mut d1 = dev();
+        let batched = d1.submit_batch(&reqs);
+        let mut d2 = dev();
+        let serial = d2.submit_serial(&reqs);
+        assert!(
+            batched.elapsed_us < serial.elapsed_us / 2.0,
+            "channel-level parallelism should give a large speedup: batched={} serial={}",
+            batched.elapsed_us,
+            serial.elapsed_us
+        );
+    }
+
+    #[test]
+    fn batched_writes_are_faster_than_serial_writes() {
+        let reqs: Vec<SsdRequest> = (0..16)
+            .map(|i| SsdRequest::write(i * 4096, 4096))
+            .collect();
+        let mut d1 = dev();
+        let batched = d1.submit_batch(&reqs);
+        let mut d2 = dev();
+        let serial = d2.submit_serial(&reqs);
+        assert!(batched.elapsed_us < serial.elapsed_us / 2.0);
+    }
+
+    #[test]
+    fn large_request_latency_grows_sublinearly() {
+        // Package-level parallelism: doubling the request size must not double the
+        // latency (Figure 2 of the paper).
+        let mut d = dev();
+        let small = d.submit_batch(&[SsdRequest::read(0, 2048)]).elapsed_us;
+        let mut d = dev();
+        let large = d.submit_batch(&[SsdRequest::read(0, 16 * 1024)]).elapsed_us;
+        assert!(
+            large < small * 8.0,
+            "16 KiB read ({large} µs) should cost much less than 8× a 2 KiB read ({small} µs)"
+        );
+    }
+
+    #[test]
+    fn writes_are_slower_than_reads() {
+        let mut d = dev();
+        let read = d.submit_batch(&[SsdRequest::read(0, 4096)]).elapsed_us;
+        let mut d = dev();
+        let write = d.submit_batch(&[SsdRequest::write(0, 4096)]).elapsed_us;
+        assert!(write > read, "asymmetric read/write latency expected");
+    }
+
+    #[test]
+    fn interleaved_mix_is_slower_than_grouped_mix() {
+        // Figure 3(c): alternating read/write suffers from interference compared to
+        // n reads followed by n writes.
+        let n = 32u64;
+        let mut interleaved = Vec::new();
+        let mut grouped = Vec::new();
+        for i in 0..n {
+            interleaved.push(SsdRequest::read(i * 8192, 4096));
+            interleaved.push(SsdRequest::write(i * 8192 + 4096, 4096));
+        }
+        for i in 0..n {
+            grouped.push(SsdRequest::read(i * 8192, 4096));
+        }
+        for i in 0..n {
+            grouped.push(SsdRequest::write(i * 8192 + 4096, 4096));
+        }
+        let mut d1 = dev();
+        let ti = d1.submit_batch(&interleaved).elapsed_us;
+        let mut d2 = dev();
+        let tg = d2.submit_batch(&grouped).elapsed_us;
+        assert!(
+            tg < ti,
+            "grouped mix ({tg} µs) should beat interleaved mix ({ti} µs)"
+        );
+    }
+
+    #[test]
+    fn bandwidth_saturates_with_outstanding_level() {
+        // Bandwidth must increase substantially from OutStd 1 to 32 and then flatten
+        // rather than keep growing unboundedly (host interface cap).
+        let bw = |outstd: u64| {
+            let mut d = dev();
+            let reqs: Vec<SsdRequest> =
+                (0..outstd).map(|i| SsdRequest::read(i * 4096, 4096)).collect();
+            // repeat to smooth out the first window
+            let mut total_bytes = 0u64;
+            let mut total_us = 0.0;
+            for rep in 0..8 {
+                let shifted: Vec<SsdRequest> = reqs
+                    .iter()
+                    .map(|r| SsdRequest::new(r.kind, r.offset + rep * 1_000_000, r.len))
+                    .collect();
+                let res = d.submit_batch(&shifted);
+                total_bytes += res.bytes;
+                total_us += res.elapsed_us;
+            }
+            (total_bytes as f64 / (1024.0 * 1024.0)) / (total_us / 1e6)
+        };
+        let bw1 = bw(1);
+        let bw32 = bw(32);
+        let bw64 = bw(64);
+        assert!(bw32 > bw1 * 4.0, "OutStd 32 ({bw32}) should be >4x OutStd 1 ({bw1})");
+        assert!(bw64 < bw32 * 2.0, "bandwidth should saturate: {bw64} vs {bw32}");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut d = dev();
+        d.submit_batch(&[SsdRequest::read(0, 4096), SsdRequest::write(4096, 2048)]);
+        d.submit_batch(&[SsdRequest::read(8192, 2048)]);
+        let s = d.stats();
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.read_bytes, 6144);
+        assert_eq!(s.write_bytes, 2048);
+        assert_eq!(s.batches, 2);
+        assert!(s.busy_us > 0.0);
+        d.reset();
+        assert_eq!(d.stats().reads, 0);
+        assert_eq!(d.now_us(), 0.0);
+    }
+
+    #[test]
+    fn latencies_reported_for_every_request() {
+        let mut d = dev();
+        let reqs: Vec<SsdRequest> = (0..100).map(|i| SsdRequest::read(i * 4096, 4096)).collect();
+        let r = d.submit_batch(&reqs);
+        assert_eq!(r.latencies_us.len(), 100);
+        assert!(r.latencies_us.iter().all(|&l| l > 0.0));
+        assert!(r.max_latency_us() >= r.mean_latency_us());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SsdConfig")]
+    fn invalid_config_panics() {
+        let mut cfg = SsdConfig::default();
+        cfg.channels = 0;
+        let _ = SsdDevice::new(cfg);
+    }
+}

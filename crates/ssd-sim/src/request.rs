@@ -1,0 +1,91 @@
+//! I/O request descriptors accepted by the simulated device.
+
+use serde::{Deserialize, Serialize};
+
+/// The direction of a simulated I/O request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IoKind {
+    /// Read `len` bytes starting at the logical byte address.
+    Read,
+    /// Write (program) `len` bytes starting at the logical byte address.
+    Write,
+}
+
+impl IoKind {
+    /// Returns `true` for [`IoKind::Read`].
+    pub fn is_read(self) -> bool {
+        matches!(self, IoKind::Read)
+    }
+
+    /// Returns `true` for [`IoKind::Write`].
+    pub fn is_write(self) -> bool {
+        matches!(self, IoKind::Write)
+    }
+}
+
+/// A single request submitted to the simulated SSD.
+///
+/// Addresses are logical byte addresses (LBA × sector size already applied); the
+/// device maps them onto flash pages, channels and packages internally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SsdRequest {
+    /// Read or write.
+    pub kind: IoKind,
+    /// Logical byte address of the first byte accessed.
+    pub offset: u64,
+    /// Number of bytes accessed. Must be non-zero.
+    pub len: u64,
+}
+
+impl SsdRequest {
+    /// Creates a new request. Panics if `len` is zero.
+    pub fn new(kind: IoKind, offset: u64, len: u64) -> Self {
+        assert!(len > 0, "SsdRequest length must be non-zero");
+        Self { kind, offset, len }
+    }
+
+    /// Convenience constructor for a read request.
+    pub fn read(offset: u64, len: u64) -> Self {
+        Self::new(IoKind::Read, offset, len)
+    }
+
+    /// Convenience constructor for a write request.
+    pub fn write(offset: u64, len: u64) -> Self {
+        Self::new(IoKind::Write, offset, len)
+    }
+
+    /// The exclusive end address of the request.
+    pub fn end(&self) -> u64 {
+        self.offset + self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        assert!(IoKind::Read.is_read());
+        assert!(!IoKind::Read.is_write());
+        assert!(IoKind::Write.is_write());
+        assert!(!IoKind::Write.is_read());
+    }
+
+    #[test]
+    fn request_constructors() {
+        let r = SsdRequest::read(4096, 2048);
+        assert_eq!(r.kind, IoKind::Read);
+        assert_eq!(r.offset, 4096);
+        assert_eq!(r.len, 2048);
+        assert_eq!(r.end(), 6144);
+        let w = SsdRequest::write(0, 512);
+        assert_eq!(w.kind, IoKind::Write);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_length_rejected() {
+        let _ = SsdRequest::read(0, 0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Cumulative service statistics of a simulated device.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by [`crate::SsdDevice`] across its lifetime (or since the
+/// last [`crate::SsdDevice::reset`]).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DeviceStats {
+    /// Number of read requests serviced.
+    pub reads: u64,
+    /// Number of write requests serviced.
+    pub writes: u64,
+    /// Bytes read.
+    pub read_bytes: u64,
+    /// Bytes written.
+    pub write_bytes: u64,
+    /// Number of batch submissions.
+    pub batches: u64,
+    /// Total simulated time the device spent servicing batches (µs).
+    pub busy_us: f64,
+    /// Largest scheduling-window occupancy observed (capped at the NCQ depth).
+    pub max_outstanding: usize,
+}
+
+impl DeviceStats {
+    /// Total number of requests serviced.
+    pub fn total_requests(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Total bytes transferred in either direction.
+    pub fn total_bytes(&self) -> u64 {
+        self.read_bytes + self.write_bytes
+    }
+
+    /// Average number of requests per batch submission (0 if no batches yet).
+    pub fn avg_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.total_requests() as f64 / self.batches as f64
+        }
+    }
+
+    /// Aggregate bandwidth over the busy time, in MiB/s (0 if idle).
+    pub fn bandwidth_mib_s(&self) -> f64 {
+        if self.busy_us <= 0.0 {
+            0.0
+        } else {
+            (self.total_bytes() as f64 / (1024.0 * 1024.0)) / (self.busy_us / 1e6)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let s = DeviceStats {
+            reads: 6,
+            writes: 2,
+            read_bytes: 6 * 4096,
+            write_bytes: 2 * 4096,
+            batches: 4,
+            busy_us: 1_000_000.0,
+            max_outstanding: 4,
+        };
+        assert_eq!(s.total_requests(), 8);
+        assert_eq!(s.total_bytes(), 8 * 4096);
+        assert!((s.avg_batch_size() - 2.0).abs() < 1e-12);
+        let expected_bw = (8.0 * 4096.0) / (1024.0 * 1024.0);
+        assert!((s.bandwidth_mib_s() - expected_bw).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let s = DeviceStats::default();
+        assert_eq!(s.avg_batch_size(), 0.0);
+        assert_eq!(s.bandwidth_mib_s(), 0.0);
+    }
+}

@@ -1,0 +1,409 @@
+//! A page store with an LRU buffer pool in front of it.
+//!
+//! This is the component the indexes talk to. It composes a [`PageStore`] with a
+//! [`BufferPool`] and applies the chosen [`WritePolicy`]:
+//!
+//! * the baseline B+-tree and B-link tree use **write-back** (a conventional no-force
+//!   buffer manager: dirty nodes are written on eviction), and
+//! * the PIO B-tree uses **write-through** (it keeps no dirty buffers; all node writes
+//!   happen inside bupdate via psync I/O).
+//!
+//! Batched reads check the pool first and fetch only the missing pages, in one psync
+//! call, so a warm pool automatically reduces the outstanding-I/O level — exactly the
+//! behaviour the cost model of Section 3.5 assumes.
+
+use crate::bufpool::{BufferPool, BufferPoolStats, WritePolicy};
+use crate::page::PageId;
+use crate::store::PageStore;
+use parking_lot::Mutex;
+use pio::IoResult;
+
+/// A [`PageStore`] fronted by an LRU [`BufferPool`].
+#[derive(Debug)]
+pub struct CachedStore {
+    store: PageStore,
+    pool: Mutex<BufferPool>,
+    policy: WritePolicy,
+}
+
+impl CachedStore {
+    /// Creates a cached store with a pool of `capacity_pages` pages and the given
+    /// write policy.
+    pub fn new(store: PageStore, capacity_pages: u64, policy: WritePolicy) -> Self {
+        Self {
+            store,
+            pool: Mutex::new(BufferPool::new(capacity_pages)),
+            policy,
+        }
+    }
+
+    /// The underlying page store.
+    pub fn store(&self) -> &PageStore {
+        &self.store
+    }
+
+    /// The write policy in effect.
+    pub fn policy(&self) -> WritePolicy {
+        self.policy
+    }
+
+    /// The page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.store.page_size()
+    }
+
+    /// Buffer-pool statistics.
+    pub fn pool_stats(&self) -> BufferPoolStats {
+        self.pool.lock().stats()
+    }
+
+    /// Total simulated / wall-clock I/O time spent by the underlying backend, µs.
+    pub fn io_elapsed_us(&self) -> f64 {
+        self.store.io_elapsed_us()
+    }
+
+    /// Allocates a page (delegates to the store).
+    pub fn allocate(&self) -> PageId {
+        self.store.allocate()
+    }
+
+    /// Allocates a contiguous run of pages (delegates to the store).
+    pub fn allocate_contiguous(&self, n: u64) -> PageId {
+        self.store.allocate_contiguous(n)
+    }
+
+    /// Frees a page and drops any cached copy. If the cached copy was dirty it is
+    /// intentionally discarded — the page no longer belongs to the caller.
+    pub fn free(&self, page: PageId) {
+        self.pool.lock().remove(page);
+        self.store.free(page);
+    }
+
+    fn write_back(&self, victims: Vec<crate::bufpool::Evicted>) -> IoResult<()> {
+        let dirty: Vec<(PageId, Vec<u8>)> = victims
+            .into_iter()
+            .filter(|v| v.dirty)
+            .map(|v| (v.page, v.data))
+            .collect();
+        if dirty.is_empty() {
+            return Ok(());
+        }
+        let refs: Vec<(PageId, &[u8])> = dirty.iter().map(|(p, d)| (*p, d.as_slice())).collect();
+        self.store.write_pages(&refs)
+    }
+
+    /// Reads one page through the cache.
+    pub fn read_page(&self, page: PageId) -> IoResult<Vec<u8>> {
+        if let Some(hit) = self.pool.lock().get(page) {
+            return Ok(hit);
+        }
+        let data = self.store.read_page(page)?;
+        let victims = self.pool.lock().insert(page, data.clone(), false, 1);
+        self.write_back(victims)?;
+        Ok(data)
+    }
+
+    /// Reads many pages through the cache; the missing ones are fetched with a single
+    /// psync call. Results are returned in the order of `pages`.
+    pub fn read_pages(&self, pages: &[PageId]) -> IoResult<Vec<Vec<u8>>> {
+        let mut results: Vec<Option<Vec<u8>>> = vec![None; pages.len()];
+        let mut missing: Vec<(usize, PageId)> = Vec::new();
+        {
+            let mut pool = self.pool.lock();
+            for (i, &p) in pages.iter().enumerate() {
+                match pool.get(p) {
+                    Some(hit) => results[i] = Some(hit),
+                    None => missing.push((i, p)),
+                }
+            }
+        }
+        if !missing.is_empty() {
+            let ids: Vec<PageId> = missing.iter().map(|&(_, p)| p).collect();
+            let fetched = self.store.read_pages(&ids)?;
+            let mut victims = Vec::new();
+            {
+                let mut pool = self.pool.lock();
+                for ((i, p), data) in missing.into_iter().zip(fetched) {
+                    victims.extend(pool.insert(p, data.clone(), false, 1));
+                    results[i] = Some(data);
+                }
+            }
+            self.write_back(victims)?;
+        }
+        Ok(results.into_iter().map(|r| r.expect("filled above")).collect())
+    }
+
+    /// Writes one page according to the write policy.
+    pub fn write_page(&self, page: PageId, data: &[u8]) -> IoResult<()> {
+        match self.policy {
+            WritePolicy::WriteThrough => {
+                self.store.write_page(page, data)?;
+                let victims = self.pool.lock().insert(page, data.to_vec(), false, 1);
+                self.write_back(victims)
+            }
+            WritePolicy::WriteBack => {
+                let victims = self.pool.lock().insert(page, data.to_vec(), true, 1);
+                self.write_back(victims)
+            }
+        }
+    }
+
+    /// Writes many pages according to the write policy; write-through issues a single
+    /// psync call for the whole group.
+    pub fn write_pages(&self, pages: &[(PageId, &[u8])]) -> IoResult<()> {
+        match self.policy {
+            WritePolicy::WriteThrough => {
+                self.store.write_pages(pages)?;
+                let mut victims = Vec::new();
+                {
+                    let mut pool = self.pool.lock();
+                    for (p, data) in pages {
+                        victims.extend(pool.insert(*p, data.to_vec(), false, 1));
+                    }
+                }
+                self.write_back(victims)
+            }
+            WritePolicy::WriteBack => {
+                let mut victims = Vec::new();
+                {
+                    let mut pool = self.pool.lock();
+                    for (p, data) in pages {
+                        victims.extend(pool.insert(*p, data.to_vec(), true, 1));
+                    }
+                }
+                self.write_back(victims)
+            }
+        }
+    }
+
+    /// Reads a multi-page region. Regions bypass the pool entirely: a region and its
+    /// constituent pages would otherwise be cached under different keys and go stale
+    /// with respect to each other. Because the pool is write-through (for the callers
+    /// that use regions), the device always holds the latest data.
+    pub fn read_region(&self, first: PageId, n_pages: u64) -> IoResult<Vec<u8>> {
+        if n_pages == 1 {
+            // A single-page region is just a page: serve it through the page cache.
+            return self.read_page(first);
+        }
+        // Individually cached pages inside the region may be *newer* only under the
+        // write-back policy; region users run write-through, where device data is
+        // always current, so a direct read is coherent.
+        self.store.read_region(first, n_pages)
+    }
+
+    /// Reads several multi-page regions with a single psync call (bypassing the pool,
+    /// see [`CachedStore::read_region`]). Single-page regions go through the page
+    /// cache instead.
+    pub fn read_regions(&self, regions: &[(PageId, u64)]) -> IoResult<Vec<Vec<u8>>> {
+        if regions.iter().all(|&(_, n)| n == 1) {
+            let pages: Vec<PageId> = regions.iter().map(|&(p, _)| p).collect();
+            return self.read_pages(&pages);
+        }
+        self.store.read_regions(regions)
+    }
+
+    /// Writes a multi-page region straight through (regions are never kept dirty) and
+    /// invalidates any individually cached page the region overlaps.
+    pub fn write_region(&self, first: PageId, data: &[u8]) -> IoResult<()> {
+        if data.len() == self.page_size() {
+            return self.write_page(first, data);
+        }
+        self.store.write_region(first, data)?;
+        let n = (data.len() / self.page_size()) as u64;
+        let mut pool = self.pool.lock();
+        for p in first..first + n {
+            pool.remove(p);
+        }
+        Ok(())
+    }
+
+    /// Writes several multi-page regions with one psync call and invalidates the
+    /// individually cached pages they overlap. Single-page regions go through the
+    /// page path (and therefore stay cached).
+    pub fn write_regions(&self, regions: &[(PageId, &[u8])]) -> IoResult<()> {
+        if regions.iter().all(|(_, d)| d.len() == self.page_size()) {
+            return self.write_pages(regions);
+        }
+        self.store.write_regions(regions)?;
+        let mut pool = self.pool.lock();
+        for (p, data) in regions {
+            let n = (data.len() / self.page_size()) as u64;
+            for page in *p..*p + n {
+                pool.remove(page);
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes every dirty page to the store (one psync call) — the checkpoint /
+    /// shutdown path of the write-back policy.
+    pub fn flush(&self) -> IoResult<()> {
+        let dirty = self.pool.lock().take_dirty();
+        if dirty.is_empty() {
+            return Ok(());
+        }
+        let refs: Vec<(PageId, &[u8])> = dirty.iter().map(|(p, d)| (*p, d.as_slice())).collect();
+        self.store.write_pages(&refs)
+    }
+
+    /// Drops every cached entry without writing anything (used between experiment
+    /// phases to start from a cold cache).
+    pub fn drop_cache(&self) {
+        self.pool.lock().clear();
+    }
+
+    /// Resizes the buffer pool, writing back any dirty entries that no longer fit.
+    /// Used by the experiments that sweep the pool size over one loaded index.
+    pub fn resize_pool(&self, capacity_pages: u64) -> IoResult<()> {
+        let victims = self.pool.lock().resize(capacity_pages);
+        self.write_back(victims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pio::SimPsyncIo;
+    use ssd_sim::DeviceProfile;
+    use std::sync::Arc;
+
+    fn cached(policy: WritePolicy, pool_pages: u64) -> CachedStore {
+        let io = Arc::new(SimPsyncIo::with_profile(DeviceProfile::F120, 256 * 1024 * 1024));
+        let store = PageStore::new(io, 4096);
+        CachedStore::new(store, pool_pages, policy)
+    }
+
+    #[test]
+    fn read_through_and_hit() {
+        let c = cached(WritePolicy::WriteThrough, 16);
+        let p = c.allocate();
+        c.write_page(p, &vec![7u8; 4096]).unwrap();
+        let io_before = c.store().stats().page_reads;
+        assert_eq!(c.read_page(p).unwrap()[0], 7);
+        assert_eq!(c.store().stats().page_reads, io_before, "should be a pool hit");
+        assert!(c.pool_stats().hits >= 1);
+    }
+
+    #[test]
+    fn write_back_defers_io_until_eviction_or_flush() {
+        let c = cached(WritePolicy::WriteBack, 2);
+        let p1 = c.allocate();
+        let p2 = c.allocate();
+        let p3 = c.allocate();
+        c.write_page(p1, &vec![1u8; 4096]).unwrap();
+        c.write_page(p2, &vec![2u8; 4096]).unwrap();
+        assert_eq!(c.store().stats().page_writes, 0, "write-back: nothing written yet");
+        // Third write evicts the LRU dirty page → one write-back.
+        c.write_page(p3, &vec![3u8; 4096]).unwrap();
+        assert_eq!(c.store().stats().page_writes, 1);
+        c.flush().unwrap();
+        // Remaining two dirty pages written by the flush.
+        assert_eq!(c.store().stats().page_writes, 3);
+        // All data must be durable and correct.
+        c.drop_cache();
+        assert_eq!(c.read_page(p1).unwrap()[0], 1);
+        assert_eq!(c.read_page(p2).unwrap()[0], 2);
+        assert_eq!(c.read_page(p3).unwrap()[0], 3);
+    }
+
+    #[test]
+    fn write_through_writes_immediately() {
+        let c = cached(WritePolicy::WriteThrough, 4);
+        let p = c.allocate();
+        c.write_page(p, &vec![9u8; 4096]).unwrap();
+        assert_eq!(c.store().stats().page_writes, 1);
+    }
+
+    #[test]
+    fn batched_reads_fetch_only_misses() {
+        let c = cached(WritePolicy::WriteThrough, 8);
+        let pages: Vec<PageId> = (0..6).map(|_| c.allocate()).collect();
+        for &p in &pages {
+            c.write_page(p, &vec![p as u8; 4096]).unwrap();
+        }
+        c.drop_cache();
+        // warm up half of them
+        c.read_page(pages[0]).unwrap();
+        c.read_page(pages[1]).unwrap();
+        c.read_page(pages[2]).unwrap();
+        let before = c.store().stats().page_reads;
+        let all = c.read_pages(&pages).unwrap();
+        for (i, data) in all.iter().enumerate() {
+            assert_eq!(data[0], pages[i] as u8);
+        }
+        assert_eq!(c.store().stats().page_reads - before, 3, "only the 3 cold pages hit the device");
+    }
+
+    #[test]
+    fn region_round_trip() {
+        let c = cached(WritePolicy::WriteThrough, 16);
+        let first = c.allocate_contiguous(4);
+        let img: Vec<u8> = (0..4 * 4096u32).map(|i| (i % 253) as u8).collect();
+        c.write_region(first, &img).unwrap();
+        assert_eq!(c.read_region(first, 4).unwrap(), img);
+        // Regions bypass the pool, so a second read hits the device again.
+        let before = c.store().stats().page_reads;
+        assert_eq!(c.read_region(first, 4).unwrap(), img);
+        assert_eq!(c.store().stats().page_reads, before + 4);
+    }
+
+    #[test]
+    fn region_writes_invalidate_cached_pages() {
+        let c = cached(WritePolicy::WriteThrough, 16);
+        let first = c.allocate_contiguous(2);
+        let old = vec![1u8; 2 * 4096];
+        c.write_region(first, &old).unwrap();
+        // Cache the second page individually.
+        assert_eq!(c.read_page(first + 1).unwrap()[0], 1);
+        // Overwrite the whole region; the cached page copy must not survive.
+        let new = vec![9u8; 2 * 4096];
+        c.write_region(first, &new).unwrap();
+        assert_eq!(c.read_page(first + 1).unwrap()[0], 9);
+    }
+
+    #[test]
+    fn page_writes_are_visible_to_region_reads() {
+        let c = cached(WritePolicy::WriteThrough, 16);
+        let first = c.allocate_contiguous(2);
+        c.write_region(first, &vec![3u8; 2 * 4096]).unwrap();
+        c.write_page(first + 1, &vec![7u8; 4096]).unwrap();
+        let region = c.read_region(first, 2).unwrap();
+        assert_eq!(region[4096], 7, "region read must see the page write");
+        assert_eq!(region[0], 3);
+    }
+
+    #[test]
+    fn read_regions_batches_misses() {
+        let c = cached(WritePolicy::WriteThrough, 64);
+        let a = c.allocate_contiguous(2);
+        let b = c.allocate_contiguous(2);
+        let da = vec![1u8; 2 * 4096];
+        let db = vec![2u8; 2 * 4096];
+        c.write_regions(&[(a, &da), (b, &db)]).unwrap();
+        c.drop_cache();
+        let before = c.store().stats().read_batches;
+        let out = c.read_regions(&[(a, 2), (b, 2)]).unwrap();
+        assert_eq!(out[0], da);
+        assert_eq!(out[1], db);
+        assert_eq!(c.store().stats().read_batches - before, 1, "both regions in one psync call");
+    }
+
+    #[test]
+    fn free_drops_cached_copy() {
+        let c = cached(WritePolicy::WriteBack, 4);
+        let p = c.allocate();
+        c.write_page(p, &vec![5u8; 4096]).unwrap();
+        c.free(p);
+        c.flush().unwrap();
+        assert_eq!(c.store().stats().page_writes, 0, "freed dirty page must not be written back");
+    }
+
+    #[test]
+    fn zero_sized_pool_still_works() {
+        let c = cached(WritePolicy::WriteThrough, 0);
+        let p = c.allocate();
+        c.write_page(p, &vec![4u8; 4096]).unwrap();
+        assert_eq!(c.read_page(p).unwrap()[0], 4);
+        assert_eq!(c.pool_stats().hits, 0);
+    }
+}

@@ -1,0 +1,33 @@
+//! # storage — page store, buffer pool and write-ahead log
+//!
+//! The indexes in this repository (the baseline B+-tree, the B-link tree, BFTL, the
+//! FD-tree and the PIO B-tree itself) all sit on the same storage substrate:
+//!
+//! * [`PageStore`] — a flat page space over a [`pio::ParallelIo`] backend, with page
+//!   allocation, single-page and batched (psync) reads and writes, and multi-page
+//!   *region* operations used by the PIO B-tree's enlarged leaf nodes.
+//! * [`BufferPool`] — an LRU page cache with pin counts, dirty tracking and both
+//!   write-back and write-through policies; the paper's experiments sweep its size
+//!   (Figure 9) and trade it off against the operation queue (Figure 11).
+//! * [`CachedStore`] — the composition of the two that index code talks to.
+//! * [`Wal`] — an append-only write-ahead log used by the PIO B-tree's crash
+//!   recovery (Section 3.4).
+//!
+//! Everything is expressed in terms of logical [`PageId`]s; the mapping to byte
+//! offsets is `page_id × page_size`, so a `PageStore` corresponds to one index file
+//! in the paper's setup.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bufpool;
+pub mod cached;
+pub mod page;
+pub mod store;
+pub mod wal;
+
+pub use bufpool::{BufferPool, BufferPoolStats, WritePolicy};
+pub use cached::CachedStore;
+pub use page::{PageId, INVALID_PAGE};
+pub use store::{PageStore, StoreStats};
+pub use wal::{Lsn, Wal, WalRecord};

@@ -1,0 +1,33 @@
+//! Page identifiers and small helpers shared by the storage layer.
+
+/// Logical page identifier within a [`crate::PageStore`].
+///
+/// Page 0 is a valid, allocatable page; [`INVALID_PAGE`] is the sentinel used for
+/// "no page" (for example the right-sibling pointer of the right-most leaf).
+pub type PageId = u64;
+
+/// Sentinel value meaning "no page".
+pub const INVALID_PAGE: PageId = u64::MAX;
+
+/// Returns the byte offset of `page` in a store with `page_size`-byte pages.
+pub fn page_offset(page: PageId, page_size: usize) -> u64 {
+    page * page_size as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_scale_with_page_size() {
+        assert_eq!(page_offset(0, 4096), 0);
+        assert_eq!(page_offset(3, 4096), 12288);
+        assert_eq!(page_offset(3, 2048), 6144);
+    }
+
+    #[test]
+    fn invalid_page_is_distinct_from_real_pages() {
+        assert_ne!(INVALID_PAGE, 0);
+        assert_ne!(INVALID_PAGE, 1);
+    }
+}

@@ -1,0 +1,332 @@
+//! The page store: a flat page space over a psync I/O backend.
+
+use crate::page::{page_offset, PageId};
+use parking_lot::Mutex;
+use pio::{IoResult, ParallelIo, ReadRequest, WriteRequest};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Allocation and I/O counters of a [`PageStore`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Pages allocated (including contiguous runs).
+    pub allocated: u64,
+    /// Pages returned to the free list.
+    pub freed: u64,
+    /// Single-page and region read requests issued.
+    pub page_reads: u64,
+    /// Single-page and region write requests issued.
+    pub page_writes: u64,
+    /// psync read calls issued.
+    pub read_batches: u64,
+    /// psync write calls issued.
+    pub write_batches: u64,
+}
+
+/// A flat page space with allocation, single, batched (psync) and multi-page region
+/// I/O, generic over any [`ParallelIo`] backend.
+///
+/// Cloning a `PageStore` is cheap and yields a handle to the same underlying space
+/// (allocation state and statistics are shared).
+#[derive(Clone)]
+pub struct PageStore {
+    io: Arc<dyn ParallelIo>,
+    page_size: usize,
+    next_page: Arc<AtomicU64>,
+    free_list: Arc<Mutex<Vec<PageId>>>,
+    stats: Arc<Mutex<StoreStats>>,
+}
+
+impl std::fmt::Debug for PageStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PageStore")
+            .field("page_size", &self.page_size)
+            .field("next_page", &self.next_page.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl PageStore {
+    /// Creates a store with `page_size`-byte pages over `io`.
+    pub fn new(io: Arc<dyn ParallelIo>, page_size: usize) -> Self {
+        assert!(page_size >= 64, "page size must hold at least a node header");
+        Self {
+            io,
+            page_size,
+            next_page: Arc::new(AtomicU64::new(0)),
+            free_list: Arc::new(Mutex::new(Vec::new())),
+            stats: Arc::new(Mutex::new(StoreStats::default())),
+        }
+    }
+
+    /// The page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// The backend this store performs I/O through.
+    pub fn io(&self) -> &Arc<dyn ParallelIo> {
+        &self.io
+    }
+
+    /// Total simulated / wall-clock I/O time consumed through this store's backend, µs.
+    pub fn io_elapsed_us(&self) -> f64 {
+        self.io.elapsed_us()
+    }
+
+    /// Snapshot of the allocation / I/O counters.
+    pub fn stats(&self) -> StoreStats {
+        *self.stats.lock()
+    }
+
+    /// Number of pages handed out so far (high-water mark, ignoring frees).
+    pub fn high_water_pages(&self) -> u64 {
+        self.next_page.load(Ordering::Relaxed)
+    }
+
+    /// Allocates one page, reusing a freed page when available.
+    pub fn allocate(&self) -> PageId {
+        self.stats.lock().allocated += 1;
+        if let Some(p) = self.free_list.lock().pop() {
+            return p;
+        }
+        self.next_page.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Allocates `n` physically consecutive pages and returns the first id. Used for
+    /// multi-page leaf nodes, which must be contiguous so that one large read covers
+    /// the whole node.
+    pub fn allocate_contiguous(&self, n: u64) -> PageId {
+        assert!(n > 0);
+        self.stats.lock().allocated += n;
+        self.next_page.fetch_add(n, Ordering::Relaxed)
+    }
+
+    /// Returns a page to the free list. Freed pages are reused by later single-page
+    /// allocations.
+    pub fn free(&self, page: PageId) {
+        self.stats.lock().freed += 1;
+        self.free_list.lock().push(page);
+    }
+
+    /// Reads one page.
+    pub fn read_page(&self, page: PageId) -> IoResult<Vec<u8>> {
+        let mut v = self.read_pages(std::slice::from_ref(&page))?;
+        Ok(v.pop().expect("one result per request"))
+    }
+
+    /// Reads many pages with a single psync call; results are in the order of `pages`.
+    pub fn read_pages(&self, pages: &[PageId]) -> IoResult<Vec<Vec<u8>>> {
+        if pages.is_empty() {
+            return Ok(Vec::new());
+        }
+        let reqs: Vec<ReadRequest> = pages
+            .iter()
+            .map(|&p| ReadRequest::new(page_offset(p, self.page_size), self.page_size))
+            .collect();
+        let (bufs, _) = self.io.psync_read(&reqs)?;
+        let mut s = self.stats.lock();
+        s.page_reads += pages.len() as u64;
+        s.read_batches += 1;
+        Ok(bufs)
+    }
+
+    /// Writes one page. `data` must be exactly one page long.
+    pub fn write_page(&self, page: PageId, data: &[u8]) -> IoResult<()> {
+        self.write_pages(&[(page, data)])
+    }
+
+    /// Writes many pages with a single psync call.
+    pub fn write_pages(&self, pages: &[(PageId, &[u8])]) -> IoResult<()> {
+        if pages.is_empty() {
+            return Ok(());
+        }
+        for (_, data) in pages {
+            assert_eq!(data.len(), self.page_size, "page image must match the page size");
+        }
+        let reqs: Vec<WriteRequest> = pages
+            .iter()
+            .map(|(p, data)| WriteRequest::new(page_offset(*p, self.page_size), data))
+            .collect();
+        self.io.psync_write(&reqs)?;
+        let mut s = self.stats.lock();
+        s.page_writes += pages.len() as u64;
+        s.write_batches += 1;
+        Ok(())
+    }
+
+    /// Reads `n_pages` consecutive pages starting at `first` with a single large
+    /// request (package-level parallelism: one I/O of `n_pages × page_size` bytes).
+    pub fn read_region(&self, first: PageId, n_pages: u64) -> IoResult<Vec<u8>> {
+        assert!(n_pages > 0);
+        let req = ReadRequest::new(page_offset(first, self.page_size), self.page_size * n_pages as usize);
+        let (mut bufs, _) = self.io.psync_read(&[req])?;
+        let mut s = self.stats.lock();
+        s.page_reads += n_pages;
+        s.read_batches += 1;
+        Ok(bufs.pop().expect("one result"))
+    }
+
+    /// Writes a contiguous region of pages with a single large request. `data` must be
+    /// a whole number of pages.
+    pub fn write_region(&self, first: PageId, data: &[u8]) -> IoResult<()> {
+        assert!(!data.is_empty() && data.len() % self.page_size == 0);
+        let req = WriteRequest::new(page_offset(first, self.page_size), data);
+        self.io.psync_write(&[req])?;
+        let mut s = self.stats.lock();
+        s.page_writes += (data.len() / self.page_size) as u64;
+        s.write_batches += 1;
+        Ok(())
+    }
+
+    /// Reads several multi-page regions with one psync call (used by the PIO B-tree to
+    /// fetch many enlarged leaf nodes at once). Each entry is `(first_page, n_pages)`.
+    pub fn read_regions(&self, regions: &[(PageId, u64)]) -> IoResult<Vec<Vec<u8>>> {
+        if regions.is_empty() {
+            return Ok(Vec::new());
+        }
+        let reqs: Vec<ReadRequest> = regions
+            .iter()
+            .map(|&(p, n)| ReadRequest::new(page_offset(p, self.page_size), self.page_size * n as usize))
+            .collect();
+        let (bufs, _) = self.io.psync_read(&reqs)?;
+        let mut s = self.stats.lock();
+        s.page_reads += regions.iter().map(|&(_, n)| n).sum::<u64>();
+        s.read_batches += 1;
+        Ok(bufs)
+    }
+
+    /// Writes several multi-page regions with one psync call. Each entry is
+    /// `(first_page, data)` where `data` is a whole number of pages.
+    pub fn write_regions(&self, regions: &[(PageId, &[u8])]) -> IoResult<()> {
+        if regions.is_empty() {
+            return Ok(());
+        }
+        for (_, data) in regions {
+            assert!(!data.is_empty() && data.len() % self.page_size == 0);
+        }
+        let reqs: Vec<WriteRequest> = regions
+            .iter()
+            .map(|(p, data)| WriteRequest::new(page_offset(*p, self.page_size), data))
+            .collect();
+        self.io.psync_write(&reqs)?;
+        let mut s = self.stats.lock();
+        s.page_writes += regions.iter().map(|(_, d)| (d.len() / self.page_size) as u64).sum::<u64>();
+        s.write_batches += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pio::SimPsyncIo;
+    use ssd_sim::DeviceProfile;
+
+    fn store(page_size: usize) -> PageStore {
+        let io = Arc::new(SimPsyncIo::with_profile(DeviceProfile::F120, 256 * 1024 * 1024));
+        PageStore::new(io, page_size)
+    }
+
+    #[test]
+    fn allocation_is_monotonic_and_reuses_freed_pages() {
+        let s = store(4096);
+        let a = s.allocate();
+        let b = s.allocate();
+        assert_ne!(a, b);
+        s.free(a);
+        let c = s.allocate();
+        assert_eq!(c, a, "freed page should be reused");
+        assert_eq!(s.stats().allocated, 3);
+        assert_eq!(s.stats().freed, 1);
+    }
+
+    #[test]
+    fn contiguous_allocation_is_really_contiguous() {
+        let s = store(4096);
+        let first = s.allocate_contiguous(4);
+        let next = s.allocate();
+        assert_eq!(next, first + 4);
+    }
+
+    #[test]
+    fn single_page_round_trip() {
+        let s = store(4096);
+        let p = s.allocate();
+        let mut img = vec![0u8; 4096];
+        img[..4].copy_from_slice(b"page");
+        s.write_page(p, &img).unwrap();
+        assert_eq!(s.read_page(p).unwrap(), img);
+    }
+
+    #[test]
+    fn batched_round_trip_preserves_order() {
+        let s = store(2048);
+        let pages: Vec<PageId> = (0..16).map(|_| s.allocate()).collect();
+        let images: Vec<Vec<u8>> = pages.iter().map(|&p| vec![p as u8; 2048]).collect();
+        let writes: Vec<(PageId, &[u8])> = pages.iter().zip(&images).map(|(&p, d)| (p, d.as_slice())).collect();
+        s.write_pages(&writes).unwrap();
+        let read_back = s.read_pages(&pages).unwrap();
+        assert_eq!(read_back, images);
+        assert_eq!(s.stats().write_batches, 1);
+        assert_eq!(s.stats().read_batches, 1);
+        assert_eq!(s.stats().page_writes, 16);
+    }
+
+    #[test]
+    fn region_round_trip() {
+        let s = store(2048);
+        let first = s.allocate_contiguous(4);
+        let data: Vec<u8> = (0..4 * 2048u32).map(|i| (i % 255) as u8).collect();
+        s.write_region(first, &data).unwrap();
+        assert_eq!(s.read_region(first, 4).unwrap(), data);
+    }
+
+    #[test]
+    fn multiple_regions_in_one_call() {
+        let s = store(2048);
+        let a = s.allocate_contiguous(2);
+        let b = s.allocate_contiguous(3);
+        let da = vec![1u8; 2 * 2048];
+        let db = vec![2u8; 3 * 2048];
+        s.write_regions(&[(a, &da), (b, &db)]).unwrap();
+        let out = s.read_regions(&[(a, 2), (b, 3)]).unwrap();
+        assert_eq!(out[0], da);
+        assert_eq!(out[1], db);
+    }
+
+    #[test]
+    #[should_panic(expected = "page image must match")]
+    fn wrong_sized_page_is_rejected() {
+        let s = store(4096);
+        let p = s.allocate();
+        let _ = s.write_page(p, &[0u8; 100]);
+    }
+
+    #[test]
+    fn empty_batches_are_noops() {
+        let s = store(4096);
+        assert!(s.read_pages(&[]).unwrap().is_empty());
+        s.write_pages(&[]).unwrap();
+        assert_eq!(s.stats().read_batches, 0);
+        assert_eq!(s.stats().write_batches, 0);
+    }
+
+    #[test]
+    fn io_time_accumulates() {
+        let s = store(4096);
+        let p = s.allocate();
+        assert_eq!(s.io_elapsed_us(), 0.0);
+        s.write_page(p, &vec![0u8; 4096]).unwrap();
+        assert!(s.io_elapsed_us() > 0.0);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let s = store(4096);
+        let s2 = s.clone();
+        let p = s.allocate();
+        assert_ne!(s2.allocate(), p);
+        assert_eq!(s.stats().allocated, 2);
+    }
+}

@@ -1,0 +1,286 @@
+//! A minimal append-only write-ahead log.
+//!
+//! Section 3.4 of the paper makes the PIO B-tree recoverable by writing **logical
+//! redo logs** for every OPQ append, **flush event logs** bracketing every OPQ flush
+//! and **flush undo logs** for every node updated by a flush. This module provides
+//! the log device those records are written to: an append-only sequence of
+//! length-prefixed records identified by their [`Lsn`] (the byte offset of the
+//! record), buffered in memory and forced to the device in whole pages by
+//! [`Wal::force`] — the "write ahead" step that must complete before an OPQ flush may
+//! proceed.
+//!
+//! The log occupies its own region of a [`pio::ParallelIo`] backend (its own file in
+//! the paper's terms), so log writes are sequential and never interleave with index
+//! node I/O inside a single psync call.
+
+use parking_lot::Mutex;
+use pio::{IoResult, ParallelIo, ReadRequest, WriteRequest};
+use std::sync::Arc;
+
+/// Log sequence number: the byte offset of a record within the log.
+pub type Lsn = u64;
+
+/// A record read back from the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// The record's LSN.
+    pub lsn: Lsn,
+    /// The record payload.
+    pub payload: Vec<u8>,
+}
+
+#[derive(Debug, Default)]
+struct WalInner {
+    /// Bytes appended but not yet forced.
+    pending: Vec<(Lsn, Vec<u8>)>,
+    /// Next LSN to hand out.
+    next_lsn: Lsn,
+    /// LSN up to which everything is durable.
+    durable_lsn: Lsn,
+}
+
+/// An append-only, force-on-demand log over a psync I/O backend.
+pub struct Wal {
+    io: Arc<dyn ParallelIo>,
+    /// Byte offset of the start of the log region on the backend.
+    base_offset: u64,
+    page_size: usize,
+    inner: Mutex<WalInner>,
+}
+
+const LEN_PREFIX: usize = 4;
+
+impl Wal {
+    /// Creates a log whose records are written starting at `base_offset` on `io`,
+    /// forced in units of `page_size` bytes.
+    pub fn new(io: Arc<dyn ParallelIo>, base_offset: u64, page_size: usize) -> Self {
+        Self {
+            io,
+            base_offset,
+            page_size,
+            inner: Mutex::new(WalInner::default()),
+        }
+    }
+
+    /// Appends a record and returns its LSN. The record is **not** durable until
+    /// [`Wal::force`] returns.
+    pub fn append(&self, payload: &[u8]) -> Lsn {
+        let mut inner = self.inner.lock();
+        let lsn = inner.next_lsn;
+        inner.next_lsn += (LEN_PREFIX + payload.len()) as u64;
+        inner.pending.push((lsn, payload.to_vec()));
+        lsn
+    }
+
+    /// The LSN that the *next* append will receive.
+    pub fn next_lsn(&self) -> Lsn {
+        self.inner.lock().next_lsn
+    }
+
+    /// The LSN up to which the log is durable.
+    pub fn durable_lsn(&self) -> Lsn {
+        self.inner.lock().durable_lsn
+    }
+
+    /// Number of appended-but-not-forced records.
+    pub fn pending_records(&self) -> usize {
+        self.inner.lock().pending.len()
+    }
+
+    /// Forces every pending record to the device (WAL rule: callers must invoke this
+    /// before the action the records describe is applied to the index).
+    pub fn force(&self) -> IoResult<()> {
+        let pending: Vec<(Lsn, Vec<u8>)> = {
+            let mut inner = self.inner.lock();
+            std::mem::take(&mut inner.pending)
+        };
+        if pending.is_empty() {
+            return Ok(());
+        }
+        // Serialise the pending records into their byte image.
+        let first_lsn = pending[0].0;
+        let mut image = Vec::new();
+        for (_, payload) in &pending {
+            image.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            image.extend_from_slice(payload);
+        }
+        // Write whole pages covering [first_lsn, first_lsn + image.len()), sequentially.
+        let start_page = first_lsn / self.page_size as u64;
+        let end_byte = first_lsn + image.len() as u64;
+        let end_page = end_byte.div_ceil(self.page_size as u64);
+        // Build the page images. Records may start mid-page; bytes before the first
+        // record in the first page are left as zeroes (they were written by the
+        // previous force and are re-read below to preserve them).
+        let mut region = vec![0u8; ((end_page - start_page) * self.page_size as u64) as usize];
+        let page_base = start_page * self.page_size as u64;
+        if first_lsn > page_base {
+            // Preserve the earlier bytes of the first page.
+            let existing = self
+                .io
+                .read_at(self.base_offset + page_base, (first_lsn - page_base) as usize)?;
+            region[..existing.len()].copy_from_slice(&existing);
+        }
+        let off = (first_lsn - page_base) as usize;
+        region[off..off + image.len()].copy_from_slice(&image);
+
+        let reqs: Vec<WriteRequest> = region
+            .chunks(self.page_size)
+            .enumerate()
+            .map(|(i, chunk)| {
+                WriteRequest::new(self.base_offset + page_base + (i * self.page_size) as u64, chunk)
+            })
+            .collect();
+        self.io.psync_write(&reqs)?;
+
+        let mut inner = self.inner.lock();
+        inner.durable_lsn = inner.durable_lsn.max(end_byte);
+        Ok(())
+    }
+
+    /// Reads every durable record back from the device, in LSN order. Used by the
+    /// recovery procedure's analysis pass.
+    pub fn read_all(&self) -> IoResult<Vec<WalRecord>> {
+        let durable = self.durable_lsn();
+        if durable == 0 {
+            return Ok(Vec::new());
+        }
+        let raw = {
+            // Read the durable prefix in page-sized psync batches.
+            let n_pages = durable.div_ceil(self.page_size as u64);
+            let reqs: Vec<ReadRequest> = (0..n_pages)
+                .map(|p| ReadRequest::new(self.base_offset + p * self.page_size as u64, self.page_size))
+                .collect();
+            let (bufs, _) = self.io.psync_read(&reqs)?;
+            let mut all = Vec::with_capacity((n_pages as usize) * self.page_size);
+            for b in bufs {
+                all.extend_from_slice(&b);
+            }
+            all.truncate(durable as usize);
+            all
+        };
+        let mut records = Vec::new();
+        let mut pos = 0usize;
+        while pos + LEN_PREFIX <= raw.len() {
+            let len = u32::from_le_bytes(raw[pos..pos + LEN_PREFIX].try_into().expect("4 bytes")) as usize;
+            if len == 0 || pos + LEN_PREFIX + len > raw.len() {
+                break;
+            }
+            records.push(WalRecord {
+                lsn: pos as u64,
+                payload: raw[pos + LEN_PREFIX..pos + LEN_PREFIX + len].to_vec(),
+            });
+            pos += LEN_PREFIX + len;
+        }
+        Ok(records)
+    }
+
+    /// Discards the in-memory notion of the log (used by tests that simulate a crash:
+    /// pending, un-forced records are lost; durable ones survive on the device).
+    pub fn simulate_crash(&self) -> Lsn {
+        let mut inner = self.inner.lock();
+        inner.pending.clear();
+        inner.next_lsn = inner.durable_lsn;
+        inner.durable_lsn
+    }
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Wal")
+            .field("base_offset", &self.base_offset)
+            .field("next_lsn", &inner.next_lsn)
+            .field("durable_lsn", &inner.durable_lsn)
+            .field("pending", &inner.pending.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pio::SimPsyncIo;
+    use ssd_sim::DeviceProfile;
+
+    fn wal() -> Wal {
+        let io = Arc::new(SimPsyncIo::with_profile(DeviceProfile::F120, 64 * 1024 * 1024));
+        Wal::new(io, 0, 4096)
+    }
+
+    #[test]
+    fn append_assigns_increasing_lsns() {
+        let w = wal();
+        let a = w.append(b"first");
+        let b = w.append(b"second");
+        assert!(b > a);
+        assert_eq!(w.pending_records(), 2);
+        assert_eq!(w.durable_lsn(), 0);
+    }
+
+    #[test]
+    fn force_then_read_all_round_trips() {
+        let w = wal();
+        let payloads: Vec<Vec<u8>> = (0..100u32).map(|i| format!("record-{i}").into_bytes()).collect();
+        for p in &payloads {
+            w.append(p);
+        }
+        w.force().unwrap();
+        let records = w.read_all().unwrap();
+        assert_eq!(records.len(), 100);
+        for (rec, expect) in records.iter().zip(&payloads) {
+            assert_eq!(&rec.payload, expect);
+        }
+        // LSNs must be strictly increasing.
+        assert!(records.windows(2).all(|w| w[0].lsn < w[1].lsn));
+    }
+
+    #[test]
+    fn multiple_forces_accumulate() {
+        let w = wal();
+        w.append(b"aaaa");
+        w.force().unwrap();
+        w.append(b"bbbb");
+        w.append(b"cccc");
+        w.force().unwrap();
+        let recs = w.read_all().unwrap();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].payload, b"aaaa");
+        assert_eq!(recs[2].payload, b"cccc");
+    }
+
+    #[test]
+    fn unforced_records_are_lost_on_crash() {
+        let w = wal();
+        w.append(b"durable");
+        w.force().unwrap();
+        w.append(b"volatile");
+        w.simulate_crash();
+        let recs = w.read_all().unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].payload, b"durable");
+        // New appends continue from the durable LSN.
+        let lsn = w.append(b"after");
+        assert_eq!(lsn, w.durable_lsn());
+    }
+
+    #[test]
+    fn force_with_nothing_pending_is_a_noop() {
+        let w = wal();
+        w.force().unwrap();
+        assert_eq!(w.durable_lsn(), 0);
+        assert!(w.read_all().unwrap().is_empty());
+    }
+
+    #[test]
+    fn large_records_spanning_pages() {
+        let w = wal();
+        let big = vec![0xCD; 10_000];
+        w.append(&big);
+        w.append(b"tail");
+        w.force().unwrap();
+        let recs = w.read_all().unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].payload, big);
+        assert_eq!(recs[1].payload, b"tail");
+    }
+}

@@ -1,0 +1,121 @@
+//! Key generation: distributions over the key space.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How keys are drawn from the key space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDistribution {
+    /// Uniformly random keys in `[0, key_space)`.
+    Uniform,
+    /// Zipfian-skewed keys (approximated): a fraction `hot_fraction` of the key space
+    /// receives `hot_probability` of the accesses.
+    Skewed {
+        /// Fraction of the key space considered hot (e.g. 0.2).
+        hot_fraction: f64,
+        /// Probability that an access goes to the hot fraction (e.g. 0.8).
+        hot_probability: f64,
+    },
+    /// Monotonically increasing keys (append workload).
+    Sequential,
+}
+
+/// A deterministic key generator.
+#[derive(Debug, Clone)]
+pub struct KeyGenerator {
+    rng: StdRng,
+    key_space: u64,
+    distribution: KeyDistribution,
+    next_sequential: u64,
+}
+
+impl KeyGenerator {
+    /// Creates a generator over `[0, key_space)` with the given distribution.
+    pub fn new(seed: u64, key_space: u64, distribution: KeyDistribution) -> Self {
+        assert!(key_space > 0);
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            key_space,
+            distribution,
+            next_sequential: 0,
+        }
+    }
+
+    /// The size of the key space.
+    pub fn key_space(&self) -> u64 {
+        self.key_space
+    }
+
+    /// Draws the next key.
+    pub fn next_key(&mut self) -> u64 {
+        match self.distribution {
+            KeyDistribution::Uniform => self.rng.gen_range(0..self.key_space),
+            KeyDistribution::Sequential => {
+                let k = self.next_sequential;
+                self.next_sequential = (self.next_sequential + 1) % self.key_space;
+                k
+            }
+            KeyDistribution::Skewed { hot_fraction, hot_probability } => {
+                let hot_keys = ((self.key_space as f64) * hot_fraction).max(1.0) as u64;
+                if self.rng.gen_bool(hot_probability.clamp(0.0, 1.0)) {
+                    self.rng.gen_range(0..hot_keys)
+                } else {
+                    self.rng.gen_range(hot_keys.min(self.key_space - 1)..self.key_space)
+                }
+            }
+        }
+    }
+
+    /// Produces `n` sorted, duplicate-free keys evenly spread over the key space —
+    /// the bulk-load population used to build the initial index.
+    pub fn bulk_keys(n: u64, key_space: u64) -> Vec<u64> {
+        assert!(n <= key_space);
+        let stride = (key_space / n.max(1)).max(1);
+        (0..n).map(|i| i * stride).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_keys_are_in_range_and_deterministic() {
+        let mut a = KeyGenerator::new(7, 1000, KeyDistribution::Uniform);
+        let mut b = KeyGenerator::new(7, 1000, KeyDistribution::Uniform);
+        for _ in 0..500 {
+            let ka = a.next_key();
+            assert!(ka < 1000);
+            assert_eq!(ka, b.next_key());
+        }
+    }
+
+    #[test]
+    fn sequential_keys_wrap_around() {
+        let mut g = KeyGenerator::new(1, 3, KeyDistribution::Sequential);
+        assert_eq!(
+            (0..7).map(|_| g.next_key()).collect::<Vec<_>>(),
+            vec![0, 1, 2, 0, 1, 2, 0]
+        );
+    }
+
+    #[test]
+    fn skewed_distribution_prefers_the_hot_set() {
+        let mut g = KeyGenerator::new(
+            3,
+            10_000,
+            KeyDistribution::Skewed { hot_fraction: 0.1, hot_probability: 0.9 },
+        );
+        let hot_bound = 1_000;
+        let hits = (0..10_000).filter(|_| g.next_key() < hot_bound).count();
+        assert!(hits > 8_000, "expected ~90% hot hits, got {hits}");
+    }
+
+    #[test]
+    fn bulk_keys_are_sorted_and_unique() {
+        let keys = KeyGenerator::bulk_keys(1_000, 1_000_000);
+        assert_eq!(keys.len(), 1_000);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        assert!(*keys.last().unwrap() < 1_000_000);
+    }
+}

@@ -1,0 +1,204 @@
+//! Mixed-operation workload generation (the synthetic workloads of Section 4.1).
+
+use crate::keyspace::{KeyDistribution, KeyGenerator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One index operation of a generated workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operation {
+    /// Insert `key → value`.
+    Insert {
+        /// The key to insert.
+        key: u64,
+        /// The record pointer to associate.
+        value: u64,
+    },
+    /// Point search for `key`.
+    Search {
+        /// The key to look up.
+        key: u64,
+    },
+    /// Delete `key`.
+    Delete {
+        /// The key to delete.
+        key: u64,
+    },
+    /// Update the record pointer of `key`.
+    Update {
+        /// The key to update.
+        key: u64,
+        /// The new record pointer.
+        value: u64,
+    },
+    /// Range search over `[lo, hi)`.
+    RangeSearch {
+        /// Range start (inclusive).
+        lo: u64,
+        /// Range end (exclusive).
+        hi: u64,
+    },
+}
+
+impl Operation {
+    /// Whether the operation modifies the index.
+    pub fn is_update_type(&self) -> bool {
+        matches!(self, Operation::Insert { .. } | Operation::Delete { .. } | Operation::Update { .. })
+    }
+}
+
+/// The operation mix of a workload, as fractions that must sum to at most 1; the
+/// remainder is assigned to point searches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixSpec {
+    /// Fraction of inserts.
+    pub insert: f64,
+    /// Fraction of deletes.
+    pub delete: f64,
+    /// Fraction of updates.
+    pub update: f64,
+    /// Fraction of range searches.
+    pub range_search: f64,
+    /// Span of each range search in key-space units.
+    pub range_span: u64,
+}
+
+impl MixSpec {
+    /// The paper's two-way insert/search mix (Figure 12): `insert_ratio` inserts, the
+    /// rest point searches.
+    pub fn insert_search(insert_ratio: f64) -> Self {
+        Self { insert: insert_ratio, delete: 0.0, update: 0.0, range_search: 0.0, range_span: 0 }
+    }
+
+    /// A search-only workload (Figure 9).
+    pub fn search_only() -> Self {
+        Self::insert_search(0.0)
+    }
+
+    /// An insert-only workload (Figure 11).
+    pub fn insert_only() -> Self {
+        Self::insert_search(1.0)
+    }
+
+    fn validate(&self) {
+        let total = self.insert + self.delete + self.update + self.range_search;
+        assert!((0.0..=1.0 + 1e-9).contains(&total), "mix fractions must sum to at most 1");
+    }
+}
+
+/// Deterministic generator of operation sequences.
+#[derive(Debug, Clone)]
+pub struct OperationGenerator {
+    rng: StdRng,
+    keys: KeyGenerator,
+    mix: MixSpec,
+    next_value: u64,
+}
+
+impl OperationGenerator {
+    /// Creates a generator drawing keys from `distribution` over `[0, key_space)`.
+    pub fn new(seed: u64, key_space: u64, distribution: KeyDistribution, mix: MixSpec) -> Self {
+        mix.validate();
+        Self {
+            rng: StdRng::seed_from_u64(seed ^ 0x9E3779B97F4A7C15),
+            keys: KeyGenerator::new(seed, key_space, distribution),
+            mix,
+            next_value: 1,
+        }
+    }
+
+    /// Generates the next operation.
+    pub fn next_op(&mut self) -> Operation {
+        let roll: f64 = self.rng.gen();
+        let key = self.keys.next_key();
+        let mut acc = self.mix.insert;
+        if roll < acc {
+            let value = self.next_value;
+            self.next_value += 1;
+            return Operation::Insert { key, value };
+        }
+        acc += self.mix.delete;
+        if roll < acc {
+            return Operation::Delete { key };
+        }
+        acc += self.mix.update;
+        if roll < acc {
+            let value = self.next_value;
+            self.next_value += 1;
+            return Operation::Update { key, value };
+        }
+        acc += self.mix.range_search;
+        if roll < acc {
+            let span = self.mix.range_span.max(1);
+            let lo = key.min(self.keys.key_space().saturating_sub(span));
+            return Operation::RangeSearch { lo, hi: lo + span };
+        }
+        Operation::Search { key }
+    }
+
+    /// Generates a whole workload of `n` operations.
+    pub fn generate(&mut self, n: usize) -> Vec<Operation> {
+        (0..n).map(|_| self.next_op()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_ratios_are_respected() {
+        let mix = MixSpec { insert: 0.3, delete: 0.1, update: 0.1, range_search: 0.1, range_span: 100 };
+        let mut g = OperationGenerator::new(5, 1_000_000, KeyDistribution::Uniform, mix);
+        let ops = g.generate(20_000);
+        let inserts = ops.iter().filter(|o| matches!(o, Operation::Insert { .. })).count();
+        let deletes = ops.iter().filter(|o| matches!(o, Operation::Delete { .. })).count();
+        let ranges = ops.iter().filter(|o| matches!(o, Operation::RangeSearch { .. })).count();
+        let searches = ops.iter().filter(|o| matches!(o, Operation::Search { .. })).count();
+        assert!((inserts as f64 / 20_000.0 - 0.3).abs() < 0.02);
+        assert!((deletes as f64 / 20_000.0 - 0.1).abs() < 0.02);
+        assert!((ranges as f64 / 20_000.0 - 0.1).abs() < 0.02);
+        assert!((searches as f64 / 20_000.0 - 0.4).abs() < 0.02);
+    }
+
+    #[test]
+    fn insert_search_mix_has_no_other_operations() {
+        let mut g = OperationGenerator::new(1, 10_000, KeyDistribution::Uniform, MixSpec::insert_search(0.5));
+        let ops = g.generate(5_000);
+        assert!(ops
+            .iter()
+            .all(|o| matches!(o, Operation::Insert { .. } | Operation::Search { .. })));
+        let inserts = ops.iter().filter(|o| o.is_update_type()).count();
+        assert!((inserts as f64 / 5_000.0 - 0.5).abs() < 0.03);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mix = MixSpec::insert_search(0.5);
+        let a = OperationGenerator::new(9, 1_000, KeyDistribution::Uniform, mix).generate(100);
+        let b = OperationGenerator::new(9, 1_000, KeyDistribution::Uniform, mix).generate(100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn range_searches_respect_the_span_and_bounds() {
+        let mix = MixSpec { insert: 0.0, delete: 0.0, update: 0.0, range_search: 1.0, range_span: 64 };
+        let mut g = OperationGenerator::new(2, 10_000, KeyDistribution::Uniform, mix);
+        for op in g.generate(1_000) {
+            match op {
+                Operation::RangeSearch { lo, hi } => {
+                    assert_eq!(hi - lo, 64);
+                    assert!(hi <= 10_000 + 64);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to at most 1")]
+    fn overfull_mix_is_rejected() {
+        let mix = MixSpec { insert: 0.9, delete: 0.3, update: 0.0, range_search: 0.0, range_span: 0 };
+        let _ = OperationGenerator::new(1, 10, KeyDistribution::Uniform, mix);
+    }
+}

@@ -1,0 +1,310 @@
+//! A TPC-C-shaped index-operation trace generator (the Section 4.2 workload).
+//!
+//! The paper captures index operations from inside PostgreSQL while running TPC-C
+//! (100 warehouses, 100 clients): 8 index relations, ~1 GiB of index data, and an
+//! operation mix of 71.5 % point searches, 23.8 % inserts, 3.7 % range searches and
+//! 1 % deletes, with noticeably higher temporal and spatial locality than uniform
+//! synthetic workloads. PostgreSQL and its TPC-C driver are not part of this
+//! reproduction; instead this generator produces a trace with the same observable
+//! properties the experiment depends on:
+//!
+//! * operations are spread over 8 index relations (customer, stock, order-line, …)
+//!   with realistic relative sizes;
+//! * the published operation mix is reproduced exactly (in expectation);
+//! * spatial locality: keys are composed of a warehouse/district prefix, and a small
+//!   set of "active" districts receives most of the traffic at any point in time;
+//! * temporal locality: inserts into order-style relations use monotonically
+//!   increasing identifiers within each district, and recent identifiers are re-read
+//!   with high probability.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The published TPC-C index-trace operation mix (Section 4.2).
+pub const TPCC_SEARCH_RATIO: f64 = 0.715;
+/// Fraction of inserts in the trace.
+pub const TPCC_INSERT_RATIO: f64 = 0.238;
+/// Fraction of range searches in the trace.
+pub const TPCC_RANGE_RATIO: f64 = 0.037;
+/// Fraction of deletes in the trace.
+pub const TPCC_DELETE_RATIO: f64 = 0.010;
+
+/// Configuration of the trace generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TpccConfig {
+    /// Number of warehouses (the paper uses 100).
+    pub warehouses: u64,
+    /// Emulated client count — controls how many districts are simultaneously hot.
+    pub clients: u64,
+    /// Number of index relations (the paper's trace covers 8).
+    pub relations: usize,
+    /// Span of a range search in key units (order-line scans cover one order).
+    pub range_span: u64,
+}
+
+impl Default for TpccConfig {
+    fn default() -> Self {
+        Self { warehouses: 100, clients: 100, relations: 8, range_span: 15 }
+    }
+}
+
+/// One operation of the generated trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOp {
+    /// Point search on `relation` for `key`.
+    Search {
+        /// Index relation the operation targets.
+        relation: usize,
+        /// The key searched.
+        key: u64,
+    },
+    /// Insert into `relation`.
+    Insert {
+        /// Index relation the operation targets.
+        relation: usize,
+        /// The key inserted.
+        key: u64,
+        /// The record pointer.
+        value: u64,
+    },
+    /// Delete from `relation`.
+    Delete {
+        /// Index relation the operation targets.
+        relation: usize,
+        /// The key deleted.
+        key: u64,
+    },
+    /// Range search on `relation` over `[lo, hi)`.
+    RangeSearch {
+        /// Index relation the operation targets.
+        relation: usize,
+        /// Range start.
+        lo: u64,
+        /// Range end (exclusive).
+        hi: u64,
+    },
+}
+
+impl TraceOp {
+    /// The relation the operation targets.
+    pub fn relation(&self) -> usize {
+        match *self {
+            TraceOp::Search { relation, .. }
+            | TraceOp::Insert { relation, .. }
+            | TraceOp::Delete { relation, .. }
+            | TraceOp::RangeSearch { relation, .. } => relation,
+        }
+    }
+}
+
+/// Deterministic TPC-C-like trace generator.
+#[derive(Debug, Clone)]
+pub struct TpccTraceGenerator {
+    rng: StdRng,
+    config: TpccConfig,
+    /// Next sequential id per (relation, district bucket) for order-style inserts.
+    next_seq: Vec<u64>,
+    /// Recently inserted keys per relation (for temporal locality of re-reads).
+    recent: Vec<Vec<u64>>,
+    next_value: u64,
+}
+
+const DISTRICTS_PER_WAREHOUSE: u64 = 10;
+/// Key-space stride separating district prefixes.
+const DISTRICT_STRIDE: u64 = 1 << 20;
+
+impl TpccTraceGenerator {
+    /// Creates a generator with the given configuration.
+    pub fn new(seed: u64, config: TpccConfig) -> Self {
+        assert!(config.warehouses > 0 && config.relations > 0);
+        let buckets = (config.warehouses * DISTRICTS_PER_WAREHOUSE) as usize * config.relations;
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            config,
+            next_seq: vec![0; buckets],
+            recent: vec![Vec::new(); config.relations],
+            next_value: 1,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TpccConfig {
+        &self.config
+    }
+
+    /// Keys to bulk-load each relation with before replaying the trace (relation id →
+    /// sorted keys). Sizes follow the relative cardinalities of the TPC-C relations.
+    pub fn initial_keys(&self, total_entries: u64) -> Vec<Vec<u64>> {
+        // Relative sizes roughly: order-line and stock dominate, item/district tiny.
+        let weights = [0.30, 0.25, 0.15, 0.10, 0.08, 0.06, 0.04, 0.02];
+        (0..self.config.relations)
+            .map(|r| {
+                let share = weights.get(r).copied().unwrap_or(0.02);
+                let n = ((total_entries as f64) * share).max(16.0) as u64;
+                let space = self.config.warehouses * DISTRICTS_PER_WAREHOUSE * DISTRICT_STRIDE;
+                let stride = (space / n).max(1);
+                (0..n).map(|i| i * stride).collect()
+            })
+            .collect()
+    }
+
+    fn district_bucket(&mut self) -> u64 {
+        // A limited set of districts is hot at any time: pick among `clients` home
+        // districts with high probability, otherwise anywhere (remote accesses).
+        let total = self.config.warehouses * DISTRICTS_PER_WAREHOUSE;
+        if self.rng.gen_bool(0.85) {
+            self.rng.gen_range(0..self.config.clients.min(total))
+        } else {
+            self.rng.gen_range(0..total)
+        }
+    }
+
+    fn key_in_district(&mut self, district: u64) -> u64 {
+        district * DISTRICT_STRIDE + self.rng.gen_range(0..DISTRICT_STRIDE / 4)
+    }
+
+    /// Generates the next trace operation.
+    pub fn next_op(&mut self) -> TraceOp {
+        let relation = self.rng.gen_range(0..self.config.relations);
+        let district = self.district_bucket();
+        let roll: f64 = self.rng.gen();
+        if roll < TPCC_INSERT_RATIO {
+            // Order-style inserts are sequential within their district.
+            let bucket = relation * (self.config.warehouses * DISTRICTS_PER_WAREHOUSE) as usize + district as usize;
+            let seq = self.next_seq[bucket];
+            self.next_seq[bucket] += 1;
+            let key = district * DISTRICT_STRIDE + DISTRICT_STRIDE / 2 + seq;
+            let value = self.next_value;
+            self.next_value += 1;
+            let recent = &mut self.recent[relation];
+            recent.push(key);
+            if recent.len() > 256 {
+                recent.remove(0);
+            }
+            TraceOp::Insert { relation, key, value }
+        } else if roll < TPCC_INSERT_RATIO + TPCC_DELETE_RATIO {
+            // Deletes target recently inserted entries (delivery removes new orders).
+            let key = self.recent[relation]
+                .last()
+                .copied()
+                .unwrap_or_else(|| district * DISTRICT_STRIDE);
+            if !self.recent[relation].is_empty() {
+                self.recent[relation].pop();
+            }
+            TraceOp::Delete { relation, key }
+        } else if roll < TPCC_INSERT_RATIO + TPCC_DELETE_RATIO + TPCC_RANGE_RATIO {
+            let lo = self.key_in_district(district);
+            TraceOp::RangeSearch { relation, lo, hi: lo + self.config.range_span.max(1) }
+        } else {
+            // Point search: with high probability a recently touched key (temporal
+            // locality), otherwise a random key in a hot district (spatial locality).
+            let recent = &self.recent[relation];
+            if !recent.is_empty() && self.rng.gen_bool(0.4) {
+                let idx = self.rng.gen_range(0..recent.len());
+                TraceOp::Search { relation, key: recent[idx] }
+            } else {
+                let key = self.key_in_district(district);
+                TraceOp::Search { relation, key }
+            }
+        }
+    }
+
+    /// Generates a whole trace of `n` operations.
+    pub fn generate(&mut self, n: usize) -> Vec<TraceOp> {
+        (0..n).map(|_| self.next_op()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_matches_the_published_ratios() {
+        let mut g = TpccTraceGenerator::new(11, TpccConfig::default());
+        let trace = g.generate(50_000);
+        let count = |f: fn(&TraceOp) -> bool| trace.iter().filter(|o| f(o)).count() as f64 / trace.len() as f64;
+        let searches = count(|o| matches!(o, TraceOp::Search { .. }));
+        let inserts = count(|o| matches!(o, TraceOp::Insert { .. }));
+        let ranges = count(|o| matches!(o, TraceOp::RangeSearch { .. }));
+        let deletes = count(|o| matches!(o, TraceOp::Delete { .. }));
+        assert!((searches - TPCC_SEARCH_RATIO).abs() < 0.01, "searches {searches}");
+        assert!((inserts - TPCC_INSERT_RATIO).abs() < 0.01, "inserts {inserts}");
+        assert!((ranges - TPCC_RANGE_RATIO).abs() < 0.005, "ranges {ranges}");
+        assert!((deletes - TPCC_DELETE_RATIO).abs() < 0.005, "deletes {deletes}");
+    }
+
+    #[test]
+    fn operations_cover_all_relations() {
+        let mut g = TpccTraceGenerator::new(3, TpccConfig::default());
+        let trace = g.generate(10_000);
+        for r in 0..8 {
+            assert!(trace.iter().any(|o| o.relation() == r), "relation {r} never used");
+        }
+    }
+
+    #[test]
+    fn trace_is_deterministic() {
+        let a = TpccTraceGenerator::new(42, TpccConfig::default()).generate(1_000);
+        let b = TpccTraceGenerator::new(42, TpccConfig::default()).generate(1_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trace_shows_spatial_locality() {
+        // Most traffic should land in the districts belonging to the emulated clients
+        // (district ids below `clients`).
+        let config = TpccConfig { warehouses: 100, clients: 20, ..TpccConfig::default() };
+        let mut g = TpccTraceGenerator::new(5, config);
+        let trace = g.generate(20_000);
+        let hot_bound = 20 * DISTRICT_STRIDE;
+        let key_of = |op: &TraceOp| match *op {
+            TraceOp::Search { key, .. } | TraceOp::Insert { key, .. } | TraceOp::Delete { key, .. } => key,
+            TraceOp::RangeSearch { lo, .. } => lo,
+        };
+        let hot = trace.iter().filter(|o| key_of(o) < hot_bound).count() as f64 / trace.len() as f64;
+        assert!(hot > 0.75, "expected >75% of traffic in hot districts, got {hot}");
+    }
+
+    #[test]
+    fn trace_shows_temporal_locality() {
+        let mut g = TpccTraceGenerator::new(9, TpccConfig::default());
+        let trace = g.generate(30_000);
+        // A noticeable fraction of searches must hit keys that were inserted earlier
+        // in the same trace (re-reads of recent work).
+        let mut inserted = std::collections::HashSet::new();
+        let mut rereads = 0usize;
+        let mut searches = 0usize;
+        for op in &trace {
+            match *op {
+                TraceOp::Insert { relation, key, .. } => {
+                    inserted.insert((relation, key));
+                }
+                TraceOp::Search { relation, key } => {
+                    searches += 1;
+                    if inserted.contains(&(relation, key)) {
+                        rereads += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        assert!(searches > 0);
+        assert!(
+            rereads as f64 / searches as f64 > 0.1,
+            "expected >10% of searches to re-read recent inserts, got {}",
+            rereads as f64 / searches as f64
+        );
+    }
+
+    #[test]
+    fn initial_keys_are_sorted_unique_and_sized_by_relation() {
+        let g = TpccTraceGenerator::new(1, TpccConfig::default());
+        let keys = g.initial_keys(100_000);
+        assert_eq!(keys.len(), 8);
+        assert!(keys[0].len() > keys[7].len(), "relation sizes must differ");
+        for rel in &keys {
+            assert!(rel.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

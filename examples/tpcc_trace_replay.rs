@@ -1,0 +1,85 @@
+//! OLTP-style scenario: replay a TPC-C-shaped index trace (the Section 4.2 workload)
+//! against one PIO B-tree per index relation and report the per-operation-type cost,
+//! as in Figure 13(a).
+//!
+//! Run with: `cargo run --example tpcc_trace_replay`
+
+use pio_btree::{PioBTree, PioConfig};
+use ssd_sim::DeviceProfile;
+use std::sync::Arc;
+use storage::{CachedStore, PageStore, WritePolicy};
+use workload::{TpccConfig, TpccTraceGenerator, TraceOp};
+
+fn main() {
+    let device = DeviceProfile::F120;
+    let generator = TpccTraceGenerator::new(2026, TpccConfig::default());
+    let initial = generator.initial_keys(400_000);
+    let trace = TpccTraceGenerator::new(2026, TpccConfig::default()).generate(200_000);
+
+    // One index per relation, as PostgreSQL keeps one B-tree per index relation.
+    let config = PioConfig::builder()
+        .page_size(4096)
+        .leaf_segments(1)
+        .opq_pages(20)
+        .pool_pages(128)
+        .pio_max(64)
+        .build();
+    let mut trees: Vec<PioBTree> = initial
+        .iter()
+        .map(|keys| {
+            let entries: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k)).collect();
+            let io = Arc::new(pio::SimPsyncIo::with_profile(device, 8 << 30));
+            let store = Arc::new(CachedStore::new(PageStore::new(io, 4096), 128, WritePolicy::WriteThrough));
+            PioBTree::bulk_load(store, &entries, config.clone()).expect("bulk load")
+        })
+        .collect();
+
+    let mut time_by_type = [0.0f64; 4]; // search, insert, range, delete
+    let mut count_by_type = [0u64; 4];
+    for op in &trace {
+        let tree = &mut trees[op.relation()];
+        let before = tree.io_elapsed_us();
+        match *op {
+            TraceOp::Search { key, .. } => {
+                tree.search(key).expect("search");
+                time_by_type[0] += tree.io_elapsed_us() - before;
+                count_by_type[0] += 1;
+            }
+            TraceOp::Insert { key, value, .. } => {
+                tree.insert(key, value).expect("insert");
+                time_by_type[1] += tree.io_elapsed_us() - before;
+                count_by_type[1] += 1;
+            }
+            TraceOp::RangeSearch { lo, hi, .. } => {
+                tree.range_search(lo, hi).expect("range");
+                time_by_type[2] += tree.io_elapsed_us() - before;
+                count_by_type[2] += 1;
+            }
+            TraceOp::Delete { key, .. } => {
+                tree.delete(key).expect("delete");
+                time_by_type[3] += tree.io_elapsed_us() - before;
+                count_by_type[3] += 1;
+            }
+        }
+    }
+    for tree in &mut trees {
+        let before = tree.io_elapsed_us();
+        tree.checkpoint().expect("final flush");
+        time_by_type[1] += tree.io_elapsed_us() - before;
+    }
+
+    println!("TPC-C index trace replay on {} ({} operations, 8 relations)", device.name(), trace.len());
+    println!("{:>14} {:>10} {:>14} {:>16}", "op type", "count", "total (ms)", "mean (us/op)");
+    for (i, name) in ["point search", "insert", "range search", "delete"].iter().enumerate() {
+        let mean = if count_by_type[i] > 0 { time_by_type[i] / count_by_type[i] as f64 } else { 0.0 };
+        println!(
+            "{:>14} {:>10} {:>14.1} {:>16.1}",
+            name,
+            count_by_type[i],
+            time_by_type[i] / 1e3,
+            mean
+        );
+    }
+    let total: f64 = time_by_type.iter().sum();
+    println!("{:>14} {:>10} {:>14.1}", "total", trace.len(), total / 1e3);
+}

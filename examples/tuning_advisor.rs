@@ -1,0 +1,53 @@
+//! Tuning advisor: the Section 3.6 procedure as a standalone tool. It
+//! micro-benchmarks a device profile, evaluates the cost model (eqs. 3, 9, 10) and
+//! prints the recommended B+-tree node size and PIO B-tree `(leaf size, OPQ size)`
+//! for several workload mixes and memory budgets.
+//!
+//! Run with: `cargo run --example tuning_advisor`
+
+use pio_btree::cost::{auto_tune, optimal_btree_node_size, WorkloadMix};
+use ssd_sim::bench::characterise;
+use ssd_sim::{DeviceProfile, SsdDevice};
+
+fn main() {
+    let entries = 100_000_000u64; // the index size you plan to build
+    let page_size = 2048usize;
+    let memory_budget_pages = 8_192u64; // 16 MiB of 2 KiB pages, as in the paper
+
+    println!("PIO B-tree tuning advisor ({} entries, {} KiB memory budget)", entries, memory_budget_pages * 2 / 1024 * 1024 / 1024);
+    for profile in DeviceProfile::all() {
+        let mut device = SsdDevice::new(profile.build());
+        let chars = characterise(&mut device, page_size as u64, 64, 42);
+        let node = optimal_btree_node_size(&mut device, &[2048, 4096, 8192, 16384, 32768], 42);
+        println!("\ndevice: {}", profile.name());
+        println!(
+            "  measured: Pr={:.0}us Pw={:.0}us P'r={:.0}us P'w={:.0}us",
+            chars.page_read_us, chars.page_write_us, chars.psync_read_us, chars.psync_write_us
+        );
+        println!("  B+-tree optimal node size (eq. 3): {} bytes", node);
+        for (label, mix) in [
+            ("search-heavy (10% inserts)", WorkloadMix::with_insert_ratio(0.1)),
+            ("balanced     (50% inserts)", WorkloadMix::with_insert_ratio(0.5)),
+            ("insert-heavy (90% inserts)", WorkloadMix::with_insert_ratio(0.9)),
+        ] {
+            let tuning = auto_tune(
+                &mut device,
+                page_size,
+                entries,
+                memory_budget_pages,
+                mix,
+                &[1, 2, 4, 8],
+                &[1, 16, 64, 256, 1024],
+                64,
+                42,
+            );
+            println!(
+                "  {label}: leaf = {} pages ({} KiB), OPQ = {} pages, predicted {:.0} us/op",
+                tuning.leaf_pages,
+                tuning.leaf_pages * page_size / 1024,
+                tuning.opq_pages,
+                tuning.predicted_cost_us
+            );
+        }
+    }
+}

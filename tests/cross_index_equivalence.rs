@@ -1,0 +1,161 @@
+//! Integration: all four index structures (B+-tree, PIO B-tree, BFTL, FD-tree) must
+//! agree with an in-memory model (`std::collections::BTreeMap`) under the same mixed
+//! workload, while running on the same storage substrate.
+
+use flash_indexes::{Bftl, BftlConfig, FdTree, FdTreeConfig};
+use pio_btree_suite::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use btree::BPlusTree;
+use pio::SimPsyncIo;
+use pio_btree::{PioBTree, PioConfig};
+use ssd_sim::DeviceProfile;
+use storage::{CachedStore, PageStore, WritePolicy};
+use workload::{KeyDistribution, MixSpec, Operation, OperationGenerator};
+
+fn make_store(page_size: usize, pool: u64, policy: WritePolicy) -> Arc<CachedStore> {
+    let io = Arc::new(SimPsyncIo::with_profile(DeviceProfile::F120, 4 << 30));
+    Arc::new(CachedStore::new(PageStore::new(io, page_size), pool, policy))
+}
+
+fn workload(ops: usize) -> Vec<Operation> {
+    let mix = workload::MixSpec {
+        insert: 0.4,
+        delete: 0.1,
+        update: 0.1,
+        range_search: 0.05,
+        range_span: 200,
+    };
+    let _ = MixSpec::insert_search(0.5); // exercise the re-export through the umbrella crate
+    OperationGenerator::new(777, 5_000, KeyDistribution::Uniform, mix).generate(ops)
+}
+
+/// Applies the workload to the model and collects the expected state.
+fn model_state(ops: &[Operation]) -> BTreeMap<u64, u64> {
+    let mut m = BTreeMap::new();
+    for op in ops {
+        match *op {
+            Operation::Insert { key, value } | Operation::Update { key, value } => {
+                m.insert(key, value);
+            }
+            Operation::Delete { key } => {
+                m.remove(&key);
+            }
+            _ => {}
+        }
+    }
+    m
+}
+
+#[test]
+fn btree_matches_the_model() {
+    let ops = workload(8_000);
+    let expected = model_state(&ops);
+    let mut tree = BPlusTree::new(make_store(2048, 64, WritePolicy::WriteBack)).unwrap();
+    for op in &ops {
+        match *op {
+            Operation::Insert { key, value } => tree.insert(key, value).unwrap(),
+            Operation::Update { key, value } => {
+                // The baseline tree's update only touches existing keys; emulate the
+                // model's upsert semantics used by the generator.
+                if !tree.update(key, value).unwrap() {
+                    tree.insert(key, value).unwrap();
+                }
+            }
+            Operation::Delete { key } => {
+                tree.delete(key).unwrap();
+            }
+            Operation::Search { key } => {
+                tree.search(key).unwrap();
+            }
+            Operation::RangeSearch { lo, hi } => {
+                tree.range_search(lo, hi).unwrap();
+            }
+        }
+    }
+    assert_eq!(tree.check_invariants().unwrap(), expected.len() as u64);
+    for (&k, &v) in &expected {
+        assert_eq!(tree.search(k).unwrap(), Some(v), "key {k}");
+    }
+}
+
+#[test]
+fn pio_btree_matches_the_model_and_btree() {
+    let ops = workload(8_000);
+    let expected = model_state(&ops);
+    let config = PioConfig::builder()
+        .page_size(2048)
+        .leaf_segments(2)
+        .opq_pages(2)
+        .pio_max(16)
+        .speriod(64)
+        .bcnt(150)
+        .pool_pages(64)
+        .build();
+    let mut tree = PioBTree::bulk_load(make_store(2048, 64, WritePolicy::WriteThrough), &[], config).unwrap();
+    for op in &ops {
+        match *op {
+            Operation::Insert { key, value } | Operation::Update { key, value } => tree.insert(key, value).unwrap(),
+            Operation::Delete { key } => tree.delete(key).unwrap(),
+            Operation::Search { key } => {
+                tree.search(key).unwrap();
+            }
+            Operation::RangeSearch { lo, hi } => {
+                tree.range_search(lo, hi).unwrap();
+            }
+        }
+    }
+    // Half-way check with operations still queued, then flush and check again.
+    for (&k, &v) in expected.iter().take(500) {
+        assert_eq!(tree.search(k).unwrap(), Some(v), "queued state, key {k}");
+    }
+    tree.checkpoint().unwrap();
+    tree.check_invariants().unwrap();
+    let all = tree.range_search(0, u64::MAX).unwrap();
+    assert_eq!(all.len(), expected.len());
+    for (&k, &v) in &expected {
+        assert_eq!(tree.search(k).unwrap(), Some(v), "key {k}");
+    }
+}
+
+#[test]
+fn flash_indexes_match_the_model() {
+    let ops = workload(6_000);
+    let expected = model_state(&ops);
+
+    let mut bftl = Bftl::new(make_store(2048, 0, WritePolicy::WriteThrough), BftlConfig::default());
+    let mut fd = FdTree::new(make_store(2048, 32, WritePolicy::WriteThrough), FdTreeConfig {
+        head_capacity: 256,
+        size_ratio: 4,
+    });
+    for op in &ops {
+        match *op {
+            Operation::Insert { key, value } | Operation::Update { key, value } => {
+                bftl.insert(key, value).unwrap();
+                fd.insert(key, value).unwrap();
+            }
+            Operation::Delete { key } => {
+                bftl.delete(key).unwrap();
+                fd.delete(key).unwrap();
+            }
+            Operation::Search { key } => {
+                bftl.search(key).unwrap();
+                fd.search(key).unwrap();
+            }
+            Operation::RangeSearch { lo, hi } => {
+                bftl.range_search(lo, hi).unwrap();
+                fd.range_search(lo, hi).unwrap();
+            }
+        }
+    }
+    bftl.flush_reservation().unwrap();
+    for (&k, &v) in expected.iter().step_by(7) {
+        assert_eq!(bftl.search(k).unwrap(), Some(v), "bftl key {k}");
+        assert_eq!(fd.search(k).unwrap(), Some(v), "fd-tree key {k}");
+    }
+    // Range results must also agree with the model.
+    let expected_slice: Vec<(u64, u64)> = expected.range(1_000..1_400).map(|(&k, &v)| (k, v)).collect();
+    assert_eq!(bftl.range_search(1_000, 1_400).unwrap(), expected_slice);
+    assert_eq!(fd.range_search(1_000, 1_400).unwrap(), expected_slice);
+}

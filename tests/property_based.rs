@@ -1,0 +1,187 @@
+//! Property-based tests (proptest) over the core data structures and the end-to-end
+//! index behaviour.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use btree::BPlusTree;
+use pio::{ParallelIo, SimPsyncIo, WriteRequest};
+use pio_btree::{OpEntry, OperationQueue, PioBTree, PioConfig, PioLeaf};
+use ssd_sim::{DeviceProfile, SsdDevice, SsdRequest};
+use storage::{CachedStore, PageStore, WritePolicy};
+
+/// One random update-type operation for the model-based tests.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert(u64, u64),
+    Delete(u64),
+    Update(u64, u64),
+}
+
+fn op_strategy(key_space: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0..key_space, any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        1 => (0..key_space).prop_map(Op::Delete),
+        1 => (0..key_space, any::<u64>()).prop_map(|(k, v)| Op::Update(k, v)),
+    ]
+}
+
+fn make_store(page_size: usize) -> Arc<CachedStore> {
+    let io = Arc::new(SimPsyncIo::with_profile(DeviceProfile::F120, 1 << 30));
+    Arc::new(CachedStore::new(PageStore::new(io, page_size), 64, WritePolicy::WriteThrough))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// The OPQ behaves like an ordered multimap resolver: lookups agree with replaying
+    /// the operations into a BTreeMap, regardless of sort period and capacity.
+    #[test]
+    fn opq_lookup_matches_replay(
+        ops in vec(op_strategy(64), 1..300),
+        speriod in 1usize..40,
+    ) {
+        let mut q = OperationQueue::with_capacity(10_000, speriod);
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(k, v) | Op::Update(k, v) => {
+                    q.append(OpEntry::insert(k, v));
+                    model.insert(k, v);
+                }
+                Op::Delete(k) => {
+                    q.append(OpEntry::delete(k));
+                    model.remove(&k);
+                }
+            }
+        }
+        for k in 0..64u64 {
+            let expected = model.get(&k).copied();
+            let got = q.lookup(k).unwrap_or(None);
+            prop_assert_eq!(got, expected, "key {}", k);
+        }
+    }
+
+    /// A PIO leaf's resolve/shrink agrees with replaying its records in order, and
+    /// encode/decode round-trips exactly.
+    #[test]
+    fn pio_leaf_shrink_matches_replay(ops in vec(op_strategy(128), 1..200)) {
+        let mut leaf = PioLeaf::new(8);
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(k, v) | Op::Update(k, v) => {
+                    leaf.append(&[OpEntry::insert(k, v)]);
+                    model.insert(k, v);
+                }
+                Op::Delete(k) => {
+                    leaf.append(&[OpEntry::delete(k)]);
+                    model.remove(&k);
+                }
+            }
+        }
+        let decoded = PioLeaf::decode(&leaf.encode(2048), 8, 2048);
+        prop_assert_eq!(&decoded, &leaf);
+        leaf.shrink();
+        prop_assert_eq!(leaf.len(), model.len());
+        for (k, v) in &model {
+            prop_assert_eq!(leaf.lookup(*k), Some(Some(*v)));
+        }
+    }
+
+    /// Whatever is written through the psync layer is read back identically,
+    /// regardless of how requests are grouped into batches.
+    #[test]
+    fn psync_round_trip_any_grouping(
+        pages in vec((0u64..512, vec(any::<u8>(), 32..64)), 1..40),
+        chunk in 1usize..16,
+    ) {
+        let io = SimPsyncIo::with_profile(DeviceProfile::P300, 16 << 20);
+        // Last write to an offset wins; write in batches of `chunk`.
+        for group in pages.chunks(chunk) {
+            let reqs: Vec<WriteRequest> = group
+                .iter()
+                .map(|(slot, data)| WriteRequest::new(slot * 4096, data))
+                .collect();
+            io.psync_write(&reqs).unwrap();
+        }
+        let mut expected: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+        for (slot, data) in &pages {
+            expected.insert(*slot, data.clone());
+        }
+        for (slot, data) in &expected {
+            let got = io.read_at(slot * 4096, data.len()).unwrap();
+            prop_assert_eq!(&got, data);
+        }
+    }
+
+    /// The simulated device never reports negative or non-finite times and always
+    /// reports one latency per request.
+    #[test]
+    fn device_times_are_sane(
+        reqs in vec((any::<bool>(), 0u64..1_000_000, 1u64..64), 1..64)
+    ) {
+        let mut dev = SsdDevice::new(DeviceProfile::Vertex2.build());
+        let sim_reqs: Vec<SsdRequest> = reqs
+            .iter()
+            .map(|&(read, page, len)| {
+                let offset = page * 2048;
+                let bytes = len * 512;
+                if read { SsdRequest::read(offset, bytes) } else { SsdRequest::write(offset, bytes) }
+            })
+            .collect();
+        let res = dev.submit_batch(&sim_reqs);
+        prop_assert_eq!(res.latencies_us.len(), sim_reqs.len());
+        prop_assert!(res.elapsed_us.is_finite() && res.elapsed_us > 0.0);
+        prop_assert!(res.latencies_us.iter().all(|&l| l.is_finite() && l > 0.0));
+        prop_assert!(res.max_latency_us() <= res.elapsed_us + 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// End-to-end: the PIO B-tree and the baseline B+-tree agree with each other and
+    /// with the model after an arbitrary operation sequence (flushed and queued).
+    #[test]
+    fn trees_agree_with_the_model(ops in vec(op_strategy(800), 50..400)) {
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut bt = BPlusTree::new(make_store(2048)).unwrap();
+        let config = PioConfig::builder()
+            .page_size(2048)
+            .leaf_segments(2)
+            .opq_pages(1)
+            .pio_max(8)
+            .speriod(16)
+            .bcnt(32)
+            .pool_pages(32)
+            .build();
+        let mut pio = PioBTree::bulk_load(make_store(2048), &[], config).unwrap();
+
+        for op in &ops {
+            match *op {
+                Op::Insert(k, v) | Op::Update(k, v) => {
+                    model.insert(k, v);
+                    bt.insert(k, v).unwrap();
+                    pio.insert(k, v).unwrap();
+                }
+                Op::Delete(k) => {
+                    model.remove(&k);
+                    bt.delete(k).unwrap();
+                    pio.delete(k).unwrap();
+                }
+            }
+        }
+        pio.checkpoint().unwrap();
+        for k in (0..800u64).step_by(13) {
+            let expected = model.get(&k).copied();
+            prop_assert_eq!(bt.search(k).unwrap(), expected, "btree key {}", k);
+            prop_assert_eq!(pio.search(k).unwrap(), expected, "pio key {}", k);
+        }
+        let model_range: Vec<(u64, u64)> = model.range(100..300).map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(pio.range_search(100, 300).unwrap(), model_range.clone());
+        prop_assert_eq!(bt.range_search(100, 300).unwrap(), model_range);
+    }
+}
