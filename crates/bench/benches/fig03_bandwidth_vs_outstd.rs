@@ -22,7 +22,10 @@ fn main() {
         headers.extend(DeviceProfile::all().iter().map(|p| p.name().to_string()));
         let mut table = Table::new(
             &format!("fig03{suffix}"),
-            &format!("Figure 3({suffix}): {:?} bandwidth (MiB/s) vs outstanding I/O level", kind),
+            &format!(
+                "Figure 3({suffix}): {:?} bandwidth (MiB/s) vs outstanding I/O level",
+                kind
+            ),
             &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
         );
         let mut per_device: Vec<Vec<f64>> = Vec::new();
@@ -39,8 +42,16 @@ fn main() {
         table.finish();
         for (profile, bw) in DeviceProfile::all().iter().zip(&per_device) {
             let gain = bw[6] / bw[0];
-            println!("  {}: OutStd 64 / OutStd 1 bandwidth gain = {:.1}x", profile.name(), gain);
-            assert!(gain > 3.0, "outstanding I/O must improve bandwidth on {}", profile.name());
+            println!(
+                "  {}: OutStd 64 / OutStd 1 bandwidth gain = {:.1}x",
+                profile.name(),
+                gain
+            );
+            assert!(
+                gain > 3.0,
+                "outstanding I/O must improve bandwidth on {}",
+                profile.name()
+            );
         }
     }
 
@@ -79,7 +90,11 @@ fn main() {
     for (d, profile) in trio.iter().enumerate() {
         let g = grouped_all[d].last().unwrap().bandwidth_mib_s;
         let i = interleaved_all[d].last().unwrap().bandwidth_mib_s;
-        println!("  {}: grouped / interleaved at OutStd 256 = {:.2}x", profile.name(), g / i);
+        println!(
+            "  {}: grouped / interleaved at OutStd 256 = {:.2}x",
+            profile.name(),
+            g / i
+        );
         assert!(g > i, "grouped mix must beat the interleaved mix on {}", profile.name());
     }
     println!("\nfig03 done.");

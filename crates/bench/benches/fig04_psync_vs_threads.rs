@@ -109,7 +109,12 @@ fn main() {
         for (d, profile) in trio.iter().enumerate() {
             let p = psync_curves[d][5];
             let t = thread_curves[d][5];
-            println!("  {} at OutStd 64: psync {:.1} MiB/s vs threads {:.1} MiB/s", profile.name(), p, t);
+            println!(
+                "  {} at OutStd 64: psync {:.1} MiB/s vs threads {:.1} MiB/s",
+                profile.name(),
+                p,
+                t
+            );
             match layout {
                 FileLayout::SharedFile => assert!(p > t, "psync must win in a shared file on {}", profile.name()),
                 FileLayout::SeparateFiles => assert!(

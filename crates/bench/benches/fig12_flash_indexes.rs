@@ -28,8 +28,8 @@ fn main() {
     for profile in DeviceProfile::experiment_trio() {
         for &insert_ratio in &mixes {
             let mix = MixSpec::insert_search(insert_ratio);
-            let ops = OperationGenerator::new(0xF16_12, key_space, KeyDistribution::Uniform, mix)
-                .generate(ops_per_workload);
+            let ops =
+                OperationGenerator::new(0xF1612, key_space, KeyDistribution::Uniform, mix).generate(ops_per_workload);
             let entries = setup::bulk_entries(n);
 
             // --- BFTL (its mapping table consumes the memory budget: no buffer pool).
@@ -98,7 +98,10 @@ fn main() {
             let store = build_store(profile, 2048, memory_pages / 4, WritePolicy::WriteThrough, 64 << 30);
             // Head tree sized to a handful of pages (the FD-tree keeps most of its
             // data in the on-flash levels; an over-sized head would hide its merges).
-            let fd_config = FdTreeConfig { head_capacity: 8 * (2048 / 17), size_ratio: 8 };
+            let fd_config = FdTreeConfig {
+                head_capacity: 8 * (2048 / 17),
+                size_ratio: 8,
+            };
             let mut fd = FdTree::bulk_load(store, &entries, fd_config).expect("fd bulk load");
             let (mut ins_us, mut sea_us) = (0.0, 0.0);
             for op in &ops {

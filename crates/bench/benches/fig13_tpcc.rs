@@ -35,15 +35,24 @@ fn main() {
     let total_initial = setup::initial_entries();
     let trace_len = scaled(60_000);
     let pool_pages: u64 = 128; // scaled stand-in for the paper's 4 MiB budget (split over 8 relations)
-    let generator = TpccTraceGenerator::new(0xF16_13, TpccConfig::default());
+    let generator = TpccTraceGenerator::new(0xF1613, TpccConfig::default());
     let initial = generator.initial_keys(total_initial);
-    let trace = TpccTraceGenerator::new(0xF16_13, TpccConfig::default()).generate(trace_len);
+    let trace = TpccTraceGenerator::new(0xF1613, TpccConfig::default()).generate(trace_len);
 
     // ------------------------------------------------------------------- part (a) --
     let mut table = Table::new(
         "fig13a",
         "Figure 13(a): TPC-C trace, single process, elapsed simulated time (ms) by op type",
-        &["device", "index", "search_ms", "insert_ms", "range_ms", "delete_ms", "total_ms", "speedup"],
+        &[
+            "device",
+            "index",
+            "search_ms",
+            "insert_ms",
+            "range_ms",
+            "delete_ms",
+            "total_ms",
+            "speedup",
+        ],
     );
     for profile in DeviceProfile::experiment_trio() {
         // One tree per index relation, as in the paper (8 index files).
@@ -234,7 +243,12 @@ fn main() {
                     t.flush().unwrap();
                 }
             };
-            let blink_io = || blink.iter().map(|t| t.with_tree(|x| x.store().io_elapsed_us())).sum::<f64>();
+            let blink_io = || {
+                blink
+                    .iter()
+                    .map(|t| t.with_tree(|x| x.store().io_elapsed_us()))
+                    .sum::<f64>()
+            };
             let mut replay = replay_blink;
             let blink_ms = elapsed(&blink_io, &mut replay) / 1e3;
 

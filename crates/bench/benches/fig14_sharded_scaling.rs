@@ -1,0 +1,187 @@
+//! Figure 14 (new to this reproduction): sharded-engine scaling — insert and
+//! multi-search throughput versus shard count, at several per-shard outstanding-I/O
+//! levels (`PioMax`), with the **total** buffer-pool budget held constant across
+//! shard counts (each shard owns its own full-size OPQ — a few KiB next to the
+//! megabytes of pool; see `EngineConfig`).
+//!
+//! The engine models each shard as its own index file on the device (the layout the
+//! paper's Figure 4(b) shows behaves like independent psync streams), so an engine
+//! call's cost is the *maximum* of the participating shards' simulated I/O times —
+//! the schedule makespan tracked by `EngineStats::scheduled_io_us`. Throughput here
+//! is operations per second of that makespan. The total device work
+//! (`total_io_us`) is reported alongside so the sources of the win stay visible:
+//! searches are purely *overlapped* (speedup ≈ overlap factor), while inserts also
+//! get a *locality* win — a shard's bupdate batch covers only its slice of the key
+//! space, so each flush lands more entries per leaf and performs less device work
+//! per insert (the same effect as the paper's larger-OPQ configurations).
+
+use engine::{EngineConfig, ShardedPioEngine};
+use pio_bench::{ratio, scaled, Table};
+use pio_btree::PioConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ssd_sim::DeviceProfile;
+
+/// The pool budget is an engine-wide total (equal across shard counts); the OPQ
+/// is per shard — each shard owns its own queue (see `EngineConfig`).
+const TOTAL_POOL_PAGES: u64 = 1024;
+const OPQ_PAGES_PER_SHARD: usize = 8;
+const PAGE_SIZE: usize = 2048;
+
+fn build_engine(shards: usize, pio_max: usize, entries: &[(u64, u64)]) -> ShardedPioEngine {
+    let base = PioConfig::builder()
+        .page_size(PAGE_SIZE)
+        .leaf_segments(2)
+        .opq_pages(OPQ_PAGES_PER_SHARD)
+        .pio_max(pio_max)
+        .speriod(256)
+        .bcnt(512)
+        .pool_pages(TOTAL_POOL_PAGES)
+        .build();
+    let config = EngineConfig::builder()
+        .shards(shards)
+        .profile(DeviceProfile::P300)
+        .shard_capacity_bytes(8 << 30)
+        .base(base)
+        .build();
+    ShardedPioEngine::bulk_load(config, entries).expect("bulk load")
+}
+
+/// A measured workload window: operations, schedule makespan and device work.
+struct Window {
+    ops: f64,
+    sched_us: f64,
+    total_us: f64,
+}
+
+impl Window {
+    /// Ops/s of schedule makespan.
+    fn throughput(&self) -> f64 {
+        self.ops / (self.sched_us / 1e6)
+    }
+}
+
+/// Runs a multi-search workload of `rounds` batches of `batch` keys each.
+fn search_window(engine: &ShardedPioEngine, key_space: u64, rounds: usize, batch: usize) -> Window {
+    let mut rng = StdRng::seed_from_u64(0x5EED5EED);
+    let sched_before = engine.scheduled_io_us();
+    let total_before = engine.total_io_us();
+    for _ in 0..rounds {
+        let keys: Vec<u64> = (0..batch).map(|_| rng.gen_range(0..key_space)).collect();
+        engine.multi_search(&keys).expect("multi_search");
+    }
+    Window {
+        ops: (rounds * batch) as f64,
+        sched_us: engine.scheduled_io_us() - sched_before,
+        total_us: engine.total_io_us() - total_before,
+    }
+}
+
+/// Runs an insert workload of `rounds` windows of `batch` inserts each, including
+/// the final checkpoint that makes them durable.
+fn insert_window(engine: &ShardedPioEngine, key_space: u64, rounds: usize, batch: usize) -> Window {
+    let mut rng = StdRng::seed_from_u64(0x1235813);
+    let sched_before = engine.scheduled_io_us();
+    let total_before = engine.total_io_us();
+    for _ in 0..rounds {
+        let entries: Vec<(u64, u64)> = (0..batch).map(|i| (rng.gen_range(0..key_space), i as u64)).collect();
+        engine.insert_batch(&entries).expect("insert_batch");
+    }
+    engine.checkpoint().expect("checkpoint");
+    Window {
+        ops: (rounds * batch) as f64,
+        sched_us: engine.scheduled_io_us() - sched_before,
+        total_us: engine.total_io_us() - total_before,
+    }
+}
+
+fn main() {
+    let shard_counts = [1usize, 2, 4, 8];
+    let pio_levels = [8usize, 32];
+    let n_entries = scaled(200_000) as u64;
+    let key_space = n_entries * 4;
+    let search_rounds = scaled(120);
+    let insert_rounds = scaled(160);
+    let batch = 128;
+
+    let entries: Vec<(u64, u64)> = {
+        let stride = (key_space / n_entries.max(1)).max(1);
+        (0..n_entries).map(|i| (i * stride, i)).collect()
+    };
+
+    let mut table = Table::new(
+        "fig14",
+        "Sharded engine scaling: throughput (Kops/s of simulated schedule time) vs shard count, equal total pool budget",
+        &[
+            "PioMax",
+            "shards",
+            "msearch Kops/s",
+            "insert Kops/s",
+            "overlap",
+            "msearch speedup",
+            "insert speedup",
+        ],
+    );
+
+    for &pio_max in &pio_levels {
+        let mut base_search = 0.0f64;
+        let mut base_insert = 0.0f64;
+        let mut prev_search = 0.0f64;
+        let mut prev_insert = 0.0f64;
+        for &shards in &shard_counts {
+            let engine = build_engine(shards, pio_max, &entries);
+            let search = search_window(&engine, key_space, search_rounds, batch);
+            let insert = insert_window(&engine, key_space, insert_rounds, batch);
+            let search_tp = search.throughput();
+            let insert_tp = insert.throughput();
+            // Cross-shard I/O overlap measured over the workload window only
+            // (bulk-load I/O excluded).
+            let overlap = (search.total_us + insert.total_us) / (search.sched_us + insert.sched_us);
+            if shards == 1 {
+                base_search = search_tp;
+                base_insert = insert_tp;
+            }
+            table.row(vec![
+                pio_max.to_string(),
+                shards.to_string(),
+                format!("{:.1}", search_tp / 1e3),
+                format!("{:.1}", insert_tp / 1e3),
+                format!("{overlap:.2}"),
+                ratio(search_tp, base_search),
+                ratio(insert_tp, base_insert),
+            ]);
+
+            // Acceptance: throughput improves monotonically from 1 → 4 shards and
+            // reaches ≥1.5× at 4 shards for both inserts and multi-searches.
+            if shards > 1 && shards <= 4 {
+                assert!(
+                    search_tp > prev_search,
+                    "PioMax {pio_max}: multi-search must improve monotonically \
+                     ({shards} shards: {search_tp:.0} vs previous {prev_search:.0})"
+                );
+                assert!(
+                    insert_tp > prev_insert,
+                    "PioMax {pio_max}: insert must improve monotonically \
+                     ({shards} shards: {insert_tp:.0} vs previous {prev_insert:.0})"
+                );
+            }
+            if shards == 4 {
+                assert!(
+                    search_tp >= 1.5 * base_search,
+                    "PioMax {pio_max}: 4-shard multi-search speedup {:.2} < 1.5",
+                    search_tp / base_search
+                );
+                assert!(
+                    insert_tp >= 1.5 * base_insert,
+                    "PioMax {pio_max}: 4-shard insert speedup {:.2} < 1.5",
+                    insert_tp / base_insert
+                );
+            }
+            prev_search = search_tp;
+            prev_insert = insert_tp;
+        }
+    }
+
+    table.finish();
+    println!("\nfig14 done.");
+}

@@ -21,7 +21,6 @@
 #![warn(missing_docs)]
 
 use pio::SimPsyncIo;
-use serde::Serialize;
 use ssd_sim::DeviceProfile;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -55,7 +54,7 @@ pub fn build_store(
 }
 
 /// A result table printed to stdout and dumped to JSON.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Experiment identifier, e.g. `fig09`.
     pub id: String,
@@ -109,7 +108,10 @@ impl Table {
             println!("  {}", line.join("  "));
         };
         print_row(&self.headers);
-        println!("  {}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+        println!(
+            "  {}",
+            widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  ")
+        );
         for r in &self.rows {
             print_row(r);
         }
@@ -118,18 +120,55 @@ impl Table {
         }
     }
 
+    /// Serialises the table as pretty-printed JSON (hand-rolled: the offline build
+    /// environment has no serde_json).
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        fn str_array(items: &[String], indent: &str) -> String {
+            let cells: Vec<String> = items.iter().map(|s| format!("\"{}\"", esc(s))).collect();
+            format!("{indent}[{}]", cells.join(", "))
+        }
+        let rows: Vec<String> = self.rows.iter().map(|r| str_array(r, "    ")).collect();
+        format!(
+            "{{\n  \"id\": \"{}\",\n  \"title\": \"{}\",\n  \"headers\":\n{},\n  \"rows\": [\n{}\n  ]\n}}\n",
+            esc(&self.id),
+            esc(&self.title),
+            str_array(&self.headers, "  "),
+            rows.join(",\n")
+        )
+    }
+
     fn write_json(&self) -> std::io::Result<()> {
         let dir = figures_dir();
         std::fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{}.json", self.id));
-        std::fs::write(path, serde_json::to_vec_pretty(self).expect("serializable"))?;
+        std::fs::write(path, self.to_json())?;
         Ok(())
     }
 }
 
-/// Directory where figure JSON dumps are written.
+/// Directory where figure JSON dumps are written: `$CARGO_TARGET_DIR/figures`, or
+/// the workspace `target/figures` (cargo runs bench binaries with the package dir
+/// as CWD, so a relative `target` would land inside `crates/bench/`).
 pub fn figures_dir() -> PathBuf {
-    PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into())).join("figures")
+    let target = std::env::var("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target"));
+    target.join("figures")
 }
 
 /// Formats a microsecond quantity with 1 decimal.
@@ -165,7 +204,16 @@ mod tests {
         let mut t = Table::new("test", "a test table", &["x", "y"]);
         t.row(vec!["1".into(), "2".into()]);
         assert_eq!(t.rows.len(), 1);
-        assert_eq!(serde_json::to_value(&t).unwrap()["id"], "test");
+        let json = t.to_json();
+        assert!(json.contains("\"id\": \"test\""), "{json}");
+        assert!(json.contains("[\"1\", \"2\"]"), "{json}");
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let t = Table::new("esc", "quotes \" and \\ and\nnewlines", &["h"]);
+        let json = t.to_json();
+        assert!(json.contains("quotes \\\" and \\\\ and\\nnewlines"), "{json}");
     }
 
     #[test]

@@ -36,7 +36,9 @@ pub struct ConcurrentBTree {
 impl ConcurrentBTree {
     /// Wraps an existing tree.
     pub fn new(tree: BPlusTree) -> Self {
-        Self { inner: RwLock::new(tree) }
+        Self {
+            inner: RwLock::new(tree),
+        }
     }
 
     /// Consumes the wrapper and returns the inner tree.
@@ -135,11 +137,7 @@ mod tests {
 
     fn concurrent_tree(n: u64) -> ConcurrentBTree {
         let io = Arc::new(SimPsyncIo::with_profile(DeviceProfile::P300, 1 << 30));
-        let cached = Arc::new(CachedStore::new(
-            PageStore::new(io, 2048),
-            256,
-            WritePolicy::WriteBack,
-        ));
+        let cached = Arc::new(CachedStore::new(PageStore::new(io, 2048), 256, WritePolicy::WriteBack));
         let entries: Vec<(Key, Value)> = (0..n).map(|k| (k * 2, k)).collect();
         ConcurrentBTree::new(crate::bulk_load(cached, &entries, 0.7).unwrap())
     }

@@ -10,8 +10,8 @@
 use crate::node::{InternalNode, Key, LeafNode, Node, Value};
 use crate::tree::BPlusTree;
 use pio::IoResult;
-use storage::{CachedStore, PageId, INVALID_PAGE};
 use std::sync::Arc;
+use storage::{CachedStore, PageId, INVALID_PAGE};
 
 /// How many node images are written per psync call while bulk loading.
 const WRITE_BATCH: usize = 64;
@@ -19,15 +19,8 @@ const WRITE_BATCH: usize = 64;
 /// Bulk-loads `entries` (which must be sorted by key and free of duplicates) into a
 /// new B+-tree over `store`, packing nodes to `fill_factor` (0 < fill ≤ 1) of their
 /// capacity.
-pub fn bulk_load(
-    store: Arc<CachedStore>,
-    entries: &[(Key, Value)],
-    fill_factor: f64,
-) -> IoResult<BPlusTree> {
-    assert!(
-        (0.1..=1.0).contains(&fill_factor),
-        "fill factor must be in (0.1, 1.0]"
-    );
+pub fn bulk_load(store: Arc<CachedStore>, entries: &[(Key, Value)], fill_factor: f64) -> IoResult<BPlusTree> {
+    assert!((0.1..=1.0).contains(&fill_factor), "fill factor must be in (0.1, 1.0]");
     assert!(
         entries.windows(2).all(|w| w[0].0 < w[1].0),
         "bulk_load requires sorted, duplicate-free input"
@@ -51,7 +44,10 @@ pub fn bulk_load(
     for (i, chunk) in entries.chunks(leaf_cap).enumerate() {
         let page = first_leaf + i as u64;
         let next = if i + 1 < n_leaves { page + 1 } else { INVALID_PAGE };
-        let leaf = LeafNode { entries: chunk.to_vec(), next };
+        let leaf = LeafNode {
+            entries: chunk.to_vec(),
+            next,
+        };
         level.push((chunk[0].0, page));
         pending.push((page, Node::Leaf(leaf).encode(page_size)));
         if pending.len() >= WRITE_BATCH {

@@ -52,7 +52,10 @@ pub struct LeafNode {
 
 impl Default for LeafNode {
     fn default() -> Self {
-        Self { entries: Vec::new(), next: INVALID_PAGE }
+        Self {
+            entries: Vec::new(),
+            next: INVALID_PAGE,
+        }
     }
 }
 
@@ -231,7 +234,10 @@ mod tests {
     fn empty_nodes_round_trip() {
         let leaf = LeafNode::default();
         assert_eq!(Node::decode(&leaf.encode(2048)).expect_leaf(), leaf);
-        let internal = InternalNode { keys: vec![], children: vec![42] };
+        let internal = InternalNode {
+            keys: vec![],
+            children: vec![42],
+        };
         assert_eq!(Node::decode(&internal.encode(2048)).expect_internal(), internal);
     }
 
@@ -245,7 +251,10 @@ mod tests {
 
     #[test]
     fn child_for_follows_paper_convention() {
-        let node = InternalNode { keys: vec![10, 20, 30], children: vec![0, 1, 2, 3] };
+        let node = InternalNode {
+            keys: vec![10, 20, 30],
+            children: vec![0, 1, 2, 3],
+        };
         assert_eq!(node.child_for(5), 0);
         assert_eq!(node.child_for(10), 1, "K_{{i-1}} <= s goes right");
         assert_eq!(node.child_for(15), 1);
@@ -300,7 +309,10 @@ mod tests {
     fn is_leaf_and_expect_helpers() {
         let leaf = Node::Leaf(LeafNode::default());
         assert!(leaf.is_leaf());
-        let internal = Node::Internal(InternalNode { keys: vec![], children: vec![0] });
+        let internal = Node::Internal(InternalNode {
+            keys: vec![],
+            children: vec![0],
+        });
         assert!(!internal.is_leaf());
     }
 }

@@ -8,8 +8,8 @@
 
 use crate::node::{InternalNode, Key, LeafNode, Node, Value};
 use pio::IoResult;
-use storage::{CachedStore, PageId, INVALID_PAGE};
 use std::sync::Arc;
+use storage::{CachedStore, PageId, INVALID_PAGE};
 
 /// Operation counters of a [`BPlusTree`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -59,12 +59,24 @@ impl BPlusTree {
         let root = store.allocate();
         let leaf = LeafNode::default();
         store.write_page(root, &leaf.encode(store.page_size()))?;
-        Ok(Self { store, root, height: 1, len: 0, stats: TreeStats::default() })
+        Ok(Self {
+            store,
+            root,
+            height: 1,
+            len: 0,
+            stats: TreeStats::default(),
+        })
     }
 
     /// Builds a tree around an existing root produced by the bulk loader.
     pub(crate) fn from_parts(store: Arc<CachedStore>, root: PageId, height: usize, len: u64) -> Self {
-        Self { store, root, height, len, stats: TreeStats::default() }
+        Self {
+            store,
+            root,
+            height,
+            len,
+            stats: TreeStats::default(),
+        }
     }
 
     /// The store this tree performs I/O through.
@@ -121,6 +133,7 @@ impl BPlusTree {
     /// Descends from the root to the leaf responsible for `key`, returning the path
     /// of `(page, node, child_index)` for every internal node visited plus the leaf's
     /// page id and contents.
+    #[allow(clippy::type_complexity)]
     fn descend(&self, key: Key) -> IoResult<(Vec<(PageId, InternalNode, usize)>, PageId, LeafNode)> {
         let mut path = Vec::with_capacity(self.height.saturating_sub(1));
         let mut page = self.root;
@@ -192,7 +205,10 @@ impl BPlusTree {
         let split_at = leaf.entries.len() / 2;
         let right_entries = leaf.entries.split_off(split_at);
         let right_page = self.store.allocate();
-        let right = LeafNode { entries: right_entries, next: leaf.next };
+        let right = LeafNode {
+            entries: right_entries,
+            next: leaf.next,
+        };
         leaf.next = right_page;
         let mut sep_key = right.entries[0].0;
         self.write_node(right_page, &Node::Leaf(right))?;
@@ -214,7 +230,10 @@ impl BPlusTree {
             internal.keys.pop(); // the promoted key moves up, it stays in neither half
             let right_children = internal.children.split_off(mid + 1);
             let right_page = self.store.allocate();
-            let right = InternalNode { keys: right_keys, children: right_children };
+            let right = InternalNode {
+                keys: right_keys,
+                children: right_children,
+            };
             self.write_node(right_page, &Node::Internal(right))?;
             self.write_node(page, &Node::Internal(internal))?;
             sep_key = promote;
@@ -224,7 +243,10 @@ impl BPlusTree {
         // The root itself split: grow the tree by one level.
         let old_root = self.root;
         let new_root_page = self.store.allocate();
-        let new_root = InternalNode { keys: vec![sep_key], children: vec![old_root, new_child] };
+        let new_root = InternalNode {
+            keys: vec![sep_key],
+            children: vec![old_root, new_child],
+        };
         self.write_node(new_root_page, &Node::Internal(new_root))?;
         self.root = new_root_page;
         self.height += 1;

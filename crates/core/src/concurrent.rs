@@ -25,7 +25,9 @@ pub struct ConcurrentPioBTree {
 impl ConcurrentPioBTree {
     /// Wraps an existing tree.
     pub fn new(tree: PioBTree) -> Self {
-        Self { inner: RwLock::new(tree) }
+        Self {
+            inner: RwLock::new(tree),
+        }
     }
 
     /// Consumes the wrapper and returns the inner tree.
@@ -52,6 +54,48 @@ impl ConcurrentPioBTree {
     /// MPSearch.
     pub fn concurrent_search(&self, keys: &[Key]) -> IoResult<Vec<Option<Value>>> {
         self.inner.write().multi_search(keys)
+    }
+
+    /// MPSearch over a key batch — an alias of
+    /// [`ConcurrentPioBTree::concurrent_search`] under the same name as
+    /// [`PioBTree::multi_search`], so generic callers can treat the two tree types
+    /// uniformly.
+    pub fn multi_search(&self, keys: &[Key]) -> IoResult<Vec<Option<Value>>> {
+        self.concurrent_search(keys)
+    }
+
+    /// Inserts a whole batch under one lock acquisition.
+    pub fn insert_batch(&self, entries: &[(Key, Value)]) -> IoResult<()> {
+        self.inner.write().insert_batch(entries)
+    }
+
+    /// Runs one bupdate over at most `bcnt` queued entries — the incremental
+    /// maintenance entry point, for callers that want to drain the OPQ in bounded
+    /// steps off their latency-critical path instead of a full [`checkpoint`].
+    ///
+    /// [`checkpoint`]: ConcurrentPioBTree::checkpoint
+    pub fn flush_once(&self) -> IoResult<()> {
+        self.inner.write().flush_once()
+    }
+
+    /// Number of operations currently buffered in the OPQ.
+    pub fn opq_len(&self) -> usize {
+        self.inner.read().opq_len()
+    }
+
+    /// Maximum number of entries the OPQ holds before a flush is forced.
+    pub fn opq_capacity(&self) -> usize {
+        self.inner.read().opq_capacity()
+    }
+
+    /// Snapshot of the tree's operation counters.
+    pub fn stats(&self) -> crate::tree::PioStats {
+        self.inner.read().stats()
+    }
+
+    /// Simulated (or wall-clock) I/O time consumed by index I/O, in µs.
+    pub fn io_elapsed_us(&self) -> f64 {
+        self.inner.read().io_elapsed_us()
     }
 
     /// Insert: an O(1) OPQ append under the exclusive lock; a full OPQ triggers the
@@ -116,6 +160,22 @@ mod tests {
         assert_eq!(r.len(), 50);
         let batch = t.concurrent_search(&[1, 2, 3, 9_999]).unwrap();
         assert_eq!(batch, vec![Some(2), Some(3), Some(4), None]);
+        assert_eq!(t.multi_search(&[1, 2]).unwrap(), vec![Some(2), Some(3)]);
+    }
+
+    #[test]
+    fn incremental_maintenance_accessors() {
+        let t = tree();
+        t.insert_batch(&(0..50u64).map(|k| (k, k)).collect::<Vec<_>>()).unwrap();
+        assert_eq!(t.stats().inserts, 50);
+        assert_eq!(t.opq_len(), 50);
+        assert!(t.opq_capacity() > 0);
+        let io_before = t.io_elapsed_us();
+        // One bounded bupdate (bcnt 128 > 50) drains the queue in a single step.
+        t.flush_once().unwrap();
+        assert_eq!(t.opq_len(), 0);
+        assert!(t.io_elapsed_us() > io_before, "the flush must have performed I/O");
+        assert_eq!(t.search(25).unwrap(), Some(25));
     }
 
     #[test]

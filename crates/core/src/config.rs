@@ -194,6 +194,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::field_reassign_with_default)]
     fn validation_catches_each_field() {
         let mut c = PioConfig::default();
         c.leaf_segments = 0;

@@ -12,7 +12,7 @@
 //! * (4)/(5)  — B+-tree average operation cost without a buffer pool;
 //! * (6)      — B+-tree cost with a buffer pool (`C'b+`);
 //! * (7)/(8)  — PIO B-tree cost without a buffer pool, including the `G(ℓ)` factor
-//!              (how many queued operations share one node read at level ℓ);
+//!   (how many queued operations share one node read at level ℓ);
 //! * (9)      — PIO B-tree cost with a buffer pool (`C'pio`);
 //! * (3)/(10) — the arg-min searches for the optimal node size and `(L_opt, O_opt)`.
 
@@ -32,17 +32,26 @@ pub struct WorkloadMix {
 impl WorkloadMix {
     /// A search-only workload.
     pub fn search_only() -> Self {
-        Self { search_ratio: 1.0, insert_ratio: 0.0 }
+        Self {
+            search_ratio: 1.0,
+            insert_ratio: 0.0,
+        }
     }
 
     /// An insert-only workload.
     pub fn insert_only() -> Self {
-        Self { search_ratio: 0.0, insert_ratio: 1.0 }
+        Self {
+            search_ratio: 0.0,
+            insert_ratio: 1.0,
+        }
     }
 
     /// A mixed workload with the given insert fraction.
     pub fn with_insert_ratio(insert_ratio: f64) -> Self {
-        Self { search_ratio: 1.0 - insert_ratio, insert_ratio }
+        Self {
+            search_ratio: 1.0 - insert_ratio,
+            insert_ratio,
+        }
     }
 }
 
@@ -87,8 +96,7 @@ impl CostModel {
     /// Eq. (5): B+-tree average operation cost without a buffer pool.
     pub fn btree_cost(&self, mix: WorkloadMix) -> f64 {
         let h = self.height();
-        mix.search_ratio * (h * self.page_read_us)
-            + mix.insert_ratio * (h * self.page_read_us + self.page_write_us)
+        mix.search_ratio * (h * self.page_read_us) + mix.insert_ratio * (h * self.page_read_us + self.page_write_us)
     }
 
     /// Eq. (6): B+-tree average operation cost with a buffer pool of `M` pages.
@@ -141,8 +149,8 @@ impl CostModel {
     pub fn pio_cost_buffered(&self, mix: WorkloadMix) -> f64 {
         let h = self.height();
         let eta = self.eta_pio();
-        let search =
-            (eta.floor() + (1.0 - 1.0 / self.fanout.powf(eta.fract()))).max(0.0) * self.page_read_us + self.leaf_read_us;
+        let search = (eta.floor() + (1.0 - 1.0 / self.fanout.powf(eta.fract()))).max(0.0) * self.page_read_us
+            + self.leaf_read_us;
         let mut insert = 0.0;
         let mut level = eta.floor();
         while level <= h - 2.0 {
@@ -186,6 +194,7 @@ pub fn optimal_btree_node_size(device: &mut SsdDevice, candidates: &[usize], see
 /// The auto-tuning procedure of Section 3.6: micro-benchmark the device to obtain
 /// `Pr`, `Pw`, `Pr(L)`, `P'r`, `P'w`, then choose `(L_opt, O_opt)` minimising
 /// eq. (9) for the given workload mix and memory budget.
+#[allow(clippy::too_many_arguments)]
 pub fn auto_tune(
     device: &mut SsdDevice,
     page_size: usize,
@@ -199,7 +208,11 @@ pub fn auto_tune(
 ) -> Tuning {
     let chars: DeviceCharacterisation = characterise(device, page_size as u64, pio_max, seed);
     let fanout = ((page_size / 16) as f64 * 0.7).max(2.0);
-    let mut best = Tuning { leaf_pages: leaf_candidates[0], opq_pages: opq_candidates[0], predicted_cost_us: f64::MAX };
+    let mut best = Tuning {
+        leaf_pages: leaf_candidates[0],
+        opq_pages: opq_candidates[0],
+        predicted_cost_us: f64::MAX,
+    };
     for &l in leaf_candidates {
         let leaf_read_us = leaf_read_latency(device, page_size as u64, l as u64, seed ^ l as u64);
         for &o in opq_candidates {
@@ -222,7 +235,11 @@ pub fn auto_tune(
             };
             let cost = model.pio_cost_buffered(mix);
             if cost < best.predicted_cost_us {
-                best = Tuning { leaf_pages: l, opq_pages: o, predicted_cost_us: cost };
+                best = Tuning {
+                    leaf_pages: l,
+                    opq_pages: o,
+                    predicted_cost_us: cost,
+                };
             }
         }
     }
@@ -309,7 +326,10 @@ mod tests {
     fn optimal_node_size_prefers_moderate_pages_on_ssd() {
         let mut dev = SsdDevice::new(DeviceProfile::P300.build());
         let best = optimal_btree_node_size(&mut dev, &[2048, 4096, 8192, 16384, 65536], 7);
-        assert!(best >= 4096, "non-linear latency should push the optimum above 2 KiB, got {best}");
+        assert!(
+            best >= 4096,
+            "non-linear latency should push the optimum above 2 KiB, got {best}"
+        );
         assert!(best <= 16384, "the optimum should not grow unboundedly, got {best}");
     }
 

@@ -60,17 +60,29 @@ pub const ENTRY_BYTES: usize = 20;
 impl OpEntry {
     /// Creates an insert entry.
     pub fn insert(key: Key, value: Value) -> Self {
-        Self { key, value, op: OpKind::Insert }
+        Self {
+            key,
+            value,
+            op: OpKind::Insert,
+        }
     }
 
     /// Creates a delete entry.
     pub fn delete(key: Key) -> Self {
-        Self { key, value: 0, op: OpKind::Delete }
+        Self {
+            key,
+            value: 0,
+            op: OpKind::Delete,
+        }
     }
 
     /// Creates an update entry.
     pub fn update(key: Key, value: Value) -> Self {
-        Self { key, value, op: OpKind::Update }
+        Self {
+            key,
+            value,
+            op: OpKind::Update,
+        }
     }
 
     /// Serialises the entry into `buf` (which must be at least [`ENTRY_BYTES`] long).

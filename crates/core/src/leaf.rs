@@ -31,7 +31,10 @@ impl PioLeaf {
     /// Creates an empty leaf of `segments` Leaf Segments.
     pub fn new(segments: usize) -> Self {
         assert!(segments >= 1);
-        Self { segments, records: Vec::new() }
+        Self {
+            segments,
+            records: Vec::new(),
+        }
     }
 
     /// Creates a leaf pre-populated with sorted insert records (bulk loading).
@@ -110,7 +113,13 @@ impl PioLeaf {
         let mid = self.records.len() / 2;
         let upper = self.records.split_off(mid);
         let fence = upper[0].key;
-        (fence, PioLeaf { segments: self.segments, records: upper })
+        (
+            fence,
+            PioLeaf {
+                segments: self.segments,
+                records: upper,
+            },
+        )
     }
 
     /// Serialises the whole leaf into `segments × page_size` bytes.
@@ -156,7 +165,11 @@ impl PioLeaf {
         let seg_cap = Self::segment_capacity(page_size);
         let start = seg * seg_cap;
         let end = ((seg + 1) * seg_cap).min(self.records.len());
-        let records = if start < self.records.len() { &self.records[start..end] } else { &[] };
+        let records = if start < self.records.len() {
+            &self.records[start..end]
+        } else {
+            &[]
+        };
         let mut page = vec![0u8; page_size];
         Self::encode_segment_into(records, &mut page);
         page
@@ -213,7 +226,13 @@ mod tests {
     fn whole_leaf_round_trip() {
         let mut leaf = PioLeaf::new(4);
         let ops: Vec<OpEntry> = (0..300u64)
-            .map(|i| if i % 7 == 0 { OpEntry::delete(i) } else { OpEntry::insert(i, i * 2) })
+            .map(|i| {
+                if i % 7 == 0 {
+                    OpEntry::delete(i)
+                } else {
+                    OpEntry::insert(i, i * 2)
+                }
+            })
             .collect();
         leaf.append(&ops);
         let buf = leaf.encode(PAGE);

@@ -55,10 +55,7 @@ pub fn locate_leaves(
                 }
             }
             let images = store.read_pages(&pages)?;
-            let nodes: Vec<InternalNode> = images
-                .iter()
-                .map(|img| Node::decode(img).expect_internal())
-                .collect();
+            let nodes: Vec<InternalNode> = images.iter().map(|img| Node::decode(img).expect_internal()).collect();
             for (i, &key) in group.iter().enumerate() {
                 let page = frontier[i];
                 let node_idx = pages.iter().position(|&p| p == page).expect("page fetched above");
@@ -69,7 +66,10 @@ pub fn locate_leaves(
             }
         }
         for (i, _) in group.iter().enumerate() {
-            out.push(LeafLocation { leaf: frontier[i], path: std::mem::take(&mut paths[i]) });
+            out.push(LeafLocation {
+                leaf: frontier[i],
+                path: std::mem::take(&mut paths[i]),
+            });
         }
     }
     Ok(out)
@@ -135,19 +135,31 @@ mod tests {
         store
             .write_page(
                 n0,
-                &Node::Internal(InternalNode { keys: vec![50], children: vec![leaves[0], leaves[1]] }).encode(2048),
+                &Node::Internal(InternalNode {
+                    keys: vec![50],
+                    children: vec![leaves[0], leaves[1]],
+                })
+                .encode(2048),
             )
             .unwrap();
         store
             .write_page(
                 n1,
-                &Node::Internal(InternalNode { keys: vec![150], children: vec![leaves[2], leaves[3]] }).encode(2048),
+                &Node::Internal(InternalNode {
+                    keys: vec![150],
+                    children: vec![leaves[2], leaves[3]],
+                })
+                .encode(2048),
             )
             .unwrap();
         store
             .write_page(
                 root,
-                &Node::Internal(InternalNode { keys: vec![100], children: vec![n0, n1] }).encode(2048),
+                &Node::Internal(InternalNode {
+                    keys: vec![100],
+                    children: vec![n0, n1],
+                })
+                .encode(2048),
             )
             .unwrap();
         (store, root, leaves)
@@ -201,7 +213,10 @@ mod tests {
     fn range_descent_selects_only_overlapping_leaves() {
         let (store, root, leaves) = build_fixture();
         // Range entirely inside leaf 1 ([50, 100)).
-        assert_eq!(locate_leaves_in_range(&store, root, 2, 60, 70, 8).unwrap(), vec![leaves[1]]);
+        assert_eq!(
+            locate_leaves_in_range(&store, root, 2, 60, 70, 8).unwrap(),
+            vec![leaves[1]]
+        );
         // Range spanning leaves 1..3.
         assert_eq!(
             locate_leaves_in_range(&store, root, 2, 60, 160, 8).unwrap(),

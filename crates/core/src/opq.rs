@@ -180,7 +180,7 @@ impl OperationQueue {
     /// the index lock for the duration of the flush.
     pub fn take_batch(&mut self, bcnt: usize) -> Vec<OpEntry> {
         self.sort_and_merge();
-        let n = bcnt.min(self.entries.len()).max(0);
+        let n = bcnt.min(self.entries.len());
         let taken: Vec<OpEntry> = self.entries.drain(..n).collect();
         self.sorted_offset = self.entries.len();
         taken
@@ -189,6 +189,26 @@ impl OperationQueue {
     /// Removes and returns every queued entry (checkpoint / shutdown flush).
     pub fn take_all(&mut self) -> Vec<OpEntry> {
         self.take_batch(usize::MAX)
+    }
+
+    /// Puts a batch obtained from [`OperationQueue::take_batch`] back at the *front*
+    /// of the queue — the failure-recovery path of a bupdate. `take_batch` removes
+    /// the smallest-key prefix of the fully sorted queue, so restoring that prefix
+    /// at the front preserves both key order and arrival order (recency) for
+    /// overlapping keys.
+    pub fn restore_front(&mut self, batch: Vec<OpEntry>) {
+        if batch.is_empty() {
+            return;
+        }
+        debug_assert!(
+            batch.windows(2).all(|w| w[0].key <= w[1].key),
+            "restored batch must be sorted"
+        );
+        if let (Some(last), Some(first)) = (batch.last(), self.entries.first()) {
+            debug_assert!(last.key <= first.key, "restored batch must precede the queue");
+        }
+        self.sorted_offset += batch.len();
+        self.entries.splice(0..0, batch);
     }
 
     /// Clears the queue (crash simulation: volatile contents are lost).
@@ -296,6 +316,27 @@ mod tests {
         let rest = q.take_all();
         assert_eq!(rest.len(), 2);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn restore_front_undoes_a_take_batch() {
+        let mut q = q(1000, 1000);
+        // Two writes to key 3: the later one (value 33) must stay the winner
+        // through a take/restore cycle.
+        for (k, v) in [(5u64, 5u64), (1, 1), (3, 3), (9, 9), (3, 33), (7, 7)] {
+            q.append(OpEntry::insert(k, v));
+        }
+        let len_before = q.len();
+        let batch = q.take_batch(4);
+        assert_eq!(q.lookup(1), None, "taken entries are gone");
+        q.restore_front(batch);
+        assert_eq!(q.len(), len_before);
+        assert_eq!(q.lookup(1), Some(Some(1)));
+        assert_eq!(q.lookup(3), Some(Some(33)), "recency preserved across restore");
+        assert_eq!(q.lookup(9), Some(Some(9)));
+        // The queue remains fully usable: another take drains in key order.
+        let keys: Vec<Key> = q.take_all().iter().map(|e| e.key).collect();
+        assert_eq!(keys, vec![1, 3, 3, 5, 7, 9]);
     }
 
     #[test]

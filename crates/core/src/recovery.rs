@@ -79,7 +79,11 @@ impl LogRecord {
                 out.extend_from_slice(&entry.value.to_le_bytes());
                 out.push(entry.op.to_byte());
             }
-            LogRecord::FlushStart { flush_id, key_lo, key_hi } => {
+            LogRecord::FlushStart {
+                flush_id,
+                key_lo,
+                key_hi,
+            } => {
                 out.push(2);
                 out.extend_from_slice(&flush_id.to_le_bytes());
                 out.extend_from_slice(&key_lo.to_le_bytes());
@@ -89,7 +93,11 @@ impl LogRecord {
                 out.push(3);
                 out.extend_from_slice(&flush_id.to_le_bytes());
             }
-            LogRecord::FlushUndo { flush_id, page, preimage } => {
+            LogRecord::FlushUndo {
+                flush_id,
+                page,
+                preimage,
+            } => {
                 out.push(4);
                 out.extend_from_slice(&flush_id.to_le_bytes());
                 out.extend_from_slice(&page.to_le_bytes());
@@ -104,16 +112,18 @@ impl LogRecord {
     /// Parses a payload produced by [`LogRecord::encode`]. Returns `None` for corrupt
     /// or unknown payloads.
     pub fn decode(buf: &[u8]) -> Option<Self> {
-        let u64_at = |off: usize| -> Option<u64> {
-            buf.get(off..off + 8).map(|b| u64::from_le_bytes(b.try_into().unwrap()))
-        };
+        let u64_at =
+            |off: usize| -> Option<u64> { buf.get(off..off + 8).map(|b| u64::from_le_bytes(b.try_into().unwrap())) };
         match *buf.first()? {
             1 => {
                 let tx = u64_at(1)?;
                 let key = u64_at(9)?;
                 let value = u64_at(17)?;
                 let op = OpKind::from_byte(*buf.get(25)?)?;
-                Some(LogRecord::LogicalRedo { tx, entry: OpEntry { key, value, op } })
+                Some(LogRecord::LogicalRedo {
+                    tx,
+                    entry: OpEntry { key, value, op },
+                })
             }
             2 => Some(LogRecord::FlushStart {
                 flush_id: u64_at(1)?,
@@ -126,7 +136,11 @@ impl LogRecord {
                 let page = u64_at(9)?;
                 let len = u32::from_le_bytes(buf.get(17..21)?.try_into().unwrap()) as usize;
                 let preimage = buf.get(21..21 + len)?.to_vec();
-                Some(LogRecord::FlushUndo { flush_id, page, preimage })
+                Some(LogRecord::FlushUndo {
+                    flush_id,
+                    page,
+                    preimage,
+                })
             }
             5 => Some(LogRecord::Checkpoint),
             _ => None,
@@ -154,12 +168,29 @@ mod tests {
     #[test]
     fn every_record_round_trips() {
         let records = vec![
-            LogRecord::LogicalRedo { tx: 7, entry: OpEntry::insert(42, 420) },
-            LogRecord::LogicalRedo { tx: 8, entry: OpEntry::delete(13) },
-            LogRecord::LogicalRedo { tx: 9, entry: OpEntry::update(5, 55) },
-            LogRecord::FlushStart { flush_id: 3, key_lo: 10, key_hi: 99 },
+            LogRecord::LogicalRedo {
+                tx: 7,
+                entry: OpEntry::insert(42, 420),
+            },
+            LogRecord::LogicalRedo {
+                tx: 8,
+                entry: OpEntry::delete(13),
+            },
+            LogRecord::LogicalRedo {
+                tx: 9,
+                entry: OpEntry::update(5, 55),
+            },
+            LogRecord::FlushStart {
+                flush_id: 3,
+                key_lo: 10,
+                key_hi: 99,
+            },
             LogRecord::FlushEnd { flush_id: 3 },
-            LogRecord::FlushUndo { flush_id: 3, page: 77, preimage: vec![1, 2, 3, 4, 5] },
+            LogRecord::FlushUndo {
+                flush_id: 3,
+                page: 77,
+                preimage: vec![1, 2, 3, 4, 5],
+            },
             LogRecord::Checkpoint,
         ];
         for r in records {
@@ -174,14 +205,23 @@ mod tests {
         assert_eq!(LogRecord::decode(&[99, 1, 2, 3]), None);
         assert_eq!(LogRecord::decode(&[1, 0, 0]), None, "truncated logical record");
         // FlushUndo whose declared length exceeds the payload.
-        let mut bad = LogRecord::FlushUndo { flush_id: 1, page: 2, preimage: vec![9; 10] }.encode();
+        let mut bad = LogRecord::FlushUndo {
+            flush_id: 1,
+            page: 2,
+            preimage: vec![9; 10],
+        }
+        .encode();
         bad.truncate(bad.len() - 5);
         assert_eq!(LogRecord::decode(&bad), None);
     }
 
     #[test]
     fn undo_preimage_may_be_a_zero_page() {
-        let r = LogRecord::FlushUndo { flush_id: 1, page: 5, preimage: vec![0u8; 2048] };
+        let r = LogRecord::FlushUndo {
+            flush_id: 1,
+            page: 5,
+            preimage: vec![0u8; 2048],
+        };
         let back = LogRecord::decode(&r.encode()).unwrap();
         match back {
             LogRecord::FlushUndo { preimage, .. } => assert_eq!(preimage.len(), 2048),

@@ -62,6 +62,50 @@ pub struct PioStats {
     pub height_growths: u64,
 }
 
+impl PioStats {
+    /// Accumulates `other` into `self`, field by field — used by the sharded engine
+    /// to roll per-shard counters up into one aggregate. The exhaustive destructuring
+    /// (no `..`) makes adding a `PioStats` field without extending the rollup a
+    /// compile error.
+    pub fn merge(&mut self, other: &PioStats) {
+        let PioStats {
+            searches,
+            multi_searches,
+            range_searches,
+            inserts,
+            deletes,
+            updates,
+            opq_appends,
+            bupdates,
+            leaf_appends,
+            leaf_rewrites,
+            shrinks,
+            leaf_splits,
+            internal_splits,
+            height_growths,
+        } = *other;
+        self.searches += searches;
+        self.multi_searches += multi_searches;
+        self.range_searches += range_searches;
+        self.inserts += inserts;
+        self.deletes += deletes;
+        self.updates += updates;
+        self.opq_appends += opq_appends;
+        self.bupdates += bupdates;
+        self.leaf_appends += leaf_appends;
+        self.leaf_rewrites += leaf_rewrites;
+        self.shrinks += shrinks;
+        self.leaf_splits += leaf_splits;
+        self.internal_splits += internal_splits;
+        self.height_growths += height_growths;
+    }
+
+    /// Total update-type operations accepted (inserts + deletes + updates).
+    pub fn update_ops(&self) -> u64 {
+        self.inserts + self.deletes + self.updates
+    }
+}
+
 /// A pending fence-key insertion produced by a node split during bupdate.
 #[derive(Debug, Clone)]
 struct FenceInsert {
@@ -132,8 +176,12 @@ impl PioBTree {
     /// the configuration) by bulk loading `entries`, which must be sorted and
     /// duplicate-free.
     pub fn bulk_load(store: Arc<CachedStore>, entries: &[(Key, Value)], config: PioConfig) -> IoResult<Self> {
-        config.validate().map_err(|_| pio::IoError::EmptyRequest).ok();
-        assert_eq!(store.page_size(), config.page_size, "store page size must match the config");
+        config.validate().map_err(pio::IoError::InvalidConfig)?;
+        assert_eq!(
+            store.page_size(),
+            config.page_size,
+            "store page size must match the config"
+        );
         assert!(
             entries.windows(2).all(|w| w[0].0 < w[1].0),
             "bulk_load requires sorted, duplicate-free input"
@@ -170,7 +218,8 @@ impl PioBTree {
         }
 
         // --- Internal levels --------------------------------------------------------
-        let internal_cap = ((InternalNode::max_children(page_size) as f64 * config.fill_factor).floor() as usize).max(2);
+        let internal_cap =
+            ((InternalNode::max_children(page_size) as f64 * config.fill_factor).floor() as usize).max(2);
         let mut height = 1usize;
         loop {
             let force_root = height == 1; // always create at least one internal level
@@ -249,6 +298,11 @@ impl PioBTree {
         self.opq.len()
     }
 
+    /// Maximum number of entries the OPQ holds before a flush is forced.
+    pub fn opq_capacity(&self) -> usize {
+        self.opq.capacity()
+    }
+
     /// Simulated (or wall-clock) I/O time consumed by index I/O, in µs.
     pub fn io_elapsed_us(&self) -> f64 {
         self.store.io_elapsed_us()
@@ -296,7 +350,13 @@ impl PioBTree {
         let mut order: Vec<usize> = (0..keys.len()).collect();
         order.sort_by_key(|&i| keys[i]);
         let sorted_keys: Vec<Key> = order.iter().map(|&i| keys[i]).collect();
-        let locs = locate_leaves(&self.store, self.root, self.internal_levels(), &sorted_keys, self.config.pio_max)?;
+        let locs = locate_leaves(
+            &self.store,
+            self.root,
+            self.internal_levels(),
+            &sorted_keys,
+            self.config.pio_max,
+        )?;
 
         let mut results = vec![None; keys.len()];
         let l = self.config.leaf_segments as u64;
@@ -318,7 +378,10 @@ impl PioBTree {
                 .map(|img| PioLeaf::decode(img, self.config.leaf_segments, self.config.page_size))
                 .collect();
             for (pos_in_group, loc) in group_locs.iter().enumerate() {
-                let leaf_idx = regions.iter().position(|&(p, _)| p == loc.leaf).expect("region fetched");
+                let leaf_idx = regions
+                    .iter()
+                    .position(|&(p, _)| p == loc.leaf)
+                    .expect("region fetched");
                 let key = group_keys[pos_in_group];
                 // Map back from the sorted position to the caller's position.
                 let original_idx = order[group_idx * self.config.pio_max + pos_in_group];
@@ -341,7 +404,14 @@ impl PioBTree {
         if lo >= hi {
             return Ok(Vec::new());
         }
-        let leaves = locate_leaves_in_range(&self.store, self.root, self.internal_levels(), lo, hi, self.config.pio_max)?;
+        let leaves = locate_leaves_in_range(
+            &self.store,
+            self.root,
+            self.internal_levels(),
+            lo,
+            hi,
+            self.config.pio_max,
+        )?;
         let l = self.config.leaf_segments as u64;
         let mut merged: BTreeMap<Key, Value> = BTreeMap::new();
         for batch in leaves.chunks(self.config.pio_max) {
@@ -377,6 +447,16 @@ impl PioBTree {
         self.enqueue(OpEntry::insert(key, value))
     }
 
+    /// Inserts a batch of key/value pairs in order. This is the router-facing entry
+    /// point of the sharded engine: the whole batch is enqueued under one borrow, and
+    /// any OPQ-full flushes triggered along the way run as usual.
+    pub fn insert_batch(&mut self, entries: &[(Key, Value)]) -> IoResult<()> {
+        for &(key, value) in entries {
+            self.insert(key, value)?;
+        }
+        Ok(())
+    }
+
     /// Index-delete.
     pub fn delete(&mut self, key: Key) -> IoResult<()> {
         self.stats.deletes += 1;
@@ -404,17 +484,33 @@ impl PioBTree {
 
     /// Runs one bupdate over at most `bcnt` OPQ entries (the paper's latency-bounding
     /// mechanism). Does nothing if the OPQ is empty.
+    ///
+    /// If the bupdate fails, the batch is restored to the front of the OPQ before
+    /// the error is returned, so the *queued operations* themselves are not dropped
+    /// by an I/O error. This does **not** roll back node writes a multi-chunk
+    /// bupdate may already have performed: a failure after a chunk that split a
+    /// leaf can leave the new sibling unreachable until recovery. Durable undo of a
+    /// half-applied flush is the WAL's job — with `wal_enabled`, the FlushUndo
+    /// preimages restore the touched pages via [`PioBTree::recover`], exactly as
+    /// for a crash mid-flush (Section 3.4). Callers that see an error here should
+    /// treat the tree as needing recovery, not silently retry.
     pub fn flush_once(&mut self) -> IoResult<()> {
         let batch = self.opq.take_batch(self.config.bcnt);
-        self.bupdate(batch)
+        match self.bupdate(&batch) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.opq.restore_front(batch);
+                Err(e)
+            }
+        }
     }
 
     /// Flushes the entire OPQ (checkpoint / shutdown), then writes a checkpoint record
-    /// if a WAL is attached.
+    /// if a WAL is attached. On error the failing batch stays queued (see
+    /// [`PioBTree::flush_once`]).
     pub fn checkpoint(&mut self) -> IoResult<()> {
         while !self.opq.is_empty() {
-            let batch = self.opq.take_batch(self.config.bcnt);
-            self.bupdate(batch)?;
+            self.flush_once()?;
         }
         if let Some(wal) = &self.wal {
             wal.append(&LogRecord::Checkpoint.encode());
@@ -427,7 +523,7 @@ impl PioBTree {
 
     /// Batch update (Algorithm 2 + the modified updateNode of Algorithm 3): apply a
     /// key-sorted batch of OPQ entries to the tree using psync I/O at every level.
-    fn bupdate(&mut self, ops: Vec<OpEntry>) -> IoResult<()> {
+    fn bupdate(&mut self, ops: &[OpEntry]) -> IoResult<()> {
         if ops.is_empty() {
             return Ok(());
         }
@@ -453,8 +549,14 @@ impl PioBTree {
 
         // 1. Locate the target leaf of every entry with an MPSearch-style descent.
         let keys: Vec<Key> = ops.iter().map(|e| e.key).collect();
-        let locs = locate_leaves(&self.store, self.root, self.internal_levels(), &keys, self.config.pio_max)?;
-        let jobs = Self::group_jobs(&ops, &locs);
+        let locs = locate_leaves(
+            &self.store,
+            self.root,
+            self.internal_levels(),
+            &keys,
+            self.config.pio_max,
+        )?;
+        let jobs = Self::group_jobs(ops, &locs);
 
         // 2. Apply the operations leaf by leaf, in PioMax-sized psync batches.
         let mut fences: Vec<FenceInsert> = Vec::new();
@@ -479,7 +581,11 @@ impl PioBTree {
         for (op, loc) in ops.iter().zip(locs) {
             match jobs.last_mut() {
                 Some(j) if j.leaf == loc.leaf => j.ops.push(*op),
-                _ => jobs.push(LeafJob { leaf: loc.leaf, path: loc.path.clone(), ops: vec![*op] }),
+                _ => jobs.push(LeafJob {
+                    leaf: loc.leaf,
+                    path: loc.path.clone(),
+                    ops: vec![*op],
+                }),
             }
         }
         jobs
@@ -488,12 +594,7 @@ impl PioBTree {
     /// Applies one PioMax-sized group of leaf jobs: the append path reads each leaf's
     /// last segment and rewrites only the trailing segments; the full path reads the
     /// whole region, shrinks, and splits if necessary.
-    fn apply_leaf_chunk(
-        &mut self,
-        chunk: &[LeafJob],
-        flush_id: u64,
-        fences: &mut Vec<FenceInsert>,
-    ) -> IoResult<()> {
+    fn apply_leaf_chunk(&mut self, chunk: &[LeafJob], flush_id: u64, fences: &mut Vec<FenceInsert>) -> IoResult<()> {
         let page_size = self.config.page_size;
         let segments = self.config.leaf_segments;
         let seg_cap = PioLeaf::segment_capacity(page_size);
@@ -501,11 +602,7 @@ impl PioBTree {
 
         // Phase A: read the last Leaf Segment of every target leaf in one psync call.
         let last_ls: Vec<u32> = chunk.iter().map(|j| self.lsmap.get(j.leaf).unwrap_or(0)).collect();
-        let ls_pages: Vec<PageId> = chunk
-            .iter()
-            .zip(&last_ls)
-            .map(|(j, &ls)| j.leaf + ls as u64)
-            .collect();
+        let ls_pages: Vec<PageId> = chunk.iter().zip(&last_ls).map(|(j, &ls)| j.leaf + ls as u64).collect();
         let ls_images = self.store.read_pages(&ls_pages)?;
 
         let mut page_writes: Vec<(PageId, Vec<u8>)> = Vec::new();
@@ -540,7 +637,12 @@ impl PioBTree {
                         vec![0u8; page_size]
                     };
                     wal.append(
-                        &LogRecord::FlushUndo { flush_id, page: job.leaf + seg as u64, preimage }.encode(),
+                        &LogRecord::FlushUndo {
+                            flush_id,
+                            page: job.leaf + seg as u64,
+                            preimage,
+                        }
+                        .encode(),
                     );
                 }
                 page_writes.push((job.leaf + seg as u64, page));
@@ -561,8 +663,12 @@ impl PioBTree {
                     // One undo record per page of the region.
                     for (p, pre) in image.chunks(page_size).enumerate() {
                         wal.append(
-                            &LogRecord::FlushUndo { flush_id, page: job.leaf + p as u64, preimage: pre.to_vec() }
-                                .encode(),
+                            &LogRecord::FlushUndo {
+                                flush_id,
+                                page: job.leaf + p as u64,
+                                preimage: pre.to_vec(),
+                            }
+                            .encode(),
                         );
                     }
                 }
@@ -646,7 +752,8 @@ impl PioBTree {
                     children: std::iter::once(self.root).chain(adds.iter().map(|&(_, p)| p)).collect(),
                 };
                 assert!(node.children.len() <= internal_cap, "root fan-in exceeded in one flush");
-                self.store.write_page(new_root_page, &Node::Internal(node).encode(page_size))?;
+                self.store
+                    .write_page(new_root_page, &Node::Internal(node).encode(page_size))?;
                 self.root = new_root_page;
                 self.height += 1;
                 self.stats.height_growths += 1;
@@ -671,7 +778,14 @@ impl PioBTree {
 
             for ((parent_page, fences), image) in groups.into_iter().zip(images) {
                 if let Some(wal) = &self.wal {
-                    wal.append(&LogRecord::FlushUndo { flush_id, page: parent_page, preimage: image.clone() }.encode());
+                    wal.append(
+                        &LogRecord::FlushUndo {
+                            flush_id,
+                            page: parent_page,
+                            preimage: image.clone(),
+                        }
+                        .encode(),
+                    );
                 }
                 let mut node = Node::decode(&image).expect_internal();
                 let grandparent_path: Vec<(PageId, usize)> = {
@@ -692,9 +806,16 @@ impl PioBTree {
                     node.keys.pop();
                     let right_children = node.children.split_off(mid + 1);
                     let right_page = self.store.allocate();
-                    let right = InternalNode { keys: right_keys, children: right_children };
+                    let right = InternalNode {
+                        keys: right_keys,
+                        children: right_children,
+                    };
                     writes.push((right_page, Node::Internal(right).encode(page_size)));
-                    next_pending.push(FenceInsert { path: grandparent_path.clone(), key: promote, new_child: right_page });
+                    next_pending.push(FenceInsert {
+                        path: grandparent_path.clone(),
+                        key: promote,
+                        new_child: right_page,
+                    });
                 }
                 writes.push((parent_page, Node::Internal(node).encode(page_size)));
             }
@@ -746,16 +867,30 @@ impl PioBTree {
         for rec in &records {
             match LogRecord::decode(&rec.payload) {
                 Some(LogRecord::LogicalRedo { entry, .. }) => logical.push((rec.lsn, entry)),
-                Some(LogRecord::FlushStart { flush_id, key_lo, key_hi }) => flushes.push((
+                Some(LogRecord::FlushStart {
                     flush_id,
-                    FlushInfo { start_lsn: rec.lsn, key_lo, key_hi, complete: false, undo: Vec::new() },
+                    key_lo,
+                    key_hi,
+                }) => flushes.push((
+                    flush_id,
+                    FlushInfo {
+                        start_lsn: rec.lsn,
+                        key_lo,
+                        key_hi,
+                        complete: false,
+                        undo: Vec::new(),
+                    },
                 )),
                 Some(LogRecord::FlushEnd { flush_id }) => {
                     if let Some((_, info)) = flushes.iter_mut().find(|(id, _)| *id == flush_id) {
                         info.complete = true;
                     }
                 }
-                Some(LogRecord::FlushUndo { flush_id, page, preimage }) => {
+                Some(LogRecord::FlushUndo {
+                    flush_id,
+                    page,
+                    preimage,
+                }) => {
                     if let Some((_, info)) = flushes.iter_mut().find(|(id, _)| *id == flush_id) {
                         info.undo.push((page, preimage));
                     }
@@ -777,9 +912,9 @@ impl PioBTree {
 
         // Redo phase: re-append every logical record not covered by a completed flush.
         for (lsn, entry) in logical {
-            let covered = flushes.iter().any(|(_, f)| {
-                f.complete && f.start_lsn > lsn && entry.key >= f.key_lo && entry.key <= f.key_hi
-            });
+            let covered = flushes
+                .iter()
+                .any(|(_, f)| f.complete && f.start_lsn > lsn && entry.key >= f.key_lo && entry.key <= f.key_hi);
             if covered {
                 report.skipped_flushed += 1;
             } else {
@@ -796,13 +931,7 @@ impl PioBTree {
     /// leaf key ranges, LSMap consistency) and returns the number of live entries.
     /// Queued OPQ entries are not considered. Intended for tests.
     pub fn check_invariants(&self) -> IoResult<u64> {
-        fn visit(
-            tree: &PioBTree,
-            page: PageId,
-            level: usize,
-            lo: Option<Key>,
-            hi: Option<Key>,
-        ) -> IoResult<u64> {
+        fn visit(tree: &PioBTree, page: PageId, level: usize, lo: Option<Key>, hi: Option<Key>) -> IoResult<u64> {
             if level == tree.internal_levels() {
                 // Leaf region.
                 let image = tree.store.read_region(page, tree.config.leaf_segments as u64)?;
@@ -816,7 +945,11 @@ impl PioBTree {
                     }
                 }
                 if let Some(cached) = tree.lsmap.get(page) {
-                    assert_eq!(cached, leaf.last_segment(tree.config.page_size), "LSMap out of date for leaf {page}");
+                    assert_eq!(
+                        cached,
+                        leaf.last_segment(tree.config.page_size),
+                        "LSMap out of date for leaf {page}"
+                    );
                 }
                 return Ok(leaf.resolve().len() as u64);
             }
@@ -946,11 +1079,19 @@ mod tests {
         }
         // Spot-check while part of the workload is still queued.
         for key in (0..2_000u64).step_by(37) {
-            assert_eq!(t.search(key).unwrap(), model.get(&key).copied(), "queued state, key {key}");
+            assert_eq!(
+                t.search(key).unwrap(),
+                model.get(&key).copied(),
+                "queued state, key {key}"
+            );
         }
         t.checkpoint().unwrap();
         for key in 0..2_000u64 {
-            assert_eq!(t.search(key).unwrap(), model.get(&key).copied(), "flushed state, key {key}");
+            assert_eq!(
+                t.search(key).unwrap(),
+                model.get(&key).copied(),
+                "flushed state, key {key}"
+            );
         }
         let all = t.range_search(0, u64::MAX).unwrap();
         assert_eq!(all.len(), model.len());
@@ -1041,7 +1182,10 @@ mod tests {
 
     #[test]
     fn wal_recovery_replays_lost_operations() {
-        let config = PioConfig { wal_enabled: true, ..small_config() };
+        let config = PioConfig {
+            wal_enabled: true,
+            ..small_config()
+        };
         let mut t = tree_with(config);
         for k in 0..200u64 {
             t.insert(k, k).unwrap();
@@ -1106,5 +1250,21 @@ mod tests {
         assert_eq!(t.search(20_000).unwrap(), Some(10_000));
         assert_eq!(t.search(20_001).unwrap(), None);
         t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn bulk_load_rejects_an_invalid_config() {
+        let config = PioConfig {
+            bcnt: 0,
+            ..small_config()
+        };
+        let io = Arc::new(SimPsyncIo::with_profile(DeviceProfile::F120, 1 << 30));
+        let store = Arc::new(CachedStore::new(
+            PageStore::new(io, config.page_size),
+            config.pool_pages,
+            WritePolicy::WriteThrough,
+        ));
+        let err = PioBTree::bulk_load(store, &[], config).unwrap_err();
+        assert!(err.to_string().contains("bcnt"), "{err}");
     }
 }

@@ -1,0 +1,186 @@
+//! Configuration of the sharded PIO engine.
+
+use pio_btree::PioConfig;
+use ssd_sim::DeviceProfile;
+
+/// All tunable parameters of a [`crate::ShardedPioEngine`].
+///
+/// The buffer-pool budget is a **total** for the whole engine: `base.pool_pages`
+/// is divided across the shards, so sweeping the shard count at a fixed
+/// configuration compares equal-memory deployments (the pool is where the memory
+/// is — megabytes of cached internal nodes). `base.opq_pages`, by contrast, is
+/// **per shard**: every shard owns a full-size operation queue, because the whole
+/// point of sharding is to multiply the independent OPQ/psync streams, and an OPQ
+/// page is tiny (a few KiB of entries) next to the pool. Halving per-shard OPQs as
+/// shards grow would shrink every bupdate batch and squander the NCQ window the
+/// paper's Figure 3 is built on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Number of key-range shards (≥ 1).
+    pub shards: usize,
+    /// Device profile each shard's store simulates a partition of.
+    pub profile: DeviceProfile,
+    /// Addressable bytes of each shard's store.
+    pub shard_capacity_bytes: u64,
+    /// Per-tree configuration template. `pool_pages` is the engine-wide total
+    /// (divided by `shards` when each tree is built); `opq_pages` is per shard.
+    pub base: PioConfig,
+    /// Fraction of a shard's OPQ capacity at which the maintenance pass flushes it
+    /// (so flushes happen off the caller's critical path instead of at 100% fill).
+    pub flush_threshold: f64,
+    /// Interval of the background maintenance worker in milliseconds; `None` runs
+    /// no worker (maintenance then only happens through explicit
+    /// [`crate::ShardedPioEngine::maintain_once`] calls — the deterministic mode
+    /// used by tests and benches).
+    pub maintenance_interval_ms: Option<u64>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            profile: DeviceProfile::P300,
+            shard_capacity_bytes: 8 << 30,
+            base: PioConfig::default(),
+            flush_threshold: 0.5,
+            maintenance_interval_ms: None,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Starts a builder pre-loaded with the defaults.
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder::default()
+    }
+
+    /// The per-shard tree configuration: the engine-wide pool budget is divided
+    /// evenly across the shards (each shard keeps at least one page so a tiny
+    /// budget still yields a valid tree); the OPQ size passes through unchanged —
+    /// each shard owns its own full-size queue.
+    pub fn shard_config(&self) -> PioConfig {
+        let shards = self.shards.max(1) as u64;
+        let mut cfg = self.base.clone();
+        cfg.pool_pages = (self.base.pool_pages / shards).max(1);
+        cfg
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.shards == 0 {
+            return Err("shards must be at least 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.flush_threshold) {
+            return Err("flush_threshold must be in [0, 1]".into());
+        }
+        if self.maintenance_interval_ms == Some(0) {
+            return Err("maintenance_interval_ms must be at least 1 (0 would busy-spin the worker)".into());
+        }
+        self.base.validate()
+    }
+}
+
+/// Builder for [`EngineConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfigBuilder {
+    config: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Sets the shard count.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
+    /// Sets the simulated device profile.
+    pub fn profile(mut self, profile: DeviceProfile) -> Self {
+        self.config.profile = profile;
+        self
+    }
+
+    /// Sets the per-shard store capacity in bytes.
+    pub fn shard_capacity_bytes(mut self, bytes: u64) -> Self {
+        self.config.shard_capacity_bytes = bytes;
+        self
+    }
+
+    /// Sets the per-tree configuration template (`pool_pages` is the engine-wide
+    /// total; `opq_pages` is per shard).
+    pub fn base(mut self, base: PioConfig) -> Self {
+        self.config.base = base;
+        self
+    }
+
+    /// Sets the maintenance flush threshold as a fraction of OPQ capacity.
+    pub fn flush_threshold(mut self, fraction: f64) -> Self {
+        self.config.flush_threshold = fraction;
+        self
+    }
+
+    /// Enables the background maintenance worker with the given period.
+    pub fn maintenance_interval_ms(mut self, ms: u64) -> Self {
+        self.config.maintenance_interval_ms = Some(ms);
+        self
+    }
+
+    /// Finalises the configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (see [`EngineConfig::validate`]).
+    pub fn build(self) -> EngineConfig {
+        if let Err(e) = self.config.validate() {
+            panic!("invalid EngineConfig: {e}");
+        }
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        assert!(EngineConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn shard_config_divides_the_pool_but_not_the_opq() {
+        let base = PioConfig::builder().pool_pages(1024).opq_pages(8).build();
+        let cfg = EngineConfig::builder().shards(4).base(base).build();
+        let per_shard = cfg.shard_config();
+        assert_eq!(per_shard.pool_pages, 256);
+        assert_eq!(per_shard.opq_pages, 8, "every shard owns a full-size OPQ");
+    }
+
+    #[test]
+    fn tiny_pool_budgets_keep_at_least_one_page() {
+        let base = PioConfig::builder().pool_pages(2).opq_pages(1).build();
+        let cfg = EngineConfig::builder().shards(8).base(base).build();
+        let per_shard = cfg.shard_config();
+        assert_eq!(per_shard.pool_pages, 1);
+        assert_eq!(per_shard.opq_pages, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid EngineConfig")]
+    fn zero_shards_panics() {
+        let _ = EngineConfig::builder().shards(0).build();
+    }
+
+    #[test]
+    fn zero_maintenance_interval_is_rejected() {
+        let config = EngineConfig {
+            maintenance_interval_ms: Some(0),
+            ..EngineConfig::default()
+        };
+        assert!(config.validate().unwrap_err().contains("busy-spin"));
+        assert!(EngineConfig {
+            maintenance_interval_ms: Some(1),
+            ..EngineConfig::default()
+        }
+        .validate()
+        .is_ok());
+    }
+}

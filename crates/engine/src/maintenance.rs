@@ -1,0 +1,60 @@
+//! The background maintenance worker.
+//!
+//! The paper's OPQ flush (bupdate) runs on the caller's critical path: the insert
+//! that fills the queue pays for the whole batch update. The engine moves that work
+//! off the foreground path: a detached worker thread periodically sweeps the shards
+//! and drains any OPQ at or above the configured fill threshold, so foreground
+//! operations only ever flush when a queue fills completely between two sweeps.
+//!
+//! The worker parks between sweeps and is stopped-and-joined when the engine is
+//! dropped, so it never outlives the shards it maintains.
+
+use crate::sharded::EngineInner;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Handle to the background maintenance thread; stopping is handled by `Drop`.
+pub(crate) struct MaintenanceWorker {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MaintenanceWorker {
+    /// Spawns a worker sweeping `inner` every `interval`.
+    pub(crate) fn spawn(inner: Arc<EngineInner>, interval: Duration) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("engine-maintenance".into())
+            .spawn(move || {
+                while !stop_flag.load(Ordering::Acquire) {
+                    // A failed flush keeps its batch queued (flush_once restores
+                    // it), but partially applied node writes may need WAL recovery,
+                    // so the error is recorded and surfaced through EngineStats
+                    // rather than silently dropped. The sweep moves on to keep the
+                    // healthy shards drained.
+                    if let Err(e) = inner.maintain_once() {
+                        inner.note_maintenance_error(&e);
+                    }
+                    std::thread::park_timeout(interval);
+                }
+            })
+            .expect("spawn maintenance worker");
+        Self {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for MaintenanceWorker {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            handle.thread().unpark();
+            let _ = handle.join();
+        }
+    }
+}

@@ -1,0 +1,880 @@
+//! The sharded PIO engine: key-range partitioning and the cross-shard parallel
+//! request scheduler.
+//!
+//! ## Partitioning
+//!
+//! The key space is cut into `N` contiguous ranges by `N − 1` boundary keys chosen
+//! from a key sample at [`ShardedPioEngine::create`] / [`ShardedPioEngine::bulk_load`]
+//! time (quantiles of the sample, topped up with uniform cuts if the sample is too
+//! small or skewed). Shard `i` owns `[bounds[i-1], bounds[i])`; the last shard also
+//! owns `Key::MAX`. Every shard is a complete [`PioBTree`] with its own
+//! [`storage::CachedStore`], operation queue and (optional) WAL — the engine-level
+//! analogue of the paper's one-index-per-file layout, which Figure 4(b) shows
+//! behaves like independent psync streams.
+//!
+//! ## Scheduling
+//!
+//! Batch entry points (`multi_search`, `insert_batch`, `range_search`,
+//! `checkpoint`, `maintain_once`) split their work by shard and fan it out across
+//! scoped worker threads, so each shard issues its psync batches concurrently.
+//! Because the stores simulate time rather than sleep, cross-shard overlap is
+//! accounted explicitly: each engine call adds the **maximum** of the participating
+//! shards' simulated I/O deltas to the schedule makespan
+//! ([`crate::EngineStats::scheduled_io_us`]), while the sum of all deltas remains
+//! visible as `total_io_us`. The ratio of the two is the measured overlap win.
+
+use crate::config::EngineConfig;
+use crate::maintenance::MaintenanceWorker;
+use crate::stats::{EngineStats, ShardSnapshot};
+use btree::{Key, Value};
+use parking_lot::Mutex;
+use pio::{IoResult, SimPsyncIo};
+use pio_btree::{PioBTree, PioConfig, PioStats};
+use ssd_sim::DeviceProfile;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use storage::{CachedStore, PageStore, Wal, WritePolicy};
+
+/// One key-range shard: an independent PIO B-tree plus its range bounds.
+pub(crate) struct Shard {
+    /// Inclusive lower bound.
+    lo: Key,
+    /// Exclusive upper bound (`Key::MAX` for the last shard, which also owns
+    /// `Key::MAX` itself).
+    hi: Key,
+    tree: Mutex<PioBTree>,
+}
+
+/// Shared state between the engine handle and the background maintenance worker.
+pub(crate) struct EngineInner {
+    shards: Vec<Shard>,
+    /// Boundary keys; shard `i` owns keys `< bounds[i]` (and `≥ bounds[i-1]`).
+    bounds: Vec<Key>,
+    config: EngineConfig,
+    /// Accumulated schedule makespan in µs (see the module docs).
+    scheduled_us: Mutex<f64>,
+    /// Maintenance passes that flushed at least one shard.
+    maintenance_flushes: AtomicU64,
+    /// Background maintenance passes that returned an I/O error.
+    maintenance_errors: AtomicU64,
+    /// Message of the most recent background maintenance error.
+    last_maintenance_error: Mutex<Option<String>>,
+}
+
+impl EngineInner {
+    /// Records a background maintenance failure so it surfaces through
+    /// [`EngineStats`] instead of disappearing in the worker thread.
+    pub(crate) fn note_maintenance_error(&self, error: &pio::IoError) {
+        self.maintenance_errors.fetch_add(1, Ordering::Relaxed);
+        *self.last_maintenance_error.lock() = Some(error.to_string());
+    }
+}
+
+/// A key-range-sharded PIO B-tree engine with a cross-shard parallel scheduler.
+///
+/// All operations take `&self`; per-shard trees are behind their own mutexes, so
+/// client threads operating on different shards proceed concurrently (unlike
+/// [`pio_btree::ConcurrentPioBTree`], whose single lock serialises every update).
+pub struct ShardedPioEngine {
+    // Declared before `inner` so the worker is stopped and joined first on drop.
+    worker: Option<MaintenanceWorker>,
+    inner: Arc<EngineInner>,
+}
+
+impl std::fmt::Debug for ShardedPioEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedPioEngine")
+            .field("shards", &self.inner.shards.len())
+            .field("bounds", &self.inner.bounds)
+            .field("background_maintenance", &self.worker.is_some())
+            .finish()
+    }
+}
+
+/// Chooses `shards − 1` strictly increasing boundary keys: quantiles of `sample`,
+/// topped up with uniform cuts of the remaining key space when the sample has too
+/// few distinct keys.
+pub fn boundaries_from_sample(sample: &[Key], shards: usize) -> Vec<Key> {
+    if shards <= 1 {
+        return Vec::new();
+    }
+    let mut sorted = sample.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    boundaries_from_sorted(sorted.len(), |i| sorted[i], shards)
+}
+
+/// Quantile + top-up boundary selection over an already sorted, duplicate-free
+/// sequence accessed through `key_at` — the zero-copy path used by
+/// [`ShardedPioEngine::bulk_load`], whose entries are sorted by contract.
+fn boundaries_from_sorted(len: usize, key_at: impl Fn(usize) -> Key, shards: usize) -> Vec<Key> {
+    if shards <= 1 {
+        return Vec::new();
+    }
+    let mut bounds: Vec<Key> = Vec::with_capacity(shards - 1);
+    if len > 0 {
+        for i in 1..shards {
+            let idx = (i * len / shards).min(len - 1);
+            let candidate = key_at(idx);
+            if bounds.last().is_none_or(|&prev| candidate > prev) && candidate > 0 {
+                bounds.push(candidate);
+            }
+        }
+    }
+    // Top up by repeatedly cutting the largest remaining gap in half (with 0 and
+    // `Key::MAX` as sentinels), so the chooser stays total even when the sample
+    // clusters at either end of the key space.
+    while bounds.len() < shards - 1 {
+        let mut best: Option<(Key, usize, Key)> = None; // (gap, insert position, new cut)
+        let mut prev = 0;
+        for (i, &b) in bounds.iter().chain(std::iter::once(&Key::MAX)).enumerate() {
+            let gap = b - prev;
+            // A cut strictly between `prev` and `b` needs a gap of at least 2.
+            if gap >= 2 && best.is_none_or(|(g, _, _)| gap > g) {
+                best = Some((gap, i, prev + gap / 2));
+            }
+            prev = b;
+        }
+        let Some((_, pos, cut)) = best else {
+            // The key space has fewer representable cut points than requested
+            // shards (only possible for absurd shard counts).
+            break;
+        };
+        bounds.insert(pos, cut);
+    }
+    bounds
+}
+
+/// Builds one shard tree over its own simulated store (its own "index file").
+fn build_shard_tree(
+    profile: DeviceProfile,
+    capacity_bytes: u64,
+    cfg: &PioConfig,
+    entries: &[(Key, Value)],
+) -> IoResult<PioBTree> {
+    let io = Arc::new(SimPsyncIo::with_profile(profile, capacity_bytes));
+    let store = Arc::new(CachedStore::new(
+        PageStore::new(io, cfg.page_size),
+        cfg.pool_pages,
+        WritePolicy::WriteThrough,
+    ));
+    let mut tree = PioBTree::bulk_load(store, entries, cfg.clone())?;
+    if cfg.wal_enabled {
+        // Like PioBTree::create: the log gets its own backend so log appends never
+        // interleave with index-node I/O inside one psync call.
+        let wal_io = Arc::new(SimPsyncIo::with_profile(profile, 256 * 1024 * 1024));
+        tree.attach_wal(Wal::new(wal_io, 0, cfg.page_size));
+    }
+    Ok(tree)
+}
+
+impl ShardedPioEngine {
+    // ------------------------------------------------------------------ creation --
+
+    /// Creates an empty engine. `key_sample` guides the shard boundaries (pass the
+    /// expected key population, or `&[]` for uniform cuts of the full `u64` space).
+    pub fn create(config: EngineConfig, key_sample: &[Key]) -> IoResult<Self> {
+        Self::bulk_load_with_sample(config, &[], key_sample)
+    }
+
+    /// Bulk loads `entries` (sorted, duplicate-free) into a fresh engine, using the
+    /// entry keys themselves as the boundary sample (read in place — no key copy).
+    pub fn bulk_load(config: EngineConfig, entries: &[(Key, Value)]) -> IoResult<Self> {
+        config.validate().map_err(pio::IoError::InvalidConfig)?;
+        Self::check_sorted(entries);
+        let bounds = boundaries_from_sorted(entries.len(), |i| entries[i].0, config.shards);
+        Self::build(config, entries, bounds)
+    }
+
+    /// Bulk loads `entries` with boundaries drawn from an explicit `key_sample`.
+    ///
+    /// An invalid configuration is reported as [`pio::IoError::InvalidConfig`]
+    /// (matching [`PioBTree::bulk_load`]); unsorted input is a caller bug and
+    /// panics.
+    pub fn bulk_load_with_sample(config: EngineConfig, entries: &[(Key, Value)], key_sample: &[Key]) -> IoResult<Self> {
+        config.validate().map_err(pio::IoError::InvalidConfig)?;
+        Self::check_sorted(entries);
+        let bounds = boundaries_from_sample(key_sample, config.shards);
+        Self::build(config, entries, bounds)
+    }
+
+    fn check_sorted(entries: &[(Key, Value)]) {
+        assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "bulk_load requires sorted, duplicate-free input"
+        );
+    }
+
+    fn build(config: EngineConfig, entries: &[(Key, Value)], bounds: Vec<Key>) -> IoResult<Self> {
+        if bounds.len() != config.shards - 1 {
+            return Err(pio::IoError::InvalidConfig(format!(
+                "key space cannot be cut into {} shards",
+                config.shards
+            )));
+        }
+        let shard_cfg = config.shard_config();
+
+        // Split the (sorted) entries at the boundary keys.
+        let mut shards = Vec::with_capacity(config.shards);
+        let mut build_makespan_us = 0.0f64;
+        let mut rest = entries;
+        for i in 0..config.shards {
+            let lo = if i == 0 { 0 } else { bounds[i - 1] };
+            let hi = if i == config.shards - 1 { Key::MAX } else { bounds[i] };
+            let cut = if i == config.shards - 1 {
+                rest.len()
+            } else {
+                rest.partition_point(|&(k, _)| k < hi)
+            };
+            let (mine, others) = rest.split_at(cut);
+            rest = others;
+            let tree = build_shard_tree(config.profile, config.shard_capacity_bytes, &shard_cfg, mine)?;
+            // Shard loads run as concurrent streams like every other engine
+            // operation, so the schedule is charged the slowest shard's build.
+            build_makespan_us = build_makespan_us.max(tree.io_elapsed_us());
+            shards.push(Shard {
+                lo,
+                hi,
+                tree: Mutex::new(tree),
+            });
+        }
+
+        let inner = Arc::new(EngineInner {
+            shards,
+            bounds,
+            config: config.clone(),
+            scheduled_us: Mutex::new(build_makespan_us),
+            maintenance_flushes: AtomicU64::new(0),
+            maintenance_errors: AtomicU64::new(0),
+            last_maintenance_error: Mutex::new(None),
+        });
+        let worker = config
+            .maintenance_interval_ms
+            .map(|ms| MaintenanceWorker::spawn(Arc::clone(&inner), std::time::Duration::from_millis(ms)));
+        Ok(Self { worker, inner })
+    }
+
+    // ------------------------------------------------------------------ accessors --
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.inner.config
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// The boundary keys separating the shards (length `shards − 1`).
+    pub fn boundaries(&self) -> &[Key] {
+        &self.inner.bounds
+    }
+
+    /// The shard index that owns `key`.
+    pub fn shard_for(&self, key: Key) -> usize {
+        self.inner.shard_for(key)
+    }
+
+    /// Whether a background maintenance worker is running.
+    pub fn has_background_maintenance(&self) -> bool {
+        self.worker.is_some()
+    }
+
+    // ----------------------------------------------------------------- operations --
+
+    /// Point search, routed to the owning shard.
+    pub fn search(&self, key: Key) -> IoResult<Option<Value>> {
+        self.inner.single(key, |tree| tree.search(key))
+    }
+
+    /// Insert, routed to the owning shard.
+    pub fn insert(&self, key: Key, value: Value) -> IoResult<()> {
+        self.inner.single(key, |tree| tree.insert(key, value))
+    }
+
+    /// Delete, routed to the owning shard.
+    pub fn delete(&self, key: Key) -> IoResult<()> {
+        self.inner.single(key, |tree| tree.delete(key))
+    }
+
+    /// Update, routed to the owning shard.
+    pub fn update(&self, key: Key, value: Value) -> IoResult<()> {
+        self.inner.single(key, |tree| tree.update(key, value))
+    }
+
+    /// MPSearch across shards: the batch is split by owning shard and every
+    /// sub-batch runs as a concurrent MPSearch on its shard. Results are returned
+    /// in the order of `keys`.
+    pub fn multi_search(&self, keys: &[Key]) -> IoResult<Vec<Option<Value>>> {
+        self.inner.multi_search(keys)
+    }
+
+    /// Batched insert: entries are split by owning shard and applied concurrently,
+    /// preserving per-shard arrival order.
+    pub fn insert_batch(&self, entries: &[(Key, Value)]) -> IoResult<()> {
+        self.inner.insert_batch(entries)
+    }
+
+    /// Range search over `[lo, hi)`: every intersecting shard scans its clamped
+    /// sub-range concurrently and the per-shard results (each sorted) are stitched
+    /// together in shard order, which *is* key order.
+    pub fn range_search(&self, lo: Key, hi: Key) -> IoResult<Vec<(Key, Value)>> {
+        self.inner.range_search(lo, hi)
+    }
+
+    /// Flushes every shard's OPQ completely (checkpoint / shutdown), all shards in
+    /// parallel.
+    pub fn checkpoint(&self) -> IoResult<()> {
+        self.inner.checkpoint()
+    }
+
+    /// One maintenance pass: every shard whose OPQ fill is at or above the
+    /// configured threshold is drained below it (in parallel). Returns the number
+    /// of shards flushed. The background worker calls exactly this.
+    pub fn maintain_once(&self) -> IoResult<usize> {
+        self.inner.maintain_once()
+    }
+
+    /// Counts live entries across all shards (expensive; for tests and examples).
+    pub fn count_entries(&self) -> IoResult<u64> {
+        let counts = self.inner.fan_out_all(|tree| tree.count_entries())?;
+        let mut total: u64 = counts.into_iter().sum();
+        // The underlying half-open range scan cannot see `Key::MAX` itself, so the
+        // sentinel key is counted with a point lookup in its owning (last) shard —
+        // routed through the scheduler so its I/O is charged like any other lookup.
+        if self.inner.single(Key::MAX, |tree| tree.search(Key::MAX))?.is_some() {
+            total += 1;
+        }
+        Ok(total)
+    }
+
+    /// Verifies per-shard structural invariants plus the engine-level invariant
+    /// that every shard only holds keys inside its range. Returns the live entry
+    /// count. Intended for tests.
+    pub fn check_invariants(&self) -> IoResult<u64> {
+        let mut total = 0;
+        let last_shard = self.inner.shards.len() - 1;
+        // Conceptually a fan over all shards: charge the schedule the slowest
+        // shard's verification I/O, like fan_out does.
+        let mut makespan_us = 0.0f64;
+        for (i, shard) in self.inner.shards.iter().enumerate() {
+            let mut tree = shard.tree.lock();
+            let before = tree.io_elapsed_us();
+            total += tree.check_invariants()?;
+            let in_range = tree.range_search(shard.lo, shard.hi)?.len() as u64;
+            let everywhere = tree.range_search(0, Key::MAX)?.len() as u64;
+            assert_eq!(
+                in_range, everywhere,
+                "shard {i} holds keys outside [{}, {})",
+                shard.lo, shard.hi
+            );
+            // Half-open scans are blind to `Key::MAX`: check the sentinel key's
+            // placement with a point lookup (only the last shard may hold it).
+            if i != last_shard {
+                assert!(
+                    tree.search(Key::MAX)?.is_none(),
+                    "shard {i} holds Key::MAX outside [{}, {})",
+                    shard.lo,
+                    shard.hi
+                );
+            }
+            makespan_us = makespan_us.max(tree.io_elapsed_us() - before);
+        }
+        self.inner.charge(makespan_us);
+        Ok(total)
+    }
+
+    /// Aggregated engine statistics.
+    pub fn stats(&self) -> EngineStats {
+        self.inner.stats()
+    }
+
+    /// Schedule makespan so far, µs (see [`EngineStats::scheduled_io_us`]).
+    pub fn scheduled_io_us(&self) -> f64 {
+        *self.inner.scheduled_us.lock()
+    }
+
+    /// Total device work so far across all shards, µs.
+    pub fn total_io_us(&self) -> f64 {
+        self.inner.shards.iter().map(|s| s.tree.lock().io_elapsed_us()).sum()
+    }
+}
+
+impl EngineInner {
+    pub(crate) fn shard_for(&self, key: Key) -> usize {
+        self.bounds.partition_point(|&b| b <= key)
+    }
+
+    /// Runs `op` on the shard owning `key`, charging its full I/O delta to the
+    /// schedule (a single-shard call has nothing to overlap with).
+    fn single<R>(&self, key: Key, op: impl FnOnce(&mut PioBTree) -> IoResult<R>) -> IoResult<R> {
+        let shard = &self.shards[self.shard_for(key)];
+        let mut tree = shard.tree.lock();
+        let before = tree.io_elapsed_us();
+        let result = op(&mut tree);
+        // Charge even on error: any partially performed I/O is in the shard's
+        // elapsed time and the makespan must stay in lockstep with it.
+        let delta = tree.io_elapsed_us() - before;
+        drop(tree);
+        self.charge(delta);
+        result
+    }
+
+    fn charge(&self, makespan_us: f64) {
+        if makespan_us > 0.0 {
+            *self.scheduled_us.lock() += makespan_us;
+        }
+    }
+
+    /// Fans `work` out across scoped threads, one per participating shard. Each
+    /// worker locks its shard, runs `op`, and reports its simulated I/O delta; the
+    /// maximum delta is charged to the schedule (the shards' psync streams run
+    /// concurrently), and results come back tagged with their shard index.
+    fn fan_out<W: Send, R: Send>(
+        &self,
+        work: Vec<(usize, W)>,
+        op: impl Fn(&mut PioBTree, W) -> IoResult<R> + Sync,
+    ) -> IoResult<Vec<(usize, R)>> {
+        if work.is_empty() {
+            return Ok(Vec::new());
+        }
+        let op = &op;
+        let outcomes: Vec<(usize, IoResult<R>, f64)> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(work.len());
+            for (shard_idx, input) in work {
+                let shard = &self.shards[shard_idx];
+                handles.push(scope.spawn(move || {
+                    let mut tree = shard.tree.lock();
+                    let before = tree.io_elapsed_us();
+                    let result = op(&mut tree, input);
+                    let delta = tree.io_elapsed_us() - before;
+                    (shard_idx, result, delta)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+        let makespan = outcomes.iter().map(|&(_, _, d)| d).fold(0.0, f64::max);
+        self.charge(makespan);
+        outcomes
+            .into_iter()
+            .map(|(idx, res, _)| res.map(|r| (idx, r)))
+            .collect()
+    }
+
+    /// Fans an operation out to *every* shard and returns the results in shard
+    /// order.
+    fn fan_out_all<R: Send>(&self, op: impl Fn(&mut PioBTree) -> IoResult<R> + Sync) -> IoResult<Vec<R>> {
+        let work: Vec<(usize, ())> = (0..self.shards.len()).map(|i| (i, ())).collect();
+        let mut tagged = self.fan_out(work, |tree, ()| op(tree))?;
+        tagged.sort_by_key(|&(idx, _)| idx);
+        Ok(tagged.into_iter().map(|(_, r)| r).collect())
+    }
+
+    fn multi_search(&self, keys: &[Key]) -> IoResult<Vec<Option<Value>>> {
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Partition the batch by owning shard, remembering original positions.
+        // Positions and keys live in separate vectors so the key sub-batches can be
+        // *moved* into the fan-out while the positions stay behind for scattering.
+        let mut positions: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        let mut sub_keys: Vec<Vec<Key>> = vec![Vec::new(); self.shards.len()];
+        for (pos, &key) in keys.iter().enumerate() {
+            let s = self.shard_for(key);
+            positions[s].push(pos);
+            sub_keys[s].push(key);
+        }
+        let work: Vec<(usize, Vec<Key>)> = sub_keys
+            .into_iter()
+            .enumerate()
+            .filter(|(_, sub)| !sub.is_empty())
+            .collect();
+        let results = self.fan_out(work, |tree, sub: Vec<Key>| tree.multi_search(&sub))?;
+        let mut out = vec![None; keys.len()];
+        for (shard_idx, sub_results) in results {
+            for (pos, verdict) in positions[shard_idx].iter().zip(sub_results) {
+                out[*pos] = verdict;
+            }
+        }
+        Ok(out)
+    }
+
+    fn insert_batch(&self, entries: &[(Key, Value)]) -> IoResult<()> {
+        if entries.is_empty() {
+            return Ok(());
+        }
+        let mut per_shard: Vec<Vec<(Key, Value)>> = vec![Vec::new(); self.shards.len()];
+        for &(key, value) in entries {
+            per_shard[self.shard_for(key)].push((key, value));
+        }
+        let work: Vec<(usize, Vec<(Key, Value)>)> = per_shard
+            .into_iter()
+            .enumerate()
+            .filter(|(_, batch)| !batch.is_empty())
+            .collect();
+        self.fan_out(work, |tree, batch: Vec<(Key, Value)>| tree.insert_batch(&batch))?;
+        Ok(())
+    }
+
+    fn range_search(&self, lo: Key, hi: Key) -> IoResult<Vec<(Key, Value)>> {
+        if lo >= hi {
+            return Ok(Vec::new());
+        }
+        let work: Vec<(usize, (Key, Key))> = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.lo < hi && lo < s.hi)
+            .map(|(i, s)| (i, (lo.max(s.lo), hi.min(s.hi))))
+            .collect();
+        let mut results = self.fan_out(work, |tree, (sub_lo, sub_hi)| tree.range_search(sub_lo, sub_hi))?;
+        // Shard order is key order: concatenation keeps the result sorted.
+        results.sort_by_key(|&(idx, _)| idx);
+        let mut out = Vec::new();
+        for (_, mut part) in results {
+            out.append(&mut part);
+        }
+        Ok(out)
+    }
+
+    fn checkpoint(&self) -> IoResult<()> {
+        self.fan_out_all(|tree| tree.checkpoint())?;
+        Ok(())
+    }
+
+    pub(crate) fn maintain_once(&self) -> IoResult<usize> {
+        let threshold = self.config.flush_threshold;
+        let work: Vec<(usize, usize)> = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| {
+                let tree = s.tree.lock();
+                let floor = ((tree.opq_capacity() as f64) * threshold).ceil() as usize;
+                let floor = floor.max(1);
+                (tree.opq_len() >= floor).then_some((i, floor))
+            })
+            .collect();
+        if work.is_empty() {
+            return Ok(0);
+        }
+        // A selected shard may have been drained by a foreground flush between the
+        // scan above (locks released) and the fan-out; count only shards where this
+        // pass actually ran a bupdate.
+        let flushed = self
+            .fan_out(work, |tree, floor: usize| {
+                let mut did_flush = false;
+                while tree.opq_len() >= floor {
+                    tree.flush_once()?;
+                    did_flush = true;
+                }
+                Ok(did_flush)
+            })?
+            .into_iter()
+            .filter(|&(_, did_flush)| did_flush)
+            .count();
+        if flushed > 0 {
+            self.maintenance_flushes.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(flushed)
+    }
+
+    fn stats(&self) -> EngineStats {
+        // Snapshot the makespan BEFORE sweeping the shards: work is charged only
+        // after its device time has accrued in a shard's counters, so everything in
+        // this reading is already contained in the shard sweep that follows — the
+        // snapshot preserves `scheduled_io_us <= total_io_us` even while the
+        // background worker (or other clients) keep operating mid-sweep.
+        let scheduled_io_us = *self.scheduled_us.lock();
+        let mut shards = Vec::with_capacity(self.shards.len());
+        let mut rollup = PioStats::default();
+        let mut total_io = 0.0;
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let mut queued = 0usize;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let tree = shard.tree.lock();
+            let pio = tree.stats();
+            let pool = tree.store().pool_stats();
+            let store = tree.store().store().stats();
+            let io_us = tree.io_elapsed_us();
+            rollup.merge(&pio);
+            total_io += io_us;
+            hits += pool.hits;
+            misses += pool.misses;
+            queued += tree.opq_len();
+            shards.push(ShardSnapshot {
+                shard: i,
+                key_lo: shard.lo,
+                key_hi: shard.hi,
+                height: tree.height(),
+                opq_len: tree.opq_len(),
+                opq_capacity: tree.opq_capacity(),
+                pio,
+                pool,
+                store,
+                io_elapsed_us: io_us,
+            });
+        }
+        EngineStats {
+            shards,
+            rollup,
+            total_io_us: total_io,
+            scheduled_io_us,
+            pool_hit_ratio: if hits + misses == 0 {
+                0.0
+            } else {
+                hits as f64 / (hits + misses) as f64
+            },
+            queued_ops: queued,
+            maintenance_flushes: self.maintenance_flushes.load(Ordering::Relaxed),
+            maintenance_errors: self.maintenance_errors.load(Ordering::Relaxed),
+            last_maintenance_error: self.last_maintenance_error.lock().clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(shards: usize) -> EngineConfig {
+        EngineConfig::builder()
+            .shards(shards)
+            .profile(DeviceProfile::F120)
+            .shard_capacity_bytes(1 << 30)
+            .base(
+                PioConfig::builder()
+                    .page_size(2048)
+                    .leaf_segments(2)
+                    .opq_pages(1) // one OPQ page per shard
+                    .pio_max(16)
+                    .speriod(50)
+                    .bcnt(100)
+                    .pool_pages(256)
+                    .build(),
+            )
+            .build()
+    }
+
+    #[test]
+    fn boundaries_cut_quantiles_of_the_sample() {
+        let sample: Vec<Key> = (0..1000u64).collect();
+        let bounds = boundaries_from_sample(&sample, 4);
+        assert_eq!(bounds.len(), 3);
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        assert!(bounds[0] >= 200 && bounds[0] <= 300, "{bounds:?}");
+        assert!(bounds[1] >= 450 && bounds[1] <= 550, "{bounds:?}");
+    }
+
+    #[test]
+    fn boundaries_fall_back_to_uniform_cuts() {
+        let bounds = boundaries_from_sample(&[], 4);
+        assert_eq!(bounds.len(), 3);
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        // Roughly uniform over u64.
+        assert!(bounds[0] > Key::MAX / 8 && bounds[0] < Key::MAX / 2);
+        // A tiny sample still yields a full set of cuts.
+        let bounds = boundaries_from_sample(&[10], 4);
+        assert_eq!(bounds.len(), 3);
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn shard_for_routes_by_boundaries() {
+        let engine = ShardedPioEngine::create(small_config(4), &(0..4000u64).collect::<Vec<_>>()).unwrap();
+        assert_eq!(engine.shard_count(), 4);
+        let bounds = engine.boundaries().to_vec();
+        assert_eq!(engine.shard_for(0), 0);
+        assert_eq!(engine.shard_for(bounds[0] - 1), 0);
+        assert_eq!(engine.shard_for(bounds[0]), 1);
+        assert_eq!(engine.shard_for(bounds[2]), 3);
+        assert_eq!(engine.shard_for(Key::MAX), 3);
+    }
+
+    #[test]
+    fn operations_round_trip_across_shards() {
+        let engine = ShardedPioEngine::create(small_config(4), &(0..10_000u64).collect::<Vec<_>>()).unwrap();
+        for k in 0..2_000u64 {
+            engine.insert(k * 5, k).unwrap();
+        }
+        engine.checkpoint().unwrap();
+        assert_eq!(engine.search(500).unwrap(), Some(100));
+        assert_eq!(engine.search(501).unwrap(), None);
+        engine.delete(500).unwrap();
+        engine.update(505, 999).unwrap();
+        assert_eq!(engine.search(500).unwrap(), None);
+        assert_eq!(engine.search(505).unwrap(), Some(999));
+        assert_eq!(engine.count_entries().unwrap(), 1_999);
+        engine.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn bulk_load_partitions_entries() {
+        let entries: Vec<(Key, Value)> = (0..20_000u64).map(|k| (k * 2, k)).collect();
+        let engine = ShardedPioEngine::bulk_load(small_config(4), &entries).unwrap();
+        assert_eq!(engine.count_entries().unwrap(), 20_000);
+        let stats = engine.stats();
+        // Quantile boundaries must spread the load roughly evenly.
+        for snap in &stats.shards {
+            let mine = entries
+                .iter()
+                .filter(|&&(k, _)| k >= snap.key_lo && k < snap.key_hi)
+                .count();
+            assert!(
+                (3_000..=7_000).contains(&mine),
+                "shard {} holds {} entries",
+                snap.shard,
+                mine
+            );
+        }
+        assert_eq!(engine.search(10_000).unwrap(), Some(5_000));
+        engine.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn multi_search_preserves_caller_order() {
+        let entries: Vec<(Key, Value)> = (0..8_000u64).map(|k| (k * 3, k)).collect();
+        let engine = ShardedPioEngine::bulk_load(small_config(4), &entries).unwrap();
+        let keys: Vec<Key> = (0..500u64).map(|i| (i * 7919) % 30_000).collect();
+        let got = engine.multi_search(&keys).unwrap();
+        for (k, verdict) in keys.iter().zip(&got) {
+            let expected = if k % 3 == 0 && *k < 24_000 { Some(k / 3) } else { None };
+            assert_eq!(*verdict, expected, "key {k}");
+        }
+    }
+
+    #[test]
+    fn range_search_stitches_across_shard_boundaries() {
+        let entries: Vec<(Key, Value)> = (0..10_000u64).map(|k| (k, k * 10)).collect();
+        let engine = ShardedPioEngine::bulk_load(small_config(4), &entries).unwrap();
+        let bounds = engine.boundaries().to_vec();
+        // A range straddling the middle boundary.
+        let lo = bounds[1] - 100;
+        let hi = bounds[1] + 100;
+        let out = engine.range_search(lo, hi).unwrap();
+        assert_eq!(out.len(), 200);
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0), "must be sorted");
+        assert_eq!(out.first().unwrap().0, lo);
+        assert_eq!(out.last().unwrap().0, hi - 1);
+        // Full scan equals the population.
+        assert_eq!(engine.range_search(0, Key::MAX).unwrap().len(), 10_000);
+    }
+
+    #[test]
+    fn insert_batch_fans_out_and_preserves_data() {
+        let engine = ShardedPioEngine::create(small_config(4), &(0..40_000u64).collect::<Vec<_>>()).unwrap();
+        let batch: Vec<(Key, Value)> = (0..5_000u64).map(|i| ((i * 2_654_435_761) % 40_000, i)).collect();
+        engine.insert_batch(&batch).unwrap();
+        engine.checkpoint().unwrap();
+        // Last write wins per key: build the model the same way.
+        let mut model = std::collections::BTreeMap::new();
+        for &(k, v) in &batch {
+            model.insert(k, v);
+        }
+        for (&k, &v) in model.iter().step_by(97) {
+            assert_eq!(engine.search(k).unwrap(), Some(v), "key {k}");
+        }
+        assert_eq!(engine.count_entries().unwrap(), model.len() as u64);
+        engine.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn invalid_config_is_an_error_not_a_panic() {
+        let mut config = small_config(2);
+        config.flush_threshold = 2.0;
+        let err = ShardedPioEngine::create(config, &[]).unwrap_err();
+        assert!(err.to_string().contains("flush_threshold"), "{err}");
+    }
+
+    #[test]
+    fn maintenance_drains_full_opqs() {
+        let mut config = small_config(2);
+        config.flush_threshold = 0.25;
+        let engine = ShardedPioEngine::create(config, &(0..1_000u64).collect::<Vec<_>>()).unwrap();
+        for k in 0..60u64 {
+            engine.insert(k * 16 % 1_000, k).unwrap();
+        }
+        let queued_before = engine.stats().queued_ops;
+        assert!(queued_before > 0);
+        let flushed = engine.maintain_once().unwrap();
+        assert!(flushed >= 1, "at least one shard must flush");
+        let stats = engine.stats();
+        assert!(stats.queued_ops < queued_before);
+        assert_eq!(stats.maintenance_flushes, 1);
+        // Below threshold now: a second pass is a no-op.
+        assert_eq!(engine.maintain_once().unwrap(), 0);
+    }
+
+    #[test]
+    fn background_worker_flushes_without_explicit_calls() {
+        let mut config = small_config(2);
+        config.flush_threshold = 0.1;
+        config.maintenance_interval_ms = Some(1);
+        let engine = ShardedPioEngine::create(config, &(0..1_000u64).collect::<Vec<_>>()).unwrap();
+        assert!(engine.has_background_maintenance());
+        for k in 0..200u64 {
+            engine.insert(k * 5 % 1_000, k).unwrap();
+        }
+        // Wait (bounded) for the worker to drain the queues.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            let queued = engine.stats().queued_ops;
+            if queued < 40 || std::time::Instant::now() > deadline {
+                assert!(queued < 40, "worker should have drained the OPQs, {queued} left");
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let stats = engine.stats();
+        assert!(stats.maintenance_flushes >= 1);
+        assert_eq!(stats.maintenance_errors, 0);
+        assert!(stats.last_maintenance_error.is_none());
+    }
+
+    #[test]
+    fn scheduled_io_is_at_most_total_io() {
+        let entries: Vec<(Key, Value)> = (0..20_000u64).map(|k| (k, k)).collect();
+        let engine = ShardedPioEngine::bulk_load(small_config(4), &entries).unwrap();
+        let keys: Vec<Key> = (0..256u64).map(|i| i * 73 % 20_000).collect();
+        engine.multi_search(&keys).unwrap();
+        let stats = engine.stats();
+        assert!(stats.scheduled_io_us > 0.0);
+        assert!(
+            stats.scheduled_io_us <= stats.total_io_us + 1e-9,
+            "makespan {} must not exceed device work {}",
+            stats.scheduled_io_us,
+            stats.total_io_us
+        );
+        assert!(stats.overlap_factor() >= 1.0);
+    }
+
+    #[test]
+    fn one_shard_schedule_equals_device_work() {
+        // With a single shard there is nothing to overlap, so the lifetime
+        // makespan (including the bulk load) must equal the device work exactly.
+        let entries: Vec<(Key, Value)> = (0..10_000u64).map(|k| (k, k)).collect();
+        let engine = ShardedPioEngine::bulk_load(small_config(1), &entries).unwrap();
+        for k in 0..500u64 {
+            engine.insert(k * 3, k).unwrap();
+        }
+        engine.checkpoint().unwrap();
+        engine.multi_search(&(0..64u64).collect::<Vec<_>>()).unwrap();
+        // The diagnostic paths must also keep the schedule in lockstep.
+        engine.count_entries().unwrap();
+        engine.check_invariants().unwrap();
+        let stats = engine.stats();
+        assert!(stats.total_io_us > 0.0);
+        assert!(
+            (stats.scheduled_io_us - stats.total_io_us).abs() < 1e-6,
+            "1 shard: makespan {} must equal device work {}",
+            stats.scheduled_io_us,
+            stats.total_io_us
+        );
+        assert!((stats.overlap_factor() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,70 @@
+//! Aggregated statistics of a [`crate::ShardedPioEngine`].
+
+use btree::Key;
+use pio_btree::PioStats;
+use storage::{BufferPoolStats, StoreStats};
+
+/// A point-in-time snapshot of one shard.
+#[derive(Debug, Clone)]
+pub struct ShardSnapshot {
+    /// Shard index (position in key order).
+    pub shard: usize,
+    /// Inclusive lower bound of the shard's key range.
+    pub key_lo: Key,
+    /// Exclusive upper bound of the shard's key range (`Key::MAX` means the shard
+    /// also owns `Key::MAX` itself).
+    pub key_hi: Key,
+    /// Tree height in levels.
+    pub height: usize,
+    /// Operations currently buffered in the shard's OPQ.
+    pub opq_len: usize,
+    /// OPQ capacity in entries.
+    pub opq_capacity: usize,
+    /// The shard tree's operation counters.
+    pub pio: PioStats,
+    /// Buffer-pool counters of the shard's cached store.
+    pub pool: BufferPoolStats,
+    /// Page-store counters (psync batches, page reads/writes, allocation).
+    pub store: StoreStats,
+    /// Simulated I/O time this shard's store has consumed, µs.
+    pub io_elapsed_us: f64,
+}
+
+/// Roll-up of every shard plus engine-level schedule accounting.
+#[derive(Debug, Clone)]
+pub struct EngineStats {
+    /// Per-shard snapshots, in key order.
+    pub shards: Vec<ShardSnapshot>,
+    /// Sum of all shards' operation counters.
+    pub rollup: PioStats,
+    /// Sum of all shards' simulated I/O time, µs — the *device work* performed.
+    pub total_io_us: f64,
+    /// Schedule makespan, µs: per engine call, the participating shards issue their
+    /// psync streams concurrently, so the call costs the *maximum* of the per-shard
+    /// times; this field accumulates those maxima. With one shard it equals
+    /// `total_io_us`; the gap between the two is the engine's I/O overlap win.
+    pub scheduled_io_us: f64,
+    /// Aggregate buffer-pool hit ratio across shards in `[0, 1]`.
+    pub pool_hit_ratio: f64,
+    /// Total operations buffered in shard OPQs.
+    pub queued_ops: usize,
+    /// Maintenance passes that flushed at least one shard.
+    pub maintenance_flushes: u64,
+    /// Background maintenance passes that failed with an I/O error. A non-zero
+    /// value means some shard's flush failed off the foreground path; the batch
+    /// stays queued, but partially applied node writes may need WAL recovery.
+    pub maintenance_errors: u64,
+    /// Message of the most recent background maintenance error, if any.
+    pub last_maintenance_error: Option<String>,
+}
+
+impl EngineStats {
+    /// `total_io_us / scheduled_io_us`: the effective cross-shard I/O overlap
+    /// factor (1.0 = fully serialised, `shards` = perfect overlap).
+    pub fn overlap_factor(&self) -> f64 {
+        if self.scheduled_io_us <= 0.0 {
+            return 1.0;
+        }
+        self.total_io_us / self.scheduled_io_us
+    }
+}

@@ -53,7 +53,11 @@ pub struct BftlConfig {
 
 impl Default for BftlConfig {
     fn default() -> Self {
-        Self { reservation_units: 512, compaction_threshold: 4, node_capacity: 128 }
+        Self {
+            reservation_units: 512,
+            compaction_threshold: 4,
+            node_capacity: 128,
+        }
     }
 }
 
@@ -116,7 +120,14 @@ impl Bftl {
         let mut index = Self::new(store, config);
         for chunk in entries.chunks(config.node_capacity / 2) {
             for &(k, v) in chunk {
-                index.buffer_unit(k, IndexUnit { key: k, value: v, present: true })?;
+                index.buffer_unit(
+                    k,
+                    IndexUnit {
+                        key: k,
+                        value: v,
+                        present: true,
+                    },
+                )?;
             }
         }
         index.flush_reservation()?;
@@ -150,13 +161,27 @@ impl Bftl {
     /// Inserts `key → value`.
     pub fn insert(&mut self, key: Key, value: Value) -> IoResult<()> {
         self.stats.updates += 1;
-        self.buffer_unit(key, IndexUnit { key, value, present: true })
+        self.buffer_unit(
+            key,
+            IndexUnit {
+                key,
+                value,
+                present: true,
+            },
+        )
     }
 
     /// Deletes `key`.
     pub fn delete(&mut self, key: Key) -> IoResult<()> {
         self.stats.updates += 1;
-        self.buffer_unit(key, IndexUnit { key, value: 0, present: false })
+        self.buffer_unit(
+            key,
+            IndexUnit {
+                key,
+                value: 0,
+                present: false,
+            },
+        )
     }
 
     /// Updates `key` to a new value (same cost as an insert).
@@ -330,10 +355,7 @@ impl Bftl {
         }
         let nodes: Vec<usize> = {
             let start_key = *self.directory.range(..=lo).next_back().map(|(k, _)| k).unwrap_or(&0);
-            self.directory
-                .range(start_key..hi)
-                .map(|(_, &n)| n)
-                .collect()
+            self.directory.range(start_key..hi).map(|(_, &n)| n).collect()
         };
         let mut out = Vec::new();
         for node in nodes {
@@ -399,7 +421,13 @@ mod tests {
 
     #[test]
     fn searches_read_multiple_pages_per_node() {
-        let mut b = Bftl::new(store(), BftlConfig { compaction_threshold: 8, ..Default::default() });
+        let mut b = Bftl::new(
+            store(),
+            BftlConfig {
+                compaction_threshold: 8,
+                ..Default::default()
+            },
+        );
         // Scatter updates so nodes accumulate several log pages.
         for round in 0..6u64 {
             for k in (0..600u64).step_by(3) {
@@ -415,7 +443,10 @@ mod tests {
 
     #[test]
     fn compaction_bounds_the_page_lists() {
-        let config = BftlConfig { compaction_threshold: 3, ..Default::default() };
+        let config = BftlConfig {
+            compaction_threshold: 3,
+            ..Default::default()
+        };
         let mut b = Bftl::new(store(), config);
         for round in 0..20u64 {
             for k in 0..200u64 {

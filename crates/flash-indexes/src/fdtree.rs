@@ -39,7 +39,10 @@ pub struct FdTreeConfig {
 
 impl Default for FdTreeConfig {
     fn default() -> Self {
-        Self { head_capacity: 4096, size_ratio: 8 }
+        Self {
+            head_capacity: 4096,
+            size_ratio: 8,
+        }
     }
 }
 
@@ -87,7 +90,13 @@ impl FdTree {
     /// Creates an empty FD-tree over `store`.
     pub fn new(store: Arc<CachedStore>, config: FdTreeConfig) -> Self {
         assert!(config.head_capacity > 0 && config.size_ratio >= 2);
-        Self { store, config, head: BTreeMap::new(), levels: Vec::new(), stats: FdTreeStats::default() }
+        Self {
+            store,
+            config,
+            head: BTreeMap::new(),
+            levels: Vec::new(),
+            stats: FdTreeStats::default(),
+        }
     }
 
     /// Bulk-loads sorted entries by writing them directly as the bottom level.
@@ -96,7 +105,14 @@ impl FdTree {
         if entries.is_empty() {
             return Ok(tree);
         }
-        let records: Vec<Record> = entries.iter().map(|&(key, value)| Record { key, value, tombstone: false }).collect();
+        let records: Vec<Record> = entries
+            .iter()
+            .map(|&(key, value)| Record {
+                key,
+                value,
+                tombstone: false,
+            })
+            .collect();
         // Place the bulk data at the deepest level that can hold it.
         let mut level_idx = 0usize;
         let mut cap = tree.config.head_capacity * tree.config.size_ratio;
@@ -141,7 +157,11 @@ impl FdTree {
         let page_size = self.store.page_size();
         let n_pages = records.len().div_ceil(per_page).max(1);
         let first = self.store.allocate_contiguous(n_pages as u64);
-        let mut level = Level { pages: Vec::with_capacity(n_pages), fences: Vec::with_capacity(n_pages), records: records.len() };
+        let mut level = Level {
+            pages: Vec::with_capacity(n_pages),
+            fences: Vec::with_capacity(n_pages),
+            records: records.len(),
+        };
         let mut writes: Vec<(PageId, Vec<u8>)> = Vec::new();
         for (i, chunk) in records.chunks(per_page.max(1)).enumerate() {
             let page = first + i as u64;
@@ -219,7 +239,11 @@ impl FdTree {
         // Merge the head into level 1, then ripple down while levels overflow.
         let head: Vec<Record> = std::mem::take(&mut self.head)
             .into_iter()
-            .map(|(key, v)| Record { key, value: v.unwrap_or(0), tombstone: v.is_none() })
+            .map(|(key, v)| Record {
+                key,
+                value: v.unwrap_or(0),
+                tombstone: v.is_none(),
+            })
             .collect();
         self.merge_into_level(0, head)?;
         let mut i = 0;
@@ -260,10 +284,7 @@ impl FdTree {
             merged.insert(rec.key, rec);
         }
         let is_bottom = level_idx + 1 >= self.levels.len();
-        let records: Vec<Record> = merged
-            .into_values()
-            .filter(|r| !(is_bottom && r.tombstone))
-            .collect();
+        let records: Vec<Record> = merged.into_values().filter(|r| !(is_bottom && r.tombstone)).collect();
         self.levels[level_idx] = self.write_run(&records)?;
         Ok(())
     }
@@ -336,11 +357,18 @@ mod tests {
 
     fn store() -> Arc<CachedStore> {
         let io = Arc::new(SimPsyncIo::with_profile(DeviceProfile::F120, 1 << 30));
-        Arc::new(CachedStore::new(PageStore::new(io, 2048), 64, WritePolicy::WriteThrough))
+        Arc::new(CachedStore::new(
+            PageStore::new(io, 2048),
+            64,
+            WritePolicy::WriteThrough,
+        ))
     }
 
     fn small_config() -> FdTreeConfig {
-        FdTreeConfig { head_capacity: 128, size_ratio: 4 }
+        FdTreeConfig {
+            head_capacity: 128,
+            size_ratio: 4,
+        }
     }
 
     #[test]
@@ -415,7 +443,13 @@ mod tests {
     fn inserts_are_cheaper_than_a_btree_style_read_modify_write() {
         // The defining property: an insert's amortised I/O is far below one page
         // write per operation.
-        let mut t = FdTree::new(store(), FdTreeConfig { head_capacity: 1024, size_ratio: 8 });
+        let mut t = FdTree::new(
+            store(),
+            FdTreeConfig {
+                head_capacity: 1024,
+                size_ratio: 8,
+            },
+        );
         for k in 0..10_000u64 {
             t.insert(k, k).unwrap();
         }

@@ -108,7 +108,11 @@ impl ParallelIo for FileThreadPoolIo {
         let jobs: Vec<Job> = reqs
             .iter()
             .enumerate()
-            .map(|(slot, r)| Job::Read { offset: r.offset, len: r.len, slot })
+            .map(|(slot, r)| Job::Read {
+                offset: r.offset,
+                len: r.len,
+                slot,
+            })
             .collect();
         let mut out = vec![Vec::new(); reqs.len()];
         self.run_jobs(jobs, &mut out)?;
@@ -129,7 +133,10 @@ impl ParallelIo for FileThreadPoolIo {
         let start = Instant::now();
         let jobs: Vec<Job> = reqs
             .iter()
-            .map(|r| Job::Write { offset: r.offset, data: r.data.to_vec() })
+            .map(|r| Job::Write {
+                offset: r.offset,
+                data: r.data.to_vec(),
+            })
             .collect();
         let mut out: Vec<Vec<u8>> = Vec::new();
         self.run_jobs(jobs, &mut out)?;
@@ -168,9 +175,7 @@ mod tests {
     fn round_trip_on_a_real_file() {
         let path = temp_path("roundtrip");
         let io = FileThreadPoolIo::open(&path, 4).unwrap();
-        let pages: Vec<(u64, Vec<u8>)> = (0..16u64)
-            .map(|i| (i * 4096, vec![i as u8; 4096]))
-            .collect();
+        let pages: Vec<(u64, Vec<u8>)> = (0..16u64).map(|i| (i * 4096, vec![i as u8; 4096])).collect();
         let writes: Vec<WriteRequest> = pages.iter().map(|(o, d)| WriteRequest::new(*o, d)).collect();
         io.psync_write(&writes).unwrap();
         let reads: Vec<ReadRequest> = pages.iter().map(|(o, d)| ReadRequest::new(*o, d.len())).collect();

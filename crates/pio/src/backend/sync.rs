@@ -106,7 +106,12 @@ mod tests {
         let reqs: Vec<ReadRequest> = (0..32).map(|i| ReadRequest::new(i * 4096, 4096)).collect();
         let (_, s) = sync.psync_read(&reqs).unwrap();
         let (_, p) = psync.psync_read(&reqs).unwrap();
-        assert!(s.elapsed_us > p.elapsed_us * 3.0, "sync {} vs psync {}", s.elapsed_us, p.elapsed_us);
+        assert!(
+            s.elapsed_us > p.elapsed_us * 3.0,
+            "sync {} vs psync {}",
+            s.elapsed_us,
+            p.elapsed_us
+        );
     }
 
     #[test]

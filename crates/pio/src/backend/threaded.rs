@@ -192,10 +192,7 @@ pub fn mixed_psync_elapsed(backend: &crate::SimPsyncIo, reqs: &[(bool, u64, u64)
         elapsed += b.elapsed_us;
     }
     if !write_payloads.is_empty() {
-        let writes: Vec<WriteRequest> = write_payloads
-            .iter()
-            .map(|(o, d)| WriteRequest::new(*o, d))
-            .collect();
+        let writes: Vec<WriteRequest> = write_payloads.iter().map(|(o, d)| WriteRequest::new(*o, d)).collect();
         let b = backend.psync_write(&writes).expect("in-bounds");
         elapsed += b.elapsed_us;
     }
@@ -243,7 +240,10 @@ mod tests {
         let t = threaded.psync_write(&writes).unwrap();
         let p = psync.psync_write(&writes).unwrap();
         let ratio = t.elapsed_us / p.elapsed_us;
-        assert!((0.8..1.25).contains(&ratio), "expected similar performance, ratio={ratio}");
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "expected similar performance, ratio={ratio}"
+        );
     }
 
     #[test]

@@ -23,6 +23,8 @@ pub enum IoError {
     Os(std::io::Error),
     /// A worker thread of the file backend panicked or disconnected.
     WorkerFailed(String),
+    /// A caller-supplied configuration failed validation before any I/O was issued.
+    InvalidConfig(String),
 }
 
 impl fmt::Display for IoError {
@@ -36,6 +38,7 @@ impl fmt::Display for IoError {
             IoError::EmptyRequest => write!(f, "I/O request with zero length"),
             IoError::Os(e) => write!(f, "operating system I/O error: {e}"),
             IoError::WorkerFailed(msg) => write!(f, "I/O worker failed: {msg}"),
+            IoError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
 }
@@ -61,19 +64,26 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = IoError::OutOfBounds { offset: 10, len: 20, capacity: 15 };
+        let e = IoError::OutOfBounds {
+            offset: 10,
+            len: 20,
+            capacity: 15,
+        };
         assert!(e.to_string().contains("[10, 30)"));
         assert!(e.to_string().contains("15 bytes"));
         assert!(IoError::EmptyRequest.to_string().contains("zero length"));
-        let os = IoError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        let os = IoError::from(std::io::Error::other("boom"));
         assert!(os.to_string().contains("boom"));
         assert!(IoError::WorkerFailed("gone".into()).to_string().contains("gone"));
+        assert!(IoError::InvalidConfig("bcnt must be at least 1".into())
+            .to_string()
+            .contains("bcnt"));
     }
 
     #[test]
     fn source_is_present_only_for_os_errors() {
         use std::error::Error;
-        let os = IoError::from(std::io::Error::new(std::io::ErrorKind::Other, "x"));
+        let os = IoError::from(std::io::Error::other("x"));
         assert!(os.source().is_some());
         assert!(IoError::EmptyRequest.source().is_none());
     }

@@ -42,7 +42,11 @@ impl MemDisk {
             return Err(IoError::EmptyRequest);
         }
         if offset + len > self.capacity {
-            return Err(IoError::OutOfBounds { offset, len, capacity: self.capacity });
+            return Err(IoError::OutOfBounds {
+                offset,
+                len,
+                capacity: self.capacity,
+            });
         }
         Ok(())
     }
@@ -75,8 +79,7 @@ impl MemDisk {
             let extent_idx = (abs / EXTENT_BYTES as u64) as usize;
             let within = (abs % EXTENT_BYTES as u64) as usize;
             let n = (EXTENT_BYTES - within).min(data.len() - written);
-            let extent = self.extents[extent_idx]
-                .get_or_insert_with(|| vec![0u8; EXTENT_BYTES].into_boxed_slice());
+            let extent = self.extents[extent_idx].get_or_insert_with(|| vec![0u8; EXTENT_BYTES].into_boxed_slice());
             extent[within..within + n].copy_from_slice(&data[written..written + n]);
             written += n;
         }

@@ -81,7 +81,12 @@ mod tests {
 
     #[test]
     fn batch_bandwidth() {
-        let b = BatchStats { requests: 2, bytes: 2 * 1024 * 1024, elapsed_us: 1_000_000.0, context_switches: 2 };
+        let b = BatchStats {
+            requests: 2,
+            bytes: 2 * 1024 * 1024,
+            elapsed_us: 1_000_000.0,
+            context_switches: 2,
+        };
         assert!((b.bandwidth_mib_s() - 2.0).abs() < 1e-12);
         let zero = BatchStats::default();
         assert_eq!(zero.bandwidth_mib_s(), 0.0);
@@ -90,9 +95,23 @@ mod tests {
     #[test]
     fn absorb_accumulates() {
         let mut s = IoStats::default();
-        let b = BatchStats { requests: 4, bytes: 4096, elapsed_us: 100.0, context_switches: 2 };
+        let b = BatchStats {
+            requests: 4,
+            bytes: 4096,
+            elapsed_us: 100.0,
+            context_switches: 2,
+        };
         s.absorb(4, 0, &b);
-        s.absorb(0, 2, &BatchStats { requests: 2, bytes: 2048, elapsed_us: 50.0, context_switches: 2 });
+        s.absorb(
+            0,
+            2,
+            &BatchStats {
+                requests: 2,
+                bytes: 2048,
+                elapsed_us: 50.0,
+                context_switches: 2,
+            },
+        );
         assert_eq!(s.reads, 4);
         assert_eq!(s.writes, 2);
         assert_eq!(s.batches, 2);

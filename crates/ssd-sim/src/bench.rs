@@ -308,7 +308,10 @@ mod tests {
         assert!(c.page_read_us > 0.0);
         assert!(c.page_write_us > c.page_read_us, "writes slower than reads");
         assert!(c.psync_read_us < c.page_read_us, "psync amortised read must be cheaper");
-        assert!(c.psync_write_us < c.page_write_us, "psync amortised write must be cheaper");
+        assert!(
+            c.psync_write_us < c.page_write_us,
+            "psync amortised write must be cheaper"
+        );
     }
 
     #[test]

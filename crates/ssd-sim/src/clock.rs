@@ -4,10 +4,8 @@
 //! clock only ever moves forward; batches submitted to the device advance it by the
 //! elapsed service time of the batch.
 
-use serde::{Deserialize, Serialize};
-
 /// A monotonically increasing simulated clock (microseconds).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SimClock {
     now_us: f64,
 }

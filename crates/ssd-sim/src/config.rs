@@ -1,7 +1,5 @@
 //! Device configuration: geometry and latency parameters of a simulated flash SSD.
 
-use serde::{Deserialize, Serialize};
-
 /// Full parameter set of a simulated flash SSD.
 ///
 /// The defaults correspond to a mid-range SATA-II MLC device; the presets in
@@ -12,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// flash page `p` lives on channel `p % channels`, package
 /// `(p / channels) % packages_per_channel` — the layout the paper describes as
 /// RAID-like striping of the gang (Section 2.1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SsdConfig {
     /// Human-readable device name (used by the benchmark tables).
     pub name: String,
@@ -149,6 +147,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::field_reassign_with_default)]
     fn invalid_configs_are_rejected() {
         let mut cfg = SsdConfig::default();
         cfg.channels = 0;

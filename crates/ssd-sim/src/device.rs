@@ -299,9 +299,7 @@ mod tests {
 
     #[test]
     fn batched_reads_are_faster_than_serial_reads() {
-        let reqs: Vec<SsdRequest> = (0..16)
-            .map(|i| SsdRequest::read(i * 4096, 4096))
-            .collect();
+        let reqs: Vec<SsdRequest> = (0..16).map(|i| SsdRequest::read(i * 4096, 4096)).collect();
         let mut d1 = dev();
         let batched = d1.submit_batch(&reqs);
         let mut d2 = dev();
@@ -316,9 +314,7 @@ mod tests {
 
     #[test]
     fn batched_writes_are_faster_than_serial_writes() {
-        let reqs: Vec<SsdRequest> = (0..16)
-            .map(|i| SsdRequest::write(i * 4096, 4096))
-            .collect();
+        let reqs: Vec<SsdRequest> = (0..16).map(|i| SsdRequest::write(i * 4096, 4096)).collect();
         let mut d1 = dev();
         let batched = d1.submit_batch(&reqs);
         let mut d2 = dev();
@@ -370,10 +366,7 @@ mod tests {
         let ti = d1.submit_batch(&interleaved).elapsed_us;
         let mut d2 = dev();
         let tg = d2.submit_batch(&grouped).elapsed_us;
-        assert!(
-            tg < ti,
-            "grouped mix ({tg} µs) should beat interleaved mix ({ti} µs)"
-        );
+        assert!(tg < ti, "grouped mix ({tg} µs) should beat interleaved mix ({ti} µs)");
     }
 
     #[test]
@@ -382,8 +375,7 @@ mod tests {
         // rather than keep growing unboundedly (host interface cap).
         let bw = |outstd: u64| {
             let mut d = dev();
-            let reqs: Vec<SsdRequest> =
-                (0..outstd).map(|i| SsdRequest::read(i * 4096, 4096)).collect();
+            let reqs: Vec<SsdRequest> = (0..outstd).map(|i| SsdRequest::read(i * 4096, 4096)).collect();
             // repeat to smooth out the first window
             let mut total_bytes = 0u64;
             let mut total_us = 0.0;
@@ -434,6 +426,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "invalid SsdConfig")]
+    #[allow(clippy::field_reassign_with_default)]
     fn invalid_config_panics() {
         let mut cfg = SsdConfig::default();
         cfg.channels = 0;

@@ -14,10 +14,9 @@
 //! read/write interference penalty.
 
 use crate::config::SsdConfig;
-use serde::{Deserialize, Serialize};
 
 /// Named device presets used throughout the experiments.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DeviceProfile {
     /// Fusion-io Iodrive — PCI-E enterprise device, the fastest in the paper.
     Iodrive,

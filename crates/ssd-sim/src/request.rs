@@ -1,9 +1,7 @@
 //! I/O request descriptors accepted by the simulated device.
 
-use serde::{Deserialize, Serialize};
-
 /// The direction of a simulated I/O request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum IoKind {
     /// Read `len` bytes starting at the logical byte address.
     Read,
@@ -27,7 +25,7 @@ impl IoKind {
 ///
 /// Addresses are logical byte addresses (LBA × sector size already applied); the
 /// device maps them onto flash pages, channels and packages internally.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SsdRequest {
     /// Read or write.
     pub kind: IoKind,

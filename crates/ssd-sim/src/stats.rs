@@ -1,10 +1,8 @@
 //! Cumulative service statistics of a simulated device.
 
-use serde::{Deserialize, Serialize};
-
 /// Counters accumulated by [`crate::SsdDevice`] across its lifetime (or since the
 /// last [`crate::SsdDevice::reset`]).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DeviceStats {
     /// Number of read requests serviced.
     pub reads: u64,

@@ -187,7 +187,15 @@ impl BufferPool {
         self.used_pages += weight;
         let stamp = self.next_stamp;
         self.next_stamp += 1;
-        self.frames.insert(page, Frame { data, dirty, weight, stamp });
+        self.frames.insert(
+            page,
+            Frame {
+                data,
+                dirty,
+                weight,
+                stamp,
+            },
+        );
         self.lru.push_back((page, stamp));
         evicted
     }
@@ -207,7 +215,11 @@ impl BufferPool {
     pub fn remove(&mut self, page: PageId) -> Option<Evicted> {
         self.frames.remove(&page).map(|f| {
             self.used_pages -= f.weight;
-            Evicted { page, data: f.data, dirty: f.dirty }
+            Evicted {
+                page,
+                data: f.data,
+                dirty: f.dirty,
+            }
         })
     }
 
@@ -247,7 +259,11 @@ impl BufferPool {
             if frame.dirty {
                 self.stats.dirty_evictions += 1;
             }
-            return Some(Evicted { page, data: frame.data, dirty: frame.dirty });
+            return Some(Evicted {
+                page,
+                data: frame.data,
+                dirty: frame.dirty,
+            });
         }
         None
     }

@@ -331,7 +331,11 @@ mod tests {
         for (i, data) in all.iter().enumerate() {
             assert_eq!(data[0], pages[i] as u8);
         }
-        assert_eq!(c.store().stats().page_reads - before, 3, "only the 3 cold pages hit the device");
+        assert_eq!(
+            c.store().stats().page_reads - before,
+            3,
+            "only the 3 cold pages hit the device"
+        );
     }
 
     #[test]
@@ -385,7 +389,11 @@ mod tests {
         let out = c.read_regions(&[(a, 2), (b, 2)]).unwrap();
         assert_eq!(out[0], da);
         assert_eq!(out[1], db);
-        assert_eq!(c.store().stats().read_batches - before, 1, "both regions in one psync call");
+        assert_eq!(
+            c.store().stats().read_batches - before,
+            1,
+            "both regions in one psync call"
+        );
     }
 
     #[test]
@@ -395,7 +403,11 @@ mod tests {
         c.write_page(p, &vec![5u8; 4096]).unwrap();
         c.free(p);
         c.flush().unwrap();
-        assert_eq!(c.store().stats().page_writes, 0, "freed dirty page must not be written back");
+        assert_eq!(
+            c.store().stats().page_writes,
+            0,
+            "freed dirty page must not be written back"
+        );
     }
 
     #[test]

@@ -170,7 +170,7 @@ impl PageStore {
     /// Writes a contiguous region of pages with a single large request. `data` must be
     /// a whole number of pages.
     pub fn write_region(&self, first: PageId, data: &[u8]) -> IoResult<()> {
-        assert!(!data.is_empty() && data.len() % self.page_size == 0);
+        assert!(!data.is_empty() && data.len().is_multiple_of(self.page_size));
         let req = WriteRequest::new(page_offset(first, self.page_size), data);
         self.io.psync_write(&[req])?;
         let mut s = self.stats.lock();
@@ -211,7 +211,10 @@ impl PageStore {
             .collect();
         self.io.psync_write(&reqs)?;
         let mut s = self.stats.lock();
-        s.page_writes += regions.iter().map(|(_, d)| (d.len() / self.page_size) as u64).sum::<u64>();
+        s.page_writes += regions
+            .iter()
+            .map(|(_, d)| (d.len() / self.page_size) as u64)
+            .sum::<u64>();
         s.write_batches += 1;
         Ok(())
     }

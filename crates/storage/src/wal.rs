@@ -126,9 +126,7 @@ impl Wal {
         let reqs: Vec<WriteRequest> = region
             .chunks(self.page_size)
             .enumerate()
-            .map(|(i, chunk)| {
-                WriteRequest::new(self.base_offset + page_base + (i * self.page_size) as u64, chunk)
-            })
+            .map(|(i, chunk)| WriteRequest::new(self.base_offset + page_base + (i * self.page_size) as u64, chunk))
             .collect();
         self.io.psync_write(&reqs)?;
 

@@ -55,7 +55,10 @@ impl KeyGenerator {
                 self.next_sequential = (self.next_sequential + 1) % self.key_space;
                 k
             }
-            KeyDistribution::Skewed { hot_fraction, hot_probability } => {
+            KeyDistribution::Skewed {
+                hot_fraction,
+                hot_probability,
+            } => {
                 let hot_keys = ((self.key_space as f64) * hot_fraction).max(1.0) as u64;
                 if self.rng.gen_bool(hot_probability.clamp(0.0, 1.0)) {
                     self.rng.gen_range(0..hot_keys)
@@ -104,7 +107,10 @@ mod tests {
         let mut g = KeyGenerator::new(
             3,
             10_000,
-            KeyDistribution::Skewed { hot_fraction: 0.1, hot_probability: 0.9 },
+            KeyDistribution::Skewed {
+                hot_fraction: 0.1,
+                hot_probability: 0.9,
+            },
         );
         let hot_bound = 1_000;
         let hits = (0..10_000).filter(|_| g.next_key() < hot_bound).count();

@@ -17,10 +17,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod driver;
 pub mod keyspace;
 pub mod ops;
 pub mod tpcc;
 
+pub use driver::{replay, replay_trace, IndexTarget, ReplayStats};
 pub use keyspace::{KeyDistribution, KeyGenerator};
 pub use ops::{MixSpec, Operation, OperationGenerator};
 pub use tpcc::{TpccConfig, TpccTraceGenerator, TraceOp};

@@ -43,7 +43,10 @@ pub enum Operation {
 impl Operation {
     /// Whether the operation modifies the index.
     pub fn is_update_type(&self) -> bool {
-        matches!(self, Operation::Insert { .. } | Operation::Delete { .. } | Operation::Update { .. })
+        matches!(
+            self,
+            Operation::Insert { .. } | Operation::Delete { .. } | Operation::Update { .. }
+        )
     }
 }
 
@@ -67,7 +70,13 @@ impl MixSpec {
     /// The paper's two-way insert/search mix (Figure 12): `insert_ratio` inserts, the
     /// rest point searches.
     pub fn insert_search(insert_ratio: f64) -> Self {
-        Self { insert: insert_ratio, delete: 0.0, update: 0.0, range_search: 0.0, range_span: 0 }
+        Self {
+            insert: insert_ratio,
+            delete: 0.0,
+            update: 0.0,
+            range_search: 0.0,
+            range_span: 0,
+        }
     }
 
     /// A search-only workload (Figure 9).
@@ -82,7 +91,10 @@ impl MixSpec {
 
     fn validate(&self) {
         let total = self.insert + self.delete + self.update + self.range_search;
-        assert!((0.0..=1.0 + 1e-9).contains(&total), "mix fractions must sum to at most 1");
+        assert!(
+            (0.0..=1.0 + 1e-9).contains(&total),
+            "mix fractions must sum to at most 1"
+        );
     }
 }
 
@@ -148,12 +160,21 @@ mod tests {
 
     #[test]
     fn mix_ratios_are_respected() {
-        let mix = MixSpec { insert: 0.3, delete: 0.1, update: 0.1, range_search: 0.1, range_span: 100 };
+        let mix = MixSpec {
+            insert: 0.3,
+            delete: 0.1,
+            update: 0.1,
+            range_search: 0.1,
+            range_span: 100,
+        };
         let mut g = OperationGenerator::new(5, 1_000_000, KeyDistribution::Uniform, mix);
         let ops = g.generate(20_000);
         let inserts = ops.iter().filter(|o| matches!(o, Operation::Insert { .. })).count();
         let deletes = ops.iter().filter(|o| matches!(o, Operation::Delete { .. })).count();
-        let ranges = ops.iter().filter(|o| matches!(o, Operation::RangeSearch { .. })).count();
+        let ranges = ops
+            .iter()
+            .filter(|o| matches!(o, Operation::RangeSearch { .. }))
+            .count();
         let searches = ops.iter().filter(|o| matches!(o, Operation::Search { .. })).count();
         assert!((inserts as f64 / 20_000.0 - 0.3).abs() < 0.02);
         assert!((deletes as f64 / 20_000.0 - 0.1).abs() < 0.02);
@@ -182,7 +203,13 @@ mod tests {
 
     #[test]
     fn range_searches_respect_the_span_and_bounds() {
-        let mix = MixSpec { insert: 0.0, delete: 0.0, update: 0.0, range_search: 1.0, range_span: 64 };
+        let mix = MixSpec {
+            insert: 0.0,
+            delete: 0.0,
+            update: 0.0,
+            range_search: 1.0,
+            range_span: 64,
+        };
         let mut g = OperationGenerator::new(2, 10_000, KeyDistribution::Uniform, mix);
         for op in g.generate(1_000) {
             match op {
@@ -198,7 +225,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "sum to at most 1")]
     fn overfull_mix_is_rejected() {
-        let mix = MixSpec { insert: 0.9, delete: 0.3, update: 0.0, range_search: 0.0, range_span: 0 };
+        let mix = MixSpec {
+            insert: 0.9,
+            delete: 0.3,
+            update: 0.0,
+            range_search: 0.0,
+            range_span: 0,
+        };
         let _ = OperationGenerator::new(1, 10, KeyDistribution::Uniform, mix);
     }
 }

@@ -44,7 +44,12 @@ pub struct TpccConfig {
 
 impl Default for TpccConfig {
     fn default() -> Self {
-        Self { warehouses: 100, clients: 100, relations: 8, range_span: 15 }
+        Self {
+            warehouses: 100,
+            clients: 100,
+            relations: 8,
+            range_span: 15,
+        }
     }
 }
 
@@ -194,14 +199,21 @@ impl TpccTraceGenerator {
             TraceOp::Delete { relation, key }
         } else if roll < TPCC_INSERT_RATIO + TPCC_DELETE_RATIO + TPCC_RANGE_RATIO {
             let lo = self.key_in_district(district);
-            TraceOp::RangeSearch { relation, lo, hi: lo + self.config.range_span.max(1) }
+            TraceOp::RangeSearch {
+                relation,
+                lo,
+                hi: lo + self.config.range_span.max(1),
+            }
         } else {
             // Point search: with high probability a recently touched key (temporal
             // locality), otherwise a random key in a hot district (spatial locality).
             let recent = &self.recent[relation];
             if !recent.is_empty() && self.rng.gen_bool(0.4) {
                 let idx = self.rng.gen_range(0..recent.len());
-                TraceOp::Search { relation, key: recent[idx] }
+                TraceOp::Search {
+                    relation,
+                    key: recent[idx],
+                }
             } else {
                 let key = self.key_in_district(district);
                 TraceOp::Search { relation, key }
@@ -254,7 +266,11 @@ mod tests {
     fn trace_shows_spatial_locality() {
         // Most traffic should land in the districts belonging to the emulated clients
         // (district ids below `clients`).
-        let config = TpccConfig { warehouses: 100, clients: 20, ..TpccConfig::default() };
+        let config = TpccConfig {
+            warehouses: 100,
+            clients: 20,
+            ..TpccConfig::default()
+        };
         let mut g = TpccTraceGenerator::new(5, config);
         let trace = g.generate(20_000);
         let hot_bound = 20 * DISTRICT_STRIDE;

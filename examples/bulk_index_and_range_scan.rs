@@ -36,7 +36,10 @@ fn main() {
     let mut pio = PioBTree::bulk_load(pio_store, &entries, config).expect("bulk load PIO B-tree");
 
     println!("Range scans over a 2M-entry index on {}", device.name());
-    println!("{:>12} {:>14} {:>14} {:>9}", "range", "B+tree (ms)", "PIO (ms)", "speedup");
+    println!(
+        "{:>12} {:>14} {:>14} {:>9}",
+        "range", "B+tree (ms)", "PIO (ms)", "speedup"
+    );
     for span in [1_000u64, 10_000, 100_000, 1_000_000] {
         let lo = 3_000_000u64;
         let hi = lo + span * 4;

@@ -38,9 +38,11 @@ fn main() {
     assert_eq!(range.len(), 100);
 
     // 5. MPSearch: a batch of point lookups resolved level-by-level with psync I/O.
-    let keys: Vec<u64> = (0..256u64).map(|i| i * 3_971).collect();
+    // Stay inside the inserted key range [0, 1M): 255 * 3_900 = 994_500.
+    let keys: Vec<u64> = (0..256u64).map(|i| i * 3_900).collect();
     let results = tree.multi_search(&keys).expect("multi search");
     assert!(results.iter().all(|r| r.is_some()));
+    assert!(keys.iter().zip(&results).all(|(k, r)| *r == Some(k * 10)));
 
     // 6. What did that cost? The simulator accounts every page in simulated time.
     let stats = tree.stats();
@@ -49,7 +51,10 @@ fn main() {
     println!("  height                : {}", tree.height());
     println!("  inserts               : {}", stats.inserts);
     println!("  bupdate batches       : {}", stats.bupdates);
-    println!("  leaf appends/rewrites : {}/{}", stats.leaf_appends, stats.leaf_rewrites);
+    println!(
+        "  leaf appends/rewrites : {}/{}",
+        stats.leaf_appends, stats.leaf_rewrites
+    );
     println!("  leaf splits           : {}", stats.leaf_splits);
     println!("  pages read/written    : {}/{}", io.page_reads, io.page_writes);
     println!("  psync calls           : {}", io.read_batches + io.write_batches);

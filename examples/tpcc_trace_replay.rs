@@ -29,7 +29,11 @@ fn main() {
         .map(|keys| {
             let entries: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k)).collect();
             let io = Arc::new(pio::SimPsyncIo::with_profile(device, 8 << 30));
-            let store = Arc::new(CachedStore::new(PageStore::new(io, 4096), 128, WritePolicy::WriteThrough));
+            let store = Arc::new(CachedStore::new(
+                PageStore::new(io, 4096),
+                128,
+                WritePolicy::WriteThrough,
+            ));
             PioBTree::bulk_load(store, &entries, config.clone()).expect("bulk load")
         })
         .collect();
@@ -68,10 +72,21 @@ fn main() {
         time_by_type[1] += tree.io_elapsed_us() - before;
     }
 
-    println!("TPC-C index trace replay on {} ({} operations, 8 relations)", device.name(), trace.len());
-    println!("{:>14} {:>10} {:>14} {:>16}", "op type", "count", "total (ms)", "mean (us/op)");
+    println!(
+        "TPC-C index trace replay on {} ({} operations, 8 relations)",
+        device.name(),
+        trace.len()
+    );
+    println!(
+        "{:>14} {:>10} {:>14} {:>16}",
+        "op type", "count", "total (ms)", "mean (us/op)"
+    );
     for (i, name) in ["point search", "insert", "range search", "delete"].iter().enumerate() {
-        let mean = if count_by_type[i] > 0 { time_by_type[i] / count_by_type[i] as f64 } else { 0.0 };
+        let mean = if count_by_type[i] > 0 {
+            time_by_type[i] / count_by_type[i] as f64
+        } else {
+            0.0
+        };
         println!(
             "{:>14} {:>10} {:>14.1} {:>16.1}",
             name,

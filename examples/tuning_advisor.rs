@@ -14,7 +14,11 @@ fn main() {
     let page_size = 2048usize;
     let memory_budget_pages = 8_192u64; // 16 MiB of 2 KiB pages, as in the paper
 
-    println!("PIO B-tree tuning advisor ({} entries, {} KiB memory budget)", entries, memory_budget_pages * 2 / 1024 * 1024 / 1024);
+    println!(
+        "PIO B-tree tuning advisor ({} entries, {} MiB memory budget)",
+        entries,
+        memory_budget_pages * 2 / 1024
+    );
     for profile in DeviceProfile::all() {
         let mut device = SsdDevice::new(profile.build());
         let chars = characterise(&mut device, page_size as u64, 64, 42);

@@ -12,8 +12,11 @@
 //! * [`pio_btree`] — the paper's contribution: the PIO B-tree.
 //! * [`flash_indexes`] — BFTL and FD-tree baselines.
 //! * [`workload`] — synthetic and TPC-C-like workload generators.
+//! * [`engine`] — the sharded PIO engine: key-range-partitioned PIO B-tree shards
+//!   behind a cross-shard parallel request scheduler.
 
 pub use btree;
+pub use engine;
 pub use flash_indexes;
 pub use pio;
 pub use pio_btree;

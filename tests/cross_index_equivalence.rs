@@ -125,10 +125,13 @@ fn flash_indexes_match_the_model() {
     let expected = model_state(&ops);
 
     let mut bftl = Bftl::new(make_store(2048, 0, WritePolicy::WriteThrough), BftlConfig::default());
-    let mut fd = FdTree::new(make_store(2048, 32, WritePolicy::WriteThrough), FdTreeConfig {
-        head_capacity: 256,
-        size_ratio: 4,
-    });
+    let mut fd = FdTree::new(
+        make_store(2048, 32, WritePolicy::WriteThrough),
+        FdTreeConfig {
+            head_capacity: 256,
+            size_ratio: 4,
+        },
+    );
     for op in &ops {
         match *op {
             Operation::Insert { key, value } | Operation::Update { key, value } => {

@@ -76,7 +76,11 @@ fn principle_2_batched_updates_beat_the_baseline() {
     let n = 150_000u64;
     // Baseline B+-tree on a synchronous-I/O store with a small pool.
     let sync_io = Arc::new(SimSyncIo::with_profile(DeviceProfile::F120, 4 << 30));
-    let bt_store = Arc::new(CachedStore::new(PageStore::new(sync_io, 2048), 64, WritePolicy::WriteBack));
+    let bt_store = Arc::new(CachedStore::new(
+        PageStore::new(sync_io, 2048),
+        64,
+        WritePolicy::WriteBack,
+    ));
     let mut bt = bulk_load(bt_store, &entries(n), 0.7).unwrap();
 
     let config = PioConfig::builder()
@@ -87,7 +91,11 @@ fn principle_2_batched_updates_beat_the_baseline() {
         .pool_pages(48)
         .build();
     let pio_io = Arc::new(SimPsyncIo::with_profile(DeviceProfile::F120, 4 << 30));
-    let pio_store = Arc::new(CachedStore::new(PageStore::new(pio_io, 2048), 48, WritePolicy::WriteThrough));
+    let pio_store = Arc::new(CachedStore::new(
+        PageStore::new(pio_io, 2048),
+        48,
+        WritePolicy::WriteThrough,
+    ));
     let mut pio = PioBTree::bulk_load(pio_store, &entries(n), config).unwrap();
 
     let inserts: Vec<u64> = (0..20_000u64).map(|i| (i * 48_271) % (n * 6)).collect();
@@ -128,7 +136,11 @@ fn principle_3_no_mingled_read_writes() {
         .pool_pages(32)
         .build();
     let io = Arc::new(SimPsyncIo::with_profile(DeviceProfile::P300, 2 << 30));
-    let store = Arc::new(CachedStore::new(PageStore::new(io, 2048), 32, WritePolicy::WriteThrough));
+    let store = Arc::new(CachedStore::new(
+        PageStore::new(io, 2048),
+        32,
+        WritePolicy::WriteThrough,
+    ));
     let mut tree = PioBTree::bulk_load(store, &entries(50_000), config).unwrap();
     for k in 0..30_000u64 {
         tree.insert(k * 7 % 400_000, k).unwrap();
