@@ -52,6 +52,16 @@ pub enum LogRecord {
         /// Identifier matching the corresponding [`LogRecord::FlushStart`].
         flush_id: u64,
     },
+    /// Flush event log written after a *failed* flush was rolled back **in
+    /// process** (its preimages were written back to the device). Recovery must
+    /// not undo an aborted flush — its pages were already restored, and a later
+    /// retry flush may have legitimately rewritten them — but unlike
+    /// [`LogRecord::FlushEnd`], an aborted flush covers no logical records: its
+    /// batch went back to the OPQ, so those records must still be redone.
+    FlushAbort {
+        /// Identifier matching the corresponding [`LogRecord::FlushStart`].
+        flush_id: u64,
+    },
     /// Flush undo log: pre-image of a page overwritten by a flush.
     FlushUndo {
         /// Identifier of the flush this undo information belongs to.
@@ -105,6 +115,10 @@ impl LogRecord {
                 out.extend_from_slice(preimage);
             }
             LogRecord::Checkpoint => out.push(5),
+            LogRecord::FlushAbort { flush_id } => {
+                out.push(6);
+                out.extend_from_slice(&flush_id.to_le_bytes());
+            }
         }
         out
     }
@@ -143,6 +157,7 @@ impl LogRecord {
                 })
             }
             5 => Some(LogRecord::Checkpoint),
+            6 => Some(LogRecord::FlushAbort { flush_id: u64_at(1)? }),
             _ => None,
         }
     }
@@ -157,6 +172,9 @@ pub struct RecoveryReport {
     pub skipped_flushed: usize,
     /// Incomplete flushes found (at most one can be in progress at a crash).
     pub incomplete_flushes: usize,
+    /// Flushes that were rolled back in process before the crash (their undo
+    /// records are skipped — the pages were already restored).
+    pub aborted_flushes: usize,
     /// Pages restored from flush undo records.
     pub undone_pages: usize,
 }
@@ -186,6 +204,7 @@ mod tests {
                 key_hi: 99,
             },
             LogRecord::FlushEnd { flush_id: 3 },
+            LogRecord::FlushAbort { flush_id: 4 },
             LogRecord::FlushUndo {
                 flush_id: 3,
                 page: 77,

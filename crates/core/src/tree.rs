@@ -27,7 +27,7 @@ use pio::{IoResult, SimPsyncIo};
 use ssd_sim::DeviceProfile;
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use storage::{CachedStore, PageId, PageStore, Wal, WritePolicy};
+use storage::{CachedReadTicket, CachedStore, PageId, PageStore, RegionWriteTicket, Wal, WritePolicy};
 
 /// Operation and structural counters of a [`PioBTree`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -124,6 +124,35 @@ struct LeafJob {
     ops: Vec<OpEntry>,
 }
 
+/// In-memory undo state captured while a bupdate runs: the same page preimages the
+/// WAL's `FlushUndo` records hold, plus the volatile state (LSMap entries) a
+/// durable log cannot cover. A failed flush replays this in process, so the tree
+/// is left consistent without a restart (see [`PioBTree::flush_once`]).
+#[derive(Debug, Default)]
+struct FlushUndo {
+    /// Page preimages in capture order (replayed in reverse, first capture wins).
+    pages: Vec<(PageId, Vec<u8>)>,
+    /// LSMap entries before the flush touched them (`None` = no entry existed).
+    lsmap: Vec<(PageId, Option<u32>)>,
+    /// Pages the flush allocated (`(first, n)` runs) — freed again on rollback so
+    /// failed flushes do not strand store space.
+    allocations: Vec<(PageId, u64)>,
+}
+
+impl FlushUndo {
+    fn note_page(&mut self, page: PageId, preimage: Vec<u8>) {
+        self.pages.push((page, preimage));
+    }
+
+    fn note_lsmap(&mut self, leaf: PageId, previous: Option<u32>) {
+        self.lsmap.push((leaf, previous));
+    }
+
+    fn note_alloc(&mut self, first: PageId, n: u64) {
+        self.allocations.push((first, n));
+    }
+}
+
 /// The PIO B-tree.
 pub struct PioBTree {
     store: Arc<CachedStore>,
@@ -193,8 +222,38 @@ impl PioBTree {
         let mut lsmap = LsMap::new();
 
         // --- Leaf level -----------------------------------------------------------
+        // Region batches are double-buffered: one write ticket stays in flight on
+        // the device while the next batch of leaf images is encoded, so the loader
+        // overlaps CPU work (and the following batch's submission) with device
+        // time instead of blocking on every 64 regions.
         let mut level: Vec<(Key, PageId)> = Vec::new();
         let mut region_writes: Vec<(PageId, Vec<u8>)> = Vec::new();
+        let mut in_flight: Option<RegionWriteTicket> = None;
+        let submit_batch =
+            |region_writes: &mut Vec<(PageId, Vec<u8>)>, in_flight: &mut Option<RegionWriteTicket>| -> IoResult<()> {
+                let refs: Vec<(PageId, &[u8])> = region_writes.iter().map(|(p, d)| (*p, d.as_slice())).collect();
+                let ticket = match store.submit_write_regions(&refs) {
+                    Ok(ticket) => ticket,
+                    Err(e) => {
+                        // Drain the in-flight ticket before surfacing the error so
+                        // no submission is left outstanding on the backend.
+                        if let Some(previous) = in_flight.take() {
+                            let _ = store.complete_write_regions(previous);
+                        }
+                        return Err(e);
+                    }
+                };
+                if let Some(previous) = in_flight.replace(ticket) {
+                    if let Err(e) = store.complete_write_regions(previous) {
+                        if let Some(current) = in_flight.take() {
+                            let _ = store.complete_write_regions(current);
+                        }
+                        return Err(e);
+                    }
+                }
+                region_writes.clear();
+                Ok(())
+            };
         let chunks: Vec<&[(Key, Value)]> = if entries.is_empty() {
             vec![&[][..]]
         } else {
@@ -207,14 +266,14 @@ impl PioBTree {
             level.push((chunk.first().map(|&(k, _)| k).unwrap_or(0), first));
             region_writes.push((first, leaf.encode(page_size)));
             if region_writes.len() >= 64 {
-                let refs: Vec<(PageId, &[u8])> = region_writes.iter().map(|(p, d)| (*p, d.as_slice())).collect();
-                store.write_regions(&refs)?;
-                region_writes.clear();
+                submit_batch(&mut region_writes, &mut in_flight)?;
             }
         }
         if !region_writes.is_empty() {
-            let refs: Vec<(PageId, &[u8])> = region_writes.iter().map(|(p, d)| (*p, d.as_slice())).collect();
-            store.write_regions(&refs)?;
+            submit_batch(&mut region_writes, &mut in_flight)?;
+        }
+        if let Some(last) = in_flight.take() {
+            store.complete_write_regions(last)?;
         }
 
         // --- Internal levels --------------------------------------------------------
@@ -360,19 +419,53 @@ impl PioBTree {
 
         let mut results = vec![None; keys.len()];
         let l = self.config.leaf_segments as u64;
-        // Fetch leaf regions in PioMax-sized psync batches, deduplicating repeats.
+        // Deduplicated leaf-region list of every PioMax-sized batch, computed up
+        // front so batch k+1 can be submitted while batch k is still being decoded.
+        let chunk_regions: Vec<Vec<(PageId, u64)>> = locs
+            .chunks(self.config.pio_max)
+            .map(|group| {
+                let mut regions: Vec<(PageId, u64)> = Vec::new();
+                for loc in group {
+                    if regions.last().map(|&(p, _)| p) != Some(loc.leaf) {
+                        regions.push((loc.leaf, l));
+                    }
+                }
+                regions
+            })
+            .collect();
+        // Pipelined fetch: the next batch's ticket is submitted before the current
+        // one is reaped, so up to two psync windows overlap on the device while the
+        // CPU resolves the current batch's keys.
+        let mut pending = Some(self.store.submit_read_regions(&chunk_regions[0])?);
         for (group_idx, (group_keys, group_locs)) in sorted_keys
             .chunks(self.config.pio_max)
             .zip(locs.chunks(self.config.pio_max))
             .enumerate()
         {
-            let mut regions: Vec<(PageId, u64)> = Vec::new();
-            for loc in group_locs {
-                if regions.last().map(|&(p, _)| p) != Some(loc.leaf) {
-                    regions.push((loc.leaf, l));
+            let next = if group_idx + 1 < chunk_regions.len() {
+                match self.store.submit_read_regions(&chunk_regions[group_idx + 1]) {
+                    Ok(t) => Some(t),
+                    Err(e) => {
+                        // Drain the in-flight ticket before surfacing the error.
+                        let _ = self.store.complete_read_regions(pending.take().expect("in flight"));
+                        return Err(e);
+                    }
                 }
-            }
-            let images = self.store.read_regions(&regions)?;
+            } else {
+                None
+            };
+            let current = pending.take().expect("in flight");
+            let images = match self.store.complete_read_regions(current) {
+                Ok(images) => images,
+                Err(e) => {
+                    if let Some(t) = next {
+                        let _ = self.store.complete_read_regions(t);
+                    }
+                    return Err(e);
+                }
+            };
+            pending = next;
+            let regions = &chunk_regions[group_idx];
             let leaves: Vec<PioLeaf> = images
                 .iter()
                 .map(|img| PioLeaf::decode(img, self.config.leaf_segments, self.config.page_size))
@@ -485,24 +578,71 @@ impl PioBTree {
     /// Runs one bupdate over at most `bcnt` OPQ entries (the paper's latency-bounding
     /// mechanism). Does nothing if the OPQ is empty.
     ///
-    /// If the bupdate fails, the batch is restored to the front of the OPQ before
-    /// the error is returned, so the *queued operations* themselves are not dropped
-    /// by an I/O error. This does **not** roll back node writes a multi-chunk
-    /// bupdate may already have performed: a failure after a chunk that split a
-    /// leaf can leave the new sibling unreachable until recovery. Durable undo of a
-    /// half-applied flush is the WAL's job — with `wal_enabled`, the FlushUndo
-    /// preimages restore the touched pages via [`PioBTree::recover`], exactly as
-    /// for a crash mid-flush (Section 3.4). Callers that see an error here should
-    /// treat the tree as needing recovery, not silently retry.
+    /// The flush is **transactional in process**: while the bupdate runs, every
+    /// node write is preceded by capturing its preimage (the same images the WAL's
+    /// `FlushUndo` records hold) together with the touched LSMap entries and the
+    /// root/height. If any chunk of the bupdate fails, the preimages are written
+    /// back in reverse order, the in-memory state is restored, and the batch
+    /// returns to the front of the OPQ — so a failed flush leaves the tree exactly
+    /// as it was, without a restart. The WAL (when enabled) still covers the crash
+    /// case: a crash mid-flush is undone by [`PioBTree::recover`] from the same
+    /// preimages (Section 3.4).
+    ///
+    /// If the *rollback writes themselves* fail, in-process repair is impossible
+    /// and the tree needs WAL recovery; the original error is returned either way.
     pub fn flush_once(&mut self) -> IoResult<()> {
         let batch = self.opq.take_batch(self.config.bcnt);
-        match self.bupdate(&batch) {
+        let root = self.root;
+        let height = self.height;
+        let flush_id = self.next_flush_id;
+        let mut undo = FlushUndo::default();
+        match self.bupdate(&batch, &mut undo) {
             Ok(()) => Ok(()),
             Err(e) => {
+                self.rollback_flush(undo, root, height);
+                // Mark the flush aborted in the WAL: recovery must not replay its
+                // undo preimages (the pages were just restored, and a successful
+                // retry flush may rewrite them), while its batch — back in the
+                // OPQ — must still be redone after a crash. Best-effort: if the
+                // abort record does not become durable, recovery re-applies the
+                // same preimages, which is idempotent.
+                if !batch.is_empty() {
+                    if let Some(wal) = &self.wal {
+                        wal.append(&LogRecord::FlushAbort { flush_id }.encode());
+                        let _ = wal.force();
+                    }
+                }
                 self.opq.restore_front(batch);
                 Err(e)
             }
         }
+    }
+
+    /// Applies a [`FlushUndo`] capture: page preimages are written back in reverse
+    /// capture order (first capture wins), then the LSMap entries and the
+    /// root/height are restored. Write errors during rollback are swallowed — at
+    /// that point only WAL recovery can help, and the caller is already returning
+    /// the original flush error.
+    fn rollback_flush(&mut self, undo: FlushUndo, root: PageId, height: usize) {
+        let writes: Vec<(PageId, &[u8])> = undo.pages.iter().rev().map(|(p, d)| (*p, d.as_slice())).collect();
+        for chunk in writes.chunks(self.config.pio_max.max(1)) {
+            let _ = self.store.write_pages(chunk);
+        }
+        for &(leaf, previous) in undo.lsmap.iter().rev() {
+            match previous {
+                Some(ls) => self.lsmap.set(leaf, ls),
+                None => self.lsmap.remove(leaf),
+            }
+        }
+        // Return the pages the flush allocated (split siblings, new internal
+        // nodes) to the free list so failed flushes do not strand store space.
+        for &(first, n) in undo.allocations.iter().rev() {
+            for page in first..first + n {
+                self.store.free(page);
+            }
+        }
+        self.root = root;
+        self.height = height;
     }
 
     /// Flushes the entire OPQ (checkpoint / shutdown), then writes a checkpoint record
@@ -522,8 +662,10 @@ impl PioBTree {
     // -------------------------------------------------------------------- bupdate --
 
     /// Batch update (Algorithm 2 + the modified updateNode of Algorithm 3): apply a
-    /// key-sorted batch of OPQ entries to the tree using psync I/O at every level.
-    fn bupdate(&mut self, ops: &[OpEntry]) -> IoResult<()> {
+    /// key-sorted batch of OPQ entries to the tree, holding multiple submission
+    /// tickets in flight — chunk `k+1`'s last-segment reads are submitted before
+    /// chunk `k`'s writes are reaped, so consecutive chunks overlap on the device.
+    fn bupdate(&mut self, ops: &[OpEntry], undo: &mut FlushUndo) -> IoResult<()> {
         if ops.is_empty() {
             return Ok(());
         }
@@ -559,13 +701,32 @@ impl PioBTree {
         let jobs = Self::group_jobs(ops, &locs);
 
         // 2. Apply the operations leaf by leaf, in PioMax-sized psync batches.
+        // Phase-A reads (each target leaf's last segment) are prefetched one chunk
+        // ahead: the ticket for chunk k+1 is already in flight while chunk k
+        // decodes, shrinks and writes. Chunks target disjoint leaf sets (jobs are
+        // grouped by leaf), so the prefetched pages cannot be dirtied by the
+        // preceding chunk.
         let mut fences: Vec<FenceInsert> = Vec::new();
-        for chunk in jobs.chunks(self.config.pio_max) {
-            self.apply_leaf_chunk(chunk, flush_id, &mut fences)?;
+        let chunks: Vec<&[LeafJob]> = jobs.chunks(self.config.pio_max).collect();
+        let mut pending = Some(self.submit_last_segments(chunks[0])?);
+        for (i, chunk) in chunks.iter().enumerate() {
+            let (ticket, last_ls) = pending.take().expect("prefetched before the loop");
+            let ls_images = self.store.complete_read_pages(ticket)?;
+            if i + 1 < chunks.len() {
+                pending = Some(self.submit_last_segments(chunks[i + 1])?);
+            }
+            if let Err(e) = self.apply_leaf_chunk(chunk, &ls_images, &last_ls, flush_id, &mut fences, undo) {
+                // Drain the prefetched ticket before surfacing the error, so no
+                // in-flight batch outlives the bupdate.
+                if let Some((ticket, _)) = pending.take() {
+                    let _ = self.store.complete_read_pages(ticket);
+                }
+                return Err(e);
+            }
         }
 
         // 3. Propagate fence keys upward, level by level.
-        self.propagate_fences(fences, flush_id)?;
+        self.propagate_fences(fences, flush_id, undo)?;
 
         // WAL: flush completed.
         if let Some(wal) = &self.wal {
@@ -591,19 +752,32 @@ impl PioBTree {
         jobs
     }
 
-    /// Applies one PioMax-sized group of leaf jobs: the append path reads each leaf's
-    /// last segment and rewrites only the trailing segments; the full path reads the
-    /// whole region, shrinks, and splits if necessary.
-    fn apply_leaf_chunk(&mut self, chunk: &[LeafJob], flush_id: u64, fences: &mut Vec<FenceInsert>) -> IoResult<()> {
+    /// Phase A of one PioMax-sized group of leaf jobs: submits the read of every
+    /// target leaf's current last segment (one in-flight batch) and returns the
+    /// ticket together with the last-segment indices it was computed from.
+    fn submit_last_segments(&self, chunk: &[LeafJob]) -> IoResult<(CachedReadTicket, Vec<u32>)> {
+        let last_ls: Vec<u32> = chunk.iter().map(|j| self.lsmap.get(j.leaf).unwrap_or(0)).collect();
+        let ls_pages: Vec<PageId> = chunk.iter().zip(&last_ls).map(|(j, &ls)| j.leaf + ls as u64).collect();
+        let ticket = self.store.submit_read_pages(&ls_pages)?;
+        Ok((ticket, last_ls))
+    }
+
+    /// Applies one PioMax-sized group of leaf jobs over its (already fetched)
+    /// Phase-A images: the append path rewrites only the trailing segments; the
+    /// full path reads the whole region, shrinks, and splits if necessary.
+    fn apply_leaf_chunk(
+        &mut self,
+        chunk: &[LeafJob],
+        ls_images: &[Vec<u8>],
+        last_ls: &[u32],
+        flush_id: u64,
+        fences: &mut Vec<FenceInsert>,
+        undo: &mut FlushUndo,
+    ) -> IoResult<()> {
         let page_size = self.config.page_size;
         let segments = self.config.leaf_segments;
         let seg_cap = PioLeaf::segment_capacity(page_size);
         let leaf_cap = PioLeaf::capacity(segments, page_size);
-
-        // Phase A: read the last Leaf Segment of every target leaf in one psync call.
-        let last_ls: Vec<u32> = chunk.iter().map(|j| self.lsmap.get(j.leaf).unwrap_or(0)).collect();
-        let ls_pages: Vec<PageId> = chunk.iter().zip(&last_ls).map(|(j, &ls)| j.leaf + ls as u64).collect();
-        let ls_images = self.store.read_pages(&ls_pages)?;
 
         let mut page_writes: Vec<(PageId, Vec<u8>)> = Vec::new();
         let mut full_path: Vec<usize> = Vec::new();
@@ -630,25 +804,27 @@ impl PioBTree {
                 let end = (idx + seg_cap).min(tail_records.len());
                 let mut page = vec![0u8; page_size];
                 PioLeaf::encode_segment_into(&tail_records[idx..end], &mut page);
+                let preimage = if seg == last_ls[i] as usize {
+                    ls_images[i].clone()
+                } else {
+                    vec![0u8; page_size]
+                };
                 if let Some(wal) = &self.wal {
-                    let preimage = if seg == last_ls[i] as usize {
-                        ls_images[i].clone()
-                    } else {
-                        vec![0u8; page_size]
-                    };
                     wal.append(
                         &LogRecord::FlushUndo {
                             flush_id,
                             page: job.leaf + seg as u64,
-                            preimage,
+                            preimage: preimage.clone(),
                         }
                         .encode(),
                     );
                 }
+                undo.note_page(job.leaf + seg as u64, preimage);
                 page_writes.push((job.leaf + seg as u64, page));
                 idx = end;
                 seg += 1;
             }
+            undo.note_lsmap(job.leaf, self.lsmap.get(job.leaf));
             self.lsmap.set(job.leaf, (seg - 1) as u32);
         }
 
@@ -659,9 +835,9 @@ impl PioBTree {
             let images = self.store.read_regions(&regions)?;
             for (&i, image) in full_path.iter().zip(&images) {
                 let job = &chunk[i];
-                if let Some(wal) = &self.wal {
-                    // One undo record per page of the region.
-                    for (p, pre) in image.chunks(page_size).enumerate() {
+                // One undo record per page of the region.
+                for (p, pre) in image.chunks(page_size).enumerate() {
+                    if let Some(wal) = &self.wal {
                         wal.append(
                             &LogRecord::FlushUndo {
                                 flush_id,
@@ -671,6 +847,7 @@ impl PioBTree {
                             .encode(),
                         );
                     }
+                    undo.note_page(job.leaf + p as u64, pre.to_vec());
                 }
                 self.stats.leaf_rewrites += 1;
                 let mut leaf = PioLeaf::decode(image, segments, page_size);
@@ -678,6 +855,7 @@ impl PioBTree {
                 self.stats.shrinks += 1;
                 leaf.shrink();
                 if leaf.len() <= leaf_cap {
+                    undo.note_lsmap(job.leaf, self.lsmap.get(job.leaf));
                     self.lsmap.set(job.leaf, leaf.last_segment(page_size));
                     region_writes.push((job.leaf, leaf.encode(page_size)));
                     continue;
@@ -702,8 +880,11 @@ impl PioBTree {
                     let target = if pi == 0 {
                         job.leaf
                     } else {
-                        self.store.allocate_contiguous(segments as u64)
+                        let fresh = self.store.allocate_contiguous(segments as u64);
+                        undo.note_alloc(fresh, segments as u64);
+                        fresh
                     };
+                    undo.note_lsmap(target, self.lsmap.get(target));
                     self.lsmap.set(target, part.last_segment(page_size));
                     region_writes.push((target, part.encode(page_size)));
                     if pi > 0 {
@@ -736,7 +917,7 @@ impl PioBTree {
     /// Inserts the fence keys produced by leaf splits into their parents, splitting
     /// internal nodes (and ultimately the root) as needed. Each level's modified
     /// nodes are written with one psync call.
-    fn propagate_fences(&mut self, mut pending: Vec<FenceInsert>, flush_id: u64) -> IoResult<()> {
+    fn propagate_fences(&mut self, mut pending: Vec<FenceInsert>, flush_id: u64, undo: &mut FlushUndo) -> IoResult<()> {
         let page_size = self.config.page_size;
         let internal_cap = InternalNode::max_children(page_size);
         while !pending.is_empty() {
@@ -747,6 +928,7 @@ impl PioBTree {
                 let mut adds: Vec<(Key, PageId)> = rootless.iter().map(|f| (f.key, f.new_child)).collect();
                 adds.sort_by_key(|&(k, _)| k);
                 let new_root_page = self.store.allocate();
+                undo.note_alloc(new_root_page, 1);
                 let node = InternalNode {
                     keys: adds.iter().map(|&(k, _)| k).collect(),
                     children: std::iter::once(self.root).chain(adds.iter().map(|&(_, p)| p)).collect(),
@@ -787,6 +969,7 @@ impl PioBTree {
                         .encode(),
                     );
                 }
+                undo.note_page(parent_page, image.clone());
                 let mut node = Node::decode(&image).expect_internal();
                 let grandparent_path: Vec<(PageId, usize)> = {
                     let mut p = fences[0].path.clone();
@@ -806,6 +989,7 @@ impl PioBTree {
                     node.keys.pop();
                     let right_children = node.children.split_off(mid + 1);
                     let right_page = self.store.allocate();
+                    undo.note_alloc(right_page, 1);
                     let right = InternalNode {
                         keys: right_keys,
                         children: right_children,
@@ -860,6 +1044,10 @@ impl PioBTree {
             key_lo: Key,
             key_hi: Key,
             complete: bool,
+            /// Rolled back in process before the crash: skip its undo records (the
+            /// pages were already restored, and a retry flush may have rewritten
+            /// them), but — unlike `complete` — cover no logical records.
+            aborted: bool,
             undo: Vec<(PageId, Vec<u8>)>,
         }
         let mut flushes: Vec<(u64, FlushInfo)> = Vec::new();
@@ -878,12 +1066,18 @@ impl PioBTree {
                         key_lo,
                         key_hi,
                         complete: false,
+                        aborted: false,
                         undo: Vec::new(),
                     },
                 )),
                 Some(LogRecord::FlushEnd { flush_id }) => {
                     if let Some((_, info)) = flushes.iter_mut().find(|(id, _)| *id == flush_id) {
                         info.complete = true;
+                    }
+                }
+                Some(LogRecord::FlushAbort { flush_id }) => {
+                    if let Some((_, info)) = flushes.iter_mut().find(|(id, _)| *id == flush_id) {
+                        info.aborted = true;
                     }
                 }
                 Some(LogRecord::FlushUndo {
@@ -900,8 +1094,11 @@ impl PioBTree {
         }
 
         // Undo phase: roll back the (at most one) incomplete flush by restoring the
-        // pre-images of every page it touched.
-        for (_, info) in flushes.iter().filter(|(_, i)| !i.complete) {
+        // pre-images of every page it touched. Aborted flushes were already rolled
+        // back in process — replaying their preimages here would clobber pages a
+        // successful retry flush has since rewritten.
+        report.aborted_flushes = flushes.iter().filter(|(_, i)| i.aborted).count();
+        for (_, info) in flushes.iter().filter(|(_, i)| !i.complete && !i.aborted) {
             report.incomplete_flushes += 1;
             let writes: Vec<(PageId, &[u8])> = info.undo.iter().map(|(p, d)| (*p, d.as_slice())).collect();
             for chunk in writes.chunks(self.config.pio_max) {
@@ -1213,6 +1410,223 @@ mod tests {
         // Flushing the recovered queue must leave a consistent tree.
         t.checkpoint().unwrap();
         assert_eq!(t.search(500).unwrap(), Some(5));
+        t.check_invariants().unwrap();
+    }
+
+    /// A backend that delegates to a simulated psync queue but fails the N-th write
+    /// submission exactly once — the error-injection harness for the transactional
+    /// flush tests.
+    struct FailingIo {
+        inner: SimPsyncIo,
+        /// `Some(k)`: the k-th upcoming write submission fails (0 = the next one).
+        writes_until_failure: parking_lot::Mutex<Option<u64>>,
+    }
+
+    impl FailingIo {
+        fn new(inner: SimPsyncIo, fail_after_writes: u64) -> Self {
+            Self {
+                inner,
+                writes_until_failure: parking_lot::Mutex::new(Some(fail_after_writes)),
+            }
+        }
+    }
+
+    impl pio::IoQueue for FailingIo {
+        fn submit_read(&self, reqs: &[pio::ReadRequest]) -> IoResult<pio::Ticket> {
+            self.inner.submit_read(reqs)
+        }
+
+        fn submit_write(&self, reqs: &[pio::WriteRequest<'_>]) -> IoResult<pio::Ticket> {
+            let mut countdown = self.writes_until_failure.lock();
+            match countdown.as_mut() {
+                Some(0) => {
+                    *countdown = None; // one-shot
+                    return Err(pio::IoError::WorkerFailed("injected write failure".into()));
+                }
+                Some(n) => *n -= 1,
+                None => {}
+            }
+            drop(countdown);
+            self.inner.submit_write(reqs)
+        }
+
+        fn wait(&self, ticket: pio::Ticket) -> IoResult<pio::Completion> {
+            self.inner.wait(ticket)
+        }
+
+        fn try_complete(&self, ticket: pio::Ticket) -> IoResult<pio::TryComplete> {
+            self.inner.try_complete(ticket)
+        }
+
+        fn io_stats(&self) -> pio::IoStats {
+            self.inner.io_stats()
+        }
+
+        fn reset_io_stats(&self) {
+            self.inner.reset_io_stats()
+        }
+    }
+
+    /// Builds a tree over a [`FailingIo`] backend (initially armed to never fail)
+    /// and returns it together with the failure-injection handle.
+    fn failing_tree(config: PioConfig, entries: &[(Key, Value)]) -> (PioBTree, Arc<FailingIo>) {
+        let failing = Arc::new(FailingIo::new(
+            SimPsyncIo::with_profile(DeviceProfile::F120, 1 << 30),
+            u64::MAX,
+        ));
+        let store = Arc::new(CachedStore::new(
+            PageStore::new(Arc::clone(&failing) as Arc<dyn pio::IoQueue>, config.page_size),
+            config.pool_pages,
+            WritePolicy::WriteThrough,
+        ));
+        let tree = PioBTree::bulk_load(store, entries, config).unwrap();
+        (tree, failing)
+    }
+
+    #[test]
+    fn failed_flush_rolls_back_in_process() {
+        let config = PioConfig {
+            pio_max: 4, // several chunks per bupdate
+            opq_pages: 4,
+            bcnt: 120,
+            ..small_config()
+        };
+        let entries: Vec<(Key, Value)> = (0..4_000u64).map(|k| (k * 3, k)).collect();
+        let (mut t, failing) = failing_tree(config, &entries);
+
+        // Scattered updates so the batch spans many leaves (multi-chunk bupdate).
+        let mut model: BTreeMap<Key, Value> = entries.iter().copied().collect();
+        for k in (0..4_000u64).step_by(37) {
+            t.update(k * 3, k + 1_000_000).unwrap();
+            model.insert(k * 3, k + 1_000_000);
+        }
+        let queued = t.opq_len();
+        assert!(queued > 100, "batch must exceed bcnt-sized chunks");
+
+        // Fail the second write submission: chunk 0 applies, a later chunk fails.
+        *failing.writes_until_failure.lock() = Some(1);
+        let err = t.flush_once().unwrap_err();
+        assert!(err.to_string().contains("injected"), "{err}");
+        // The failed batch is back in the queue and every queued update is still
+        // visible through the OPQ overlay.
+        assert_eq!(t.opq_len(), queued);
+        for (&k, &v) in model.iter().step_by(53) {
+            assert_eq!(t.search(k).unwrap(), Some(v), "key {k}");
+        }
+        // The on-disk tree was rolled back to its pre-flush state: structurally
+        // sound and holding exactly the bulk-loaded entries.
+        assert_eq!(t.check_invariants().unwrap(), 4_000);
+
+        // The failure was one-shot: the retried flush lands the same batch.
+        t.checkpoint().unwrap();
+        assert_eq!(t.opq_len(), 0);
+        for (&k, &v) in model.iter().step_by(29) {
+            assert_eq!(t.search(k).unwrap(), Some(v), "key {k} after retry");
+        }
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn crash_after_failed_flush_and_successful_retry_recovers_cleanly() {
+        // A flush fails and is rolled back in process (FlushAbort logged), the
+        // retry succeeds, and THEN the process crashes. Recovery must not replay
+        // the aborted flush's undo preimages over the retry's durable pages.
+        let config = PioConfig {
+            pio_max: 4,
+            opq_pages: 4,
+            bcnt: 120,
+            wal_enabled: true,
+            ..small_config()
+        };
+        let entries: Vec<(Key, Value)> = (0..4_000u64).map(|k| (k * 3, k)).collect();
+        let (mut t, failing) = failing_tree(config, &entries);
+        // bulk_load does not attach a WAL itself (PioBTree::create does): attach one.
+        t.attach_wal(storage::Wal::new(
+            Arc::new(SimPsyncIo::with_profile(DeviceProfile::F120, 64 << 20)),
+            0,
+            2048,
+        ));
+
+        let mut model: BTreeMap<Key, Value> = entries.iter().copied().collect();
+        for k in (0..4_000u64).step_by(37) {
+            t.update(k * 3, k + 1_000_000).unwrap();
+            model.insert(k * 3, k + 1_000_000);
+        }
+        *failing.writes_until_failure.lock() = Some(1);
+        t.flush_once().unwrap_err();
+        // Retry lands the whole queue durably.
+        t.checkpoint().unwrap();
+        assert_eq!(t.opq_len(), 0);
+
+        // Crash and recover: the aborted flush must be skipped, not undone.
+        t.simulate_crash();
+        let report = t.recover().unwrap();
+        assert_eq!(report.aborted_flushes, 1, "the failed flush was marked aborted");
+        assert_eq!(
+            report.incomplete_flushes, 0,
+            "aborted flush must not be treated as incomplete"
+        );
+        for (&k, &v) in model.iter().step_by(31) {
+            assert_eq!(t.search(k).unwrap(), Some(v), "key {k} after crash recovery");
+        }
+        t.checkpoint().unwrap();
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn failed_flush_frees_rolled_back_allocations() {
+        let config = PioConfig {
+            pio_max: 4,
+            opq_pages: 8,
+            bcnt: 512,
+            ..small_config()
+        };
+        let (mut t, failing) = failing_tree(config, &[]);
+        for k in 0..500u64 {
+            if t.opq_len() + 1 >= t.opq_capacity() {
+                break;
+            }
+            t.insert(k, k).unwrap();
+        }
+        let allocated_before = t.store().store().stats().allocated;
+        let freed_before = t.store().store().stats().freed;
+        *failing.writes_until_failure.lock() = Some(1);
+        t.flush_once().unwrap_err();
+        let stats = t.store().store().stats();
+        let leaked = (stats.allocated - allocated_before) - (stats.freed - freed_before);
+        assert_eq!(leaked, 0, "every page the failed flush allocated must be freed again");
+    }
+
+    #[test]
+    fn failed_flush_with_splits_restores_root_and_lsmap() {
+        let config = PioConfig {
+            pio_max: 4,
+            opq_pages: 8,
+            bcnt: 512,
+            ..small_config()
+        };
+        // A dense insert burst into a small tree (its single leaf cannot hold the
+        // batch) forces leaf splits during the flush that fails.
+        let (mut t, failing) = failing_tree(config, &[]);
+        let height_before = t.height();
+        for k in 0..500u64 {
+            // Stay below the OPQ-full trigger: enqueue only.
+            if t.opq_len() + 1 >= t.opq_capacity() {
+                break;
+            }
+            t.insert(k, k).unwrap();
+        }
+        let queued = t.opq_len();
+        // Fail the fence-propagation write, after the split leaf regions landed.
+        *failing.writes_until_failure.lock() = Some(1);
+        let err = t.flush_once().unwrap_err();
+        assert!(err.to_string().contains("injected"), "{err}");
+        assert_eq!(t.opq_len(), queued, "batch restored");
+        assert_eq!(t.height(), height_before, "root growth rolled back");
+        assert_eq!(t.check_invariants().unwrap(), 0, "no partial leaf state survives");
+        // Retry succeeds and the data is intact.
+        t.checkpoint().unwrap();
+        assert_eq!(t.count_entries().unwrap(), queued as u64);
         t.check_invariants().unwrap();
     }
 

@@ -12,8 +12,10 @@
 //!   the layout the paper's Figure 4(b) shows behaves like independent psync
 //!   streams;
 //! * a **router** splits `multi_search` / `insert_batch` / `range_search` requests
-//!   by shard and fans them out across scoped worker threads so every shard issues
-//!   its psync batches concurrently, stitching results back into caller order;
+//!   by shard and hands them to a persistent per-shard worker pool driven by one
+//!   event-driven scheduler thread (zero threads spawned per call); completions
+//!   are reaped as they land, collected by shard index, and stitched back into
+//!   caller order;
 //! * a **background maintenance worker** drains shard OPQs at a configurable fill
 //!   threshold, moving bupdate flushes off the foreground critical path;
 //! * [`EngineStats`] aggregates per-shard [`pio_btree::PioStats`], buffer-pool hit
@@ -52,6 +54,7 @@
 
 pub mod config;
 mod maintenance;
+mod scheduler;
 pub mod sharded;
 pub mod stats;
 pub mod target;

@@ -1,0 +1,304 @@
+//! The persistent shard worker pool and the event-driven cross-shard scheduler.
+//!
+//! PR 1's router spawned (and joined) one scoped OS thread per shard on *every*
+//! batched engine call — correct, but each call paid thread-creation latency and
+//! the join order dictated result collection. This module replaces that with
+//! long-lived machinery created once per engine:
+//!
+//! * **one worker thread per shard**, fed over an mpsc channel. A worker locks its
+//!   shard's tree, runs the task (catching panics so one poisoned call cannot kill
+//!   the pool), measures the shard's simulated-I/O delta, and reports a completion;
+//! * **one scheduler thread** that owns a single receive loop for *both* new
+//!   fan-out requests (from any engine caller, including the background
+//!   maintenance worker) and worker completions. It submits each shard's task the
+//!   moment the request arrives and reaps completions as they land — tasks of
+//!   different calls interleave freely on disjoint shards;
+//! * completions are collected **by shard index**, never by arrival order, so the
+//!   fan-out result is deterministic regardless of which shard finishes first;
+//! * when a call's last completion lands, the scheduler charges the **maximum**
+//!   per-shard I/O delta of the call to the engine's schedule makespan
+//!   ([`crate::EngineStats::scheduled_io_us`]) — the same accounting the scoped
+//!   router performed, now maintained by a single event loop.
+//!
+//! Batched engine calls therefore spawn **zero** threads: the only threads alive
+//! are the per-shard workers, the scheduler, and (optionally) the maintenance
+//! sweeper.
+
+use crate::sharded::EngineInner;
+use btree::{Key, Value};
+use pio::{IoError, IoResult};
+use pio_btree::PioBTree;
+use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Result payload of one shard task (one variant per batched engine operation).
+pub(crate) enum TaskOutput {
+    /// `multi_search` verdicts for the shard's sub-batch.
+    Values(Vec<Option<Value>>),
+    /// `range_search` hits for the shard's clamped sub-range.
+    Entries(Vec<(Key, Value)>),
+    /// `count_entries` tally.
+    Count(u64),
+    /// Whether a maintenance task actually flushed the shard.
+    Flushed(bool),
+    /// Operations with no payload (`insert_batch`, `checkpoint`).
+    Unit,
+}
+
+/// A closure a shard worker runs on its exclusively locked tree.
+pub(crate) type ShardTask = Box<dyn FnOnce(&mut PioBTree) -> IoResult<TaskOutput> + Send>;
+
+/// What a worker observed while running a task.
+pub(crate) enum TaskVerdict {
+    Finished(IoResult<TaskOutput>),
+    Panicked(String),
+}
+
+/// Why a fan-out failed as a whole.
+pub(crate) enum FanError {
+    Io(IoError),
+    Panicked(String),
+}
+
+type FanReply = Result<Vec<(usize, TaskOutput)>, FanError>;
+
+/// Messages the scheduler's single event loop consumes.
+pub(crate) enum SchedMsg {
+    /// A new fan-out: `tasks` pairs shard indices with their work.
+    Fan {
+        tasks: Vec<(usize, ShardTask)>,
+        reply: Sender<FanReply>,
+    },
+    /// A worker finished one task.
+    Done {
+        call: u64,
+        shard: usize,
+        verdict: TaskVerdict,
+        io_delta_us: f64,
+    },
+    /// Stop the scheduler (and with it, the workers).
+    Shutdown,
+}
+
+enum WorkerMsg {
+    Run { call: u64, task: ShardTask },
+    Shutdown,
+}
+
+/// One in-flight fan-out, keyed by call id in the scheduler's table.
+struct PendingCall {
+    remaining: usize,
+    /// `(shard index, output)` of every finished task, sorted before replying.
+    results: Vec<(usize, TaskOutput)>,
+    /// Lowest-shard-index failure observed so far (deterministic error choice).
+    error: Option<(usize, FanError)>,
+    /// Maximum per-shard simulated-I/O delta — the call's schedule makespan.
+    max_delta_us: f64,
+    reply: Sender<FanReply>,
+}
+
+/// Handle owning the scheduler thread (which in turn owns the workers).
+pub(crate) struct SchedulerPool {
+    tx: Sender<SchedMsg>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl SchedulerPool {
+    /// Whether the scheduler thread is alive (true until drop).
+    pub(crate) fn is_running(&self) -> bool {
+        self.handle.is_some()
+    }
+
+    /// Spawns the per-shard workers and the scheduler event loop. Returns the pool
+    /// handle plus a sender the engine stores for issuing fan-outs.
+    pub(crate) fn spawn(inner: &Arc<EngineInner>) -> (Self, Sender<SchedMsg>) {
+        let (sched_tx, sched_rx) = channel::<SchedMsg>();
+        let workers: Vec<(Sender<WorkerMsg>, JoinHandle<()>)> = (0..inner.shard_count())
+            .map(|shard| {
+                let (tx, rx) = channel::<WorkerMsg>();
+                let inner = Arc::clone(inner);
+                let done_tx = sched_tx.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("engine-shard-{shard}"))
+                    .spawn(move || worker_loop(inner, shard, rx, done_tx))
+                    .expect("spawn shard worker");
+                (tx, handle)
+            })
+            .collect();
+        let sched_inner = Arc::clone(inner);
+        let handle = std::thread::Builder::new()
+            .name("engine-scheduler".into())
+            .spawn(move || scheduler_loop(sched_inner, sched_rx, workers))
+            .expect("spawn engine scheduler");
+        (
+            Self {
+                tx: sched_tx.clone(),
+                handle: Some(handle),
+            },
+            sched_tx,
+        )
+    }
+}
+
+impl Drop for SchedulerPool {
+    fn drop(&mut self) {
+        let _ = self.tx.send(SchedMsg::Shutdown);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(inner: Arc<EngineInner>, shard: usize, rx: Receiver<WorkerMsg>, done_tx: Sender<SchedMsg>) {
+    while let Ok(msg) = rx.recv() {
+        let WorkerMsg::Run { call, task } = msg else { return };
+        let mut tree = inner.shard_tree(shard).lock();
+        let before = tree.io_elapsed_us();
+        let verdict = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(&mut tree))) {
+            Ok(result) => TaskVerdict::Finished(result),
+            Err(panic) => TaskVerdict::Panicked(panic_message(&panic)),
+        };
+        // Charge even on error: any partially performed I/O is in the shard's
+        // elapsed time and the makespan must stay in lockstep with it.
+        let io_delta_us = tree.io_elapsed_us() - before;
+        drop(tree);
+        if done_tx
+            .send(SchedMsg::Done {
+                call,
+                shard,
+                verdict,
+                io_delta_us,
+            })
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+fn scheduler_loop(inner: Arc<EngineInner>, rx: Receiver<SchedMsg>, workers: Vec<(Sender<WorkerMsg>, JoinHandle<()>)>) {
+    let mut next_call = 0u64;
+    let mut pending: HashMap<u64, PendingCall> = HashMap::new();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            SchedMsg::Fan { tasks, reply } => {
+                let call = next_call;
+                next_call += 1;
+                pending.insert(
+                    call,
+                    PendingCall {
+                        remaining: tasks.len(),
+                        results: Vec::with_capacity(tasks.len()),
+                        error: None,
+                        max_delta_us: 0.0,
+                        reply,
+                    },
+                );
+                for (shard, task) in tasks {
+                    if workers[shard].0.send(WorkerMsg::Run { call, task }).is_err() {
+                        let entry = pending.get_mut(&call).expect("inserted above");
+                        entry.remaining -= 1;
+                        note_error(
+                            entry,
+                            shard,
+                            FanError::Io(IoError::WorkerFailed(format!("shard {shard} worker is gone"))),
+                        );
+                    }
+                }
+                finish_if_complete(&inner, &mut pending, call);
+            }
+            SchedMsg::Done {
+                call,
+                shard,
+                verdict,
+                io_delta_us,
+            } => {
+                let entry = pending.get_mut(&call).expect("completion for unknown call");
+                entry.remaining -= 1;
+                entry.max_delta_us = entry.max_delta_us.max(io_delta_us);
+                match verdict {
+                    TaskVerdict::Finished(Ok(output)) => entry.results.push((shard, output)),
+                    TaskVerdict::Finished(Err(e)) => note_error(entry, shard, FanError::Io(e)),
+                    TaskVerdict::Panicked(msg) => note_error(entry, shard, FanError::Panicked(msg)),
+                }
+                finish_if_complete(&inner, &mut pending, call);
+            }
+            SchedMsg::Shutdown => break,
+        }
+    }
+    // Stop the workers and join them: queued Run messages are drained first
+    // (channels are FIFO), so no task is abandoned mid-flight and no worker
+    // outlives the engine.
+    for (tx, _) in &workers {
+        let _ = tx.send(WorkerMsg::Shutdown);
+    }
+    for (tx, handle) in workers {
+        drop(tx);
+        let _ = handle.join();
+    }
+}
+
+/// Keeps the lowest-shard-index failure, so the surfaced error is deterministic
+/// even though completions arrive in arbitrary order.
+fn note_error(entry: &mut PendingCall, shard: usize, error: FanError) {
+    if entry.error.as_ref().is_none_or(|&(s, _)| shard < s) {
+        entry.error = Some((shard, error));
+    }
+}
+
+/// When a call's last completion has landed: charge its makespan, order the
+/// results by shard index, and wake the caller.
+fn finish_if_complete(inner: &Arc<EngineInner>, pending: &mut HashMap<u64, PendingCall>, call: u64) {
+    let done = pending.get(&call).is_some_and(|p| p.remaining == 0);
+    if !done {
+        return;
+    }
+    let mut entry = pending.remove(&call).expect("checked above");
+    inner.charge(entry.max_delta_us);
+    inner.note_scheduled_batch();
+    let outcome = match entry.error {
+        Some((_, error)) => Err(error),
+        None => {
+            entry.results.sort_by_key(|&(shard, _)| shard);
+            Ok(entry.results)
+        }
+    };
+    // A caller that gave up (disconnected) is not an error for the scheduler.
+    let _ = entry.reply.send(outcome);
+}
+
+impl EngineInner {
+    /// Dispatches one fan-out through the scheduler and blocks for its outcome.
+    /// Results come back ordered by shard index. A worker panic is re-raised here,
+    /// on the calling thread, preserving the old scoped-thread semantics.
+    pub(crate) fn fan_out_tasks(&self, work: Vec<(usize, ShardTask)>) -> IoResult<Vec<(usize, TaskOutput)>> {
+        if work.is_empty() {
+            return Ok(Vec::new());
+        }
+        let (reply_tx, reply_rx) = channel();
+        self.scheduler()
+            .send(SchedMsg::Fan {
+                tasks: work,
+                reply: reply_tx,
+            })
+            .map_err(|_| IoError::WorkerFailed("engine scheduler is gone".into()))?;
+        match reply_rx.recv() {
+            Ok(Ok(results)) => Ok(results),
+            Ok(Err(FanError::Io(e))) => Err(e),
+            Ok(Err(FanError::Panicked(msg))) => panic!("shard worker panicked: {msg}"),
+            Err(_) => Err(IoError::WorkerFailed("engine scheduler dropped the call".into())),
+        }
+    }
+}

@@ -15,16 +15,22 @@
 //! ## Scheduling
 //!
 //! Batch entry points (`multi_search`, `insert_batch`, `range_search`,
-//! `checkpoint`, `maintain_once`) split their work by shard and fan it out across
-//! scoped worker threads, so each shard issues its psync batches concurrently.
-//! Because the stores simulate time rather than sleep, cross-shard overlap is
-//! accounted explicitly: each engine call adds the **maximum** of the participating
-//! shards' simulated I/O deltas to the schedule makespan
+//! `checkpoint`, `maintain_once`) split their work by shard and hand it to a
+//! **persistent worker pool**: one long-lived thread per shard, fed over channels
+//! by a single event-driven scheduler thread that submits each shard's task and
+//! reaps completions as they land (the `scheduler` module). Batched calls spawn
+//! **zero** threads. Because the stores simulate time rather than sleep,
+//! cross-shard overlap is accounted explicitly: when a call's last completion
+//! lands, the scheduler adds the **maximum** of the participating shards'
+//! simulated I/O deltas to the schedule makespan
 //! ([`crate::EngineStats::scheduled_io_us`]), while the sum of all deltas remains
 //! visible as `total_io_us`. The ratio of the two is the measured overlap win.
+//! Results are always collected by shard index — never by completion order — so
+//! fan-outs are deterministic.
 
 use crate::config::EngineConfig;
 use crate::maintenance::MaintenanceWorker;
+use crate::scheduler::{SchedMsg, SchedulerPool, ShardTask, TaskOutput};
 use crate::stats::{EngineStats, ShardSnapshot};
 use btree::{Key, Value};
 use parking_lot::Mutex;
@@ -32,6 +38,7 @@ use pio::{IoResult, SimPsyncIo};
 use pio_btree::{PioBTree, PioConfig, PioStats};
 use ssd_sim::DeviceProfile;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::Sender;
 use std::sync::Arc;
 use storage::{CachedStore, PageStore, Wal, WritePolicy};
 
@@ -45,7 +52,8 @@ pub(crate) struct Shard {
     tree: Mutex<PioBTree>,
 }
 
-/// Shared state between the engine handle and the background maintenance worker.
+/// Shared state between the engine handle, the per-shard workers, the scheduler
+/// and the background maintenance worker.
 pub(crate) struct EngineInner {
     shards: Vec<Shard>,
     /// Boundary keys; shard `i` owns keys `< bounds[i]` (and `≥ bounds[i-1]`).
@@ -53,6 +61,11 @@ pub(crate) struct EngineInner {
     config: EngineConfig,
     /// Accumulated schedule makespan in µs (see the module docs).
     scheduled_us: Mutex<f64>,
+    /// Sender into the scheduler's event loop (installed right after the pool is
+    /// spawned during engine construction).
+    sched_tx: Mutex<Option<Sender<SchedMsg>>>,
+    /// Fan-outs dispatched through the scheduler over the engine's lifetime.
+    scheduled_batches: AtomicU64,
     /// Maintenance passes that flushed at least one shard.
     maintenance_flushes: AtomicU64,
     /// Background maintenance passes that returned an I/O error.
@@ -68,6 +81,29 @@ impl EngineInner {
         self.maintenance_errors.fetch_add(1, Ordering::Relaxed);
         *self.last_maintenance_error.lock() = Some(error.to_string());
     }
+
+    /// Number of shards (used by the scheduler to size its worker pool).
+    pub(crate) fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The lock guarding one shard's tree (workers lock it to run their task).
+    pub(crate) fn shard_tree(&self, shard: usize) -> &Mutex<PioBTree> {
+        &self.shards[shard].tree
+    }
+
+    /// A handle into the scheduler's event loop.
+    pub(crate) fn scheduler(&self) -> Sender<SchedMsg> {
+        self.sched_tx
+            .lock()
+            .clone()
+            .expect("scheduler pool is attached during engine construction")
+    }
+
+    /// Counts one completed fan-out (called by the scheduler).
+    pub(crate) fn note_scheduled_batch(&self) {
+        self.scheduled_batches.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// A key-range-sharded PIO B-tree engine with a cross-shard parallel scheduler.
@@ -75,9 +111,14 @@ impl EngineInner {
 /// All operations take `&self`; per-shard trees are behind their own mutexes, so
 /// client threads operating on different shards proceed concurrently (unlike
 /// [`pio_btree::ConcurrentPioBTree`], whose single lock serialises every update).
+/// Batched calls are dispatched through a persistent per-shard worker pool driven
+/// by one event-driven scheduler thread — no threads are spawned per call.
 pub struct ShardedPioEngine {
-    // Declared before `inner` so the worker is stopped and joined first on drop.
+    // Field order is drop order: the maintenance worker stops first (it issues
+    // fan-outs), then the scheduler pool (which joins the shard workers), and only
+    // then the shared state they all reference.
     worker: Option<MaintenanceWorker>,
+    scheduler: SchedulerPool,
     inner: Arc<EngineInner>,
 }
 
@@ -86,6 +127,7 @@ impl std::fmt::Debug for ShardedPioEngine {
         f.debug_struct("ShardedPioEngine")
             .field("shards", &self.inner.shards.len())
             .field("bounds", &self.inner.bounds)
+            .field("scheduler", &self.scheduler.is_running())
             .field("background_maintenance", &self.worker.is_some())
             .finish()
     }
@@ -244,14 +286,22 @@ impl ShardedPioEngine {
             bounds,
             config: config.clone(),
             scheduled_us: Mutex::new(build_makespan_us),
+            sched_tx: Mutex::new(None),
+            scheduled_batches: AtomicU64::new(0),
             maintenance_flushes: AtomicU64::new(0),
             maintenance_errors: AtomicU64::new(0),
             last_maintenance_error: Mutex::new(None),
         });
+        let (scheduler, sched_tx) = SchedulerPool::spawn(&inner);
+        *inner.sched_tx.lock() = Some(sched_tx);
         let worker = config
             .maintenance_interval_ms
             .map(|ms| MaintenanceWorker::spawn(Arc::clone(&inner), std::time::Duration::from_millis(ms)));
-        Ok(Self { worker, inner })
+        Ok(Self {
+            worker,
+            scheduler,
+            inner,
+        })
     }
 
     // ------------------------------------------------------------------ accessors --
@@ -338,8 +388,7 @@ impl ShardedPioEngine {
 
     /// Counts live entries across all shards (expensive; for tests and examples).
     pub fn count_entries(&self) -> IoResult<u64> {
-        let counts = self.inner.fan_out_all(|tree| tree.count_entries())?;
-        let mut total: u64 = counts.into_iter().sum();
+        let mut total: u64 = self.inner.count_entries_tasked()?;
         // The underlying half-open range scan cannot see `Key::MAX` itself, so the
         // sentinel key is counted with a point lookup in its owning (last) shard —
         // routed through the scheduler so its I/O is charged like any other lookup.
@@ -421,57 +470,26 @@ impl EngineInner {
         result
     }
 
-    fn charge(&self, makespan_us: f64) {
+    pub(crate) fn charge(&self, makespan_us: f64) {
         if makespan_us > 0.0 {
             *self.scheduled_us.lock() += makespan_us;
         }
     }
 
-    /// Fans `work` out across scoped threads, one per participating shard. Each
-    /// worker locks its shard, runs `op`, and reports its simulated I/O delta; the
-    /// maximum delta is charged to the schedule (the shards' psync streams run
-    /// concurrently), and results come back tagged with their shard index.
-    fn fan_out<W: Send, R: Send>(
+    /// Fans an operation out to *every* shard through the scheduler and returns
+    /// the results in shard order.
+    fn fan_out_all(
         &self,
-        work: Vec<(usize, W)>,
-        op: impl Fn(&mut PioBTree, W) -> IoResult<R> + Sync,
-    ) -> IoResult<Vec<(usize, R)>> {
-        if work.is_empty() {
-            return Ok(Vec::new());
-        }
-        let op = &op;
-        let outcomes: Vec<(usize, IoResult<R>, f64)> = std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(work.len());
-            for (shard_idx, input) in work {
-                let shard = &self.shards[shard_idx];
-                handles.push(scope.spawn(move || {
-                    let mut tree = shard.tree.lock();
-                    let before = tree.io_elapsed_us();
-                    let result = op(&mut tree, input);
-                    let delta = tree.io_elapsed_us() - before;
-                    (shard_idx, result, delta)
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
-                .collect()
-        });
-        let makespan = outcomes.iter().map(|&(_, _, d)| d).fold(0.0, f64::max);
-        self.charge(makespan);
-        outcomes
-            .into_iter()
-            .map(|(idx, res, _)| res.map(|r| (idx, r)))
-            .collect()
-    }
-
-    /// Fans an operation out to *every* shard and returns the results in shard
-    /// order.
-    fn fan_out_all<R: Send>(&self, op: impl Fn(&mut PioBTree) -> IoResult<R> + Sync) -> IoResult<Vec<R>> {
-        let work: Vec<(usize, ())> = (0..self.shards.len()).map(|i| (i, ())).collect();
-        let mut tagged = self.fan_out(work, |tree, ()| op(tree))?;
-        tagged.sort_by_key(|&(idx, _)| idx);
-        Ok(tagged.into_iter().map(|(_, r)| r).collect())
+        op: impl Fn(&mut PioBTree) -> IoResult<TaskOutput> + Clone + Send + 'static,
+    ) -> IoResult<Vec<TaskOutput>> {
+        let work: Vec<(usize, ShardTask)> = (0..self.shards.len())
+            .map(|i| {
+                let op = op.clone();
+                (i, Box::new(move |tree: &mut PioBTree| op(tree)) as ShardTask)
+            })
+            .collect();
+        // Scheduler results are already sorted by shard index.
+        Ok(self.fan_out_tasks(work)?.into_iter().map(|(_, out)| out).collect())
     }
 
     fn multi_search(&self, keys: &[Key]) -> IoResult<Vec<Option<Value>>> {
@@ -480,7 +498,8 @@ impl EngineInner {
         }
         // Partition the batch by owning shard, remembering original positions.
         // Positions and keys live in separate vectors so the key sub-batches can be
-        // *moved* into the fan-out while the positions stay behind for scattering.
+        // *moved* into the shard tasks while the positions stay behind for
+        // scattering.
         let mut positions: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
         let mut sub_keys: Vec<Vec<Key>> = vec![Vec::new(); self.shards.len()];
         for (pos, &key) in keys.iter().enumerate() {
@@ -488,14 +507,23 @@ impl EngineInner {
             positions[s].push(pos);
             sub_keys[s].push(key);
         }
-        let work: Vec<(usize, Vec<Key>)> = sub_keys
+        let work: Vec<(usize, ShardTask)> = sub_keys
             .into_iter()
             .enumerate()
             .filter(|(_, sub)| !sub.is_empty())
+            .map(|(i, sub)| {
+                (
+                    i,
+                    Box::new(move |tree: &mut PioBTree| tree.multi_search(&sub).map(TaskOutput::Values)) as ShardTask,
+                )
+            })
             .collect();
-        let results = self.fan_out(work, |tree, sub: Vec<Key>| tree.multi_search(&sub))?;
+        let results = self.fan_out_tasks(work)?;
         let mut out = vec![None; keys.len()];
-        for (shard_idx, sub_results) in results {
+        for (shard_idx, output) in results {
+            let TaskOutput::Values(sub_results) = output else {
+                unreachable!("multi_search tasks return Values")
+            };
             for (pos, verdict) in positions[shard_idx].iter().zip(sub_results) {
                 out[*pos] = verdict;
             }
@@ -511,12 +539,19 @@ impl EngineInner {
         for &(key, value) in entries {
             per_shard[self.shard_for(key)].push((key, value));
         }
-        let work: Vec<(usize, Vec<(Key, Value)>)> = per_shard
+        let work: Vec<(usize, ShardTask)> = per_shard
             .into_iter()
             .enumerate()
             .filter(|(_, batch)| !batch.is_empty())
+            .map(|(i, batch)| {
+                (
+                    i,
+                    Box::new(move |tree: &mut PioBTree| tree.insert_batch(&batch).map(|()| TaskOutput::Unit))
+                        as ShardTask,
+                )
+            })
             .collect();
-        self.fan_out(work, |tree, batch: Vec<(Key, Value)>| tree.insert_batch(&batch))?;
+        self.fan_out_tasks(work)?;
         Ok(())
     }
 
@@ -524,31 +559,54 @@ impl EngineInner {
         if lo >= hi {
             return Ok(Vec::new());
         }
-        let work: Vec<(usize, (Key, Key))> = self
+        let work: Vec<(usize, ShardTask)> = self
             .shards
             .iter()
             .enumerate()
             .filter(|(_, s)| s.lo < hi && lo < s.hi)
-            .map(|(i, s)| (i, (lo.max(s.lo), hi.min(s.hi))))
+            .map(|(i, s)| {
+                let (sub_lo, sub_hi) = (lo.max(s.lo), hi.min(s.hi));
+                (
+                    i,
+                    Box::new(move |tree: &mut PioBTree| tree.range_search(sub_lo, sub_hi).map(TaskOutput::Entries))
+                        as ShardTask,
+                )
+            })
             .collect();
-        let mut results = self.fan_out(work, |tree, (sub_lo, sub_hi)| tree.range_search(sub_lo, sub_hi))?;
-        // Shard order is key order: concatenation keeps the result sorted.
-        results.sort_by_key(|&(idx, _)| idx);
+        // Scheduler results arrive sorted by shard index, and shard order is key
+        // order: concatenation keeps the result sorted.
+        let results = self.fan_out_tasks(work)?;
         let mut out = Vec::new();
-        for (_, mut part) in results {
+        for (_, output) in results {
+            let TaskOutput::Entries(mut part) = output else {
+                unreachable!("range_search tasks return Entries")
+            };
             out.append(&mut part);
         }
         Ok(out)
     }
 
     fn checkpoint(&self) -> IoResult<()> {
-        self.fan_out_all(|tree| tree.checkpoint())?;
+        self.fan_out_all(|tree| tree.checkpoint().map(|()| TaskOutput::Unit))?;
         Ok(())
+    }
+
+    pub(crate) fn count_entries_tasked(&self) -> IoResult<u64> {
+        let counts = self.fan_out_all(|tree| tree.count_entries().map(TaskOutput::Count))?;
+        Ok(counts
+            .into_iter()
+            .map(|out| {
+                let TaskOutput::Count(n) = out else {
+                    unreachable!("count tasks return Count")
+                };
+                n
+            })
+            .sum())
     }
 
     pub(crate) fn maintain_once(&self) -> IoResult<usize> {
         let threshold = self.config.flush_threshold;
-        let work: Vec<(usize, usize)> = self
+        let work: Vec<(usize, ShardTask)> = self
             .shards
             .iter()
             .enumerate()
@@ -558,24 +616,30 @@ impl EngineInner {
                 let floor = floor.max(1);
                 (tree.opq_len() >= floor).then_some((i, floor))
             })
+            .map(|(i, floor)| {
+                // A selected shard may have been drained by a foreground flush
+                // between the scan above (locks released) and the task running;
+                // count only shards where this pass actually ran a bupdate.
+                (
+                    i,
+                    Box::new(move |tree: &mut PioBTree| {
+                        let mut did_flush = false;
+                        while tree.opq_len() >= floor {
+                            tree.flush_once()?;
+                            did_flush = true;
+                        }
+                        Ok(TaskOutput::Flushed(did_flush))
+                    }) as ShardTask,
+                )
+            })
             .collect();
         if work.is_empty() {
             return Ok(0);
         }
-        // A selected shard may have been drained by a foreground flush between the
-        // scan above (locks released) and the fan-out; count only shards where this
-        // pass actually ran a bupdate.
         let flushed = self
-            .fan_out(work, |tree, floor: usize| {
-                let mut did_flush = false;
-                while tree.opq_len() >= floor {
-                    tree.flush_once()?;
-                    did_flush = true;
-                }
-                Ok(did_flush)
-            })?
+            .fan_out_tasks(work)?
             .into_iter()
-            .filter(|&(_, did_flush)| did_flush)
+            .filter(|(_, out)| matches!(out, TaskOutput::Flushed(true)))
             .count();
         if flushed > 0 {
             self.maintenance_flushes.fetch_add(1, Ordering::Relaxed);
@@ -625,6 +689,7 @@ impl EngineInner {
             rollup,
             total_io_us: total_io,
             scheduled_io_us,
+            scheduled_batches: self.scheduled_batches.load(Ordering::Relaxed),
             pool_hit_ratio: if hits + misses == 0 {
                 0.0
             } else {

@@ -44,6 +44,10 @@ pub struct EngineStats {
     /// times; this field accumulates those maxima. With one shard it equals
     /// `total_io_us`; the gap between the two is the engine's I/O overlap win.
     pub scheduled_io_us: f64,
+    /// Fan-outs dispatched through the persistent scheduler (batched calls and
+    /// maintenance passes). Single-key operations bypass the scheduler and are not
+    /// counted here.
+    pub scheduled_batches: u64,
     /// Aggregate buffer-pool hit ratio across shards in `[0, 1]`.
     pub pool_hit_ratio: f64,
     /// Total operations buffered in shard OPQs.

@@ -18,6 +18,13 @@
 //! structure the comparison depends on (see `DESIGN.md`), driven by the same
 //! [`storage::CachedStore`] substrate as the other trees and therefore measured in
 //! the same simulated time.
+//!
+//! These baselines deliberately stay on the *blocking* psync shim
+//! ([`pio::ParallelIo`], a submit-and-wait wrapper over [`pio::IoQueue`]): their
+//! defining costs are one-page-at-a-time synchronous reads (BFTL's log-page
+//! chains) and sequential merge writes (the FD-tree predates psync I/O), so
+//! migrating them to overlapped in-flight tickets would change the very cost
+//! structure the Figure-12 comparison measures.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

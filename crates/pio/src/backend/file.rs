@@ -1,41 +1,201 @@
-//! Real-file psync I/O backend.
+//! Real-file submission/completion backend.
 //!
 //! The simulator backends are what the experiments use, but a library user may want
 //! to run the PIO B-tree against an actual file or block device. This backend
-//! emulates psync I/O the same way the paper does when no native primitive is
-//! available: the batch is fanned out over a pool of worker threads, each performing
-//! a positional read or write, and the submitting thread blocks until every request
-//! in the batch has completed (the semantics of `io_submit` + `io_getevents` with a
-//! full wait).
+//! emulates the `io_submit` / `io_getevents` pair the same way the paper does when
+//! no native primitive is available: a **persistent pool** of positional-I/O worker
+//! threads drains a shared job queue. [`crate::IoQueue::submit_read`] /
+//! [`crate::IoQueue::submit_write`] enqueue one job per request and return a ticket
+//! without blocking; the worker that finishes a ticket's last job marks it complete
+//! (fsyncing first for write tickets, so a reaped write ticket is durable) and
+//! wakes any waiter. Several tickets can be in flight at once and complete in any
+//! order.
 //!
-//! Timing reported by this backend is wall-clock, not simulated.
+//! Workers are spawned once at [`FileThreadPoolIo::open`] and joined on drop — no
+//! threads are created per submission. Timing reported by this backend is
+//! wall-clock, not simulated.
 
 use crate::error::{IoError, IoResult};
+use crate::queue::{Completion, IoQueue, Ticket, TryComplete, EMPTY_TICKET};
 use crate::request::{ReadRequest, WriteRequest};
 use crate::stats::{BatchStats, IoStats};
-use crate::ParallelIo;
 use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
 use std::fs::{File, OpenOptions};
 use std::os::unix::fs::FileExt;
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::thread::JoinHandle;
 use std::time::Instant;
 
+/// One unit of worker work: a single positional read or write.
 enum Job {
     Read { offset: u64, len: usize, slot: usize },
     Write { offset: u64, data: Vec<u8> },
 }
 
-/// psync I/O over a real file, emulated with a thread pool of positional I/O workers.
-pub struct FileThreadPoolIo {
-    file: Arc<File>,
-    workers: usize,
+/// The shared job queue (guarded by [`FilePoolShared::jobs`]).
+struct JobQueue {
+    queue: VecDeque<(u64, Job)>,
+    shutdown: bool,
+}
+
+/// Book-keeping of one in-flight ticket.
+struct InflightTicket {
+    /// Jobs not yet finished.
+    remaining: usize,
+    /// Read buffers, filled slot by slot (empty for writes).
+    buffers: Vec<Vec<u8>>,
+    requests: usize,
+    bytes: u64,
+    is_write: bool,
+    submitted: Instant,
+    /// First error any job of the ticket hit.
+    error: Option<IoError>,
+    /// Set by the worker that finishes the last job.
+    done: Option<BatchStats>,
+}
+
+/// State shared between the submitting threads and the worker pool.
+struct FilePoolShared {
+    file: File,
+    jobs: StdMutex<JobQueue>,
+    jobs_cv: Condvar,
+    tickets: StdMutex<HashMap<u64, InflightTicket>>,
+    done_cv: Condvar,
     stats: Mutex<IoStats>,
 }
 
+impl FilePoolShared {
+    /// Executes one job and folds its outcome into the ticket; completes the ticket
+    /// when it was the last job.
+    fn run_job(&self, ticket_id: u64, job: Job) {
+        let outcome = match job {
+            Job::Read { offset, len, slot } => {
+                // Read until the buffer is full or a true EOF: a partial mid-file
+                // read (POSIX allows short reads) must not surface zeroed bytes.
+                // Only the tail past EOF stays zero-filled, like a sparse file.
+                let mut buf = vec![0u8; len];
+                let mut filled = 0usize;
+                let result = loop {
+                    match self.file.read_at(&mut buf[filled..], offset + filled as u64) {
+                        Ok(0) => break Ok(()),
+                        Ok(n) => {
+                            filled += n;
+                            if filled == len {
+                                break Ok(());
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(e) => break Err(IoError::Os(e)),
+                    }
+                };
+                result.map(|()| Some((slot, buf)))
+            }
+            Job::Write { offset, data } => match self.file.write_all_at(&data, offset) {
+                Ok(()) => Ok(None),
+                Err(e) => Err(IoError::Os(e)),
+            },
+        };
+
+        let (last_job, needs_sync) = {
+            let mut tickets = self.tickets.lock().unwrap_or_else(|e| e.into_inner());
+            let entry = tickets.get_mut(&ticket_id).expect("in-flight ticket");
+            match outcome {
+                Ok(Some((slot, buf))) => entry.buffers[slot] = buf,
+                Ok(None) => {}
+                Err(e) => {
+                    if entry.error.is_none() {
+                        entry.error = Some(e);
+                    }
+                }
+            }
+            entry.remaining -= 1;
+            (entry.remaining == 0, entry.is_write && entry.error.is_none())
+        };
+        if !last_job {
+            return;
+        }
+        // psync write semantics: the group is durable when its completion is
+        // observed. The fsync runs outside the ticket-table lock so other tickets
+        // keep completing (and new ones keep being submitted) while it lasts; this
+        // ticket cannot be observed or removed meanwhile because `done` is still
+        // unset.
+        let sync_error = if needs_sync { self.file.sync_data().err() } else { None };
+        let mut tickets = self.tickets.lock().unwrap_or_else(|e| e.into_inner());
+        let entry = tickets.get_mut(&ticket_id).expect("undone ticket stays in the table");
+        if let Some(e) = sync_error {
+            if entry.error.is_none() {
+                entry.error = Some(IoError::Os(e));
+            }
+        }
+        let batch = BatchStats {
+            requests: entry.requests,
+            bytes: entry.bytes,
+            elapsed_us: entry.submitted.elapsed().as_secs_f64() * 1e6,
+            context_switches: 2,
+        };
+        entry.done = Some(batch);
+        let (reads, writes) = if entry.is_write {
+            (0, entry.requests as u64)
+        } else {
+            (entry.requests as u64, 0)
+        };
+        self.stats.lock().absorb(reads, writes, &batch);
+        self.done_cv.notify_all();
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut jobs = self.jobs.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    if let Some(job) = jobs.queue.pop_front() {
+                        break Some(job);
+                    }
+                    if jobs.shutdown {
+                        break None;
+                    }
+                    jobs = self.jobs_cv.wait(jobs).unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            let Some((ticket_id, job)) = job else { return };
+            self.run_job(ticket_id, job);
+        }
+    }
+
+    /// Removes a finished ticket and converts it into a completion (or its error).
+    fn finish(&self, mut entry: InflightTicket) -> IoResult<Completion> {
+        if let Some(e) = entry.error.take() {
+            return Err(e);
+        }
+        Ok(Completion {
+            buffers: std::mem::take(&mut entry.buffers),
+            stats: entry.done.expect("finished ticket"),
+        })
+    }
+}
+
+/// psync-style I/O over a real file: a persistent thread pool of positional I/O
+/// workers behind the [`IoQueue`] submission/completion interface.
+pub struct FileThreadPoolIo {
+    shared: Arc<FilePoolShared>,
+    next_ticket: Mutex<u64>,
+    workers: usize,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for FileThreadPoolIo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileThreadPoolIo")
+            .field("workers", &self.workers)
+            .finish()
+    }
+}
+
 impl FileThreadPoolIo {
-    /// Opens (or creates) `path` for read/write access and uses `workers` concurrent
-    /// I/O workers per batch.
+    /// Opens (or creates) `path` for read/write access and spawns a persistent pool
+    /// of `workers` I/O worker threads (at least one).
     pub fn open<P: AsRef<Path>>(path: P, workers: usize) -> IoResult<Self> {
         let file = OpenOptions::new()
             .read(true)
@@ -43,68 +203,74 @@ impl FileThreadPoolIo {
             .create(true)
             .truncate(false)
             .open(path)?;
-        Ok(Self {
-            file: Arc::new(file),
-            workers: workers.max(1),
+        let workers = workers.max(1);
+        let shared = Arc::new(FilePoolShared {
+            file,
+            jobs: StdMutex::new(JobQueue {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            jobs_cv: Condvar::new(),
+            tickets: StdMutex::new(HashMap::new()),
+            done_cv: Condvar::new(),
             stats: Mutex::new(IoStats::default()),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pio-file-worker-{i}"))
+                    .spawn(move || shared.worker_loop())
+                    .expect("spawn file I/O worker")
+            })
+            .collect();
+        Ok(Self {
+            shared,
+            next_ticket: Mutex::new(0),
+            workers,
+            handles,
         })
     }
 
-    /// Number of worker threads used per batch.
+    /// Number of persistent worker threads draining the job queue.
     pub fn workers(&self) -> usize {
         self.workers
     }
 
-    fn run_jobs(&self, jobs: Vec<Job>, out: &mut [Vec<u8>]) -> IoResult<()> {
-        // Fan the jobs out over up to `workers` scoped threads; each worker pulls jobs
-        // from a shared queue so small batches do not spawn unnecessary threads.
-        let queue = Mutex::new(jobs);
-        let results: Mutex<Vec<(usize, Vec<u8>)>> = Mutex::new(Vec::new());
-        let errors: Mutex<Vec<IoError>> = Mutex::new(Vec::new());
-        let n_workers = self.workers.min(queue.lock().len()).max(1);
-
-        std::thread::scope(|scope| {
-            for _ in 0..n_workers {
-                scope.spawn(|| loop {
-                    let job = { queue.lock().pop() };
-                    let Some(job) = job else { break };
-                    match job {
-                        Job::Read { offset, len, slot } => {
-                            let mut buf = vec![0u8; len];
-                            match self.file.read_at(&mut buf, offset) {
-                                Ok(n) => {
-                                    buf.truncate(n.max(len).min(len));
-                                    results.lock().push((slot, buf));
-                                }
-                                Err(e) => errors.lock().push(IoError::Os(e)),
-                            }
-                        }
-                        Job::Write { offset, data } => {
-                            if let Err(e) = self.file.write_all_at(&data, offset) {
-                                errors.lock().push(IoError::Os(e));
-                            }
-                        }
-                    }
-                });
-            }
-        });
-
-        if let Some(e) = errors.into_inner().into_iter().next() {
-            return Err(e);
+    fn submit(&self, jobs: Vec<Job>, buffers: Vec<Vec<u8>>, requests: usize, bytes: u64, is_write: bool) -> Ticket {
+        let id = {
+            let mut next = self.next_ticket.lock();
+            let id = *next;
+            *next += 1;
+            id
+        };
+        self.shared.tickets.lock().unwrap_or_else(|e| e.into_inner()).insert(
+            id,
+            InflightTicket {
+                remaining: jobs.len(),
+                buffers,
+                requests,
+                bytes,
+                is_write,
+                submitted: Instant::now(),
+                error: None,
+                done: None,
+            },
+        );
+        {
+            let mut q = self.shared.jobs.lock().unwrap_or_else(|e| e.into_inner());
+            q.queue.extend(jobs.into_iter().map(|j| (id, j)));
         }
-        for (slot, buf) in results.into_inner() {
-            out[slot] = buf;
-        }
-        Ok(())
+        self.shared.jobs_cv.notify_all();
+        Ticket(id)
     }
 }
 
-impl ParallelIo for FileThreadPoolIo {
-    fn psync_read(&self, reqs: &[ReadRequest]) -> IoResult<(Vec<Vec<u8>>, BatchStats)> {
+impl IoQueue for FileThreadPoolIo {
+    fn submit_read(&self, reqs: &[ReadRequest]) -> IoResult<Ticket> {
         if reqs.is_empty() {
-            return Ok((Vec::new(), BatchStats::default()));
+            return Ok(Ticket::empty());
         }
-        let start = Instant::now();
         let jobs: Vec<Job> = reqs
             .iter()
             .enumerate()
@@ -114,23 +280,14 @@ impl ParallelIo for FileThreadPoolIo {
                 slot,
             })
             .collect();
-        let mut out = vec![Vec::new(); reqs.len()];
-        self.run_jobs(jobs, &mut out)?;
-        let batch = BatchStats {
-            requests: reqs.len(),
-            bytes: reqs.iter().map(|r| r.len as u64).sum(),
-            elapsed_us: start.elapsed().as_secs_f64() * 1e6,
-            context_switches: 2,
-        };
-        self.stats.lock().absorb(reqs.len() as u64, 0, &batch);
-        Ok((out, batch))
+        let bytes = reqs.iter().map(|r| r.len as u64).sum();
+        Ok(self.submit(jobs, vec![Vec::new(); reqs.len()], reqs.len(), bytes, false))
     }
 
-    fn psync_write(&self, reqs: &[WriteRequest<'_>]) -> IoResult<BatchStats> {
+    fn submit_write(&self, reqs: &[WriteRequest<'_>]) -> IoResult<Ticket> {
         if reqs.is_empty() {
-            return Ok(BatchStats::default());
+            return Ok(Ticket::empty());
         }
-        let start = Instant::now();
         let jobs: Vec<Job> = reqs
             .iter()
             .map(|r| Job::Write {
@@ -138,32 +295,70 @@ impl ParallelIo for FileThreadPoolIo {
                 data: r.data.to_vec(),
             })
             .collect();
-        let mut out: Vec<Vec<u8>> = Vec::new();
-        self.run_jobs(jobs, &mut out)?;
-        // psync write semantics: the group is durable when the call returns.
-        self.file.sync_data()?;
-        let batch = BatchStats {
-            requests: reqs.len(),
-            bytes: reqs.iter().map(|r| r.data.len() as u64).sum(),
-            elapsed_us: start.elapsed().as_secs_f64() * 1e6,
-            context_switches: 2,
-        };
-        self.stats.lock().absorb(0, reqs.len() as u64, &batch);
-        Ok(batch)
+        let bytes = reqs.iter().map(|r| r.data.len() as u64).sum();
+        Ok(self.submit(jobs, Vec::new(), reqs.len(), bytes, true))
     }
 
-    fn stats(&self) -> IoStats {
-        *self.stats.lock()
+    fn wait(&self, ticket: Ticket) -> IoResult<Completion> {
+        if ticket.0 == EMPTY_TICKET {
+            return Ok(Completion::default());
+        }
+        let mut tickets = self.shared.tickets.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            match tickets.get(&ticket.0) {
+                None => return Err(IoError::UnknownTicket(ticket.0)),
+                Some(entry) if entry.done.is_some() => {
+                    let entry = tickets.remove(&ticket.0).expect("present");
+                    return self.shared.finish(entry);
+                }
+                Some(_) => {
+                    tickets = self.shared.done_cv.wait(tickets).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        }
     }
 
-    fn reset_stats(&self) {
-        *self.stats.lock() = IoStats::default();
+    fn try_complete(&self, ticket: Ticket) -> IoResult<TryComplete> {
+        if ticket.0 == EMPTY_TICKET {
+            return Ok(TryComplete::Ready(Completion::default()));
+        }
+        let mut tickets = self.shared.tickets.lock().unwrap_or_else(|e| e.into_inner());
+        match tickets.get(&ticket.0) {
+            None => Err(IoError::UnknownTicket(ticket.0)),
+            Some(entry) if entry.done.is_some() => {
+                let entry = tickets.remove(&ticket.0).expect("present");
+                Ok(TryComplete::Ready(self.shared.finish(entry)?))
+            }
+            Some(_) => Ok(TryComplete::Pending(ticket)),
+        }
+    }
+
+    fn io_stats(&self) -> IoStats {
+        *self.shared.stats.lock()
+    }
+
+    fn reset_io_stats(&self) {
+        *self.shared.stats.lock() = IoStats::default();
+    }
+}
+
+impl Drop for FileThreadPoolIo {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.jobs.lock().unwrap_or_else(|e| e.into_inner());
+            q.shutdown = true;
+        }
+        self.shared.jobs_cv.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ParallelIo;
 
     fn temp_path(name: &str) -> std::path::PathBuf {
         let mut p = std::env::temp_dir();
@@ -185,6 +380,25 @@ mod tests {
         }
         assert_eq!(stats.requests, 16);
         assert!(io.stats().writes == 16 && io.stats().reads == 16);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn interleaved_tickets_complete_independently() {
+        let path = temp_path("tickets");
+        let io = FileThreadPoolIo::open(&path, 4).unwrap();
+        let a = vec![0xAAu8; 4096];
+        let b = vec![0xBBu8; 4096];
+        let wa = io.submit_write(&[WriteRequest::new(0, &a)]).unwrap();
+        let wb = io.submit_write(&[WriteRequest::new(8192, &b)]).unwrap();
+        // Reap in reverse submission order: completions are independent.
+        io.wait(wb).unwrap();
+        io.wait(wa).unwrap();
+        let ra = io.submit_read(&[ReadRequest::new(0, 4096)]).unwrap();
+        let rb = io.submit_read(&[ReadRequest::new(8192, 4096)]).unwrap();
+        assert_eq!(io.wait(ra).unwrap().buffers[0], a);
+        assert_eq!(io.wait(rb).unwrap().buffers[0], b);
+        assert_eq!(io.io_stats().batches, 4);
         let _ = std::fs::remove_file(&path);
     }
 

@@ -1,54 +1,105 @@
-//! psync I/O backends.
+//! I/O backends implementing the [`crate::IoQueue`] submission/completion contract
+//! (and therefore, through the blanket shim, the blocking [`crate::ParallelIo`]
+//! psync contract).
 //!
 //! * [`psync`] — batch submission to the simulated SSD (the psync I/O of the paper).
 //! * [`sync`] — one request per submission (conventional synchronous I/O).
 //! * [`threaded`] — thread-per-I/O "parallel processing" emulation with the POSIX
 //!   shared-file write-ordering behaviour and context-switch accounting.
-//! * [`file`] — a real-file backend using positional reads/writes over a thread pool.
+//! * [`mod@file`] — a real-file backend: a persistent pool of positional-I/O
+//!   workers fed over a shared job queue.
+//!
+//! The simulated backends share one ticket engine (`SimShared`): every submission
+//! is scheduled on the device timeline with [`ssd_sim::SsdDevice::service_batch_at`],
+//! and submissions made while other tickets are in flight join the same scheduling
+//! window with a **common start time** — so overlapped tickets contend for the same
+//! channels, packages and host interface (the shared-device model of Figure 4).
 
 pub mod file;
 pub mod psync;
 pub mod sync;
 pub mod threaded;
 
-use crate::error::IoResult;
+use crate::error::{IoError, IoResult};
 use crate::memdisk::MemDisk;
+use crate::queue::{Completion, Ticket, TryComplete, EMPTY_TICKET};
 use crate::request::{ReadRequest, WriteRequest};
 use crate::stats::{BatchStats, IoStats};
 use parking_lot::Mutex;
-use ssd_sim::{IoKind, SsdDevice, SsdRequest};
+use ssd_sim::{IoKind, SsdDevice, SsdRequest, WindowScheduler};
+use std::collections::HashMap;
+use threaded::FileLayout;
 
-/// Shared state of the simulator-backed backends: the timing device, the data plane
-/// and the cumulative statistics, each behind its own lock.
+/// How a simulated backend turns one submission into device work.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Discipline {
+    /// The whole submission is one NCQ batch; tickets in flight together join one
+    /// scheduling window with a common start time (psync I/O).
+    Batch,
+    /// Every request is its own device submission, serviced one after another
+    /// (conventional synchronous I/O). Tickets serialise behind each other.
+    Serial,
+    /// Thread-per-I/O emulation: requests overlap per the file layout; tickets
+    /// serialise behind each other (each emulated thread group runs to completion).
+    Threaded(FileLayout),
+}
+
+/// One in-flight ticket: its (pre-computed) completion and when it lands.
+#[derive(Debug)]
+struct PendingIo {
+    /// Absolute simulated completion time, µs.
+    completion_us: f64,
+    completion: Completion,
+}
+
+/// The in-flight window of a simulated backend.
+#[derive(Debug, Default)]
+struct QueueState {
+    next_id: u64,
+    /// Start of the current overlap group on the device timeline, µs.
+    window_start: f64,
+    /// Incremental scheduler of the current group (`Batch` discipline) — extended
+    /// request by request, so a pipeline that always keeps a ticket in flight
+    /// pays O(requests), not O(requests²), and nothing is accumulated.
+    scheduler: Option<WindowScheduler>,
+    /// Completion frontier within the group (`Serial` / `Threaded` disciplines).
+    frontier_us: f64,
+    /// Latest completion time of any ticket in the current group, µs.
+    group_end_us: f64,
+    outstanding: HashMap<u64, PendingIo>,
+}
+
+impl QueueState {
+    fn begin_group(&mut self, now_us: f64) {
+        self.window_start = now_us;
+        self.scheduler = None;
+        self.frontier_us = now_us;
+        self.group_end_us = now_us;
+    }
+}
+
+/// Shared state of the simulator-backed backends: the timing device, the data
+/// plane, the in-flight ticket window and the cumulative statistics.
+///
+/// Lock order: `device` before `queue` before `stats`.
 #[derive(Debug)]
 pub(crate) struct SimShared {
     pub(crate) device: Mutex<SsdDevice>,
     pub(crate) disk: Mutex<MemDisk>,
     pub(crate) stats: Mutex<IoStats>,
+    queue: Mutex<QueueState>,
+    discipline: Discipline,
 }
 
 impl SimShared {
-    pub(crate) fn new(config: ssd_sim::SsdConfig, capacity_bytes: u64) -> Self {
+    pub(crate) fn new(config: ssd_sim::SsdConfig, capacity_bytes: u64, discipline: Discipline) -> Self {
         Self {
             device: Mutex::new(SsdDevice::new(config)),
             disk: Mutex::new(MemDisk::new(capacity_bytes)),
             stats: Mutex::new(IoStats::default()),
+            queue: Mutex::new(QueueState::default()),
+            discipline,
         }
-    }
-
-    /// Performs the data-plane part of a read batch (byte copies from the mem disk).
-    pub(crate) fn copy_out(&self, reqs: &[ReadRequest]) -> IoResult<Vec<Vec<u8>>> {
-        let disk = self.disk.lock();
-        reqs.iter().map(|r| disk.read(r.offset, r.len)).collect()
-    }
-
-    /// Performs the data-plane part of a write batch.
-    pub(crate) fn copy_in(&self, reqs: &[WriteRequest<'_>]) -> IoResult<()> {
-        let mut disk = self.disk.lock();
-        for r in reqs {
-            disk.write(r.offset, r.data)?;
-        }
-        Ok(())
     }
 
     /// Converts read requests into simulator requests.
@@ -65,8 +116,195 @@ impl SimShared {
             .collect()
     }
 
-    pub(crate) fn record(&self, reads: u64, writes: u64, batch: &BatchStats) {
-        self.stats.lock().absorb(reads, writes, batch);
+    // ---------------------------------------------------------------- submission --
+
+    /// Submits a read batch: the data plane is copied out immediately (the device
+    /// holds the data the moment the command is accepted) and the batch is placed
+    /// on the shared timeline.
+    pub(crate) fn submit_read(&self, reqs: &[ReadRequest], context_switches: u64) -> IoResult<Ticket> {
+        if reqs.is_empty() {
+            return Ok(Ticket::empty());
+        }
+        let buffers: Vec<Vec<u8>> = {
+            let disk = self.disk.lock();
+            reqs.iter()
+                .map(|r| disk.read(r.offset, r.len))
+                .collect::<IoResult<_>>()?
+        };
+        let sim_reqs = Self::to_sim_reads(reqs);
+        self.enqueue(sim_reqs, buffers, reqs.len() as u64, 0, context_switches)
+    }
+
+    /// Submits a write batch: the data plane is captured immediately (psync write
+    /// semantics make the batch durable by the time its completion is reaped).
+    pub(crate) fn submit_write(&self, reqs: &[WriteRequest<'_>], context_switches: u64) -> IoResult<Ticket> {
+        if reqs.is_empty() {
+            return Ok(Ticket::empty());
+        }
+        {
+            let mut disk = self.disk.lock();
+            for r in reqs {
+                disk.write(r.offset, r.data)?;
+            }
+        }
+        let sim_reqs = Self::to_sim_writes(reqs);
+        self.enqueue(sim_reqs, Vec::new(), 0, reqs.len() as u64, context_switches)
+    }
+
+    /// Places a batch on the device timeline per the backend's discipline and
+    /// registers its ticket.
+    fn enqueue(
+        &self,
+        sim_reqs: Vec<SsdRequest>,
+        buffers: Vec<Vec<u8>>,
+        reads: u64,
+        writes: u64,
+        context_switches: u64,
+    ) -> IoResult<Ticket> {
+        let mut device = self.device.lock();
+        let mut q = self.queue.lock();
+        if q.outstanding.is_empty() {
+            q.begin_group(device.now_us());
+        }
+        let completion_us = match self.discipline {
+            Discipline::Batch => {
+                // Extending the window never changes the schedule of earlier
+                // requests (the device services them in submission order), so
+                // already-issued tickets keep their completion times.
+                let window_start = q.window_start;
+                let scheduler = q.scheduler.get_or_insert_with(|| device.window_scheduler(window_start));
+                sim_reqs.iter().map(|r| scheduler.push(r)).fold(window_start, f64::max)
+            }
+            Discipline::Serial => {
+                let mut t = q.frontier_us;
+                for req in &sim_reqs {
+                    t += device.service_batch_at(t, std::slice::from_ref(req)).elapsed_us;
+                }
+                q.frontier_us = t;
+                t
+            }
+            Discipline::Threaded(layout) => {
+                let end = q.frontier_us + threaded_elapsed(&device, layout, q.frontier_us, &sim_reqs);
+                q.frontier_us = end;
+                end
+            }
+        };
+        let bytes: u64 = sim_reqs.iter().map(|r| r.len).sum();
+        let batch = BatchStats {
+            requests: sim_reqs.len(),
+            bytes,
+            elapsed_us: completion_us - q.window_start,
+            context_switches,
+        };
+        device.note_serviced(&sim_reqs);
+        q.group_end_us = q.group_end_us.max(completion_us);
+        let id = q.next_id;
+        q.next_id += 1;
+        q.outstanding.insert(
+            id,
+            PendingIo {
+                completion_us,
+                completion: Completion { buffers, stats: batch },
+            },
+        );
+        // Device time is charged once per overlap group (at the final reap);
+        // everything else is counted at submission.
+        self.stats.lock().absorb(
+            reads,
+            writes,
+            &BatchStats {
+                elapsed_us: 0.0,
+                ..batch
+            },
+        );
+        Ok(Ticket(id))
+    }
+
+    // ---------------------------------------------------------------- completion --
+
+    /// Blocks (logically — simulated time needs no waiting) until `ticket`
+    /// completes.
+    pub(crate) fn wait(&self, ticket: Ticket) -> IoResult<Completion> {
+        if ticket.0 == EMPTY_TICKET {
+            return Ok(Completion::default());
+        }
+        let mut device = self.device.lock();
+        let mut q = self.queue.lock();
+        let pending = q
+            .outstanding
+            .remove(&ticket.0)
+            .ok_or(IoError::UnknownTicket(ticket.0))?;
+        self.reap(&mut device, &mut q);
+        Ok(pending.completion)
+    }
+
+    /// Polls `ticket`: it is ready exactly when no other in-flight ticket completes
+    /// before it, so a polling driver reaps completions in landing order.
+    pub(crate) fn try_complete(&self, ticket: Ticket) -> IoResult<TryComplete> {
+        if ticket.0 == EMPTY_TICKET {
+            return Ok(TryComplete::Ready(Completion::default()));
+        }
+        let mut device = self.device.lock();
+        let mut q = self.queue.lock();
+        let mine = q
+            .outstanding
+            .get(&ticket.0)
+            .ok_or(IoError::UnknownTicket(ticket.0))?
+            .completion_us;
+        let earliest = q
+            .outstanding
+            .values()
+            .map(|p| p.completion_us)
+            .fold(f64::INFINITY, f64::min);
+        if mine > earliest {
+            return Ok(TryComplete::Pending(ticket));
+        }
+        let pending = q.outstanding.remove(&ticket.0).expect("looked up above");
+        self.reap(&mut device, &mut q);
+        Ok(TryComplete::Ready(pending.completion))
+    }
+
+    /// Bookkeeping after removing a ticket: when the group drains, the device
+    /// clock advances past it and its makespan is charged to the cumulative stats.
+    fn reap(&self, device: &mut SsdDevice, q: &mut QueueState) {
+        if q.outstanding.is_empty() {
+            let makespan = q.group_end_us - q.window_start;
+            device.advance_clock_to(q.group_end_us);
+            q.scheduler = None;
+            if makespan > 0.0 {
+                self.stats.lock().elapsed_us += makespan;
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------- services --
+
+    /// Services a kind-interleaved request sequence *now* (no ticket), preserving
+    /// the submission interleaving — the Figure-4 micro-benchmark path. Requires an
+    /// empty in-flight window. Returns the elapsed simulated time; the clock
+    /// advances but no backend statistics are recorded (matching the old direct
+    /// `service` helper).
+    pub(crate) fn service_mixed_now(&self, sim_reqs: &[SsdRequest]) -> f64 {
+        let mut device = self.device.lock();
+        let q = self.queue.lock();
+        assert!(
+            q.outstanding.is_empty(),
+            "mixed servicing requires an idle backend (no tickets in flight)"
+        );
+        let start = device.now_us();
+        let elapsed = match self.discipline {
+            Discipline::Batch => device.service_batch_at(start, sim_reqs).elapsed_us,
+            Discipline::Serial => {
+                let mut t = start;
+                for req in sim_reqs {
+                    t += device.service_batch_at(t, std::slice::from_ref(req)).elapsed_us;
+                }
+                t - start
+            }
+            Discipline::Threaded(layout) => threaded_elapsed(&device, layout, start, sim_reqs),
+        };
+        device.advance_clock_to(start + elapsed);
+        elapsed
     }
 
     pub(crate) fn stats(&self) -> IoStats {
@@ -75,5 +313,42 @@ impl SimShared {
 
     pub(crate) fn reset_stats(&self) {
         *self.stats.lock() = IoStats::default();
+    }
+}
+
+/// Elapsed time of one thread-per-I/O submission under `layout`, starting at
+/// `start_us`:
+///
+/// * `SeparateFiles`: the emulated threads genuinely overlap — the whole set is one
+///   device batch;
+/// * `SharedFile`: maximal runs of consecutive reads are batched (shared lock), but
+///   every write is an exclusive section and is serviced on its own.
+fn threaded_elapsed(device: &SsdDevice, layout: FileLayout, start_us: f64, sim_reqs: &[SsdRequest]) -> f64 {
+    match layout {
+        FileLayout::SeparateFiles => device.service_batch_at(start_us, sim_reqs).elapsed_us,
+        FileLayout::SharedFile => {
+            if sim_reqs.iter().all(|r| r.kind.is_read()) {
+                // Readers share the lock: they still overlap.
+                return device.service_batch_at(start_us, sim_reqs).elapsed_us;
+            }
+            let mut t = start_us;
+            let mut run: Vec<SsdRequest> = Vec::new();
+            for req in sim_reqs {
+                if req.kind.is_read() {
+                    run.push(*req);
+                } else {
+                    if !run.is_empty() {
+                        t += device.service_batch_at(t, &run).elapsed_us;
+                        run.clear();
+                    }
+                    // Exclusive writer: nothing overlaps with it.
+                    t += device.service_batch_at(t, std::slice::from_ref(req)).elapsed_us;
+                }
+            }
+            if !run.is_empty() {
+                t += device.service_batch_at(t, &run).elapsed_us;
+            }
+            t - start_us
+        }
     }
 }

@@ -1,22 +1,24 @@
 //! The faithful psync I/O backend: one call → one NCQ window on the simulated SSD.
 
-use super::SimShared;
+use super::{Discipline, SimShared};
 use crate::error::IoResult;
+use crate::queue::{Completion, IoQueue, Ticket, TryComplete};
 use crate::request::{ReadRequest, WriteRequest};
-use crate::stats::{BatchStats, IoStats};
-use crate::ParallelIo;
+use crate::stats::IoStats;
 use ssd_sim::SsdConfig;
 
-/// Context switches charged per psync call: one to sleep while the batch is in
-/// flight, one to wake up when the last completion arrives.
+/// Context switches charged per psync submission: one to sleep while the batch is
+/// in flight, one to wake up when the last completion arrives.
 const SWITCHES_PER_CALL: u64 = 2;
 
 /// psync I/O over the simulated SSD.
 ///
-/// All requests of one call are delivered to the device as a single batch, so the
-/// device's scheduler sees them in the same NCQ window and can spread them over its
-/// channels — exactly the behaviour the paper's wrapper around `io_submit` /
-/// `io_getevents` is designed to obtain.
+/// All requests of one submission are delivered to the device as a single batch, so
+/// the device's scheduler sees them in the same NCQ window and can spread them over
+/// its channels — exactly the behaviour the paper's wrapper around `io_submit` /
+/// `io_getevents` is designed to obtain. Batches submitted while other tickets are
+/// in flight join the same scheduling window (common start time) and contend for
+/// the shared device.
 #[derive(Debug)]
 pub struct SimPsyncIo {
     shared: SimShared,
@@ -27,7 +29,7 @@ impl SimPsyncIo {
     /// addressable storage.
     pub fn new(config: SsdConfig, capacity_bytes: u64) -> Self {
         Self {
-            shared: SimShared::new(config, capacity_bytes),
+            shared: SimShared::new(config, capacity_bytes, Discipline::Batch),
         }
     }
 
@@ -42,46 +44,28 @@ impl SimPsyncIo {
     }
 }
 
-impl ParallelIo for SimPsyncIo {
-    fn psync_read(&self, reqs: &[ReadRequest]) -> IoResult<(Vec<Vec<u8>>, BatchStats)> {
-        if reqs.is_empty() {
-            return Ok((Vec::new(), BatchStats::default()));
-        }
-        let bufs = self.shared.copy_out(reqs)?;
-        let sim_reqs = SimShared::to_sim_reads(reqs);
-        let result = self.shared.device.lock().submit_batch(&sim_reqs);
-        let batch = BatchStats {
-            requests: reqs.len(),
-            bytes: result.bytes,
-            elapsed_us: result.elapsed_us,
-            context_switches: SWITCHES_PER_CALL,
-        };
-        self.shared.record(reqs.len() as u64, 0, &batch);
-        Ok((bufs, batch))
+impl IoQueue for SimPsyncIo {
+    fn submit_read(&self, reqs: &[ReadRequest]) -> IoResult<Ticket> {
+        self.shared.submit_read(reqs, SWITCHES_PER_CALL)
     }
 
-    fn psync_write(&self, reqs: &[WriteRequest<'_>]) -> IoResult<BatchStats> {
-        if reqs.is_empty() {
-            return Ok(BatchStats::default());
-        }
-        self.shared.copy_in(reqs)?;
-        let sim_reqs = SimShared::to_sim_writes(reqs);
-        let result = self.shared.device.lock().submit_batch(&sim_reqs);
-        let batch = BatchStats {
-            requests: reqs.len(),
-            bytes: result.bytes,
-            elapsed_us: result.elapsed_us,
-            context_switches: SWITCHES_PER_CALL,
-        };
-        self.shared.record(0, reqs.len() as u64, &batch);
-        Ok(batch)
+    fn submit_write(&self, reqs: &[WriteRequest<'_>]) -> IoResult<Ticket> {
+        self.shared.submit_write(reqs, SWITCHES_PER_CALL)
     }
 
-    fn stats(&self) -> IoStats {
+    fn wait(&self, ticket: Ticket) -> IoResult<Completion> {
+        self.shared.wait(ticket)
+    }
+
+    fn try_complete(&self, ticket: Ticket) -> IoResult<TryComplete> {
+        self.shared.try_complete(ticket)
+    }
+
+    fn io_stats(&self) -> IoStats {
         self.shared.stats()
     }
 
-    fn reset_stats(&self) {
+    fn reset_io_stats(&self) {
         self.shared.reset_stats();
     }
 }
@@ -89,6 +73,7 @@ impl ParallelIo for SimPsyncIo {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ParallelIo;
     use ssd_sim::DeviceProfile;
 
     fn io() -> SimPsyncIo {

@@ -4,17 +4,19 @@
 //! next node). It deliberately cannot exploit channel-level parallelism and is the
 //! baseline against which psync I/O is compared throughout the paper.
 
-use super::SimShared;
+use super::{Discipline, SimShared};
 use crate::error::IoResult;
+use crate::queue::{Completion, IoQueue, Ticket, TryComplete};
 use crate::request::{ReadRequest, WriteRequest};
-use crate::stats::{BatchStats, IoStats};
-use crate::ParallelIo;
+use crate::stats::IoStats;
 use ssd_sim::SsdConfig;
 
 /// Context switches charged per synchronous request (sleep + wake).
 const SWITCHES_PER_REQUEST: u64 = 2;
 
-/// Synchronous one-at-a-time I/O over the simulated SSD.
+/// Synchronous one-at-a-time I/O over the simulated SSD. Even when handed a group,
+/// a synchronous caller issues the requests one at a time, and submissions
+/// serialise behind whatever is already in flight.
 #[derive(Debug)]
 pub struct SimSyncIo {
     shared: SimShared,
@@ -25,7 +27,7 @@ impl SimSyncIo {
     /// addressable storage.
     pub fn new(config: SsdConfig, capacity_bytes: u64) -> Self {
         Self {
-            shared: SimShared::new(config, capacity_bytes),
+            shared: SimShared::new(config, capacity_bytes, Discipline::Serial),
         }
     }
 
@@ -40,47 +42,28 @@ impl SimSyncIo {
     }
 }
 
-impl ParallelIo for SimSyncIo {
-    fn psync_read(&self, reqs: &[ReadRequest]) -> IoResult<(Vec<Vec<u8>>, BatchStats)> {
-        if reqs.is_empty() {
-            return Ok((Vec::new(), BatchStats::default()));
-        }
-        let bufs = self.shared.copy_out(reqs)?;
-        let sim_reqs = SimShared::to_sim_reads(reqs);
-        // Even when handed a group, a synchronous caller issues them one at a time.
-        let result = self.shared.device.lock().submit_serial(&sim_reqs);
-        let batch = BatchStats {
-            requests: reqs.len(),
-            bytes: result.bytes,
-            elapsed_us: result.elapsed_us,
-            context_switches: SWITCHES_PER_REQUEST * reqs.len() as u64,
-        };
-        self.shared.record(reqs.len() as u64, 0, &batch);
-        Ok((bufs, batch))
+impl IoQueue for SimSyncIo {
+    fn submit_read(&self, reqs: &[ReadRequest]) -> IoResult<Ticket> {
+        self.shared.submit_read(reqs, SWITCHES_PER_REQUEST * reqs.len() as u64)
     }
 
-    fn psync_write(&self, reqs: &[WriteRequest<'_>]) -> IoResult<BatchStats> {
-        if reqs.is_empty() {
-            return Ok(BatchStats::default());
-        }
-        self.shared.copy_in(reqs)?;
-        let sim_reqs = SimShared::to_sim_writes(reqs);
-        let result = self.shared.device.lock().submit_serial(&sim_reqs);
-        let batch = BatchStats {
-            requests: reqs.len(),
-            bytes: result.bytes,
-            elapsed_us: result.elapsed_us,
-            context_switches: SWITCHES_PER_REQUEST * reqs.len() as u64,
-        };
-        self.shared.record(0, reqs.len() as u64, &batch);
-        Ok(batch)
+    fn submit_write(&self, reqs: &[WriteRequest<'_>]) -> IoResult<Ticket> {
+        self.shared.submit_write(reqs, SWITCHES_PER_REQUEST * reqs.len() as u64)
     }
 
-    fn stats(&self) -> IoStats {
+    fn wait(&self, ticket: Ticket) -> IoResult<Completion> {
+        self.shared.wait(ticket)
+    }
+
+    fn try_complete(&self, ticket: Ticket) -> IoResult<TryComplete> {
+        self.shared.try_complete(ticket)
+    }
+
+    fn io_stats(&self) -> IoStats {
         self.shared.stats()
     }
 
-    fn reset_stats(&self) {
+    fn reset_io_stats(&self) {
         self.shared.reset_stats();
     }
 }
@@ -89,6 +72,7 @@ impl ParallelIo for SimSyncIo {
 mod tests {
     use super::*;
     use crate::backend::psync::SimPsyncIo;
+    use crate::ParallelIo;
     use ssd_sim::DeviceProfile;
 
     #[test]

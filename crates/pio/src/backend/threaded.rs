@@ -16,11 +16,11 @@
 //! This backend models both effects on top of the simulated device, so the Figure-4
 //! comparison can be regenerated deterministically without spawning real threads.
 
-use super::SimShared;
+use super::{Discipline, SimShared};
 use crate::error::IoResult;
+use crate::queue::{Completion, IoQueue, Ticket, TryComplete};
 use crate::request::{ReadRequest, WriteRequest};
-use crate::stats::{BatchStats, IoStats};
-use crate::ParallelIo;
+use crate::stats::IoStats;
 use ssd_sim::{SsdConfig, SsdRequest};
 
 /// How the emulated worker threads map their I/O onto files.
@@ -50,7 +50,7 @@ impl SimThreadedIo {
     /// Creates the backend with the given file layout.
     pub fn new(config: SsdConfig, capacity_bytes: u64, layout: FileLayout) -> Self {
         Self {
-            shared: SimShared::new(config, capacity_bytes),
+            shared: SimShared::new(config, capacity_bytes, Discipline::Threaded(layout)),
             layout,
         }
     }
@@ -64,86 +64,32 @@ impl SimThreadedIo {
     pub fn layout(&self) -> FileLayout {
         self.layout
     }
-
-    /// Services a set of simulator requests under the configured layout and returns
-    /// the elapsed simulated time.
-    ///
-    /// * `SeparateFiles`: the whole set goes to the device as one batch (the threads
-    ///   genuinely overlap).
-    /// * `SharedFile`: maximal runs of consecutive reads are batched (shared lock),
-    ///   but every write is an exclusive section and is submitted on its own.
-    fn service(&self, sim_reqs: &[SsdRequest], any_write: bool) -> f64 {
-        let mut device = self.shared.device.lock();
-        match self.layout {
-            FileLayout::SeparateFiles => device.submit_batch(sim_reqs).elapsed_us,
-            FileLayout::SharedFile => {
-                if !any_write {
-                    // Readers share the lock: they still overlap.
-                    return device.submit_batch(sim_reqs).elapsed_us;
-                }
-                let mut elapsed = 0.0;
-                let mut run: Vec<SsdRequest> = Vec::new();
-                for req in sim_reqs {
-                    if req.kind.is_read() {
-                        run.push(*req);
-                    } else {
-                        if !run.is_empty() {
-                            elapsed += device.submit_batch(&run).elapsed_us;
-                            run.clear();
-                        }
-                        // Exclusive writer: nothing overlaps with it.
-                        elapsed += device.submit_batch(std::slice::from_ref(req)).elapsed_us;
-                    }
-                }
-                if !run.is_empty() {
-                    elapsed += device.submit_batch(&run).elapsed_us;
-                }
-                elapsed
-            }
-        }
-    }
 }
 
-impl ParallelIo for SimThreadedIo {
-    fn psync_read(&self, reqs: &[ReadRequest]) -> IoResult<(Vec<Vec<u8>>, BatchStats)> {
-        if reqs.is_empty() {
-            return Ok((Vec::new(), BatchStats::default()));
-        }
-        let bufs = self.shared.copy_out(reqs)?;
-        let sim_reqs = SimShared::to_sim_reads(reqs);
-        let elapsed = self.service(&sim_reqs, false);
-        let batch = BatchStats {
-            requests: reqs.len(),
-            bytes: reqs.iter().map(|r| r.len as u64).sum(),
-            elapsed_us: elapsed,
-            context_switches: SWITCHES_PER_THREADED_REQUEST * reqs.len() as u64,
-        };
-        self.shared.record(reqs.len() as u64, 0, &batch);
-        Ok((bufs, batch))
+impl IoQueue for SimThreadedIo {
+    fn submit_read(&self, reqs: &[ReadRequest]) -> IoResult<Ticket> {
+        self.shared
+            .submit_read(reqs, SWITCHES_PER_THREADED_REQUEST * reqs.len() as u64)
     }
 
-    fn psync_write(&self, reqs: &[WriteRequest<'_>]) -> IoResult<BatchStats> {
-        if reqs.is_empty() {
-            return Ok(BatchStats::default());
-        }
-        self.shared.copy_in(reqs)?;
-        let sim_reqs = SimShared::to_sim_writes(reqs);
-        let elapsed = self.service(&sim_reqs, true);
-        let batch = BatchStats {
-            requests: reqs.len(),
-            bytes: reqs.iter().map(|r| r.data.len() as u64).sum(),
-            elapsed_us: elapsed,
-            context_switches: SWITCHES_PER_THREADED_REQUEST * reqs.len() as u64,
-        };
-        self.shared.record(0, reqs.len() as u64, &batch);
-        Ok(batch)
+    fn submit_write(&self, reqs: &[WriteRequest<'_>]) -> IoResult<Ticket> {
+        self.shared
+            .submit_write(reqs, SWITCHES_PER_THREADED_REQUEST * reqs.len() as u64)
     }
 
-    fn stats(&self) -> IoStats {
+    fn wait(&self, ticket: Ticket) -> IoResult<Completion> {
+        self.shared.wait(ticket)
+    }
+
+    fn try_complete(&self, ticket: Ticket) -> IoResult<TryComplete> {
+        self.shared.try_complete(ticket)
+    }
+
+    fn io_stats(&self) -> IoStats {
         self.shared.stats()
     }
 
-    fn reset_stats(&self) {
+    fn reset_io_stats(&self) {
         self.shared.reset_stats();
     }
 }
@@ -165,13 +111,13 @@ pub fn mixed_threaded_elapsed(
             }
         })
         .collect();
-    let any_write = reqs.iter().any(|&(is_read, _, _)| !is_read);
-    backend.service(&sim_reqs, any_write)
+    backend.shared.service_mixed_now(&sim_reqs)
 }
 
 /// Services the same mixed workload through a psync backend (single batch) and
 /// returns the elapsed simulated time. Companion of [`mixed_threaded_elapsed`].
 pub fn mixed_psync_elapsed(backend: &crate::SimPsyncIo, reqs: &[(bool, u64, u64)]) -> f64 {
+    use crate::ParallelIo;
     // psync submits the whole group at once; reads and writes are split into two
     // calls in index code, but the Figure-4 micro-benchmark intentionally submits
     // the mixed group as one batch, which the trait models as read-batch followed by
@@ -203,6 +149,7 @@ pub fn mixed_psync_elapsed(backend: &crate::SimPsyncIo, reqs: &[(bool, u64, u64)
 mod tests {
     use super::*;
     use crate::backend::psync::SimPsyncIo;
+    use crate::ParallelIo;
     use ssd_sim::DeviceProfile;
 
     const CAP: u64 = 64 * 1024 * 1024;

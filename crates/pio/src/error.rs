@@ -25,6 +25,9 @@ pub enum IoError {
     WorkerFailed(String),
     /// A caller-supplied configuration failed validation before any I/O was issued.
     InvalidConfig(String),
+    /// A completion was requested for a ticket this backend never issued (or one
+    /// that was already reaped).
+    UnknownTicket(u64),
 }
 
 impl fmt::Display for IoError {
@@ -39,6 +42,7 @@ impl fmt::Display for IoError {
             IoError::Os(e) => write!(f, "operating system I/O error: {e}"),
             IoError::WorkerFailed(msg) => write!(f, "I/O worker failed: {msg}"),
             IoError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            IoError::UnknownTicket(id) => write!(f, "unknown or already-completed I/O ticket {id}"),
         }
     }
 }

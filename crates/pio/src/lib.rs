@@ -1,18 +1,31 @@
-//! # pio — psync I/O (parallel synchronous I/O)
+//! # pio — submission/completion I/O for the PIO B-tree
 //!
 //! Section 2.3 of the PIO B-tree paper defines **psync I/O**: an I/O primitive that
 //! submits an *array* of requests at once, keeps the group together all the way to
 //! the I/O scheduler, and blocks the caller until every request in the group has
-//! completed. It is the lightweight alternative to spawning one thread per
-//! outstanding I/O, and it is the mechanism through which the PIO B-tree exploits
-//! the channel-level parallelism of flash SSDs.
+//! completed. The paper *emulates* it with Linux libaio — `io_submit` followed by a
+//! full-wait `io_getevents` — which means the blocking call is a convenience
+//! wrapper over an inherently asynchronous **submission/completion** interface.
 //!
-//! The paper emulates psync I/O with Linux libaio (`io_submit` + `io_getevents`).
-//! This crate defines the same contract as the [`ParallelIo`] trait and provides
-//! four backends:
+//! This crate models the I/O layer the same way, in two tiers:
 //!
-//! * [`SimPsyncIo`] — the faithful psync backend: a whole batch is serviced as one
-//!   NCQ window of the [`ssd_sim`] device.
+//! * [`IoQueue`] is the primary contract: [`IoQueue::submit_read`] /
+//!   [`IoQueue::submit_write`] hand a whole batch to the device and return a
+//!   [`Ticket`]; [`IoQueue::wait`] and [`IoQueue::try_complete`] reap the
+//!   [`Completion`] (buffers + [`BatchStats`]). A caller may hold several tickets
+//!   in flight; batches outstanding together **overlap on the device** and contend
+//!   for its channels and host interface.
+//! * [`ParallelIo`] is the paper's blocking psync contract, kept as a thin
+//!   compatibility shim: a blanket implementation turns every [`IoQueue`] into a
+//!   [`ParallelIo`] by submitting and immediately waiting, so code written against
+//!   the blocking interface keeps working unchanged.
+//!
+//! Four backends implement [`IoQueue`]:
+//!
+//! * [`SimPsyncIo`] — the faithful psync backend: a submission is one NCQ window of
+//!   the [`ssd_sim`] device, and concurrently outstanding tickets join a shared
+//!   scheduling window with a common start time (the shared-device contention
+//!   model of Figure 4).
 //! * [`SimSyncIo`] — conventional synchronous I/O: every request is its own device
 //!   submission. This is what a textbook B+-tree uses and is the baseline of every
 //!   comparison in the paper.
@@ -21,11 +34,13 @@
 //!   shared file (Figure 4 a), behaves like psync I/O on separate files
 //!   (Figure 4 b), and pays an order of magnitude more context switches
 //!   (Figure 4 c).
-//! * [`FileThreadPoolIo`] — a real-file backend (pread/pwrite fanned out over a
-//!   thread pool) for running the index on an actual disk rather than the simulator.
+//! * [`FileThreadPoolIo`] — a real-file backend: a persistent pool of positional
+//!   I/O workers drains a shared job queue, tickets complete in any order, and a
+//!   reaped write ticket is durable.
 //!
-//! All backends implement [`ParallelIo`] behind `&self` (interior mutability), so a
-//! single backend can be shared by the concurrent index variants.
+//! All backends work behind `&self` (interior mutability), so a single backend can
+//! be shared by the concurrent index variants and by multiple submitters holding
+//! interleaved tickets.
 
 #![warn(missing_docs)]
 // `unsafe` is confined to the aligned-buffer allocator in `aligned.rs`.
@@ -35,6 +50,7 @@ pub mod aligned;
 pub mod backend;
 pub mod error;
 pub mod memdisk;
+pub mod queue;
 pub mod request;
 pub mod stats;
 
@@ -45,12 +61,11 @@ pub use backend::sync::SimSyncIo;
 pub use backend::threaded::{FileLayout, SimThreadedIo};
 pub use error::{IoError, IoResult};
 pub use memdisk::MemDisk;
+pub use queue::{Completion, IoQueue, Ticket, TryComplete};
 pub use request::{ReadRequest, WriteRequest};
 pub use stats::{BatchStats, IoStats};
 
-use std::sync::Arc;
-
-/// The psync I/O contract (Section 2.3 of the paper).
+/// The blocking psync I/O contract (Section 2.3 of the paper).
 ///
 /// 1. A call delivers a *set* of I/Os and returns only after every I/O in the set has
 ///    completed; another set can be submitted only afterwards.
@@ -62,6 +77,11 @@ use std::sync::Arc;
 /// Reads and writes are submitted through separate calls, which also encodes the
 /// paper's Principle 3 (*no mingled read/writes*): an index that wants to avoid the
 /// interference penalty simply never mixes kinds within one call.
+///
+/// This trait is the **compatibility shim** over [`IoQueue`]: every queue
+/// implements it via the blanket impl below (submit + immediate wait), which is
+/// exactly how the paper builds psync I/O out of `io_submit`/`io_getevents`.
+/// Hot paths that want to hold several batches in flight use [`IoQueue`] directly.
 pub trait ParallelIo: Send + Sync {
     /// Reads every request in `reqs` and returns one owned buffer per request, in
     /// request order, together with the simulated/elapsed time of the batch.
@@ -94,22 +114,24 @@ pub trait ParallelIo: Send + Sync {
     fn reset_stats(&self);
 }
 
-/// Blanket implementation so `Arc<B>` can be used wherever a backend is expected.
-impl<T: ParallelIo + ?Sized> ParallelIo for Arc<T> {
+/// The compatibility shim: every submission/completion queue is a blocking psync
+/// backend — submit the batch, then wait for its single ticket.
+impl<Q: IoQueue + ?Sized> ParallelIo for Q {
     fn psync_read(&self, reqs: &[ReadRequest]) -> IoResult<(Vec<Vec<u8>>, BatchStats)> {
-        (**self).psync_read(reqs)
+        let done = self.wait(self.submit_read(reqs)?)?;
+        Ok((done.buffers, done.stats))
     }
 
     fn psync_write(&self, reqs: &[WriteRequest<'_>]) -> IoResult<BatchStats> {
-        (**self).psync_write(reqs)
+        Ok(self.wait(self.submit_write(reqs)?)?.stats)
     }
 
     fn stats(&self) -> IoStats {
-        (**self).stats()
+        self.io_stats()
     }
 
     fn reset_stats(&self) {
-        (**self).reset_stats()
+        self.reset_io_stats()
     }
 }
 
@@ -117,6 +139,7 @@ impl<T: ParallelIo + ?Sized> ParallelIo for Arc<T> {
 mod tests {
     use super::*;
     use ssd_sim::DeviceProfile;
+    use std::sync::Arc;
 
     #[test]
     fn arc_blanket_impl_forwards() {
@@ -127,5 +150,35 @@ mod tests {
         assert!(io.stats().writes >= 1);
         io.reset_stats();
         assert_eq!(io.stats().writes, 0);
+    }
+
+    #[test]
+    fn shim_matches_explicit_submit_wait() {
+        // The same workload driven through the blocking shim and through explicit
+        // submit/wait must be byte- and stat-identical.
+        let blocking = SimPsyncIo::with_profile(DeviceProfile::P300, 1 << 24);
+        let ticketed = SimPsyncIo::with_profile(DeviceProfile::P300, 1 << 24);
+        let payload: Vec<(u64, Vec<u8>)> = (0..8u64).map(|i| (i * 8192, vec![i as u8; 4096])).collect();
+        let writes: Vec<WriteRequest> = payload.iter().map(|(o, d)| WriteRequest::new(*o, d)).collect();
+        let reads: Vec<ReadRequest> = payload.iter().map(|(o, d)| ReadRequest::new(*o, d.len())).collect();
+
+        let w1 = blocking.psync_write(&writes).unwrap();
+        let w2 = ticketed.wait(ticketed.submit_write(&writes).unwrap()).unwrap();
+        assert_eq!(w1, w2.stats);
+
+        let (b1, r1) = blocking.psync_read(&reads).unwrap();
+        let c2 = ticketed.wait(ticketed.submit_read(&reads).unwrap()).unwrap();
+        assert_eq!(b1, c2.buffers);
+        assert_eq!(r1, c2.stats);
+        assert_eq!(blocking.stats(), ticketed.io_stats());
+    }
+
+    #[test]
+    fn dyn_io_queue_is_a_parallel_io() {
+        // The shim must also apply to trait objects, so stores can hold
+        // `Arc<dyn IoQueue>` while legacy code calls psync methods on it.
+        let io: Arc<dyn IoQueue> = Arc::new(SimPsyncIo::with_profile(DeviceProfile::F120, 1 << 20));
+        io.write_at(4096, b"dyn").unwrap();
+        assert_eq!(io.read_at(4096, 3).unwrap(), b"dyn");
     }
 }

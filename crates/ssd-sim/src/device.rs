@@ -101,6 +101,40 @@ impl SsdDevice {
         self.stats = DeviceStats::default();
     }
 
+    /// Advances the simulated clock to `t_us` (a no-op if the clock is already at
+    /// or past it). Drivers that schedule in-flight batches with
+    /// [`SsdDevice::service_batch_at`] use this to move the timeline past a drained
+    /// scheduling window.
+    pub fn advance_clock_to(&mut self, t_us: f64) {
+        self.clock.advance_to(t_us);
+    }
+
+    /// Records a batch that an external driver scheduled with
+    /// [`SsdDevice::service_batch_at`] into the request/byte counters, so the
+    /// device statistics stay meaningful for ticketed submission paths that never
+    /// call [`SsdDevice::submit_batch`]. Busy time is not charged here — the
+    /// driver owns the timeline and advances it via
+    /// [`SsdDevice::advance_clock_to`].
+    pub fn note_serviced(&mut self, requests: &[SsdRequest]) {
+        self.stats.batches += 1;
+        for r in requests {
+            match r.kind {
+                IoKind::Read => {
+                    self.stats.reads += 1;
+                    self.stats.read_bytes += r.len;
+                }
+                IoKind::Write => {
+                    self.stats.writes += 1;
+                    self.stats.write_bytes += r.len;
+                }
+            }
+        }
+        let window = requests.len().min(self.config.ncq_depth);
+        if window > self.stats.max_outstanding {
+            self.stats.max_outstanding = window;
+        }
+    }
+
     /// Services `requests` as one submission: the requests are treated as queued
     /// together (split into NCQ windows of `ncq_depth`), the simulated clock advances
     /// by the elapsed time, and per-request latencies are returned.
@@ -156,22 +190,9 @@ impl SsdDevice {
     }
 
     /// Computes the service schedule for a batch starting at simulated time
-    /// `start_us`, without touching the device clock or statistics.
-    ///
-    /// The model:
-    /// * each request is decomposed into flash-page operations placed on
-    ///   `(channel, package)` by the striping layout;
-    /// * a **read** occupies its package for `cell_read_us`, then the channel bus for
-    ///   the page transfer;
-    /// * a **write** occupies the channel bus for the transfer, then its package for
-    ///   `cell_program_us` (the bus is released during programming — the
-    ///   write-interleaving effect described in Section 2.1);
-    /// * consecutive bus operations of different kinds on the same channel pay
-    ///   `rw_switch_penalty_us` (read/write interference, Figure 3(c));
-    /// * every completed page crosses the shared host interface, which serialises
-    ///   transfers at `host_us_per_kb` and caps aggregate bandwidth;
-    /// * each request pays `controller_overhead_us` once;
-    /// * requests beyond `ncq_depth` are serviced in subsequent windows.
+    /// `start_us`, without touching the device clock or statistics. Equivalent to
+    /// feeding the batch through a fresh [`WindowScheduler`] (see there for the
+    /// timing model).
     pub fn service_batch_at(&self, start_us: f64, requests: &[SsdRequest]) -> BatchResult {
         if requests.is_empty() {
             return BatchResult {
@@ -180,92 +201,162 @@ impl SsdDevice {
                 bytes: 0,
             };
         }
-
-        let cfg = &self.config;
-        let mut channels = vec![ChannelState::default(); cfg.channels];
-        let mut packages = vec![vec![0.0f64; cfg.packages_per_channel]; cfg.channels];
-        let mut host_free_us = start_us;
-        let mut latencies = vec![0.0f64; requests.len()];
-        let mut window_start = start_us;
+        let mut scheduler = self.window_scheduler(start_us);
+        let mut latencies = Vec::with_capacity(requests.len());
         let mut bytes = 0u64;
-
-        for c in channels.iter_mut() {
-            c.bus_free_us = start_us;
+        for req in requests {
+            latencies.push(scheduler.push(req) - start_us);
+            bytes += req.len;
         }
-
-        for (window_idx, window) in requests.chunks(cfg.ncq_depth).enumerate() {
-            let base = window_idx * cfg.ncq_depth;
-            let mut window_end = window_start;
-            for (idx_in_window, req) in window.iter().enumerate() {
-                let first_page = req.offset / cfg.flash_page_bytes;
-                let n_pages = cfg.pages_spanned(req.offset, req.len);
-                let page_kb = cfg.flash_page_bytes as f64 / 1024.0;
-                let mut req_done = window_start;
-
-                for p in 0..n_pages {
-                    let (ch, pk) = cfg.locate_page(first_page + p);
-                    let chan = &mut channels[ch];
-                    let pkg_free = packages[ch][pk];
-                    let mut switch = 0.0;
-                    if let Some(last) = chan.last_kind {
-                        if last != req.kind {
-                            switch = cfg.rw_switch_penalty_us;
-                        }
-                    }
-                    let transfer_us = page_kb * cfg.channel_us_per_kb;
-                    let flash_done;
-                    match req.kind {
-                        IoKind::Read => {
-                            // cell read on the package, then bus transfer out.
-                            let cell_start = pkg_free.max(window_start);
-                            let cell_end = cell_start + cfg.cell_read_us;
-                            let bus_start = cell_end.max(chan.bus_free_us) + switch;
-                            let bus_end = bus_start + transfer_us;
-                            chan.bus_free_us = bus_end;
-                            packages[ch][pk] = bus_end;
-                            flash_done = bus_end;
-                        }
-                        IoKind::Write => {
-                            // bus transfer in, then programming on the package
-                            // (bus is free while the package programs).
-                            let bus_start = chan.bus_free_us.max(pkg_free).max(window_start) + switch;
-                            let bus_end = bus_start + transfer_us;
-                            chan.bus_free_us = bus_end;
-                            let program_end = bus_end + cfg.cell_program_us;
-                            packages[ch][pk] = program_end;
-                            flash_done = program_end;
-                        }
-                    }
-                    chan.last_kind = Some(req.kind);
-
-                    // Host interface transfer (serialised across the whole device).
-                    let host_start = flash_done.max(host_free_us);
-                    let host_end = host_start + page_kb * cfg.host_us_per_kb;
-                    host_free_us = host_end;
-                    if host_end > req_done {
-                        req_done = host_end;
-                    }
-                }
-
-                // The controller charges a fixed per-command processing cost on top of
-                // the flash and host-interface schedule.
-                req_done += cfg.controller_overhead_us;
-                let latency = req_done - start_us;
-                latencies[base + idx_in_window] = latency;
-                bytes += req.len;
-                if req_done > window_end {
-                    window_end = req_done;
-                }
-            }
-            window_start = window_end;
-        }
-
-        let elapsed = window_start - start_us;
         BatchResult {
-            elapsed_us: elapsed,
+            elapsed_us: scheduler.frontier_us() - start_us,
             latencies_us: latencies,
             bytes,
         }
+    }
+
+    /// Creates an incremental scheduler over this device's geometry, starting its
+    /// first NCQ window at `start_us`. Drivers that keep a long-lived in-flight
+    /// window (ticketed submission) extend it request by request in O(pages) each,
+    /// instead of re-running [`SsdDevice::service_batch_at`] over an
+    /// ever-growing batch.
+    pub fn window_scheduler(&self, start_us: f64) -> WindowScheduler {
+        WindowScheduler::new(self.config.clone(), start_us)
+    }
+}
+
+/// An incremental, request-by-request scheduler over one device timeline window
+/// group.
+///
+/// The model (identical to what [`SsdDevice::service_batch_at`] computes — that
+/// method is implemented on top of this scheduler):
+/// * each request is decomposed into flash-page operations placed on
+///   `(channel, package)` by the striping layout;
+/// * a **read** occupies its package for `cell_read_us`, then the channel bus for
+///   the page transfer;
+/// * a **write** occupies the channel bus for the transfer, then its package for
+///   `cell_program_us` (the bus is released during programming — the
+///   write-interleaving effect described in Section 2.1);
+/// * consecutive bus operations of different kinds on the same channel pay
+///   `rw_switch_penalty_us` (read/write interference, Figure 3(c));
+/// * every completed page crosses the shared host interface, which serialises
+///   transfers at `host_us_per_kb` and caps aggregate bandwidth;
+/// * each request pays `controller_overhead_us` once;
+/// * requests beyond `ncq_depth` are serviced in subsequent windows.
+///
+/// Because requests are scheduled greedily in submission order, pushing more
+/// requests never changes the completion time of earlier ones — which is what
+/// lets ticketed backends keep a window open while completions are reaped.
+#[derive(Debug, Clone)]
+pub struct WindowScheduler {
+    config: SsdConfig,
+    channels: Vec<ChannelState>,
+    packages: Vec<Vec<f64>>,
+    host_free_us: f64,
+    /// Start of the *current* NCQ window (advances as windows fill).
+    window_start_us: f64,
+    /// Completion frontier: when the latest-finishing request ends.
+    window_end_us: f64,
+    /// Requests scheduled into the current NCQ window so far.
+    in_window: usize,
+}
+
+impl WindowScheduler {
+    /// Creates a scheduler for `config`'s geometry whose first window starts at
+    /// `start_us`.
+    pub fn new(config: SsdConfig, start_us: f64) -> Self {
+        let channels = vec![
+            ChannelState {
+                bus_free_us: start_us,
+                last_kind: None,
+            };
+            config.channels
+        ];
+        let packages = vec![vec![0.0f64; config.packages_per_channel]; config.channels];
+        Self {
+            config,
+            channels,
+            packages,
+            host_free_us: start_us,
+            window_start_us: start_us,
+            window_end_us: start_us,
+            in_window: 0,
+        }
+    }
+
+    /// The completion frontier so far: the absolute time the latest scheduled
+    /// request finishes (equals the start time while nothing is scheduled).
+    pub fn frontier_us(&self) -> f64 {
+        self.window_end_us
+    }
+
+    /// Schedules one more request and returns its absolute completion time.
+    pub fn push(&mut self, req: &SsdRequest) -> f64 {
+        let cfg = &self.config;
+        if self.in_window == cfg.ncq_depth {
+            // NCQ window full: the next window begins when this one has drained.
+            self.window_start_us = self.window_end_us;
+            self.in_window = 0;
+        }
+        let window_start = self.window_start_us;
+        let first_page = req.offset / cfg.flash_page_bytes;
+        let n_pages = cfg.pages_spanned(req.offset, req.len);
+        let page_kb = cfg.flash_page_bytes as f64 / 1024.0;
+        let mut req_done = window_start;
+
+        for p in 0..n_pages {
+            let (ch, pk) = cfg.locate_page(first_page + p);
+            let chan = &mut self.channels[ch];
+            let pkg_free = self.packages[ch][pk];
+            let mut switch = 0.0;
+            if let Some(last) = chan.last_kind {
+                if last != req.kind {
+                    switch = cfg.rw_switch_penalty_us;
+                }
+            }
+            let transfer_us = page_kb * cfg.channel_us_per_kb;
+            let flash_done;
+            match req.kind {
+                IoKind::Read => {
+                    // cell read on the package, then bus transfer out.
+                    let cell_start = pkg_free.max(window_start);
+                    let cell_end = cell_start + cfg.cell_read_us;
+                    let bus_start = cell_end.max(chan.bus_free_us) + switch;
+                    let bus_end = bus_start + transfer_us;
+                    chan.bus_free_us = bus_end;
+                    self.packages[ch][pk] = bus_end;
+                    flash_done = bus_end;
+                }
+                IoKind::Write => {
+                    // bus transfer in, then programming on the package
+                    // (bus is free while the package programs).
+                    let bus_start = chan.bus_free_us.max(pkg_free).max(window_start) + switch;
+                    let bus_end = bus_start + transfer_us;
+                    chan.bus_free_us = bus_end;
+                    let program_end = bus_end + cfg.cell_program_us;
+                    self.packages[ch][pk] = program_end;
+                    flash_done = program_end;
+                }
+            }
+            chan.last_kind = Some(req.kind);
+
+            // Host interface transfer (serialised across the whole device).
+            let host_start = flash_done.max(self.host_free_us);
+            let host_end = host_start + page_kb * cfg.host_us_per_kb;
+            self.host_free_us = host_end;
+            if host_end > req_done {
+                req_done = host_end;
+            }
+        }
+
+        // The controller charges a fixed per-command processing cost on top of
+        // the flash and host-interface schedule.
+        req_done += cfg.controller_overhead_us;
+        if req_done > self.window_end_us {
+            self.window_end_us = req_done;
+        }
+        self.in_window += 1;
+        req_done
     }
 }
 

@@ -55,7 +55,7 @@ pub mod stats;
 
 pub use clock::SimClock;
 pub use config::SsdConfig;
-pub use device::{BatchResult, SsdDevice};
+pub use device::{BatchResult, SsdDevice, WindowScheduler};
 pub use profiles::DeviceProfile;
 pub use request::{IoKind, SsdRequest};
 pub use stats::DeviceStats;

@@ -14,9 +14,46 @@
 
 use crate::bufpool::{BufferPool, BufferPoolStats, WritePolicy};
 use crate::page::PageId;
-use crate::store::PageStore;
+use crate::store::{PageStore, ReadTicket, WriteTicket};
 use parking_lot::Mutex;
 use pio::IoResult;
+
+/// An in-flight cache-aware page-batch read: pool hits are captured at submission,
+/// the misses travel as one in-flight batch. Redeemed with
+/// [`CachedStore::complete_read_pages`].
+#[derive(Debug)]
+#[must_use = "an in-flight read must be completed to obtain its buffers"]
+pub struct CachedReadTicket {
+    /// Hit slots filled at submission; miss slots are `None` until completion.
+    results: Vec<Option<Vec<u8>>>,
+    /// `(slot, page)` of every miss, in submission order of the miss batch.
+    missing: Vec<(usize, PageId)>,
+    ticket: ReadTicket,
+}
+
+/// An in-flight multi-region read. Region reads bypass the pool (see
+/// [`CachedStore::read_region`]); all-single-page batches are served through the
+/// page cache at submission and complete immediately.
+#[derive(Debug)]
+#[must_use = "an in-flight read must be completed to obtain its buffers"]
+pub enum RegionReadTicket {
+    /// Served from the page-cache path at submission.
+    Ready(Vec<Vec<u8>>),
+    /// In flight on the device.
+    Pending(ReadTicket),
+}
+
+/// An in-flight multi-region write. Cached copies of the overlapped pages are
+/// invalidated at submission; durability is observed by
+/// [`CachedStore::complete_write_regions`].
+#[derive(Debug)]
+#[must_use = "an in-flight write must be completed to observe durability"]
+pub enum RegionWriteTicket {
+    /// Went through the (blocking) single-page cache path at submission.
+    Ready,
+    /// In flight on the device.
+    Pending(WriteTicket),
+}
 
 /// A [`PageStore`] fronted by an LRU [`BufferPool`].
 #[derive(Debug)]
@@ -106,6 +143,13 @@ impl CachedStore {
     /// Reads many pages through the cache; the missing ones are fetched with a single
     /// psync call. Results are returned in the order of `pages`.
     pub fn read_pages(&self, pages: &[PageId]) -> IoResult<Vec<Vec<u8>>> {
+        self.complete_read_pages(self.submit_read_pages(pages)?)
+    }
+
+    /// Submits a cache-aware batched page read without waiting: pool hits are
+    /// captured immediately, the misses go to the device as one in-flight batch
+    /// that overlaps whatever else is outstanding on the backend.
+    pub fn submit_read_pages(&self, pages: &[PageId]) -> IoResult<CachedReadTicket> {
         let mut results: Vec<Option<Vec<u8>>> = vec![None; pages.len()];
         let mut missing: Vec<(usize, PageId)> = Vec::new();
         {
@@ -117,9 +161,25 @@ impl CachedStore {
                 }
             }
         }
+        let ids: Vec<PageId> = missing.iter().map(|&(_, p)| p).collect();
+        let ticket = self.store.submit_read_pages(&ids)?;
+        Ok(CachedReadTicket {
+            results,
+            missing,
+            ticket,
+        })
+    }
+
+    /// Waits for an in-flight page-batch read, installs the fetched pages in the
+    /// pool, and returns the buffers in the order of the submitted batch.
+    pub fn complete_read_pages(&self, ticket: CachedReadTicket) -> IoResult<Vec<Vec<u8>>> {
+        let CachedReadTicket {
+            mut results,
+            missing,
+            ticket,
+        } = ticket;
+        let fetched = self.store.complete_read(ticket)?;
         if !missing.is_empty() {
-            let ids: Vec<PageId> = missing.iter().map(|&(_, p)| p).collect();
-            let fetched = self.store.read_pages(&ids)?;
             let mut victims = Vec::new();
             {
                 let mut pool = self.pool.lock();
@@ -195,11 +255,27 @@ impl CachedStore {
     /// see [`CachedStore::read_region`]). Single-page regions go through the page
     /// cache instead.
     pub fn read_regions(&self, regions: &[(PageId, u64)]) -> IoResult<Vec<Vec<u8>>> {
+        self.complete_read_regions(self.submit_read_regions(regions)?)
+    }
+
+    /// Submits a multi-region read without waiting for it. All-single-page batches
+    /// are served through the page cache at submission (their ticket completes
+    /// immediately); everything else goes to the device as one in-flight batch.
+    pub fn submit_read_regions(&self, regions: &[(PageId, u64)]) -> IoResult<RegionReadTicket> {
         if regions.iter().all(|&(_, n)| n == 1) {
             let pages: Vec<PageId> = regions.iter().map(|&(p, _)| p).collect();
-            return self.read_pages(&pages);
+            return Ok(RegionReadTicket::Ready(self.read_pages(&pages)?));
         }
-        self.store.read_regions(regions)
+        Ok(RegionReadTicket::Pending(self.store.submit_read_regions(regions)?))
+    }
+
+    /// Waits for an in-flight multi-region read and returns one buffer per region,
+    /// in submission order.
+    pub fn complete_read_regions(&self, ticket: RegionReadTicket) -> IoResult<Vec<Vec<u8>>> {
+        match ticket {
+            RegionReadTicket::Ready(bufs) => Ok(bufs),
+            RegionReadTicket::Pending(ticket) => self.store.complete_read(ticket),
+        }
     }
 
     /// Writes a multi-page region straight through (regions are never kept dirty) and
@@ -221,10 +297,24 @@ impl CachedStore {
     /// individually cached pages they overlap. Single-page regions go through the
     /// page path (and therefore stay cached).
     pub fn write_regions(&self, regions: &[(PageId, &[u8])]) -> IoResult<()> {
+        self.complete_write_regions(self.submit_write_regions(regions)?)
+    }
+
+    /// Submits a multi-region write without waiting for it. The region images are
+    /// captured at submission and the overlapped cached pages are invalidated
+    /// immediately. All-single-page batches go through the (blocking) page path.
+    ///
+    /// Ordering: the simulated backends apply the data at submission, so a read
+    /// issued while the write is in flight sees the new bytes. The real-file
+    /// backend gives **no** order between an in-flight write and a later read —
+    /// callers must not read pages overlapped by a write they have not completed
+    /// yet (the tree's pipelines only overlap batches on disjoint pages).
+    pub fn submit_write_regions(&self, regions: &[(PageId, &[u8])]) -> IoResult<RegionWriteTicket> {
         if regions.iter().all(|(_, d)| d.len() == self.page_size()) {
-            return self.write_pages(regions);
+            self.write_pages(regions)?;
+            return Ok(RegionWriteTicket::Ready);
         }
-        self.store.write_regions(regions)?;
+        let ticket = self.store.submit_write_regions(regions)?;
         let mut pool = self.pool.lock();
         for (p, data) in regions {
             let n = (data.len() / self.page_size()) as u64;
@@ -232,7 +322,15 @@ impl CachedStore {
                 pool.remove(page);
             }
         }
-        Ok(())
+        Ok(RegionWriteTicket::Pending(ticket))
+    }
+
+    /// Waits for an in-flight multi-region write to become durable.
+    pub fn complete_write_regions(&self, ticket: RegionWriteTicket) -> IoResult<()> {
+        match ticket {
+            RegionWriteTicket::Ready => Ok(()),
+            RegionWriteTicket::Pending(ticket) => self.store.complete_write(ticket),
+        }
     }
 
     /// Flushes every dirty page to the store (one psync call) — the checkpoint /

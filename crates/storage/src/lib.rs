@@ -3,9 +3,11 @@
 //! The indexes in this repository (the baseline B+-tree, the B-link tree, BFTL, the
 //! FD-tree and the PIO B-tree itself) all sit on the same storage substrate:
 //!
-//! * [`PageStore`] — a flat page space over a [`pio::ParallelIo`] backend, with page
-//!   allocation, single-page and batched (psync) reads and writes, and multi-page
-//!   *region* operations used by the PIO B-tree's enlarged leaf nodes.
+//! * [`PageStore`] — a flat page space over a [`pio::IoQueue`] backend, with page
+//!   allocation, single-page and batched (psync) reads and writes, multi-page
+//!   *region* operations used by the PIO B-tree's enlarged leaf nodes, and a
+//!   ticketed submission/completion tier (`submit_*` / `complete_*`) that lets
+//!   index hot paths keep several batches in flight.
 //! * [`BufferPool`] — an LRU page cache with pin counts, dirty tracking and both
 //!   write-back and write-through policies; the paper's experiments sweep its size
 //!   (Figure 9) and trade it off against the operation queue (Figure 11).
@@ -27,7 +29,7 @@ pub mod store;
 pub mod wal;
 
 pub use bufpool::{BufferPool, BufferPoolStats, WritePolicy};
-pub use cached::CachedStore;
+pub use cached::{CachedReadTicket, CachedStore, RegionReadTicket, RegionWriteTicket};
 pub use page::{PageId, INVALID_PAGE};
-pub use store::{PageStore, StoreStats};
+pub use store::{PageStore, ReadTicket, StoreStats, WriteTicket};
 pub use wal::{Lsn, Wal, WalRecord};

@@ -1,10 +1,32 @@
-//! The page store: a flat page space over a psync I/O backend.
+//! The page store: a flat page space over a submission/completion I/O backend.
+//!
+//! Every read/write path exists in two forms: a blocking one (`read_pages`,
+//! `write_regions`, …) and a ticketed one (`submit_read_pages` +
+//! `complete_read`, …). The blocking form is the ticketed form with an immediate
+//! wait; index hot paths use the ticketed form to keep several batches in flight.
 
 use crate::page::{page_offset, PageId};
 use parking_lot::Mutex;
-use pio::{IoResult, ParallelIo, ReadRequest, WriteRequest};
+use pio::{IoQueue, IoResult, ReadRequest, WriteRequest};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// An in-flight read batch submitted through [`PageStore::submit_read_pages`] or
+/// [`PageStore::submit_read_regions`], redeemed with [`PageStore::complete_read`].
+#[derive(Debug)]
+#[must_use = "an in-flight read must be completed to obtain its buffers"]
+pub struct ReadTicket {
+    ticket: pio::Ticket,
+}
+
+/// An in-flight write batch submitted through [`PageStore::submit_write_pages`] or
+/// [`PageStore::submit_write_regions`], redeemed with
+/// [`PageStore::complete_write`].
+#[derive(Debug)]
+#[must_use = "an in-flight write must be completed to observe durability"]
+pub struct WriteTicket {
+    ticket: pio::Ticket,
+}
 
 /// Allocation and I/O counters of a [`PageStore`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -24,13 +46,13 @@ pub struct StoreStats {
 }
 
 /// A flat page space with allocation, single, batched (psync) and multi-page region
-/// I/O, generic over any [`ParallelIo`] backend.
+/// I/O, generic over any [`IoQueue`] backend.
 ///
 /// Cloning a `PageStore` is cheap and yields a handle to the same underlying space
 /// (allocation state and statistics are shared).
 #[derive(Clone)]
 pub struct PageStore {
-    io: Arc<dyn ParallelIo>,
+    io: Arc<dyn IoQueue>,
     page_size: usize,
     next_page: Arc<AtomicU64>,
     free_list: Arc<Mutex<Vec<PageId>>>,
@@ -48,7 +70,7 @@ impl std::fmt::Debug for PageStore {
 
 impl PageStore {
     /// Creates a store with `page_size`-byte pages over `io`.
-    pub fn new(io: Arc<dyn ParallelIo>, page_size: usize) -> Self {
+    pub fn new(io: Arc<dyn IoQueue>, page_size: usize) -> Self {
         assert!(page_size >= 64, "page size must hold at least a node header");
         Self {
             io,
@@ -65,13 +87,13 @@ impl PageStore {
     }
 
     /// The backend this store performs I/O through.
-    pub fn io(&self) -> &Arc<dyn ParallelIo> {
+    pub fn io(&self) -> &Arc<dyn IoQueue> {
         &self.io
     }
 
     /// Total simulated / wall-clock I/O time consumed through this store's backend, µs.
     pub fn io_elapsed_us(&self) -> f64 {
-        self.io.elapsed_us()
+        self.io.io_stats().elapsed_us
     }
 
     /// Snapshot of the allocation / I/O counters.
@@ -117,18 +139,7 @@ impl PageStore {
 
     /// Reads many pages with a single psync call; results are in the order of `pages`.
     pub fn read_pages(&self, pages: &[PageId]) -> IoResult<Vec<Vec<u8>>> {
-        if pages.is_empty() {
-            return Ok(Vec::new());
-        }
-        let reqs: Vec<ReadRequest> = pages
-            .iter()
-            .map(|&p| ReadRequest::new(page_offset(p, self.page_size), self.page_size))
-            .collect();
-        let (bufs, _) = self.io.psync_read(&reqs)?;
-        let mut s = self.stats.lock();
-        s.page_reads += pages.len() as u64;
-        s.read_batches += 1;
-        Ok(bufs)
+        self.complete_read(self.submit_read_pages(pages)?)
     }
 
     /// Writes one page. `data` must be exactly one page long.
@@ -138,9 +149,79 @@ impl PageStore {
 
     /// Writes many pages with a single psync call.
     pub fn write_pages(&self, pages: &[(PageId, &[u8])]) -> IoResult<()> {
-        if pages.is_empty() {
-            return Ok(());
+        self.complete_write(self.submit_write_pages(pages)?)
+    }
+
+    /// Reads `n_pages` consecutive pages starting at `first` with a single large
+    /// request (package-level parallelism: one I/O of `n_pages × page_size` bytes).
+    pub fn read_region(&self, first: PageId, n_pages: u64) -> IoResult<Vec<u8>> {
+        assert!(n_pages > 0);
+        let mut bufs = self.read_regions(&[(first, n_pages)])?;
+        Ok(bufs.pop().expect("one result"))
+    }
+
+    /// Writes a contiguous region of pages with a single large request. `data` must be
+    /// a whole number of pages.
+    pub fn write_region(&self, first: PageId, data: &[u8]) -> IoResult<()> {
+        self.write_regions(&[(first, data)])
+    }
+
+    /// Reads several multi-page regions with one psync call (used by the PIO B-tree to
+    /// fetch many enlarged leaf nodes at once). Each entry is `(first_page, n_pages)`.
+    pub fn read_regions(&self, regions: &[(PageId, u64)]) -> IoResult<Vec<Vec<u8>>> {
+        self.complete_read(self.submit_read_regions(regions)?)
+    }
+
+    /// Writes several multi-page regions with one psync call. Each entry is
+    /// `(first_page, data)` where `data` is a whole number of pages.
+    pub fn write_regions(&self, regions: &[(PageId, &[u8])]) -> IoResult<()> {
+        self.complete_write(self.submit_write_regions(regions)?)
+    }
+
+    // ------------------------------------------------- submission/completion tier --
+
+    /// Submits a batched page read without waiting for it. The batch stays in
+    /// flight (overlapping whatever else is outstanding on the backend) until
+    /// [`PageStore::complete_read`] is called.
+    pub fn submit_read_pages(&self, pages: &[PageId]) -> IoResult<ReadTicket> {
+        let reqs: Vec<ReadRequest> = pages
+            .iter()
+            .map(|&p| ReadRequest::new(page_offset(p, self.page_size), self.page_size))
+            .collect();
+        let ticket = self.io.submit_read(&reqs)?;
+        if !pages.is_empty() {
+            let mut s = self.stats.lock();
+            s.page_reads += pages.len() as u64;
+            s.read_batches += 1;
         }
+        Ok(ReadTicket { ticket })
+    }
+
+    /// Submits a multi-region read without waiting for it.
+    pub fn submit_read_regions(&self, regions: &[(PageId, u64)]) -> IoResult<ReadTicket> {
+        let reqs: Vec<ReadRequest> = regions
+            .iter()
+            .map(|&(p, n)| ReadRequest::new(page_offset(p, self.page_size), self.page_size * n as usize))
+            .collect();
+        let ticket = self.io.submit_read(&reqs)?;
+        if !regions.is_empty() {
+            let mut s = self.stats.lock();
+            s.page_reads += regions.iter().map(|&(_, n)| n).sum::<u64>();
+            s.read_batches += 1;
+        }
+        Ok(ReadTicket { ticket })
+    }
+
+    /// Waits for an in-flight read and returns one buffer per submitted page or
+    /// region, in submission order.
+    pub fn complete_read(&self, ticket: ReadTicket) -> IoResult<Vec<Vec<u8>>> {
+        Ok(self.io.wait(ticket.ticket)?.buffers)
+    }
+
+    /// Submits a batched page write without waiting for it. The page images are
+    /// captured at submission; durability is observed by
+    /// [`PageStore::complete_write`].
+    pub fn submit_write_pages(&self, pages: &[(PageId, &[u8])]) -> IoResult<WriteTicket> {
         for (_, data) in pages {
             assert_eq!(data.len(), self.page_size, "page image must match the page size");
         }
@@ -148,60 +229,17 @@ impl PageStore {
             .iter()
             .map(|(p, data)| WriteRequest::new(page_offset(*p, self.page_size), data))
             .collect();
-        self.io.psync_write(&reqs)?;
-        let mut s = self.stats.lock();
-        s.page_writes += pages.len() as u64;
-        s.write_batches += 1;
-        Ok(())
-    }
-
-    /// Reads `n_pages` consecutive pages starting at `first` with a single large
-    /// request (package-level parallelism: one I/O of `n_pages × page_size` bytes).
-    pub fn read_region(&self, first: PageId, n_pages: u64) -> IoResult<Vec<u8>> {
-        assert!(n_pages > 0);
-        let req = ReadRequest::new(page_offset(first, self.page_size), self.page_size * n_pages as usize);
-        let (mut bufs, _) = self.io.psync_read(&[req])?;
-        let mut s = self.stats.lock();
-        s.page_reads += n_pages;
-        s.read_batches += 1;
-        Ok(bufs.pop().expect("one result"))
-    }
-
-    /// Writes a contiguous region of pages with a single large request. `data` must be
-    /// a whole number of pages.
-    pub fn write_region(&self, first: PageId, data: &[u8]) -> IoResult<()> {
-        assert!(!data.is_empty() && data.len().is_multiple_of(self.page_size));
-        let req = WriteRequest::new(page_offset(first, self.page_size), data);
-        self.io.psync_write(&[req])?;
-        let mut s = self.stats.lock();
-        s.page_writes += (data.len() / self.page_size) as u64;
-        s.write_batches += 1;
-        Ok(())
-    }
-
-    /// Reads several multi-page regions with one psync call (used by the PIO B-tree to
-    /// fetch many enlarged leaf nodes at once). Each entry is `(first_page, n_pages)`.
-    pub fn read_regions(&self, regions: &[(PageId, u64)]) -> IoResult<Vec<Vec<u8>>> {
-        if regions.is_empty() {
-            return Ok(Vec::new());
+        let ticket = self.io.submit_write(&reqs)?;
+        if !pages.is_empty() {
+            let mut s = self.stats.lock();
+            s.page_writes += pages.len() as u64;
+            s.write_batches += 1;
         }
-        let reqs: Vec<ReadRequest> = regions
-            .iter()
-            .map(|&(p, n)| ReadRequest::new(page_offset(p, self.page_size), self.page_size * n as usize))
-            .collect();
-        let (bufs, _) = self.io.psync_read(&reqs)?;
-        let mut s = self.stats.lock();
-        s.page_reads += regions.iter().map(|&(_, n)| n).sum::<u64>();
-        s.read_batches += 1;
-        Ok(bufs)
+        Ok(WriteTicket { ticket })
     }
 
-    /// Writes several multi-page regions with one psync call. Each entry is
-    /// `(first_page, data)` where `data` is a whole number of pages.
-    pub fn write_regions(&self, regions: &[(PageId, &[u8])]) -> IoResult<()> {
-        if regions.is_empty() {
-            return Ok(());
-        }
+    /// Submits a multi-region write without waiting for it.
+    pub fn submit_write_regions(&self, regions: &[(PageId, &[u8])]) -> IoResult<WriteTicket> {
         for (_, data) in regions {
             assert!(!data.is_empty() && data.len() % self.page_size == 0);
         }
@@ -209,13 +247,21 @@ impl PageStore {
             .iter()
             .map(|(p, data)| WriteRequest::new(page_offset(*p, self.page_size), data))
             .collect();
-        self.io.psync_write(&reqs)?;
-        let mut s = self.stats.lock();
-        s.page_writes += regions
-            .iter()
-            .map(|(_, d)| (d.len() / self.page_size) as u64)
-            .sum::<u64>();
-        s.write_batches += 1;
+        let ticket = self.io.submit_write(&reqs)?;
+        if !regions.is_empty() {
+            let mut s = self.stats.lock();
+            s.page_writes += regions
+                .iter()
+                .map(|(_, d)| (d.len() / self.page_size) as u64)
+                .sum::<u64>();
+            s.write_batches += 1;
+        }
+        Ok(WriteTicket { ticket })
+    }
+
+    /// Waits for an in-flight write to become durable.
+    pub fn complete_write(&self, ticket: WriteTicket) -> IoResult<()> {
+        self.io.wait(ticket.ticket)?;
         Ok(())
     }
 }

@@ -1,0 +1,196 @@
+//! Integration: the submission/completion redesign of the I/O layer.
+//!
+//! * **Equivalence property**: on every simulated backend, `submit_*` followed by
+//!   an immediate `wait` is observably identical to the blocking
+//!   `psync_read`/`psync_write` calls (which are now a shim over exactly that
+//!   pair) — same buffers, same per-batch [`pio::BatchStats`], same cumulative
+//!   [`pio::IoStats`]. Randomised request batches, seeded and deterministic.
+//! * **Overlap semantics**: tickets submitted while others are in flight share a
+//!   scheduling window with a common start time, so the group's makespan beats
+//!   strictly serial submission, completions can be reaped in any order, and
+//!   `try_complete` reports tickets ready in landing order.
+
+use pio::{
+    FileLayout, IoQueue, ParallelIo, ReadRequest, SimPsyncIo, SimSyncIo, SimThreadedIo, TryComplete, WriteRequest,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ssd_sim::DeviceProfile;
+
+const CAPACITY: u64 = 64 * 1024 * 1024;
+
+/// `(offset, payload)` write descriptors of one randomised round.
+type WriteSpec = Vec<(u64, Vec<u8>)>;
+/// `(offset, len)` read descriptors of one randomised round.
+type ReadSpec = Vec<(u64, usize)>;
+
+/// One randomised round: a write batch and a read batch over the same pages.
+fn random_batches(rng: &mut StdRng) -> (WriteSpec, ReadSpec) {
+    let n = rng.gen_range(1..24usize);
+    let writes: Vec<(u64, Vec<u8>)> = (0..n)
+        .map(|_| {
+            let page = rng.gen_range(0..(CAPACITY / 8192)) * 8192;
+            let len = 512usize << rng.gen_range(0..4u32); // 512..4096
+            let fill = rng.gen_range(1..256u64) as u8;
+            (page, vec![fill; len])
+        })
+        .collect();
+    let reads: Vec<(u64, usize)> = writes.iter().map(|(o, d)| (*o, d.len())).collect();
+    (writes, reads)
+}
+
+/// Drives two identical backends — one through the blocking psync shim, one
+/// through explicit submit+wait — and asserts they are observably identical.
+fn assert_blocking_equals_ticketed<B: IoQueue>(make: impl Fn() -> B, rounds: usize, seed: u64) {
+    let blocking = make();
+    let ticketed = make();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for round in 0..rounds {
+        let (writes, reads) = random_batches(&mut rng);
+        let wr: Vec<WriteRequest> = writes.iter().map(|(o, d)| WriteRequest::new(*o, d)).collect();
+        let rr: Vec<ReadRequest> = reads.iter().map(|&(o, l)| ReadRequest::new(o, l)).collect();
+
+        let w_blocking = blocking.psync_write(&wr).expect("blocking write");
+        let w_ticketed = ticketed
+            .wait(ticketed.submit_write(&wr).expect("submit write"))
+            .expect("wait write");
+        assert_eq!(w_blocking, w_ticketed.stats, "write stats diverged in round {round}");
+
+        let (bufs_blocking, r_blocking) = blocking.psync_read(&rr).expect("blocking read");
+        let c = ticketed
+            .wait(ticketed.submit_read(&rr).expect("submit read"))
+            .expect("wait read");
+        assert_eq!(bufs_blocking, c.buffers, "read buffers diverged in round {round}");
+        assert_eq!(r_blocking, c.stats, "read stats diverged in round {round}");
+    }
+    assert_eq!(
+        blocking.stats(),
+        ticketed.io_stats(),
+        "cumulative stats diverged after {rounds} rounds"
+    );
+}
+
+#[test]
+fn submit_wait_equals_blocking_on_sim_psync() {
+    assert_blocking_equals_ticketed(|| SimPsyncIo::with_profile(DeviceProfile::P300, CAPACITY), 40, 0xA11CE);
+}
+
+#[test]
+fn submit_wait_equals_blocking_on_sim_sync() {
+    assert_blocking_equals_ticketed(|| SimSyncIo::with_profile(DeviceProfile::F120, CAPACITY), 25, 0xB0B);
+}
+
+#[test]
+fn submit_wait_equals_blocking_on_sim_threaded_shared_file() {
+    assert_blocking_equals_ticketed(
+        || SimThreadedIo::with_profile(DeviceProfile::P300, CAPACITY, FileLayout::SharedFile),
+        25,
+        0xCAFE,
+    );
+}
+
+#[test]
+fn submit_wait_equals_blocking_on_sim_threaded_separate_files() {
+    assert_blocking_equals_ticketed(
+        || SimThreadedIo::with_profile(DeviceProfile::P300, CAPACITY, FileLayout::SeparateFiles),
+        25,
+        0xD00D,
+    );
+}
+
+/// Interleaved tickets: data stays correct when several batches are in flight and
+/// completions are reaped out of submission order.
+#[test]
+fn interleaved_tickets_return_correct_buffers() {
+    let io = SimPsyncIo::with_profile(DeviceProfile::P300, CAPACITY);
+    let mut rng = StdRng::seed_from_u64(7);
+    // Three disjoint page sets, written up front.
+    let sets: Vec<Vec<(u64, Vec<u8>)>> = (0..3u64)
+        .map(|set| {
+            (0..16u64)
+                .map(|i| {
+                    let offset = (set * 1_000 + i) * 8192;
+                    (offset, vec![rng.gen_range(1..256u64) as u8; 4096])
+                })
+                .collect()
+        })
+        .collect();
+    for set in &sets {
+        let wr: Vec<WriteRequest> = set.iter().map(|(o, d)| WriteRequest::new(*o, d)).collect();
+        io.psync_write(&wr).unwrap();
+    }
+    // Submit all three read batches before reaping any, then reap in reverse.
+    let tickets: Vec<_> = sets
+        .iter()
+        .map(|set| {
+            let rr: Vec<ReadRequest> = set.iter().map(|(o, d)| ReadRequest::new(*o, d.len())).collect();
+            io.submit_read(&rr).unwrap()
+        })
+        .collect();
+    for (set, ticket) in sets.iter().zip(tickets).rev() {
+        let done = io.wait(ticket).unwrap();
+        for ((_, expected), got) in set.iter().zip(&done.buffers) {
+            assert_eq!(expected, got);
+        }
+    }
+}
+
+/// The shared-window contention model: N batches submitted together cost less
+/// device time than the same N batches submitted strictly one after the other,
+/// but more than a single batch (contention is not free).
+#[test]
+fn overlapped_submission_beats_serial_submission() {
+    // 8 requests per batch: three batches fit in one NCQ window (depth 32), so
+    // the shared window can genuinely overlap them. Full-depth batches would fill
+    // whole windows on their own and serialise window after window.
+    let reqs = |base: u64| -> Vec<ReadRequest> { (0..8).map(|i| ReadRequest::new(base + i * 4096, 4096)).collect() };
+
+    let overlapped = SimPsyncIo::with_profile(DeviceProfile::P300, CAPACITY);
+    let t1 = overlapped.submit_read(&reqs(0)).unwrap();
+    let t2 = overlapped.submit_read(&reqs(1 << 20)).unwrap();
+    let t3 = overlapped.submit_read(&reqs(2 << 20)).unwrap();
+    for t in [t1, t2, t3] {
+        overlapped.wait(t).unwrap();
+    }
+    let window_us = overlapped.device_time_us();
+
+    let serial = SimPsyncIo::with_profile(DeviceProfile::P300, CAPACITY);
+    for base in [0u64, 1 << 20, 2 << 20] {
+        let t = serial.submit_read(&reqs(base)).unwrap();
+        serial.wait(t).unwrap();
+    }
+    let serial_us = serial.device_time_us();
+
+    let single = SimPsyncIo::with_profile(DeviceProfile::P300, CAPACITY);
+    let t = single.submit_read(&reqs(0)).unwrap();
+    single.wait(t).unwrap();
+    let single_us = single.device_time_us();
+
+    assert!(
+        window_us < serial_us,
+        "overlap must beat serial: window {window_us} vs serial {serial_us}"
+    );
+    assert!(
+        window_us > single_us,
+        "contention is not free: window {window_us} vs single batch {single_us}"
+    );
+}
+
+/// `try_complete` polls without consuming other tickets and reports completions in
+/// landing order, so an event-driven driver can multiplex many tickets.
+#[test]
+fn try_complete_drives_out_of_order_reaping() {
+    let io = SimPsyncIo::with_profile(DeviceProfile::P300, CAPACITY);
+    let small = io.submit_read(&[ReadRequest::new(0, 2048)]).unwrap();
+    let big: Vec<ReadRequest> = (0..48).map(|i| ReadRequest::new((i + 10) * 4096, 4096)).collect();
+    let big = io.submit_read(&big).unwrap();
+    // The big batch (submitted second, scheduled after) cannot be ready first.
+    let big = match io.try_complete(big).unwrap() {
+        TryComplete::Pending(t) => t,
+        TryComplete::Ready(_) => panic!("big batch cannot land before the small one"),
+    };
+    let small = io.try_complete(small).unwrap().expect_ready("small batch lands first");
+    assert_eq!(small.buffers.len(), 1);
+    let big = io.try_complete(big).unwrap().expect_ready("last ticket is ready");
+    assert_eq!(big.buffers.len(), 48);
+}

@@ -207,6 +207,67 @@ fn concurrent_clients_hammer_the_engine() {
     engine.check_invariants().unwrap();
 }
 
+/// Persistent-worker hammer: many client threads issue *interleaved batched
+/// calls* (which all flow through the one scheduler thread and the per-shard
+/// workers) while the background maintenance sweeper runs its own fan-outs
+/// concurrently. Every fan-out's results must come back keyed by shard index —
+/// i.e. `multi_search` answers in caller order — no matter which shard's worker
+/// finishes first, and the engine must dispatch every batched call through the
+/// scheduler rather than spawning threads.
+#[test]
+fn scheduler_hammer_with_interleaved_batched_calls() {
+    let mut cfg = config(4);
+    cfg.flush_threshold = 0.25;
+    cfg.maintenance_interval_ms = Some(1); // maintenance fan-outs interleave too
+    let entries: Vec<(u64, u64)> = (0..40_000u64).map(|k| (k * 2, k)).collect();
+    let engine = Arc::new(ShardedPioEngine::bulk_load(cfg, &entries).unwrap());
+
+    let threads = 6u64;
+    let rounds = 60u64;
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let engine = Arc::clone(&engine);
+        handles.push(std::thread::spawn(move || {
+            for r in 0..rounds {
+                // Cross-shard batches: every call fans out to all four shards.
+                let probe: Vec<u64> = (0..64u64).map(|j| (t * 13 + r * 97 + j * 1_251) % 80_000).collect();
+                let got = engine.multi_search(&probe).unwrap();
+                for (key, verdict) in probe.iter().zip(&got) {
+                    let expected = (key % 2 == 0 && *key < 80_000).then_some(key / 2);
+                    // Updated keys are odd (see below), so only even probes assert.
+                    if key % 2 == 0 {
+                        assert_eq!(*verdict, expected, "thread {t} round {r} key {key}");
+                    }
+                }
+                let batch: Vec<(u64, u64)> = (0..32u64)
+                    .map(|j| (80_001 + ((t * rounds + r) * 32 + j) * 2, t))
+                    .collect();
+                engine.insert_batch(&batch).unwrap();
+                if r % 9 == 0 {
+                    let lo = (r * 613) % 70_000;
+                    let hits = engine.range_search(lo, lo + 256).unwrap();
+                    assert!(hits.windows(2).all(|w| w[0].0 < w[1].0), "range must stay sorted");
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    engine.checkpoint().unwrap();
+
+    let stats = engine.stats();
+    // Every batched call above went through the persistent scheduler.
+    assert!(
+        stats.scheduled_batches >= threads * rounds * 2,
+        "batched calls must be dispatched through the scheduler ({} fan-outs)",
+        stats.scheduled_batches
+    );
+    assert_eq!(stats.rollup.inserts, threads * rounds * 32);
+    assert!(stats.scheduled_io_us <= stats.total_io_us + 1e-9);
+    engine.check_invariants().unwrap();
+}
+
 /// The boundary chooser used by the engine is deterministic and total: any sample,
 /// any shard count, strictly increasing output of the right length.
 #[test]
