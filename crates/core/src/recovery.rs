@@ -46,6 +46,13 @@ pub enum LogRecord {
         key_lo: Key,
         /// Largest key in the flushed batch (inclusive).
         key_hi: Key,
+        /// Number of batch entries whose key equals `key_hi`. `take_batch` removes
+        /// the smallest-key prefix of the sorted OPQ, so the only entries the key
+        /// range alone cannot classify are ties at `key_hi`: the batch holds the
+        /// *oldest* `hi_ties` of them and any younger ties stay queued. Recovery
+        /// uses this count to avoid skipping an unflushed tie (which would lose
+        /// it) — see `PioBTree::recover_with`.
+        hi_ties: u32,
     },
     /// Flush event log written after an OPQ flush completed (all node writes durable).
     FlushEnd {
@@ -75,6 +82,45 @@ pub enum LogRecord {
     /// Checkpoint marker: everything before this point is durable and the OPQ was
     /// empty when it was written.
     Checkpoint,
+    /// Opens an engine-assigned batch bracket: every [`LogRecord::LogicalRedo`]
+    /// between this record and the matching [`LogRecord::BatchEnd`] belongs to
+    /// cross-shard epoch `epoch`. The engine's recovery decides per epoch whether
+    /// those records are replayed or discarded (all-or-nothing across shards).
+    BatchBegin {
+        /// The engine-level epoch identifier.
+        epoch: u64,
+    },
+    /// Closes the batch bracket opened by the matching [`LogRecord::BatchBegin`].
+    BatchEnd {
+        /// The engine-level epoch identifier.
+        epoch: u64,
+    },
+    /// Root-change log: written (and forced) immediately **before** a flush grows
+    /// the tree by installing a new root, so recovery can restore the previous
+    /// root and height when it undoes that flush. Without it, an undone flush
+    /// would leave the tree pointing at a root whose subtrees duplicate the
+    /// restored pages.
+    FlushRoot {
+        /// Identifier of the flush that grew the root.
+        flush_id: u64,
+        /// Root page before the growth.
+        prev_root: PageId,
+        /// Tree height before the growth.
+        prev_height: u64,
+    },
+    /// Allocation log: a run of pages the flush allocated (split siblings, new
+    /// internal nodes, the new root). When recovery undoes the flush it returns
+    /// these pages to the free list — the crash-time analogue of the in-process
+    /// rollback's allocation reclaim — so unwound flushes do not strand store
+    /// space.
+    FlushAlloc {
+        /// Identifier of the flush that allocated the pages.
+        flush_id: u64,
+        /// First page of the contiguous run.
+        first: PageId,
+        /// Number of pages in the run.
+        pages: u64,
+    },
 }
 
 impl LogRecord {
@@ -93,11 +139,13 @@ impl LogRecord {
                 flush_id,
                 key_lo,
                 key_hi,
+                hi_ties,
             } => {
                 out.push(2);
                 out.extend_from_slice(&flush_id.to_le_bytes());
                 out.extend_from_slice(&key_lo.to_le_bytes());
                 out.extend_from_slice(&key_hi.to_le_bytes());
+                out.extend_from_slice(&hi_ties.to_le_bytes());
             }
             LogRecord::FlushEnd { flush_id } => {
                 out.push(3);
@@ -118,6 +166,30 @@ impl LogRecord {
             LogRecord::FlushAbort { flush_id } => {
                 out.push(6);
                 out.extend_from_slice(&flush_id.to_le_bytes());
+            }
+            LogRecord::BatchBegin { epoch } => {
+                out.push(7);
+                out.extend_from_slice(&epoch.to_le_bytes());
+            }
+            LogRecord::BatchEnd { epoch } => {
+                out.push(8);
+                out.extend_from_slice(&epoch.to_le_bytes());
+            }
+            LogRecord::FlushRoot {
+                flush_id,
+                prev_root,
+                prev_height,
+            } => {
+                out.push(9);
+                out.extend_from_slice(&flush_id.to_le_bytes());
+                out.extend_from_slice(&prev_root.to_le_bytes());
+                out.extend_from_slice(&prev_height.to_le_bytes());
+            }
+            LogRecord::FlushAlloc { flush_id, first, pages } => {
+                out.push(10);
+                out.extend_from_slice(&flush_id.to_le_bytes());
+                out.extend_from_slice(&first.to_le_bytes());
+                out.extend_from_slice(&pages.to_le_bytes());
             }
         }
         out
@@ -143,6 +215,7 @@ impl LogRecord {
                 flush_id: u64_at(1)?,
                 key_lo: u64_at(9)?,
                 key_hi: u64_at(17)?,
+                hi_ties: u32::from_le_bytes(buf.get(25..29)?.try_into().unwrap()),
             }),
             3 => Some(LogRecord::FlushEnd { flush_id: u64_at(1)? }),
             4 => {
@@ -158,6 +231,18 @@ impl LogRecord {
             }
             5 => Some(LogRecord::Checkpoint),
             6 => Some(LogRecord::FlushAbort { flush_id: u64_at(1)? }),
+            7 => Some(LogRecord::BatchBegin { epoch: u64_at(1)? }),
+            8 => Some(LogRecord::BatchEnd { epoch: u64_at(1)? }),
+            9 => Some(LogRecord::FlushRoot {
+                flush_id: u64_at(1)?,
+                prev_root: u64_at(9)?,
+                prev_height: u64_at(17)?,
+            }),
+            10 => Some(LogRecord::FlushAlloc {
+                flush_id: u64_at(1)?,
+                first: u64_at(9)?,
+                pages: u64_at(17)?,
+            }),
             _ => None,
         }
     }
@@ -177,6 +262,16 @@ pub struct RecoveryReport {
     pub aborted_flushes: usize,
     /// Pages restored from flush undo records.
     pub undone_pages: usize,
+    /// Logical records dropped because their cross-shard epoch was discarded by
+    /// the engine's recovery (all-or-nothing batch atomicity).
+    pub discarded: usize,
+    /// *Completed* flushes that were nevertheless undone because they had flushed
+    /// entries of a discarded epoch into the tree (the surviving entries they
+    /// covered are re-queued instead).
+    pub unwound_flushes: usize,
+    /// `true` when the log ended in a torn or corrupt record: replay stopped
+    /// cleanly at the last intact record instead of skipping garbage mid-log.
+    pub torn_tail: bool,
 }
 
 #[cfg(test)]
@@ -202,6 +297,7 @@ mod tests {
                 flush_id: 3,
                 key_lo: 10,
                 key_hi: 99,
+                hi_ties: 2,
             },
             LogRecord::FlushEnd { flush_id: 3 },
             LogRecord::FlushAbort { flush_id: 4 },
@@ -211,6 +307,18 @@ mod tests {
                 preimage: vec![1, 2, 3, 4, 5],
             },
             LogRecord::Checkpoint,
+            LogRecord::BatchBegin { epoch: 12 },
+            LogRecord::BatchEnd { epoch: 12 },
+            LogRecord::FlushRoot {
+                flush_id: 3,
+                prev_root: 41,
+                prev_height: 2,
+            },
+            LogRecord::FlushAlloc {
+                flush_id: 3,
+                first: 90,
+                pages: 4,
+            },
         ];
         for r in records {
             let encoded = r.encode();
@@ -232,6 +340,56 @@ mod tests {
         .encode();
         bad.truncate(bad.len() - 5);
         assert_eq!(LogRecord::decode(&bad), None);
+    }
+
+    /// Every record kind, truncated at every possible length, must decode to
+    /// `None` — the contract `PioBTree::recover` relies on to stop replay at a
+    /// torn tail instead of misreading a half-written record.
+    #[test]
+    fn every_truncation_of_every_record_decodes_to_none() {
+        let records = vec![
+            LogRecord::LogicalRedo {
+                tx: 1,
+                entry: OpEntry::insert(2, 3),
+            },
+            LogRecord::FlushStart {
+                flush_id: 1,
+                key_lo: 2,
+                key_hi: 3,
+                hi_ties: 1,
+            },
+            LogRecord::FlushEnd { flush_id: 1 },
+            LogRecord::FlushAbort { flush_id: 1 },
+            LogRecord::FlushUndo {
+                flush_id: 1,
+                page: 2,
+                preimage: vec![7; 16],
+            },
+            LogRecord::BatchBegin { epoch: 5 },
+            LogRecord::BatchEnd { epoch: 5 },
+            LogRecord::FlushRoot {
+                flush_id: 1,
+                prev_root: 2,
+                prev_height: 3,
+            },
+            LogRecord::FlushAlloc {
+                flush_id: 1,
+                first: 40,
+                pages: 2,
+            },
+        ];
+        for r in records {
+            let full = r.encode();
+            for cut in 1..full.len() {
+                assert_eq!(
+                    LogRecord::decode(&full[..cut]),
+                    None,
+                    "truncation of {r:?} at {cut}/{} must not decode",
+                    full.len()
+                );
+            }
+            assert_eq!(LogRecord::decode(&full), Some(r));
+        }
     }
 
     #[test]

@@ -325,6 +325,24 @@ impl PioBTree {
         self.wal = Some(wal);
     }
 
+    /// The attached write-ahead log, if any (position/durability hooks for the
+    /// engine's cross-shard epoch protocol).
+    pub fn wal(&self) -> Option<&Wal> {
+        self.wal.as_ref()
+    }
+
+    /// Forces the WAL and returns its durable LSN (0 without a WAL) — the
+    /// per-shard durability ack of the engine's flush-epoch protocol.
+    pub fn force_wal(&self) -> IoResult<storage::Lsn> {
+        match &self.wal {
+            Some(wal) => {
+                wal.force()?;
+                Ok(wal.durable_lsn())
+            }
+            None => Ok(0),
+        }
+    }
+
     // ------------------------------------------------------------------ accessors --
 
     /// The tree's configuration.
@@ -550,6 +568,42 @@ impl PioBTree {
         Ok(())
     }
 
+    /// Inserts a batch inside a cross-shard epoch bracket and forces the WAL, so
+    /// the whole sub-batch is durable when this returns (the engine's per-shard
+    /// durability step). The logical records between the `BatchBegin`/`BatchEnd`
+    /// markers belong to `epoch`; at recovery, [`PioBTree::recover_with`] keeps or
+    /// discards them wholesale according to the engine's epoch verdict, which is
+    /// what makes an engine batch all-or-nothing across shards. Returns the WAL's
+    /// durable LSN.
+    ///
+    /// The bracket is closed (and a force attempted) even when the batch fails
+    /// mid-way, so every record that did reach the log stays attributable to the
+    /// epoch — an unclosed bracket would leak the epoch tag onto later,
+    /// unrelated records.
+    pub fn insert_batch_epoch(&mut self, entries: &[(Key, Value)], epoch: u64) -> IoResult<storage::Lsn> {
+        if let Some(wal) = &self.wal {
+            wal.append(&LogRecord::BatchBegin { epoch }.encode());
+        }
+        let result = self.insert_batch(entries);
+        let Some(wal) = &self.wal else {
+            result?;
+            return Ok(0);
+        };
+        wal.append(&LogRecord::BatchEnd { epoch }.encode());
+        match result {
+            Ok(()) => {
+                wal.force()?;
+                Ok(wal.durable_lsn())
+            }
+            Err(e) => {
+                // Best effort: if the force fails too, the records were lost with
+                // the crash and recovery discards the epoch anyway.
+                let _ = wal.force();
+                Err(e)
+            }
+        }
+    }
+
     /// Index-delete.
     pub fn delete(&mut self, key: Key) -> IoResult<()> {
         self.stats.deletes += 1;
@@ -678,11 +732,13 @@ impl PioBTree {
         self.next_flush_id += 1;
         if let Some(wal) = &self.wal {
             wal.force()?;
+            let key_hi = ops.last().expect("non-empty").key;
             wal.append(
                 &LogRecord::FlushStart {
                     flush_id,
                     key_lo: ops.first().expect("non-empty").key,
-                    key_hi: ops.last().expect("non-empty").key,
+                    key_hi,
+                    hi_ties: ops.iter().rev().take_while(|e| e.key == key_hi).count() as u32,
                 }
                 .encode(),
             );
@@ -734,6 +790,16 @@ impl PioBTree {
             wal.force()?;
         }
         Ok(())
+    }
+
+    /// Records a flush allocation in both rollback channels: the in-process undo
+    /// capture (freed by [`PioBTree::rollback_flush`]) and the WAL (freed when
+    /// crash recovery undoes the flush), so unwound flushes never strand pages.
+    fn log_alloc(&self, undo: &mut FlushUndo, flush_id: u64, first: PageId, pages: u64) {
+        if let Some(wal) = &self.wal {
+            wal.append(&LogRecord::FlushAlloc { flush_id, first, pages }.encode());
+        }
+        undo.note_alloc(first, pages);
     }
 
     /// Groups key-sorted ops by their destination leaf, preserving op order.
@@ -881,7 +947,7 @@ impl PioBTree {
                         job.leaf
                     } else {
                         let fresh = self.store.allocate_contiguous(segments as u64);
-                        undo.note_alloc(fresh, segments as u64);
+                        self.log_alloc(undo, flush_id, fresh, segments as u64);
                         fresh
                     };
                     undo.note_lsmap(target, self.lsmap.get(target));
@@ -928,12 +994,26 @@ impl PioBTree {
                 let mut adds: Vec<(Key, PageId)> = rootless.iter().map(|f| (f.key, f.new_child)).collect();
                 adds.sort_by_key(|&(k, _)| k);
                 let new_root_page = self.store.allocate();
-                undo.note_alloc(new_root_page, 1);
+                self.log_alloc(undo, flush_id, new_root_page, 1);
                 let node = InternalNode {
                     keys: adds.iter().map(|&(k, _)| k).collect(),
                     children: std::iter::once(self.root).chain(adds.iter().map(|&(_, p)| p)).collect(),
                 };
                 assert!(node.children.len() <= internal_cap, "root fan-in exceeded in one flush");
+                // The root-change record must be durable before the new root
+                // exists anywhere: if the crash comes later in this flush, undo
+                // restores the previous root/height from it.
+                if let Some(wal) = &self.wal {
+                    wal.append(
+                        &LogRecord::FlushRoot {
+                            flush_id,
+                            prev_root: self.root,
+                            prev_height: self.height as u64,
+                        }
+                        .encode(),
+                    );
+                    wal.force()?;
+                }
                 self.store
                     .write_page(new_root_page, &Node::Internal(node).encode(page_size))?;
                 self.root = new_root_page;
@@ -989,7 +1069,7 @@ impl PioBTree {
                     node.keys.pop();
                     let right_children = node.children.split_off(mid + 1);
                     let right_page = self.store.allocate();
-                    undo.note_alloc(right_page, 1);
+                    self.log_alloc(undo, flush_id, right_page, 1);
                     let right = InternalNode {
                         keys: right_keys,
                         children: right_children,
@@ -1015,12 +1095,16 @@ impl PioBTree {
 
     // ------------------------------------------------------------------- recovery --
 
-    /// Simulates a crash: the volatile OPQ and buffer pool are lost, as are any WAL
-    /// records that were never forced. Returns the number of OPQ entries lost.
+    /// Simulates a crash: the volatile OPQ, buffer pool and LSMap are lost, as are
+    /// any WAL records that were never forced. Returns the number of OPQ entries
+    /// lost. (The root pointer survives — standing in for the superblock a real
+    /// deployment would read it from; [`PioBTree::recover`] rewinds it when the
+    /// flush that moved it is undone.)
     pub fn simulate_crash(&mut self) -> usize {
         let lost = self.opq.len();
         self.opq.clear();
         self.store.drop_cache();
+        self.lsmap.clear();
         if let Some(wal) = &self.wal {
             wal.simulate_crash();
         }
@@ -1029,55 +1113,116 @@ impl PioBTree {
 
     /// ARIES-style restart recovery (Section 3.4): undo any incomplete flush from its
     /// undo records, then re-apply (re-append to the OPQ) every logical redo record
-    /// not covered by a completed flush.
+    /// not covered by a completed flush. Equivalent to
+    /// [`PioBTree::recover_with`] with a filter that keeps every epoch.
     pub fn recover(&mut self) -> IoResult<RecoveryReport> {
+        self.recover_with(&mut |_| true)
+    }
+
+    /// Restart recovery with an externally supplied epoch verdict: `keep_epoch`
+    /// is consulted once per cross-shard epoch found in the log (the brackets
+    /// written by [`PioBTree::insert_batch_epoch`]) and decides whether that
+    /// epoch's logical records are replayed (`true`) or discarded (`false`).
+    /// Records outside any bracket are always replayed. The sharded engine calls
+    /// this with the verdicts of its engine-level epoch log, which is what makes
+    /// a cross-shard batch all-or-nothing.
+    ///
+    /// The pass proceeds in four steps:
+    ///
+    /// 1. **Rescan + analysis** — the WAL re-derives its durable LSN from the
+    ///    device ([`Wal::rescan`]), so records completed by a torn force are
+    ///    seen; replay stops cleanly at the first torn or corrupt record
+    ///    (`torn_tail` in the report).
+    /// 2. **Attribution** — every logical record is attributed to the completed
+    ///    flush that certainly applied it, if any. `take_batch` removes the
+    ///    smallest-key prefix of the sorted OPQ, so a flush certainly applied a
+    ///    record iff the record predates the flush, was not applied earlier, and
+    ///    its key is strictly inside the flushed range — or ties the range's
+    ///    upper bound and is among the oldest `hi_ties` unattributed ties.
+    ///    Anything the attribution cannot prove flushed is redone instead
+    ///    (redo is idempotent; skipping an unflushed record would lose it).
+    /// 3. **Undo** — the incomplete flush (if any) and every *poisoned* flush — a
+    ///    completed flush that applied a discarded record — are undone by
+    ///    restoring page preimages, newest flush first, together with every
+    ///    later flush (their preimages capture the state the newer flushes
+    ///    wrote over, so the chain must unwind as a suffix). Root growths are
+    ///    rewound from their `FlushRoot` records.
+    /// 4. **Redo** — surviving records not attributed to a surviving flush are
+    ///    re-appended to the OPQ in log order; discarded records are dropped.
+    pub fn recover_with(&mut self, keep_epoch: &mut dyn FnMut(u64) -> bool) -> IoResult<RecoveryReport> {
         let Some(wal) = &self.wal else {
             return Ok(RecoveryReport::default());
         };
         let mut report = RecoveryReport::default();
-        let records = wal.read_all()?;
+        let (rescan, scan) = wal.recover_scan()?;
+        report.torn_tail = rescan.torn_tail || scan.torn_tail;
 
-        // Analysis: collect flush outcomes.
+        // ------------------------------------------------------------- analysis --
         #[derive(Debug)]
         struct FlushInfo {
             start_lsn: u64,
             key_lo: Key,
             key_hi: Key,
+            hi_ties: u32,
             complete: bool,
             /// Rolled back in process before the crash: skip its undo records (the
             /// pages were already restored, and a retry flush may have rewritten
-            /// them), but — unlike `complete` — cover no logical records.
+            /// them); it covers no logical records (its batch went back to the OPQ).
             aborted: bool,
             undo: Vec<(PageId, Vec<u8>)>,
+            /// `FlushRoot` records (previous root/height), in log order.
+            roots: Vec<(PageId, usize)>,
+            /// `FlushAlloc` records (page runs the flush allocated), in log order.
+            allocs: Vec<(PageId, u64)>,
         }
         let mut flushes: Vec<(u64, FlushInfo)> = Vec::new();
-        let mut logical: Vec<(u64, OpEntry)> = Vec::new();
-        for rec in &records {
+        // flush_id → index in `flushes` (the per-record lookups below must not
+        // rescan the flush list — logs are never truncated, so they grow).
+        let mut flush_idx: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        // (lsn, entry, enclosing cross-shard epoch).
+        let mut logical: Vec<(u64, OpEntry, Option<u64>)> = Vec::new();
+        let mut current_epoch: Option<u64> = None;
+        for rec in &scan.records {
             match LogRecord::decode(&rec.payload) {
-                Some(LogRecord::LogicalRedo { entry, .. }) => logical.push((rec.lsn, entry)),
+                None => {
+                    // A corrupt record: everything after it is untrustworthy.
+                    // Stop replay cleanly at the last intact record.
+                    report.torn_tail = true;
+                    break;
+                }
+                Some(LogRecord::LogicalRedo { entry, .. }) => logical.push((rec.lsn, entry, current_epoch)),
+                Some(LogRecord::BatchBegin { epoch }) => current_epoch = Some(epoch),
+                Some(LogRecord::BatchEnd { .. }) => current_epoch = None,
                 Some(LogRecord::FlushStart {
                     flush_id,
                     key_lo,
                     key_hi,
-                }) => flushes.push((
-                    flush_id,
-                    FlushInfo {
-                        start_lsn: rec.lsn,
-                        key_lo,
-                        key_hi,
-                        complete: false,
-                        aborted: false,
-                        undo: Vec::new(),
-                    },
-                )),
+                    hi_ties,
+                }) => {
+                    flush_idx.insert(flush_id, flushes.len());
+                    flushes.push((
+                        flush_id,
+                        FlushInfo {
+                            start_lsn: rec.lsn,
+                            key_lo,
+                            key_hi,
+                            hi_ties,
+                            complete: false,
+                            aborted: false,
+                            undo: Vec::new(),
+                            roots: Vec::new(),
+                            allocs: Vec::new(),
+                        },
+                    ));
+                }
                 Some(LogRecord::FlushEnd { flush_id }) => {
-                    if let Some((_, info)) = flushes.iter_mut().find(|(id, _)| *id == flush_id) {
-                        info.complete = true;
+                    if let Some(&i) = flush_idx.get(&flush_id) {
+                        flushes[i].1.complete = true;
                     }
                 }
                 Some(LogRecord::FlushAbort { flush_id }) => {
-                    if let Some((_, info)) = flushes.iter_mut().find(|(id, _)| *id == flush_id) {
-                        info.aborted = true;
+                    if let Some(&i) = flush_idx.get(&flush_id) {
+                        flushes[i].1.aborted = true;
                     }
                 }
                 Some(LogRecord::FlushUndo {
@@ -1085,38 +1230,145 @@ impl PioBTree {
                     page,
                     preimage,
                 }) => {
-                    if let Some((_, info)) = flushes.iter_mut().find(|(id, _)| *id == flush_id) {
-                        info.undo.push((page, preimage));
+                    if let Some(&i) = flush_idx.get(&flush_id) {
+                        flushes[i].1.undo.push((page, preimage));
                     }
                 }
-                Some(LogRecord::Checkpoint) | None => {}
+                Some(LogRecord::FlushRoot {
+                    flush_id,
+                    prev_root,
+                    prev_height,
+                }) => {
+                    if let Some(&i) = flush_idx.get(&flush_id) {
+                        flushes[i].1.roots.push((prev_root, prev_height as usize));
+                    }
+                }
+                Some(LogRecord::FlushAlloc { flush_id, first, pages }) => {
+                    if let Some(&i) = flush_idx.get(&flush_id) {
+                        flushes[i].1.allocs.push((first, pages));
+                    }
+                }
+                Some(LogRecord::Checkpoint) => {}
             }
         }
-
-        // Undo phase: roll back the (at most one) incomplete flush by restoring the
-        // pre-images of every page it touched. Aborted flushes were already rolled
-        // back in process — replaying their preimages here would clobber pages a
-        // successful retry flush has since rewritten.
+        if let Some(epoch) = current_epoch {
+            // The log ends inside an epoch bracket (the crash hit between
+            // `BatchBegin` and `BatchEnd`). Close it durably now: otherwise
+            // every record logged *after* this recovery would be misattributed
+            // to the stale epoch — and dropped by the next recovery if the
+            // epoch's verdict was discard.
+            wal.append(&LogRecord::BatchEnd { epoch }.encode());
+            wal.force()?;
+        }
         report.aborted_flushes = flushes.iter().filter(|(_, i)| i.aborted).count();
-        for (_, info) in flushes.iter().filter(|(_, i)| !i.complete && !i.aborted) {
-            report.incomplete_flushes += 1;
-            let writes: Vec<(PageId, &[u8])> = info.undo.iter().map(|(p, d)| (*p, d.as_slice())).collect();
-            for chunk in writes.chunks(self.config.pio_max) {
-                self.store.write_pages(chunk)?;
+
+        // Epoch verdicts, one filter call per distinct epoch.
+        let mut fate: std::collections::HashMap<u64, bool> = std::collections::HashMap::new();
+        let drops: Vec<bool> = logical
+            .iter()
+            .map(|&(_, _, epoch)| match epoch {
+                None => false,
+                Some(e) => !*fate.entry(e).or_insert_with(|| keep_epoch(e)),
+            })
+            .collect();
+
+        // ---------------------------------------------------------- attribution --
+        // Walk the completed flushes in start order; each consumes the records it
+        // certainly applied (a record is consumed at most once — by the first
+        // flush that took it out of the OPQ). This pass is O(flushes × records):
+        // acceptable because recovery is a restart-only path and the log only
+        // holds what accumulated since the store was created — bounding it for
+        // truly long-lived logs is the job of WAL truncation at checkpoints
+        // (ROADMAP), not of a cleverer scan.
+        let mut order: Vec<usize> = (0..flushes.len())
+            .filter(|&f| flushes[f].1.complete && !flushes[f].1.aborted)
+            .collect();
+        order.sort_by_key(|&f| flushes[f].1.start_lsn);
+        let mut consumed_by: Vec<Option<usize>> = vec![None; logical.len()];
+        for &f in &order {
+            let info = &flushes[f].1;
+            let mut ties_left = info.hi_ties as usize;
+            for (i, &(lsn, entry, _)) in logical.iter().enumerate() {
+                if lsn >= info.start_lsn || consumed_by[i].is_some() {
+                    continue;
+                }
+                if entry.key >= info.key_lo && entry.key < info.key_hi {
+                    consumed_by[i] = Some(f);
+                } else if entry.key == info.key_hi && ties_left > 0 {
+                    consumed_by[i] = Some(f);
+                    ties_left -= 1;
+                }
             }
-            report.undone_pages += writes.len();
         }
 
-        // Redo phase: re-append every logical record not covered by a completed flush.
-        for (lsn, entry) in logical {
-            let covered = flushes
-                .iter()
-                .any(|(_, f)| f.complete && f.start_lsn > lsn && entry.key >= f.key_lo && entry.key <= f.key_hi);
-            if covered {
+        // ----------------------------------------------------------------- undo --
+        // The undo set: the incomplete flush, every poisoned flush (a completed
+        // flush that applied a discarded record), and — because preimages only
+        // compose as a suffix — every flush that started after the earliest of
+        // those.
+        let poisoned_start = (0..logical.len())
+            .filter(|&i| drops[i])
+            .filter_map(|i| consumed_by[i])
+            .map(|f| flushes[f].1.start_lsn)
+            .min();
+        let incomplete_start = flushes
+            .iter()
+            .filter(|(_, i)| !i.complete && !i.aborted)
+            .map(|(_, i)| i.start_lsn)
+            .min();
+        let min_undo_start = match (poisoned_start, incomplete_start) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, None) => a,
+            (None, b) => b,
+        };
+        let mut undone: Vec<bool> = vec![false; flushes.len()];
+        if let Some(min_start) = min_undo_start {
+            let mut to_undo: Vec<usize> = (0..flushes.len())
+                .filter(|&f| !flushes[f].1.aborted && flushes[f].1.start_lsn >= min_start)
+                .collect();
+            // Newest first: each flush's preimages restore the state the flushes
+            // before it wrote, so the chain unwinds in reverse start order.
+            to_undo.sort_by_key(|&f| std::cmp::Reverse(flushes[f].1.start_lsn));
+            for f in to_undo {
+                let info = &flushes[f].1;
+                if info.complete {
+                    report.unwound_flushes += 1;
+                } else {
+                    report.incomplete_flushes += 1;
+                }
+                let writes: Vec<(PageId, &[u8])> = info.undo.iter().map(|(p, d)| (*p, d.as_slice())).collect();
+                for chunk in writes.chunks(self.config.pio_max) {
+                    self.store.write_pages(chunk)?;
+                }
+                report.undone_pages += writes.len();
+                // Rewind root growths, newest first within the flush.
+                for &(prev_root, prev_height) in info.roots.iter().rev() {
+                    self.root = prev_root;
+                    self.height = prev_height;
+                }
+                // Return the pages the flush allocated to the free list (the
+                // crash-time analogue of rollback_flush's allocation reclaim).
+                for &(first, n) in info.allocs.iter().rev() {
+                    for page in first..first + n {
+                        self.store.free(page);
+                    }
+                }
+                undone[f] = true;
+            }
+            // Whatever the LSMap claimed about the undone leaves is stale; it is
+            // a cache, so dropping all of it is always safe.
+            self.lsmap.clear();
+        }
+
+        // ----------------------------------------------------------------- redo --
+        for (i, (_, entry, _)) in logical.iter().enumerate() {
+            if drops[i] {
+                report.discarded += 1;
+            } else if consumed_by[i].is_some_and(|f| !undone[f]) {
                 report.skipped_flushed += 1;
             } else {
                 report.redone += 1;
-                self.opq.append(entry);
+                self.opq.append(*entry);
             }
         }
         Ok(report)
@@ -1413,74 +1665,29 @@ mod tests {
         t.check_invariants().unwrap();
     }
 
-    /// A backend that delegates to a simulated psync queue but fails the N-th write
-    /// submission exactly once — the error-injection harness for the transactional
-    /// flush tests.
-    struct FailingIo {
-        inner: SimPsyncIo,
-        /// `Some(k)`: the k-th upcoming write submission fails (0 = the next one).
-        writes_until_failure: parking_lot::Mutex<Option<u64>>,
-    }
+    use pio::{CrashPlan, FaultClock, FaultIo};
 
-    impl FailingIo {
-        fn new(inner: SimPsyncIo, fail_after_writes: u64) -> Self {
-            Self {
-                inner,
-                writes_until_failure: parking_lot::Mutex::new(Some(fail_after_writes)),
-            }
-        }
-    }
-
-    impl pio::IoQueue for FailingIo {
-        fn submit_read(&self, reqs: &[pio::ReadRequest]) -> IoResult<pio::Ticket> {
-            self.inner.submit_read(reqs)
-        }
-
-        fn submit_write(&self, reqs: &[pio::WriteRequest<'_>]) -> IoResult<pio::Ticket> {
-            let mut countdown = self.writes_until_failure.lock();
-            match countdown.as_mut() {
-                Some(0) => {
-                    *countdown = None; // one-shot
-                    return Err(pio::IoError::WorkerFailed("injected write failure".into()));
-                }
-                Some(n) => *n -= 1,
-                None => {}
-            }
-            drop(countdown);
-            self.inner.submit_write(reqs)
-        }
-
-        fn wait(&self, ticket: pio::Ticket) -> IoResult<pio::Completion> {
-            self.inner.wait(ticket)
-        }
-
-        fn try_complete(&self, ticket: pio::Ticket) -> IoResult<pio::TryComplete> {
-            self.inner.try_complete(ticket)
-        }
-
-        fn io_stats(&self) -> pio::IoStats {
-            self.inner.io_stats()
-        }
-
-        fn reset_io_stats(&self) {
-            self.inner.reset_io_stats()
-        }
-    }
-
-    /// Builds a tree over a [`FailingIo`] backend (initially armed to never fail)
-    /// and returns it together with the failure-injection handle.
-    fn failing_tree(config: PioConfig, entries: &[(Key, Value)]) -> (PioBTree, Arc<FailingIo>) {
-        let failing = Arc::new(FailingIo::new(
-            SimPsyncIo::with_profile(DeviceProfile::F120, 1 << 30),
-            u64::MAX,
+    /// Builds a tree whose store is wrapped in the shared [`pio::fault`] harness
+    /// (nothing armed yet) and returns it with the clock that scripts failures.
+    fn failing_tree(config: PioConfig, entries: &[(Key, Value)]) -> (PioBTree, Arc<FaultClock>) {
+        let clock = FaultClock::new();
+        let faulty = Arc::new(FaultIo::new(
+            Arc::new(SimPsyncIo::with_profile(DeviceProfile::F120, 1 << 30)),
+            Arc::clone(&clock),
         ));
         let store = Arc::new(CachedStore::new(
-            PageStore::new(Arc::clone(&failing) as Arc<dyn pio::IoQueue>, config.page_size),
+            PageStore::new(faulty as Arc<dyn pio::IoQueue>, config.page_size),
             config.pool_pages,
             WritePolicy::WriteThrough,
         ));
         let tree = PioBTree::bulk_load(store, entries, config).unwrap();
-        (tree, failing)
+        (tree, clock)
+    }
+
+    /// Arms a transient failure of the `skip`-th upcoming write submission
+    /// (0 = the very next one) — the old inline `FailingIo` semantics.
+    fn fail_write_in(clock: &FaultClock, skip: u64) {
+        clock.arm(CrashPlan::at_write(clock.writes_seen() + skip).transient());
     }
 
     #[test]
@@ -1504,7 +1711,7 @@ mod tests {
         assert!(queued > 100, "batch must exceed bcnt-sized chunks");
 
         // Fail the second write submission: chunk 0 applies, a later chunk fails.
-        *failing.writes_until_failure.lock() = Some(1);
+        fail_write_in(&failing, 1);
         let err = t.flush_once().unwrap_err();
         assert!(err.to_string().contains("injected"), "{err}");
         // The failed batch is back in the queue and every queued update is still
@@ -1552,7 +1759,7 @@ mod tests {
             t.update(k * 3, k + 1_000_000).unwrap();
             model.insert(k * 3, k + 1_000_000);
         }
-        *failing.writes_until_failure.lock() = Some(1);
+        fail_write_in(&failing, 1);
         t.flush_once().unwrap_err();
         // Retry lands the whole queue durably.
         t.checkpoint().unwrap();
@@ -1590,7 +1797,7 @@ mod tests {
         }
         let allocated_before = t.store().store().stats().allocated;
         let freed_before = t.store().store().stats().freed;
-        *failing.writes_until_failure.lock() = Some(1);
+        fail_write_in(&failing, 1);
         t.flush_once().unwrap_err();
         let stats = t.store().store().stats();
         let leaked = (stats.allocated - allocated_before) - (stats.freed - freed_before);
@@ -1618,7 +1825,7 @@ mod tests {
         }
         let queued = t.opq_len();
         // Fail the fence-propagation write, after the split leaf regions landed.
-        *failing.writes_until_failure.lock() = Some(1);
+        fail_write_in(&failing, 1);
         let err = t.flush_once().unwrap_err();
         assert!(err.to_string().contains("injected"), "{err}");
         assert_eq!(t.opq_len(), queued, "batch restored");
@@ -1627,6 +1834,268 @@ mod tests {
         // Retry succeeds and the data is intact.
         t.checkpoint().unwrap();
         assert_eq!(t.count_entries().unwrap(), queued as u64);
+        t.check_invariants().unwrap();
+    }
+
+    /// Attaches a WAL whose backend is wrapped in the fault harness, returning
+    /// the clock that scripts WAL-write failures.
+    fn attach_faulty_wal(tree: &mut PioBTree, page_size: usize) -> Arc<FaultClock> {
+        let clock = FaultClock::new();
+        let faulty = Arc::new(FaultIo::new(
+            Arc::new(SimPsyncIo::with_profile(DeviceProfile::F120, 64 << 20)),
+            Arc::clone(&clock),
+        ));
+        tree.attach_wal(Wal::new(Arc::new(faulty) as Arc<dyn pio::ParallelIo>, 0, page_size));
+        clock
+    }
+
+    #[test]
+    fn recovery_stops_cleanly_at_a_torn_wal_tail() {
+        let config = PioConfig {
+            opq_pages: 4,
+            ..small_config()
+        };
+        let mut t = tree_with(config);
+        let wal_clock = attach_faulty_wal(&mut t, 2048);
+        // A durable prefix of 50 inserts...
+        for k in 0..50u64 {
+            t.insert(k, k).unwrap();
+        }
+        t.force_wal().unwrap();
+        // ...then 30 more whose force is torn mid-record: only a prefix of the
+        // page image reaches the device.
+        for k in 50..80u64 {
+            t.insert(k, k).unwrap();
+        }
+        // Tear the force inside the new records: the first page keeps the durable
+        // prefix plus ~3 of the new records, and the record after the cut is
+        // half-written.
+        let cut = t.wal().unwrap().durable_lsn() as usize + 100;
+        assert!(cut < 2048, "cut must fall inside the first page");
+        wal_clock.arm(
+            pio::CrashPlan::at_write(wal_clock.writes_seen()).with_torn(pio::TornWrite {
+                keep_requests: 0,
+                keep_bytes_of_next: cut,
+            }),
+        );
+        assert!(t.force_wal().is_err());
+        wal_clock.heal();
+        t.simulate_crash();
+
+        let report = t.recover().unwrap();
+        assert!(report.torn_tail, "the torn force must be detected");
+        let redone = report.redone;
+        assert!(
+            (50..80).contains(&redone),
+            "a prefix of the torn force is salvaged: {redone}"
+        );
+        t.checkpoint().unwrap();
+        // Exactly the salvaged prefix survives — nothing after the torn record.
+        for k in 0..80u64 {
+            let expect = (k < redone as u64).then_some(k);
+            assert_eq!(t.search(k).unwrap(), expect, "key {k}");
+        }
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn recover_with_discards_exactly_the_filtered_epochs() {
+        let config = PioConfig {
+            opq_pages: 4,
+            wal_enabled: true,
+            ..small_config()
+        };
+        let mut t = tree_with(config);
+        let b1: Vec<(Key, Value)> = (0..20u64).map(|k| (k * 2, k)).collect();
+        let b2: Vec<(Key, Value)> = (0..15u64).map(|k| (k * 2 + 1, k + 100)).collect();
+        t.insert_batch_epoch(&b1, 7).unwrap();
+        t.insert_batch_epoch(&b2, 8).unwrap();
+        t.simulate_crash();
+        let report = t.recover_with(&mut |epoch| epoch == 7).unwrap();
+        assert_eq!(report.redone, 20, "kept epoch is replayed");
+        assert_eq!(report.discarded, 15, "discarded epoch is dropped");
+        t.checkpoint().unwrap();
+        for &(k, v) in &b1 {
+            assert_eq!(t.search(k).unwrap(), Some(v), "kept key {k}");
+        }
+        for &(k, _) in &b2 {
+            assert_eq!(t.search(k).unwrap(), None, "discarded key {k}");
+        }
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn discarding_a_flushed_epoch_unwinds_the_flush() {
+        // The discarded epoch's batch overfills the OPQ, so part of it is flushed
+        // *into the tree* before the crash: discarding the epoch must unwind that
+        // completed flush (restoring its preimages) and re-queue the surviving
+        // records it covered.
+        let config = PioConfig {
+            opq_pages: 1, // capacity ~120 < the 150-entry batch below
+            wal_enabled: true,
+            ..small_config()
+        };
+        let seed: Vec<(Key, Value)> = (0..500u64).map(|k| (k * 2, k)).collect();
+        let mut t = tree_with(config);
+        // Rebuild over the seed entries so the flush touches populated leaves.
+        t = {
+            let store = Arc::clone(t.store());
+            let mut fresh = PioBTree::bulk_load(store, &seed, t.config().clone()).unwrap();
+            fresh.attach_wal(Wal::new(
+                Arc::new(SimPsyncIo::with_profile(DeviceProfile::F120, 64 << 20)),
+                0,
+                2048,
+            ));
+            fresh
+        };
+        // A non-epoch single op logged before the batch, with a key inside the
+        // range the flush will cover: the unwind must re-queue (not lose) it.
+        t.update(100, 4242).unwrap();
+        let net_before = {
+            let s = t.store().store().stats();
+            s.allocated - s.freed
+        };
+        let batch: Vec<(Key, Value)> = (0..150u64).map(|k| (k * 2 + 1, k + 1_000)).collect();
+        t.insert_batch_epoch(&batch, 3).unwrap();
+        assert!(t.stats().bupdates >= 1, "the batch must have overflowed into a flush");
+        assert!(
+            t.stats().leaf_splits >= 1,
+            "the dense batch must split leaves (so the unwind has allocations to reclaim)"
+        );
+
+        t.simulate_crash();
+        let report = t.recover_with(&mut |_| false).unwrap();
+        assert!(report.unwound_flushes >= 1, "the poisoned flush must be unwound");
+        assert_eq!(report.discarded, 150);
+        assert!(report.redone >= 1, "the non-epoch update survives");
+        // The unwound flush completed normally (no in-process rollback ever
+        // ran), so its split allocations are reclaimed solely by recovery's
+        // FlushAlloc sweep — nothing may leak across the crash.
+        let net_after = {
+            let s = t.store().store().stats();
+            s.allocated - s.freed
+        };
+        assert_eq!(
+            net_after, net_before,
+            "every page the unwound flush allocated must be back on the free list"
+        );
+        t.checkpoint().unwrap();
+        for &(k, v) in &seed {
+            let expect = if k == 100 { 4242 } else { v };
+            assert_eq!(t.search(k).unwrap(), Some(expect), "seed key {k}");
+        }
+        for &(k, _) in &batch {
+            assert_eq!(t.search(k).unwrap(), None, "discarded key {k}");
+        }
+        assert_eq!(t.check_invariants().unwrap(), 500);
+    }
+
+    /// A crash between a durable `BatchBegin` and its `BatchEnd` leaves an open
+    /// bracket in the log. Recovery must close it durably: otherwise every
+    /// record logged *after* recovery (until the next bracket) would be
+    /// misattributed to the dead epoch — and silently dropped by the next
+    /// recovery.
+    #[test]
+    fn recovery_closes_a_stale_epoch_bracket() {
+        let config = PioConfig {
+            opq_pages: 1, // the 150-entry batch overflows into a flush mid-epoch
+            ..small_config()
+        };
+        let batch: Vec<(Key, Value)> = (0..150u64).map(|k| (k * 3 + 1, k + 500)).collect();
+        let run = |crash_at: Option<u64>| -> (PioBTree, Arc<FaultClock>, IoResult<storage::Lsn>) {
+            let mut t = tree_with(config.clone());
+            let wal_clock = attach_faulty_wal(&mut t, 2048);
+            if let Some(at) = crash_at {
+                wal_clock.arm(pio::CrashPlan::at_write(at));
+            }
+            let outcome = t.insert_batch_epoch(&batch, 11);
+            (t, wal_clock, outcome)
+        };
+        // Profiling run: the batch's final WAL write carries the BatchEnd.
+        let (_, clean_clock, outcome) = run(None);
+        outcome.unwrap();
+        let final_write = clean_clock.writes_seen() - 1;
+
+        let (mut t, wal_clock, outcome) = run(Some(final_write));
+        outcome.unwrap_err();
+        wal_clock.heal();
+        t.simulate_crash();
+        let first = t.recover_with(&mut |_| false).unwrap();
+        assert!(first.discarded > 0, "the bracketed records must be discarded");
+
+        // Post-recovery operations belong to no epoch; a second crash+recovery
+        // (still discarding epoch 11) must not swallow them.
+        t.insert(999_999, 77).unwrap();
+        t.checkpoint().unwrap();
+        t.simulate_crash();
+        let second = t.recover_with(&mut |_| false).unwrap();
+        assert_eq!(
+            second.discarded, first.discarded,
+            "no post-recovery record may be misattributed to the stale epoch"
+        );
+        t.checkpoint().unwrap();
+        assert_eq!(
+            t.search(999_999).unwrap(),
+            Some(77),
+            "the post-recovery insert survives"
+        );
+        for &(k, _) in &batch {
+            assert_eq!(t.search(k).unwrap(), None, "discarded key {k}");
+        }
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn undoing_a_flush_that_grew_the_root_rewinds_the_root() {
+        // One giant flush splits the single leaf into 120+ leaves and the root
+        // itself, then crashes on the very last WAL write (the FlushEnd force):
+        // every node write including the new root is durable, but the flush is
+        // incomplete. Recovery must rewind the root/height from the FlushRoot
+        // record and re-drive the whole batch.
+        let config = PioConfig {
+            opq_pages: 512, // hold the whole batch without an auto flush
+            bcnt: 30_000,
+            wal_enabled: false, // replaced by the faulty WAL below
+            ..small_config()
+        };
+        let run = |crash_at: Option<u64>| -> (PioBTree, Arc<FaultClock>, IoResult<()>) {
+            let mut t = tree_with(config.clone());
+            let wal_clock = attach_faulty_wal(&mut t, 2048);
+            for k in 0..30_000u64 {
+                t.insert(k, k + 7).unwrap();
+            }
+            if let Some(at) = crash_at {
+                wal_clock.arm(pio::CrashPlan::at_write(at));
+            }
+            let outcome = t.flush_once();
+            (t, wal_clock, outcome)
+        };
+        // Profiling run: the flush's final WAL write is the FlushEnd force.
+        let (_, clean_clock, outcome) = run(None);
+        outcome.unwrap();
+        let flush_end_write = clean_clock.writes_seen() - 1;
+
+        let (mut t, wal_clock, outcome) = run(Some(flush_end_write));
+        let err = outcome.unwrap_err();
+        assert!(err.to_string().contains("injected"), "{err}");
+        let height_before = 2;
+        wal_clock.heal();
+        t.simulate_crash();
+
+        let report = t.recover().unwrap();
+        assert_eq!(report.incomplete_flushes, 1);
+        assert_eq!(t.height(), height_before, "root growth rewound");
+        assert_eq!(t.check_invariants().unwrap(), 0, "pre-flush tree restored");
+        assert_eq!(report.redone, 30_000, "the whole batch re-drives");
+        // The failed flush's allocations were reclaimed once by the in-process
+        // rollback and once more by recovery's FlushAlloc sweep; the free list
+        // must hold each page once (idempotent free), or the re-driven
+        // checkpoint below would hand one page to two nodes.
+        t.checkpoint().unwrap();
+        assert!(t.height() > height_before, "the re-driven flush grows the tree again");
+        for k in (0..30_000u64).step_by(997) {
+            assert_eq!(t.search(k).unwrap(), Some(k + 7), "key {k}");
+        }
         t.check_invariants().unwrap();
     }
 

@@ -1,0 +1,375 @@
+//! The cross-shard flush-epoch log: engine-level batch atomicity.
+//!
+//! Each shard's [`pio_btree::PioBTree`] recovers independently from its own WAL
+//! (Section 3.4 of the paper), which is enough for a single tree but not for the
+//! engine: `insert_batch` fans one logical batch out to several shards, and a
+//! crash mid-fan-out would leave the batch durable on some shards and lost on
+//! others. This module adds the coordinator's side of a two-phase protocol over a
+//! dedicated engine-level [`storage::Wal`]:
+//!
+//! 1. **`Begin { epoch, shards }`** is forced *before* any shard sees the batch;
+//! 2. every member shard appends the batch inside a `BatchBegin`/`BatchEnd`
+//!    bracket of its own WAL and forces it
+//!    ([`pio_btree::PioBTree::insert_batch_epoch`]) — the per-shard durability
+//!    ack;
+//! 3. **`Ack { epoch, shard, durable_lsn }`** records are forced once every
+//!    member shard is durable;
+//! 4. **`Commit { epoch }`** is forced last; only then does `insert_batch`
+//!    return success.
+//!
+//! At recovery, [`EpochLog::analyze`] classifies every epoch:
+//!
+//! * a **committed** epoch's records are replayed by normal per-shard recovery;
+//! * an uncommitted epoch whose acks cover *all* member shards is safely durable
+//!   everywhere — recovery **re-drives** it by writing the missing commit record
+//!   (the crash hit the window between ack force and commit force);
+//! * any other uncommitted epoch is **discarded** on every shard: the engine
+//!   passes its id to each shard's
+//!   [`pio_btree::PioBTree::recover_with`] filter, which drops the epoch's
+//!   logical records and unwinds any flush that had already applied them.
+//!
+//! Either way the batch is all-or-nothing across shards.
+
+use pio::IoResult;
+use pio_btree::RecoveryReport;
+use std::collections::HashMap;
+use storage::{Lsn, Wal};
+
+/// A record of the engine-level epoch log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EpochRecord {
+    /// Opens an epoch: `shards` are the member shard indices the batch fans out
+    /// to. Forced before any shard sees the batch.
+    Begin {
+        /// The epoch identifier (unique over the engine's lifetime, including
+        /// across restarts).
+        epoch: u64,
+        /// Member shard indices.
+        shards: Vec<u32>,
+    },
+    /// One member shard's sub-batch is durable in its WAL.
+    Ack {
+        /// The epoch identifier.
+        epoch: u64,
+        /// The acking shard.
+        shard: u32,
+        /// The shard WAL's durable LSN at ack time (diagnostic).
+        durable_lsn: Lsn,
+    },
+    /// The epoch is durable on every member shard; the batch is committed.
+    Commit {
+        /// The epoch identifier.
+        epoch: u64,
+    },
+}
+
+impl EpochRecord {
+    /// Serialises the record into a byte payload for the engine WAL.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            EpochRecord::Begin { epoch, shards } => {
+                out.push(1);
+                out.extend_from_slice(&epoch.to_le_bytes());
+                out.extend_from_slice(&(shards.len() as u32).to_le_bytes());
+                for s in shards {
+                    out.extend_from_slice(&s.to_le_bytes());
+                }
+            }
+            EpochRecord::Ack {
+                epoch,
+                shard,
+                durable_lsn,
+            } => {
+                out.push(2);
+                out.extend_from_slice(&epoch.to_le_bytes());
+                out.extend_from_slice(&shard.to_le_bytes());
+                out.extend_from_slice(&durable_lsn.to_le_bytes());
+            }
+            EpochRecord::Commit { epoch } => {
+                out.push(3);
+                out.extend_from_slice(&epoch.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses a payload produced by [`EpochRecord::encode`]. Returns `None` for
+    /// corrupt or unknown payloads.
+    pub fn decode(buf: &[u8]) -> Option<Self> {
+        let u64_at =
+            |off: usize| -> Option<u64> { buf.get(off..off + 8).map(|b| u64::from_le_bytes(b.try_into().unwrap())) };
+        let u32_at =
+            |off: usize| -> Option<u32> { buf.get(off..off + 4).map(|b| u32::from_le_bytes(b.try_into().unwrap())) };
+        match *buf.first()? {
+            1 => {
+                let epoch = u64_at(1)?;
+                let n = u32_at(9)? as usize;
+                let mut shards = Vec::with_capacity(n);
+                for i in 0..n {
+                    shards.push(u32_at(13 + i * 4)?);
+                }
+                // Trailing garbage would mean a miscounted record.
+                (buf.len() == 13 + n * 4).then_some(EpochRecord::Begin { epoch, shards })
+            }
+            2 => Some(EpochRecord::Ack {
+                epoch: u64_at(1)?,
+                shard: u32_at(9)?,
+                durable_lsn: u64_at(13)?,
+            }),
+            3 => Some(EpochRecord::Commit { epoch: u64_at(1)? }),
+            _ => None,
+        }
+    }
+}
+
+/// The reconstructed state of one epoch after a log scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochState {
+    /// The epoch identifier.
+    pub epoch: u64,
+    /// Member shard indices from the `Begin` record.
+    pub shards: Vec<u32>,
+    /// Shards whose `Ack` reached the log.
+    pub acked: Vec<u32>,
+    /// Whether the `Commit` record reached the log.
+    pub committed: bool,
+}
+
+impl EpochState {
+    /// Whether every member shard's ack is durable — the condition under which
+    /// an uncommitted epoch may be re-driven (committed) at recovery.
+    pub fn fully_acked(&self) -> bool {
+        self.shards.iter().all(|s| self.acked.contains(s))
+    }
+}
+
+/// Outcome of an [`EpochLog::analyze`] pass.
+#[derive(Debug, Clone, Default)]
+pub struct EpochAnalysis {
+    /// Every epoch with a durable `Begin`, in log order.
+    pub epochs: Vec<EpochState>,
+    /// Largest epoch id seen (0 when none): restart continuity for the engine's
+    /// epoch counter.
+    pub max_epoch: u64,
+    /// Whether the engine log ended in a torn record.
+    pub torn_tail: bool,
+}
+
+/// The engine-level epoch log: a thin protocol layer over [`storage::Wal`].
+pub struct EpochLog {
+    wal: Wal,
+}
+
+impl EpochLog {
+    /// Wraps an engine-dedicated WAL.
+    pub fn new(wal: Wal) -> Self {
+        Self { wal }
+    }
+
+    /// Forces the `Begin` record of `epoch` (phase one: nothing may reach a
+    /// shard before this returns).
+    pub fn begin(&self, epoch: u64, shards: &[usize]) -> IoResult<()> {
+        self.wal.append(
+            &EpochRecord::Begin {
+                epoch,
+                shards: shards.iter().map(|&s| s as u32).collect(),
+            }
+            .encode(),
+        );
+        self.wal.force()
+    }
+
+    /// Forces the member shards' `Ack` records (phase two, first half).
+    pub fn ack_all(&self, epoch: u64, acks: &[(usize, Lsn)]) -> IoResult<()> {
+        for &(shard, durable_lsn) in acks {
+            self.wal.append(
+                &EpochRecord::Ack {
+                    epoch,
+                    shard: shard as u32,
+                    durable_lsn,
+                }
+                .encode(),
+            );
+        }
+        self.wal.force()
+    }
+
+    /// Forces the `Commit` record (phase two, second half): the batch is now
+    /// atomically visible.
+    pub fn commit(&self, epoch: u64) -> IoResult<()> {
+        self.wal.append(&EpochRecord::Commit { epoch }.encode());
+        self.wal.force()
+    }
+
+    /// Drops un-forced records (crash simulation).
+    pub fn simulate_crash(&self) {
+        self.wal.simulate_crash();
+    }
+
+    /// Rescans the device (salvaging records completed by a torn force) and
+    /// classifies every epoch found in the log.
+    pub fn analyze(&self) -> IoResult<EpochAnalysis> {
+        let (rescan, scan) = self.wal.recover_scan()?;
+        let mut analysis = EpochAnalysis {
+            torn_tail: rescan.torn_tail || scan.torn_tail,
+            ..EpochAnalysis::default()
+        };
+        let mut index: HashMap<u64, usize> = HashMap::new();
+        for rec in &scan.records {
+            let Some(record) = EpochRecord::decode(&rec.payload) else {
+                // Corrupt record: everything after it is untrustworthy.
+                analysis.torn_tail = true;
+                break;
+            };
+            match record {
+                EpochRecord::Begin { epoch, shards } => {
+                    index.insert(epoch, analysis.epochs.len());
+                    analysis.max_epoch = analysis.max_epoch.max(epoch);
+                    analysis.epochs.push(EpochState {
+                        epoch,
+                        shards,
+                        acked: Vec::new(),
+                        committed: false,
+                    });
+                }
+                EpochRecord::Ack { epoch, shard, .. } => {
+                    if let Some(&i) = index.get(&epoch) {
+                        analysis.epochs[i].acked.push(shard);
+                    }
+                }
+                EpochRecord::Commit { epoch } => {
+                    if let Some(&i) = index.get(&epoch) {
+                        analysis.epochs[i].committed = true;
+                    }
+                }
+            }
+        }
+        Ok(analysis)
+    }
+}
+
+impl std::fmt::Debug for EpochLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochLog").field("wal", &self.wal).finish()
+    }
+}
+
+/// What [`crate::ShardedPioEngine::recover`] did, for inspection by callers and
+/// tests.
+#[derive(Debug, Clone, Default)]
+pub struct EngineRecoveryReport {
+    /// Per-shard recovery reports, in shard order.
+    pub shards: Vec<RecoveryReport>,
+    /// Epochs already committed in the engine log (replayed by normal per-shard
+    /// recovery).
+    pub committed_epochs: u64,
+    /// Uncommitted epochs that were durable on every member shard and were
+    /// re-driven (committed) during recovery.
+    pub recovered_epochs: u64,
+    /// Uncommitted epochs discarded on every member shard.
+    pub discarded_epochs: u64,
+}
+
+impl EngineRecoveryReport {
+    /// Total logical records re-appended to shard OPQs.
+    pub fn redone(&self) -> usize {
+        self.shards.iter().map(|r| r.redone).sum()
+    }
+
+    /// Total logical records dropped because their epoch was discarded.
+    pub fn discarded_records(&self) -> usize {
+        self.shards.iter().map(|r| r.discarded).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pio::SimPsyncIo;
+    use ssd_sim::DeviceProfile;
+    use std::sync::Arc;
+
+    fn log() -> EpochLog {
+        let io = Arc::new(SimPsyncIo::with_profile(DeviceProfile::F120, 16 << 20));
+        EpochLog::new(Wal::new(io, 0, 2048))
+    }
+
+    #[test]
+    fn records_round_trip() {
+        let records = vec![
+            EpochRecord::Begin {
+                epoch: 42,
+                shards: vec![0, 2, 3],
+            },
+            EpochRecord::Begin {
+                epoch: 1,
+                shards: vec![],
+            },
+            EpochRecord::Ack {
+                epoch: 42,
+                shard: 2,
+                durable_lsn: 9001,
+            },
+            EpochRecord::Commit { epoch: 42 },
+        ];
+        for r in records {
+            let encoded = r.encode();
+            assert_eq!(EpochRecord::decode(&encoded), Some(r.clone()));
+            for cut in 1..encoded.len() {
+                assert_eq!(EpochRecord::decode(&encoded[..cut]), None, "truncated {r:?} at {cut}");
+            }
+        }
+        assert_eq!(EpochRecord::decode(&[]), None);
+        assert_eq!(EpochRecord::decode(&[77, 0, 0]), None);
+    }
+
+    #[test]
+    fn analyze_classifies_epoch_outcomes() {
+        let log = log();
+        // Epoch 1: committed. Epoch 2: fully acked, no commit. Epoch 3: partial
+        // acks. Epoch 4: begin only.
+        log.begin(1, &[0, 1]).unwrap();
+        log.ack_all(1, &[(0, 10), (1, 20)]).unwrap();
+        log.commit(1).unwrap();
+        log.begin(2, &[0, 1]).unwrap();
+        log.ack_all(2, &[(0, 30), (1, 40)]).unwrap();
+        log.begin(3, &[0, 1, 2]).unwrap();
+        log.ack_all(3, &[(2, 50)]).unwrap();
+        log.begin(4, &[1]).unwrap();
+        log.simulate_crash();
+
+        let analysis = log.analyze().unwrap();
+        assert_eq!(analysis.epochs.len(), 4);
+        assert_eq!(analysis.max_epoch, 4);
+        assert!(!analysis.torn_tail);
+        let by_id: HashMap<u64, &EpochState> = analysis.epochs.iter().map(|e| (e.epoch, e)).collect();
+        assert!(by_id[&1].committed);
+        assert!(!by_id[&2].committed);
+        assert!(by_id[&2].fully_acked(), "both member acks are durable");
+        assert!(!by_id[&3].fully_acked());
+        assert!(!by_id[&4].fully_acked());
+        assert!(by_id[&4].acked.is_empty());
+    }
+
+    #[test]
+    fn unforced_records_die_with_the_crash() {
+        let log = log();
+        log.begin(7, &[0]).unwrap();
+        // The ack and commit are appended but the crash hits before the force.
+        log.wal.append(
+            &EpochRecord::Ack {
+                epoch: 7,
+                shard: 0,
+                durable_lsn: 1,
+            }
+            .encode(),
+        );
+        log.wal.append(&EpochRecord::Commit { epoch: 7 }.encode());
+        log.simulate_crash();
+        let analysis = log.analyze().unwrap();
+        assert_eq!(analysis.epochs.len(), 1);
+        assert!(!analysis.epochs[0].committed);
+        assert!(analysis.epochs[0].acked.is_empty());
+    }
+}

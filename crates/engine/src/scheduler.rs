@@ -43,6 +43,11 @@ pub(crate) enum TaskOutput {
     Count(u64),
     /// Whether a maintenance task actually flushed the shard.
     Flushed(bool),
+    /// A shard's durability ack for an epoch-bracketed `insert_batch`: its WAL's
+    /// durable LSN after the sub-batch was forced.
+    Durable(storage::Lsn),
+    /// A shard's recovery outcome (`ShardedPioEngine::recover`).
+    Recovered(pio_btree::RecoveryReport),
     /// Operations with no payload (`insert_batch`, `checkpoint`).
     Unit,
 }

@@ -29,18 +29,20 @@
 //! fan-outs are deterministic.
 
 use crate::config::EngineConfig;
+use crate::epoch::{EngineRecoveryReport, EpochLog};
 use crate::maintenance::MaintenanceWorker;
 use crate::scheduler::{SchedMsg, SchedulerPool, ShardTask, TaskOutput};
 use crate::stats::{EngineStats, ShardSnapshot};
 use btree::{Key, Value};
 use parking_lot::Mutex;
-use pio::{IoResult, SimPsyncIo};
+use pio::{IoQueue, IoResult, ParallelIo, SimPsyncIo};
 use pio_btree::{PioBTree, PioConfig, PioStats};
 use ssd_sim::DeviceProfile;
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::Arc;
-use storage::{CachedStore, PageStore, Wal, WritePolicy};
+use storage::{CachedStore, Lsn, PageStore, Wal, WritePolicy};
 
 /// One key-range shard: an independent PIO B-tree plus its range bounds.
 pub(crate) struct Shard {
@@ -52,6 +54,27 @@ pub(crate) struct Shard {
     tree: Mutex<PioBTree>,
 }
 
+/// The engine side of the two-phase flush-epoch protocol (present only when the
+/// per-shard WALs are enabled).
+pub(crate) struct EpochCoordinator {
+    log: EpochLog,
+    /// Next epoch id to assign (continued past the log's maximum on recovery).
+    next_epoch: AtomicU64,
+}
+
+/// Caller-supplied I/O backends, one per shard store / shard WAL plus one for
+/// the engine's epoch log. This is the crash-injection seam: tests wrap each
+/// backend in a [`pio::FaultIo`] sharing one [`pio::FaultClock`] and sweep
+/// randomized crash points across the whole engine.
+pub struct EngineBackends {
+    /// One store backend per shard.
+    pub shard_stores: Vec<Arc<dyn IoQueue>>,
+    /// One WAL backend per shard (used only when the base config enables the WAL).
+    pub shard_wals: Vec<Arc<dyn IoQueue>>,
+    /// The engine epoch-log backend (used only when the WAL is enabled).
+    pub engine_wal: Option<Arc<dyn IoQueue>>,
+}
+
 /// Shared state between the engine handle, the per-shard workers, the scheduler
 /// and the background maintenance worker.
 pub(crate) struct EngineInner {
@@ -59,6 +82,14 @@ pub(crate) struct EngineInner {
     /// Boundary keys; shard `i` owns keys `< bounds[i]` (and `≥ bounds[i-1]`).
     bounds: Vec<Key>,
     config: EngineConfig,
+    /// Cross-shard batch-atomicity coordinator (`None` without WALs).
+    epoch: Option<EpochCoordinator>,
+    /// Epochs committed over the engine's lifetime.
+    committed_epochs: AtomicU64,
+    /// Uncommitted-but-fully-acked epochs completed by `recover`.
+    recovered_epochs: AtomicU64,
+    /// Uncommitted epochs discarded on every shard by `recover`.
+    discarded_epochs: AtomicU64,
     /// Accumulated schedule makespan in µs (see the module docs).
     scheduled_us: Mutex<f64>,
     /// Sender into the scheduler's event loop (installed right after the pool is
@@ -187,14 +218,17 @@ fn boundaries_from_sorted(len: usize, key_at: impl Fn(usize) -> Key, shards: usi
     bounds
 }
 
-/// Builds one shard tree over its own simulated store (its own "index file").
+/// Builds one shard tree over its store backend (its own "index file") — a
+/// caller-supplied queue for crash-injection tests, or a fresh simulated device.
 fn build_shard_tree(
     profile: DeviceProfile,
     capacity_bytes: u64,
     cfg: &PioConfig,
     entries: &[(Key, Value)],
+    store_io: Option<Arc<dyn IoQueue>>,
+    wal_io: Option<Arc<dyn IoQueue>>,
 ) -> IoResult<PioBTree> {
-    let io = Arc::new(SimPsyncIo::with_profile(profile, capacity_bytes));
+    let io: Arc<dyn IoQueue> = store_io.unwrap_or_else(|| Arc::new(SimPsyncIo::with_profile(profile, capacity_bytes)));
     let store = Arc::new(CachedStore::new(
         PageStore::new(io, cfg.page_size),
         cfg.pool_pages,
@@ -204,7 +238,10 @@ fn build_shard_tree(
     if cfg.wal_enabled {
         // Like PioBTree::create: the log gets its own backend so log appends never
         // interleave with index-node I/O inside one psync call.
-        let wal_io = Arc::new(SimPsyncIo::with_profile(profile, 256 * 1024 * 1024));
+        let wal_io: Arc<dyn ParallelIo> = match wal_io {
+            Some(q) => Arc::new(q),
+            None => Arc::new(SimPsyncIo::with_profile(profile, 256 * 1024 * 1024)),
+        };
         tree.attach_wal(Wal::new(wal_io, 0, cfg.page_size));
     }
     Ok(tree)
@@ -219,6 +256,14 @@ impl ShardedPioEngine {
         Self::bulk_load_with_sample(config, &[], key_sample)
     }
 
+    /// Like [`ShardedPioEngine::create`], but over caller-supplied I/O backends
+    /// (the crash-injection seam of the recovery test harness).
+    pub fn create_with_backends(config: EngineConfig, key_sample: &[Key], backends: EngineBackends) -> IoResult<Self> {
+        config.validate().map_err(pio::IoError::InvalidConfig)?;
+        let bounds = boundaries_from_sample(key_sample, config.shards);
+        Self::build_with(config, &[], bounds, Some(backends))
+    }
+
     /// Bulk loads `entries` (sorted, duplicate-free) into a fresh engine, using the
     /// entry keys themselves as the boundary sample (read in place — no key copy).
     pub fn bulk_load(config: EngineConfig, entries: &[(Key, Value)]) -> IoResult<Self> {
@@ -226,6 +271,19 @@ impl ShardedPioEngine {
         Self::check_sorted(entries);
         let bounds = boundaries_from_sorted(entries.len(), |i| entries[i].0, config.shards);
         Self::build(config, entries, bounds)
+    }
+
+    /// Like [`ShardedPioEngine::bulk_load`], but over caller-supplied I/O
+    /// backends (the crash-injection seam of the recovery test harness).
+    pub fn bulk_load_with_backends(
+        config: EngineConfig,
+        entries: &[(Key, Value)],
+        backends: EngineBackends,
+    ) -> IoResult<Self> {
+        config.validate().map_err(pio::IoError::InvalidConfig)?;
+        Self::check_sorted(entries);
+        let bounds = boundaries_from_sorted(entries.len(), |i| entries[i].0, config.shards);
+        Self::build_with(config, entries, bounds, Some(backends))
     }
 
     /// Bulk loads `entries` with boundaries drawn from an explicit `key_sample`.
@@ -248,6 +306,15 @@ impl ShardedPioEngine {
     }
 
     fn build(config: EngineConfig, entries: &[(Key, Value)], bounds: Vec<Key>) -> IoResult<Self> {
+        Self::build_with(config, entries, bounds, None)
+    }
+
+    fn build_with(
+        config: EngineConfig,
+        entries: &[(Key, Value)],
+        bounds: Vec<Key>,
+        backends: Option<EngineBackends>,
+    ) -> IoResult<Self> {
         if bounds.len() != config.shards - 1 {
             return Err(pio::IoError::InvalidConfig(format!(
                 "key space cannot be cut into {} shards",
@@ -255,6 +322,21 @@ impl ShardedPioEngine {
             )));
         }
         let shard_cfg = config.shard_config();
+        let mut backends = match backends {
+            Some(b) => {
+                if b.shard_stores.len() != config.shards
+                    || (shard_cfg.wal_enabled && b.shard_wals.len() != config.shards)
+                {
+                    return Err(pio::IoError::InvalidConfig(format!(
+                        "EngineBackends must supply one store{} backend per shard ({} shards)",
+                        if shard_cfg.wal_enabled { " and one WAL" } else { "" },
+                        config.shards
+                    )));
+                }
+                Some(b)
+            }
+            None => None,
+        };
 
         // Split the (sorted) entries at the boundary keys.
         let mut shards = Vec::with_capacity(config.shards);
@@ -270,7 +352,18 @@ impl ShardedPioEngine {
             };
             let (mine, others) = rest.split_at(cut);
             rest = others;
-            let tree = build_shard_tree(config.profile, config.shard_capacity_bytes, &shard_cfg, mine)?;
+            let (store_io, wal_io) = match &backends {
+                Some(b) => (Some(Arc::clone(&b.shard_stores[i])), b.shard_wals.get(i).cloned()),
+                None => (None, None),
+            };
+            let tree = build_shard_tree(
+                config.profile,
+                config.shard_capacity_bytes,
+                &shard_cfg,
+                mine,
+                store_io,
+                wal_io,
+            )?;
             // Shard loads run as concurrent streams like every other engine
             // operation, so the schedule is charged the slowest shard's build.
             build_makespan_us = build_makespan_us.max(tree.io_elapsed_us());
@@ -281,10 +374,27 @@ impl ShardedPioEngine {
             });
         }
 
+        // The cross-shard epoch coordinator exists exactly when the shards log:
+        // without per-shard WALs there is nothing to make atomic.
+        let epoch = shard_cfg.wal_enabled.then(|| {
+            let wal_io: Arc<dyn ParallelIo> = match backends.as_mut().and_then(|b| b.engine_wal.take()) {
+                Some(q) => Arc::new(q),
+                None => Arc::new(SimPsyncIo::with_profile(config.profile, 256 * 1024 * 1024)),
+            };
+            EpochCoordinator {
+                log: EpochLog::new(Wal::new(wal_io, 0, shard_cfg.page_size)),
+                next_epoch: AtomicU64::new(1),
+            }
+        });
+
         let inner = Arc::new(EngineInner {
             shards,
             bounds,
             config: config.clone(),
+            epoch,
+            committed_epochs: AtomicU64::new(0),
+            recovered_epochs: AtomicU64::new(0),
+            discarded_epochs: AtomicU64::new(0),
             scheduled_us: Mutex::new(build_makespan_us),
             sched_tx: Mutex::new(None),
             scheduled_batches: AtomicU64::new(0),
@@ -384,6 +494,33 @@ impl ShardedPioEngine {
     /// of shards flushed. The background worker calls exactly this.
     pub fn maintain_once(&self) -> IoResult<usize> {
         self.inner.maintain_once()
+    }
+
+    /// Simulates a crash of the whole engine: every shard loses its OPQ, buffer
+    /// pool, LSMap and un-forced WAL records, and the engine log loses its
+    /// un-forced records. Returns the total number of OPQ entries lost. Call
+    /// [`ShardedPioEngine::recover`] afterwards.
+    pub fn simulate_crash(&self) -> usize {
+        let mut lost = 0;
+        for shard in &self.inner.shards {
+            lost += shard.tree.lock().simulate_crash();
+        }
+        if let Some(coord) = &self.inner.epoch {
+            coord.log.simulate_crash();
+        }
+        lost
+    }
+
+    /// Engine-level restart recovery. First the engine log is analyzed and every
+    /// epoch is given a verdict — **committed** (normal replay), **re-driven**
+    /// (uncommitted but durable on every member shard: the missing commit record
+    /// is written now), or **discarded** (uncommitted with at least one shard
+    /// not durably acked: dropped on *every* shard). Then each shard replays its
+    /// own WAL through [`PioBTree::recover_with`], with the discard verdicts as
+    /// the redo filter — so after this returns, every cross-shard batch is
+    /// either fully present or fully absent (crash matrix in the crate docs).
+    pub fn recover(&self) -> IoResult<EngineRecoveryReport> {
+        self.inner.recover()
     }
 
     /// Counts live entries across all shards (expensive; for tests and examples).
@@ -531,6 +668,17 @@ impl EngineInner {
         Ok(out)
     }
 
+    /// Batched insert. With WALs enabled, the batch runs as a two-phase flush
+    /// epoch: `Begin` is forced to the engine log before fan-out, every member
+    /// shard appends its sub-batch inside an epoch bracket of its own WAL and
+    /// forces it, and only after the shard acks are durable is `Commit` forced —
+    /// so a crash anywhere in between leaves an epoch that
+    /// [`ShardedPioEngine::recover`] resolves to all-or-nothing across shards.
+    ///
+    /// An *error* return means the batch is undecided: some shards may hold it
+    /// durably, and no commit record exists. The caller should either retry the
+    /// batch (enqueueing is idempotent) or crash-and-recover the engine, which
+    /// discards the epoch everywhere.
     fn insert_batch(&self, entries: &[(Key, Value)]) -> IoResult<()> {
         if entries.is_empty() {
             return Ok(());
@@ -539,19 +687,49 @@ impl EngineInner {
         for &(key, value) in entries {
             per_shard[self.shard_for(key)].push((key, value));
         }
+        let members: Vec<usize> = per_shard
+            .iter()
+            .enumerate()
+            .filter(|(_, batch)| !batch.is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        let epoch = match &self.epoch {
+            Some(coord) => {
+                let epoch = coord.next_epoch.fetch_add(1, Ordering::Relaxed);
+                coord.log.begin(epoch, &members)?;
+                Some(epoch)
+            }
+            None => None,
+        };
         let work: Vec<(usize, ShardTask)> = per_shard
             .into_iter()
             .enumerate()
             .filter(|(_, batch)| !batch.is_empty())
             .map(|(i, batch)| {
-                (
-                    i,
-                    Box::new(move |tree: &mut PioBTree| tree.insert_batch(&batch).map(|()| TaskOutput::Unit))
-                        as ShardTask,
-                )
+                let task: ShardTask = match epoch {
+                    Some(epoch) => Box::new(move |tree: &mut PioBTree| {
+                        tree.insert_batch_epoch(&batch, epoch).map(TaskOutput::Durable)
+                    }),
+                    None => Box::new(move |tree: &mut PioBTree| tree.insert_batch(&batch).map(|()| TaskOutput::Unit)),
+                };
+                (i, task)
             })
             .collect();
-        self.fan_out_tasks(work)?;
+        let results = self.fan_out_tasks(work)?;
+        if let (Some(epoch), Some(coord)) = (epoch, &self.epoch) {
+            let acks: Vec<(usize, Lsn)> = results
+                .into_iter()
+                .map(|(shard, out)| {
+                    let TaskOutput::Durable(lsn) = out else {
+                        unreachable!("epoch insert tasks return Durable")
+                    };
+                    (shard, lsn)
+                })
+                .collect();
+            coord.log.ack_all(epoch, &acks)?;
+            coord.log.commit(epoch)?;
+            self.committed_epochs.fetch_add(1, Ordering::Relaxed);
+        }
         Ok(())
     }
 
@@ -589,6 +767,60 @@ impl EngineInner {
     fn checkpoint(&self) -> IoResult<()> {
         self.fan_out_all(|tree| tree.checkpoint().map(|()| TaskOutput::Unit))?;
         Ok(())
+    }
+
+    fn recover(&self) -> IoResult<EngineRecoveryReport> {
+        let mut report = EngineRecoveryReport::default();
+        let mut discard: HashSet<u64> = HashSet::new();
+        if let Some(coord) = &self.epoch {
+            let analysis = coord.log.analyze()?;
+            for state in &analysis.epochs {
+                if state.committed {
+                    report.committed_epochs += 1;
+                } else if state.fully_acked() {
+                    // The crash hit between the ack force and the commit force:
+                    // the batch is durable on every member shard, so complete the
+                    // protocol instead of throwing the batch away.
+                    coord.log.commit(state.epoch)?;
+                    report.recovered_epochs += 1;
+                } else {
+                    discard.insert(state.epoch);
+                    report.discarded_epochs += 1;
+                }
+            }
+            // Epoch ids must stay unique across restarts: later batches must
+            // never collide with epochs already judged in the log.
+            coord.next_epoch.store(analysis.max_epoch + 1, Ordering::Relaxed);
+        }
+        let work: Vec<(usize, ShardTask)> = (0..self.shards.len())
+            .map(|i| {
+                let discard = discard.clone();
+                let task: ShardTask = Box::new(move |tree: &mut PioBTree| {
+                    tree.recover_with(&mut |epoch| !discard.contains(&epoch))
+                        .map(TaskOutput::Recovered)
+                });
+                (i, task)
+            })
+            .collect();
+        report.shards = self
+            .fan_out_tasks(work)?
+            .into_iter()
+            .map(|(_, out)| {
+                let TaskOutput::Recovered(shard_report) = out else {
+                    unreachable!("recovery tasks return Recovered")
+                };
+                shard_report
+            })
+            .collect();
+        self.recovered_epochs
+            .fetch_add(report.recovered_epochs, Ordering::Relaxed);
+        self.discarded_epochs
+            .fetch_add(report.discarded_epochs, Ordering::Relaxed);
+        // A re-driven epoch is now committed in the log, so the lifetime
+        // committed counter includes it (as its documentation promises).
+        self.committed_epochs
+            .fetch_add(report.recovered_epochs, Ordering::Relaxed);
+        Ok(report)
     }
 
     pub(crate) fn count_entries_tasked(&self) -> IoResult<u64> {
@@ -696,6 +928,9 @@ impl EngineInner {
                 hits as f64 / (hits + misses) as f64
             },
             queued_ops: queued,
+            committed_epochs: self.committed_epochs.load(Ordering::Relaxed),
+            recovered_epochs: self.recovered_epochs.load(Ordering::Relaxed),
+            discarded_epochs: self.discarded_epochs.load(Ordering::Relaxed),
             maintenance_flushes: self.maintenance_flushes.load(Ordering::Relaxed),
             maintenance_errors: self.maintenance_errors.load(Ordering::Relaxed),
             last_maintenance_error: self.last_maintenance_error.lock().clone(),
@@ -899,6 +1134,60 @@ mod tests {
         assert!(stats.maintenance_flushes >= 1);
         assert_eq!(stats.maintenance_errors, 0);
         assert!(stats.last_maintenance_error.is_none());
+    }
+
+    fn wal_config(shards: usize) -> EngineConfig {
+        let mut config = small_config(shards);
+        config.base.wal_enabled = true;
+        config
+    }
+
+    #[test]
+    fn committed_batches_survive_an_engine_crash() {
+        let engine = ShardedPioEngine::create(wal_config(3), &(0..9_000u64).collect::<Vec<_>>()).unwrap();
+        let batch: Vec<(Key, Value)> = (0..90u64).map(|k| (k * 100, k + 1)).collect();
+        engine.insert_batch(&batch).unwrap();
+        assert_eq!(engine.stats().committed_epochs, 1, "one epoch per batched insert");
+
+        let lost = engine.simulate_crash();
+        assert!(lost >= batch.len(), "the queued batch is lost with the OPQs");
+        let report = engine.recover().unwrap();
+        assert_eq!(report.committed_epochs, 1);
+        assert_eq!(report.recovered_epochs, 0);
+        assert_eq!(report.discarded_epochs, 0);
+        assert!(report.redone() >= batch.len(), "every entry re-drives through the WALs");
+
+        engine.checkpoint().unwrap();
+        for &(k, v) in &batch {
+            assert_eq!(engine.search(k).unwrap(), Some(v), "key {k}");
+        }
+        engine.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn epoch_ids_stay_unique_across_restarts() {
+        let engine = ShardedPioEngine::create(wal_config(2), &(0..1_000u64).collect::<Vec<_>>()).unwrap();
+        for round in 0..3u64 {
+            let batch: Vec<(Key, Value)> = (0..20u64).map(|k| (k * 7 + round, round)).collect();
+            engine.insert_batch(&batch).unwrap();
+            engine.simulate_crash();
+            let report = engine.recover().unwrap();
+            assert_eq!(report.discarded_epochs, 0, "round {round}");
+            assert_eq!(report.committed_epochs, round + 1, "epochs accumulate in the log");
+        }
+        engine.checkpoint().unwrap();
+        engine.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn recovery_without_wals_is_a_noop() {
+        let engine = ShardedPioEngine::create(small_config(2), &(0..100u64).collect::<Vec<_>>()).unwrap();
+        engine.insert_batch(&[(1, 1), (99, 2)]).unwrap();
+        engine.simulate_crash();
+        let report = engine.recover().unwrap();
+        assert_eq!(report.redone(), 0, "nothing to replay without WALs");
+        assert_eq!(engine.search(1).unwrap(), None, "unlogged queued entries are gone");
+        assert_eq!(engine.stats().committed_epochs, 0);
     }
 
     #[test]

@@ -52,6 +52,14 @@ pub struct EngineStats {
     pub pool_hit_ratio: f64,
     /// Total operations buffered in shard OPQs.
     pub queued_ops: usize,
+    /// Cross-shard flush epochs committed (one per `insert_batch` with WALs
+    /// enabled, plus epochs completed by recovery).
+    pub committed_epochs: u64,
+    /// Uncommitted epochs that recovery found durable on every member shard and
+    /// re-drove (committed).
+    pub recovered_epochs: u64,
+    /// Uncommitted epochs that recovery discarded on every member shard.
+    pub discarded_epochs: u64,
     /// Maintenance passes that flushed at least one shard.
     pub maintenance_flushes: u64,
     /// Background maintenance passes that failed with an I/O error. A non-zero

@@ -1,0 +1,353 @@
+//! Fault injection for crash-recovery testing.
+//!
+//! Recovery code is only as trustworthy as the crash points it has been tested
+//! under, and hand-picked crash points miss the interesting ones (Didona et al.,
+//! *Toward a Better Understanding and Evaluation of Tree Structures on Flash
+//! SSDs*, make exactly this argument for tree-on-SSD evaluation). This module is
+//! the one fault-injection harness shared by the `storage`, `pio-btree` and
+//! `engine` test suites: a transparent [`IoQueue`] wrapper ([`FaultIo`]) driven
+//! by a shared [`FaultClock`] that can kill an arbitrary write — the N-th write
+//! submission across *all* wrapped backends, or the first write whose payload
+//! matches a predicate (e.g. "the batch carrying the `EpochCommit` record") —
+//! optionally leaving a **torn** final write behind, and then halting every
+//! subsequent submission the way a real crash halts a process.
+//!
+//! The intended loop for randomized crash testing:
+//!
+//! 1. wrap every backend of the system under test in a [`FaultIo`] sharing one
+//!    [`FaultClock`];
+//! 2. run the deterministic workload once with no plan armed and read
+//!    [`FaultClock::writes_seen`] — the number of write submissions `W`;
+//! 3. for each crash point `k < W`: rebuild the system, arm
+//!    [`CrashPlan::at_write`]`(k)`, run until the injected failure surfaces,
+//!    [`FaultClock::heal`] the clock, run recovery, and compare the recovered
+//!    state against an oracle.
+
+use crate::error::{IoError, IoResult};
+use crate::queue::{Completion, IoQueue, Ticket, TryComplete};
+use crate::request::{ReadRequest, WriteRequest};
+use crate::stats::IoStats;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A predicate over a write batch, used by [`Trigger::OnPayload`].
+pub type PayloadPredicate = Box<dyn Fn(&[WriteRequest<'_>]) -> bool + Send>;
+
+/// Decides which write submission the crash fires on.
+pub enum Trigger {
+    /// The `k`-th write submission observed by the shared clock (0-based, counted
+    /// across every [`FaultIo`] sharing the clock).
+    AtWrite(u64),
+    /// The first write submission whose request batch satisfies the predicate
+    /// (e.g. "carries a WAL record of kind X").
+    OnPayload(PayloadPredicate),
+}
+
+/// How much of the triggering write lands on the device before the failure: the
+/// first `keep_requests` requests in full, plus the first `keep_bytes_of_next`
+/// bytes of the following request — a torn write.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TornWrite {
+    /// Requests of the triggering batch that are applied completely.
+    pub keep_requests: usize,
+    /// Bytes of the next request that still land (a torn page).
+    pub keep_bytes_of_next: usize,
+}
+
+/// A scripted crash: when [`Trigger`] fires, the triggering write fails (after
+/// optionally applying a [`TornWrite`] prefix), and — unless `one_shot` — the
+/// clock halts, so every subsequent submission on every wrapped backend fails
+/// too, the way a dead process stops doing I/O.
+pub struct CrashPlan {
+    /// When to fire.
+    pub trigger: Trigger,
+    /// Partial application of the triggering write (`None`: nothing lands).
+    pub torn: Option<TornWrite>,
+    /// `true`: only the triggering submission fails and the system keeps running
+    /// (transient-fault mode, the old inline `FailingIo` behaviour). `false`:
+    /// the clock halts until [`FaultClock::heal`].
+    pub one_shot: bool,
+}
+
+impl CrashPlan {
+    /// A crash at the `k`-th write submission seen by the clock.
+    pub fn at_write(k: u64) -> Self {
+        Self {
+            trigger: Trigger::AtWrite(k),
+            torn: None,
+            one_shot: false,
+        }
+    }
+
+    /// A crash on the first write batch whose requests satisfy `pred`.
+    pub fn on_payload(pred: impl Fn(&[WriteRequest<'_>]) -> bool + Send + 'static) -> Self {
+        Self {
+            trigger: Trigger::OnPayload(Box::new(pred)),
+            torn: None,
+            one_shot: false,
+        }
+    }
+
+    /// Leaves a torn prefix of the triggering write on the device.
+    pub fn with_torn(mut self, torn: TornWrite) -> Self {
+        self.torn = Some(torn);
+        self
+    }
+
+    /// Makes the failure transient: only the triggering submission fails.
+    pub fn transient(mut self) -> Self {
+        self.one_shot = true;
+        self
+    }
+}
+
+#[derive(Default)]
+struct ClockState {
+    plan: Option<CrashPlan>,
+    halted: bool,
+    tripped: bool,
+}
+
+/// The shared trigger state of a set of [`FaultIo`] wrappers.
+///
+/// One clock is typically shared by every backend of the system under test
+/// (index stores, shard WALs, the engine log), so "crash at write `k`" means the
+/// `k`-th write submission *anywhere in the system* — the global crash points a
+/// randomized harness sweeps over.
+#[derive(Default)]
+pub struct FaultClock {
+    writes: AtomicU64,
+    state: Mutex<ClockState>,
+}
+
+impl FaultClock {
+    /// A clock with no plan armed (counts writes, never fails).
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Arms a crash plan (replacing any previous one) and clears the tripped flag.
+    pub fn arm(&self, plan: CrashPlan) {
+        let mut state = self.state.lock();
+        state.plan = Some(plan);
+        state.tripped = false;
+    }
+
+    /// Removes the plan without clearing a halt.
+    pub fn disarm(&self) {
+        self.state.lock().plan = None;
+    }
+
+    /// Clears the plan *and* the halt — the "restart" step before recovery runs.
+    pub fn heal(&self) {
+        let mut state = self.state.lock();
+        state.plan = None;
+        state.halted = false;
+    }
+
+    /// Write submissions observed so far (counted whether or not a plan is armed).
+    pub fn writes_seen(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Whether an armed plan has fired.
+    pub fn tripped(&self) -> bool {
+        self.state.lock().tripped
+    }
+
+    /// Whether the clock is halted (every submission fails until [`FaultClock::heal`]).
+    pub fn halted(&self) -> bool {
+        self.state.lock().halted
+    }
+}
+
+/// An [`IoQueue`] wrapper that injects the shared [`FaultClock`]'s crash plan
+/// into the write path of the backend it wraps.
+pub struct FaultIo {
+    inner: Arc<dyn IoQueue>,
+    clock: Arc<FaultClock>,
+}
+
+impl FaultIo {
+    /// Wraps `inner`, observing (and obeying) `clock`.
+    pub fn new(inner: Arc<dyn IoQueue>, clock: Arc<FaultClock>) -> Self {
+        Self { inner, clock }
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &Arc<FaultClock> {
+        &self.clock
+    }
+
+    fn injected(what: &str) -> IoError {
+        IoError::WorkerFailed(format!("injected crash: {what}"))
+    }
+
+    /// Applies the torn prefix of a failing write batch to the wrapped backend.
+    fn apply_torn(&self, reqs: &[WriteRequest<'_>], torn: TornWrite) {
+        let keep = torn.keep_requests.min(reqs.len());
+        let mut partial: Vec<WriteRequest<'_>> = reqs[..keep].to_vec();
+        if let Some(next) = reqs.get(keep) {
+            let cut = torn.keep_bytes_of_next.min(next.data.len());
+            if cut > 0 {
+                partial.push(WriteRequest::new(next.offset, &next.data[..cut]));
+            }
+        }
+        if partial.is_empty() {
+            return;
+        }
+        // Best effort: the device is about to "lose power", so a failure of the
+        // torn prefix itself is indistinguishable from the crash.
+        if let Ok(ticket) = self.inner.submit_write(&partial) {
+            let _ = self.inner.wait(ticket);
+        }
+    }
+}
+
+impl IoQueue for FaultIo {
+    fn submit_read(&self, reqs: &[ReadRequest]) -> IoResult<Ticket> {
+        if self.clock.halted() {
+            return Err(Self::injected("read after halt"));
+        }
+        self.inner.submit_read(reqs)
+    }
+
+    fn submit_write(&self, reqs: &[WriteRequest<'_>]) -> IoResult<Ticket> {
+        let n = self.clock.writes.fetch_add(1, Ordering::Relaxed);
+        let mut state = self.clock.state.lock();
+        if state.halted {
+            return Err(Self::injected("write after halt"));
+        }
+        let fire = match &state.plan {
+            Some(plan) => match &plan.trigger {
+                Trigger::AtWrite(k) => n == *k,
+                Trigger::OnPayload(pred) => pred(reqs),
+            },
+            None => false,
+        };
+        if !fire {
+            drop(state);
+            return self.inner.submit_write(reqs);
+        }
+        let plan = state.plan.take().expect("fired plan exists");
+        state.tripped = true;
+        state.halted = !plan.one_shot;
+        drop(state);
+        if let Some(torn) = plan.torn {
+            self.apply_torn(reqs, torn);
+        }
+        Err(Self::injected("write submission"))
+    }
+
+    fn wait(&self, ticket: Ticket) -> IoResult<Completion> {
+        self.inner.wait(ticket)
+    }
+
+    fn try_complete(&self, ticket: Ticket) -> IoResult<TryComplete> {
+        self.inner.try_complete(ticket)
+    }
+
+    fn io_stats(&self) -> IoStats {
+        self.inner.io_stats()
+    }
+
+    fn reset_io_stats(&self) {
+        self.inner.reset_io_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ParallelIo, SimPsyncIo};
+    use ssd_sim::DeviceProfile;
+
+    fn wrapped() -> (FaultIo, Arc<FaultClock>) {
+        let clock = FaultClock::new();
+        let inner: Arc<dyn IoQueue> = Arc::new(SimPsyncIo::with_profile(DeviceProfile::F120, 1 << 20));
+        (FaultIo::new(Arc::clone(&inner), Arc::clone(&clock)), clock)
+    }
+
+    #[test]
+    fn unarmed_clock_counts_and_passes_through() {
+        let (io, clock) = wrapped();
+        io.write_at(0, b"hello").unwrap();
+        io.write_at(4096, b"world").unwrap();
+        assert_eq!(io.read_at(0, 5).unwrap(), b"hello");
+        assert_eq!(clock.writes_seen(), 2);
+        assert!(!clock.tripped());
+    }
+
+    #[test]
+    fn at_write_trigger_halts_everything_until_heal() {
+        let (io, clock) = wrapped();
+        io.write_at(0, b"before").unwrap();
+        clock.arm(CrashPlan::at_write(1));
+        let err = io.write_at(4096, b"doomed").unwrap_err();
+        assert!(err.to_string().contains("injected"), "{err}");
+        assert!(clock.tripped());
+        // Halted: reads and writes both fail, like a dead process.
+        assert!(io.write_at(8192, b"after").is_err());
+        assert!(io.read_at(0, 6).is_err());
+        clock.heal();
+        assert_eq!(io.read_at(0, 6).unwrap(), b"before");
+        assert_eq!(io.read_at(4096, 6).unwrap(), vec![0u8; 6], "doomed write never landed");
+    }
+
+    #[test]
+    fn transient_failure_is_one_shot() {
+        let (io, clock) = wrapped();
+        clock.arm(CrashPlan::at_write(0).transient());
+        assert!(io.write_at(0, b"fails").is_err());
+        io.write_at(0, b"works").unwrap();
+        assert_eq!(io.read_at(0, 5).unwrap(), b"works");
+    }
+
+    #[test]
+    fn torn_write_leaves_a_prefix() {
+        let (io, clock) = wrapped();
+        clock.arm(CrashPlan::at_write(0).with_torn(TornWrite {
+            keep_requests: 1,
+            keep_bytes_of_next: 2,
+        }));
+        let reqs = [WriteRequest::new(0, b"whole"), WriteRequest::new(4096, b"partial")];
+        assert!(io.psync_write(&reqs).is_err());
+        clock.heal();
+        assert_eq!(io.read_at(0, 5).unwrap(), b"whole");
+        let torn = io.read_at(4096, 7).unwrap();
+        assert_eq!(&torn[..2], b"pa");
+        assert_eq!(&torn[2..], &[0u8; 5][..], "tail of the torn request never landed");
+    }
+
+    #[test]
+    fn payload_predicate_targets_a_specific_write() {
+        let (io, clock) = wrapped();
+        clock.arm(CrashPlan::on_payload(|reqs| {
+            reqs.iter().any(|r| r.data.windows(5).any(|w| w == b"MAGIC"))
+        }));
+        io.write_at(0, b"plain").unwrap();
+        assert!(io.write_at(4096, b"xxMAGICxx").is_err());
+        assert!(clock.tripped());
+    }
+
+    #[test]
+    fn one_clock_spans_many_backends() {
+        let clock = FaultClock::new();
+        let a = FaultIo::new(
+            Arc::new(SimPsyncIo::with_profile(DeviceProfile::F120, 1 << 20)),
+            Arc::clone(&clock),
+        );
+        let b = FaultIo::new(
+            Arc::new(SimPsyncIo::with_profile(DeviceProfile::F120, 1 << 20)),
+            Arc::clone(&clock),
+        );
+        a.write_at(0, b"a0").unwrap();
+        b.write_at(0, b"b0").unwrap();
+        clock.arm(CrashPlan::at_write(2));
+        // The third write anywhere fires, and the halt spans both backends.
+        assert!(a.write_at(4096, b"a1").is_err());
+        assert!(b.write_at(4096, b"b1").is_err());
+        assert_eq!(clock.writes_seen(), 4);
+    }
+}

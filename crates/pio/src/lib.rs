@@ -49,6 +49,7 @@
 pub mod aligned;
 pub mod backend;
 pub mod error;
+pub mod fault;
 pub mod memdisk;
 pub mod queue;
 pub mod request;
@@ -60,6 +61,7 @@ pub use backend::psync::SimPsyncIo;
 pub use backend::sync::SimSyncIo;
 pub use backend::threaded::{FileLayout, SimThreadedIo};
 pub use error::{IoError, IoResult};
+pub use fault::{CrashPlan, FaultClock, FaultIo, TornWrite};
 pub use memdisk::MemDisk;
 pub use queue::{Completion, IoQueue, Ticket, TryComplete};
 pub use request::{ReadRequest, WriteRequest};

@@ -32,4 +32,4 @@ pub use bufpool::{BufferPool, BufferPoolStats, WritePolicy};
 pub use cached::{CachedReadTicket, CachedStore, RegionReadTicket, RegionWriteTicket};
 pub use page::{PageId, INVALID_PAGE};
 pub use store::{PageStore, ReadTicket, StoreStats, WriteTicket};
-pub use wal::{Lsn, Wal, WalRecord};
+pub use wal::{Lsn, RescanReport, Wal, WalRecord, WalScan};

@@ -45,6 +45,31 @@ pub struct StoreStats {
     pub write_batches: u64,
 }
 
+/// The reusable-page pool: a stack for O(1) pop plus a membership set so that
+/// freeing an already-free page is an O(1) no-op (see [`PageStore::free`]).
+#[derive(Debug, Default)]
+struct FreeList {
+    stack: Vec<PageId>,
+    members: std::collections::HashSet<PageId>,
+}
+
+impl FreeList {
+    /// Adds `page` unless it is already free; returns whether it was added.
+    fn push(&mut self, page: PageId) -> bool {
+        if !self.members.insert(page) {
+            return false;
+        }
+        self.stack.push(page);
+        true
+    }
+
+    fn pop(&mut self) -> Option<PageId> {
+        let page = self.stack.pop()?;
+        self.members.remove(&page);
+        Some(page)
+    }
+}
+
 /// A flat page space with allocation, single, batched (psync) and multi-page region
 /// I/O, generic over any [`IoQueue`] backend.
 ///
@@ -55,7 +80,7 @@ pub struct PageStore {
     io: Arc<dyn IoQueue>,
     page_size: usize,
     next_page: Arc<AtomicU64>,
-    free_list: Arc<Mutex<Vec<PageId>>>,
+    free_list: Arc<Mutex<FreeList>>,
     stats: Arc<Mutex<StoreStats>>,
 }
 
@@ -76,7 +101,7 @@ impl PageStore {
             io,
             page_size,
             next_page: Arc::new(AtomicU64::new(0)),
-            free_list: Arc::new(Mutex::new(Vec::new())),
+            free_list: Arc::new(Mutex::new(FreeList::default())),
             stats: Arc::new(Mutex::new(StoreStats::default())),
         }
     }
@@ -115,6 +140,17 @@ impl PageStore {
         self.next_page.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// Returns a page to the free list. Freed pages are reused by later
+    /// single-page allocations. Freeing an already-free page is a no-op: crash
+    /// recovery may re-free pages that an in-process flush rollback reclaimed
+    /// just before the crash, and a double entry would let [`PageStore::allocate`]
+    /// hand the page out twice.
+    pub fn free(&self, page: PageId) {
+        if self.free_list.lock().push(page) {
+            self.stats.lock().freed += 1;
+        }
+    }
+
     /// Allocates `n` physically consecutive pages and returns the first id. Used for
     /// multi-page leaf nodes, which must be contiguous so that one large read covers
     /// the whole node.
@@ -122,13 +158,6 @@ impl PageStore {
         assert!(n > 0);
         self.stats.lock().allocated += n;
         self.next_page.fetch_add(n, Ordering::Relaxed)
-    }
-
-    /// Returns a page to the free list. Freed pages are reused by later single-page
-    /// allocations.
-    pub fn free(&self, page: PageId) {
-        self.stats.lock().freed += 1;
-        self.free_list.lock().push(page);
     }
 
     /// Reads one page.

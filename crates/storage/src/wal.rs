@@ -4,10 +4,18 @@
 //! redo logs** for every OPQ append, **flush event logs** bracketing every OPQ flush
 //! and **flush undo logs** for every node updated by a flush. This module provides
 //! the log device those records are written to: an append-only sequence of
-//! length-prefixed records identified by their [`Lsn`] (the byte offset of the
+//! header-prefixed records identified by their [`Lsn`] (the byte offset of the
 //! record), buffered in memory and forced to the device in whole pages by
 //! [`Wal::force`] — the "write ahead" step that must complete before an OPQ flush may
 //! proceed.
+//!
+//! Every record carries a length **and a checksum of its payload**, so a force that
+//! is torn by a crash (only a prefix of its pages reached the device) is detected
+//! at read time: scanning stops at the first record whose bytes are incomplete or
+//! whose checksum does not match, and the scan reports the tail as torn instead of
+//! silently yielding garbage. After a crash, [`Wal::rescan`] re-derives the durable
+//! LSN from the device itself, recovering any records that a torn force *did*
+//! complete — a real restart has no in-memory `durable_lsn` to trust.
 //!
 //! The log occupies its own region of a [`pio::ParallelIo`] backend (its own file in
 //! the paper's terms), so log writes are sequential and never interleave with index
@@ -29,6 +37,29 @@ pub struct WalRecord {
     pub payload: Vec<u8>,
 }
 
+/// The records of a log scan plus what the scan found at the end of the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalScan {
+    /// Every intact record, in LSN order.
+    pub records: Vec<WalRecord>,
+    /// `true` when the scan stopped at a torn or corrupt record (a crash
+    /// interrupted the force that was writing it) rather than at clean,
+    /// never-written space.
+    pub torn_tail: bool,
+}
+
+/// Outcome of a [`Wal::rescan`] after a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RescanReport {
+    /// The durable LSN derived from the device.
+    pub durable_lsn: Lsn,
+    /// Bytes of records beyond the in-memory durable LSN that a torn force had
+    /// completed and the rescan salvaged.
+    pub salvaged_bytes: u64,
+    /// Whether the log ends in a torn record.
+    pub torn_tail: bool,
+}
+
 #[derive(Debug, Default)]
 struct WalInner {
     /// Bytes appended but not yet forced.
@@ -46,9 +77,68 @@ pub struct Wal {
     base_offset: u64,
     page_size: usize,
     inner: Mutex<WalInner>,
+    /// Serialises concurrent [`Wal::force`] calls end to end: two in-flight
+    /// forces would both rebuild the page containing their shared boundary
+    /// record — each zero-filling the part the other owns — so whichever write
+    /// lands second would erase the other's records.
+    force_lock: Mutex<()>,
 }
 
-const LEN_PREFIX: usize = 4;
+/// Record header: 4-byte little-endian payload length + 4-byte payload checksum.
+const HEADER: usize = 8;
+
+/// Upper bound on a record payload (enforced at append): a declared length
+/// beyond this is garbage from a torn header, not a record, so scans stop
+/// instead of chasing it across the device.
+const MAX_RECORD: usize = 1 << 20;
+
+/// FNV-1a over the payload: cheap, and more than enough to tell a half-written
+/// record from an intact one.
+fn checksum(payload: &[u8]) -> u32 {
+    let mut hash: u32 = 0x811c_9dc5;
+    for &b in payload {
+        hash ^= b as u32;
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
+}
+
+/// Parses the records contained in `raw` (whose first byte is LSN `base_lsn`).
+/// Stops at the first zero length (clean, never-written space) or at a record
+/// whose bytes are incomplete or whose checksum mismatches (torn tail).
+fn parse_records(raw: &[u8], base_lsn: Lsn) -> WalScan {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    let mut torn_tail = false;
+    while pos + HEADER <= raw.len() {
+        let len = u32::from_le_bytes(raw[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        if len == 0 {
+            break;
+        }
+        if len > MAX_RECORD {
+            // No legal record is this large (append enforces MAX_RECORD): the
+            // length field itself is torn garbage.
+            torn_tail = true;
+            break;
+        }
+        let stored_sum = u32::from_le_bytes(raw[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        if pos + HEADER + len > raw.len() {
+            torn_tail = true;
+            break;
+        }
+        let payload = &raw[pos + HEADER..pos + HEADER + len];
+        if checksum(payload) != stored_sum {
+            torn_tail = true;
+            break;
+        }
+        records.push(WalRecord {
+            lsn: base_lsn + pos as u64,
+            payload: payload.to_vec(),
+        });
+        pos += HEADER + len;
+    }
+    WalScan { records, torn_tail }
+}
 
 impl Wal {
     /// Creates a log whose records are written starting at `base_offset` on `io`,
@@ -59,15 +149,23 @@ impl Wal {
             base_offset,
             page_size,
             inner: Mutex::new(WalInner::default()),
+            force_lock: Mutex::new(()),
         }
     }
 
     /// Appends a record and returns its LSN. The record is **not** durable until
-    /// [`Wal::force`] returns.
+    /// [`Wal::force`] returns. Empty payloads are rejected (a zero length is how
+    /// the scanner recognises never-written space), as are payloads beyond the
+    /// scanner's sanity bound.
     pub fn append(&self, payload: &[u8]) -> Lsn {
+        assert!(!payload.is_empty(), "WAL records must be non-empty");
+        assert!(
+            payload.len() <= MAX_RECORD,
+            "WAL records are bounded at {MAX_RECORD} bytes"
+        );
         let mut inner = self.inner.lock();
         let lsn = inner.next_lsn;
-        inner.next_lsn += (LEN_PREFIX + payload.len()) as u64;
+        inner.next_lsn += (HEADER + payload.len()) as u64;
         inner.pending.push((lsn, payload.to_vec()));
         lsn
     }
@@ -88,8 +186,11 @@ impl Wal {
     }
 
     /// Forces every pending record to the device (WAL rule: callers must invoke this
-    /// before the action the records describe is applied to the index).
+    /// before the action the records describe is applied to the index). Concurrent
+    /// forces are serialised; records appended while a force is in flight are
+    /// picked up by the next one.
     pub fn force(&self) -> IoResult<()> {
+        let _serialised = self.force_lock.lock();
         let pending: Vec<(Lsn, Vec<u8>)> = {
             let mut inner = self.inner.lock();
             std::mem::take(&mut inner.pending)
@@ -102,6 +203,7 @@ impl Wal {
         let mut image = Vec::new();
         for (_, payload) in &pending {
             image.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            image.extend_from_slice(&checksum(payload).to_le_bytes());
             image.extend_from_slice(payload);
         }
         // Write whole pages covering [first_lsn, first_lsn + image.len()), sequentially.
@@ -128,7 +230,21 @@ impl Wal {
             .enumerate()
             .map(|(i, chunk)| WriteRequest::new(self.base_offset + page_base + (i * self.page_size) as u64, chunk))
             .collect();
-        self.io.psync_write(&reqs)?;
+        if let Err(e) = self.io.psync_write(&reqs) {
+            // Put the records back (ahead of any appended meanwhile, which hold
+            // later LSNs): a failed force must not leave a hole in the LSN
+            // sequence that would truncate every later record at read time. A
+            // retried force rewrites the same pages in full, healing whatever
+            // prefix of this attempt reached the device.
+            let mut inner = self.inner.lock();
+            let taken = pending.len();
+            inner.pending.splice(0..0, pending);
+            debug_assert!(
+                inner.pending.len() >= taken,
+                "restored records precede concurrent appends"
+            );
+            return Err(e);
+        }
 
         let mut inner = self.inner.lock();
         inner.durable_lsn = inner.durable_lsn.max(end_byte);
@@ -138,38 +254,135 @@ impl Wal {
     /// Reads every durable record back from the device, in LSN order. Used by the
     /// recovery procedure's analysis pass.
     pub fn read_all(&self) -> IoResult<Vec<WalRecord>> {
+        Ok(self.scan()?.records)
+    }
+
+    /// Reads every durable record back from the device and reports whether the
+    /// log ends in a torn record.
+    pub fn scan(&self) -> IoResult<WalScan> {
         let durable = self.durable_lsn();
         if durable == 0 {
-            return Ok(Vec::new());
+            return Ok(WalScan {
+                records: Vec::new(),
+                torn_tail: false,
+            });
         }
-        let raw = {
-            // Read the durable prefix in page-sized psync batches.
-            let n_pages = durable.div_ceil(self.page_size as u64);
-            let reqs: Vec<ReadRequest> = (0..n_pages)
-                .map(|p| ReadRequest::new(self.base_offset + p * self.page_size as u64, self.page_size))
-                .collect();
-            let (bufs, _) = self.io.psync_read(&reqs)?;
-            let mut all = Vec::with_capacity((n_pages as usize) * self.page_size);
-            for b in bufs {
-                all.extend_from_slice(&b);
+        // Read the durable prefix in page-sized psync batches.
+        let n_pages = durable.div_ceil(self.page_size as u64);
+        let reqs: Vec<ReadRequest> = (0..n_pages)
+            .map(|p| ReadRequest::new(self.base_offset + p * self.page_size as u64, self.page_size))
+            .collect();
+        let (bufs, _) = self.io.psync_read(&reqs)?;
+        let mut all = Vec::with_capacity((n_pages as usize) * self.page_size);
+        for b in bufs {
+            all.extend_from_slice(&b);
+        }
+        all.truncate(durable as usize);
+        Ok(parse_records(&all, 0))
+    }
+
+    /// Re-derives the durable LSN from the device and returns every intact
+    /// record in one pass: the whole log is read forward from its start, and
+    /// durability is extended over every intact record found — records that a
+    /// force torn by a crash *did* complete are salvaged; the first incomplete
+    /// or corrupt record ends the scan (reported as a torn tail, including when
+    /// the device's edge cuts a record short). Recovery uses this instead of
+    /// [`Wal::scan`], because after a crash the in-memory durable LSN
+    /// understates (crash mid-force) what actually reached the device.
+    pub fn recover_scan(&self) -> IoResult<(RescanReport, WalScan)> {
+        // Only an out-of-range read means the device's edge; any other read
+        // error (a transient I/O failure on a real device) must abort recovery
+        // rather than silently truncate the log there.
+        fn is_edge(e: &pio::IoError) -> bool {
+            matches!(e, pio::IoError::OutOfBounds { .. })
+        }
+        let known = self.durable_lsn();
+        // Read forward one page-aligned chunk at a time until the scan stops
+        // making progress (clean end, torn record, or the device's edge). The
+        // parse is incremental — each iteration parses only the bytes beyond
+        // the last complete record — so the whole scan is O(log size).
+        const CHUNK_PAGES: u64 = 16;
+        let chunk_len = (CHUNK_PAGES * self.page_size as u64) as usize;
+        let mut window: Vec<u8> = Vec::new();
+        let mut records: Vec<WalRecord> = Vec::new();
+        // Byte offset of the first not-yet-consumed record (== the log LSN,
+        // since the window starts at LSN 0).
+        let mut parse_from: usize = 0;
+        let mut torn_tail = false;
+        loop {
+            let read_off = self.base_offset + window.len() as u64;
+            let before = window.len();
+            let mut edge = false;
+            match self.io.read_at(read_off, chunk_len) {
+                Ok(chunk) => window.extend_from_slice(&chunk),
+                Err(e) if is_edge(&e) => {
+                    // The chunk overshoots the device's edge: take the pages
+                    // that still fit, then finish with what the window holds.
+                    while window.len() - before < chunk_len {
+                        let off = self.base_offset + window.len() as u64;
+                        match self.io.read_at(off, self.page_size) {
+                            Ok(page) => window.extend_from_slice(&page),
+                            Err(e) if is_edge(&e) => break,
+                            Err(e) => return Err(e),
+                        }
+                    }
+                    edge = true;
+                }
+                Err(e) => return Err(e),
             }
-            all.truncate(durable as usize);
-            all
-        };
-        let mut records = Vec::new();
-        let mut pos = 0usize;
-        while pos + LEN_PREFIX <= raw.len() {
-            let len = u32::from_le_bytes(raw[pos..pos + LEN_PREFIX].try_into().expect("4 bytes")) as usize;
-            if len == 0 || pos + LEN_PREFIX + len > raw.len() {
+            let tail_scan = parse_records(&window[parse_from..], parse_from as u64);
+            if let Some(last) = tail_scan.records.last() {
+                parse_from = (last.lsn as usize) + HEADER + last.payload.len();
+            }
+            records.extend(tail_scan.records);
+            if edge {
+                // A record still pending at the edge can never complete.
+                torn_tail =
+                    tail_scan.torn_tail || (parse_from < window.len() && window[parse_from..].iter().any(|&b| b != 0));
                 break;
             }
-            records.push(WalRecord {
-                lsn: pos as u64,
-                payload: raw[pos + LEN_PREFIX..pos + LEN_PREFIX + len].to_vec(),
-            });
-            pos += LEN_PREFIX + len;
+            if tail_scan.torn_tail {
+                // A record is incomplete; a longer window cannot complete it
+                // unless it simply spans the chunk boundary — detectable because
+                // the declared (sane) length reaches past the window.
+                let tail = &window[parse_from..];
+                let spans_boundary = tail.len() >= HEADER && {
+                    let len = u32::from_le_bytes(tail[..4].try_into().expect("4 bytes")) as usize;
+                    len != 0 && len <= MAX_RECORD && parse_from + HEADER + len > window.len()
+                };
+                if !spans_boundary {
+                    torn_tail = true;
+                    break;
+                }
+                continue; // not decided yet: fetch more pages
+            }
+            if parse_from + HEADER <= window.len() {
+                // The scan stopped before the window's end at a zero length:
+                // clean, never-written space follows the last record.
+                break;
+            }
+            // The window ended exactly at a record boundary; the next chunk may
+            // hold more records.
         }
-        Ok(records)
+        let end = parse_from as u64;
+        let mut inner = self.inner.lock();
+        inner.durable_lsn = end;
+        inner.next_lsn = inner.next_lsn.max(end);
+        drop(inner);
+        Ok((
+            RescanReport {
+                durable_lsn: end,
+                salvaged_bytes: end.saturating_sub(known),
+                torn_tail,
+            },
+            WalScan { records, torn_tail },
+        ))
+    }
+
+    /// [`Wal::recover_scan`] without the record list (durability re-derivation
+    /// only).
+    pub fn rescan(&self) -> IoResult<RescanReport> {
+        Ok(self.recover_scan()?.0)
     }
 
     /// Discards the in-memory notion of the log (used by tests that simulate a crash:
@@ -197,7 +410,7 @@ impl std::fmt::Debug for Wal {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pio::SimPsyncIo;
+    use pio::{CrashPlan, FaultClock, FaultIo, IoQueue, SimPsyncIo, TornWrite};
     use ssd_sim::DeviceProfile;
 
     fn wal() -> Wal {
@@ -280,5 +493,151 @@ mod tests {
         assert_eq!(recs.len(), 2);
         assert_eq!(recs[0].payload, big);
         assert_eq!(recs[1].payload, b"tail");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_records_are_rejected() {
+        wal().append(b"");
+    }
+
+    #[test]
+    fn clean_log_scan_reports_no_torn_tail() {
+        let w = wal();
+        w.append(b"one");
+        w.append(b"two");
+        w.force().unwrap();
+        let scan = w.scan().unwrap();
+        assert_eq!(scan.records.len(), 2);
+        assert!(!scan.torn_tail);
+    }
+
+    /// A WAL over a fault-injected backend whose force is torn mid-batch: the
+    /// rescan must salvage every record that fit in the written prefix, report
+    /// the tail as torn, and leave the log appendable.
+    #[test]
+    fn rescan_salvages_records_from_a_torn_force() {
+        let clock = FaultClock::new();
+        let sim: Arc<dyn IoQueue> = Arc::new(SimPsyncIo::with_profile(DeviceProfile::F120, 64 << 20));
+        let faulty = Arc::new(FaultIo::new(sim, Arc::clone(&clock)));
+        let w = Wal::new(Arc::new(faulty) as Arc<dyn ParallelIo>, 0, 4096);
+
+        // One durable force to anchor durable_lsn.
+        w.append(b"anchor");
+        w.force().unwrap();
+        let anchored = w.durable_lsn();
+
+        // A force spanning 3 pages (records of 1000 bytes each), torn after the
+        // first page plus 100 bytes of the second.
+        for i in 0..10u32 {
+            w.append(&vec![i as u8 + 1; 1000]);
+        }
+        clock.arm(CrashPlan::at_write(clock.writes_seen()).with_torn(TornWrite {
+            keep_requests: 1,
+            keep_bytes_of_next: 100,
+        }));
+        assert!(w.force().is_err());
+        clock.heal();
+        w.simulate_crash();
+        assert_eq!(w.durable_lsn(), anchored, "failed force advanced nothing");
+
+        let report = w.rescan().unwrap();
+        assert!(report.torn_tail, "the torn record must be detected");
+        assert!(report.salvaged_bytes > 0, "complete records in page 1 are salvageable");
+        let recs = w.read_all().unwrap();
+        // The anchor plus every 1000-byte record that fit in the torn prefix.
+        assert!(recs.len() >= 2 && recs.len() < 11, "{} records", recs.len());
+        assert_eq!(recs[0].payload, b"anchor");
+        for (i, r) in recs[1..].iter().enumerate() {
+            assert_eq!(r.payload, vec![i as u8 + 1; 1000], "salvaged record {i} is intact");
+        }
+
+        // The log continues cleanly after the torn tail.
+        w.append(b"post-crash");
+        w.force().unwrap();
+        let recs = w.read_all().unwrap();
+        assert_eq!(recs.last().unwrap().payload, b"post-crash");
+    }
+
+    #[test]
+    fn failed_force_keeps_records_for_retry() {
+        let clock = FaultClock::new();
+        let sim: Arc<dyn IoQueue> = Arc::new(SimPsyncIo::with_profile(DeviceProfile::F120, 64 << 20));
+        let faulty = Arc::new(FaultIo::new(sim, Arc::clone(&clock)));
+        let w = Wal::new(Arc::new(faulty) as Arc<dyn ParallelIo>, 0, 4096);
+        w.append(b"first");
+        clock.arm(CrashPlan::at_write(clock.writes_seen()).transient());
+        assert!(w.force().is_err());
+        assert_eq!(w.pending_records(), 1, "failed force must not drop records");
+        w.append(b"second");
+        w.force().unwrap();
+        let recs = w.read_all().unwrap();
+        assert_eq!(recs.len(), 2, "no LSN hole after the retried force");
+        assert_eq!(recs[0].payload, b"first");
+        assert_eq!(recs[1].payload, b"second");
+    }
+
+    /// Concurrent append+force storms must never lose or corrupt a record:
+    /// forces are serialised end to end, because two in-flight forces would
+    /// both rebuild the page holding their shared boundary record.
+    #[test]
+    fn concurrent_forces_do_not_corrupt_shared_pages() {
+        let w = Arc::new(wal());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let w = Arc::clone(&w);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50u64 {
+                    w.append(format!("thread-{t}-record-{i}").as_bytes());
+                    w.force().unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        w.force().unwrap();
+        let recs = w.read_all().unwrap();
+        assert_eq!(recs.len(), 200, "every record must survive the storm");
+        let mut seen: std::collections::HashSet<Vec<u8>> = std::collections::HashSet::new();
+        for r in &recs {
+            assert!(seen.insert(r.payload.clone()), "duplicate record {:?}", r.payload);
+        }
+        assert!(!w.scan().unwrap().torn_tail);
+    }
+
+    #[test]
+    fn rescan_of_a_clean_log_is_a_noop() {
+        let w = wal();
+        w.append(b"steady");
+        w.force().unwrap();
+        let before = w.durable_lsn();
+        let report = w.rescan().unwrap();
+        assert_eq!(report.durable_lsn, before);
+        assert_eq!(report.salvaged_bytes, 0);
+        assert!(!report.torn_tail);
+    }
+
+    #[test]
+    fn rescan_salvages_a_whole_unrecorded_force() {
+        // The force completes on the device but the process dies before
+        // durable_lsn is advanced (crash between psync_write returning and the
+        // bookkeeping): model by writing via a second Wal handle over the same
+        // backend.
+        let io: Arc<dyn ParallelIo> = Arc::new(SimPsyncIo::with_profile(DeviceProfile::F120, 64 << 20));
+        let w1 = Wal::new(Arc::clone(&io), 0, 4096);
+        w1.append(b"seen");
+        w1.force().unwrap();
+        w1.append(b"lost-bookkeeping");
+        w1.force().unwrap();
+        // A restarted handle with no in-memory state at all: the rescan must
+        // rebuild durability purely from the device.
+        let w2 = Wal::new(io, 0, 4096);
+        let report = w2.rescan().unwrap();
+        assert!(!report.torn_tail);
+        assert!(report.salvaged_bytes > 0);
+        let recs = w2.read_all().unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[1].payload, b"lost-bookkeeping");
     }
 }

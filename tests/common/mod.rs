@@ -1,0 +1,3 @@
+//! Shared utilities for the integration test suites.
+
+pub mod crash;

@@ -1,0 +1,298 @@
+//! Engine-level crash recovery: cross-shard batch atomicity under scripted and
+//! randomized crash injection.
+//!
+//! The scripted tests walk the crash matrix of the epoch protocol (see the
+//! `engine` crate docs): before `Begin`, mid fan-out, between the shards'
+//! durable writes and `Commit`, and after `Commit`. The randomized test sweeps
+//! hundreds of crash points — the N-th write submission anywhere in the engine —
+//! over a deterministic batched workload and verifies every recovered state
+//! against an in-memory oracle: each batch is either fully present on all
+//! shards or fully absent (never partial).
+
+mod common;
+
+use common::crash::{crashy_engine, per_backend_clocks, seeded_rng};
+use engine::{EngineConfig, ShardedPioEngine};
+use pio::{CrashPlan, FaultClock};
+use pio_btree::PioConfig;
+use rand::Rng;
+use ssd_sim::DeviceProfile;
+use std::collections::BTreeMap;
+
+/// Three shards, tiny OPQs (so batches overflow into flushes mid-epoch), WALs on.
+fn config() -> EngineConfig {
+    EngineConfig::builder()
+        .shards(3)
+        .profile(DeviceProfile::F120)
+        .shard_capacity_bytes(1 << 28)
+        .base(
+            PioConfig::builder()
+                .page_size(2048)
+                .leaf_segments(2)
+                .opq_pages(1)
+                .pio_max(8)
+                .speriod(32)
+                .bcnt(64)
+                .pool_pages(96)
+                .wal(true)
+                .build(),
+        )
+        .build()
+}
+
+/// The bulk-loaded seed population.
+fn seed_entries() -> Vec<(u64, u64)> {
+    (0..120u64).map(|k| (k * 25, k)).collect()
+}
+
+/// One step of the deterministic workload.
+enum Op {
+    Batch(Vec<(u64, u64)>),
+    Checkpoint,
+}
+
+/// A deterministic mixed workload: batches span all three shards, overwrite
+/// earlier batches' keys, and a mid-stream checkpoint flushes everything.
+fn workload() -> Vec<Op> {
+    let mut ops = Vec::new();
+    for b in 0..12u64 {
+        let batch: Vec<(u64, u64)> = (0..60u64)
+            .map(|i| {
+                let key = (i * 97 + b * 13) % 3_000;
+                (key, b * 1_000 + i + 1)
+            })
+            .collect();
+        ops.push(Op::Batch(batch));
+        if b == 3 || b == 8 {
+            ops.push(Op::Checkpoint);
+        }
+    }
+    ops
+}
+
+/// Applies a prefix of the workload to an in-memory oracle.
+fn oracle(seed: &[(u64, u64)], ops: &[Op]) -> BTreeMap<u64, u64> {
+    let mut model: BTreeMap<u64, u64> = seed.iter().copied().collect();
+    for op in ops {
+        if let Op::Batch(batch) = op {
+            for &(k, v) in batch {
+                model.insert(k, v);
+            }
+        }
+    }
+    model
+}
+
+/// Drives the workload; returns the index of the op the crash surfaced in.
+fn run_ops(engine: &ShardedPioEngine, ops: &[Op]) -> Result<(), usize> {
+    for (i, op) in ops.iter().enumerate() {
+        let outcome = match op {
+            Op::Batch(batch) => engine.insert_batch(batch),
+            Op::Checkpoint => engine.checkpoint(),
+        };
+        if outcome.is_err() {
+            return Err(i);
+        }
+    }
+    Ok(())
+}
+
+/// Recovered engine state as a map (the OPQ overlay is part of range_search, so
+/// redone-but-unflushed entries are visible too).
+fn engine_state(engine: &ShardedPioEngine) -> BTreeMap<u64, u64> {
+    engine.range_search(0, u64::MAX).expect("scan").into_iter().collect()
+}
+
+// --------------------------------------------------------------- crash matrix --
+
+/// Crash before the epoch's `Begin` record is durable: no shard ever sees the
+/// batch; recovery finds no trace of the epoch.
+#[test]
+fn crash_before_epoch_begin_leaves_no_trace() {
+    let (backends, clocks) = per_backend_clocks(&config());
+    let engine = ShardedPioEngine::bulk_load_with_backends(config(), &seed_entries(), backends).unwrap();
+    let batch: Vec<(u64, u64)> = (0..30u64).map(|i| (i * 101 + 1, i + 1)).collect();
+    // The next engine-log write is the Begin force.
+    clocks
+        .engine_wal
+        .arm(CrashPlan::at_write(clocks.engine_wal.writes_seen()));
+    assert!(engine.insert_batch(&batch).is_err());
+    clocks.heal_all();
+    engine.simulate_crash();
+    let report = engine.recover().unwrap();
+    assert_eq!(report.committed_epochs, 0);
+    assert_eq!(report.recovered_epochs, 0);
+    assert_eq!(report.discarded_epochs, 0, "the epoch never reached the log");
+    engine.checkpoint().unwrap();
+    assert_eq!(engine_state(&engine), oracle(&seed_entries(), &[]));
+    engine.check_invariants().unwrap();
+}
+
+/// Crash mid fan-out: one shard's sub-batch is durable, another's force fails.
+/// The epoch has partial acks, so recovery discards it on *every* shard — no
+/// partial batch survives.
+#[test]
+fn crash_mid_fanout_discards_the_epoch_everywhere() {
+    let (backends, clocks) = per_backend_clocks(&config());
+    let engine = ShardedPioEngine::bulk_load_with_backends(config(), &seed_entries(), backends).unwrap();
+    // Keys chosen to hit all three shards (boundaries cut ~[1000, 2000)).
+    let batch: Vec<(u64, u64)> = (0..30u64).map(|i| (i * 101 + 1, i + 1)).collect();
+    // Kill shard 2's WAL: its bracket force fails after shards 0/1 are durable
+    // (worker scheduling may interleave, but at least one other shard's force
+    // succeeds, which is all the scenario needs).
+    clocks.wals[2].arm(CrashPlan::at_write(clocks.wals[2].writes_seen()));
+    assert!(engine.insert_batch(&batch).is_err());
+    clocks.heal_all();
+    engine.simulate_crash();
+
+    let report = engine.recover().unwrap();
+    assert_eq!(report.discarded_epochs, 1, "partial acks mean presumed abort");
+    assert!(
+        report.discarded_records() > 0,
+        "the durable shards' sub-batches must be dropped"
+    );
+    engine.checkpoint().unwrap();
+    assert_eq!(
+        engine_state(&engine),
+        oracle(&seed_entries(), &[]),
+        "no entry of the discarded batch may be visible on any shard"
+    );
+    engine.check_invariants().unwrap();
+}
+
+/// Crash between the last shard's durable write and `EpochCommit` — the
+/// acceptance-criteria window. Two sub-cases: the ack force fails (acks not
+/// durable → discard everywhere) and the commit force fails (acks durable →
+/// re-drive everywhere). Both are all-or-nothing.
+#[test]
+fn crash_between_shard_durability_and_commit_is_all_or_nothing() {
+    for (engine_wal_write, expect_present) in [(1u64, false), (2u64, true)] {
+        let (backends, clocks) = per_backend_clocks(&config());
+        let engine = ShardedPioEngine::bulk_load_with_backends(config(), &seed_entries(), backends).unwrap();
+        let batch: Vec<(u64, u64)> = (0..30u64).map(|i| (i * 101 + 1, i + 1)).collect();
+        // Engine-log writes per batch: #0 Begin force, #1 ack force, #2 commit.
+        let base = clocks.engine_wal.writes_seen();
+        clocks.engine_wal.arm(CrashPlan::at_write(base + engine_wal_write));
+        assert!(engine.insert_batch(&batch).is_err());
+        clocks.heal_all();
+        engine.simulate_crash();
+
+        let report = engine.recover().unwrap();
+        if expect_present {
+            assert_eq!(report.recovered_epochs, 1, "fully-acked epoch is re-driven");
+            assert_eq!(report.discarded_epochs, 0);
+        } else {
+            assert_eq!(report.recovered_epochs, 0);
+            assert_eq!(report.discarded_epochs, 1, "un-acked epoch is presumed aborted");
+        }
+        engine.checkpoint().unwrap();
+        let expected = if expect_present {
+            oracle(&seed_entries(), &[Op::Batch(batch.clone())])
+        } else {
+            oracle(&seed_entries(), &[])
+        };
+        assert_eq!(
+            engine_state(&engine),
+            expected,
+            "engine-log write {engine_wal_write}: batch must be fully {}",
+            if expect_present { "present" } else { "absent" }
+        );
+        engine.check_invariants().unwrap();
+    }
+}
+
+/// Crash after `Commit`: normal replay, the batch is fully present.
+#[test]
+fn crash_after_commit_replays_the_batch() {
+    let (backends, _clocks) = per_backend_clocks(&config());
+    let engine = ShardedPioEngine::bulk_load_with_backends(config(), &seed_entries(), backends).unwrap();
+    let batch: Vec<(u64, u64)> = (0..30u64).map(|i| (i * 101 + 1, i + 1)).collect();
+    engine.insert_batch(&batch).unwrap();
+    engine.simulate_crash();
+    let report = engine.recover().unwrap();
+    assert_eq!(report.committed_epochs, 1);
+    engine.checkpoint().unwrap();
+    assert_eq!(engine_state(&engine), oracle(&seed_entries(), &[Op::Batch(batch)]));
+    engine.check_invariants().unwrap();
+}
+
+// ---------------------------------------------------------- randomized sweep --
+
+/// ≥ 200 randomized crash points over the full workload: the crash fires at the
+/// k-th write submission *anywhere* in the engine (shard stores, shard WALs,
+/// engine log), and every recovered state must equal the oracle either with or
+/// without the batch that was in flight — on every shard.
+#[test]
+fn randomized_crash_points_recover_all_or_nothing() {
+    let (mut rng, seed) = seeded_rng();
+    let cfg = config();
+    let seeds = seed_entries();
+    let ops = workload();
+
+    // Profiling run: count the workload's total write submissions.
+    let clock = FaultClock::new();
+    let engine = crashy_engine(&cfg, &seeds, &clock);
+    let base = clock.writes_seen();
+    run_ops(&engine, &ops).expect("clean run must not fail");
+    let total_writes = clock.writes_seen() - base;
+    drop(engine);
+    assert!(total_writes > 100, "workload too small to be interesting");
+
+    const TRIALS: usize = 220;
+    let mut crashes = 0usize;
+    // Outcome tallies: the sweep must actually exercise the protocol's paths,
+    // not just crash before anything interesting happens.
+    let (mut discarded, mut committed, mut redriven, mut unwound) = (0u64, 0u64, 0u64, 0usize);
+    for trial in 0..TRIALS {
+        let k = rng.gen_range(0u64..total_writes);
+        let clock = FaultClock::new();
+        let engine = crashy_engine(&cfg, &seeds, &clock);
+        clock.arm(CrashPlan::at_write(clock.writes_seen() + k));
+        let failed_at = run_ops(&engine, &ops).expect_err(&format!(
+            "seed {seed} trial {trial}: write {k}/{total_writes} must crash some op"
+        ));
+        crashes += 1;
+
+        clock.heal();
+        engine.simulate_crash();
+        let report = engine
+            .recover()
+            .unwrap_or_else(|e| panic!("seed {seed} trial {trial} write {k}: recovery failed: {e}"));
+        engine
+            .checkpoint()
+            .unwrap_or_else(|e| panic!("seed {seed} trial {trial} write {k}: post-recovery checkpoint failed: {e}"));
+
+        discarded += report.discarded_epochs;
+        committed += report.committed_epochs;
+        redriven += report.recovered_epochs;
+        unwound += report.shards.iter().map(|r| r.unwound_flushes).sum::<usize>();
+
+        let got = engine_state(&engine);
+        let without = oracle(&seeds, &ops[..failed_at]);
+        let with = oracle(&seeds, &ops[..=failed_at]);
+        assert!(
+            got == without || got == with,
+            "seed {seed} trial {trial} write {k}: recovered state is a partial batch \
+             (crashed op {failed_at}; {} entries recovered vs {} without / {} with; report {report:?})",
+            got.len(),
+            without.len(),
+            with.len(),
+        );
+        engine
+            .check_invariants()
+            .unwrap_or_else(|e| panic!("seed {seed} trial {trial} write {k}: invariants violated: {e}"));
+    }
+    assert!(crashes >= 200, "every trial must inject a crash: {crashes}/{TRIALS}");
+    assert!(
+        discarded >= 1,
+        "seed {seed}: the sweep never discarded an epoch — crash points are not reaching the fan-out window"
+    );
+    assert!(
+        committed >= 1,
+        "seed {seed}: the sweep never saw a committed epoch survive a crash"
+    );
+    eprintln!(
+        "crash sweep (seed {seed}): {crashes} crashes over {total_writes} write positions → \
+         {committed} committed, {discarded} discarded, {redriven} re-driven epochs, {unwound} flushes unwound"
+    );
+}
