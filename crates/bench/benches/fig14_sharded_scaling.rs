@@ -15,7 +15,7 @@
 //! space, so each flush lands more entries per leaf and performs less device work
 //! per insert (the same effect as the paper's larger-OPQ configurations).
 
-use engine::{EngineConfig, ShardedPioEngine};
+use engine::{DevicePerShard, EngineBuilder, EngineConfig, ShardProvisioner, ShardedPioEngine, SharedDevice};
 use pio_bench::{ratio, scaled, Table};
 use pio_btree::PioConfig;
 use rand::rngs::StdRng;
@@ -28,7 +28,12 @@ const TOTAL_POOL_PAGES: u64 = 1024;
 const OPQ_PAGES_PER_SHARD: usize = 8;
 const PAGE_SIZE: usize = 2048;
 
-fn build_engine(shards: usize, pio_max: usize, entries: &[(u64, u64)]) -> ShardedPioEngine {
+fn build_engine_on(
+    shards: usize,
+    pio_max: usize,
+    entries: &[(u64, u64)],
+    topology: impl ShardProvisioner + 'static,
+) -> ShardedPioEngine {
     let base = PioConfig::builder()
         .page_size(PAGE_SIZE)
         .leaf_segments(2)
@@ -44,7 +49,15 @@ fn build_engine(shards: usize, pio_max: usize, entries: &[(u64, u64)]) -> Sharde
         .shard_capacity_bytes(8 << 30)
         .base(base)
         .build();
-    ShardedPioEngine::bulk_load(config, entries).expect("bulk load")
+    EngineBuilder::new(config)
+        .topology(topology)
+        .entries(entries)
+        .build()
+        .expect("bulk load")
+}
+
+fn build_engine(shards: usize, pio_max: usize, entries: &[(u64, u64)]) -> ShardedPioEngine {
+    build_engine_on(shards, pio_max, entries, DevicePerShard)
 }
 
 /// A measured workload window: operations, schedule makespan and device work.
@@ -183,5 +196,63 @@ fn main() {
     }
 
     table.finish();
+
+    // ---- Shared-device contrast: N shards on N devices vs N shards on ONE ----
+    //
+    // The sweep above gives every shard its own device (Figure 4(b) taken
+    // literally). The paper's actual claim is about the internal parallelism of
+    // a *single* SSD, so the same engine is rebuilt with all shards as address
+    // partitions of one device: their psync streams now contend for the shared
+    // channels and host interface, and the schedule makespan grows by the
+    // host-interface penalty — tracked here as a number per run.
+    let mut shared_table = Table::new(
+        "fig14_shared_device",
+        "Host-interface penalty: N shards on one shared device vs N separate devices (same config)",
+        &[
+            "PioMax",
+            "shards",
+            "workload",
+            "separate Kops/s",
+            "shared Kops/s",
+            "penalty",
+        ],
+    );
+    let shards = 4usize;
+    for &pio_max in &pio_levels {
+        let separate = build_engine(shards, pio_max, &entries);
+        let shared = build_engine_on(shards, pio_max, &entries, SharedDevice);
+        let sep_search = search_window(&separate, key_space, search_rounds, batch);
+        let shr_search = search_window(&shared, key_space, search_rounds, batch);
+        let sep_insert = insert_window(&separate, key_space, insert_rounds, batch);
+        let shr_insert = insert_window(&shared, key_space, insert_rounds, batch);
+        for (label, sep, shr) in [
+            ("msearch", &sep_search, &shr_search),
+            ("insert", &sep_insert, &shr_insert),
+        ] {
+            let penalty = shr.sched_us / sep.sched_us;
+            shared_table.row(vec![
+                pio_max.to_string(),
+                shards.to_string(),
+                label.to_string(),
+                format!("{:.1}", sep.throughput() / 1e3),
+                format!("{:.1}", shr.throughput() / 1e3),
+                format!("{penalty:.2}x"),
+            ]);
+            // Acceptance: contention on one device is never free — the shared
+            // schedule must cost at least as much as separate devices, and under
+            // this load measurably more.
+            assert!(
+                shr.sched_us >= sep.sched_us - 1e-6,
+                "PioMax {pio_max} {label}: shared-device makespan {:.0} beats separate devices {:.0}",
+                shr.sched_us,
+                sep.sched_us
+            );
+            assert!(
+                penalty > 1.02,
+                "PioMax {pio_max} {label}: expected a measurable host-interface penalty, got {penalty:.3}x"
+            );
+        }
+    }
+    shared_table.finish();
     println!("\nfig14 done.");
 }

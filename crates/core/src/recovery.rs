@@ -96,10 +96,14 @@ pub enum LogRecord {
         epoch: u64,
     },
     /// Root-change log: written (and forced) immediately **before** a flush grows
-    /// the tree by installing a new root, so recovery can restore the previous
-    /// root and height when it undoes that flush. Without it, an undone flush
-    /// would leave the tree pointing at a root whose subtrees duplicate the
-    /// restored pages.
+    /// the tree by installing a new root. It carries both directions of the move:
+    /// the previous root/height let recovery *rewind* the growth when it undoes
+    /// the flush (without it, an undone flush would leave the tree pointing at a
+    /// root whose subtrees duplicate the restored pages), and the new root/height
+    /// let a **reopened** tree *roll forward* — a restart begins from its
+    /// persisted manifest snapshot, which may predate completed flushes, and
+    /// replaying the surviving root moves in log order lands it on the current
+    /// root.
     FlushRoot {
         /// Identifier of the flush that grew the root.
         flush_id: u64,
@@ -107,6 +111,10 @@ pub enum LogRecord {
         prev_root: PageId,
         /// Tree height before the growth.
         prev_height: u64,
+        /// Root page installed by the growth.
+        new_root: PageId,
+        /// Tree height after the growth.
+        new_height: u64,
     },
     /// Allocation log: a run of pages the flush allocated (split siblings, new
     /// internal nodes, the new root). When recovery undoes the flush it returns
@@ -179,11 +187,15 @@ impl LogRecord {
                 flush_id,
                 prev_root,
                 prev_height,
+                new_root,
+                new_height,
             } => {
                 out.push(9);
                 out.extend_from_slice(&flush_id.to_le_bytes());
                 out.extend_from_slice(&prev_root.to_le_bytes());
                 out.extend_from_slice(&prev_height.to_le_bytes());
+                out.extend_from_slice(&new_root.to_le_bytes());
+                out.extend_from_slice(&new_height.to_le_bytes());
             }
             LogRecord::FlushAlloc { flush_id, first, pages } => {
                 out.push(10);
@@ -237,6 +249,8 @@ impl LogRecord {
                 flush_id: u64_at(1)?,
                 prev_root: u64_at(9)?,
                 prev_height: u64_at(17)?,
+                new_root: u64_at(25)?,
+                new_height: u64_at(33)?,
             }),
             10 => Some(LogRecord::FlushAlloc {
                 flush_id: u64_at(1)?,
@@ -313,6 +327,8 @@ mod tests {
                 flush_id: 3,
                 prev_root: 41,
                 prev_height: 2,
+                new_root: 120,
+                new_height: 3,
             },
             LogRecord::FlushAlloc {
                 flush_id: 3,
@@ -371,6 +387,8 @@ mod tests {
                 flush_id: 1,
                 prev_root: 2,
                 prev_height: 3,
+                new_root: 4,
+                new_height: 4,
             },
             LogRecord::FlushAlloc {
                 flush_id: 1,

@@ -320,6 +320,48 @@ impl PioBTree {
         })
     }
 
+    /// Reopens a tree over a store that already holds its pages — the restart
+    /// path of a persistent deployment. `root`, `height` and the store's
+    /// allocation frontier come from a persisted manifest snapshot (the
+    /// superblock that [`PioBTree::simulate_crash`]'s surviving root pointer
+    /// stands in for); the caller must restore the frontier with
+    /// [`storage::CachedStore::ensure_high_water`] before operating on the tree.
+    /// The volatile state (OPQ, LSMap, statistics) starts empty, exactly as
+    /// after a crash.
+    ///
+    /// The snapshot may be **stale** when a WAL is attached afterwards: flushes
+    /// completed after the snapshot moved the root and allocated pages, and
+    /// [`PioBTree::recover`] rolls both forward from the log's `FlushRoot` /
+    /// `FlushAlloc` records. Without a WAL the snapshot must describe a cleanly
+    /// checkpointed tree — there is nothing to roll forward from.
+    pub fn open(store: Arc<CachedStore>, config: PioConfig, root: PageId, height: usize) -> IoResult<Self> {
+        config.validate().map_err(pio::IoError::InvalidConfig)?;
+        assert_eq!(
+            store.page_size(),
+            config.page_size,
+            "store page size must match the config"
+        );
+        // The snapshot comes from a persisted manifest, so an impossible value
+        // is corruption, not a caller bug: report it instead of panicking.
+        if height < 2 {
+            return Err(pio::IoError::InvalidConfig(format!(
+                "snapshot height {height} is impossible (a PIO B-tree always has at least one internal level)"
+            )));
+        }
+        Ok(Self {
+            store,
+            opq: OperationQueue::new(config.opq_pages, config.page_size, config.speriod),
+            lsmap: LsMap::new(),
+            root,
+            height,
+            stats: PioStats::default(),
+            wal: None,
+            next_flush_id: 1,
+            next_tx: 1,
+            config,
+        })
+    }
+
     /// Attaches a write-ahead log (enables crash recovery).
     pub fn attach_wal(&mut self, wal: Wal) {
         self.wal = Some(wal);
@@ -353,6 +395,13 @@ impl PioBTree {
     /// The cached store the tree performs I/O through.
     pub fn store(&self) -> &Arc<CachedStore> {
         &self.store
+    }
+
+    /// The current root page id (with [`PioBTree::height`] and the store's
+    /// high-water mark, the manifest snapshot a persistent deployment saves so
+    /// [`PioBTree::open`] can reopen the tree).
+    pub fn root_page(&self) -> PageId {
+        self.root
     }
 
     /// Tree height in levels, including the leaf level (always ≥ 2).
@@ -1009,6 +1058,8 @@ impl PioBTree {
                             flush_id,
                             prev_root: self.root,
                             prev_height: self.height as u64,
+                            new_root: new_root_page,
+                            new_height: self.height as u64 + 1,
                         }
                         .encode(),
                     );
@@ -1141,6 +1192,11 @@ impl PioBTree {
     ///    upper bound and is among the oldest `hi_ties` unattributed ties.
     ///    Anything the attribution cannot prove flushed is redone instead
     ///    (redo is idempotent; skipping an unflushed record would lose it).
+    ///    The flush/transaction counters and the store's allocation frontier
+    ///    are also rolled forward past everything the log proves happened, and
+    ///    the surviving `FlushRoot` moves are replayed in log order — so a tree
+    ///    reopened from a stale manifest snapshot ([`PioBTree::open`]) converges
+    ///    on the crashed process's state before undo begins.
     /// 3. **Undo** — the incomplete flush (if any) and every *poisoned* flush — a
     ///    completed flush that applied a discarded record — are undone by
     ///    restoring page preimages, newest flush first, together with every
@@ -1170,8 +1226,8 @@ impl PioBTree {
             /// them); it covers no logical records (its batch went back to the OPQ).
             aborted: bool,
             undo: Vec<(PageId, Vec<u8>)>,
-            /// `FlushRoot` records (previous root/height), in log order.
-            roots: Vec<(PageId, usize)>,
+            /// `FlushRoot` records (previous and new root/height), in log order.
+            roots: Vec<(PageId, usize, PageId, usize)>,
             /// `FlushAlloc` records (page runs the flush allocated), in log order.
             allocs: Vec<(PageId, u64)>,
         }
@@ -1182,6 +1238,7 @@ impl PioBTree {
         // (lsn, entry, enclosing cross-shard epoch).
         let mut logical: Vec<(u64, OpEntry, Option<u64>)> = Vec::new();
         let mut current_epoch: Option<u64> = None;
+        let mut max_tx: u64 = 0;
         for rec in &scan.records {
             match LogRecord::decode(&rec.payload) {
                 None => {
@@ -1190,7 +1247,10 @@ impl PioBTree {
                     report.torn_tail = true;
                     break;
                 }
-                Some(LogRecord::LogicalRedo { entry, .. }) => logical.push((rec.lsn, entry, current_epoch)),
+                Some(LogRecord::LogicalRedo { tx, entry }) => {
+                    max_tx = max_tx.max(tx);
+                    logical.push((rec.lsn, entry, current_epoch));
+                }
                 Some(LogRecord::BatchBegin { epoch }) => current_epoch = Some(epoch),
                 Some(LogRecord::BatchEnd { .. }) => current_epoch = None,
                 Some(LogRecord::FlushStart {
@@ -1238,9 +1298,14 @@ impl PioBTree {
                     flush_id,
                     prev_root,
                     prev_height,
+                    new_root,
+                    new_height,
                 }) => {
                     if let Some(&i) = flush_idx.get(&flush_id) {
-                        flushes[i].1.roots.push((prev_root, prev_height as usize));
+                        flushes[i]
+                            .1
+                            .roots
+                            .push((prev_root, prev_height as usize, new_root, new_height as usize));
                     }
                 }
                 Some(LogRecord::FlushAlloc { flush_id, first, pages }) => {
@@ -1261,6 +1326,29 @@ impl PioBTree {
             wal.force()?;
         }
         report.aborted_flushes = flushes.iter().filter(|(_, i)| i.aborted).count();
+
+        // Counter continuity across restarts: a reopened tree starts its flush
+        // and transaction counters at 1, but the log already holds higher ids —
+        // and a duplicated flush id would corrupt the next recovery's
+        // attribution (flush_idx keeps only the newest occurrence).
+        let max_flush_id = flushes.iter().map(|&(id, _)| id).max().unwrap_or(0);
+        self.next_flush_id = self.next_flush_id.max(max_flush_id + 1);
+        self.next_tx = self.next_tx.max(max_tx + 1);
+
+        // Allocation roll-forward: every flush allocation in the log lies below
+        // the allocator frontier the crashed process had reached, but a reopened
+        // store starts from its manifest snapshot's (possibly older) frontier.
+        // Raise it over every logged run *before* any undo frees pages — freeing
+        // a page the bump allocator has not reached would hand it out twice.
+        let alloc_frontier = flushes
+            .iter()
+            .flat_map(|(_, info)| info.allocs.iter())
+            .map(|&(first, n)| first + n)
+            .max()
+            .unwrap_or(0);
+        if alloc_frontier > 0 {
+            self.store.ensure_high_water(alloc_frontier);
+        }
 
         // Epoch verdicts, one filter call per distinct epoch.
         let mut fate: std::collections::HashMap<u64, bool> = std::collections::HashMap::new();
@@ -1284,6 +1372,20 @@ impl PioBTree {
             .filter(|&f| flushes[f].1.complete && !flushes[f].1.aborted)
             .collect();
         order.sort_by_key(|&f| flushes[f].1.start_lsn);
+
+        // Root roll-forward: replay the surviving root moves in log order, so a
+        // reopened tree whose manifest snapshot predates completed flushes lands
+        // on the current root. In-place recovery is unaffected — the in-memory
+        // root already equals the newest surviving move's target (every root
+        // change is logged and forced before the new root is written), and moves
+        // of incomplete or aborted flushes are skipped here exactly as their
+        // flushes are rewound (or were already rolled back) below.
+        for &f in &order {
+            for &(_, _, new_root, new_height) in &flushes[f].1.roots {
+                self.root = new_root;
+                self.height = new_height;
+            }
+        }
         let mut consumed_by: Vec<Option<usize>> = vec![None; logical.len()];
         for &f in &order {
             let info = &flushes[f].1;
@@ -1342,7 +1444,7 @@ impl PioBTree {
                 }
                 report.undone_pages += writes.len();
                 // Rewind root growths, newest first within the flush.
-                for &(prev_root, prev_height) in info.roots.iter().rev() {
+                for &(prev_root, prev_height, _, _) in info.roots.iter().rev() {
                     self.root = prev_root;
                     self.height = prev_height;
                 }
@@ -2149,5 +2251,102 @@ mod tests {
         ));
         let err = PioBTree::bulk_load(store, &[], config).unwrap_err();
         assert!(err.to_string().contains("bcnt"), "{err}");
+    }
+
+    /// A tree reopened via [`PioBTree::open`] from a **stale** superblock
+    /// snapshot (taken at bulk-load time) must converge on the crashed
+    /// process's state: `recover` rolls the root moves and the allocation
+    /// frontier forward from the log's `FlushRoot`/`FlushAlloc` records, and
+    /// re-queues the unflushed logical records.
+    #[test]
+    fn reopen_from_a_stale_snapshot_rolls_the_root_forward() {
+        // Tiny pages so flushes split aggressively and the root grows within a
+        // small workload.
+        let config = PioConfig {
+            page_size: 256,
+            opq_pages: 1,
+            speriod: 16,
+            bcnt: 64,
+            pio_max: 8,
+            pool_pages: 64,
+            wal_enabled: true,
+            ..small_config()
+        };
+        let store_io: Arc<dyn pio::IoQueue> = Arc::new(SimPsyncIo::with_profile(DeviceProfile::F120, 64 << 20));
+        let wal_io: Arc<dyn pio::IoQueue> = Arc::new(SimPsyncIo::with_profile(DeviceProfile::F120, 16 << 20));
+        let build_store = |io: &Arc<dyn pio::IoQueue>| {
+            Arc::new(CachedStore::new(
+                PageStore::new(Arc::clone(io), config.page_size),
+                config.pool_pages,
+                WritePolicy::WriteThrough,
+            ))
+        };
+        let entries: Vec<(Key, Value)> = (0..120u64).map(|k| (k * 200, k)).collect();
+        let mut t = PioBTree::bulk_load(build_store(&store_io), &entries, config.clone()).unwrap();
+        t.attach_wal(Wal::new(
+            Arc::new(Arc::clone(&wal_io)) as Arc<dyn pio::ParallelIo>,
+            0,
+            256,
+        ));
+        // The stale snapshot: taken before any flush moved anything.
+        let snapshot = (t.root_page(), t.height(), t.store().store().high_water_pages());
+        assert_eq!(snapshot.1, 2, "bulk load of 120 entries stays at height 2");
+
+        let mut model: std::collections::BTreeMap<Key, Value> = entries.iter().copied().collect();
+        for i in 0..1_500u64 {
+            let key = (i * 97) % 25_000;
+            t.insert(key, i).unwrap();
+            model.insert(key, i);
+        }
+        let grown = (t.root_page(), t.height());
+        assert!(grown.1 > 2, "the workload must grow the root");
+        // Leave records queued (lost with the crash, replayed from the WAL).
+        let mut extra = 0u64;
+        while t.opq_len() == 0 {
+            let key = 25_001 + extra * 13;
+            t.insert(key, extra).unwrap();
+            model.insert(key, extra);
+            extra += 1;
+            assert!(extra < 200, "the OPQ must accept a queued record eventually");
+        }
+        // Make the queued records durable (the engine does this on every batch
+        // boundary); an unforced record is legitimately lost with the crash.
+        t.force_wal().unwrap();
+        drop(t);
+
+        // Restart: a fresh tree object over the same devices, from the STALE
+        // snapshot — no in-memory state survives.
+        let mut t = PioBTree::open(build_store(&store_io), config.clone(), snapshot.0, snapshot.1).unwrap();
+        t.store().ensure_high_water(snapshot.2);
+        t.attach_wal(Wal::new(Arc::new(wal_io) as Arc<dyn pio::ParallelIo>, 0, 256));
+        let report = t.recover().unwrap();
+        assert!(report.redone > 0, "queued records replay from the WAL");
+        assert!(!report.torn_tail);
+        assert_eq!(
+            (t.root_page(), t.height()),
+            grown,
+            "recovery must roll the stale snapshot forward to the crashed process's root"
+        );
+        t.checkpoint().unwrap();
+        let recovered: std::collections::BTreeMap<Key, Value> =
+            t.range_search(0, Key::MAX).unwrap().into_iter().collect();
+        assert_eq!(recovered, model);
+        t.check_invariants().unwrap();
+
+        // Counter continuity: new flushes after the reopen must not reuse
+        // logged flush ids, or the NEXT recovery would misattribute coverage.
+        for i in 0..400u64 {
+            let key = (i * 89) % 25_000 + 1;
+            t.insert(key, i + 10_000).unwrap();
+            model.insert(key, i + 10_000);
+        }
+        t.force_wal().unwrap();
+        t.simulate_crash();
+        t.recover().unwrap();
+        t.checkpoint().unwrap();
+        let recovered: std::collections::BTreeMap<Key, Value> =
+            t.range_search(0, Key::MAX).unwrap().into_iter().collect();
+        assert_eq!(recovered, model, "second-generation recovery stays exact");
+        t.check_invariants().unwrap();
     }
 }

@@ -1,0 +1,163 @@
+//! One construction path for every engine: [`EngineBuilder`].
+//!
+//! Historically the engine grew five constructors (`create`, `bulk_load`,
+//! `bulk_load_with_sample`, and `_with_backends` variants bolted on as a
+//! test-only seam) — none of which could say *where* the shards live. The
+//! builder collapses them into one fluent path over a pluggable
+//! [`ShardProvisioner`] topology:
+//!
+//! ```
+//! use engine::{DevicePerShard, EngineBuilder, EngineConfig, SharedDevice};
+//!
+//! let entries: Vec<(u64, u64)> = (0..10_000).map(|k| (k, k * 10)).collect();
+//! // Today's behaviour: one simulated device per shard (the default topology).
+//! let per_shard = EngineBuilder::new(EngineConfig::default())
+//!     .topology(DevicePerShard)
+//!     .entries(&entries)
+//!     .build()
+//!     .unwrap();
+//! // The same shards contending on ONE device.
+//! let shared = EngineBuilder::new(EngineConfig::default())
+//!     .topology(SharedDevice)
+//!     .entries(&entries)
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(per_shard.search(42).unwrap(), shared.search(42).unwrap());
+//! ```
+//!
+//! [`EngineBuilder::recover`] is the restart half: for a topology with durable
+//! state ([`crate::RealFiles`]), it reopens the persisted manifest, restores
+//! every shard's superblock snapshot and replays the WALs.
+
+use crate::config::EngineConfig;
+use crate::epoch::EngineRecoveryReport;
+use crate::sharded::{boundaries_from_sample, boundaries_from_sorted, ShardedPioEngine};
+use crate::topology::{DevicePerShard, ProvisionMode, ShardProvisioner};
+use btree::{Key, Value};
+use pio::{IoError, IoResult};
+
+/// Builds a [`ShardedPioEngine`] over a storage topology.
+///
+/// * [`EngineBuilder::topology`] — where the shards live (default:
+///   [`DevicePerShard`]).
+/// * [`EngineBuilder::key_sample`] — boundary sample for the shard cuts; when
+///   absent, the bulk-load entries double as the sample (and with neither, the
+///   key space is cut uniformly).
+/// * [`EngineBuilder::entries`] — sorted, duplicate-free entries to bulk load
+///   (empty for a fresh engine).
+/// * [`EngineBuilder::build`] — provision and assemble.
+/// * [`EngineBuilder::recover`] — reopen a persisted engine instead (restart
+///   path; topologies with a manifest only).
+pub struct EngineBuilder<'a> {
+    config: EngineConfig,
+    topology: Box<dyn ShardProvisioner>,
+    key_sample: Option<&'a [Key]>,
+    entries: &'a [(Key, Value)],
+}
+
+impl std::fmt::Debug for EngineBuilder<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineBuilder")
+            .field("config", &self.config)
+            .field("topology", &self.topology.name())
+            .field("key_sample", &self.key_sample.map(<[Key]>::len))
+            .field("entries", &self.entries.len())
+            .finish()
+    }
+}
+
+impl<'a> EngineBuilder<'a> {
+    /// Starts a builder with the [`DevicePerShard`] topology, no key sample and
+    /// no entries.
+    pub fn new(config: EngineConfig) -> Self {
+        Self {
+            config,
+            topology: Box::new(DevicePerShard),
+            key_sample: None,
+            entries: &[],
+        }
+    }
+
+    /// Sets the storage topology the shards are provisioned on.
+    pub fn topology(mut self, topology: impl ShardProvisioner + 'static) -> Self {
+        self.topology = Box::new(topology);
+        self
+    }
+
+    /// Sets the boundary sample (pass the expected key population; without it
+    /// the bulk-load entries are the sample, and with neither the `u64` space
+    /// is cut uniformly).
+    pub fn key_sample(mut self, sample: &'a [Key]) -> Self {
+        self.key_sample = Some(sample);
+        self
+    }
+
+    /// Sets the entries to bulk load (sorted, duplicate-free; unsorted input is
+    /// a caller bug and panics at [`EngineBuilder::build`]).
+    pub fn entries(mut self, entries: &'a [(Key, Value)]) -> Self {
+        self.entries = entries;
+        self
+    }
+
+    /// Provisions the topology and assembles a fresh engine: boundaries are cut
+    /// from the sample (or the entries), every shard is bulk loaded onto its
+    /// provisioned store, and — for topologies with durable state — the initial
+    /// manifest snapshot is persisted.
+    ///
+    /// An invalid configuration or a provisioner failure is an error; unsorted
+    /// entries are a caller bug and panic.
+    pub fn build(self) -> IoResult<ShardedPioEngine> {
+        self.config.validate().map_err(IoError::InvalidConfig)?;
+        ShardedPioEngine::check_sorted(self.entries);
+        let bounds = match self.key_sample {
+            Some(sample) => boundaries_from_sample(sample, self.config.shards),
+            None => boundaries_from_sorted(self.entries.len(), |i| self.entries[i].0, self.config.shards),
+        };
+        let backends = self.topology.provision(&self.config, ProvisionMode::Create)?;
+        ShardedPioEngine::assemble(self.config, self.entries, bounds, backends, self.topology)
+    }
+
+    /// Reopens a persisted engine (restart path): loads the topology's
+    /// [`crate::EngineManifest`], restores each shard's superblock snapshot
+    /// over the existing storage, runs engine-level recovery (epoch verdicts +
+    /// per-shard WAL replay) and re-persists the post-recovery manifest.
+    /// Returns the engine together with the recovery report.
+    ///
+    /// Only topologies with durable state support this; [`EngineBuilder::entries`]
+    /// and [`EngineBuilder::key_sample`] are ignored (boundaries come from the
+    /// manifest). Without a WAL the recovered state is the last clean
+    /// checkpoint, and a directory whose dirty marker is still standing
+    /// (mutated after the last checkpoint) is **refused** — see
+    /// [`crate::RealFiles`].
+    pub fn recover(self) -> IoResult<(ShardedPioEngine, EngineRecoveryReport)> {
+        self.config.validate().map_err(IoError::InvalidConfig)?;
+        let manifest = self.topology.load_manifest()?.ok_or_else(|| {
+            IoError::InvalidConfig(format!(
+                "topology '{}' has no persisted engine manifest to recover from \
+                 (only topologies with durable state, e.g. RealFiles, support recover())",
+                self.topology.name()
+            ))
+        })?;
+        // Without a WAL there is nothing to replay, so the manifest snapshot
+        // must exactly describe the files: a standing dirty marker means
+        // mutations (in-place page rewrites, allocations) happened after the
+        // last checkpoint and are unrecoverable — refuse rather than reopen a
+        // silently inconsistent mix.
+        if !self.config.base.wal_enabled && self.topology.load_dirty()? {
+            return Err(IoError::InvalidConfig(format!(
+                "topology '{}' was not shut down cleanly (dirty marker present) and the WAL is \
+                 disabled, so the manifest snapshot no longer describes the files; checkpoint \
+                 before shutdown, or enable the WAL for crash-safe reopen",
+                self.topology.name()
+            )));
+        }
+        // Validate before provisioning: a mismatched recover attempt must not
+        // touch the topology's storage (RealFiles would otherwise create empty
+        // files for the extra shards on its way to the error).
+        ShardedPioEngine::validate_manifest(&self.config, &manifest)?;
+        let backends = self.topology.provision(&self.config, ProvisionMode::Reopen)?;
+        let engine = ShardedPioEngine::reopen(self.config, manifest, backends, self.topology)?;
+        let report = engine.recover()?;
+        Ok((engine, report))
+    }
+}

@@ -22,6 +22,11 @@ pub struct EngineConfig {
     pub profile: DeviceProfile,
     /// Addressable bytes of each shard's store.
     pub shard_capacity_bytes: u64,
+    /// Addressable bytes of each WAL device (per-shard WALs and the engine's
+    /// epoch log alike). Only used when `base.wal_enabled` is set; must be a
+    /// multiple of `base.page_size` (the WAL forces whole pages) and large
+    /// enough to hold a meaningful log (at least 64 pages).
+    pub wal_capacity_bytes: u64,
     /// Per-tree configuration template. `pool_pages` is the engine-wide total
     /// (divided by `shards` when each tree is built); `opq_pages` is per shard.
     pub base: PioConfig,
@@ -41,6 +46,7 @@ impl Default for EngineConfig {
             shards: 4,
             profile: DeviceProfile::P300,
             shard_capacity_bytes: 8 << 30,
+            wal_capacity_bytes: 256 << 20,
             base: PioConfig::default(),
             flush_threshold: 0.5,
             maintenance_interval_ms: None,
@@ -76,6 +82,21 @@ impl EngineConfig {
         if self.maintenance_interval_ms == Some(0) {
             return Err("maintenance_interval_ms must be at least 1 (0 would busy-spin the worker)".into());
         }
+        if self.base.wal_enabled {
+            let page = self.base.page_size as u64;
+            if !self.wal_capacity_bytes.is_multiple_of(page) {
+                return Err(format!(
+                    "wal_capacity_bytes ({}) must be a multiple of base.page_size ({page}) — the WAL forces whole pages",
+                    self.wal_capacity_bytes
+                ));
+            }
+            if self.wal_capacity_bytes < 64 * page {
+                return Err(format!(
+                    "wal_capacity_bytes ({}) must hold at least 64 pages of {page} bytes",
+                    self.wal_capacity_bytes
+                ));
+            }
+        }
         self.base.validate()
     }
 }
@@ -102,6 +123,13 @@ impl EngineConfigBuilder {
     /// Sets the per-shard store capacity in bytes.
     pub fn shard_capacity_bytes(mut self, bytes: u64) -> Self {
         self.config.shard_capacity_bytes = bytes;
+        self
+    }
+
+    /// Sets the per-WAL-device capacity in bytes (shard WALs and the engine's
+    /// epoch log; must be a multiple of the page size).
+    pub fn wal_capacity_bytes(mut self, bytes: u64) -> Self {
+        self.config.wal_capacity_bytes = bytes;
         self
     }
 
@@ -167,6 +195,38 @@ mod tests {
     #[should_panic(expected = "invalid EngineConfig")]
     fn zero_shards_panics() {
         let _ = EngineConfig::builder().shards(0).build();
+    }
+
+    #[test]
+    fn wal_capacity_is_validated_against_the_page_size() {
+        // 4 KiB pages, WAL enabled (the capacity is only used — and therefore
+        // only validated — when the engine logs).
+        let wal_config = |wal_capacity_bytes: u64| EngineConfig {
+            wal_capacity_bytes,
+            base: PioConfig {
+                wal_enabled: true,
+                ..PioConfig::default()
+            },
+            ..EngineConfig::default()
+        };
+        assert!(
+            wal_config(4096 * 64).validate().is_ok(),
+            "exactly 64 pages is the floor"
+        );
+        assert!(wal_config(4096 * 64 + 1)
+            .validate()
+            .unwrap_err()
+            .contains("multiple of base.page_size"));
+        assert!(wal_config(4096 * 63)
+            .validate()
+            .unwrap_err()
+            .contains("at least 64 pages"));
+        // Without the WAL the capacity is never used: any value is accepted.
+        let config = EngineConfig {
+            wal_capacity_bytes: 0,
+            ..EngineConfig::default()
+        };
+        assert!(config.validate().is_ok(), "no WAL, no WAL device to size");
     }
 
     #[test]

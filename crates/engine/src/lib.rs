@@ -22,11 +22,53 @@
 //!   ratios and store counters, and separates *device work* (`total_io_us`) from
 //!   the *schedule makespan* (`scheduled_io_us`) so the cross-shard overlap win is
 //!   directly measurable;
-//! * shard boundaries are chosen from a key sample at [`ShardedPioEngine::create`]
-//!   / [`ShardedPioEngine::bulk_load`] time (quantiles, topped up with uniform
-//!   cuts), so a skewed key population still loads balanced shards;
+//! * shard boundaries are chosen from a key sample at construction time
+//!   (quantiles, topped up with uniform cuts), so a skewed key population still
+//!   loads balanced shards;
 //! * [`TreeTarget`] and the [`workload::IndexTarget`] implementation let the
 //!   synthetic and TPC-C generators drive the engine (or a single tree) directly.
+//!
+//! ## Storage topology
+//!
+//! *Where* the shards live is a first-class, pluggable decision: engines are
+//! constructed through one [`EngineBuilder`] over a [`ShardProvisioner`]
+//! topology (the [`topology`] module):
+//!
+//! | topology | placement | what it shows |
+//! |---|---|---|
+//! | [`DevicePerShard`] | one simulated device per shard (default) | Figure 4(b)'s separate-file layout: free cross-shard overlap |
+//! | [`SharedDevice`] | all shards as [`pio::PartitionIo`] partitions of **one** device | the paper's real claim — shards contending for one SSD's channels and host interface |
+//! | [`RealFiles`] | one real file per shard + persisted manifest ([`pio::FileThreadPoolIo`]) | a persistent engine: survives the process, reopens via [`EngineBuilder::recover`] |
+//! | [`EngineBackends`] (hand-built) | caller-supplied queues | the crash-injection seam of the recovery tests ([`pio::FaultIo`] wrappers) |
+//!
+//! ```
+//! use engine::{EngineBuilder, EngineConfig, SharedDevice};
+//!
+//! let entries: Vec<(u64, u64)> = (0..10_000).map(|k| (k, k)).collect();
+//! let engine = EngineBuilder::new(EngineConfig::default())
+//!     .topology(SharedDevice) // all shards on ONE simulated SSD
+//!     .entries(&entries)
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(engine.stats().topology, "shared-device");
+//! ```
+//!
+//! Migration from the historic constructors:
+//!
+//! | old constructor | builder call |
+//! |---|---|
+//! | `ShardedPioEngine::create(cfg, sample)` | `EngineBuilder::new(cfg).key_sample(sample).build()` (still available as a thin wrapper) |
+//! | `ShardedPioEngine::bulk_load(cfg, entries)` | `EngineBuilder::new(cfg).entries(entries).build()` (still available as a thin wrapper) |
+//! | `ShardedPioEngine::bulk_load_with_sample(cfg, entries, sample)` | `EngineBuilder::new(cfg).entries(entries).key_sample(sample).build()` |
+//! | `ShardedPioEngine::create_with_backends(cfg, sample, backends)` | `EngineBuilder::new(cfg).key_sample(sample).topology(backends).build()` |
+//! | `ShardedPioEngine::bulk_load_with_backends(cfg, entries, backends)` | `EngineBuilder::new(cfg).entries(entries).topology(backends).build()` |
+//!
+//! A [`RealFiles`] engine persists an [`EngineManifest`] (shard boundaries plus
+//! each shard's superblock: root, height, allocation frontier) at creation,
+//! checkpoints, maintenance flushes and recovery; [`EngineBuilder::recover`]
+//! reopens the directory, restores the snapshots and replays the WALs — root
+//! growths and page allocations that happened after the last manifest sync are
+//! rolled forward from the logs' `FlushRoot`/`FlushAlloc` records.
 //!
 //! ## Cross-shard crash recovery
 //!
@@ -78,6 +120,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod builder;
 pub mod config;
 pub mod epoch;
 mod maintenance;
@@ -85,9 +128,14 @@ mod scheduler;
 pub mod sharded;
 pub mod stats;
 pub mod target;
+pub mod topology;
 
+pub use builder::EngineBuilder;
 pub use config::{EngineConfig, EngineConfigBuilder};
 pub use epoch::{EngineRecoveryReport, EpochAnalysis, EpochLog, EpochRecord, EpochState};
-pub use sharded::{boundaries_from_sample, EngineBackends, ShardedPioEngine};
+pub use sharded::{boundaries_from_sample, ShardedPioEngine};
 pub use stats::{EngineStats, ShardSnapshot};
 pub use target::TreeTarget;
+pub use topology::{
+    DevicePerShard, EngineBackends, EngineManifest, ProvisionMode, RealFiles, ShardMeta, ShardProvisioner, SharedDevice,
+};

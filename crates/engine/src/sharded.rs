@@ -28,16 +28,17 @@
 //! Results are always collected by shard index — never by completion order — so
 //! fan-outs are deterministic.
 
+use crate::builder::EngineBuilder;
 use crate::config::EngineConfig;
 use crate::epoch::{EngineRecoveryReport, EpochLog};
 use crate::maintenance::MaintenanceWorker;
 use crate::scheduler::{SchedMsg, SchedulerPool, ShardTask, TaskOutput};
 use crate::stats::{EngineStats, ShardSnapshot};
+use crate::topology::{EngineBackends, EngineManifest, ShardMeta, ShardProvisioner};
 use btree::{Key, Value};
 use parking_lot::Mutex;
-use pio::{IoQueue, IoResult, ParallelIo, SimPsyncIo};
+use pio::{IoQueue, IoResult, ParallelIo};
 use pio_btree::{PioBTree, PioConfig, PioStats};
-use ssd_sim::DeviceProfile;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
@@ -62,19 +63,6 @@ pub(crate) struct EpochCoordinator {
     next_epoch: AtomicU64,
 }
 
-/// Caller-supplied I/O backends, one per shard store / shard WAL plus one for
-/// the engine's epoch log. This is the crash-injection seam: tests wrap each
-/// backend in a [`pio::FaultIo`] sharing one [`pio::FaultClock`] and sweep
-/// randomized crash points across the whole engine.
-pub struct EngineBackends {
-    /// One store backend per shard.
-    pub shard_stores: Vec<Arc<dyn IoQueue>>,
-    /// One WAL backend per shard (used only when the base config enables the WAL).
-    pub shard_wals: Vec<Arc<dyn IoQueue>>,
-    /// The engine epoch-log backend (used only when the WAL is enabled).
-    pub engine_wal: Option<Arc<dyn IoQueue>>,
-}
-
 /// Shared state between the engine handle, the per-shard workers, the scheduler
 /// and the background maintenance worker.
 pub(crate) struct EngineInner {
@@ -82,6 +70,17 @@ pub(crate) struct EngineInner {
     /// Boundary keys; shard `i` owns keys `< bounds[i]` (and `≥ bounds[i-1]`).
     bounds: Vec<Key>,
     config: EngineConfig,
+    /// The storage topology the shards were provisioned on (manifest persistence
+    /// for durable topologies; no-ops for the simulated ones).
+    topology: Box<dyn ShardProvisioner>,
+    /// The last manifest snapshot handed to the topology, so
+    /// [`EngineInner::sync_manifest`] only persists actual changes.
+    manifest: Mutex<Option<EngineManifest>>,
+    /// Dirty-marker state: whether the topology's durable marker is raised,
+    /// plus the counters that let a checkpoint prove no mutation raced its
+    /// clear (see [`EngineInner::begin_mutation`] and
+    /// [`EngineInner::checkpoint`]).
+    dirty: Mutex<DirtyState>,
     /// Cross-shard batch-atomicity coordinator (`None` without WALs).
     epoch: Option<EpochCoordinator>,
     /// Epochs committed over the engine's lifetime.
@@ -135,6 +134,69 @@ impl EngineInner {
     pub(crate) fn note_scheduled_batch(&self) {
         self.scheduled_batches.fetch_add(1, Ordering::Relaxed);
     }
+
+    /// The current manifest snapshot: shard boundaries plus each shard's
+    /// superblock (root, height, allocation frontier).
+    fn manifest_snapshot(&self) -> EngineManifest {
+        EngineManifest {
+            shards: self.shards.len(),
+            page_size: self.config.base.page_size,
+            wal_enabled: self.config.base.wal_enabled,
+            bounds: self.bounds.clone(),
+            shard_meta: self
+                .shards
+                .iter()
+                .map(|s| {
+                    let tree = s.tree.lock();
+                    ShardMeta {
+                        root: tree.root_page(),
+                        height: tree.height() as u64,
+                        high_water: tree.store().store().high_water_pages(),
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Opens a mutation bracket: raises the durable dirty marker (only the
+    /// first mutation after a checkpoint pays the topology call) and counts the
+    /// mutation, so a concurrent [`EngineInner::checkpoint`] can prove whether
+    /// its clear raced a writer. The returned guard closes the bracket on drop.
+    pub(crate) fn begin_mutation(&self) -> IoResult<MutationGuard<'_>> {
+        let mut state = self.dirty.lock();
+        state.begun += 1;
+        state.in_flight += 1;
+        if !state.marked {
+            if let Err(e) = self.topology.set_dirty(true) {
+                state.in_flight -= 1;
+                return Err(e);
+            }
+            state.marked = true;
+        }
+        drop(state);
+        Ok(MutationGuard { inner: self })
+    }
+
+    /// Persists the manifest through the topology when it changed since the
+    /// last sync. Called after creation, checkpoints, maintenance flushes and
+    /// recovery — the points where shard superblocks move durably. Roots moved
+    /// by foreground flushes *between* syncs are covered by the WAL's
+    /// `FlushRoot`/`FlushAlloc` roll-forward at the next recovery; without a
+    /// WAL the manifest is only as fresh as the last checkpoint (see
+    /// [`crate::RealFiles`]).
+    pub(crate) fn sync_manifest(&self) -> IoResult<()> {
+        // Snapshot under the manifest lock: two concurrent syncs (checkpoint +
+        // background maintenance) must not save an older snapshot after a newer
+        // one. No other path acquires shard locks after the manifest lock, so
+        // the ordering is cycle-free.
+        let mut cached = self.manifest.lock();
+        let snapshot = self.manifest_snapshot();
+        if cached.as_ref() != Some(&snapshot) {
+            self.topology.save_manifest(&snapshot)?;
+            *cached = Some(snapshot);
+        }
+        Ok(())
+    }
 }
 
 /// A key-range-sharded PIO B-tree engine with a cross-shard parallel scheduler.
@@ -180,7 +242,7 @@ pub fn boundaries_from_sample(sample: &[Key], shards: usize) -> Vec<Key> {
 /// Quantile + top-up boundary selection over an already sorted, duplicate-free
 /// sequence accessed through `key_at` — the zero-copy path used by
 /// [`ShardedPioEngine::bulk_load`], whose entries are sorted by contract.
-fn boundaries_from_sorted(len: usize, key_at: impl Fn(usize) -> Key, shards: usize) -> Vec<Key> {
+pub(crate) fn boundaries_from_sorted(len: usize, key_at: impl Fn(usize) -> Key, shards: usize) -> Vec<Key> {
     if shards <= 1 {
         return Vec::new();
     }
@@ -218,31 +280,65 @@ fn boundaries_from_sorted(len: usize, key_at: impl Fn(usize) -> Key, shards: usi
     bounds
 }
 
-/// Builds one shard tree over its store backend (its own "index file") — a
-/// caller-supplied queue for crash-injection tests, or a fresh simulated device.
-fn build_shard_tree(
-    profile: DeviceProfile,
-    capacity_bytes: u64,
-    cfg: &PioConfig,
-    entries: &[(Key, Value)],
-    store_io: Option<Arc<dyn IoQueue>>,
-    wal_io: Option<Arc<dyn IoQueue>>,
-) -> IoResult<PioBTree> {
-    let io: Arc<dyn IoQueue> = store_io.unwrap_or_else(|| Arc::new(SimPsyncIo::with_profile(profile, capacity_bytes)));
-    let store = Arc::new(CachedStore::new(
-        PageStore::new(io, cfg.page_size),
+/// State of the durable dirty marker (see [`crate::ShardProvisioner::set_dirty`]).
+#[derive(Debug, Default)]
+struct DirtyState {
+    /// Whether the durable marker is currently raised.
+    marked: bool,
+    /// Mutations that have *begun* over the engine's lifetime (monotonic).
+    begun: u64,
+    /// Mutations begun but not yet finished.
+    in_flight: u64,
+}
+
+/// RAII half of a mutation bracket: decrements `in_flight` when the mutation
+/// finishes (success or error alike).
+pub(crate) struct MutationGuard<'a> {
+    inner: &'a EngineInner,
+}
+
+impl Drop for MutationGuard<'_> {
+    fn drop(&mut self) {
+        self.inner.dirty.lock().in_flight -= 1;
+    }
+}
+
+/// The key range `[lo, hi)` of shard `i` under `bounds` (`hi == Key::MAX` for
+/// the last shard, which also owns `Key::MAX` itself).
+fn shard_range(bounds: &[Key], i: usize, shards: usize) -> (Key, Key) {
+    let lo = if i == 0 { 0 } else { bounds[i - 1] };
+    let hi = if i == shards - 1 { Key::MAX } else { bounds[i] };
+    (lo, hi)
+}
+
+/// Builds a fresh cached store over a provisioned backend.
+fn build_store(cfg: &PioConfig, store_io: Arc<dyn IoQueue>) -> Arc<CachedStore> {
+    Arc::new(CachedStore::new(
+        PageStore::new(store_io, cfg.page_size),
         cfg.pool_pages,
         WritePolicy::WriteThrough,
-    ));
-    let mut tree = PioBTree::bulk_load(store, entries, cfg.clone())?;
+    ))
+}
+
+/// Attaches a WAL over a provisioned backend: the log gets its own queue so log
+/// appends never interleave with index-node I/O inside one psync call.
+fn attach_shard_wal(tree: &mut PioBTree, cfg: &PioConfig, wal_io: Arc<dyn IoQueue>) {
+    tree.attach_wal(Wal::new(Arc::new(wal_io) as Arc<dyn ParallelIo>, 0, cfg.page_size));
+}
+
+/// Bulk loads one shard tree over its provisioned store backend (its own
+/// "index file" — a simulated device, a partition of a shared device, or a
+/// real file, per the topology).
+fn build_shard_tree(
+    cfg: &PioConfig,
+    entries: &[(Key, Value)],
+    store_io: Arc<dyn IoQueue>,
+    wal_io: Option<Arc<dyn IoQueue>>,
+) -> IoResult<PioBTree> {
+    let mut tree = PioBTree::bulk_load(build_store(cfg, store_io), entries, cfg.clone())?;
     if cfg.wal_enabled {
-        // Like PioBTree::create: the log gets its own backend so log appends never
-        // interleave with index-node I/O inside one psync call.
-        let wal_io: Arc<dyn ParallelIo> = match wal_io {
-            Some(q) => Arc::new(q),
-            None => Arc::new(SimPsyncIo::with_profile(profile, 256 * 1024 * 1024)),
-        };
-        tree.attach_wal(Wal::new(wal_io, 0, cfg.page_size));
+        let wal_io = wal_io.expect("validated: one WAL backend per shard when the WAL is enabled");
+        attach_shard_wal(&mut tree, cfg, wal_io);
     }
     Ok(tree)
 }
@@ -250,70 +346,74 @@ fn build_shard_tree(
 impl ShardedPioEngine {
     // ------------------------------------------------------------------ creation --
 
-    /// Creates an empty engine. `key_sample` guides the shard boundaries (pass the
-    /// expected key population, or `&[]` for uniform cuts of the full `u64` space).
+    /// Creates an empty engine on the default [`crate::DevicePerShard`] topology.
+    /// `key_sample` guides the shard boundaries (pass the expected key
+    /// population, or `&[]` for uniform cuts of the full `u64` space). Thin
+    /// delegation to [`EngineBuilder`]; use the builder directly to choose a
+    /// topology.
     pub fn create(config: EngineConfig, key_sample: &[Key]) -> IoResult<Self> {
-        Self::bulk_load_with_sample(config, &[], key_sample)
+        EngineBuilder::new(config).key_sample(key_sample).build()
     }
 
-    /// Like [`ShardedPioEngine::create`], but over caller-supplied I/O backends
-    /// (the crash-injection seam of the recovery test harness).
-    pub fn create_with_backends(config: EngineConfig, key_sample: &[Key], backends: EngineBackends) -> IoResult<Self> {
-        config.validate().map_err(pio::IoError::InvalidConfig)?;
-        let bounds = boundaries_from_sample(key_sample, config.shards);
-        Self::build_with(config, &[], bounds, Some(backends))
-    }
-
-    /// Bulk loads `entries` (sorted, duplicate-free) into a fresh engine, using the
-    /// entry keys themselves as the boundary sample (read in place — no key copy).
+    /// Bulk loads `entries` (sorted, duplicate-free) into a fresh engine on the
+    /// default [`crate::DevicePerShard`] topology, using the entry keys
+    /// themselves as the boundary sample (read in place — no key copy). Thin
+    /// delegation to [`EngineBuilder`]; use the builder directly to choose a
+    /// topology.
     pub fn bulk_load(config: EngineConfig, entries: &[(Key, Value)]) -> IoResult<Self> {
-        config.validate().map_err(pio::IoError::InvalidConfig)?;
-        Self::check_sorted(entries);
-        let bounds = boundaries_from_sorted(entries.len(), |i| entries[i].0, config.shards);
-        Self::build(config, entries, bounds)
+        EngineBuilder::new(config).entries(entries).build()
     }
 
-    /// Like [`ShardedPioEngine::bulk_load`], but over caller-supplied I/O
-    /// backends (the crash-injection seam of the recovery test harness).
-    pub fn bulk_load_with_backends(
-        config: EngineConfig,
-        entries: &[(Key, Value)],
-        backends: EngineBackends,
-    ) -> IoResult<Self> {
-        config.validate().map_err(pio::IoError::InvalidConfig)?;
-        Self::check_sorted(entries);
-        let bounds = boundaries_from_sorted(entries.len(), |i| entries[i].0, config.shards);
-        Self::build_with(config, entries, bounds, Some(backends))
-    }
-
-    /// Bulk loads `entries` with boundaries drawn from an explicit `key_sample`.
-    ///
-    /// An invalid configuration is reported as [`pio::IoError::InvalidConfig`]
-    /// (matching [`PioBTree::bulk_load`]); unsorted input is a caller bug and
-    /// panics.
-    pub fn bulk_load_with_sample(config: EngineConfig, entries: &[(Key, Value)], key_sample: &[Key]) -> IoResult<Self> {
-        config.validate().map_err(pio::IoError::InvalidConfig)?;
-        Self::check_sorted(entries);
-        let bounds = boundaries_from_sample(key_sample, config.shards);
-        Self::build(config, entries, bounds)
-    }
-
-    fn check_sorted(entries: &[(Key, Value)]) {
+    pub(crate) fn check_sorted(entries: &[(Key, Value)]) {
         assert!(
             entries.windows(2).all(|w| w[0].0 < w[1].0),
             "bulk_load requires sorted, duplicate-free input"
         );
     }
 
-    fn build(config: EngineConfig, entries: &[(Key, Value)], bounds: Vec<Key>) -> IoResult<Self> {
-        Self::build_with(config, entries, bounds, None)
+    /// The provisioned backends must match the configuration before anything is
+    /// built on them.
+    fn validate_backends(config: &EngineConfig, backends: &EngineBackends) -> IoResult<()> {
+        let wal = config.base.wal_enabled;
+        if backends.shard_stores.len() != config.shards
+            || (wal && (backends.shard_wals.len() != config.shards || backends.engine_wal.is_none()))
+        {
+            return Err(pio::IoError::InvalidConfig(format!(
+                "the topology must supply one store{} backend per shard ({} shards){}",
+                if wal { " and one WAL" } else { "" },
+                config.shards,
+                if wal { " plus the engine epoch-log backend" } else { "" },
+            )));
+        }
+        Ok(())
     }
 
-    fn build_with(
+    /// The cross-shard epoch coordinator exists exactly when the shards log:
+    /// without per-shard WALs there is nothing to make atomic.
+    fn build_epoch_coordinator(shard_cfg: &PioConfig, backends: &mut EngineBackends) -> Option<EpochCoordinator> {
+        shard_cfg.wal_enabled.then(|| {
+            let wal_io: Arc<dyn ParallelIo> = Arc::new(
+                backends
+                    .engine_wal
+                    .take()
+                    .expect("validated: engine WAL backend present"),
+            );
+            EpochCoordinator {
+                log: EpochLog::new(Wal::new(wal_io, 0, shard_cfg.page_size)),
+                next_epoch: AtomicU64::new(1),
+            }
+        })
+    }
+
+    /// Assembles a fresh engine over provisioned backends: splits the (sorted)
+    /// entries at the boundary keys, bulk loads every shard, and persists the
+    /// initial manifest snapshot. Called by [`EngineBuilder::build`].
+    pub(crate) fn assemble(
         config: EngineConfig,
         entries: &[(Key, Value)],
         bounds: Vec<Key>,
-        backends: Option<EngineBackends>,
+        mut backends: EngineBackends,
+        topology: Box<dyn ShardProvisioner>,
     ) -> IoResult<Self> {
         if bounds.len() != config.shards - 1 {
             return Err(pio::IoError::InvalidConfig(format!(
@@ -321,30 +421,15 @@ impl ShardedPioEngine {
                 config.shards
             )));
         }
+        Self::validate_backends(&config, &backends)?;
         let shard_cfg = config.shard_config();
-        let mut backends = match backends {
-            Some(b) => {
-                if b.shard_stores.len() != config.shards
-                    || (shard_cfg.wal_enabled && b.shard_wals.len() != config.shards)
-                {
-                    return Err(pio::IoError::InvalidConfig(format!(
-                        "EngineBackends must supply one store{} backend per shard ({} shards)",
-                        if shard_cfg.wal_enabled { " and one WAL" } else { "" },
-                        config.shards
-                    )));
-                }
-                Some(b)
-            }
-            None => None,
-        };
 
         // Split the (sorted) entries at the boundary keys.
         let mut shards = Vec::with_capacity(config.shards);
         let mut build_makespan_us = 0.0f64;
         let mut rest = entries;
         for i in 0..config.shards {
-            let lo = if i == 0 { 0 } else { bounds[i - 1] };
-            let hi = if i == config.shards - 1 { Key::MAX } else { bounds[i] };
+            let (lo, hi) = shard_range(&bounds, i, config.shards);
             let cut = if i == config.shards - 1 {
                 rest.len()
             } else {
@@ -352,17 +437,11 @@ impl ShardedPioEngine {
             };
             let (mine, others) = rest.split_at(cut);
             rest = others;
-            let (store_io, wal_io) = match &backends {
-                Some(b) => (Some(Arc::clone(&b.shard_stores[i])), b.shard_wals.get(i).cloned()),
-                None => (None, None),
-            };
             let tree = build_shard_tree(
-                config.profile,
-                config.shard_capacity_bytes,
                 &shard_cfg,
                 mine,
-                store_io,
-                wal_io,
+                Arc::clone(&backends.shard_stores[i]),
+                backends.shard_wals.get(i).cloned(),
             )?;
             // Shard loads run as concurrent streams like every other engine
             // operation, so the schedule is charged the slowest shard's build.
@@ -373,24 +452,116 @@ impl ShardedPioEngine {
                 tree: Mutex::new(tree),
             });
         }
+        let epoch = Self::build_epoch_coordinator(&shard_cfg, &mut backends);
+        // A freshly built engine is clean: clear any stale marker left in the
+        // topology's durable state by a previous incarnation.
+        topology.set_dirty(false)?;
+        let engine = Self::finish(config, shards, bounds, epoch, build_makespan_us, topology, None, false);
+        engine.inner.sync_manifest()?;
+        Ok(engine)
+    }
 
-        // The cross-shard epoch coordinator exists exactly when the shards log:
-        // without per-shard WALs there is nothing to make atomic.
-        let epoch = shard_cfg.wal_enabled.then(|| {
-            let wal_io: Arc<dyn ParallelIo> = match backends.as_mut().and_then(|b| b.engine_wal.take()) {
-                Some(q) => Arc::new(q),
-                None => Arc::new(SimPsyncIo::with_profile(config.profile, 256 * 1024 * 1024)),
-            };
-            EpochCoordinator {
-                log: EpochLog::new(Wal::new(wal_io, 0, shard_cfg.page_size)),
-                next_epoch: AtomicU64::new(1),
+    /// Reopens a persisted engine over its existing storage: every shard's
+    /// superblock snapshot (root, height, allocation frontier) comes from the
+    /// manifest, the volatile state starts empty — exactly as after a crash —
+    /// and the caller ([`EngineBuilder::recover`]) runs
+    /// [`ShardedPioEngine::recover`] next to replay the WALs.
+    /// Checks a loaded manifest against the configuration (and its own internal
+    /// shape — a custom provisioner's `load_manifest` can hand back anything).
+    /// Called by [`EngineBuilder::recover`] *before* provisioning, so a
+    /// mismatched recover attempt never touches the topology's storage.
+    pub(crate) fn validate_manifest(config: &EngineConfig, manifest: &EngineManifest) -> IoResult<()> {
+        if manifest.shards != config.shards
+            || manifest.page_size != config.base.page_size
+            || manifest.wal_enabled != config.base.wal_enabled
+        {
+            return Err(pio::IoError::InvalidConfig(format!(
+                "manifest (shards {}, page_size {}, wal {}) does not match the configuration \
+                 (shards {}, page_size {}, wal {})",
+                manifest.shards,
+                manifest.page_size,
+                manifest.wal_enabled,
+                config.shards,
+                config.base.page_size,
+                config.base.wal_enabled,
+            )));
+        }
+        if manifest.bounds.len() + 1 != manifest.shards || manifest.shard_meta.len() != manifest.shards {
+            return Err(pio::IoError::InvalidConfig(format!(
+                "malformed manifest: {} bounds and {} shard snapshots for {} shards",
+                manifest.bounds.len(),
+                manifest.shard_meta.len(),
+                manifest.shards,
+            )));
+        }
+        Ok(())
+    }
+
+    pub(crate) fn reopen(
+        config: EngineConfig,
+        manifest: EngineManifest,
+        backends: EngineBackends,
+        topology: Box<dyn ShardProvisioner>,
+    ) -> IoResult<Self> {
+        Self::validate_manifest(&config, &manifest)?;
+        Self::validate_backends(&config, &backends)?;
+        let shard_cfg = config.shard_config();
+        let mut backends = backends;
+        let bounds = manifest.bounds.clone();
+        let mut shards = Vec::with_capacity(config.shards);
+        for (i, meta) in manifest.shard_meta.iter().enumerate() {
+            let (lo, hi) = shard_range(&bounds, i, config.shards);
+            let store = build_store(&shard_cfg, Arc::clone(&backends.shard_stores[i]));
+            store.ensure_high_water(meta.high_water);
+            let mut tree = PioBTree::open(store, shard_cfg.clone(), meta.root, meta.height as usize)?;
+            if shard_cfg.wal_enabled {
+                attach_shard_wal(&mut tree, &shard_cfg, Arc::clone(&backends.shard_wals[i]));
             }
-        });
+            shards.push(Shard {
+                lo,
+                hi,
+                tree: Mutex::new(tree),
+            });
+        }
+        let epoch = Self::build_epoch_coordinator(&shard_cfg, &mut backends);
+        // Keep the durable dirty marker as-is (the WAL replay that follows does
+        // not change what it means) and mirror it in memory.
+        let dirty = topology.load_dirty()?;
+        Ok(Self::finish(
+            config,
+            shards,
+            bounds,
+            epoch,
+            0.0,
+            topology,
+            Some(manifest),
+            dirty,
+        ))
+    }
 
+    /// Shared tail of [`ShardedPioEngine::assemble`] / [`ShardedPioEngine::reopen`]:
+    /// wires up the scheduler pool and the optional maintenance worker.
+    #[allow(clippy::too_many_arguments)]
+    fn finish(
+        config: EngineConfig,
+        shards: Vec<Shard>,
+        bounds: Vec<Key>,
+        epoch: Option<EpochCoordinator>,
+        build_makespan_us: f64,
+        topology: Box<dyn ShardProvisioner>,
+        manifest: Option<EngineManifest>,
+        dirty: bool,
+    ) -> Self {
         let inner = Arc::new(EngineInner {
             shards,
             bounds,
             config: config.clone(),
+            topology,
+            manifest: Mutex::new(manifest),
+            dirty: Mutex::new(DirtyState {
+                marked: dirty,
+                ..DirtyState::default()
+            }),
             epoch,
             committed_epochs: AtomicU64::new(0),
             recovered_epochs: AtomicU64::new(0),
@@ -407,11 +578,11 @@ impl ShardedPioEngine {
         let worker = config
             .maintenance_interval_ms
             .map(|ms| MaintenanceWorker::spawn(Arc::clone(&inner), std::time::Duration::from_millis(ms)));
-        Ok(Self {
+        Self {
             worker,
             scheduler,
             inner,
-        })
+        }
     }
 
     // ------------------------------------------------------------------ accessors --
@@ -450,16 +621,19 @@ impl ShardedPioEngine {
 
     /// Insert, routed to the owning shard.
     pub fn insert(&self, key: Key, value: Value) -> IoResult<()> {
+        let _mutation = self.inner.begin_mutation()?;
         self.inner.single(key, |tree| tree.insert(key, value))
     }
 
     /// Delete, routed to the owning shard.
     pub fn delete(&self, key: Key) -> IoResult<()> {
+        let _mutation = self.inner.begin_mutation()?;
         self.inner.single(key, |tree| tree.delete(key))
     }
 
     /// Update, routed to the owning shard.
     pub fn update(&self, key: Key, value: Value) -> IoResult<()> {
+        let _mutation = self.inner.begin_mutation()?;
         self.inner.single(key, |tree| tree.update(key, value))
     }
 
@@ -473,6 +647,11 @@ impl ShardedPioEngine {
     /// Batched insert: entries are split by owning shard and applied concurrently,
     /// preserving per-shard arrival order.
     pub fn insert_batch(&self, entries: &[(Key, Value)]) -> IoResult<()> {
+        let _mutation = if entries.is_empty() {
+            None
+        } else {
+            Some(self.inner.begin_mutation()?)
+        };
         self.inner.insert_batch(entries)
     }
 
@@ -765,7 +944,25 @@ impl EngineInner {
     }
 
     fn checkpoint(&self) -> IoResult<()> {
+        let begun_before = self.dirty.lock().begun;
         self.fan_out_all(|tree| tree.checkpoint().map(|()| TaskOutput::Unit))?;
+        // The checkpoint moved every shard's durable frontier: refresh the
+        // persisted manifest so a WAL-less reopen sees the checkpointed state.
+        self.sync_manifest()?;
+        // Clear the dirty marker only when provably nothing raced the flush: no
+        // mutation began since before the fan-out and none is still in flight.
+        // The OPQ/manifest re-check runs while the dirty lock is held, so a new
+        // writer (blocked in begin_mutation) cannot slip between the proof and
+        // the clear; writers arriving after the clear re-raise the marker.
+        let mut state = self.dirty.lock();
+        if state.marked && state.in_flight == 0 && state.begun == begun_before {
+            let quiescent = self.shards.iter().all(|s| s.tree.lock().opq_len() == 0);
+            if quiescent {
+                self.sync_manifest()?;
+                self.topology.set_dirty(false)?;
+                state.marked = false;
+            }
+        }
         Ok(())
     }
 
@@ -820,6 +1017,9 @@ impl EngineInner {
         // committed counter includes it (as its documentation promises).
         self.committed_epochs
             .fetch_add(report.recovered_epochs, Ordering::Relaxed);
+        // Recovery may have rolled roots forward (reopen) or rewound them
+        // (undone flushes): persist the post-recovery superblocks.
+        self.sync_manifest()?;
         Ok(report)
     }
 
@@ -875,6 +1075,9 @@ impl EngineInner {
             .count();
         if flushed > 0 {
             self.maintenance_flushes.fetch_add(1, Ordering::Relaxed);
+            // Flushes may have grown roots and allocated pages: keep the
+            // persisted manifest fresh off the foreground path.
+            self.sync_manifest()?;
         }
         Ok(flushed)
     }
@@ -917,6 +1120,7 @@ impl EngineInner {
             });
         }
         EngineStats {
+            topology: self.topology.name(),
             shards,
             rollup,
             total_io_us: total_io,
@@ -941,6 +1145,7 @@ impl EngineInner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ssd_sim::DeviceProfile;
 
     fn small_config(shards: usize) -> EngineConfig {
         EngineConfig::builder()

@@ -33,6 +33,9 @@ pub struct ShardSnapshot {
 /// Roll-up of every shard plus engine-level schedule accounting.
 #[derive(Debug, Clone)]
 pub struct EngineStats {
+    /// Name of the storage topology the shards were provisioned on
+    /// (`device-per-shard`, `shared-device`, `real-files`, …).
+    pub topology: &'static str,
     /// Per-shard snapshots, in key order.
     pub shards: Vec<ShardSnapshot>,
     /// Sum of all shards' operation counters.

@@ -41,6 +41,11 @@
 //! All backends work behind `&self` (interior mutability), so a single backend can
 //! be shared by the concurrent index variants and by multiple submitters holding
 //! interleaved tickets.
+//!
+//! [`PartitionIo`] layers on top of any backend: it exposes a disjoint address
+//! range of a shared queue as a queue of its own (offset translation, partition-
+//! local bounds, per-partition [`IoStats`]), which is how the engine's
+//! shared-device topology places many shards on one simulated SSD.
 
 #![warn(missing_docs)]
 // `unsafe` is confined to the aligned-buffer allocator in `aligned.rs`.
@@ -51,6 +56,7 @@ pub mod backend;
 pub mod error;
 pub mod fault;
 pub mod memdisk;
+pub mod partition;
 pub mod queue;
 pub mod request;
 pub mod stats;
@@ -63,6 +69,7 @@ pub use backend::threaded::{FileLayout, SimThreadedIo};
 pub use error::{IoError, IoResult};
 pub use fault::{CrashPlan, FaultClock, FaultIo, TornWrite};
 pub use memdisk::MemDisk;
+pub use partition::PartitionIo;
 pub use queue::{Completion, IoQueue, Ticket, TryComplete};
 pub use request::{ReadRequest, WriteRequest};
 pub use stats::{BatchStats, IoStats};

@@ -72,6 +72,20 @@ impl SsdConfig {
         last - first + 1
     }
 
+    /// Recommends an engine shard count for this device, given the per-shard
+    /// outstanding-I/O level (`PioMax`): enough shards that their combined
+    /// outstanding I/O covers the device's internal parallelism
+    /// (`channels × packages_per_channel` concurrently serviceable flash pages —
+    /// Section 2.1 of the paper), and no more. One shard with `PioMax ≥` the
+    /// package count already saturates the gangs, so extra shards then only add
+    /// host-side stream parallelism; conversely a small `PioMax` needs
+    /// `⌈packages / PioMax⌉` independent psync streams to keep every package
+    /// busy. This is the first slice of workload-aware shard-count tuning: it
+    /// considers only device geometry, not the workload mix.
+    pub fn recommended_shard_count(&self, pio_max: usize) -> usize {
+        self.total_packages().div_ceil(pio_max.max(1)).max(1)
+    }
+
     /// Maps a flash page index to `(channel, package)` according to the striping
     /// layout described in the struct documentation.
     pub fn locate_page(&self, flash_page: u64) -> (usize, usize) {
@@ -164,6 +178,24 @@ mod tests {
         let mut cfg = SsdConfig::default();
         cfg.ncq_depth = 0;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn recommended_shards_cover_the_package_count() {
+        let cfg = SsdConfig {
+            channels: 8,
+            packages_per_channel: 4, // 32 packages
+            ..SsdConfig::default()
+        };
+        assert_eq!(cfg.recommended_shard_count(8), 4);
+        assert_eq!(
+            cfg.recommended_shard_count(32),
+            1,
+            "PioMax already saturates the device"
+        );
+        assert_eq!(cfg.recommended_shard_count(64), 1);
+        assert_eq!(cfg.recommended_shard_count(5), 7, "ceil(32 / 5)");
+        assert_eq!(cfg.recommended_shard_count(0), 32, "degenerate PioMax is clamped to 1");
     }
 
     #[test]

@@ -109,6 +109,12 @@ impl CachedStore {
         self.store.allocate_contiguous(n)
     }
 
+    /// Raises the allocation frontier to at least `pages` (reopen path — see
+    /// [`PageStore::ensure_high_water`]).
+    pub fn ensure_high_water(&self, pages: u64) {
+        self.store.ensure_high_water(pages)
+    }
+
     /// Frees a page and drops any cached copy. If the cached copy was dirty it is
     /// intentionally discarded — the page no longer belongs to the caller.
     pub fn free(&self, page: PageId) {

@@ -131,6 +131,15 @@ impl PageStore {
         self.next_page.load(Ordering::Relaxed)
     }
 
+    /// Raises the allocation frontier to at least `pages` (no-op when already
+    /// past it). Used when reopening a store over existing data: pages below the
+    /// restored high-water mark are in use and must never be handed out again —
+    /// neither by the bump allocator nor, transitively, by a [`PageStore::free`]
+    /// of a page the allocator has not yet reached.
+    pub fn ensure_high_water(&self, pages: u64) {
+        self.next_page.fetch_max(pages, Ordering::Relaxed);
+    }
+
     /// Allocates one page, reusing a freed page when available.
     pub fn allocate(&self) -> PageId {
         self.stats.lock().allocated += 1;

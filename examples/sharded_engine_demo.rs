@@ -5,7 +5,7 @@
 //!
 //! Run with `cargo run --example sharded_engine_demo`.
 
-use engine::{EngineBackends, EngineConfig, ShardedPioEngine};
+use engine::{EngineBackends, EngineBuilder, EngineConfig, ShardedPioEngine};
 use pio::{CrashPlan, FaultClock, FaultIo, IoQueue, SimPsyncIo};
 use pio_btree::PioConfig;
 use ssd_sim::DeviceProfile;
@@ -149,7 +149,12 @@ fn main() {
         ))),
     };
     let sample: Vec<u64> = (0..30_000).collect();
-    let engine = ShardedPioEngine::create_with_backends(crash_config, &sample, backends).expect("crash demo engine");
+    // The fault-wrapped backends slot into the same builder every topology uses.
+    let engine = EngineBuilder::new(crash_config)
+        .key_sample(&sample)
+        .topology(backends)
+        .build()
+        .expect("crash demo engine");
 
     // A committed batch, then one whose EpochCommit write is killed.
     let committed: Vec<(u64, u64)> = (0..600u64).map(|k| (k * 50, k)).collect();

@@ -1,7 +1,9 @@
 //! Tuning advisor: the Section 3.6 procedure as a standalone tool. It
 //! micro-benchmarks a device profile, evaluates the cost model (eqs. 3, 9, 10) and
 //! prints the recommended B+-tree node size and PIO B-tree `(leaf size, OPQ size)`
-//! for several workload mixes and memory budgets.
+//! for several workload mixes and memory budgets — plus, from the device's
+//! geometry (channels × packages vs the per-shard outstanding-I/O level), the
+//! recommended **shard count** for the sharded engine.
 //!
 //! Run with: `cargo run --example tuning_advisor`
 
@@ -20,7 +22,8 @@ fn main() {
         memory_budget_pages * 2 / 1024
     );
     for profile in DeviceProfile::all() {
-        let mut device = SsdDevice::new(profile.build());
+        let config = profile.build();
+        let mut device = SsdDevice::new(config.clone());
         let chars = characterise(&mut device, page_size as u64, 64, 42);
         let node = optimal_btree_node_size(&mut device, &[2048, 4096, 8192, 16384, 32768], 42);
         println!("\ndevice: {}", profile.name());
@@ -29,6 +32,25 @@ fn main() {
             chars.page_read_us, chars.page_write_us, chars.psync_read_us, chars.psync_write_us
         );
         println!("  B+-tree optimal node size (eq. 3): {} bytes", node);
+        // Engine shard count from the device geometry: enough independent psync
+        // streams that shards × PioMax covers channels × packages (the device's
+        // internal parallelism), and no more — extra shards past that point only
+        // add host-side stream parallelism.
+        let shard_recs: Vec<String> = [8usize, 32, 64]
+            .iter()
+            .map(|&pio_max| {
+                format!(
+                    "PioMax {pio_max} → {} shard(s)",
+                    config.recommended_shard_count(pio_max)
+                )
+            })
+            .collect();
+        println!(
+            "  engine shards for {} channels × {} packages: {}",
+            config.channels,
+            config.packages_per_channel,
+            shard_recs.join(", ")
+        );
         for (label, mix) in [
             ("search-heavy (10% inserts)", WorkloadMix::with_insert_ratio(0.1)),
             ("balanced     (50% inserts)", WorkloadMix::with_insert_ratio(0.5)),

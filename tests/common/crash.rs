@@ -16,7 +16,7 @@
 
 #![allow(dead_code)]
 
-use engine::{EngineBackends, EngineConfig, ShardedPioEngine};
+use engine::{EngineBackends, EngineBuilder, EngineConfig, ShardedPioEngine};
 use pio::{FaultClock, FaultIo, IoQueue, SimPsyncIo};
 use rand::{rngs::StdRng, SeedableRng};
 use ssd_sim::DeviceProfile;
@@ -69,9 +69,9 @@ pub fn shared_clock_backends(config: &EngineConfig, clock: &Arc<FaultClock>) -> 
             .map(|_| faulty_sim(config.profile, config.shard_capacity_bytes, clock))
             .collect(),
         shard_wals: (0..config.shards)
-            .map(|_| faulty_sim(config.profile, 64 << 20, clock))
+            .map(|_| faulty_sim(config.profile, config.wal_capacity_bytes, clock))
             .collect(),
-        engine_wal: Some(faulty_sim(config.profile, 64 << 20, clock)),
+        engine_wal: Some(faulty_sim(config.profile, config.wal_capacity_bytes, clock)),
     }
 }
 
@@ -86,8 +86,11 @@ pub fn per_backend_clocks(config: &EngineConfig) -> (EngineBackends, EngineClock
             .iter()
             .map(|c| faulty_sim(config.profile, config.shard_capacity_bytes, c))
             .collect(),
-        shard_wals: wals.iter().map(|c| faulty_sim(config.profile, 64 << 20, c)).collect(),
-        engine_wal: Some(faulty_sim(config.profile, 64 << 20, &engine_wal)),
+        shard_wals: wals
+            .iter()
+            .map(|c| faulty_sim(config.profile, config.wal_capacity_bytes, c))
+            .collect(),
+        engine_wal: Some(faulty_sim(config.profile, config.wal_capacity_bytes, &engine_wal)),
     };
     (
         backends,
@@ -100,8 +103,12 @@ pub fn per_backend_clocks(config: &EngineConfig) -> (EngineBackends, EngineClock
 }
 
 /// Builds a WAL-enabled engine whose every backend shares `clock`, bulk-loaded
-/// with `entries`.
+/// with `entries`. The fault-wrapped backends ride the public builder API —
+/// [`EngineBackends`] is itself a [`engine::ShardProvisioner`].
 pub fn crashy_engine(config: &EngineConfig, entries: &[(u64, u64)], clock: &Arc<FaultClock>) -> ShardedPioEngine {
-    ShardedPioEngine::bulk_load_with_backends(config.clone(), entries, shared_clock_backends(config, clock))
+    EngineBuilder::new(config.clone())
+        .topology(shared_clock_backends(config, clock))
+        .entries(entries)
+        .build()
         .expect("engine build must succeed before any plan is armed")
 }

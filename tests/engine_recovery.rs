@@ -12,7 +12,7 @@
 mod common;
 
 use common::crash::{crashy_engine, per_backend_clocks, seeded_rng};
-use engine::{EngineConfig, ShardedPioEngine};
+use engine::{EngineBuilder, EngineConfig, ShardedPioEngine};
 use pio::{CrashPlan, FaultClock};
 use pio_btree::PioConfig;
 use rand::Rng;
@@ -110,7 +110,11 @@ fn engine_state(engine: &ShardedPioEngine) -> BTreeMap<u64, u64> {
 #[test]
 fn crash_before_epoch_begin_leaves_no_trace() {
     let (backends, clocks) = per_backend_clocks(&config());
-    let engine = ShardedPioEngine::bulk_load_with_backends(config(), &seed_entries(), backends).unwrap();
+    let engine = EngineBuilder::new(config())
+        .entries(&seed_entries())
+        .topology(backends)
+        .build()
+        .unwrap();
     let batch: Vec<(u64, u64)> = (0..30u64).map(|i| (i * 101 + 1, i + 1)).collect();
     // The next engine-log write is the Begin force.
     clocks
@@ -134,7 +138,11 @@ fn crash_before_epoch_begin_leaves_no_trace() {
 #[test]
 fn crash_mid_fanout_discards_the_epoch_everywhere() {
     let (backends, clocks) = per_backend_clocks(&config());
-    let engine = ShardedPioEngine::bulk_load_with_backends(config(), &seed_entries(), backends).unwrap();
+    let engine = EngineBuilder::new(config())
+        .entries(&seed_entries())
+        .topology(backends)
+        .build()
+        .unwrap();
     // Keys chosen to hit all three shards (boundaries cut ~[1000, 2000)).
     let batch: Vec<(u64, u64)> = (0..30u64).map(|i| (i * 101 + 1, i + 1)).collect();
     // Kill shard 2's WAL: its bracket force fails after shards 0/1 are durable
@@ -168,7 +176,11 @@ fn crash_mid_fanout_discards_the_epoch_everywhere() {
 fn crash_between_shard_durability_and_commit_is_all_or_nothing() {
     for (engine_wal_write, expect_present) in [(1u64, false), (2u64, true)] {
         let (backends, clocks) = per_backend_clocks(&config());
-        let engine = ShardedPioEngine::bulk_load_with_backends(config(), &seed_entries(), backends).unwrap();
+        let engine = EngineBuilder::new(config())
+            .entries(&seed_entries())
+            .topology(backends)
+            .build()
+            .unwrap();
         let batch: Vec<(u64, u64)> = (0..30u64).map(|i| (i * 101 + 1, i + 1)).collect();
         // Engine-log writes per batch: #0 Begin force, #1 ack force, #2 commit.
         let base = clocks.engine_wal.writes_seen();
@@ -205,7 +217,11 @@ fn crash_between_shard_durability_and_commit_is_all_or_nothing() {
 #[test]
 fn crash_after_commit_replays_the_batch() {
     let (backends, _clocks) = per_backend_clocks(&config());
-    let engine = ShardedPioEngine::bulk_load_with_backends(config(), &seed_entries(), backends).unwrap();
+    let engine = EngineBuilder::new(config())
+        .entries(&seed_entries())
+        .topology(backends)
+        .build()
+        .unwrap();
     let batch: Vec<(u64, u64)> = (0..30u64).map(|i| (i * 101 + 1, i + 1)).collect();
     engine.insert_batch(&batch).unwrap();
     engine.simulate_crash();

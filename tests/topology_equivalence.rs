@@ -1,0 +1,442 @@
+//! Storage-topology equivalence and the RealFiles reopen/recover round trip.
+//!
+//! The engine's behaviour must be independent of *where* its shards live: the
+//! same seeded workload on [`DevicePerShard`], [`SharedDevice`] and
+//! [`RealFiles`] returns identical query results. Placement only changes the
+//! *timing*: on one shared device the shards' psync streams contend for the
+//! same channels and host interface, so the schedule makespan is at least (and
+//! under load, measurably more than) the per-shard-device makespan at equal
+//! configuration.
+//!
+//! The RealFiles tests exercise the restart path end to end: an engine is
+//! dropped mid-stream (OPQ contents lost, like a crash) and
+//! `EngineBuilder::recover()` reassembles it from the persisted manifest plus
+//! WAL replay — including the `FlushRoot` roll-forward of root growths that
+//! happened after the last manifest sync.
+
+use engine::{DevicePerShard, EngineBuilder, EngineConfig, RealFiles, ShardedPioEngine, SharedDevice};
+use pio_btree::PioConfig;
+use ssd_sim::DeviceProfile;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// A scratch directory under the system tempdir, removed on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> Self {
+        let mut p = std::env::temp_dir();
+        p.push(format!("pio-topology-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        Self(p)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn config(shards: usize, wal: bool) -> EngineConfig {
+    EngineConfig::builder()
+        .shards(shards)
+        .profile(DeviceProfile::F120)
+        .shard_capacity_bytes(64 << 20)
+        .wal_capacity_bytes(4 << 20)
+        .base(
+            PioConfig::builder()
+                .page_size(2048)
+                .leaf_segments(2)
+                .opq_pages(1)
+                .pio_max(8)
+                .speriod(32)
+                .bcnt(64)
+                .pool_pages(96)
+                .wal(wal)
+                .build(),
+        )
+        .build()
+}
+
+fn seed_entries() -> Vec<(u64, u64)> {
+    (0..4_000u64).map(|k| (k * 7, k)).collect()
+}
+
+/// The deterministic workload: overwriting batches spanning all shards, single
+/// ops, and a checkpoint mid-stream. Returns the oracle of the final state.
+fn drive(engine: &ShardedPioEngine) -> BTreeMap<u64, u64> {
+    let mut model: BTreeMap<u64, u64> = seed_entries().into_iter().collect();
+    for round in 0..6u64 {
+        let batch: Vec<(u64, u64)> = (0..200u64)
+            .map(|i| {
+                let key = (i * 131 + round * 17) % 40_000;
+                (key, round * 10_000 + i)
+            })
+            .collect();
+        engine.insert_batch(&batch).expect("insert_batch");
+        for &(k, v) in &batch {
+            model.insert(k, v);
+        }
+        if round == 2 {
+            engine.checkpoint().expect("checkpoint");
+        }
+    }
+    for k in 0..40u64 {
+        engine.delete(k * 1_001).expect("delete");
+        model.remove(&(k * 1_001));
+        // An update of an absent key behaves as an insert (the leaf-shrink
+        // rule), so the oracle applies it unconditionally.
+        engine.update(k * 7, k + 500_000).expect("update");
+        model.insert(k * 7, k + 500_000);
+    }
+    model
+}
+
+/// Everything a client can observe, gathered identically per topology.
+fn observe(engine: &ShardedPioEngine) -> (Vec<Option<u64>>, Vec<(u64, u64)>, u64) {
+    let probes: Vec<u64> = (0..1_000u64).map(|i| (i * 73) % 45_000).collect();
+    let hits = engine.multi_search(&probes).expect("multi_search");
+    let range = engine.range_search(5_000, 15_000).expect("range_search");
+    let count = engine.count_entries().expect("count");
+    (hits, range, count)
+}
+
+#[test]
+fn the_same_workload_returns_identical_results_on_every_topology() {
+    let dir = TempDir::new("equivalence");
+    let entries = seed_entries();
+
+    let per_shard = EngineBuilder::new(config(3, true))
+        .topology(DevicePerShard)
+        .entries(&entries)
+        .build()
+        .expect("device-per-shard engine");
+    let shared = EngineBuilder::new(config(3, true))
+        .topology(SharedDevice)
+        .entries(&entries)
+        .build()
+        .expect("shared-device engine");
+    let real = EngineBuilder::new(config(3, true))
+        .topology(RealFiles::new(&dir.0))
+        .entries(&entries)
+        .build()
+        .expect("real-files engine");
+
+    let model = drive(&per_shard);
+    assert_eq!(drive(&shared), model);
+    assert_eq!(drive(&real), model);
+
+    let expected = observe(&per_shard);
+    assert_eq!(observe(&shared), expected, "shared-device results diverge");
+    assert_eq!(observe(&real), expected, "real-files results diverge");
+    assert_eq!(expected.2, model.len() as u64, "oracle count");
+    // The topology is visible in the stats, and the full scan equals the oracle.
+    assert_eq!(per_shard.stats().topology, "device-per-shard");
+    assert_eq!(shared.stats().topology, "shared-device");
+    assert_eq!(real.stats().topology, "real-files");
+    let scan: BTreeMap<u64, u64> = per_shard.range_search(0, u64::MAX).unwrap().into_iter().collect();
+    assert_eq!(scan, model);
+
+    per_shard.check_invariants().unwrap();
+    shared.check_invariants().unwrap();
+    real.check_invariants().unwrap();
+}
+
+#[test]
+fn shared_device_makespan_is_at_least_the_per_shard_device_makespan() {
+    // Equal config, WAL off (pure store traffic). On separate devices the
+    // shards' streams overlap freely; on one device they queue behind each
+    // other for the channels and the host interface, so the accumulated
+    // schedule makespan can only be larger (or equal, if nothing ever
+    // overlapped).
+    let entries = seed_entries();
+    let per_shard = EngineBuilder::new(config(4, false))
+        .topology(DevicePerShard)
+        .entries(&entries)
+        .build()
+        .unwrap();
+    let shared = EngineBuilder::new(config(4, false))
+        .topology(SharedDevice)
+        .entries(&entries)
+        .build()
+        .unwrap();
+    drive(&per_shard);
+    drive(&shared);
+    let per_us = per_shard.scheduled_io_us();
+    let shared_us = shared.scheduled_io_us();
+    assert!(per_us > 0.0);
+    assert!(
+        shared_us >= per_us - 1e-6,
+        "shared-device makespan {shared_us} µs must not beat {per_us} µs on separate devices"
+    );
+    println!(
+        "shared-device contention penalty: {:.2}x ({shared_us:.0} µs vs {per_us:.0} µs)",
+        shared_us / per_us
+    );
+}
+
+/// Tiny pages so bupdate flushes split aggressively and grow shard roots within
+/// a small workload — the reopen path must roll those root moves forward from
+/// the WAL, because the manifest snapshot predates them.
+fn growth_config(shards: usize) -> EngineConfig {
+    EngineConfig::builder()
+        .shards(shards)
+        .profile(DeviceProfile::F120)
+        .shard_capacity_bytes(64 << 20)
+        .wal_capacity_bytes(1 << 20)
+        .base(
+            PioConfig::builder()
+                .page_size(256)
+                .leaf_segments(2)
+                .opq_pages(1)
+                .pio_max(8)
+                .speriod(16)
+                .bcnt(64)
+                .pool_pages(64)
+                .wal(true)
+                .build(),
+        )
+        .build()
+}
+
+fn heights(engine: &ShardedPioEngine) -> Vec<usize> {
+    engine.stats().shards.iter().map(|s| s.height).collect()
+}
+
+#[test]
+fn real_files_engine_survives_reopen_and_recover() {
+    let dir = TempDir::new("reopen");
+    // Small enough that each shard bulk loads at height 2 (a single internal
+    // level), so the insert workload's splits must grow the roots.
+    let entries: Vec<(u64, u64)> = (0..240u64).map(|k| (k * 130, k)).collect();
+    let mut model: BTreeMap<u64, u64> = entries.iter().copied().collect();
+
+    let engine = EngineBuilder::new(growth_config(2))
+        .topology(RealFiles::new(&dir.0))
+        .entries(&entries)
+        .build()
+        .expect("real-files engine");
+    let bulk_heights = heights(&engine);
+
+    // Committed batches past the creation-time manifest: flushes overflow the
+    // tiny OPQs, split leaves and grow roots.
+    for round in 0..10u64 {
+        let batch: Vec<(u64, u64)> = (0..300u64)
+            .map(|i| {
+                let key = (i * 89 + round * 31) % 30_000;
+                (key, round * 1_000 + i + 1)
+            })
+            .collect();
+        engine.insert_batch(&batch).expect("insert_batch");
+        for &(k, v) in &batch {
+            model.insert(k, v);
+        }
+    }
+    let grown_heights = heights(&engine);
+    assert!(
+        grown_heights.iter().zip(&bulk_heights).any(|(g, b)| g > b),
+        "the workload must grow at least one shard's root ({bulk_heights:?} → {grown_heights:?}) \
+         or the reopen test is not exercising the FlushRoot roll-forward"
+    );
+    let before: BTreeMap<u64, u64> = engine.range_search(0, u64::MAX).unwrap().into_iter().collect();
+    assert_eq!(before, model);
+    // Drop without a checkpoint: queued OPQ entries die with the process, like
+    // a crash — only the manifest, the store files and the WALs survive.
+    drop(engine);
+
+    let (engine, report) = EngineBuilder::new(growth_config(2))
+        .topology(RealFiles::new(&dir.0))
+        .recover()
+        .expect("reopen + recover");
+    assert_eq!(report.committed_epochs, 10, "every batch committed before the drop");
+    assert_eq!(report.discarded_epochs, 0);
+    assert!(report.redone() > 0, "queued entries replay from the WALs");
+    assert_eq!(
+        heights(&engine),
+        grown_heights,
+        "roots rolled forward to the pre-drop state"
+    );
+    let after: BTreeMap<u64, u64> = engine.range_search(0, u64::MAX).unwrap().into_iter().collect();
+    assert_eq!(after, model, "recovered state must equal the pre-drop state");
+    engine.check_invariants().unwrap();
+
+    // Second generation: keep operating, checkpoint, reopen again — the
+    // manifest written at the checkpoint carries the grown roots directly.
+    let batch: Vec<(u64, u64)> = (0..200u64).map(|i| (i * 13 + 1, i + 777)).collect();
+    engine.insert_batch(&batch).expect("second-generation batch");
+    for &(k, v) in &batch {
+        model.insert(k, v);
+    }
+    engine.checkpoint().expect("checkpoint");
+    drop(engine);
+
+    let (engine, report) = EngineBuilder::new(growth_config(2))
+        .topology(RealFiles::new(&dir.0))
+        .recover()
+        .expect("second reopen");
+    assert_eq!(report.committed_epochs, 11);
+    let finals: BTreeMap<u64, u64> = engine.range_search(0, u64::MAX).unwrap().into_iter().collect();
+    assert_eq!(finals, model);
+    assert_eq!(engine.count_entries().unwrap(), model.len() as u64);
+    engine.check_invariants().unwrap();
+}
+
+#[test]
+fn rebuilding_over_a_used_directory_resets_it() {
+    use engine::{ProvisionMode, ShardProvisioner};
+    let dir = TempDir::new("rebuild");
+    // Generation A: WAL on, some committed batches, clean shutdown.
+    let entries_a: Vec<(u64, u64)> = (0..600u64).map(|k| (k * 4, k)).collect();
+    let engine = EngineBuilder::new(config(2, true))
+        .topology(RealFiles::new(&dir.0))
+        .entries(&entries_a)
+        .build()
+        .unwrap();
+    engine
+        .insert_batch(&(0..100u64).map(|i| (i * 4 + 1, i)).collect::<Vec<_>>())
+        .unwrap();
+    engine.checkpoint().unwrap();
+    drop(engine);
+
+    // Generation B over the SAME directory: the old manifest, dirty marker and
+    // file contents (including A's WAL records) must be retired, or B's
+    // recovery would replay A's log into B's trees.
+    let entries_b: Vec<(u64, u64)> = (0..300u64).map(|k| (k * 10 + 2, k + 9_000)).collect();
+    let engine = EngineBuilder::new(config(2, true))
+        .topology(RealFiles::new(&dir.0))
+        .entries(&entries_b)
+        .build()
+        .unwrap();
+    drop(engine);
+    let (engine, report) = EngineBuilder::new(config(2, true))
+        .topology(RealFiles::new(&dir.0))
+        .recover()
+        .unwrap();
+    assert_eq!(report.committed_epochs, 0, "generation A's epochs must not resurface");
+    let state: BTreeMap<u64, u64> = engine.range_search(0, u64::MAX).unwrap().into_iter().collect();
+    assert_eq!(state, entries_b.iter().copied().collect::<BTreeMap<_, _>>());
+    engine.check_invariants().unwrap();
+    drop(engine);
+
+    // A build that dies right after provisioning (before anything new is
+    // written) must leave a directory that recover() REFUSES — the old
+    // manifest is removed first, never left describing clobbered files.
+    let provisioner = RealFiles::new(&dir.0);
+    drop(provisioner.provision(&config(2, true), ProvisionMode::Create).unwrap());
+    let err = EngineBuilder::new(config(2, true))
+        .topology(RealFiles::new(&dir.0))
+        .recover()
+        .expect_err("no manifest may survive the start of a rebuild");
+    assert!(err.to_string().contains("manifest"), "{err}");
+}
+
+#[test]
+fn wal_less_recover_refuses_a_dirty_directory() {
+    let dir = TempDir::new("dirty");
+    let entries: Vec<(u64, u64)> = (0..500u64).map(|k| (k * 9, k)).collect();
+    let engine = EngineBuilder::new(config(2, false))
+        .topology(RealFiles::new(&dir.0))
+        .entries(&entries)
+        .build()
+        .unwrap();
+    engine.checkpoint().unwrap();
+    // A single mutation after the checkpoint raises the durable dirty marker;
+    // dropping without another checkpoint leaves it standing.
+    engine.insert(4_501, 42).unwrap();
+    drop(engine);
+
+    let err = EngineBuilder::new(config(2, false))
+        .topology(RealFiles::new(&dir.0))
+        .recover()
+        .expect_err("a dirty WAL-less directory must be refused, not silently mixed");
+    assert!(err.to_string().contains("not shut down cleanly"), "{err}");
+
+    // The same directory with the WAL enabled would have been recoverable —
+    // here the honest way out is a checkpointing shutdown, which the next
+    // generation can perform after rebuilding.
+    let engine = EngineBuilder::new(config(2, false))
+        .topology(RealFiles::new(&dir.0))
+        .entries(&entries)
+        .build()
+        .unwrap();
+    engine.checkpoint().unwrap();
+    drop(engine);
+    let (engine, _) = EngineBuilder::new(config(2, false))
+        .topology(RealFiles::new(&dir.0))
+        .recover()
+        .expect("clean again after the rebuilding checkpoint");
+    assert_eq!(engine.count_entries().unwrap(), 500);
+}
+
+#[test]
+fn recover_on_a_topology_without_a_manifest_is_an_error() {
+    let err = EngineBuilder::new(config(2, true))
+        .topology(DevicePerShard)
+        .recover()
+        .expect_err("simulated topologies persist nothing");
+    assert!(err.to_string().contains("manifest"), "{err}");
+    // A RealFiles directory that was never built has no manifest either.
+    let dir = TempDir::new("empty");
+    let err = EngineBuilder::new(config(2, true))
+        .topology(RealFiles::new(&dir.0))
+        .recover()
+        .expect_err("nothing persisted yet");
+    assert!(err.to_string().contains("manifest"), "{err}");
+}
+
+#[test]
+fn recover_rejects_a_mismatched_configuration() {
+    let dir = TempDir::new("mismatch");
+    let entries = seed_entries();
+    drop(
+        EngineBuilder::new(config(3, true))
+            .topology(RealFiles::new(&dir.0))
+            .entries(&entries)
+            .build()
+            .unwrap(),
+    );
+    let err = EngineBuilder::new(config(2, true))
+        .topology(RealFiles::new(&dir.0))
+        .recover()
+        .expect_err("shard count differs from the manifest");
+    assert!(err.to_string().contains("does not match"), "{err}");
+    // The failed attempt must be side-effect-free: recovering with MORE shards
+    // than the manifest records must not create files for the extra shards.
+    let err = EngineBuilder::new(config(4, true))
+        .topology(RealFiles::new(&dir.0))
+        .recover()
+        .expect_err("shard count differs from the manifest");
+    assert!(err.to_string().contains("does not match"), "{err}");
+    assert!(
+        !dir.0.join("shard-003.store").exists(),
+        "a refused recover must not touch the directory"
+    );
+}
+
+#[test]
+fn real_files_without_wal_reopens_the_last_checkpoint() {
+    let dir = TempDir::new("nowal");
+    let entries: Vec<(u64, u64)> = (0..1_000u64).map(|k| (k * 3, k)).collect();
+    let engine = EngineBuilder::new(config(2, false))
+        .topology(RealFiles::new(&dir.0))
+        .entries(&entries)
+        .build()
+        .unwrap();
+    engine
+        .insert_batch(&(0..100u64).map(|i| (i * 3 + 1, i)).collect::<Vec<_>>())
+        .unwrap();
+    // Clean shutdown: checkpoint flushes everything and refreshes the manifest.
+    engine.checkpoint().unwrap();
+    drop(engine);
+
+    let (engine, report) = EngineBuilder::new(config(2, false))
+        .topology(RealFiles::new(&dir.0))
+        .recover()
+        .unwrap();
+    assert_eq!(report.redone(), 0, "no WAL, nothing to replay");
+    assert_eq!(engine.count_entries().unwrap(), 1_100);
+    assert_eq!(engine.search(3).unwrap(), Some(1));
+    assert_eq!(engine.search(4).unwrap(), Some(1));
+    engine.check_invariants().unwrap();
+}
