@@ -1,5 +1,26 @@
 //! Configuration of a PIO B-tree instance.
 
+/// How many batches the tree's pipelined hot paths keep in flight at once.
+///
+/// The paper's Figure 3 shows device bandwidth climbing with the number of
+/// outstanding requests until the NCQ window is full; a tree that holds only
+/// two batches in flight flat-lines well short of that on a deep-queue device.
+/// `Auto` (the default) derives the depth from the backend at construction
+/// time: the backend's [`pio::IoQueue::queue_depth_hint`] (its NCQ depth, or
+/// worker count for the file pool) divided by `PioMax` — enough in-flight
+/// `PioMax`-sized batches to fill the device queue — clamped to `[2, 16]`
+/// (2 keeps the historic double buffering as the floor; 16 bounds the buffer
+/// memory at 16 batches). A backend with no hint resolves to 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PipelineDepth {
+    /// Derive the depth from the backend's queue-depth hint (see above).
+    #[default]
+    Auto,
+    /// Hold exactly this many batches in flight (≥ 1; 1 is fully blocking,
+    /// 2 is the historic double buffering).
+    Fixed(usize),
+}
+
 /// All tunable parameters of a [`crate::PioBTree`].
 ///
 /// Defaults follow the synthetic-workload setup of Section 4.1: `PioMax = 64`,
@@ -27,6 +48,10 @@ pub struct PioConfig {
     pub fill_factor: f64,
     /// Whether write-ahead logging (and therefore crash recovery) is enabled.
     pub wal_enabled: bool,
+    /// Depth of the ticket pipelines in the batched hot paths (multi-search
+    /// leaf fetch, bupdate prefetch, bulk-load writes, the `locate_leaves`
+    /// descent): how many `PioMax`-bounded batches stay in flight at once.
+    pub pipeline_depth: PipelineDepth,
 }
 
 impl Default for PioConfig {
@@ -41,6 +66,7 @@ impl Default for PioConfig {
             pool_pages: 1024,
             fill_factor: 0.7,
             wal_enabled: false,
+            pipeline_depth: PipelineDepth::Auto,
         }
     }
 }
@@ -73,7 +99,29 @@ impl PioConfig {
         if !(0.1..=1.0).contains(&self.fill_factor) {
             return Err("fill_factor must be in (0.1, 1.0]".into());
         }
+        if self.pipeline_depth == PipelineDepth::Fixed(0) {
+            return Err(
+                "pipeline_depth must be at least 1 (1 = blocking, 2 = double buffering; \
+                 use Auto to derive it from the device's queue depth)"
+                    .into(),
+            );
+        }
         Ok(())
+    }
+
+    /// Resolves the configured [`PipelineDepth`] against a backend's
+    /// [`pio::IoQueue::queue_depth_hint`]: `Fixed` passes through; `Auto`
+    /// keeps `hint / PioMax` batches in flight (rounded up) so the in-flight
+    /// request count covers the device queue, clamped to `[2, 16]`, and falls
+    /// back to 2 (double buffering) when the backend reports no hint.
+    pub fn resolve_pipeline_depth(&self, queue_depth_hint: Option<usize>) -> usize {
+        match self.pipeline_depth {
+            PipelineDepth::Fixed(depth) => depth.max(1),
+            PipelineDepth::Auto => match queue_depth_hint {
+                Some(hint) => hint.div_ceil(self.pio_max.max(1)).clamp(2, 16),
+                None => 2,
+            },
+        }
     }
 }
 
@@ -135,6 +183,12 @@ impl PioConfigBuilder {
     /// Enables or disables write-ahead logging.
     pub fn wal(mut self, enabled: bool) -> Self {
         self.config.wal_enabled = enabled;
+        self
+    }
+
+    /// Sets the ticket-pipeline depth policy of the batched hot paths.
+    pub fn pipeline_depth(mut self, depth: PipelineDepth) -> Self {
+        self.config.pipeline_depth = depth;
         self
     }
 
@@ -208,5 +262,32 @@ mod tests {
         let mut c = PioConfig::default();
         c.fill_factor = 1.5;
         assert!(c.validate().is_err());
+        let mut c = PioConfig::default();
+        c.pipeline_depth = PipelineDepth::Fixed(0);
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("pipeline_depth must be at least 1"), "{err}");
+    }
+
+    #[test]
+    fn pipeline_depth_resolution() {
+        // Fixed passes through untouched.
+        let c = PioConfig {
+            pipeline_depth: PipelineDepth::Fixed(5),
+            ..PioConfig::default()
+        };
+        assert_eq!(c.resolve_pipeline_depth(Some(1024)), 5);
+        assert_eq!(c.resolve_pipeline_depth(None), 5);
+
+        // Auto: ceil(hint / PioMax), clamped to [2, 16]; no hint → 2.
+        let c = PioConfig {
+            pio_max: 8,
+            ..PioConfig::default()
+        };
+        assert_eq!(c.resolve_pipeline_depth(Some(32)), 4);
+        assert_eq!(c.resolve_pipeline_depth(Some(33)), 5, "rounded up");
+        assert_eq!(c.resolve_pipeline_depth(Some(8)), 2, "floor keeps double buffering");
+        assert_eq!(c.resolve_pipeline_depth(Some(1)), 2);
+        assert_eq!(c.resolve_pipeline_depth(Some(4096)), 16, "cap bounds buffer memory");
+        assert_eq!(c.resolve_pipeline_depth(None), 2);
     }
 }

@@ -25,6 +25,20 @@
 //! * **a concurrent variant** (Section 4) using the paper's simple locking scheme
 //!   (shared searches, exclusive OPQ sort/flush).
 //!
+//! ## Depth-adaptive ticket pipelines
+//!
+//! Every batched hot path (the `locate_leaves` descent, multi-search and
+//! prange leaf fetches, bupdate's Phase-A prefetch, bulk-load region writes)
+//! keeps up to [`PioConfig::pipeline_depth`] batches in flight through the
+//! ticketed store tier. The default, [`config::PipelineDepth::Auto`], resolves
+//! at construction from the store backend's
+//! [`pio::IoQueue::queue_depth_hint`]: `ceil(hint / PioMax)` in-flight
+//! `PioMax`-sized batches — enough to fill the device's command queue, the
+//! Figure-3 headroom — clamped to `[2, 16]`. The descent caps its lookahead at
+//! `treeHeight − 1` batches, preserving the paper's
+//! `PioMax · (treeHeight − 1)` buffer bound, and every pipeline drains its
+//! in-flight tickets before surfacing an error.
+//!
 //! ## Quick example
 //!
 //! ```
@@ -62,7 +76,7 @@ pub mod recovery;
 pub mod tree;
 
 pub use concurrent::ConcurrentPioBTree;
-pub use config::{PioConfig, PioConfigBuilder};
+pub use config::{PioConfig, PioConfigBuilder, PipelineDepth};
 pub use cost::{CostModel, WorkloadMix};
 pub use entry::{OpEntry, OpKind};
 pub use leaf::PioLeaf;

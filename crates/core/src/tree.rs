@@ -23,7 +23,8 @@ use crate::mpsearch::{locate_leaves, locate_leaves_in_range, LeafLocation};
 use crate::opq::OperationQueue;
 use crate::recovery::{LogRecord, RecoveryReport};
 use btree::{InternalNode, Key, Node, Value};
-use pio::{IoResult, SimPsyncIo};
+use pio::ring::run_pipeline;
+use pio::{IoResult, SimPsyncIo, TicketRing};
 use ssd_sim::DeviceProfile;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -166,6 +167,9 @@ pub struct PioBTree {
     wal: Option<Wal>,
     next_flush_id: u64,
     next_tx: u64,
+    /// Ticket-pipeline depth of the batched hot paths, resolved at construction
+    /// from `config.pipeline_depth` and the store backend's queue-depth hint.
+    pipeline_depth: usize,
 }
 
 impl std::fmt::Debug for PioBTree {
@@ -219,40 +223,44 @@ impl PioBTree {
         let segments = config.leaf_segments;
         let leaf_cap = PioLeaf::capacity(segments, page_size);
         let per_leaf = ((leaf_cap as f64 * config.fill_factor).floor() as usize).max(1);
+        let pipeline_depth = config.resolve_pipeline_depth(store.queue_depth_hint());
         let mut lsmap = LsMap::new();
 
         // --- Leaf level -----------------------------------------------------------
-        // Region batches are double-buffered: one write ticket stays in flight on
-        // the device while the next batch of leaf images is encoded, so the loader
-        // overlaps CPU work (and the following batch's submission) with device
-        // time instead of blocking on every 64 regions.
+        // Region batches are pipelined: up to `pipeline_depth` write tickets stay
+        // in flight on the device while the next batch of leaf images is encoded,
+        // so the loader overlaps CPU work (and the following batches' submission)
+        // with device time instead of blocking on every 64 regions.
         let mut level: Vec<(Key, PageId)> = Vec::new();
         let mut region_writes: Vec<(PageId, Vec<u8>)> = Vec::new();
-        let mut in_flight: Option<RegionWriteTicket> = None;
+        let mut ring: TicketRing<RegionWriteTicket> = TicketRing::new(pipeline_depth);
         let submit_batch =
-            |region_writes: &mut Vec<(PageId, Vec<u8>)>, in_flight: &mut Option<RegionWriteTicket>| -> IoResult<()> {
-                let refs: Vec<(PageId, &[u8])> = region_writes.iter().map(|(p, d)| (*p, d.as_slice())).collect();
-                let ticket = match store.submit_write_regions(&refs) {
-                    Ok(ticket) => ticket,
-                    Err(e) => {
-                        // Drain the in-flight ticket before surfacing the error so
-                        // no submission is left outstanding on the backend.
-                        if let Some(previous) = in_flight.take() {
-                            let _ = store.complete_write_regions(previous);
-                        }
-                        return Err(e);
-                    }
-                };
-                if let Some(previous) = in_flight.replace(ticket) {
-                    if let Err(e) = store.complete_write_regions(previous) {
-                        if let Some(current) = in_flight.take() {
-                            let _ = store.complete_write_regions(current);
-                        }
+            |region_writes: &mut Vec<(PageId, Vec<u8>)>, ring: &mut TicketRing<RegionWriteTicket>| -> IoResult<()> {
+                if !ring.has_room() {
+                    let oldest = ring.pop().expect("full ring is non-empty");
+                    if let Err(e) = store.complete_write_regions(oldest) {
+                        // Drain the other in-flight tickets before surfacing the
+                        // error so no submission is left outstanding.
+                        ring.drain_with(|t| {
+                            let _ = store.complete_write_regions(t);
+                        });
                         return Err(e);
                     }
                 }
-                region_writes.clear();
-                Ok(())
+                let refs: Vec<(PageId, &[u8])> = region_writes.iter().map(|(p, d)| (*p, d.as_slice())).collect();
+                match store.submit_write_regions(&refs) {
+                    Ok(ticket) => {
+                        ring.push(ticket);
+                        region_writes.clear();
+                        Ok(())
+                    }
+                    Err(e) => {
+                        ring.drain_with(|t| {
+                            let _ = store.complete_write_regions(t);
+                        });
+                        Err(e)
+                    }
+                }
             };
         let chunks: Vec<&[(Key, Value)]> = if entries.is_empty() {
             vec![&[][..]]
@@ -266,14 +274,22 @@ impl PioBTree {
             level.push((chunk.first().map(|&(k, _)| k).unwrap_or(0), first));
             region_writes.push((first, leaf.encode(page_size)));
             if region_writes.len() >= 64 {
-                submit_batch(&mut region_writes, &mut in_flight)?;
+                submit_batch(&mut region_writes, &mut ring)?;
             }
         }
         if !region_writes.is_empty() {
-            submit_batch(&mut region_writes, &mut in_flight)?;
+            submit_batch(&mut region_writes, &mut ring)?;
         }
-        if let Some(last) = in_flight.take() {
-            store.complete_write_regions(last)?;
+        // Writes are durable when reaped: every remaining ticket must complete
+        // (and any completion error must surface) before the load returns.
+        let mut drain_error: Option<pio::IoError> = None;
+        ring.drain_with(|t| {
+            if let Err(e) = store.complete_write_regions(t) {
+                drain_error.get_or_insert(e);
+            }
+        });
+        if let Some(e) = drain_error {
+            return Err(e);
         }
 
         // --- Internal levels --------------------------------------------------------
@@ -316,6 +332,7 @@ impl PioBTree {
             wal: None,
             next_flush_id: 1,
             next_tx: 1,
+            pipeline_depth,
             config,
         })
     }
@@ -348,6 +365,7 @@ impl PioBTree {
                 "snapshot height {height} is impossible (a PIO B-tree always has at least one internal level)"
             )));
         }
+        let pipeline_depth = config.resolve_pipeline_depth(store.queue_depth_hint());
         Ok(Self {
             store,
             opq: OperationQueue::new(config.opq_pages, config.page_size, config.speriod),
@@ -358,6 +376,7 @@ impl PioBTree {
             wal: None,
             next_flush_id: 1,
             next_tx: 1,
+            pipeline_depth,
             config,
         })
     }
@@ -407,6 +426,15 @@ impl PioBTree {
     /// Tree height in levels, including the leaf level (always ≥ 2).
     pub fn height(&self) -> usize {
         self.height
+    }
+
+    /// The resolved ticket-pipeline depth of the batched hot paths: how many
+    /// `PioMax`-bounded batches stay in flight at once. Resolved at
+    /// construction from [`PioConfig::pipeline_depth`] (`Auto` derives it from
+    /// the store backend's queue-depth hint; see
+    /// [`crate::config::PipelineDepth`]).
+    pub fn pipeline_depth(&self) -> usize {
+        self.pipeline_depth
     }
 
     /// Number of internal levels (height − 1).
@@ -482,12 +510,13 @@ impl PioBTree {
             self.internal_levels(),
             &sorted_keys,
             self.config.pio_max,
+            self.pipeline_depth,
         )?;
 
         let mut results = vec![None; keys.len()];
         let l = self.config.leaf_segments as u64;
         // Deduplicated leaf-region list of every PioMax-sized batch, computed up
-        // front so batch k+1 can be submitted while batch k is still being decoded.
+        // front so later batches can be submitted while earlier ones are decoded.
         let chunk_regions: Vec<Vec<(PageId, u64)>> = locs
             .chunks(self.config.pio_max)
             .map(|group| {
@@ -500,59 +529,40 @@ impl PioBTree {
                 regions
             })
             .collect();
-        // Pipelined fetch: the next batch's ticket is submitted before the current
-        // one is reaped, so up to two psync windows overlap on the device while the
-        // CPU resolves the current batch's keys.
-        let mut pending = Some(self.store.submit_read_regions(&chunk_regions[0])?);
-        for (group_idx, (group_keys, group_locs)) in sorted_keys
-            .chunks(self.config.pio_max)
-            .zip(locs.chunks(self.config.pio_max))
-            .enumerate()
-        {
-            let next = if group_idx + 1 < chunk_regions.len() {
-                match self.store.submit_read_regions(&chunk_regions[group_idx + 1]) {
-                    Ok(t) => Some(t),
-                    Err(e) => {
-                        // Drain the in-flight ticket before surfacing the error.
-                        let _ = self.store.complete_read_regions(pending.take().expect("in flight"));
-                        return Err(e);
-                    }
-                }
-            } else {
-                None
-            };
-            let current = pending.take().expect("in flight");
-            let images = match self.store.complete_read_regions(current) {
-                Ok(images) => images,
-                Err(e) => {
-                    if let Some(t) = next {
-                        let _ = self.store.complete_read_regions(t);
-                    }
-                    return Err(e);
-                }
-            };
-            pending = next;
-            let regions = &chunk_regions[group_idx];
-            let leaves: Vec<PioLeaf> = images
-                .iter()
-                .map(|img| PioLeaf::decode(img, self.config.leaf_segments, self.config.page_size))
-                .collect();
-            for (pos_in_group, loc) in group_locs.iter().enumerate() {
-                let leaf_idx = regions
+        // Pipelined fetch: up to `pipeline_depth` batches stay in flight, so that
+        // many psync windows overlap on the device while the CPU resolves the
+        // current batch's keys — the depth that fills the device queue instead of
+        // flat-lining at double buffering.
+        let key_chunks: Vec<&[Key]> = sorted_keys.chunks(self.config.pio_max).collect();
+        let loc_chunks: Vec<&[LeafLocation]> = locs.chunks(self.config.pio_max).collect();
+        run_pipeline(
+            self.pipeline_depth,
+            chunk_regions.len(),
+            |group_idx| self.store.submit_read_regions(&chunk_regions[group_idx]),
+            |ticket| self.store.complete_read_regions(ticket),
+            |group_idx, images| {
+                let regions = &chunk_regions[group_idx];
+                let leaves: Vec<PioLeaf> = images
                     .iter()
-                    .position(|&(p, _)| p == loc.leaf)
-                    .expect("region fetched");
-                let key = group_keys[pos_in_group];
-                // Map back from the sorted position to the caller's position.
-                let original_idx = order[group_idx * self.config.pio_max + pos_in_group];
-                let verdict = self
-                    .opq
-                    .lookup(key)
-                    .or_else(|| leaves[leaf_idx].lookup(key))
-                    .unwrap_or(None);
-                results[original_idx] = verdict;
-            }
-        }
+                    .map(|img| PioLeaf::decode(img, self.config.leaf_segments, self.config.page_size))
+                    .collect();
+                for (pos_in_group, loc) in loc_chunks[group_idx].iter().enumerate() {
+                    let leaf_idx = regions
+                        .iter()
+                        .position(|&(p, _)| p == loc.leaf)
+                        .expect("region fetched");
+                    let key = key_chunks[group_idx][pos_in_group];
+                    // Map back from the sorted position to the caller's position.
+                    let original_idx = order[group_idx * self.config.pio_max + pos_in_group];
+                    let verdict = self
+                        .opq
+                        .lookup(key)
+                        .or_else(|| leaves[leaf_idx].lookup(key))
+                        .unwrap_or(None);
+                    results[original_idx] = verdict;
+                }
+            },
+        )?;
         Ok(results)
     }
 
@@ -571,21 +581,33 @@ impl PioBTree {
             lo,
             hi,
             self.config.pio_max,
+            self.pipeline_depth,
         )?;
         let l = self.config.leaf_segments as u64;
         let mut merged: BTreeMap<Key, Value> = BTreeMap::new();
-        for batch in leaves.chunks(self.config.pio_max) {
-            let regions: Vec<(PageId, u64)> = batch.iter().map(|&p| (p, l)).collect();
-            let images = self.store.read_regions(&regions)?;
-            for img in &images {
-                let leaf = PioLeaf::decode(img, self.config.leaf_segments, self.config.page_size);
-                for (k, v) in leaf.resolve() {
-                    if k >= lo && k < hi {
-                        merged.insert(k, v);
+        // Leaf regions are fetched through the same depth-N ticket pipeline as
+        // multi_search: later batches ride the device queue while earlier ones
+        // are decoded and merged.
+        let batches: Vec<&[PageId]> = leaves.chunks(self.config.pio_max).collect();
+        run_pipeline(
+            self.pipeline_depth,
+            batches.len(),
+            |batch_idx| {
+                let regions: Vec<(PageId, u64)> = batches[batch_idx].iter().map(|&p| (p, l)).collect();
+                self.store.submit_read_regions(&regions)
+            },
+            |ticket| self.store.complete_read_regions(ticket),
+            |_, images| {
+                for img in &images {
+                    let leaf = PioLeaf::decode(img, self.config.leaf_segments, self.config.page_size);
+                    for (k, v) in leaf.resolve() {
+                        if k >= lo && k < hi {
+                            merged.insert(k, v);
+                        }
                     }
                 }
-            }
-        }
+            },
+        )?;
         // Overlay the queued (not yet flushed) operations.
         for e in self.opq.entries_in_range(lo, hi) {
             match e.op {
@@ -802,30 +824,50 @@ impl PioBTree {
             self.internal_levels(),
             &keys,
             self.config.pio_max,
+            self.pipeline_depth,
         )?;
         let jobs = Self::group_jobs(ops, &locs);
 
         // 2. Apply the operations leaf by leaf, in PioMax-sized psync batches.
-        // Phase-A reads (each target leaf's last segment) are prefetched one chunk
-        // ahead: the ticket for chunk k+1 is already in flight while chunk k
-        // decodes, shrinks and writes. Chunks target disjoint leaf sets (jobs are
-        // grouped by leaf), so the prefetched pages cannot be dirtied by the
-        // preceding chunk.
+        // Phase-A reads (each target leaf's last segment) are prefetched up to
+        // `pipeline_depth − 1` chunks ahead: the tickets for chunks k+1.. are
+        // already in flight while chunk k decodes, shrinks and writes. Chunks
+        // target disjoint leaf sets (jobs are grouped by leaf), so neither the
+        // prefetched pages nor the LSMap entries they were computed from can be
+        // dirtied by a preceding chunk.
         let mut fences: Vec<FenceInsert> = Vec::new();
         let chunks: Vec<&[LeafJob]> = jobs.chunks(self.config.pio_max).collect();
-        let mut pending = Some(self.submit_last_segments(chunks[0])?);
-        for (i, chunk) in chunks.iter().enumerate() {
-            let (ticket, last_ls) = pending.take().expect("prefetched before the loop");
-            let ls_images = self.store.complete_read_pages(ticket)?;
-            if i + 1 < chunks.len() {
-                pending = Some(self.submit_last_segments(chunks[i + 1])?);
-            }
-            if let Err(e) = self.apply_leaf_chunk(chunk, &ls_images, &last_ls, flush_id, &mut fences, undo) {
-                // Drain the prefetched ticket before surfacing the error, so no
-                // in-flight batch outlives the bupdate.
-                if let Some((ticket, _)) = pending.take() {
-                    let _ = self.store.complete_read_pages(ticket);
+        let mut ring: TicketRing<(CachedReadTicket, Vec<u32>)> = TicketRing::new(self.pipeline_depth);
+        let mut next_submit = 0usize;
+        for chunk in &chunks {
+            while next_submit < chunks.len() && ring.has_room() {
+                match self.submit_last_segments(chunks[next_submit]) {
+                    Ok(prefetch) => ring.push(prefetch),
+                    Err(e) => {
+                        ring.drain_with(|(ticket, _)| {
+                            let _ = self.store.complete_read_pages(ticket);
+                        });
+                        return Err(e);
+                    }
                 }
+                next_submit += 1;
+            }
+            let (ticket, last_ls) = ring.pop().expect("submitted above");
+            let ls_images = match self.store.complete_read_pages(ticket) {
+                Ok(images) => images,
+                Err(e) => {
+                    ring.drain_with(|(ticket, _)| {
+                        let _ = self.store.complete_read_pages(ticket);
+                    });
+                    return Err(e);
+                }
+            };
+            if let Err(e) = self.apply_leaf_chunk(chunk, &ls_images, &last_ls, flush_id, &mut fences, undo) {
+                // Drain the prefetched tickets before surfacing the error, so no
+                // in-flight batch outlives the bupdate.
+                ring.drain_with(|(ticket, _)| {
+                    let _ = self.store.complete_read_pages(ticket);
+                });
                 return Err(e);
             }
         }
@@ -1537,6 +1579,26 @@ mod tests {
 
     fn tree_with(config: PioConfig) -> PioBTree {
         PioBTree::create(DeviceProfile::F120, 1 << 30, config).unwrap()
+    }
+
+    #[test]
+    fn pipeline_depth_resolves_from_the_device_at_construction() {
+        use crate::config::PipelineDepth;
+        // F120 reports NCQ 32: Auto at PioMax 16 → 2 batches in flight.
+        let t = tree_with(small_config());
+        assert_eq!(t.pipeline_depth(), 2);
+        // Smaller batches leave more queue headroom: PioMax 4 → depth 8.
+        let t = tree_with(PioConfig {
+            pio_max: 4,
+            ..small_config()
+        });
+        assert_eq!(t.pipeline_depth(), 8);
+        // An explicit override passes through untouched.
+        let t = tree_with(PioConfig {
+            pipeline_depth: PipelineDepth::Fixed(5),
+            ..small_config()
+        });
+        assert_eq!(t.pipeline_depth(), 5);
     }
 
     #[test]

@@ -230,6 +230,19 @@ mod tests {
     }
 
     #[test]
+    fn zero_pipeline_depth_is_rejected_with_a_clear_error() {
+        let config = EngineConfig {
+            base: PioConfig {
+                pipeline_depth: pio_btree::PipelineDepth::Fixed(0),
+                ..PioConfig::default()
+            },
+            ..EngineConfig::default()
+        };
+        let err = config.validate().unwrap_err();
+        assert!(err.contains("pipeline_depth must be at least 1"), "{err}");
+    }
+
+    #[test]
     fn zero_maintenance_interval_is_rejected() {
         let config = EngineConfig {
             maintenance_interval_ms: Some(0),

@@ -1095,6 +1095,7 @@ impl EngineInner {
         let mut hits = 0u64;
         let mut misses = 0u64;
         let mut queued = 0usize;
+        let mut pipeline_depth = 0usize;
         for (i, shard) in self.shards.iter().enumerate() {
             let tree = shard.tree.lock();
             let pio = tree.stats();
@@ -1106,11 +1107,13 @@ impl EngineInner {
             hits += pool.hits;
             misses += pool.misses;
             queued += tree.opq_len();
+            pipeline_depth = pipeline_depth.max(tree.pipeline_depth());
             shards.push(ShardSnapshot {
                 shard: i,
                 key_lo: shard.lo,
                 key_hi: shard.hi,
                 height: tree.height(),
+                pipeline_depth: tree.pipeline_depth(),
                 opq_len: tree.opq_len(),
                 opq_capacity: tree.opq_capacity(),
                 pio,
@@ -1126,6 +1129,7 @@ impl EngineInner {
             total_io_us: total_io,
             scheduled_io_us,
             scheduled_batches: self.scheduled_batches.load(Ordering::Relaxed),
+            pipeline_depth,
             pool_hit_ratio: if hits + misses == 0 {
                 0.0
             } else {

@@ -16,6 +16,10 @@ pub struct ShardSnapshot {
     pub key_hi: Key,
     /// Tree height in levels.
     pub height: usize,
+    /// Resolved ticket-pipeline depth of the shard tree's batched hot paths
+    /// (`Auto` resolves against the shard's provisioned backend, so custom
+    /// topologies may differ per shard).
+    pub pipeline_depth: usize,
     /// Operations currently buffered in the shard's OPQ.
     pub opq_len: usize,
     /// OPQ capacity in entries.
@@ -51,6 +55,10 @@ pub struct EngineStats {
     /// maintenance passes). Single-key operations bypass the scheduler and are not
     /// counted here.
     pub scheduled_batches: u64,
+    /// Largest resolved ticket-pipeline depth across the shards (every shard's
+    /// own value is in its [`ShardSnapshot::pipeline_depth`]; on the shipped
+    /// topologies all shards resolve identically).
+    pub pipeline_depth: usize,
     /// Aggregate buffer-pool hit ratio across shards in `[0, 1]`.
     pub pool_hit_ratio: f64,
     /// Total operations buffered in shard OPQs.

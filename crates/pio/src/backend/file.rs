@@ -244,7 +244,13 @@ impl FileThreadPoolIo {
             *next += 1;
             id
         };
-        self.shared.tickets.lock().unwrap_or_else(|e| e.into_inner()).insert(
+        let mut tickets = self.shared.tickets.lock().unwrap_or_else(|e| e.into_inner());
+        if tickets.is_empty() {
+            // A submission against an idle pool begins a new overlap group
+            // (see `IoStats::overlap_groups`).
+            self.shared.stats.lock().overlap_groups += 1;
+        }
+        tickets.insert(
             id,
             InflightTicket {
                 remaining: jobs.len(),
@@ -257,6 +263,7 @@ impl FileThreadPoolIo {
                 done: None,
             },
         );
+        drop(tickets);
         {
             let mut q = self.shared.jobs.lock().unwrap_or_else(|e| e.into_inner());
             q.queue.extend(jobs.into_iter().map(|j| (id, j)));
@@ -339,6 +346,12 @@ impl IoQueue for FileThreadPoolIo {
 
     fn reset_io_stats(&self) {
         *self.shared.stats.lock() = IoStats::default();
+    }
+
+    /// The pool genuinely overlaps as many requests as it has workers: that is
+    /// the queue depth a pipelined caller can usefully fill.
+    fn queue_depth_hint(&self) -> Option<usize> {
+        Some(self.workers)
     }
 }
 

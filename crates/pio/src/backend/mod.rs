@@ -66,6 +66,13 @@ struct QueueState {
     frontier_us: f64,
     /// Latest completion time of any ticket in the current group, µs.
     group_end_us: f64,
+    /// Latest completion time the submitter has *observed* (reaped) within the
+    /// current group, µs. A batch submitted after a completion was reaped cannot
+    /// have been queued on the device any earlier, so its requests are floored
+    /// here — this is what makes pipeline *depth* visible on the timeline: a
+    /// depth-2 driver's floors trail one batch behind, a depth-N driver's trail
+    /// N−1 batches behind and keep the device queue correspondingly fuller.
+    reap_frontier_us: f64,
     outstanding: HashMap<u64, PendingIo>,
 }
 
@@ -75,6 +82,7 @@ impl QueueState {
         self.scheduler = None;
         self.frontier_us = now_us;
         self.group_end_us = now_us;
+        self.reap_frontier_us = now_us;
     }
 }
 
@@ -165,15 +173,22 @@ impl SimShared {
         let mut q = self.queue.lock();
         if q.outstanding.is_empty() {
             q.begin_group(device.now_us());
+            self.stats.lock().overlap_groups += 1;
         }
         let completion_us = match self.discipline {
             Discipline::Batch => {
                 // Extending the window never changes the schedule of earlier
                 // requests (the device services them in submission order), so
-                // already-issued tickets keep their completion times.
+                // already-issued tickets keep their completion times. Requests
+                // are floored at the reap frontier: a batch submitted after the
+                // driver observed a completion cannot start before it.
                 let window_start = q.window_start;
+                let floor = q.reap_frontier_us;
                 let scheduler = q.scheduler.get_or_insert_with(|| device.window_scheduler(window_start));
-                sim_reqs.iter().map(|r| scheduler.push(r)).fold(window_start, f64::max)
+                sim_reqs
+                    .iter()
+                    .map(|r| scheduler.push_after(r, floor))
+                    .fold(window_start, f64::max)
             }
             Discipline::Serial => {
                 let mut t = q.frontier_us;
@@ -234,6 +249,7 @@ impl SimShared {
             .outstanding
             .remove(&ticket.0)
             .ok_or(IoError::UnknownTicket(ticket.0))?;
+        q.reap_frontier_us = q.reap_frontier_us.max(pending.completion_us);
         self.reap(&mut device, &mut q);
         Ok(pending.completion)
     }
@@ -260,6 +276,7 @@ impl SimShared {
             return Ok(TryComplete::Pending(ticket));
         }
         let pending = q.outstanding.remove(&ticket.0).expect("looked up above");
+        q.reap_frontier_us = q.reap_frontier_us.max(pending.completion_us);
         self.reap(&mut device, &mut q);
         Ok(TryComplete::Ready(pending.completion))
     }
@@ -305,6 +322,14 @@ impl SimShared {
         };
         device.advance_clock_to(start + elapsed);
         elapsed
+    }
+
+    /// The device's native command queue depth — how many concurrently
+    /// outstanding requests one scheduling window absorbs. Depth past this is
+    /// serviced in subsequent windows, so it is the useful pipelining headroom
+    /// the geometry (channels × packages) can then spread over the flash.
+    pub(crate) fn queue_depth_hint(&self) -> usize {
+        self.device.lock().config().ncq_depth.max(1)
     }
 
     pub(crate) fn stats(&self) -> IoStats {

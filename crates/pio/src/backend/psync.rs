@@ -68,6 +68,13 @@ impl IoQueue for SimPsyncIo {
     fn reset_io_stats(&self) {
         self.shared.reset_stats();
     }
+
+    /// psync I/O reports the simulated device's NCQ depth: tickets in flight
+    /// together share a scheduling window of that many requests, so a pipeline
+    /// gains up to `ncq_depth / batch_size` overlapped batches.
+    fn queue_depth_hint(&self) -> Option<usize> {
+        Some(self.shared.queue_depth_hint())
+    }
 }
 
 #[cfg(test)]

@@ -66,6 +66,13 @@ impl IoQueue for SimSyncIo {
     fn reset_io_stats(&self) {
         self.shared.reset_stats();
     }
+
+    /// Synchronous I/O services one request at a time and serialises tickets
+    /// behind each other, so extra pipeline depth buys nothing: the useful
+    /// queue depth is 1.
+    fn queue_depth_hint(&self) -> Option<usize> {
+        Some(1)
+    }
 }
 
 #[cfg(test)]

@@ -92,6 +92,14 @@ impl IoQueue for SimThreadedIo {
     fn reset_io_stats(&self) {
         self.shared.reset_stats();
     }
+
+    /// The thread-per-I/O emulation overlaps the requests *within* one
+    /// submission (per the file layout), but successive tickets serialise
+    /// behind each other — each emulated thread group runs to completion —
+    /// so extra pipeline depth buys nothing: the useful queue depth is 1.
+    fn queue_depth_hint(&self) -> Option<usize> {
+        Some(1)
+    }
 }
 
 /// Services a *mixed* read/write workload (alternating or otherwise) through the

@@ -34,11 +34,16 @@ use std::sync::Arc;
 /// A predicate over a write batch, used by [`Trigger::OnPayload`].
 pub type PayloadPredicate = Box<dyn Fn(&[WriteRequest<'_>]) -> bool + Send>;
 
-/// Decides which write submission the crash fires on.
+/// Decides which submission the crash fires on.
 pub enum Trigger {
     /// The `k`-th write submission observed by the shared clock (0-based, counted
     /// across every [`FaultIo`] sharing the clock).
     AtWrite(u64),
+    /// The `k`-th *read* submission observed by the shared clock (0-based,
+    /// counted across every [`FaultIo`] sharing the clock). Read faults model a
+    /// backend dying while a read pipeline holds tickets in flight — the drain
+    /// discipline of the tree's pipelined hot paths is tested against these.
+    AtRead(u64),
     /// The first write submission whose request batch satisfies the predicate
     /// (e.g. "carries a WAL record of kind X").
     OnPayload(PayloadPredicate),
@@ -75,6 +80,15 @@ impl CrashPlan {
     pub fn at_write(k: u64) -> Self {
         Self {
             trigger: Trigger::AtWrite(k),
+            torn: None,
+            one_shot: false,
+        }
+    }
+
+    /// A crash at the `k`-th read submission seen by the clock.
+    pub fn at_read(k: u64) -> Self {
+        Self {
+            trigger: Trigger::AtRead(k),
             torn: None,
             one_shot: false,
         }
@@ -118,6 +132,7 @@ struct ClockState {
 #[derive(Default)]
 pub struct FaultClock {
     writes: AtomicU64,
+    reads: AtomicU64,
     state: Mutex<ClockState>,
 }
 
@@ -149,6 +164,11 @@ impl FaultClock {
     /// Write submissions observed so far (counted whether or not a plan is armed).
     pub fn writes_seen(&self) -> u64 {
         self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Read submissions observed so far (counted whether or not a plan is armed).
+    pub fn reads_seen(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
     }
 
     /// Whether an armed plan has fired.
@@ -207,10 +227,20 @@ impl FaultIo {
 
 impl IoQueue for FaultIo {
     fn submit_read(&self, reqs: &[ReadRequest]) -> IoResult<Ticket> {
-        if self.clock.halted() {
+        let n = self.clock.reads.fetch_add(1, Ordering::Relaxed);
+        let mut state = self.clock.state.lock();
+        if state.halted {
             return Err(Self::injected("read after halt"));
         }
-        self.inner.submit_read(reqs)
+        let fire = matches!(&state.plan, Some(plan) if matches!(&plan.trigger, Trigger::AtRead(k) if n == *k));
+        if !fire {
+            drop(state);
+            return self.inner.submit_read(reqs);
+        }
+        let plan = state.plan.take().expect("fired plan exists");
+        state.tripped = true;
+        state.halted = !plan.one_shot;
+        Err(Self::injected("read submission"))
     }
 
     fn submit_write(&self, reqs: &[WriteRequest<'_>]) -> IoResult<Ticket> {
@@ -222,6 +252,7 @@ impl IoQueue for FaultIo {
         let fire = match &state.plan {
             Some(plan) => match &plan.trigger {
                 Trigger::AtWrite(k) => n == *k,
+                Trigger::AtRead(_) => false,
                 Trigger::OnPayload(pred) => pred(reqs),
             },
             None => false,
@@ -254,6 +285,10 @@ impl IoQueue for FaultIo {
 
     fn reset_io_stats(&self) {
         self.inner.reset_io_stats()
+    }
+
+    fn queue_depth_hint(&self) -> Option<usize> {
+        self.inner.queue_depth_hint()
     }
 }
 

@@ -46,6 +46,20 @@
 //! range of a shared queue as a queue of its own (offset translation, partition-
 //! local bounds, per-partition [`IoStats`]), which is how the engine's
 //! shared-device topology places many shards on one simulated SSD.
+//!
+//! ## Pipelining support
+//!
+//! Drivers that keep several tickets in flight size their lookahead from
+//! [`IoQueue::queue_depth_hint`] — the number of outstanding requests the
+//! backend can usefully absorb (the device's NCQ depth for [`SimPsyncIo`], the
+//! worker count for [`FileThreadPoolIo`], 1 for the ticket-serialising
+//! backends) — and manage the in-flight window with a [`TicketRing`] (a small
+//! FIFO with the drain-on-error discipline). The simulated backends model
+//! submission causality for such drivers: a batch submitted after a completion
+//! was reaped is floored at that completion's time on the device timeline, so
+//! a shallow pipeline genuinely keeps the queue shallow and a deep one fills
+//! it — and [`IoStats::overlap_groups`] counts how often a submission found
+//! the backend idle (a blocking caller's one-group-per-batch signature).
 
 #![warn(missing_docs)]
 // `unsafe` is confined to the aligned-buffer allocator in `aligned.rs`.
@@ -59,6 +73,7 @@ pub mod memdisk;
 pub mod partition;
 pub mod queue;
 pub mod request;
+pub mod ring;
 pub mod stats;
 
 pub use aligned::AlignedBuf;
@@ -72,6 +87,7 @@ pub use memdisk::MemDisk;
 pub use partition::PartitionIo;
 pub use queue::{Completion, IoQueue, Ticket, TryComplete};
 pub use request::{ReadRequest, WriteRequest};
+pub use ring::TicketRing;
 pub use stats::{BatchStats, IoStats};
 
 /// The blocking psync I/O contract (Section 2.3 of the paper).

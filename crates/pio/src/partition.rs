@@ -85,8 +85,10 @@ impl PartitionIo {
         &self.inner
     }
 
-    #[cfg(test)]
-    fn inflight_len(&self) -> usize {
+    /// Number of tickets submitted through this partition and not yet reaped.
+    /// Diagnostic: a pipelined caller that honours the drain-on-error
+    /// discipline leaves this at 0 after every operation, success or failure.
+    pub fn inflight_tickets(&self) -> usize {
         self.inflight.lock().len()
     }
 
@@ -188,6 +190,13 @@ impl IoQueue for PartitionIo {
 
     fn reset_io_stats(&self) {
         *self.stats.lock() = IoStats::default();
+    }
+
+    /// A partition is a window onto the shared backend's queue, so its useful
+    /// depth is whatever the backend reports (siblings contending for it is the
+    /// same contention any shared-queue submitter faces).
+    fn queue_depth_hint(&self) -> Option<usize> {
+        self.inner.queue_depth_hint()
     }
 }
 
@@ -320,12 +329,12 @@ mod tests {
         let p = PartitionIo::new(Arc::new(FailingWaits(Mutex::new(0))), 0, 1 << 20);
         let reqs = [ReadRequest::new(0, 4096)];
         let t = p.submit_read(&reqs).unwrap();
-        assert_eq!(p.inflight_len(), 1);
+        assert_eq!(p.inflight_tickets(), 1);
         assert!(p.wait(t).is_err());
-        assert_eq!(p.inflight_len(), 0, "a failed wait must drop the bookkeeping");
+        assert_eq!(p.inflight_tickets(), 0, "a failed wait must drop the bookkeeping");
         let t = p.submit_read(&reqs).unwrap();
         assert!(p.try_complete(t).is_err());
-        assert_eq!(p.inflight_len(), 0, "a failed poll must drop the bookkeeping");
+        assert_eq!(p.inflight_tickets(), 0, "a failed poll must drop the bookkeeping");
     }
 
     #[test]

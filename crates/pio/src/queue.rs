@@ -131,6 +131,18 @@ pub trait IoQueue: Send + Sync {
 
     /// Resets the cumulative statistics.
     fn reset_io_stats(&self);
+
+    /// Advisory queue depth: how many concurrently outstanding *requests* this
+    /// backend can usefully absorb before extra depth stops paying off — the
+    /// device's NCQ depth for the simulated psync backend, the worker count for
+    /// the file pool, `1` for backends that serialise tickets. Pipelined callers
+    /// divide this by their per-batch request count to size their lookahead
+    /// (see `PioConfig::pipeline_depth` in the core crate). `None` means the
+    /// backend has no meaningful notion of queue depth; callers should fall
+    /// back to a conservative default (double buffering).
+    fn queue_depth_hint(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// Forwarding so `Arc<Q>` can be used wherever a queue is expected.
@@ -157,6 +169,10 @@ impl<Q: IoQueue + ?Sized> IoQueue for Arc<Q> {
 
     fn reset_io_stats(&self) {
         (**self).reset_io_stats()
+    }
+
+    fn queue_depth_hint(&self) -> Option<usize> {
+        (**self).queue_depth_hint()
     }
 }
 

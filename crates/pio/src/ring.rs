@@ -1,0 +1,235 @@
+//! [`TicketRing`]: a small FIFO of in-flight tickets for depth-N pipelined hot
+//! paths.
+//!
+//! The tree's batched operations used to hard-code double buffering (one ticket
+//! in flight while the next batch is prepared). The ring generalises that to a
+//! configurable depth derived from the device's queue headroom
+//! ([`crate::IoQueue::queue_depth_hint`]): the driver keeps up to `depth`
+//! submissions outstanding, completes the oldest whenever it needs its data (or
+//! needs room), and on any error **drains** every remaining ticket before
+//! surfacing it — no submission may outlive the operation that issued it.
+//!
+//! The canonical consumption loop, with submissions issued in job order:
+//!
+//! ```text
+//! for job in 0..jobs {
+//!     while next_submit < jobs && ring.has_room() {
+//!         ring.push(submit(next_submit)?);   // on error: ring.drain_with(..)
+//!         next_submit += 1;
+//!     }
+//!     let result = complete(ring.pop().expect("submitted above"))?;
+//!     ...                                    // on error: ring.drain_with(..)
+//! }
+//! ```
+//!
+//! With `depth == 1` the loop degenerates to blocking submit-then-wait; with
+//! `depth == 2` it is exactly the historic double buffering.
+
+use std::collections::VecDeque;
+
+/// Runs the canonical pipelined consumption loop over `jobs` indexed jobs:
+/// submissions are issued in job order up to `depth` ahead of the consumer,
+/// each job's completion is handed to `consume` in order, and on any error
+/// every in-flight ticket is drained through `complete` (results discarded)
+/// before the error is returned.
+///
+/// This is the shared shape of the tree's linear pipelines (multi-search and
+/// prange leaf fetches, the per-level range descent). Paths whose consume step
+/// needs exclusive access the submit closure also borrows (bupdate's apply),
+/// whose submissions are driven by accumulation rather than a job index
+/// (bulk load), or that re-submit jobs dynamically (the `locate_leaves`
+/// wavefront) drive a [`TicketRing`] by hand instead.
+pub fn run_pipeline<T, R, E>(
+    depth: usize,
+    jobs: usize,
+    mut submit: impl FnMut(usize) -> Result<T, E>,
+    mut complete: impl FnMut(T) -> Result<R, E>,
+    mut consume: impl FnMut(usize, R),
+) -> Result<(), E> {
+    let mut ring: TicketRing<T> = TicketRing::new(depth);
+    let mut next_submit = 0usize;
+    for job in 0..jobs {
+        while next_submit < jobs && ring.has_room() {
+            match submit(next_submit) {
+                Ok(ticket) => ring.push(ticket),
+                Err(e) => {
+                    ring.drain_with(|t| {
+                        let _ = complete(t);
+                    });
+                    return Err(e);
+                }
+            }
+            next_submit += 1;
+        }
+        let ticket = ring.pop().expect("submitted above");
+        match complete(ticket) {
+            Ok(result) => consume(job, result),
+            Err(e) => {
+                ring.drain_with(|t| {
+                    let _ = complete(t);
+                });
+                return Err(e);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A bounded FIFO of in-flight tickets (generic: storage-tier tickets are not
+/// `pio` types). See the module documentation for the consumption pattern.
+#[derive(Debug)]
+pub struct TicketRing<T> {
+    depth: usize,
+    inflight: VecDeque<T>,
+}
+
+impl<T> TicketRing<T> {
+    /// A ring holding at most `depth` in-flight tickets (clamped to ≥ 1).
+    pub fn new(depth: usize) -> Self {
+        let depth = depth.max(1);
+        Self {
+            depth,
+            inflight: VecDeque::with_capacity(depth),
+        }
+    }
+
+    /// The configured pipeline depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Tickets currently in flight.
+    pub fn len(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Whether nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.inflight.is_empty()
+    }
+
+    /// Whether another ticket may be pushed without exceeding the depth.
+    pub fn has_room(&self) -> bool {
+        self.inflight.len() < self.depth
+    }
+
+    /// Enqueues a freshly submitted ticket.
+    ///
+    /// # Panics
+    /// Panics if the ring is full — callers must [`TicketRing::pop`] (and
+    /// complete) the oldest ticket first, which is what bounds the buffer
+    /// memory at `depth` batches.
+    pub fn push(&mut self, ticket: T) {
+        assert!(self.has_room(), "TicketRing over depth {}", self.depth);
+        self.inflight.push_back(ticket);
+    }
+
+    /// Removes the oldest in-flight ticket (submission order), if any.
+    pub fn pop(&mut self) -> Option<T> {
+        self.inflight.pop_front()
+    }
+
+    /// Drains every in-flight ticket through `complete`, oldest first,
+    /// discarding results — the error discipline of a failed pipeline: the
+    /// operation is about to return an error, and no submission may be left
+    /// outstanding on the backend.
+    pub fn drain_with(&mut self, mut complete: impl FnMut(T)) {
+        while let Some(ticket) = self.inflight.pop_front() {
+            complete(ticket);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_is_clamped_and_bounds_the_ring() {
+        let mut ring: TicketRing<u32> = TicketRing::new(0);
+        assert_eq!(ring.depth(), 1);
+        assert!(ring.has_room());
+        ring.push(7);
+        assert!(!ring.has_room());
+        assert_eq!(ring.pop(), Some(7));
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut ring = TicketRing::new(3);
+        for t in [1, 2, 3] {
+            ring.push(t);
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.pop(), Some(1));
+        ring.push(4);
+        assert_eq!(ring.pop(), Some(2));
+        assert_eq!(ring.pop(), Some(3));
+        assert_eq!(ring.pop(), Some(4));
+        assert_eq!(ring.pop(), None);
+    }
+
+    #[test]
+    fn drain_completes_everything_oldest_first() {
+        let mut ring = TicketRing::new(4);
+        for t in [10, 20, 30] {
+            ring.push(t);
+        }
+        let mut drained = Vec::new();
+        ring.drain_with(|t| drained.push(t));
+        assert_eq!(drained, vec![10, 20, 30]);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "TicketRing over depth")]
+    fn overfilling_panics() {
+        let mut ring = TicketRing::new(1);
+        ring.push(1);
+        ring.push(2);
+    }
+
+    #[test]
+    fn run_pipeline_consumes_in_order_with_lookahead() {
+        let mut submitted = Vec::new();
+        let mut consumed = Vec::new();
+        run_pipeline::<usize, usize, ()>(
+            3,
+            7,
+            |job| {
+                submitted.push(job);
+                Ok(job)
+            },
+            |t| Ok(t * 10),
+            |job, r| consumed.push((job, r)),
+        )
+        .unwrap();
+        assert_eq!(submitted, (0..7).collect::<Vec<_>>());
+        assert_eq!(consumed, (0..7).map(|j| (j, j * 10)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_pipeline_drains_on_error() {
+        let mut completed = Vec::new();
+        let err = run_pipeline::<usize, usize, &str>(
+            4,
+            10,
+            Ok,
+            |t| {
+                completed.push(t);
+                if t == 2 {
+                    Err("boom")
+                } else {
+                    Ok(t)
+                }
+            },
+            |_, _| {},
+        )
+        .unwrap_err();
+        assert_eq!(err, "boom");
+        // Jobs 0..6 were submitted (depth-4 lookahead past the failing job 2);
+        // every one of them was completed — the failures' survivors drained.
+        assert_eq!(completed, vec![0, 1, 2, 3, 4, 5]);
+    }
+}

@@ -43,6 +43,14 @@ pub struct IoStats {
     pub context_switches: u64,
     /// Largest batch submitted.
     pub max_batch: usize,
+    /// Submissions made while the backend was idle (no tickets in flight), each
+    /// of which begins a new overlap group on the device. A fully blocking
+    /// caller begins one group per batch (`overlap_groups == batches`); a
+    /// pipelined caller amortises many batches per group, so
+    /// `batches − overlap_groups` counts the submissions that found earlier
+    /// work still in flight. This is a backend-level notion: [`IoStats::absorb`]
+    /// does not carry it into per-partition roll-ups.
+    pub overlap_groups: u64,
 }
 
 impl IoStats {

@@ -292,13 +292,29 @@ impl WindowScheduler {
 
     /// Schedules one more request and returns its absolute completion time.
     pub fn push(&mut self, req: &SsdRequest) -> f64 {
+        self.push_after(req, f64::NEG_INFINITY)
+    }
+
+    /// Schedules one more request that cannot *start* before `floor_us`, and
+    /// returns its absolute completion time.
+    ///
+    /// The floor models submission causality for pipelined drivers: a driver
+    /// that reaps a completion and only then submits its next batch cannot have
+    /// had that batch queued on the device any earlier — so the batch's requests
+    /// must not be scheduled before the observed completion time. A shallow
+    /// pipeline therefore keeps the device queue shallow (late floors leave
+    /// channels idle), while a deep pipeline pushes its floors into the past and
+    /// fills the NCQ window — which is exactly the depth-vs-throughput curve of
+    /// Figure 3. Like [`WindowScheduler::push`], pushing never changes the
+    /// completion time of an earlier request.
+    pub fn push_after(&mut self, req: &SsdRequest, floor_us: f64) -> f64 {
         let cfg = &self.config;
         if self.in_window == cfg.ncq_depth {
             // NCQ window full: the next window begins when this one has drained.
             self.window_start_us = self.window_end_us;
             self.in_window = 0;
         }
-        let window_start = self.window_start_us;
+        let window_start = self.window_start_us.max(floor_us);
         let first_page = req.offset / cfg.flash_page_bytes;
         let n_pages = cfg.pages_spanned(req.offset, req.len);
         let page_kb = cfg.flash_page_bytes as f64 / 1024.0;

@@ -99,6 +99,13 @@ impl CachedStore {
         self.store.io_elapsed_us()
     }
 
+    /// The backend's advisory queue depth (see
+    /// [`pio::IoQueue::queue_depth_hint`]), used to resolve `Auto` pipeline
+    /// depths at tree construction.
+    pub fn queue_depth_hint(&self) -> Option<usize> {
+        self.store.queue_depth_hint()
+    }
+
     /// Allocates a page (delegates to the store).
     pub fn allocate(&self) -> PageId {
         self.store.allocate()

@@ -121,6 +121,13 @@ impl PageStore {
         self.io.io_stats().elapsed_us
     }
 
+    /// The backend's advisory queue depth in requests (see
+    /// [`IoQueue::queue_depth_hint`]) — what pipelined callers divide by their
+    /// per-batch request count to size their ticket lookahead.
+    pub fn queue_depth_hint(&self) -> Option<usize> {
+        self.io.queue_depth_hint()
+    }
+
     /// Snapshot of the allocation / I/O counters.
     pub fn stats(&self) -> StoreStats {
         *self.stats.lock()

@@ -8,6 +8,7 @@
 //! Run with: `cargo run --example tuning_advisor`
 
 use pio_btree::cost::{auto_tune, optimal_btree_node_size, WorkloadMix};
+use pio_btree::PioConfig;
 use ssd_sim::bench::characterise;
 use ssd_sim::{DeviceProfile, SsdDevice};
 
@@ -35,20 +36,28 @@ fn main() {
         // Engine shard count from the device geometry: enough independent psync
         // streams that shards × PioMax covers channels × packages (the device's
         // internal parallelism), and no more — extra shards past that point only
-        // add host-side stream parallelism.
+        // add host-side stream parallelism. Next to it, the pipeline depth each
+        // shard's Auto policy resolves to on this device: ceil(NCQ / PioMax)
+        // in-flight batches, so one shard's ticket pipeline fills the queue.
         let shard_recs: Vec<String> = [8usize, 32, 64]
             .iter()
             .map(|&pio_max| {
+                let tree_cfg = PioConfig {
+                    pio_max,
+                    ..PioConfig::default()
+                };
                 format!(
-                    "PioMax {pio_max} → {} shard(s)",
-                    config.recommended_shard_count(pio_max)
+                    "PioMax {pio_max} → {} shard(s), pipeline depth {}",
+                    config.recommended_shard_count(pio_max),
+                    tree_cfg.resolve_pipeline_depth(Some(config.ncq_depth)),
                 )
             })
             .collect();
         println!(
-            "  engine shards for {} channels × {} packages: {}",
+            "  engine shards for {} channels × {} packages (NCQ {}): {}",
             config.channels,
             config.packages_per_channel,
+            config.ncq_depth,
             shard_recs.join(", ")
         );
         for (label, mix) in [

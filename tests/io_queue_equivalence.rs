@@ -9,13 +9,26 @@
 //!   scheduling window with a common start time, so the group's makespan beats
 //!   strictly serial submission, completions can be reaped in any order, and
 //!   `try_complete` reports tickets ready in landing order.
+//! * **Pipeline equivalence**: the tree's depth-N ticket pipelines
+//!   (`locate_leaves`, `multi_search`, `range_search`) return exactly the
+//!   blocking (depth-1) results — same values, same request counts — at any
+//!   depth, on every simulated backend; only the timing moves.
+//! * **Drain discipline**: when a backend dies mid-pipeline (random read or
+//!   write submission indices via `pio::fault`), every in-flight ticket is
+//!   reaped before the error surfaces — no leaked `PartitionIo` in-flight
+//!   entries — and the tree stays consistent and usable.
 
 use pio::{
-    FileLayout, IoQueue, ParallelIo, ReadRequest, SimPsyncIo, SimSyncIo, SimThreadedIo, TryComplete, WriteRequest,
+    CrashPlan, FaultClock, FaultIo, FileLayout, IoQueue, ParallelIo, PartitionIo, ReadRequest, SimPsyncIo, SimSyncIo,
+    SimThreadedIo, TryComplete, WriteRequest,
 };
+use pio_btree::mpsearch::locate_leaves;
+use pio_btree::{PioBTree, PioConfig, PipelineDepth};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use ssd_sim::DeviceProfile;
+use std::sync::Arc;
+use storage::{CachedStore, PageStore, WritePolicy};
 
 const CAPACITY: u64 = 64 * 1024 * 1024;
 
@@ -174,6 +187,394 @@ fn overlapped_submission_beats_serial_submission() {
         window_us > single_us,
         "contention is not free: window {window_us} vs single batch {single_us}"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline equivalence: depth-N ticket pipelines ≡ the blocking descent.
+// ---------------------------------------------------------------------------
+
+/// Builds a PIO B-tree over `io` with the given pipeline depth (small pages and
+/// `PioMax` so a modest tree spans several levels and many chunks per call).
+fn pipeline_tree(io: Arc<dyn IoQueue>, depth: PipelineDepth, entries: &[(u64, u64)]) -> PioBTree {
+    let config = PioConfig::builder()
+        .page_size(2048)
+        .leaf_segments(2)
+        .opq_pages(2)
+        .pio_max(4)
+        .speriod(64)
+        .bcnt(128)
+        .pool_pages(512)
+        .pipeline_depth(depth)
+        .build();
+    let store = Arc::new(CachedStore::new(
+        PageStore::new(io, config.page_size),
+        config.pool_pages,
+        WritePolicy::WriteThrough,
+    ));
+    PioBTree::bulk_load(store, entries, config).expect("bulk load")
+}
+
+/// Request-count view of an [`pio::IoStats`]: what must be identical between a
+/// blocking and a pipelined run (timing, groups and switches legitimately move).
+fn request_counts(s: pio::IoStats) -> (u64, u64, u64, u64, u64) {
+    (s.reads, s.writes, s.read_bytes, s.write_bytes, s.batches)
+}
+
+/// A named backend constructor of the equivalence sweep.
+type BackendMaker = (&'static str, Box<dyn Fn() -> Arc<dyn IoQueue>>);
+
+/// Pipelined `locate_leaves`/`multi_search`/`range_search` at random depths must
+/// return exactly the blocking (depth-1) results — values and request counts —
+/// on every simulated backend.
+#[test]
+fn pipelined_tree_paths_match_blocking_on_all_sim_backends() {
+    let entries: Vec<(u64, u64)> = (0..6_000u64).map(|k| (k * 5, k)).collect();
+    let backends: Vec<BackendMaker> = vec![
+        (
+            "psync",
+            Box::new(|| Arc::new(SimPsyncIo::with_profile(DeviceProfile::P300, CAPACITY)) as Arc<dyn IoQueue>),
+        ),
+        (
+            "sync",
+            Box::new(|| Arc::new(SimSyncIo::with_profile(DeviceProfile::F120, CAPACITY)) as Arc<dyn IoQueue>),
+        ),
+        (
+            "threaded-shared",
+            Box::new(|| {
+                Arc::new(SimThreadedIo::with_profile(
+                    DeviceProfile::P300,
+                    CAPACITY,
+                    FileLayout::SharedFile,
+                )) as Arc<dyn IoQueue>
+            }),
+        ),
+        (
+            "threaded-separate",
+            Box::new(|| {
+                Arc::new(SimThreadedIo::with_profile(
+                    DeviceProfile::P300,
+                    CAPACITY,
+                    FileLayout::SeparateFiles,
+                )) as Arc<dyn IoQueue>
+            }),
+        ),
+    ];
+    let mut rng = StdRng::seed_from_u64(0xDEE9);
+    for (name, make) in &backends {
+        let blocking_io = make();
+        let pipelined_io = make();
+        let mut blocking = pipeline_tree(Arc::clone(&blocking_io), PipelineDepth::Fixed(1), &entries);
+        let depth = rng.gen_range(2..9usize);
+        let mut pipelined = pipeline_tree(Arc::clone(&pipelined_io), PipelineDepth::Fixed(depth), &entries);
+        assert_eq!(pipelined.pipeline_depth(), depth);
+        blocking_io.reset_io_stats();
+        pipelined_io.reset_io_stats();
+
+        for round in 0..12 {
+            let keys: Vec<u64> = (0..rng.gen_range(1..200usize))
+                .map(|_| rng.gen_range(0..35_000u64))
+                .collect();
+            assert_eq!(
+                blocking.multi_search(&keys).unwrap(),
+                pipelined.multi_search(&keys).unwrap(),
+                "{name}: multi_search diverged at depth {depth} in round {round}"
+            );
+            let lo = rng.gen_range(0..30_000u64);
+            let hi = lo + rng.gen_range(1..4_000u64);
+            assert_eq!(
+                blocking.range_search(lo, hi).unwrap(),
+                pipelined.range_search(lo, hi).unwrap(),
+                "{name}: range_search diverged at depth {depth} in round {round}"
+            );
+        }
+        // The descent itself, compared directly (sorted keys, cold-ish pool not
+        // required: both trees share the same cache behaviour).
+        let keys: Vec<u64> = (0..500u64).map(|i| i * 59 % 35_000).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        let a = locate_leaves(
+            blocking.store(),
+            blocking.root_page(),
+            blocking.height() - 1,
+            &sorted,
+            4,
+            1,
+        )
+        .unwrap();
+        let b = locate_leaves(
+            pipelined.store(),
+            pipelined.root_page(),
+            pipelined.height() - 1,
+            &sorted,
+            4,
+            depth,
+        )
+        .unwrap();
+        assert_eq!(a, b, "{name}: locate_leaves diverged at depth {depth}");
+        assert_eq!(
+            request_counts(blocking_io.io_stats()),
+            request_counts(pipelined_io.io_stats()),
+            "{name}: request counts diverged at depth {depth}"
+        );
+    }
+}
+
+/// The acceptance property of the pipelined descent: overlapped ticketed reads
+/// (fewer idle-start groups — blocking waits — than the psync-per-chunk
+/// baseline) while never holding more than `PioMax · (treeHeight − 1)` node
+/// reads in flight, whatever the configured depth.
+#[test]
+fn pipelined_locate_leaves_overlaps_within_the_paper_buffer_bound() {
+    use std::sync::Mutex;
+
+    /// Counts outstanding read requests (submitted − reaped) on the way to the
+    /// wrapped backend and records the high-water mark.
+    struct DepthProbe {
+        inner: Arc<dyn IoQueue>,
+        per_ticket: Mutex<std::collections::HashMap<u64, usize>>,
+        outstanding: Mutex<(usize, usize)>, // (current, max)
+    }
+
+    impl DepthProbe {
+        fn track(&self, ticket: &pio::Ticket, n: usize) {
+            if ticket.is_empty_batch() || n == 0 {
+                return;
+            }
+            self.per_ticket.lock().unwrap().insert(ticket.id(), n);
+            let mut o = self.outstanding.lock().unwrap();
+            o.0 += n;
+            o.1 = o.1.max(o.0);
+        }
+
+        fn untrack(&self, id: u64) {
+            if let Some(n) = self.per_ticket.lock().unwrap().remove(&id) {
+                self.outstanding.lock().unwrap().0 -= n;
+            }
+        }
+
+        fn max_outstanding(&self) -> usize {
+            self.outstanding.lock().unwrap().1
+        }
+    }
+
+    impl IoQueue for DepthProbe {
+        fn submit_read(&self, reqs: &[ReadRequest]) -> pio::IoResult<pio::Ticket> {
+            let t = self.inner.submit_read(reqs)?;
+            self.track(&t, reqs.len());
+            Ok(t)
+        }
+
+        fn submit_write(&self, reqs: &[WriteRequest<'_>]) -> pio::IoResult<pio::Ticket> {
+            self.inner.submit_write(reqs)
+        }
+
+        fn wait(&self, ticket: pio::Ticket) -> pio::IoResult<pio::Completion> {
+            let id = ticket.id();
+            let done = self.inner.wait(ticket);
+            self.untrack(id);
+            done
+        }
+
+        fn try_complete(&self, ticket: pio::Ticket) -> pio::IoResult<TryComplete> {
+            let id = ticket.id();
+            match self.inner.try_complete(ticket)? {
+                TryComplete::Ready(c) => {
+                    self.untrack(id);
+                    Ok(TryComplete::Ready(c))
+                }
+                pending => Ok(pending),
+            }
+        }
+
+        fn io_stats(&self) -> pio::IoStats {
+            self.inner.io_stats()
+        }
+
+        fn reset_io_stats(&self) {
+            self.inner.reset_io_stats()
+        }
+
+        fn queue_depth_hint(&self) -> Option<usize> {
+            self.inner.queue_depth_hint()
+        }
+    }
+
+    // Small pages → a tall tree (≥ 2 internal levels) from a modest load. A
+    // one-page pool keeps every descent read on the device, so the group/batch
+    // accounting is free of cache interplay (a cached level would submit
+    // empty batches in the blocking run but real ones in the pipelined run,
+    // whose lookahead outruns the cache fill).
+    let sim: Arc<dyn IoQueue> = Arc::new(SimPsyncIo::with_profile(DeviceProfile::P300, CAPACITY));
+    let probe = Arc::new(DepthProbe {
+        inner: sim,
+        per_ticket: Mutex::new(std::collections::HashMap::new()),
+        outstanding: Mutex::new((0, 0)),
+    });
+    let config = PioConfig::builder()
+        .page_size(256)
+        .leaf_segments(2)
+        .opq_pages(2)
+        .pio_max(4)
+        .speriod(64)
+        .bcnt(128)
+        .pool_pages(1)
+        // Far deeper than the level count: the descent must cap it.
+        .pipeline_depth(PipelineDepth::Fixed(64))
+        .build();
+    let store = Arc::new(CachedStore::new(
+        PageStore::new(Arc::clone(&probe) as Arc<dyn IoQueue>, config.page_size),
+        config.pool_pages,
+        WritePolicy::WriteThrough,
+    ));
+    let entries: Vec<(u64, u64)> = (0..20_000u64).map(|k| (k * 3, k)).collect();
+    let pio_max = config.pio_max;
+    let tree = PioBTree::bulk_load(store, &entries, config).expect("bulk load");
+    let internal_levels = tree.height() - 1;
+    assert!(internal_levels >= 2, "the fixture must have at least 2 internal levels");
+
+    let keys: Vec<u64> = (0..2_000u64).map(|i| i * 31 % 60_000).collect();
+    let mut sorted = keys;
+    sorted.sort_unstable();
+
+    // Blocking baseline: one idle-start group per psync batch.
+    tree.store().drop_cache();
+    let before = tree.store().store().io().io_stats();
+    locate_leaves(tree.store(), tree.root_page(), internal_levels, &sorted, pio_max, 1).unwrap();
+    let after = tree.store().store().io().io_stats();
+    let blocking_batches = after.batches - before.batches;
+    let blocking_groups = after.overlap_groups - before.overlap_groups;
+    assert_eq!(
+        blocking_groups, blocking_batches,
+        "psync-per-chunk blocks on every batch"
+    );
+
+    // Pipelined run: same result, strictly fewer blocking waits, bounded
+    // buffers. (Batch *counts* legitimately differ under this adversarial
+    // 1-page pool: pages deferred to an in-flight sibling can be evicted
+    // before use, and the descent then re-reads them with blocking fallback
+    // singletons — correctness over count stability.)
+    tree.store().drop_cache();
+    let before = tree.store().store().io().io_stats();
+    locate_leaves(tree.store(), tree.root_page(), internal_levels, &sorted, pio_max, 64).unwrap();
+    let after = tree.store().store().io().io_stats();
+    let pipelined_groups = after.overlap_groups - before.overlap_groups;
+    assert!(
+        pipelined_groups < blocking_groups,
+        "the pipelined descent must block less: {pipelined_groups} groups vs blocking {blocking_groups}"
+    );
+    assert!(
+        probe.max_outstanding() <= pio_max * internal_levels,
+        "in-flight node reads ({}) exceed the PioMax · (treeHeight − 1) bound ({})",
+        probe.max_outstanding(),
+        pio_max * internal_levels
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Drain discipline under injected faults.
+// ---------------------------------------------------------------------------
+
+/// Kills the backend at random read/write submission indices mid-pipeline and
+/// asserts every in-flight ticket was drained (no leaked `PartitionIo`
+/// entries) and the tree stays consistent and usable.
+#[test]
+fn faulted_pipelines_drain_every_inflight_ticket() {
+    let clock = FaultClock::new();
+    let sim: Arc<dyn IoQueue> = Arc::new(SimPsyncIo::with_profile(DeviceProfile::P300, CAPACITY));
+    let faulty: Arc<dyn IoQueue> = Arc::new(FaultIo::new(sim, Arc::clone(&clock)));
+    let partition = Arc::new(PartitionIo::new(faulty, 0, CAPACITY));
+    let config = PioConfig::builder()
+        .page_size(2048)
+        .leaf_segments(2)
+        .opq_pages(2)
+        .pio_max(4)
+        .speriod(64)
+        .bcnt(128)
+        .pool_pages(64) // small pool → the descent really reads
+        .pipeline_depth(PipelineDepth::Fixed(6))
+        .build();
+    let store = Arc::new(CachedStore::new(
+        PageStore::new(Arc::clone(&partition) as Arc<dyn IoQueue>, config.page_size),
+        config.pool_pages,
+        WritePolicy::WriteThrough,
+    ));
+    let entries: Vec<(u64, u64)> = (0..4_000u64).map(|k| (k * 3, k)).collect();
+    let mut tree = PioBTree::bulk_load(store, &entries, config).expect("bulk load");
+    assert_eq!(partition.inflight_tickets(), 0, "bulk load must drain its write ring");
+
+    let probe_keys: Vec<u64> = (0..300u64).map(|i| i * 41 % 12_000).collect();
+
+    // Measure how many read submissions one multi_search costs, to aim inside it.
+    tree.store().drop_cache();
+    let reads_before = clock.reads_seen();
+    tree.multi_search(&probe_keys).unwrap();
+    let reads_per_call = clock.reads_seen() - reads_before;
+    assert!(reads_per_call > 4, "the workload must span several read submissions");
+
+    let mut rng = StdRng::seed_from_u64(0xFA_07);
+    let mut read_failures = 0;
+    for _ in 0..25 {
+        // Transient kill of a random read submission inside the call.
+        let k = rng.gen_range(0..reads_per_call);
+        tree.store().drop_cache();
+        clock.arm(CrashPlan::at_read(clock.reads_seen() + k).transient());
+        let result = tree.multi_search(&probe_keys);
+        clock.disarm();
+        if result.is_err() {
+            read_failures += 1;
+        }
+        assert_eq!(
+            partition.inflight_tickets(),
+            0,
+            "a failed multi_search (read {k}) must drain every in-flight ticket"
+        );
+        // The read path mutates nothing: the tree must answer correctly next.
+        assert_eq!(tree.search(3 * 7).unwrap(), Some(7));
+    }
+    assert!(read_failures > 0, "at least some injected read faults must fire");
+
+    // Write-path kills: fail random write submissions inside a flush. The
+    // in-process rollback restores the tree, nothing leaks, and the retry lands.
+    let mut write_failures = 0;
+    for trial in 0..10u64 {
+        for j in 0..200u64 {
+            let k = (trial * 211 + j * 7) % 12_000;
+            if tree.opq_len() + 1 >= tree.opq_capacity() {
+                break;
+            }
+            tree.update(k * 3 % 12_000, k + 1).unwrap();
+        }
+        let k = rng.gen_range(0..6);
+        clock.arm(CrashPlan::at_write(clock.writes_seen() + k).transient());
+        let result = tree.checkpoint();
+        clock.disarm();
+        if result.is_err() {
+            write_failures += 1;
+        }
+        assert_eq!(
+            partition.inflight_tickets(),
+            0,
+            "a failed flush (write {k}) must drain every in-flight ticket"
+        );
+        // Whatever happened, the retry must land the whole queue durably.
+        tree.checkpoint().unwrap();
+        tree.check_invariants().unwrap();
+    }
+    assert!(write_failures > 0, "at least some injected write faults must fire");
+
+    // A full (non-transient) kill mid-pipeline: everything drains, and after
+    // heal the tree keeps working.
+    tree.store().drop_cache();
+    clock.arm(CrashPlan::at_read(clock.reads_seen() + 2));
+    let err = tree.multi_search(&probe_keys).unwrap_err();
+    assert!(err.to_string().contains("injected"), "{err}");
+    assert_eq!(partition.inflight_tickets(), 0, "halt must not leak tickets");
+    clock.heal();
+    tree.check_invariants().unwrap();
+    // The write trials may have updated key 21: multi_search must agree with
+    // point search, whatever the current value is.
+    let expected = tree.search(21).unwrap();
+    assert_eq!(tree.multi_search(&[21]).unwrap(), vec![expected]);
 }
 
 /// `try_complete` polls without consuming other tickets and reports completions in
