@@ -38,6 +38,19 @@ pub struct EngineConfig {
     /// [`crate::ShardedPioEngine::maintain_once`] calls — the deterministic mode
     /// used by tests and benches).
     pub maintenance_interval_ms: Option<u64>,
+    /// Latency budget of the service front end's admission controller, in
+    /// microseconds: a request never waits in an open per-shard batch builder
+    /// longer than this before the builder is flushed to the engine. Smaller
+    /// values trade batch occupancy (and therefore psync width) for latency;
+    /// must be at least 1 — a zero budget would degenerate every batch to a
+    /// single request and is rejected like `PipelineDepth::Fixed(0)`.
+    pub max_batch_delay_us: u64,
+    /// Maximum requests a per-shard batch builder accumulates before it is
+    /// flushed regardless of the latency budget. Must be at least 1; `1` is the
+    /// request-at-a-time baseline (every request flushes immediately,
+    /// size-triggered). Values beyond the per-shard OPQ capacity waste no
+    /// correctness but stop buying psync width, so keep it near `PioMax`.
+    pub max_batch_size: usize,
 }
 
 impl Default for EngineConfig {
@@ -50,6 +63,8 @@ impl Default for EngineConfig {
             base: PioConfig::default(),
             flush_threshold: 0.5,
             maintenance_interval_ms: None,
+            max_batch_delay_us: 200,
+            max_batch_size: 64,
         }
     }
 }
@@ -81,6 +96,16 @@ impl EngineConfig {
         }
         if self.maintenance_interval_ms == Some(0) {
             return Err("maintenance_interval_ms must be at least 1 (0 would busy-spin the worker)".into());
+        }
+        if self.max_batch_delay_us == 0 {
+            return Err(
+                "max_batch_delay_us must be at least 1 — a zero latency budget would flush every \
+                 batch builder before it could coalesce anything"
+                    .into(),
+            );
+        }
+        if self.max_batch_size == 0 {
+            return Err("max_batch_size must be at least 1 (1 is the request-at-a-time baseline)".into());
         }
         if self.base.wal_enabled {
             let page = self.base.page_size as u64;
@@ -149,6 +174,18 @@ impl EngineConfigBuilder {
     /// Enables the background maintenance worker with the given period.
     pub fn maintenance_interval_ms(mut self, ms: u64) -> Self {
         self.config.maintenance_interval_ms = Some(ms);
+        self
+    }
+
+    /// Sets the service front end's admission latency budget in microseconds.
+    pub fn max_batch_delay_us(mut self, us: u64) -> Self {
+        self.config.max_batch_delay_us = us;
+        self
+    }
+
+    /// Sets the service front end's batch-size flush trigger.
+    pub fn max_batch_size(mut self, requests: usize) -> Self {
+        self.config.max_batch_size = requests;
         self
     }
 
@@ -240,6 +277,29 @@ mod tests {
         };
         let err = config.validate().unwrap_err();
         assert!(err.contains("pipeline_depth must be at least 1"), "{err}");
+    }
+
+    #[test]
+    fn degenerate_service_knobs_are_rejected() {
+        let config = EngineConfig {
+            max_batch_delay_us: 0,
+            ..EngineConfig::default()
+        };
+        let err = config.validate().unwrap_err();
+        assert!(err.contains("max_batch_delay_us must be at least 1"), "{err}");
+        let config = EngineConfig {
+            max_batch_size: 0,
+            ..EngineConfig::default()
+        };
+        let err = config.validate().unwrap_err();
+        assert!(err.contains("max_batch_size must be at least 1"), "{err}");
+        // The request-at-a-time baseline and a one-microsecond budget are legal.
+        let config = EngineConfig {
+            max_batch_delay_us: 1,
+            max_batch_size: 1,
+            ..EngineConfig::default()
+        };
+        assert!(config.validate().is_ok());
     }
 
     #[test]

@@ -53,6 +53,31 @@ pub(crate) struct Shard {
     /// `Key::MAX` itself).
     hi: Key,
     tree: Mutex<PioBTree>,
+    /// Point-request sub-batches this shard received through the batched entry
+    /// points (`multi_search` / `insert_batch`) over the engine's lifetime.
+    batched_calls: AtomicU64,
+    /// Point requests those sub-batches carried in total; `batched_ops /
+    /// batched_calls` is the shard's average batch occupancy — the engine-level
+    /// ground truth for the service front end's occupancy metric.
+    batched_ops: AtomicU64,
+}
+
+impl Shard {
+    fn new(lo: Key, hi: Key, tree: PioBTree) -> Self {
+        Self {
+            lo,
+            hi,
+            tree: Mutex::new(tree),
+            batched_calls: AtomicU64::new(0),
+            batched_ops: AtomicU64::new(0),
+        }
+    }
+
+    /// Counts one point-request sub-batch of `ops` requests landing on this shard.
+    fn note_batch(&self, ops: usize) {
+        self.batched_calls.fetch_add(1, Ordering::Relaxed);
+        self.batched_ops.fetch_add(ops as u64, Ordering::Relaxed);
+    }
 }
 
 /// The engine side of the two-phase flush-epoch protocol (present only when the
@@ -446,11 +471,7 @@ impl ShardedPioEngine {
             // Shard loads run as concurrent streams like every other engine
             // operation, so the schedule is charged the slowest shard's build.
             build_makespan_us = build_makespan_us.max(tree.io_elapsed_us());
-            shards.push(Shard {
-                lo,
-                hi,
-                tree: Mutex::new(tree),
-            });
+            shards.push(Shard::new(lo, hi, tree));
         }
         let epoch = Self::build_epoch_coordinator(&shard_cfg, &mut backends);
         // A freshly built engine is clean: clear any stale marker left in the
@@ -517,11 +538,7 @@ impl ShardedPioEngine {
             if shard_cfg.wal_enabled {
                 attach_shard_wal(&mut tree, &shard_cfg, Arc::clone(&backends.shard_wals[i]));
             }
-            shards.push(Shard {
-                lo,
-                hi,
-                tree: Mutex::new(tree),
-            });
+            shards.push(Shard::new(lo, hi, tree));
         }
         let epoch = Self::build_epoch_coordinator(&shard_cfg, &mut backends);
         // Keep the durable dirty marker as-is (the WAL replay that follows does
@@ -828,6 +845,7 @@ impl EngineInner {
             .enumerate()
             .filter(|(_, sub)| !sub.is_empty())
             .map(|(i, sub)| {
+                self.shards[i].note_batch(sub.len());
                 (
                     i,
                     Box::new(move |tree: &mut PioBTree| tree.multi_search(&sub).map(TaskOutput::Values)) as ShardTask,
@@ -885,6 +903,7 @@ impl EngineInner {
             .enumerate()
             .filter(|(_, batch)| !batch.is_empty())
             .map(|(i, batch)| {
+                self.shards[i].note_batch(batch.len());
                 let task: ShardTask = match epoch {
                     Some(epoch) => Box::new(move |tree: &mut PioBTree| {
                         tree.insert_batch_epoch(&batch, epoch).map(TaskOutput::Durable)
@@ -1096,7 +1115,13 @@ impl EngineInner {
         let mut misses = 0u64;
         let mut queued = 0usize;
         let mut pipeline_depth = 0usize;
+        let mut batched_calls = 0u64;
+        let mut batched_ops = 0u64;
         for (i, shard) in self.shards.iter().enumerate() {
+            let shard_batched_calls = shard.batched_calls.load(Ordering::Relaxed);
+            let shard_batched_ops = shard.batched_ops.load(Ordering::Relaxed);
+            batched_calls += shard_batched_calls;
+            batched_ops += shard_batched_ops;
             let tree = shard.tree.lock();
             let pio = tree.stats();
             let pool = tree.store().pool_stats();
@@ -1116,6 +1141,8 @@ impl EngineInner {
                 pipeline_depth: tree.pipeline_depth(),
                 opq_len: tree.opq_len(),
                 opq_capacity: tree.opq_capacity(),
+                batched_calls: shard_batched_calls,
+                batched_ops: shard_batched_ops,
                 pio,
                 pool,
                 store,
@@ -1129,6 +1156,8 @@ impl EngineInner {
             total_io_us: total_io,
             scheduled_io_us,
             scheduled_batches: self.scheduled_batches.load(Ordering::Relaxed),
+            batched_calls,
+            batched_ops,
             pipeline_depth,
             pool_hit_ratio: if hits + misses == 0 {
                 0.0
@@ -1290,6 +1319,37 @@ mod tests {
         }
         assert_eq!(engine.count_entries().unwrap(), model.len() as u64);
         engine.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn batch_occupancy_counters_track_sub_batches() {
+        let entries: Vec<(Key, Value)> = (0..8_000u64).map(|k| (k, k)).collect();
+        let engine = ShardedPioEngine::bulk_load(small_config(4), &entries).unwrap();
+        assert_eq!(engine.stats().batched_calls, 0, "bulk load is not a batched call");
+
+        // 64 keys spread across the full space: every shard gets a sub-batch.
+        let keys: Vec<Key> = (0..64u64).map(|i| i * 125).collect();
+        engine.multi_search(&keys).unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.batched_ops, 64, "every key lands in exactly one sub-batch");
+        assert_eq!(stats.batched_calls, 4, "one sub-batch per participating shard");
+        assert!((stats.avg_batch_occupancy() - 16.0).abs() < 1e-9);
+        for snap in &stats.shards {
+            assert_eq!(snap.batched_calls, 1, "shard {}", snap.shard);
+            assert!(snap.batched_ops > 0, "shard {}", snap.shard);
+        }
+
+        // A batched insert confined to one shard lands on exactly one counter.
+        let batch: Vec<(Key, Value)> = (0..10u64).map(|i| (i, i)).collect();
+        engine.insert_batch(&batch).unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.batched_ops, 74);
+        assert_eq!(stats.batched_calls, 5);
+        assert_eq!(stats.shards[0].batched_calls, 2, "the insert hit only shard 0");
+        // Single-key operations and range scans are not point sub-batches.
+        engine.search(1).unwrap();
+        engine.range_search(0, 1_000).unwrap();
+        assert_eq!(engine.stats().batched_calls, 5);
     }
 
     #[test]

@@ -24,6 +24,12 @@ pub struct ShardSnapshot {
     pub opq_len: usize,
     /// OPQ capacity in entries.
     pub opq_capacity: usize,
+    /// Point-request sub-batches this shard received through the engine's
+    /// batched entry points (`multi_search` / `insert_batch`).
+    pub batched_calls: u64,
+    /// Point requests those sub-batches carried in total;
+    /// `batched_ops / batched_calls` is the shard's average batch occupancy.
+    pub batched_ops: u64,
     /// The shard tree's operation counters.
     pub pio: PioStats,
     /// Buffer-pool counters of the shard's cached store.
@@ -55,6 +61,14 @@ pub struct EngineStats {
     /// maintenance passes). Single-key operations bypass the scheduler and are not
     /// counted here.
     pub scheduled_batches: u64,
+    /// Point-request sub-batches landed on shards through `multi_search` /
+    /// `insert_batch` (sum over shards; each fan-out contributes one sub-batch
+    /// per participating shard).
+    pub batched_calls: u64,
+    /// Point requests those sub-batches carried in total — the engine-level
+    /// ground truth behind any front end's batch-occupancy metric (see
+    /// [`EngineStats::avg_batch_occupancy`]).
+    pub batched_ops: u64,
     /// Largest resolved ticket-pipeline depth across the shards (every shard's
     /// own value is in its [`ShardSnapshot::pipeline_depth`]; on the shipped
     /// topologies all shards resolve identically).
@@ -89,5 +103,16 @@ impl EngineStats {
             return 1.0;
         }
         self.total_io_us / self.scheduled_io_us
+    }
+
+    /// Average point requests per per-shard sub-batch across the engine's
+    /// lifetime (`batched_ops / batched_calls`; 0.0 before the first batched
+    /// call). A service front end coalescing independent requests should report
+    /// an occupancy that matches this engine-level measurement.
+    pub fn avg_batch_occupancy(&self) -> f64 {
+        if self.batched_calls == 0 {
+            return 0.0;
+        }
+        self.batched_ops as f64 / self.batched_calls as f64
     }
 }

@@ -1,0 +1,273 @@
+//! An HDR-style log-linear latency histogram.
+//!
+//! Values (microseconds) are bucketed with 32 linear sub-buckets per power of
+//! two, so every recorded value lands in a bucket whose width is at most 1/32
+//! of its magnitude — percentiles are accurate to ~3% relative error at any
+//! scale, from single-digit microseconds to hours, in a fixed 1 920-bucket
+//! table. Recording is one atomic increment; lock-free and wait-free, which is
+//! exactly what a per-request hot path wants.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-buckets per power of two (2^5): bounds relative bucket width,
+/// and therefore percentile error, to 1/32 ≈ 3%.
+const SUB_BITS: u32 = 5;
+const SUB: u64 = 1 << SUB_BITS;
+/// Values `0..SUB` get exact buckets; above that, 59 power-of-two groups
+/// (exponents 5..=63) × 32 sub-buckets each.
+const BUCKETS: usize = (SUB + (64 - SUB_BITS as u64) * SUB) as usize;
+
+/// Maps a value to its bucket index.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let exp = 63 - u64::from(v.leading_zeros()); // ≥ SUB_BITS
+    let sub = (v >> (exp - u64::from(SUB_BITS))) - SUB; // ∈ [0, SUB)
+    (SUB + (exp - u64::from(SUB_BITS)) * SUB + sub) as usize
+}
+
+/// The highest value a bucket covers (its inclusive upper edge) — percentiles
+/// report this edge, so they never under-state a latency.
+fn bucket_upper_edge(index: usize) -> u64 {
+    let index = index as u64;
+    if index < SUB {
+        return index;
+    }
+    let group = (index - SUB) / SUB;
+    let sub = (index - SUB) % SUB;
+    let low = (SUB + sub) << group;
+    low + (1u64 << group) - 1
+}
+
+/// A concurrently recordable log-linear histogram of microsecond latencies.
+pub struct LatencyHistogram {
+    counts: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value. Wait-free; safe from any number of threads.
+    pub fn record(&self, v: u64) {
+        self.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time copy for reporting. Concurrent `record`s may or
+    /// may not be included; the snapshot is internally consistent enough for
+    /// monitoring (bucket totals may trail `count` by in-flight increments).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.snapshot().fmt(f)
+    }
+}
+
+/// A point-in-time copy of a [`LatencyHistogram`], with percentile queries.
+#[derive(Clone)]
+pub struct HistogramSnapshot {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded value (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded values (exact, from the running sum).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.count as f64
+    }
+
+    /// The value at quantile `q` in `(0, 1]`, reported as the containing
+    /// bucket's upper edge (≤ 3% above the true quantile), clamped to the
+    /// exact max. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_upper_edge(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+impl std::fmt::Debug for HistogramSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HistogramSnapshot")
+            .field("count", &self.count)
+            .field("p50_us", &self.p50())
+            .field("p95_us", &self.p95())
+            .field("p99_us", &self.p99())
+            .field("max_us", &self.max)
+            .field("mean_us", &self.mean())
+            .finish()
+    }
+}
+
+impl std::fmt::Display for HistogramSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "p50={}µs p95={}µs p99={}µs max={}µs mean={:.1}µs (n={})",
+            self.p50(),
+            self.p95(),
+            self.p99(),
+            self.max,
+            self.mean(),
+            self.count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = LatencyHistogram::new();
+        for v in 0..SUB {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), SUB);
+        assert_eq!(s.max(), SUB - 1);
+        // Every value below SUB has its own bucket: quantiles are exact.
+        assert_eq!(s.quantile(1.0 / SUB as f64), 0);
+        assert_eq!(s.p50(), (SUB / 2) - 1);
+        assert_eq!(s.quantile(1.0), SUB - 1);
+    }
+
+    #[test]
+    fn bucket_edges_bound_their_values() {
+        // For any value, the chosen bucket's upper edge is ≥ the value and
+        // within ~3.2% of it (1/32 relative width, exact below SUB).
+        let mut v = 1u64;
+        while v < u64::MAX / 3 {
+            for probe in [v, v + v / 3, v * 2 - 1] {
+                let edge = bucket_upper_edge(bucket_index(probe));
+                assert!(edge >= probe, "edge {edge} below value {probe}");
+                assert!(
+                    (edge - probe) as f64 <= (probe as f64) / 32.0 + 1.0,
+                    "edge {edge} too far above value {probe}"
+                );
+            }
+            v *= 2;
+        }
+        // The top of the range still maps into the table.
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn quantiles_of_a_known_distribution() {
+        let h = LatencyHistogram::new();
+        // 90 fast requests at 100µs, 9 at 1000µs, 1 at 10000µs.
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..9 {
+            h.record(1_000);
+        }
+        h.record(10_000);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 100);
+        let within = |got: u64, want: u64| got >= want && (got - want) as f64 <= want as f64 / 32.0 + 1.0;
+        assert!(within(s.p50(), 100), "p50 {}", s.p50());
+        assert!(within(s.quantile(0.90), 100), "p90 {}", s.quantile(0.90));
+        assert!(within(s.p95(), 1_000), "p95 {}", s.p95());
+        assert!(within(s.p99(), 1_000), "p99 {}", s.p99());
+        assert_eq!(s.quantile(1.0), 10_000);
+        assert_eq!(s.max(), 10_000);
+        let mean = s.mean();
+        assert!((mean - 280.0).abs() < 1e-9, "mean {mean}");
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let s = LatencyHistogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p99(), 0);
+        assert_eq!(s.max(), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_records_are_all_counted() {
+        let h = LatencyHistogram::new();
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let h = &h;
+                scope.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 1_000 + i % 997);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.snapshot().count(), 80_000);
+    }
+}

@@ -1,0 +1,653 @@
+//! The service itself: admission control, per-shard batch builders, dispatcher
+//! and executor threads, and per-request accounting.
+//!
+//! ## Request lifecycle
+//!
+//! ```text
+//! client thread                admission controller             executors
+//! ─────────────                ────────────────────             ─────────
+//! handle.get(k) ──────────────▶ per-shard read builder ─┐
+//!    (blocks on reply channel)  (opened ≤ delay budget) │ full → size-triggered
+//!                                                       │ deadline → budget-expired
+//!                               dispatcher thread ──────┴──▶ job queue ──▶ multi_search
+//! handle.put(k,v) ────────────▶ per-shard write builder ────▶ job queue ──▶ insert_batch
+//!                                                                          (flush epoch
+//!                                                                           forced, THEN ack)
+//! handle.scan(lo,hi) ─────────▶ (no coalescing) ────────────▶ job queue ──▶ range_search
+//! ```
+//!
+//! * Gets destined for the same shard coalesce into one engine
+//!   [`multi_search`](ShardedPioEngine::multi_search) — the MPSearch path, so
+//!   independent clients' point reads share one psync stream.
+//! * Puts coalesce into one [`insert_batch`](ShardedPioEngine::insert_batch),
+//!   which drives the engine's cross-shard flush-epoch machinery; the batch is
+//!   the *group commit*: one forced epoch covers every client in the batch, and
+//!   no put is acked before that call returns (i.e. before the epoch committed).
+//! * A builder flushes when it reaches `max_batch_size` (size-triggered, pushed
+//!   by the admitting client thread) or when its oldest request has waited
+//!   `max_batch_delay_us` (budget-expired, pushed by the dispatcher thread) —
+//!   no admitted request ever waits in a builder beyond the budget.
+//! * Scans bypass the builders: they are not coalescible point work.
+//!
+//! Locking order is `admission → job queue`; no path takes them in the other
+//! order.
+
+use crate::histogram::{HistogramSnapshot, LatencyHistogram};
+use crate::protocol::{Request, RequestTiming, Response, ResponseBody, ServiceError};
+use btree::{Key, Value};
+use engine::ShardedPioEngine;
+use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Reply channel of one blocked client.
+type Ack = mpsc::Sender<Result<Response, ServiceError>>;
+
+/// One admitted, not-yet-answered request.
+struct Waiter {
+    enqueued: Instant,
+    ack: Ack,
+}
+
+/// What made a batch leave its builder (or a request skip the builders).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Trigger {
+    /// The builder reached `max_batch_size`.
+    Size,
+    /// The builder's oldest request exhausted the latency budget.
+    Budget,
+    /// Shutdown drained the builder.
+    Drain,
+    /// Uncoalesced work (scans) — not a batch flush.
+    Direct,
+}
+
+/// The engine work one executor performs in a single engine call.
+enum JobKind {
+    /// Coalesced gets for one shard → `multi_search`.
+    Reads { keys: Vec<Key> },
+    /// Coalesced puts for one shard → `insert_batch` (group commit).
+    Writes { entries: Vec<(Key, Value)> },
+    /// A range scan → `range_search`.
+    Scan { lo: Key, hi: Key },
+}
+
+struct Job {
+    kind: JobKind,
+    /// One waiter per request, in the same order as the kind's payload
+    /// (single waiter for scans).
+    waiters: Vec<Waiter>,
+    trigger: Trigger,
+}
+
+/// An open per-shard builder accumulating gets.
+struct ReadBuilder {
+    keys: Vec<Key>,
+    waiters: Vec<Waiter>,
+    opened: Instant,
+}
+
+/// An open per-shard builder accumulating puts.
+struct WriteBuilder {
+    entries: Vec<(Key, Value)>,
+    waiters: Vec<Waiter>,
+    opened: Instant,
+}
+
+/// State behind the admission lock: the open builders and the closed flag.
+struct Admission {
+    reads: Vec<Option<ReadBuilder>>,
+    writes: Vec<Option<WriteBuilder>>,
+    closed: bool,
+}
+
+/// The executor work queue (multi-producer, multi-consumer via mutex+condvar).
+struct JobQueue {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+#[derive(Default)]
+struct Counters {
+    gets: AtomicU64,
+    puts: AtomicU64,
+    scans: AtomicU64,
+    batches_formed: AtomicU64,
+    batched_requests: AtomicU64,
+    size_triggered_flushes: AtomicU64,
+    budget_expired_flushes: AtomicU64,
+    drain_flushes: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// Everything the service's threads and handles share.
+struct ServiceShared {
+    engine: Arc<ShardedPioEngine>,
+    max_batch_size: usize,
+    max_batch_delay: Duration,
+    admission: Mutex<Admission>,
+    /// Woken when a builder opens (new deadline) or the service closes.
+    admission_wake: Condvar,
+    queue: Mutex<JobQueue>,
+    /// Woken when a job is queued or the queue closes.
+    queue_wake: Condvar,
+    counters: Counters,
+    e2e: LatencyHistogram,
+    queue_wait: LatencyHistogram,
+    batch_service: LatencyHistogram,
+}
+
+impl ServiceShared {
+    /// Admits one request, blocks until its batch executed, returns its response.
+    fn submit(&self, request: Request) -> Result<Response, ServiceError> {
+        let (ack, reply) = mpsc::channel();
+        let waiter = Waiter {
+            enqueued: Instant::now(),
+            ack,
+        };
+        match request {
+            Request::Get { key } => {
+                self.counters.gets.fetch_add(1, Ordering::Relaxed);
+                self.admit_read(key, waiter)?;
+            }
+            Request::Put { key, value } => {
+                self.counters.puts.fetch_add(1, Ordering::Relaxed);
+                self.admit_write(key, value, waiter)?;
+            }
+            Request::Scan { lo, hi } => {
+                self.counters.scans.fetch_add(1, Ordering::Relaxed);
+                // Scans are not coalescible point work: straight to the
+                // executors. The admission lock still gates the closed flag so
+                // a scan can never slip into a queue the dispatcher already
+                // sealed.
+                let admission = self.admission.lock().expect("admission poisoned");
+                if admission.closed {
+                    return Err(ServiceError::Closed);
+                }
+                self.push_job(Job {
+                    kind: JobKind::Scan { lo, hi },
+                    waiters: vec![waiter],
+                    trigger: Trigger::Direct,
+                });
+            }
+        }
+        match reply.recv() {
+            Ok(outcome) => outcome,
+            // The waiter was dropped unanswered — an executor died mid-batch.
+            Err(_) => Err(ServiceError::Lost),
+        }
+    }
+
+    fn admit_read(&self, key: Key, waiter: Waiter) -> Result<(), ServiceError> {
+        let shard = self.engine.shard_for(key);
+        let mut admission = self.admission.lock().expect("admission poisoned");
+        if admission.closed {
+            return Err(ServiceError::Closed);
+        }
+        let slot = &mut admission.reads[shard];
+        let newly_opened = slot.is_none();
+        let builder = slot.get_or_insert_with(|| ReadBuilder {
+            keys: Vec::new(),
+            waiters: Vec::new(),
+            opened: Instant::now(),
+        });
+        builder.keys.push(key);
+        builder.waiters.push(waiter);
+        if builder.keys.len() >= self.max_batch_size {
+            let full = slot.take().expect("builder just filled");
+            self.push_job(Job {
+                kind: JobKind::Reads { keys: full.keys },
+                waiters: full.waiters,
+                trigger: Trigger::Size,
+            });
+        } else if newly_opened {
+            // A new latency deadline now exists; the dispatcher must shorten
+            // its sleep to honour it.
+            self.admission_wake.notify_all();
+        }
+        Ok(())
+    }
+
+    fn admit_write(&self, key: Key, value: Value, waiter: Waiter) -> Result<(), ServiceError> {
+        let shard = self.engine.shard_for(key);
+        let mut admission = self.admission.lock().expect("admission poisoned");
+        if admission.closed {
+            return Err(ServiceError::Closed);
+        }
+        let slot = &mut admission.writes[shard];
+        let newly_opened = slot.is_none();
+        let builder = slot.get_or_insert_with(|| WriteBuilder {
+            entries: Vec::new(),
+            waiters: Vec::new(),
+            opened: Instant::now(),
+        });
+        builder.entries.push((key, value));
+        builder.waiters.push(waiter);
+        if builder.entries.len() >= self.max_batch_size {
+            let full = slot.take().expect("builder just filled");
+            self.push_job(Job {
+                kind: JobKind::Writes { entries: full.entries },
+                waiters: full.waiters,
+                trigger: Trigger::Size,
+            });
+        } else if newly_opened {
+            self.admission_wake.notify_all();
+        }
+        Ok(())
+    }
+
+    /// Counts the job against the flush-trigger and occupancy tallies and hands
+    /// it to the executors. Callers hold the admission lock (lock order
+    /// admission → queue).
+    fn push_job(&self, job: Job) {
+        match job.trigger {
+            Trigger::Size => {
+                self.counters.size_triggered_flushes.fetch_add(1, Ordering::Relaxed);
+            }
+            Trigger::Budget => {
+                self.counters.budget_expired_flushes.fetch_add(1, Ordering::Relaxed);
+            }
+            Trigger::Drain => {
+                self.counters.drain_flushes.fetch_add(1, Ordering::Relaxed);
+            }
+            Trigger::Direct => {}
+        }
+        if job.trigger != Trigger::Direct {
+            self.counters.batches_formed.fetch_add(1, Ordering::Relaxed);
+            self.counters
+                .batched_requests
+                .fetch_add(job.waiters.len() as u64, Ordering::Relaxed);
+        }
+        let mut queue = self.queue.lock().expect("queue poisoned");
+        queue.jobs.push_back(job);
+        drop(queue);
+        self.queue_wake.notify_one();
+    }
+
+    fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            gets: self.counters.gets.load(Ordering::Relaxed),
+            puts: self.counters.puts.load(Ordering::Relaxed),
+            scans: self.counters.scans.load(Ordering::Relaxed),
+            batches_formed: self.counters.batches_formed.load(Ordering::Relaxed),
+            batched_requests: self.counters.batched_requests.load(Ordering::Relaxed),
+            size_triggered_flushes: self.counters.size_triggered_flushes.load(Ordering::Relaxed),
+            budget_expired_flushes: self.counters.budget_expired_flushes.load(Ordering::Relaxed),
+            drain_flushes: self.counters.drain_flushes.load(Ordering::Relaxed),
+            errors: self.counters.errors.load(Ordering::Relaxed),
+            e2e: self.e2e.snapshot(),
+            queue_wait: self.queue_wait.snapshot(),
+            batch_service: self.batch_service.snapshot(),
+        }
+    }
+}
+
+/// The dispatcher thread: flushes builders whose latency budget expired, and on
+/// shutdown drains every open builder before sealing the executor queue (so no
+/// admitted request is ever stranded).
+fn dispatcher_loop(shared: &ServiceShared) {
+    let mut admission = shared.admission.lock().expect("admission poisoned");
+    loop {
+        if admission.closed {
+            for shard in 0..admission.reads.len() {
+                if let Some(b) = admission.reads[shard].take() {
+                    shared.push_job(Job {
+                        kind: JobKind::Reads { keys: b.keys },
+                        waiters: b.waiters,
+                        trigger: Trigger::Drain,
+                    });
+                }
+                if let Some(b) = admission.writes[shard].take() {
+                    shared.push_job(Job {
+                        kind: JobKind::Writes { entries: b.entries },
+                        waiters: b.waiters,
+                        trigger: Trigger::Drain,
+                    });
+                }
+            }
+            drop(admission);
+            // No producer can enqueue past this point (admission is closed);
+            // seal the queue so executors exit once it is drained.
+            let mut queue = shared.queue.lock().expect("queue poisoned");
+            queue.closed = true;
+            drop(queue);
+            shared.queue_wake.notify_all();
+            return;
+        }
+
+        let now = Instant::now();
+        for shard in 0..admission.reads.len() {
+            if admission.reads[shard]
+                .as_ref()
+                .is_some_and(|b| b.opened + shared.max_batch_delay <= now)
+            {
+                let b = admission.reads[shard].take().expect("checked above");
+                shared.push_job(Job {
+                    kind: JobKind::Reads { keys: b.keys },
+                    waiters: b.waiters,
+                    trigger: Trigger::Budget,
+                });
+            }
+            if admission.writes[shard]
+                .as_ref()
+                .is_some_and(|b| b.opened + shared.max_batch_delay <= now)
+            {
+                let b = admission.writes[shard].take().expect("checked above");
+                shared.push_job(Job {
+                    kind: JobKind::Writes { entries: b.entries },
+                    waiters: b.waiters,
+                    trigger: Trigger::Budget,
+                });
+            }
+        }
+
+        // Sleep until the earliest remaining deadline, or indefinitely while no
+        // builder is open — admissions that open a builder wake us.
+        let earliest = admission
+            .reads
+            .iter()
+            .filter_map(|b| b.as_ref().map(|b| b.opened))
+            .chain(admission.writes.iter().filter_map(|b| b.as_ref().map(|b| b.opened)))
+            .min();
+        admission = match earliest {
+            Some(opened) => {
+                let deadline = opened + shared.max_batch_delay;
+                let timeout = deadline.saturating_duration_since(Instant::now());
+                shared
+                    .admission_wake
+                    .wait_timeout(admission, timeout)
+                    .expect("admission poisoned")
+                    .0
+            }
+            None => shared.admission_wake.wait(admission).expect("admission poisoned"),
+        };
+    }
+}
+
+/// An executor thread: pops jobs and runs them against the engine until the
+/// queue is sealed and empty.
+fn executor_loop(shared: &ServiceShared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(job) = queue.jobs.pop_front() {
+                    break job;
+                }
+                if queue.closed {
+                    return;
+                }
+                queue = shared.queue_wake.wait(queue).expect("queue poisoned");
+            }
+        };
+        // A panicking engine call must not take the executor (and every later
+        // job's clients) down with it: the job's waiters are dropped, so its
+        // clients see `Lost`, and the executor lives on.
+        let _ = std::panic::catch_unwind(AssertUnwindSafe(|| run_job(shared, job)));
+    }
+}
+
+/// Runs one job's engine call and answers every waiter with its result and
+/// timing. Puts are acked only after `insert_batch` returned, i.e. after the
+/// covering flush epoch was forced — the group-commit durability contract.
+fn run_job(shared: &ServiceShared, job: Job) {
+    let begun = Instant::now();
+    let outcome: Result<Vec<ResponseBody>, ServiceError> = match &job.kind {
+        JobKind::Reads { keys } => shared
+            .engine
+            .multi_search(keys)
+            .map(|values| values.into_iter().map(ResponseBody::Value).collect())
+            .map_err(ServiceError::from),
+        JobKind::Writes { entries } => shared
+            .engine
+            .insert_batch(entries)
+            .map(|()| job.waiters.iter().map(|_| ResponseBody::Done).collect())
+            .map_err(ServiceError::from),
+        JobKind::Scan { lo, hi } => shared
+            .engine
+            .range_search(*lo, *hi)
+            .map(|entries| vec![ResponseBody::Entries(entries)])
+            .map_err(ServiceError::from),
+    };
+    let service_us = begun.elapsed().as_micros() as u64;
+    match outcome {
+        Ok(bodies) => {
+            debug_assert_eq!(bodies.len(), job.waiters.len());
+            for (waiter, body) in job.waiters.into_iter().zip(bodies) {
+                let queue_us = begun.duration_since(waiter.enqueued).as_micros() as u64;
+                let total_us = waiter.enqueued.elapsed().as_micros() as u64;
+                shared.queue_wait.record(queue_us);
+                shared.batch_service.record(service_us);
+                shared.e2e.record(total_us);
+                let timing = RequestTiming {
+                    queue_us,
+                    service_us,
+                    total_us,
+                };
+                let _ = waiter.ack.send(Ok(Response { body, timing }));
+            }
+        }
+        Err(err) => {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            for waiter in job.waiters {
+                let _ = waiter.ack.send(Err(err.clone()));
+            }
+        }
+    }
+}
+
+/// The running service: owns the dispatcher and executor threads. Create with
+/// [`EngineService::start`], call through [`ServiceHandle`]s, stop with
+/// [`EngineService::shutdown`] (dropping the service shuts it down too).
+pub struct EngineService {
+    shared: Arc<ServiceShared>,
+    dispatcher: Option<JoinHandle<()>>,
+    executors: Vec<JoinHandle<()>>,
+}
+
+impl EngineService {
+    /// Starts the front end over `engine`, reading its batching knobs
+    /// (`max_batch_delay_us`, `max_batch_size`) from the engine's
+    /// [`EngineConfig`](engine::EngineConfig). Spawns one dispatcher thread and
+    /// `shard_count + 1` executors (enough to keep every shard's engine path
+    /// busy while one executor serves cross-shard scans).
+    pub fn start(engine: Arc<ShardedPioEngine>) -> Self {
+        let max_batch_size = engine.config().max_batch_size;
+        let max_batch_delay = Duration::from_micros(engine.config().max_batch_delay_us);
+        let shards = engine.shard_count();
+        let shared = Arc::new(ServiceShared {
+            engine,
+            max_batch_size,
+            max_batch_delay,
+            admission: Mutex::new(Admission {
+                reads: (0..shards).map(|_| None).collect(),
+                writes: (0..shards).map(|_| None).collect(),
+                closed: false,
+            }),
+            admission_wake: Condvar::new(),
+            queue: Mutex::new(JobQueue {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            queue_wake: Condvar::new(),
+            counters: Counters::default(),
+            e2e: LatencyHistogram::new(),
+            queue_wait: LatencyHistogram::new(),
+            batch_service: LatencyHistogram::new(),
+        });
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("service-dispatcher".into())
+                .spawn(move || dispatcher_loop(&shared))
+                .expect("spawn service dispatcher")
+        };
+        let executors = (0..shards + 1)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("service-exec-{i}"))
+                    .spawn(move || executor_loop(&shared))
+                    .expect("spawn service executor")
+            })
+            .collect();
+        Self {
+            shared,
+            dispatcher: Some(dispatcher),
+            executors,
+        }
+    }
+
+    /// A cheap, cloneable handle for submitting requests from any thread.
+    pub fn handle(&self) -> ServiceHandle {
+        ServiceHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// The engine behind the service.
+    pub fn engine(&self) -> &Arc<ShardedPioEngine> {
+        &self.shared.engine
+    }
+
+    /// A point-in-time snapshot of the service's accounting.
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.stats()
+    }
+
+    /// Stops admission, drains every in-flight and builder-held request (each
+    /// gets its real answer, not an error), joins the threads, and returns the
+    /// final accounting. Requests submitted after shutdown fail with
+    /// [`ServiceError::Closed`].
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.stop();
+        self.shared.stats()
+    }
+
+    fn stop(&mut self) {
+        {
+            let mut admission = self.shared.admission.lock().expect("admission poisoned");
+            admission.closed = true;
+        }
+        self.shared.admission_wake.notify_all();
+        if let Some(dispatcher) = self.dispatcher.take() {
+            let _ = dispatcher.join();
+        }
+        for executor in self.executors.drain(..) {
+            let _ = executor.join();
+        }
+    }
+}
+
+impl Drop for EngineService {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// A cloneable client handle onto a running [`EngineService`]. Every method
+/// blocks the calling thread until the response arrives; call from as many
+/// threads as you like.
+#[derive(Clone)]
+pub struct ServiceHandle {
+    shared: Arc<ServiceShared>,
+}
+
+impl ServiceHandle {
+    /// Submits any [`Request`].
+    pub fn request(&self, request: Request) -> Result<Response, ServiceError> {
+        self.shared.submit(request)
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: Key) -> Result<Response, ServiceError> {
+        self.request(Request::Get { key })
+    }
+
+    /// Insert-or-update; the returned ack implies group-commit durability (the
+    /// covering flush epoch was forced before the response was sent).
+    pub fn put(&self, key: Key, value: Value) -> Result<Response, ServiceError> {
+        self.request(Request::Put { key, value })
+    }
+
+    /// Range scan over `[lo, hi)`.
+    pub fn scan(&self, lo: Key, hi: Key) -> Result<Response, ServiceError> {
+        self.request(Request::Scan { lo, hi })
+    }
+
+    /// A point-in-time snapshot of the service's accounting.
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.stats()
+    }
+}
+
+impl workload::ServiceTarget for ServiceHandle {
+    type Error = ServiceError;
+
+    fn get(&self, key: u64) -> Result<Option<u64>, ServiceError> {
+        Ok(ServiceHandle::get(self, key)?.value())
+    }
+
+    fn put(&self, key: u64, value: u64) -> Result<(), ServiceError> {
+        ServiceHandle::put(self, key, value).map(|_| ())
+    }
+
+    fn scan(&self, lo: u64, hi: u64) -> Result<usize, ServiceError> {
+        Ok(ServiceHandle::scan(self, lo, hi)?.entries().len())
+    }
+}
+
+/// Aggregated service accounting: request counts, batching behaviour, and the
+/// three latency histograms (end-to-end, queue wait, batch service time), all
+/// in microseconds.
+#[derive(Debug, Clone)]
+pub struct ServiceStats {
+    /// Gets admitted.
+    pub gets: u64,
+    /// Puts admitted.
+    pub puts: u64,
+    /// Scans admitted.
+    pub scans: u64,
+    /// Coalesced batches flushed to the engine (reads and writes; scans are
+    /// uncoalesced and not counted).
+    pub batches_formed: u64,
+    /// Requests those batches carried; `batched_requests / batches_formed` is
+    /// the front end's average batch occupancy and should match the engine's
+    /// own [`EngineStats::avg_batch_occupancy`](engine::EngineStats::avg_batch_occupancy)
+    /// over the same window.
+    pub batched_requests: u64,
+    /// Batches flushed because they reached `max_batch_size`.
+    pub size_triggered_flushes: u64,
+    /// Batches flushed because their oldest request exhausted
+    /// `max_batch_delay_us`.
+    pub budget_expired_flushes: u64,
+    /// Batches flushed by shutdown's drain.
+    pub drain_flushes: u64,
+    /// Engine calls that failed (each fails every request of its batch).
+    pub errors: u64,
+    /// End-to-end latency per request: admission → ack.
+    pub e2e: HistogramSnapshot,
+    /// Queue wait per request: admission → its batch starts executing.
+    pub queue_wait: HistogramSnapshot,
+    /// Service time per request: duration of the engine call that carried it
+    /// (recorded once per request, so occupancy weights batches naturally).
+    pub batch_service: HistogramSnapshot,
+}
+
+impl ServiceStats {
+    /// Total requests admitted.
+    pub fn total_requests(&self) -> u64 {
+        self.gets + self.puts + self.scans
+    }
+
+    /// Average requests per coalesced batch (0.0 before the first flush).
+    pub fn avg_batch_occupancy(&self) -> f64 {
+        if self.batches_formed == 0 {
+            return 0.0;
+        }
+        self.batched_requests as f64 / self.batches_formed as f64
+    }
+}

@@ -1,0 +1,295 @@
+//! A closed-loop multi-client driver: N client threads × think time × a key
+//! distribution.
+//!
+//! The [`replay`](crate::replay) driver emulates the paper's *open* model — one
+//! caller hands pre-formed batches to the index. A serving system is evaluated
+//! the other way around (Didona et al.'s critique in `PAPERS.md`): many
+//! independent clients each submit **one** request, wait for its response,
+//! optionally think, and submit the next — the concurrency the system sees is
+//! whatever the clients' closed loops produce, and the honest metrics are
+//! per-request latency percentiles, not makespan.
+//!
+//! This module is deliberately index-agnostic: anything implementing
+//! [`ServiceTarget`] (shared-reference operations, thread-safe) can be driven.
+//! The sharded engine's service front end implements it for its handles; tests
+//! implement it over plain maps.
+
+use crate::keyspace::{KeyDistribution, KeyGenerator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// A concurrently callable request target: the closed-loop clients call these
+/// from many threads at once through one shared reference.
+pub trait ServiceTarget: Sync {
+    /// Error produced by the underlying service (crosses client-thread
+    /// boundaries, hence `Send`).
+    type Error: std::fmt::Debug + Send;
+
+    /// Point lookup.
+    fn get(&self, key: u64) -> Result<Option<u64>, Self::Error>;
+    /// Insert-or-update, durable (to the target's ack contract) when it returns.
+    fn put(&self, key: u64, value: u64) -> Result<(), Self::Error>;
+    /// Range scan over `[lo, hi)`; returns the number of live entries seen.
+    fn scan(&self, lo: u64, hi: u64) -> Result<usize, Self::Error>;
+}
+
+/// Operation mix of one closed-loop client (fractions are normalised over their
+/// sum; the remainder after `put` and `scan` is `get`).
+#[derive(Debug, Clone, Copy)]
+pub struct ClientMix {
+    /// Fraction of requests that are puts.
+    pub put: f64,
+    /// Fraction of requests that are scans.
+    pub scan: f64,
+    /// Span of each scan in keys (`[k, k + scan_span)`).
+    pub scan_span: u64,
+}
+
+impl ClientMix {
+    /// A read-heavy serving mix: 10% puts, 2% scans of 100 keys, 88% gets.
+    pub fn read_heavy() -> Self {
+        Self {
+            put: 0.10,
+            scan: 0.02,
+            scan_span: 100,
+        }
+    }
+
+    /// An update-heavy mix: 50% puts, no scans.
+    pub fn update_heavy() -> Self {
+        Self {
+            put: 0.5,
+            scan: 0.0,
+            scan_span: 0,
+        }
+    }
+}
+
+/// Specification of one closed-loop run.
+#[derive(Debug, Clone)]
+pub struct ClosedLoopSpec {
+    /// Number of concurrent client threads.
+    pub clients: usize,
+    /// Requests each client submits (the run issues `clients × ops_per_client`).
+    pub ops_per_client: usize,
+    /// Pause between a client's response and its next request (`ZERO` = a tight
+    /// closed loop, the maximum pressure `clients` threads can generate).
+    pub think_time: Duration,
+    /// Key space the clients draw from.
+    pub key_space: u64,
+    /// Key distribution (each client gets its own deterministic stream).
+    pub distribution: KeyDistribution,
+    /// Operation mix.
+    pub mix: ClientMix,
+    /// Base seed; client `i` derives its streams from `seed + i`.
+    pub seed: u64,
+}
+
+/// Aggregate outcome of a closed-loop run (per-request latency lives in the
+/// target's own accounting — e.g. the service front end's histograms).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClosedLoopReport {
+    /// Point lookups submitted.
+    pub gets: u64,
+    /// Lookups that found a value.
+    pub get_hits: u64,
+    /// Puts submitted (every one acked by the target).
+    pub puts: u64,
+    /// Scans submitted.
+    pub scans: u64,
+    /// Entries returned by scans in total.
+    pub scanned_entries: u64,
+    /// Wall-clock duration of the whole run.
+    pub wall: Duration,
+}
+
+impl ClosedLoopReport {
+    /// Total requests submitted.
+    pub fn total_ops(&self) -> u64 {
+        self.gets + self.puts + self.scans
+    }
+
+    /// Requests per wall-clock second.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.total_ops() as f64 / secs
+    }
+
+    fn merge(&mut self, other: &ClosedLoopReport) {
+        self.gets += other.gets;
+        self.get_hits += other.get_hits;
+        self.puts += other.puts;
+        self.scans += other.scans;
+        self.scanned_entries += other.scanned_entries;
+    }
+}
+
+/// Runs `spec.clients` closed-loop clients against `target` and merges their
+/// tallies. Every request is submitted, awaited, and (optionally) followed by
+/// `think_time`; a request error aborts the whole run with that error.
+///
+/// Each client's value payload encodes `(client, sequence)` so concurrent puts
+/// from different clients never collide on the value they write for a shared
+/// key — last-writer-wins stays observable.
+pub fn run_closed_loop<T: ServiceTarget>(target: &T, spec: &ClosedLoopSpec) -> Result<ClosedLoopReport, T::Error> {
+    assert!(spec.clients >= 1, "a closed loop needs at least one client");
+    let started = Instant::now();
+    let mut report = ClosedLoopReport::default();
+    let results: Vec<Result<ClosedLoopReport, T::Error>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..spec.clients)
+            .map(|client| {
+                let spec = spec.clone();
+                scope.spawn(move || client_loop(target, &spec, client))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client panicked"))
+            .collect()
+    });
+    for outcome in results {
+        report.merge(&outcome?);
+    }
+    report.wall = started.elapsed();
+    Ok(report)
+}
+
+/// One client's closed loop: draw, submit, await, think, repeat.
+fn client_loop<T: ServiceTarget>(
+    target: &T,
+    spec: &ClosedLoopSpec,
+    client: usize,
+) -> Result<ClosedLoopReport, T::Error> {
+    let seed = spec.seed.wrapping_add(client as u64);
+    let mut keys = KeyGenerator::new(seed, spec.key_space, spec.distribution);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_CAFE);
+    let mut report = ClosedLoopReport::default();
+    let put_cut = spec.mix.put.max(0.0);
+    let scan_cut = put_cut + spec.mix.scan.max(0.0);
+    for seq in 0..spec.ops_per_client {
+        let key = keys.next_key();
+        let dice: f64 = rng.gen();
+        if dice < put_cut {
+            target.put(key, ((client as u64) << 32) | seq as u64)?;
+            report.puts += 1;
+        } else if dice < scan_cut {
+            let hi = key.saturating_add(spec.mix.scan_span.max(1));
+            report.scanned_entries += target.scan(key, hi)? as u64;
+            report.scans += 1;
+        } else {
+            if target.get(key)?.is_some() {
+                report.get_hits += 1;
+            }
+            report.gets += 1;
+        }
+        if !spec.think_time.is_zero() {
+            std::thread::sleep(spec.think_time);
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::convert::Infallible;
+    use std::sync::Mutex;
+
+    /// A mutex-wrapped map: the simplest possible [`ServiceTarget`].
+    #[derive(Default)]
+    struct MapService {
+        map: Mutex<BTreeMap<u64, u64>>,
+    }
+
+    impl ServiceTarget for MapService {
+        type Error = Infallible;
+
+        fn get(&self, key: u64) -> Result<Option<u64>, Infallible> {
+            Ok(self.map.lock().unwrap().get(&key).copied())
+        }
+
+        fn put(&self, key: u64, value: u64) -> Result<(), Infallible> {
+            self.map.lock().unwrap().insert(key, value);
+            Ok(())
+        }
+
+        fn scan(&self, lo: u64, hi: u64) -> Result<usize, Infallible> {
+            Ok(self.map.lock().unwrap().range(lo..hi).count())
+        }
+    }
+
+    #[test]
+    fn closed_loop_submits_the_specified_load() {
+        let service = MapService::default();
+        let spec = ClosedLoopSpec {
+            clients: 4,
+            ops_per_client: 500,
+            think_time: Duration::ZERO,
+            key_space: 10_000,
+            distribution: KeyDistribution::Uniform,
+            mix: ClientMix {
+                put: 0.3,
+                scan: 0.1,
+                scan_span: 50,
+            },
+            seed: 99,
+        };
+        let report = run_closed_loop(&service, &spec).unwrap();
+        assert_eq!(report.total_ops(), 2_000);
+        // The mix fractions hold roughly (4 × 500 draws).
+        assert!((400..=800).contains(&report.puts), "puts {}", report.puts);
+        assert!((100..=300).contains(&report.scans), "scans {}", report.scans);
+        assert!(report.throughput() > 0.0);
+        // The run actually wrote: the map holds every put's key.
+        assert!(service.map.lock().unwrap().len() as u64 <= report.puts);
+        assert!(!service.map.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn clients_are_deterministic_per_seed() {
+        let run = || {
+            let service = MapService::default();
+            let spec = ClosedLoopSpec {
+                clients: 2,
+                ops_per_client: 300,
+                think_time: Duration::ZERO,
+                key_space: 1_000,
+                distribution: KeyDistribution::Zipfian { theta: 0.9 },
+                mix: ClientMix::read_heavy(),
+                seed: 7,
+            };
+            let report = run_closed_loop(&service, &spec).unwrap();
+            (
+                report.gets,
+                report.puts,
+                report.scans,
+                service.map.into_inner().unwrap(),
+            )
+        };
+        let (g1, p1, s1, m1) = run();
+        let (g2, p2, s2, m2) = run();
+        assert_eq!((g1, p1, s1), (g2, p2, s2));
+        assert_eq!(m1.keys().collect::<Vec<_>>(), m2.keys().collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn zero_clients_is_rejected() {
+        let service = MapService::default();
+        let spec = ClosedLoopSpec {
+            clients: 0,
+            ops_per_client: 1,
+            think_time: Duration::ZERO,
+            key_space: 10,
+            distribution: KeyDistribution::Uniform,
+            mix: ClientMix::read_heavy(),
+            seed: 0,
+        };
+        let _ = run_closed_loop(&service, &spec);
+    }
+}

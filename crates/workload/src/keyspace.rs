@@ -18,6 +18,72 @@ pub enum KeyDistribution {
     },
     /// Monotonically increasing keys (append workload).
     Sequential,
+    /// True Zipfian popularity ranks (YCSB-style: rank `r` drawn with probability
+    /// ∝ `1 / (r+1)^theta`), scrambled over the key space with a multiplicative
+    /// hash so the hot set spreads across the whole space (and therefore across
+    /// engine shards) instead of clustering at the low keys.
+    Zipfian {
+        /// Skew exponent in `(0, 1)`; YCSB's default is `0.99` (higher = more
+        /// skew). Values outside `(0, 1)` are clamped at construction.
+        theta: f64,
+    },
+}
+
+/// Precomputed state of the Zipfian sampler (Gray et al.'s "quickly generating
+/// billion-record synthetic databases" rejection-free inversion, the algorithm
+/// YCSB uses).
+#[derive(Debug, Clone)]
+struct ZipfianState {
+    /// `ζ(n, θ) = Σ_{i=1..n} 1/i^θ` over the item count.
+    zetan: f64,
+    /// `ζ(2, θ)`, used by the inversion formula.
+    zeta2: f64,
+    alpha: f64,
+    eta: f64,
+}
+
+/// Item count beyond which `ζ(n, θ)` is extended with the Euler–Maclaurin
+/// integral approximation instead of summed term by term, so a generator over a
+/// huge key space still constructs in bounded time.
+const ZETA_EXACT_ITEMS: u64 = 1 << 24;
+
+impl ZipfianState {
+    fn new(items: u64, theta: f64) -> Self {
+        let theta = theta.clamp(0.01, 0.99);
+        let exact = items.min(ZETA_EXACT_ITEMS);
+        let mut zetan = 0.0;
+        for i in 1..=exact {
+            zetan += 1.0 / (i as f64).powf(theta);
+        }
+        if items > exact {
+            // ∫ x^-θ dx from `exact` to `items`: accurate to well under a percent
+            // at this scale, and the tail carries little probability mass anyway.
+            zetan += ((items as f64).powf(1.0 - theta) - (exact as f64).powf(1.0 - theta)) / (1.0 - theta);
+        }
+        let zeta2 = 1.0 + 1.0 / 2f64.powf(theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / items as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Self {
+            zetan,
+            zeta2,
+            alpha,
+            eta,
+        }
+    }
+
+    /// Draws a popularity rank in `[0, items)`; rank 0 is the most popular.
+    fn next_rank(&self, rng: &mut StdRng, items: u64) -> u64 {
+        let u: f64 = rng.gen_range(0..u64::MAX) as f64 / u64::MAX as f64;
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < self.zeta2 {
+            return 1;
+        }
+        let rank = ((items as f64) * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(items - 1)
+    }
 }
 
 /// A deterministic key generator.
@@ -27,17 +93,23 @@ pub struct KeyGenerator {
     key_space: u64,
     distribution: KeyDistribution,
     next_sequential: u64,
+    zipf: Option<ZipfianState>,
 }
 
 impl KeyGenerator {
     /// Creates a generator over `[0, key_space)` with the given distribution.
     pub fn new(seed: u64, key_space: u64, distribution: KeyDistribution) -> Self {
         assert!(key_space > 0);
+        let zipf = match distribution {
+            KeyDistribution::Zipfian { theta } => Some(ZipfianState::new(key_space, theta)),
+            _ => None,
+        };
         Self {
             rng: StdRng::seed_from_u64(seed),
             key_space,
             distribution,
             next_sequential: 0,
+            zipf,
         }
     }
 
@@ -54,6 +126,14 @@ impl KeyGenerator {
                 let k = self.next_sequential;
                 self.next_sequential = (self.next_sequential + 1) % self.key_space;
                 k
+            }
+            KeyDistribution::Zipfian { .. } => {
+                let state = self.zipf.as_ref().expect("zipf state built at construction");
+                let rank = state.next_rank(&mut self.rng, self.key_space);
+                // Scramble the rank over the key space (odd multiplier → the map
+                // is a bijection on u64, folded by the modulo), so the hot ranks
+                // do not all land on one shard of a range-partitioned engine.
+                rank.wrapping_mul(0x9E37_79B9_7F4A_7C15) % self.key_space
             }
             KeyDistribution::Skewed {
                 hot_fraction,
@@ -115,6 +195,34 @@ mod tests {
         let hot_bound = 1_000;
         let hits = (0..10_000).filter(|_| g.next_key() < hot_bound).count();
         assert!(hits > 8_000, "expected ~90% hot hits, got {hits}");
+    }
+
+    #[test]
+    fn zipfian_keys_are_skewed_deterministic_and_in_range() {
+        let space = 100_000u64;
+        let draw = |seed: u64| {
+            let mut g = KeyGenerator::new(seed, space, KeyDistribution::Zipfian { theta: 0.99 });
+            (0..20_000).map(|_| g.next_key()).collect::<Vec<_>>()
+        };
+        let a = draw(11);
+        assert_eq!(a, draw(11), "same seed, same stream");
+        assert!(a.iter().all(|&k| k < space));
+        // Rank 0 scrambles to one fixed key; under θ=0.99 it should carry far
+        // more than the uniform share (0.2 draws expected uniformly).
+        let mut counts = std::collections::HashMap::new();
+        for &k in &a {
+            *counts.entry(k).or_insert(0u64) += 1;
+        }
+        let hottest = counts.values().copied().max().unwrap();
+        assert!(hottest > 1_000, "zipfian hot key drew {hottest} of 20k accesses");
+        // The hot mass must not cluster in one quarter of the key space (the
+        // scramble spreads ranks): every quartile sees a meaningful share.
+        for q in 0..4u64 {
+            let lo = q * space / 4;
+            let hi = (q + 1) * space / 4;
+            let share = a.iter().filter(|&&k| k >= lo && k < hi).count();
+            assert!(share > 500, "quartile {q} got only {share} of 20k accesses");
+        }
     }
 
     #[test]

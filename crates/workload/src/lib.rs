@@ -17,11 +17,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod closed_loop;
 pub mod driver;
 pub mod keyspace;
 pub mod ops;
 pub mod tpcc;
 
+pub use closed_loop::{run_closed_loop, ClientMix, ClosedLoopReport, ClosedLoopSpec, ServiceTarget};
 pub use driver::{replay, replay_trace, IndexTarget, ReplayStats};
 pub use keyspace::{KeyDistribution, KeyGenerator};
 pub use ops::{MixSpec, Operation, OperationGenerator};

@@ -1,0 +1,258 @@
+//! Integration: the service front end under concurrency — a multi-threaded
+//! hammer against a per-client oracle, deterministic flush-trigger behaviour,
+//! shutdown drain semantics, and the cross-check that the front end's batching
+//! accounting agrees with the engine's own ground-truth counters.
+
+use engine::{EngineConfig, ShardedPioEngine};
+use pio_btree::PioConfig;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use service::{EngineService, ServiceError};
+use ssd_sim::DeviceProfile;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn config(shards: usize, max_batch_size: usize, max_batch_delay_us: u64) -> EngineConfig {
+    EngineConfig::builder()
+        .shards(shards)
+        .profile(DeviceProfile::P300)
+        .shard_capacity_bytes(1 << 30)
+        .max_batch_size(max_batch_size)
+        .max_batch_delay_us(max_batch_delay_us)
+        .base(
+            PioConfig::builder()
+                .page_size(2048)
+                .leaf_segments(2)
+                .opq_pages(2)
+                .pio_max(32)
+                .speriod(64)
+                .bcnt(128)
+                .pool_pages(256)
+                .build(),
+        )
+        .build()
+}
+
+fn engine(config: EngineConfig) -> Arc<ShardedPioEngine> {
+    let sample: Vec<u64> = (0..20_000u64).map(|i| i * 7).collect();
+    Arc::new(ShardedPioEngine::create(config, &sample).unwrap())
+}
+
+/// ≥ 8 client threads hammer one service with a mixed get/put/scan workload.
+/// Each thread owns a congruence class of the key space (keys ≡ t mod THREADS),
+/// keeps a private `BTreeMap` oracle of its own writes, and checks *every*
+/// response against it — a get must return exactly the thread's last acked put
+/// for that key (read-your-writes through the batch builders), and a scan,
+/// filtered to the thread's own class, must equal the oracle's range. After the
+/// run the service's batching accounting must agree with the engine's own
+/// per-shard ground truth, and a full sweep over the merged oracle must verify
+/// on the bare engine.
+#[test]
+fn concurrent_hammer_against_oracle() {
+    const THREADS: u64 = 8;
+    const OPS: u64 = 400;
+    const KEY_SPACE: u64 = 4_000;
+
+    let engine = engine(config(4, 16, 300));
+    let service = EngineService::start(Arc::clone(&engine));
+
+    let oracles: Vec<BTreeMap<u64, u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let handle = service.handle();
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(0xBEEF + t);
+                    let mut own = BTreeMap::new();
+                    for seq in 0..OPS {
+                        // Keys ≡ t (mod THREADS): disjoint ownership, but every
+                        // shard sees every thread (classes stripe the space).
+                        let key = rng.gen_range(0..KEY_SPACE / THREADS) * THREADS + t;
+                        let dice: f64 = rng.gen();
+                        if dice < 0.40 {
+                            let value = (t << 32) | seq;
+                            handle.put(key, value).expect("put failed");
+                            own.insert(key, value);
+                        } else if dice < 0.50 {
+                            let span = rng.gen_range(50..400);
+                            let hi = key.saturating_add(span);
+                            let response = handle.scan(key, hi).expect("scan failed");
+                            let mine: Vec<(u64, u64)> = response
+                                .entries()
+                                .iter()
+                                .copied()
+                                .filter(|(k, _)| k % THREADS == t)
+                                .collect();
+                            let expected: Vec<(u64, u64)> = own.range(key..hi).map(|(&k, &v)| (k, v)).collect();
+                            assert_eq!(mine, expected, "thread {t} scan [{key},{hi}) diverged");
+                        } else {
+                            let got = handle.get(key).expect("get failed").value();
+                            assert_eq!(got, own.get(&key).copied(), "thread {t} get {key} diverged");
+                        }
+                    }
+                    own
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client panicked"))
+            .collect()
+    });
+
+    let stats = service.shutdown();
+    let engine_stats = engine.stats();
+
+    // Request accounting adds up, and every admitted request was timed.
+    assert_eq!(stats.total_requests(), THREADS * OPS);
+    assert_eq!(stats.gets + stats.puts + stats.scans, THREADS * OPS);
+    assert_eq!(stats.e2e.count(), THREADS * OPS);
+    assert_eq!(stats.queue_wait.count(), THREADS * OPS);
+    assert!(stats.errors == 0, "engine calls failed: {}", stats.errors);
+    assert_eq!(
+        stats.batched_requests,
+        stats.gets + stats.puts,
+        "every get and put must ride a coalesced batch"
+    );
+    assert_eq!(
+        stats.batches_formed,
+        stats.size_triggered_flushes + stats.budget_expired_flushes + stats.drain_flushes
+    );
+
+    // With 8 tightly-looping clients and a 300µs budget, coalescing must
+    // actually happen: strictly more batched requests than batches.
+    assert!(
+        stats.avg_batch_occupancy() > 1.0,
+        "no coalescing happened: occupancy {}",
+        stats.avg_batch_occupancy()
+    );
+
+    // The front end's accounting must agree with the engine's own per-shard
+    // counters: every service batch is exactly one single-shard sub-batch.
+    assert_eq!(stats.batches_formed, engine_stats.batched_calls);
+    assert_eq!(stats.batched_requests, engine_stats.batched_ops);
+    assert!((stats.avg_batch_occupancy() - engine_stats.avg_batch_occupancy()).abs() < 1e-9);
+
+    // Full-state verification on the bare engine (classes are disjoint, so the
+    // merged oracle is the exact expected state of the tree).
+    let mut merged = BTreeMap::new();
+    for oracle in oracles {
+        merged.extend(oracle);
+    }
+    assert!(!merged.is_empty());
+    for (&k, &v) in &merged {
+        assert_eq!(engine.search(k).unwrap(), Some(v), "key {k} lost after shutdown");
+    }
+    assert_eq!(engine.count_entries().unwrap(), merged.len() as u64);
+}
+
+/// `max_batch_size = 1` is the request-at-a-time baseline: every request
+/// flushes its builder immediately, so every flush is size-triggered and the
+/// occupancy is exactly 1.
+#[test]
+fn batch_size_one_degenerates_to_request_at_a_time() {
+    let engine = engine(config(2, 1, 100_000));
+    let service = EngineService::start(Arc::clone(&engine));
+    let handle = service.handle();
+    for key in 0..40u64 {
+        handle.put(key * 31, key).unwrap();
+        assert_eq!(handle.get(key * 31).unwrap().value(), Some(key));
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.batches_formed, 80);
+    assert_eq!(stats.size_triggered_flushes, 80);
+    assert_eq!(stats.budget_expired_flushes, 0);
+    assert_eq!(stats.drain_flushes, 0);
+    assert!((stats.avg_batch_occupancy() - 1.0).abs() < 1e-9);
+}
+
+/// With a huge size cap, a lone client's requests can only leave their builders
+/// when the latency budget expires — and the measured queue wait must show that
+/// the request actually waited out its budget (and not multiple budgets: the
+/// deadline fired on time).
+#[test]
+fn lone_requests_flush_on_budget_expiry() {
+    const DELAY_US: u64 = 2_000;
+    let engine = engine(config(2, 10_000, DELAY_US));
+    let service = EngineService::start(Arc::clone(&engine));
+    let handle = service.handle();
+    for key in 0..5u64 {
+        let response = handle.put(key * 1_001, key).unwrap();
+        // The builder held the request for about the budget: at least most of
+        // it (clock skew between admission and builder-open is microseconds),
+        // and nowhere near a missed-deadline stall.
+        assert!(
+            response.timing.queue_us >= DELAY_US / 2,
+            "put {key} waited only {}µs of a {DELAY_US}µs budget",
+            response.timing.queue_us
+        );
+        assert!(
+            response.timing.queue_us < 500_000,
+            "put {key} waited {}µs — the budget deadline never fired?",
+            response.timing.queue_us
+        );
+        assert!(response.timing.total_us >= response.timing.queue_us);
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.budget_expired_flushes, 5);
+    assert_eq!(stats.size_triggered_flushes, 0);
+}
+
+/// Shutdown drains open builders: a request parked in a builder whose budget is
+/// far in the future still gets its real answer (not an error) when the service
+/// shuts down, and the flush is accounted as a drain.
+#[test]
+fn shutdown_drains_parked_requests() {
+    let engine = engine(config(2, 10_000, 30_000_000));
+    let service = EngineService::start(Arc::clone(&engine));
+    let handle = service.handle();
+    let parked = {
+        let handle = handle.clone();
+        std::thread::spawn(move || handle.put(77, 770))
+    };
+    // Give the put time to reach its builder, then shut down under it.
+    std::thread::sleep(Duration::from_millis(50));
+    let stats = service.shutdown();
+    let response = parked.join().unwrap().expect("drained request must succeed");
+    assert!(matches!(response.body, service::ResponseBody::Done));
+    assert_eq!(stats.drain_flushes, 1);
+    assert_eq!(stats.budget_expired_flushes, 0);
+    assert_eq!(stats.size_triggered_flushes, 0);
+    // The drained put really reached the engine.
+    assert_eq!(engine.search(77).unwrap(), Some(770));
+}
+
+/// After shutdown every kind of request is refused with `Closed`.
+#[test]
+fn requests_after_shutdown_are_refused() {
+    let engine = engine(config(2, 4, 200));
+    let service = EngineService::start(engine);
+    let handle = service.handle();
+    handle.put(1, 10).unwrap();
+    service.shutdown();
+    assert!(matches!(handle.get(1), Err(ServiceError::Closed)));
+    assert!(matches!(handle.put(2, 20), Err(ServiceError::Closed)));
+    assert!(matches!(handle.scan(0, 10), Err(ServiceError::Closed)));
+}
+
+/// Scans bypass the builders but still observe every previously acked put, and
+/// their timing is recorded like everyone else's.
+#[test]
+fn scans_see_acked_puts() {
+    let engine = engine(config(4, 8, 200));
+    let service = EngineService::start(engine);
+    let handle = service.handle();
+    for key in (100..200u64).step_by(10) {
+        handle.put(key, key * 2).unwrap();
+    }
+    let response = handle.scan(100, 200).unwrap();
+    let entries: Vec<(u64, u64)> = response.entries().to_vec();
+    assert_eq!(
+        entries,
+        (100..200u64).step_by(10).map(|k| (k, k * 2)).collect::<Vec<_>>()
+    );
+    let stats = service.shutdown();
+    assert_eq!(stats.scans, 1);
+    // The scan is timed but not counted as a coalesced batch.
+    assert_eq!(stats.e2e.count(), stats.gets + stats.puts + stats.scans);
+    assert_eq!(stats.batched_requests, stats.puts);
+}
