@@ -246,6 +246,60 @@ pub fn auto_tune(
     best
 }
 
+/// Result of the workload-aware shard-count recommendation
+/// ([`recommended_shards`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardTuning {
+    /// Recommended shard count.
+    pub shards: usize,
+    /// Predicted effective per-operation cost at that count (µs), i.e. the
+    /// per-shard eq. (9) cost divided by the achievable cross-shard overlap.
+    pub predicted_cost_us: f64,
+}
+
+/// The workload-aware half of shard-count tuning, completing
+/// `SsdConfig::recommended_shard_count` (which considers only device
+/// geometry). Sweeps candidate shard counts `1..=max_shards` and, for each
+/// `s`, evaluates eq. (9) for one shard of an `s`-way engine:
+///
+/// * the indexed entries and the buffer pool are **split** `N/s`, `M/s` — the
+///   engine divides its pool budget across shards, so a search-heavy mix pays
+///   for extra shards with cache misses (the η term grows as each shard's
+///   pool covers fewer levels);
+/// * the OPQ is **multiplied** — every shard keeps a full-size queue over
+///   `1/s` of the entries, so the sharing factor `G(ℓ)` rises and the
+///   insert-heavy mix gets *cheaper* per shard on top of the overlap win;
+/// * the per-shard cost is divided by the achievable cross-shard I/O overlap
+///   `min(s, device_streams)`, where `device_streams` is the geometric stream
+///   capacity (`SsdConfig::recommended_shard_count(pio_max)`: how many
+///   `PioMax`-wide psync streams the package array can serve concurrently).
+///
+/// The recommendation is the arg-min of that effective cost: search-heavy
+/// mixes stop at (or below) the geometric stream capacity, insert-heavy mixes
+/// tolerate — and sometimes prefer — more shards than streams because the
+/// multiplied OPQs keep paying after the overlap has saturated.
+pub fn recommended_shards(base: &CostModel, mix: WorkloadMix, device_streams: usize, max_shards: usize) -> ShardTuning {
+    let streams = device_streams.max(1) as f64;
+    let mut best = ShardTuning {
+        shards: 1,
+        predicted_cost_us: f64::MAX,
+    };
+    for s in 1..=max_shards.max(1) {
+        let sf = s as f64;
+        let mut shard = base.clone();
+        shard.entries = (base.entries / sf).max(1.0);
+        shard.pool_pages = (base.pool_pages / sf).max(1.0);
+        let effective = shard.pio_cost_buffered(mix) / sf.min(streams);
+        if effective < best.predicted_cost_us {
+            best = ShardTuning {
+                shards: s,
+                predicted_cost_us: effective,
+            };
+        }
+    }
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -350,6 +404,43 @@ mod tests {
         assert!([1usize, 2, 4].contains(&t.leaf_pages));
         assert!([1usize, 16, 256].contains(&t.opq_pages));
         assert!(t.predicted_cost_us.is_finite() && t.predicted_cost_us > 0.0);
+    }
+
+    #[test]
+    fn recommended_shards_track_the_device_stream_capacity() {
+        let m = model();
+        let streams = 4;
+        let t = recommended_shards(&m, WorkloadMix::search_only(), streams, 16);
+        assert!(
+            t.shards <= streams,
+            "search-only gains nothing past the overlap capacity, got {}",
+            t.shards
+        );
+        assert!(t.shards >= 2, "overlap should still beat one shard, got {}", t.shards);
+        assert!(t.predicted_cost_us.is_finite() && t.predicted_cost_us > 0.0);
+    }
+
+    #[test]
+    fn insert_heavy_mixes_tolerate_at_least_as_many_shards() {
+        let m = model();
+        let search = recommended_shards(&m, WorkloadMix::with_insert_ratio(0.1), 4, 16);
+        let insert = recommended_shards(&m, WorkloadMix::with_insert_ratio(0.9), 4, 16);
+        assert!(
+            insert.shards >= search.shards,
+            "multiplied OPQs keep paying for insert-heavy mixes: {} vs {}",
+            insert.shards,
+            search.shards
+        );
+    }
+
+    #[test]
+    fn one_stream_recommends_one_shard_for_searches() {
+        let m = model();
+        let t = recommended_shards(&m, WorkloadMix::search_only(), 1, 8);
+        assert_eq!(
+            t.shards, 1,
+            "no overlap to win and the pool split only costs cache hits"
+        );
     }
 
     #[test]

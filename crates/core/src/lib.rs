@@ -77,7 +77,7 @@ pub mod tree;
 
 pub use concurrent::ConcurrentPioBTree;
 pub use config::{PioConfig, PioConfigBuilder, PipelineDepth};
-pub use cost::{CostModel, WorkloadMix};
+pub use cost::{recommended_shards, CostModel, ShardTuning, WorkloadMix};
 pub use entry::{OpEntry, OpKind};
 pub use leaf::PioLeaf;
 pub use lsmap::LsMap;

@@ -675,6 +675,70 @@ impl PioBTree {
         }
     }
 
+    /// Applies a batch of arbitrary operations (inserts, updates, deletes)
+    /// inside a cross-shard epoch bracket and forces the WAL — the general form
+    /// of [`PioBTree::insert_batch_epoch`], used by shard migration to journal
+    /// region copies and retires under the migration epoch. Returns the WAL's
+    /// durable LSN.
+    pub fn apply_batch_epoch(&mut self, ops: &[OpEntry], epoch: u64) -> IoResult<storage::Lsn> {
+        if let Some(wal) = &self.wal {
+            wal.append(&LogRecord::BatchBegin { epoch }.encode());
+        }
+        let mut result = Ok(());
+        for &op in ops {
+            result = match op.op {
+                OpKind::Insert => self.insert(op.key, op.value),
+                OpKind::Update => self.update(op.key, op.value),
+                OpKind::Delete => self.delete(op.key),
+            };
+            if result.is_err() {
+                break;
+            }
+        }
+        let Some(wal) = &self.wal else {
+            result?;
+            return Ok(0);
+        };
+        wal.append(&LogRecord::BatchEnd { epoch }.encode());
+        match result {
+            Ok(()) => {
+                wal.force()?;
+                Ok(wal.durable_lsn())
+            }
+            Err(e) => {
+                // Best effort, as in `insert_batch_epoch`: a failed force means
+                // the records died with the crash and the epoch is discarded.
+                let _ = wal.force();
+                Err(e)
+            }
+        }
+    }
+
+    /// Exports every live entry in `[lo, hi)` — the leaf regions intersecting
+    /// the range plus the OPQ overlay — as the snapshot side of a shard
+    /// migration. This *is* a prange search ([`PioBTree::range_search`]): the
+    /// moving region is read through the same pipelined region fetch, so an
+    /// export costs what a scan of the range costs.
+    pub fn export_region(&mut self, lo: Key, hi: Key) -> IoResult<Vec<(Key, Value)>> {
+        self.range_search(lo, hi)
+    }
+
+    /// Imports entries (the other shard's exported region) under `epoch` — an
+    /// epoch-bracketed upsert batch, durable when it returns.
+    pub fn import_region(&mut self, entries: &[(Key, Value)], epoch: u64) -> IoResult<storage::Lsn> {
+        self.insert_batch_epoch(entries, epoch)
+    }
+
+    /// Retires a migrated key set from this shard under `epoch` — an
+    /// epoch-bracketed delete batch. Deleting a key the shard never held is a
+    /// harmless tombstone, so the caller may pass the union of everything that
+    /// *may* have landed here (snapshot keys plus writes mirrored during the
+    /// migration).
+    pub fn retire_region(&mut self, keys: &[Key], epoch: u64) -> IoResult<storage::Lsn> {
+        let ops: Vec<OpEntry> = keys.iter().map(|&k| OpEntry::delete(k)).collect();
+        self.apply_batch_epoch(&ops, epoch)
+    }
+
     /// Index-delete.
     pub fn delete(&mut self, key: Key) -> IoResult<()> {
         self.stats.deletes += 1;

@@ -51,6 +51,81 @@ pub struct EngineConfig {
     /// size-triggered). Values beyond the per-shard OPQ capacity waste no
     /// correctness but stop buying psync width, so keep it near `PioMax`.
     pub max_batch_size: usize,
+    /// Knobs of the elastic shard rebalancer (see [`crate::rebalance`]).
+    pub rebalance: RebalanceConfig,
+}
+
+/// Policy knobs of the elastic shard rebalancer (the [`crate::rebalance`]
+/// module). Validated as part of [`EngineConfig::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RebalanceConfig {
+    /// When set, the background maintenance worker runs one rebalance decision
+    /// cycle after each sweep (so it only takes effect together with
+    /// [`EngineConfig::maintenance_interval_ms`]). Off by default: tests and
+    /// benches drive [`crate::ShardedPioEngine::rebalance_once`] explicitly.
+    pub auto: bool,
+    /// Minimum operations the observation window must carry before the policy
+    /// acts at all — below this there is too little signal to distinguish
+    /// skew from noise. Must be at least 1.
+    pub min_window_ops: u64,
+    /// A shard is *hot* (split candidate) when its routed-op share exceeds
+    /// this multiple of the fair share (`total / shards`). Must be above 1.0 —
+    /// at or below it, the fair share itself would be "hot" and the balancer
+    /// would oscillate.
+    pub hot_factor: f64,
+    /// An adjacent pair is *cold* (merge candidate) when its **combined**
+    /// routed-op share falls below this fraction of the fair share. Must be
+    /// within (0, 1); keep it well under `hot_factor`'s reciprocal so a
+    /// freshly merged shard is not immediately hot again.
+    pub cold_factor: f64,
+    /// OPQ peak fill (percent of capacity) above which a shard carrying at
+    /// least its fair share counts as hot even if `hot_factor` is not reached
+    /// — queue pressure flags an overload that routed counts alone understate.
+    /// Must be at most 100.
+    pub hot_queue_pct: u64,
+}
+
+impl Default for RebalanceConfig {
+    fn default() -> Self {
+        Self {
+            auto: false,
+            min_window_ops: 1024,
+            hot_factor: 2.0,
+            cold_factor: 0.5,
+            hot_queue_pct: 85,
+        }
+    }
+}
+
+impl RebalanceConfig {
+    /// Validates the rebalancer knobs.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.min_window_ops == 0 {
+            return Err("rebalance.min_window_ops must be at least 1 (0 would act on an empty window)".into());
+        }
+        if !(self.hot_factor > 1.0 && self.hot_factor.is_finite()) {
+            return Err(format!(
+                "rebalance.hot_factor ({}) must be a finite value above 1.0 — at or below the \
+                 fair share the balancer would split perfectly balanced shards",
+                self.hot_factor
+            ));
+        }
+        if !(self.cold_factor > 0.0 && self.cold_factor < 1.0) {
+            return Err(format!(
+                "rebalance.cold_factor ({}) must be within (0, 1) — a pair at the fair share is \
+                 not cold",
+                self.cold_factor
+            ));
+        }
+        if self.hot_queue_pct > 100 {
+            return Err(format!(
+                "rebalance.hot_queue_pct ({}) is a percentage of OPQ capacity; values above 100 \
+                 can never trigger",
+                self.hot_queue_pct
+            ));
+        }
+        Ok(())
+    }
 }
 
 impl Default for EngineConfig {
@@ -65,6 +140,7 @@ impl Default for EngineConfig {
             maintenance_interval_ms: None,
             max_batch_delay_us: 200,
             max_batch_size: 64,
+            rebalance: RebalanceConfig::default(),
         }
     }
 }
@@ -107,6 +183,7 @@ impl EngineConfig {
         if self.max_batch_size == 0 {
             return Err("max_batch_size must be at least 1 (1 is the request-at-a-time baseline)".into());
         }
+        self.rebalance.validate()?;
         if self.base.wal_enabled {
             let page = self.base.page_size as u64;
             if !self.wal_capacity_bytes.is_multiple_of(page) {
@@ -186,6 +263,19 @@ impl EngineConfigBuilder {
     /// Sets the service front end's batch-size flush trigger.
     pub fn max_batch_size(mut self, requests: usize) -> Self {
         self.config.max_batch_size = requests;
+        self
+    }
+
+    /// Replaces the elastic-rebalancer knobs wholesale.
+    pub fn rebalance(mut self, rebalance: RebalanceConfig) -> Self {
+        self.config.rebalance = rebalance;
+        self
+    }
+
+    /// Lets the background maintenance worker run the rebalancer after each
+    /// sweep (only effective together with a maintenance interval).
+    pub fn auto_rebalance(mut self, auto: bool) -> Self {
+        self.config.rebalance.auto = auto;
         self
     }
 
@@ -300,6 +390,43 @@ mod tests {
             ..EngineConfig::default()
         };
         assert!(config.validate().is_ok());
+    }
+
+    #[test]
+    fn degenerate_rebalance_knobs_are_rejected() {
+        let with = |rebalance: RebalanceConfig| EngineConfig {
+            rebalance,
+            ..EngineConfig::default()
+        };
+        let err = with(RebalanceConfig {
+            hot_factor: 1.0,
+            ..RebalanceConfig::default()
+        })
+        .validate()
+        .unwrap_err();
+        assert!(err.contains("hot_factor"), "{err}");
+        let err = with(RebalanceConfig {
+            cold_factor: 1.0,
+            ..RebalanceConfig::default()
+        })
+        .validate()
+        .unwrap_err();
+        assert!(err.contains("cold_factor"), "{err}");
+        let err = with(RebalanceConfig {
+            min_window_ops: 0,
+            ..RebalanceConfig::default()
+        })
+        .validate()
+        .unwrap_err();
+        assert!(err.contains("min_window_ops"), "{err}");
+        let err = with(RebalanceConfig {
+            hot_queue_pct: 101,
+            ..RebalanceConfig::default()
+        })
+        .validate()
+        .unwrap_err();
+        assert!(err.contains("hot_queue_pct"), "{err}");
+        assert!(with(RebalanceConfig::default()).validate().is_ok());
     }
 
     #[test]

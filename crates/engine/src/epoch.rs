@@ -29,6 +29,20 @@
 //!   logical records and unwinds any flush that had already applied them.
 //!
 //! Either way the batch is all-or-nothing across shards.
+//!
+//! ## Migration epochs
+//!
+//! Shard rebalancing (see [`crate::rebalance`]) journals each boundary move as
+//! a special epoch: **`MigrateBegin { epoch, src, dst, lo, hi }`** is forced
+//! before any entry is copied, the region copy and retire are bracketed in the
+//! two shards' WALs under the epoch id, and **`MigrateCommit { epoch }`** is
+//! forced only after both shards are durable — the commit *is* the boundary
+//! swap. Unlike batch epochs, an uncommitted migration is **never re-driven**,
+//! even when fully acked: the boundary swap did not happen, so replaying the
+//! copies would put keys on a shard that does not own them. Recovery discards
+//! the epoch on both shards (rolling the copy and the retire back together)
+//! and keeps the old boundary; a committed migration replays normally and
+//! re-applies its boundary from the logged range.
 
 use pio::IoResult;
 use pio_btree::RecoveryReport;
@@ -61,6 +75,34 @@ pub enum EpochRecord {
         /// The epoch identifier.
         epoch: u64,
     },
+    /// Opens a boundary migration: keys in `[lo, hi)` move from shard `src` to
+    /// shard `dst`. Forced before any entry is copied.
+    MigrateBegin {
+        /// The epoch identifier.
+        epoch: u64,
+        /// The migration being journalled.
+        migration: MigrationSpec,
+    },
+    /// The migration's copies and retires are durable on both shards; this
+    /// record *is* the boundary swap.
+    MigrateCommit {
+        /// The epoch identifier.
+        epoch: u64,
+    },
+}
+
+/// The durable description of one boundary migration (the payload of
+/// [`EpochRecord::MigrateBegin`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationSpec {
+    /// The shard losing the range.
+    pub src: u32,
+    /// The shard gaining the range (always `src ± 1`).
+    pub dst: u32,
+    /// Inclusive low end of the moving range.
+    pub lo: u64,
+    /// Exclusive high end of the moving range.
+    pub hi: u64,
 }
 
 impl EpochRecord {
@@ -88,6 +130,18 @@ impl EpochRecord {
             }
             EpochRecord::Commit { epoch } => {
                 out.push(3);
+                out.extend_from_slice(&epoch.to_le_bytes());
+            }
+            EpochRecord::MigrateBegin { epoch, migration } => {
+                out.push(4);
+                out.extend_from_slice(&epoch.to_le_bytes());
+                out.extend_from_slice(&migration.src.to_le_bytes());
+                out.extend_from_slice(&migration.dst.to_le_bytes());
+                out.extend_from_slice(&migration.lo.to_le_bytes());
+                out.extend_from_slice(&migration.hi.to_le_bytes());
+            }
+            EpochRecord::MigrateCommit { epoch } => {
+                out.push(5);
                 out.extend_from_slice(&epoch.to_le_bytes());
             }
         }
@@ -118,6 +172,19 @@ impl EpochRecord {
                 durable_lsn: u64_at(13)?,
             }),
             3 => Some(EpochRecord::Commit { epoch: u64_at(1)? }),
+            4 => {
+                let migration = MigrationSpec {
+                    src: u32_at(9)?,
+                    dst: u32_at(13)?,
+                    lo: u64_at(17)?,
+                    hi: u64_at(25)?,
+                };
+                (buf.len() == 33).then_some(EpochRecord::MigrateBegin {
+                    epoch: u64_at(1)?,
+                    migration,
+                })
+            }
+            5 => Some(EpochRecord::MigrateCommit { epoch: u64_at(1)? }),
             _ => None,
         }
     }
@@ -134,11 +201,15 @@ pub struct EpochState {
     pub acked: Vec<u32>,
     /// Whether the `Commit` record reached the log.
     pub committed: bool,
+    /// `Some` when the epoch is a boundary migration (opened by
+    /// `MigrateBegin` rather than `Begin`).
+    pub migration: Option<MigrationSpec>,
 }
 
 impl EpochState {
     /// Whether every member shard's ack is durable — the condition under which
-    /// an uncommitted epoch may be re-driven (committed) at recovery.
+    /// an uncommitted *batch* epoch may be re-driven (committed) at recovery.
+    /// Migration epochs are never re-driven regardless of this.
     pub fn fully_acked(&self) -> bool {
         self.shards.iter().all(|s| self.acked.contains(s))
     }
@@ -202,6 +273,20 @@ impl EpochLog {
         self.wal.force()
     }
 
+    /// Forces the `MigrateBegin` record: nothing may be copied between shards
+    /// before this returns.
+    pub fn migrate_begin(&self, epoch: u64, migration: MigrationSpec) -> IoResult<()> {
+        self.wal
+            .append(&EpochRecord::MigrateBegin { epoch, migration }.encode());
+        self.wal.force()
+    }
+
+    /// Forces the `MigrateCommit` record — the durable boundary swap.
+    pub fn migrate_commit(&self, epoch: u64) -> IoResult<()> {
+        self.wal.append(&EpochRecord::MigrateCommit { epoch }.encode());
+        self.wal.force()
+    }
+
     /// Drops un-forced records (crash simulation).
     pub fn simulate_crash(&self) {
         self.wal.simulate_crash();
@@ -231,6 +316,18 @@ impl EpochLog {
                         shards,
                         acked: Vec::new(),
                         committed: false,
+                        migration: None,
+                    });
+                }
+                EpochRecord::MigrateBegin { epoch, migration } => {
+                    index.insert(epoch, analysis.epochs.len());
+                    analysis.max_epoch = analysis.max_epoch.max(epoch);
+                    analysis.epochs.push(EpochState {
+                        epoch,
+                        shards: vec![migration.src, migration.dst],
+                        acked: Vec::new(),
+                        committed: false,
+                        migration: Some(migration),
                     });
                 }
                 EpochRecord::Ack { epoch, shard, .. } => {
@@ -238,7 +335,7 @@ impl EpochLog {
                         analysis.epochs[i].acked.push(shard);
                     }
                 }
-                EpochRecord::Commit { epoch } => {
+                EpochRecord::Commit { epoch } | EpochRecord::MigrateCommit { epoch } => {
                     if let Some(&i) = index.get(&epoch) {
                         analysis.epochs[i].committed = true;
                     }
@@ -269,6 +366,11 @@ pub struct EngineRecoveryReport {
     pub recovered_epochs: u64,
     /// Uncommitted epochs discarded on every member shard.
     pub discarded_epochs: u64,
+    /// Committed migrations whose boundary swap was re-applied from the log.
+    pub committed_migrations: u64,
+    /// Uncommitted migrations rolled back (copies and retires discarded on
+    /// both shards, old boundary kept).
+    pub rolled_back_migrations: u64,
 }
 
 impl EngineRecoveryReport {
@@ -312,6 +414,16 @@ mod tests {
                 durable_lsn: 9001,
             },
             EpochRecord::Commit { epoch: 42 },
+            EpochRecord::MigrateBegin {
+                epoch: 43,
+                migration: MigrationSpec {
+                    src: 2,
+                    dst: 3,
+                    lo: 1_000,
+                    hi: u64::MAX,
+                },
+            },
+            EpochRecord::MigrateCommit { epoch: 43 },
         ];
         for r in records {
             let encoded = r.encode();
@@ -350,6 +462,37 @@ mod tests {
         assert!(!by_id[&3].fully_acked());
         assert!(!by_id[&4].fully_acked());
         assert!(by_id[&4].acked.is_empty());
+    }
+
+    #[test]
+    fn analyze_classifies_migration_epochs() {
+        let log = log();
+        let spec = MigrationSpec {
+            src: 1,
+            dst: 2,
+            lo: 500,
+            hi: 900,
+        };
+        // Epoch 10: committed migration. Epoch 11: fully acked but uncommitted —
+        // recovery must roll it back anyway (fully_acked is irrelevant for
+        // migrations).
+        log.migrate_begin(10, spec).unwrap();
+        log.ack_all(10, &[(1, 5), (2, 6)]).unwrap();
+        log.migrate_commit(10).unwrap();
+        log.migrate_begin(11, spec).unwrap();
+        log.ack_all(11, &[(1, 7), (2, 8)]).unwrap();
+        log.simulate_crash();
+
+        let analysis = log.analyze().unwrap();
+        assert_eq!(analysis.epochs.len(), 2);
+        assert_eq!(analysis.max_epoch, 11);
+        let by_id: HashMap<u64, &EpochState> = analysis.epochs.iter().map(|e| (e.epoch, e)).collect();
+        assert_eq!(by_id[&10].migration, Some(spec));
+        assert!(by_id[&10].committed);
+        assert_eq!(by_id[&10].shards, vec![1, 2]);
+        assert_eq!(by_id[&11].migration, Some(spec));
+        assert!(!by_id[&11].committed);
+        assert!(by_id[&11].fully_acked());
     }
 
     #[test]

@@ -96,6 +96,23 @@
 //! crash points and hundreds of randomized ones against an in-memory oracle,
 //! using the [`pio::fault`] crash-injection harness.
 //!
+//! ## Elastic shard management
+//!
+//! Boundaries picked from a build-time key sample go stale under append-heavy
+//! or skew-shifting traffic. The [`rebalance`] module keeps them live: a load
+//! monitor (per-shard routed ops + OPQ queue pressure, also surfaced in
+//! [`ShardSnapshot`]), a split/merge policy ([`rebalance::plan`]) and a
+//! migration executor that moves a leaf region between adjacent shards as an
+//! epoch-logged, crash-recoverable operation — `MigrateBegin{src,dst,range}`
+//! forced first, region copies bracketed in both shards' WALs, then the
+//! boundary-swap `MigrateCommit`. Reads and writes keep flowing throughout
+//! (the moving range is dual-resolved, old shard authoritative until commit),
+//! and recovery rolls an uncommitted migration back on both shards. Drive it
+//! with [`ShardedPioEngine::rebalance_once`] or let the maintenance worker
+//! tick it via [`RebalanceConfig::auto`]; knobs live in
+//! [`EngineConfig::rebalance`] and are validated with the rest of the
+//! configuration. See the [`rebalance`] module docs for the lifecycle diagram.
+//!
 //! ## Quick example
 //!
 //! ```
@@ -124,6 +141,7 @@ pub mod builder;
 pub mod config;
 pub mod epoch;
 mod maintenance;
+pub mod rebalance;
 mod scheduler;
 pub mod sharded;
 pub mod stats;
@@ -131,8 +149,9 @@ pub mod target;
 pub mod topology;
 
 pub use builder::EngineBuilder;
-pub use config::{EngineConfig, EngineConfigBuilder};
+pub use config::{EngineConfig, EngineConfigBuilder, RebalanceConfig};
 pub use epoch::{EngineRecoveryReport, EpochAnalysis, EpochLog, EpochRecord, EpochState};
+pub use rebalance::{MoveKind, RebalanceOutcome, RebalancePlan, ShardLoad};
 pub use sharded::{boundaries_from_sample, ShardedPioEngine};
 pub use stats::{EngineStats, ShardSnapshot};
 pub use target::TreeTarget;

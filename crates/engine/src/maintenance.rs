@@ -38,6 +38,15 @@ impl MaintenanceWorker {
                     if let Err(e) = inner.maintain_once() {
                         inner.note_maintenance_error(&e);
                     }
+                    // With auto-rebalance enabled, each sweep also runs one
+                    // balancer decision cycle: at most one split/merge
+                    // migration per interval, so the worker can never thrash
+                    // boundaries faster than it drains queues.
+                    if inner.engine_config().rebalance.auto {
+                        if let Err(e) = inner.auto_rebalance_tick() {
+                            inner.note_maintenance_error(&e);
+                        }
+                    }
                     std::thread::park_timeout(interval);
                 }
             })

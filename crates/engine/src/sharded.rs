@@ -30,28 +30,25 @@
 
 use crate::builder::EngineBuilder;
 use crate::config::EngineConfig;
-use crate::epoch::{EngineRecoveryReport, EpochLog};
+use crate::epoch::{EngineRecoveryReport, EpochLog, MigrationSpec};
 use crate::maintenance::MaintenanceWorker;
 use crate::scheduler::{SchedMsg, SchedulerPool, ShardTask, TaskOutput};
 use crate::stats::{EngineStats, ShardSnapshot};
 use crate::topology::{EngineBackends, EngineManifest, ShardMeta, ShardProvisioner};
 use btree::{Key, Value};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use pio::{IoQueue, IoResult, ParallelIo};
-use pio_btree::{PioBTree, PioConfig, PioStats};
+use pio_btree::{OpEntry, OpKind, PioBTree, PioConfig, PioStats};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::Arc;
 use storage::{CachedStore, Lsn, PageStore, Wal, WritePolicy};
 
-/// One key-range shard: an independent PIO B-tree plus its range bounds.
+/// One key-range shard: an independent PIO B-tree. Its key range is *not*
+/// stored here — ranges live in the engine's [`RoutingState`] so a boundary
+/// migration can move them without touching the shard itself.
 pub(crate) struct Shard {
-    /// Inclusive lower bound.
-    lo: Key,
-    /// Exclusive upper bound (`Key::MAX` for the last shard, which also owns
-    /// `Key::MAX` itself).
-    hi: Key,
     tree: Mutex<PioBTree>,
     /// Point-request sub-batches this shard received through the batched entry
     /// points (`multi_search` / `insert_batch`) over the engine's lifetime.
@@ -60,16 +57,29 @@ pub(crate) struct Shard {
     /// batched_calls` is the shard's average batch occupancy — the engine-level
     /// ground truth for the service front end's occupancy metric.
     batched_ops: AtomicU64,
+    /// Requests routed to this shard since the last [`EngineStats`] snapshot
+    /// (reset by `stats()`): the per-window load signal.
+    routed_since: AtomicU64,
+    /// Requests routed to this shard over the engine's lifetime (monotonic):
+    /// the rebalance monitor diffs this against its own baseline, so its
+    /// windows are independent of how often anyone calls `stats()`.
+    routed_total: AtomicU64,
+    /// Peak OPQ fill (percent of capacity) observed after any write since the
+    /// last [`EngineStats`] snapshot (reset by `stats()`): the queue-pressure
+    /// signal. Behind an `Arc` so batched-write task closures can update it
+    /// from the worker threads.
+    queue_peak_pct: Arc<AtomicU64>,
 }
 
 impl Shard {
-    fn new(lo: Key, hi: Key, tree: PioBTree) -> Self {
+    fn new(tree: PioBTree) -> Self {
         Self {
-            lo,
-            hi,
             tree: Mutex::new(tree),
             batched_calls: AtomicU64::new(0),
             batched_ops: AtomicU64::new(0),
+            routed_since: AtomicU64::new(0),
+            routed_total: AtomicU64::new(0),
+            queue_peak_pct: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -77,7 +87,57 @@ impl Shard {
     fn note_batch(&self, ops: usize) {
         self.batched_calls.fetch_add(1, Ordering::Relaxed);
         self.batched_ops.fetch_add(ops as u64, Ordering::Relaxed);
+        self.note_routed(ops as u64);
     }
+
+    /// Counts `ops` requests routed to this shard (window + lifetime signals).
+    fn note_routed(&self, ops: u64) {
+        self.routed_since.fetch_add(ops, Ordering::Relaxed);
+        self.routed_total.fetch_add(ops, Ordering::Relaxed);
+    }
+}
+
+/// Folds the OPQ fill after a write into the shard's queue-pressure peak.
+fn note_queue_peak(peak: &AtomicU64, tree: &PioBTree) {
+    let pct = (tree.opq_len() * 100 / tree.opq_capacity().max(1)) as u64;
+    peak.fetch_max(pct, Ordering::Relaxed);
+}
+
+/// A boundary migration in flight (installed in [`RoutingState`] for its whole
+/// duration). Until the commit swaps the boundary, the routing table is
+/// unchanged — the source shard stays authoritative for the moving range — and
+/// every write that lands in the captured range is also appended to `dirty` so
+/// the committed state includes writes that raced the region copy.
+pub(crate) struct ActiveMigration {
+    /// The shard losing keys.
+    src: usize,
+    /// The adjacent shard gaining them.
+    dst: usize,
+    /// Captured range (the source shard's full range at install time): writes
+    /// inside it are mirrored into `dirty`.
+    lo: Key,
+    hi: Key,
+    /// Ordered log of writes that hit the captured range after the snapshot.
+    /// Pushed under the owning shard's tree lock, so its order matches the
+    /// order the writes applied in; drained under the routing write lock.
+    dirty: Arc<Mutex<Vec<OpEntry>>>,
+}
+
+/// The live routing table: boundary keys plus the (at most one) migration in
+/// flight. Every request path holds the read half for its whole operation, so
+/// acquiring the write half is a barrier that drains in-flight requests — the
+/// commit's boundary swap can never race a request routed under the old
+/// bounds.
+pub(crate) struct RoutingState {
+    /// Boundary keys; shard `i` owns keys `< bounds[i]` (and `≥ bounds[i-1]`).
+    /// Non-decreasing: two equal adjacent bounds denote an empty (merged-away)
+    /// shard, which `partition_point` routing handles naturally.
+    bounds: Vec<Key>,
+    /// The migration in flight, if any.
+    migration: Option<ActiveMigration>,
+    /// Bumped on every boundary change (diagnostics; lets front ends detect
+    /// topology movement cheaply).
+    version: u64,
 }
 
 /// The engine side of the two-phase flush-epoch protocol (present only when the
@@ -92,8 +152,9 @@ pub(crate) struct EpochCoordinator {
 /// and the background maintenance worker.
 pub(crate) struct EngineInner {
     shards: Vec<Shard>,
-    /// Boundary keys; shard `i` owns keys `< bounds[i]` (and `≥ bounds[i-1]`).
-    bounds: Vec<Key>,
+    /// The live routing table (bounds + in-flight migration); see
+    /// [`RoutingState`] for the locking discipline.
+    routing: RwLock<RoutingState>,
     config: EngineConfig,
     /// The storage topology the shards were provisioned on (manifest persistence
     /// for durable topologies; no-ops for the simulated ones).
@@ -121,6 +182,19 @@ pub(crate) struct EngineInner {
     sched_tx: Mutex<Option<Sender<SchedMsg>>>,
     /// Fan-outs dispatched through the scheduler over the engine's lifetime.
     scheduled_batches: AtomicU64,
+    /// Splits (hot shard cut at a median key) completed over the lifetime.
+    splits: AtomicU64,
+    /// Merges (cold shard emptied into a neighbour) completed over the lifetime.
+    merges: AtomicU64,
+    /// Entries moved between shards by migrations over the lifetime.
+    migrated_keys: AtomicU64,
+    /// Committed migrations whose boundary was re-applied by `recover`.
+    committed_migrations: AtomicU64,
+    /// Uncommitted migrations rolled back by `recover`.
+    rolled_back_migrations: AtomicU64,
+    /// The rebalance monitor's per-shard `routed_total` baseline: the window a
+    /// policy decision sees is the delta since the previous decision.
+    rebalance_baseline: Mutex<Vec<u64>>,
     /// Maintenance passes that flushed at least one shard.
     maintenance_flushes: AtomicU64,
     /// Background maintenance passes that returned an I/O error.
@@ -167,7 +241,7 @@ impl EngineInner {
             shards: self.shards.len(),
             page_size: self.config.base.page_size,
             wal_enabled: self.config.base.wal_enabled,
-            bounds: self.bounds.clone(),
+            bounds: self.routing.read().bounds.clone(),
             shard_meta: self
                 .shards
                 .iter()
@@ -244,7 +318,7 @@ impl std::fmt::Debug for ShardedPioEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedPioEngine")
             .field("shards", &self.inner.shards.len())
-            .field("bounds", &self.inner.bounds)
+            .field("bounds", &self.inner.routing.read().bounds)
             .field("scheduler", &self.scheduler.is_running())
             .field("background_maintenance", &self.worker.is_some())
             .finish()
@@ -330,10 +404,16 @@ impl Drop for MutationGuard<'_> {
 
 /// The key range `[lo, hi)` of shard `i` under `bounds` (`hi == Key::MAX` for
 /// the last shard, which also owns `Key::MAX` itself).
-fn shard_range(bounds: &[Key], i: usize, shards: usize) -> (Key, Key) {
+pub(crate) fn shard_range(bounds: &[Key], i: usize, shards: usize) -> (Key, Key) {
     let lo = if i == 0 { 0 } else { bounds[i - 1] };
     let hi = if i == shards - 1 { Key::MAX } else { bounds[i] };
     (lo, hi)
+}
+
+/// The shard index owning `key` under `bounds`. Free function so request paths
+/// already holding the routing lock never re-enter it.
+fn shard_of(bounds: &[Key], key: Key) -> usize {
+    bounds.partition_point(|&b| b <= key)
 }
 
 /// Builds a fresh cached store over a provisioned backend.
@@ -454,7 +534,7 @@ impl ShardedPioEngine {
         let mut build_makespan_us = 0.0f64;
         let mut rest = entries;
         for i in 0..config.shards {
-            let (lo, hi) = shard_range(&bounds, i, config.shards);
+            let (_, hi) = shard_range(&bounds, i, config.shards);
             let cut = if i == config.shards - 1 {
                 rest.len()
             } else {
@@ -471,7 +551,7 @@ impl ShardedPioEngine {
             // Shard loads run as concurrent streams like every other engine
             // operation, so the schedule is charged the slowest shard's build.
             build_makespan_us = build_makespan_us.max(tree.io_elapsed_us());
-            shards.push(Shard::new(lo, hi, tree));
+            shards.push(Shard::new(tree));
         }
         let epoch = Self::build_epoch_coordinator(&shard_cfg, &mut backends);
         // A freshly built engine is clean: clear any stale marker left in the
@@ -531,14 +611,13 @@ impl ShardedPioEngine {
         let bounds = manifest.bounds.clone();
         let mut shards = Vec::with_capacity(config.shards);
         for (i, meta) in manifest.shard_meta.iter().enumerate() {
-            let (lo, hi) = shard_range(&bounds, i, config.shards);
             let store = build_store(&shard_cfg, Arc::clone(&backends.shard_stores[i]));
             store.ensure_high_water(meta.high_water);
             let mut tree = PioBTree::open(store, shard_cfg.clone(), meta.root, meta.height as usize)?;
             if shard_cfg.wal_enabled {
                 attach_shard_wal(&mut tree, &shard_cfg, Arc::clone(&backends.shard_wals[i]));
             }
-            shards.push(Shard::new(lo, hi, tree));
+            shards.push(Shard::new(tree));
         }
         let epoch = Self::build_epoch_coordinator(&shard_cfg, &mut backends);
         // Keep the durable dirty marker as-is (the WAL replay that follows does
@@ -569,9 +648,14 @@ impl ShardedPioEngine {
         manifest: Option<EngineManifest>,
         dirty: bool,
     ) -> Self {
+        let shard_count = shards.len();
         let inner = Arc::new(EngineInner {
             shards,
-            bounds,
+            routing: RwLock::new(RoutingState {
+                bounds,
+                migration: None,
+                version: 0,
+            }),
             config: config.clone(),
             topology,
             manifest: Mutex::new(manifest),
@@ -586,6 +670,12 @@ impl ShardedPioEngine {
             scheduled_us: Mutex::new(build_makespan_us),
             sched_tx: Mutex::new(None),
             scheduled_batches: AtomicU64::new(0),
+            splits: AtomicU64::new(0),
+            merges: AtomicU64::new(0),
+            migrated_keys: AtomicU64::new(0),
+            committed_migrations: AtomicU64::new(0),
+            rolled_back_migrations: AtomicU64::new(0),
+            rebalance_baseline: Mutex::new(vec![0; shard_count]),
             maintenance_flushes: AtomicU64::new(0),
             maintenance_errors: AtomicU64::new(0),
             last_maintenance_error: Mutex::new(None),
@@ -614,14 +704,31 @@ impl ShardedPioEngine {
         self.inner.shards.len()
     }
 
-    /// The boundary keys separating the shards (length `shards − 1`).
-    pub fn boundaries(&self) -> &[Key] {
-        &self.inner.bounds
+    /// The boundary keys separating the shards (length `shards − 1`), a
+    /// snapshot of the live routing table. Non-decreasing; two equal adjacent
+    /// bounds denote a shard merged away to an empty range.
+    pub fn boundaries(&self) -> Vec<Key> {
+        self.inner.routing.read().bounds.clone()
     }
 
-    /// The shard index that owns `key`.
+    /// Bumped on every boundary change: lets callers detect that a rebalance
+    /// happened between two observations without comparing bound vectors.
+    pub fn routing_version(&self) -> u64 {
+        self.inner.routing.read().version
+    }
+
+    /// The shard index that owns `key` under the current boundaries. Advisory
+    /// for concurrent callers: a rebalance may move the boundary right after
+    /// this returns, so use it for placement hints (e.g. batch binning), not
+    /// correctness — the engine's own entry points re-route internally.
     pub fn shard_for(&self, key: Key) -> usize {
         self.inner.shard_for(key)
+    }
+
+    /// A handle to the engine's shared state, for the sibling `rebalance`
+    /// module's engine-level entry points.
+    pub(crate) fn inner(&self) -> &Arc<EngineInner> {
+        &self.inner
     }
 
     /// Whether a background maintenance worker is running.
@@ -639,19 +746,19 @@ impl ShardedPioEngine {
     /// Insert, routed to the owning shard.
     pub fn insert(&self, key: Key, value: Value) -> IoResult<()> {
         let _mutation = self.inner.begin_mutation()?;
-        self.inner.single(key, |tree| tree.insert(key, value))
+        self.inner.single_write(OpEntry::insert(key, value))
     }
 
     /// Delete, routed to the owning shard.
     pub fn delete(&self, key: Key) -> IoResult<()> {
         let _mutation = self.inner.begin_mutation()?;
-        self.inner.single(key, |tree| tree.delete(key))
+        self.inner.single_write(OpEntry::delete(key))
     }
 
     /// Update, routed to the owning shard.
     pub fn update(&self, key: Key, value: Value) -> IoResult<()> {
         let _mutation = self.inner.begin_mutation()?;
-        self.inner.single(key, |tree| tree.update(key, value))
+        self.inner.single_write(OpEntry::update(key, value))
     }
 
     /// MPSearch across shards: the batch is split by owning shard and every
@@ -736,33 +843,38 @@ impl ShardedPioEngine {
     /// count. Intended for tests.
     pub fn check_invariants(&self) -> IoResult<u64> {
         let mut total = 0;
-        let last_shard = self.inner.shards.len() - 1;
+        let shard_count = self.inner.shards.len();
+        let last_shard = shard_count - 1;
+        // Pin the routing table for the whole sweep (and skip the containment
+        // assertions while a migration is mid-copy — the destination legally
+        // holds out-of-range keys until the commit swaps the boundary).
+        let routing = self.inner.routing.read();
+        let mid_migration = routing.migration.is_some();
         // Conceptually a fan over all shards: charge the schedule the slowest
         // shard's verification I/O, like fan_out does.
         let mut makespan_us = 0.0f64;
         for (i, shard) in self.inner.shards.iter().enumerate() {
+            let (lo, hi) = shard_range(&routing.bounds, i, shard_count);
             let mut tree = shard.tree.lock();
             let before = tree.io_elapsed_us();
             total += tree.check_invariants()?;
-            let in_range = tree.range_search(shard.lo, shard.hi)?.len() as u64;
-            let everywhere = tree.range_search(0, Key::MAX)?.len() as u64;
-            assert_eq!(
-                in_range, everywhere,
-                "shard {i} holds keys outside [{}, {})",
-                shard.lo, shard.hi
-            );
-            // Half-open scans are blind to `Key::MAX`: check the sentinel key's
-            // placement with a point lookup (only the last shard may hold it).
-            if i != last_shard {
-                assert!(
-                    tree.search(Key::MAX)?.is_none(),
-                    "shard {i} holds Key::MAX outside [{}, {})",
-                    shard.lo,
-                    shard.hi
-                );
+            if !mid_migration {
+                let in_range = tree.range_search(lo, hi)?.len() as u64;
+                let everywhere = tree.range_search(0, Key::MAX)?.len() as u64;
+                assert_eq!(in_range, everywhere, "shard {i} holds keys outside [{lo}, {hi})");
+                // Half-open scans are blind to `Key::MAX`: check the sentinel
+                // key's placement with a point lookup (only the last shard may
+                // hold it).
+                if i != last_shard {
+                    assert!(
+                        tree.search(Key::MAX)?.is_none(),
+                        "shard {i} holds Key::MAX outside [{lo}, {hi})"
+                    );
+                }
             }
             makespan_us = makespan_us.max(tree.io_elapsed_us() - before);
         }
+        drop(routing);
         self.inner.charge(makespan_us);
         Ok(total)
     }
@@ -785,13 +897,17 @@ impl ShardedPioEngine {
 
 impl EngineInner {
     pub(crate) fn shard_for(&self, key: Key) -> usize {
-        self.bounds.partition_point(|&b| b <= key)
+        shard_of(&self.routing.read().bounds, key)
     }
 
-    /// Runs `op` on the shard owning `key`, charging its full I/O delta to the
-    /// schedule (a single-shard call has nothing to overlap with).
+    /// Runs a read-only `op` on the shard owning `key`, holding the routing
+    /// read lock for the whole operation (so a migration's boundary swap
+    /// drains it first) and charging its full I/O delta to the schedule (a
+    /// single-shard call has nothing to overlap with).
     fn single<R>(&self, key: Key, op: impl FnOnce(&mut PioBTree) -> IoResult<R>) -> IoResult<R> {
-        let shard = &self.shards[self.shard_for(key)];
+        let routing = self.routing.read();
+        let shard = &self.shards[shard_of(&routing.bounds, key)];
+        shard.note_routed(1);
         let mut tree = shard.tree.lock();
         let before = tree.io_elapsed_us();
         let result = op(&mut tree);
@@ -799,6 +915,43 @@ impl EngineInner {
         // elapsed time and the makespan must stay in lockstep with it.
         let delta = tree.io_elapsed_us() - before;
         drop(tree);
+        drop(routing);
+        self.charge(delta);
+        result
+    }
+
+    /// Applies one write to the shard owning `entry.key`. Holds the routing
+    /// read lock for the whole operation, and — when the key falls in an
+    /// active migration's captured range — mirrors the entry into the
+    /// migration's dirty log *under the tree lock*, so the dirty log's order
+    /// matches the order writes actually applied in.
+    fn single_write(&self, entry: OpEntry) -> IoResult<()> {
+        let routing = self.routing.read();
+        let idx = shard_of(&routing.bounds, entry.key);
+        let shard = &self.shards[idx];
+        shard.note_routed(1);
+        let mirror = routing
+            .migration
+            .as_ref()
+            .filter(|m| idx == m.src && entry.key >= m.lo && entry.key < m.hi)
+            .map(|m| Arc::clone(&m.dirty));
+        let mut tree = shard.tree.lock();
+        if let Some(dirty) = mirror {
+            // Mirrored even if the apply then errors: an errored write is
+            // undecided, and replaying it on the destination errs on the side
+            // of never losing an acked write.
+            dirty.lock().push(entry);
+        }
+        let before = tree.io_elapsed_us();
+        let result = match entry.op {
+            OpKind::Insert => tree.insert(entry.key, entry.value),
+            OpKind::Update => tree.update(entry.key, entry.value),
+            OpKind::Delete => tree.delete(entry.key),
+        };
+        let delta = tree.io_elapsed_us() - before;
+        note_queue_peak(&shard.queue_peak_pct, &tree);
+        drop(tree);
+        drop(routing);
         self.charge(delta);
         result
     }
@@ -833,10 +986,13 @@ impl EngineInner {
         // Positions and keys live in separate vectors so the key sub-batches can be
         // *moved* into the shard tasks while the positions stay behind for
         // scattering.
+        // Pin the routing table across partitioning AND the fan-out: a
+        // migration's boundary swap must not land between the two.
+        let routing = self.routing.read();
         let mut positions: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
         let mut sub_keys: Vec<Vec<Key>> = vec![Vec::new(); self.shards.len()];
         for (pos, &key) in keys.iter().enumerate() {
-            let s = self.shard_for(key);
+            let s = shard_of(&routing.bounds, key);
             positions[s].push(pos);
             sub_keys[s].push(key);
         }
@@ -853,6 +1009,7 @@ impl EngineInner {
             })
             .collect();
         let results = self.fan_out_tasks(work)?;
+        drop(routing);
         let mut out = vec![None; keys.len()];
         for (shard_idx, output) in results {
             let TaskOutput::Values(sub_results) = output else {
@@ -880,9 +1037,13 @@ impl EngineInner {
         if entries.is_empty() {
             return Ok(());
         }
+        // Pin the routing table across partitioning, fan-out AND commit: the
+        // boundary swap of a migration waits for every in-flight batch, so a
+        // batch's sub-batches always land where its binning said they would.
+        let routing = self.routing.read();
         let mut per_shard: Vec<Vec<(Key, Value)>> = vec![Vec::new(); self.shards.len()];
         for &(key, value) in entries {
-            per_shard[self.shard_for(key)].push((key, value));
+            per_shard[shard_of(&routing.bounds, key)].push((key, value));
         }
         let members: Vec<usize> = per_shard
             .iter()
@@ -904,11 +1065,40 @@ impl EngineInner {
             .filter(|(_, batch)| !batch.is_empty())
             .map(|(i, batch)| {
                 self.shards[i].note_batch(batch.len());
+                let peak = Arc::clone(&self.shards[i].queue_peak_pct);
+                // Writes landing in an active migration's captured range are
+                // mirrored into its dirty log from inside the task — under the
+                // tree lock — so the mirror order matches the applied order.
+                let mirror = routing
+                    .migration
+                    .as_ref()
+                    .filter(|m| i == m.src)
+                    .map(|m| {
+                        let subset: Vec<OpEntry> = batch
+                            .iter()
+                            .filter(|&&(k, _)| k >= m.lo && k < m.hi)
+                            .map(|&(k, v)| OpEntry::insert(k, v))
+                            .collect();
+                        (Arc::clone(&m.dirty), subset)
+                    })
+                    .filter(|(_, subset)| !subset.is_empty());
                 let task: ShardTask = match epoch {
                     Some(epoch) => Box::new(move |tree: &mut PioBTree| {
-                        tree.insert_batch_epoch(&batch, epoch).map(TaskOutput::Durable)
+                        if let Some((dirty, subset)) = mirror {
+                            dirty.lock().extend(subset);
+                        }
+                        let out = tree.insert_batch_epoch(&batch, epoch).map(TaskOutput::Durable);
+                        note_queue_peak(&peak, tree);
+                        out
                     }),
-                    None => Box::new(move |tree: &mut PioBTree| tree.insert_batch(&batch).map(|()| TaskOutput::Unit)),
+                    None => Box::new(move |tree: &mut PioBTree| {
+                        if let Some((dirty, subset)) = mirror {
+                            dirty.lock().extend(subset);
+                        }
+                        let out = tree.insert_batch(&batch).map(|()| TaskOutput::Unit);
+                        note_queue_peak(&peak, tree);
+                        out
+                    }),
                 };
                 (i, task)
             })
@@ -935,23 +1125,26 @@ impl EngineInner {
         if lo >= hi {
             return Ok(Vec::new());
         }
-        let work: Vec<(usize, ShardTask)> = self
-            .shards
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.lo < hi && lo < s.hi)
-            .map(|(i, s)| {
-                let (sub_lo, sub_hi) = (lo.max(s.lo), hi.min(s.hi));
-                (
-                    i,
-                    Box::new(move |tree: &mut PioBTree| tree.range_search(sub_lo, sub_hi).map(TaskOutput::Entries))
-                        as ShardTask,
-                )
+        // Pin the routing table across the fan-out (see `multi_search`).
+        let routing = self.routing.read();
+        let shard_count = self.shards.len();
+        let work: Vec<(usize, ShardTask)> = (0..shard_count)
+            .filter_map(|i| {
+                let (s_lo, s_hi) = shard_range(&routing.bounds, i, shard_count);
+                (s_lo < hi && lo < s_hi).then(|| {
+                    let (sub_lo, sub_hi) = (lo.max(s_lo), hi.min(s_hi));
+                    (
+                        i,
+                        Box::new(move |tree: &mut PioBTree| tree.range_search(sub_lo, sub_hi).map(TaskOutput::Entries))
+                            as ShardTask,
+                    )
+                })
             })
             .collect();
         // Scheduler results arrive sorted by shard index, and shard order is key
         // order: concatenation keeps the result sorted.
         let results = self.fan_out_tasks(work)?;
+        drop(routing);
         let mut out = Vec::new();
         for (_, output) in results {
             let TaskOutput::Entries(mut part) = output else {
@@ -988,10 +1181,26 @@ impl EngineInner {
     fn recover(&self) -> IoResult<EngineRecoveryReport> {
         let mut report = EngineRecoveryReport::default();
         let mut discard: HashSet<u64> = HashSet::new();
+        let mut boundary_replay: Vec<MigrationSpec> = Vec::new();
         if let Some(coord) = &self.epoch {
             let analysis = coord.log.analyze()?;
             for state in &analysis.epochs {
-                if state.committed {
+                if let Some(migration) = state.migration {
+                    if state.committed {
+                        // The boundary swap is durable: the copies and retires
+                        // replay through normal per-shard recovery, and the
+                        // boundary itself is re-applied (in log order) below.
+                        report.committed_migrations += 1;
+                        boundary_replay.push(migration);
+                    } else {
+                        // NEVER re-driven, even when fully acked: the swap did
+                        // not happen, so the copies belong to a boundary that
+                        // never existed. Roll the epoch back on both shards and
+                        // keep the old boundary.
+                        discard.insert(state.epoch);
+                        report.rolled_back_migrations += 1;
+                    }
+                } else if state.committed {
                     report.committed_epochs += 1;
                 } else if state.fully_acked() {
                     // The crash hit between the ack force and the commit force:
@@ -1007,6 +1216,24 @@ impl EngineInner {
             // Epoch ids must stay unique across restarts: later batches must
             // never collide with epochs already judged in the log.
             coord.next_epoch.store(analysis.max_epoch + 1, Ordering::Relaxed);
+        }
+        // Re-apply committed boundary swaps in log order (absolute sets, so the
+        // replay is idempotent whether the manifest had caught up or not), and
+        // drop any in-memory migration state a pre-crash attempt left behind.
+        {
+            let mut routing = self.routing.write();
+            routing.migration = None;
+            for migration in &boundary_replay {
+                let idx = (migration.src.min(migration.dst)) as usize;
+                routing.bounds[idx] = if migration.dst > migration.src {
+                    migration.lo
+                } else {
+                    migration.hi
+                };
+            }
+            if !boundary_replay.is_empty() {
+                routing.version += 1;
+            }
         }
         let work: Vec<(usize, ShardTask)> = (0..self.shards.len())
             .map(|i| {
@@ -1032,6 +1259,10 @@ impl EngineInner {
             .fetch_add(report.recovered_epochs, Ordering::Relaxed);
         self.discarded_epochs
             .fetch_add(report.discarded_epochs, Ordering::Relaxed);
+        self.committed_migrations
+            .fetch_add(report.committed_migrations, Ordering::Relaxed);
+        self.rolled_back_migrations
+            .fetch_add(report.rolled_back_migrations, Ordering::Relaxed);
         // A re-driven epoch is now committed in the log, so the lifetime
         // committed counter includes it (as its documentation promises).
         self.committed_epochs
@@ -1101,6 +1332,274 @@ impl EngineInner {
         Ok(flushed)
     }
 
+    // ----------------------------------------------------------------- rebalance --
+
+    /// The engine configuration (for the sibling `rebalance` module).
+    pub(crate) fn engine_config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// A snapshot of the current boundary keys.
+    pub(crate) fn bounds_snapshot(&self) -> Vec<Key> {
+        self.routing.read().bounds.clone()
+    }
+
+    /// Current per-shard OPQ peak-fill percentages (read without resetting —
+    /// the `stats()` snapshot owns the reset; the balancer only needs an
+    /// advisory pressure signal).
+    pub(crate) fn queue_peaks(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.queue_peak_pct.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Per-shard routed-op counts since the previous call — the rebalance
+    /// monitor's load window, independent of anyone calling `stats()`.
+    pub(crate) fn rebalance_window(&self) -> Vec<u64> {
+        let mut baseline = self.rebalance_baseline.lock();
+        self.shards
+            .iter()
+            .zip(baseline.iter_mut())
+            .map(|(s, base)| {
+                let total = s.routed_total.load(Ordering::Relaxed);
+                let delta = total - *base;
+                *base = total;
+                delta
+            })
+            .collect()
+    }
+
+    /// Moves a key range from shard `src` to the adjacent shard `dst` as one
+    /// crash-recoverable, epoch-logged migration, serving reads and writes
+    /// throughout. Returns `Ok(None)` when the move is vacuous (splitting a
+    /// shard with fewer than two entries, merging an already-empty range).
+    ///
+    /// The sequence (see the `rebalance` module docs for the lifecycle
+    /// diagram): install the migration marker under a brief routing write lock
+    /// (draining in-flight requests, so later writers see it); snapshot the
+    /// moving region from `src`; force `MigrateBegin`; copy the region into
+    /// `dst` under the migration epoch *without* holding the routing lock (the
+    /// expensive half — traffic flows meanwhile, `src` stays authoritative,
+    /// and writes to the range are mirrored into the migration's dirty log);
+    /// then, under the routing write lock, replay the dirty tail onto `dst`,
+    /// retire the moved keys from `src`, force `Ack`+`MigrateCommit`, and swap
+    /// the boundary. A crash anywhere before the commit rolls the whole
+    /// migration back at [`ShardedPioEngine::recover`]; a crash after it
+    /// re-applies the boundary. An *error* return leaves the engine like a
+    /// failed `insert_batch`: consistent for reads (the boundary is
+    /// unchanged), but carrying an undecided epoch that the next
+    /// crash-recovery cycle rolls back.
+    pub(crate) fn migrate(
+        &self,
+        src: usize,
+        dst: usize,
+        kind: crate::rebalance::MoveKind,
+    ) -> IoResult<Option<crate::rebalance::RebalanceOutcome>> {
+        use crate::rebalance::MoveKind;
+        let n = self.shards.len();
+        let adjacency_ok = match kind {
+            MoveKind::SplitUpper => dst == src + 1 && dst < n,
+            MoveKind::SplitLower => src >= 1 && dst == src - 1,
+            // A merge may empty any shard except the last (the `Key::MAX`
+            // sentinel can never leave it): to fold the last shard's range
+            // away, merge its *left neighbour into it* instead.
+            MoveKind::MergeAll => (dst == src + 1 && dst < n) || (src >= 1 && dst == src - 1 && src != n - 1),
+        };
+        if !adjacency_ok || src >= n {
+            return Err(pio::IoError::InvalidConfig(format!(
+                "invalid migration {src} -> {dst} ({kind:?}) over {n} shards"
+            )));
+        }
+        let _mutation = self.begin_mutation()?;
+        // Install the migration marker. The write acquisition drains every
+        // in-flight request; once it is released, new writes in the captured
+        // range mirror themselves into the dirty log.
+        {
+            let mut routing = self.routing.write();
+            if routing.migration.is_some() {
+                return Err(pio::IoError::InvalidConfig(
+                    "a shard migration is already in flight".into(),
+                ));
+            }
+            let (lo, hi) = shard_range(&routing.bounds, src, n);
+            routing.migration = Some(ActiveMigration {
+                src,
+                dst,
+                lo,
+                hi,
+                dirty: Arc::new(Mutex::new(Vec::new())),
+            });
+        }
+        let result = self.migrate_run(src, dst, kind);
+        if !matches!(result, Ok(Some(_))) {
+            // Vacuous or failed: withdraw the marker (the success path consumed
+            // it inside the commit's critical section).
+            self.routing.write().migration = None;
+        }
+        result
+    }
+
+    /// The body of [`EngineInner::migrate`], running with the migration marker
+    /// installed. Any `Err` is cleaned up by the caller.
+    fn migrate_run(
+        &self,
+        src: usize,
+        dst: usize,
+        kind: crate::rebalance::MoveKind,
+    ) -> IoResult<Option<crate::rebalance::RebalanceOutcome>> {
+        use crate::rebalance::{MoveKind, RebalanceOutcome};
+        let (cap_lo, cap_hi) = {
+            let routing = self.routing.read();
+            let m = routing.migration.as_ref().expect("installed by migrate");
+            debug_assert_eq!((m.src, m.dst), (src, dst));
+            (m.lo, m.hi)
+        };
+        // Snapshot the source range (a pipelined prange scan + OPQ overlay).
+        let snapshot = {
+            let mut tree = self.shards[src].tree.lock();
+            let before = tree.io_elapsed_us();
+            let out = tree.export_region(cap_lo, cap_hi);
+            let delta = tree.io_elapsed_us() - before;
+            drop(tree);
+            self.charge(delta);
+            out?
+        };
+        // Choose the final moving range. Split cuts at the median key, so both
+        // halves inherit half the (observed) population.
+        let (lo, hi, moving): (Key, Key, Vec<(Key, Value)>) = match kind {
+            MoveKind::SplitUpper => {
+                if snapshot.len() < 2 {
+                    return Ok(None);
+                }
+                let cut = snapshot[snapshot.len() / 2].0;
+                (cut, cap_hi, snapshot[snapshot.len() / 2..].to_vec())
+            }
+            MoveKind::SplitLower => {
+                if snapshot.len() < 2 {
+                    return Ok(None);
+                }
+                let cut = snapshot[snapshot.len() / 2].0;
+                (cap_lo, cut, snapshot[..snapshot.len() / 2].to_vec())
+            }
+            MoveKind::MergeAll => {
+                if cap_lo == cap_hi {
+                    return Ok(None);
+                }
+                (cap_lo, cap_hi, snapshot)
+            }
+        };
+        // Journal the migration before any entry crosses shards.
+        let epoch = match &self.epoch {
+            Some(coord) => {
+                let ep = coord.next_epoch.fetch_add(1, Ordering::Relaxed);
+                coord.log.migrate_begin(
+                    ep,
+                    MigrationSpec {
+                        src: src as u32,
+                        dst: dst as u32,
+                        lo,
+                        hi,
+                    },
+                )?;
+                Some(ep)
+            }
+            None => None,
+        };
+        // Phase 1 — the expensive copy, off the routing lock: traffic keeps
+        // flowing, `src` stays authoritative, writes to the range are mirrored.
+        {
+            let mut tree = self.shards[dst].tree.lock();
+            let before = tree.io_elapsed_us();
+            let out = match epoch {
+                Some(ep) => tree.import_region(&moving, ep).map(|_| ()),
+                None => tree.insert_batch(&moving),
+            };
+            let delta = tree.io_elapsed_us() - before;
+            drop(tree);
+            self.charge(delta);
+            out?;
+        }
+        // Phase 2 — the critical section: acquiring the routing write lock
+        // waits out every in-flight request, so the dirty log is complete and
+        // no new write can land on `src` until the boundary has swapped.
+        let mut routing = self.routing.write();
+        let migration = routing.migration.take().expect("installed by migrate");
+        let dirty = std::mem::take(&mut *migration.dirty.lock());
+        let tail: Vec<OpEntry> = dirty.into_iter().filter(|e| e.key >= lo && e.key < hi).collect();
+        let dst_lsn = {
+            let mut tree = self.shards[dst].tree.lock();
+            let before = tree.io_elapsed_us();
+            let out = match epoch {
+                Some(ep) => tree.apply_batch_epoch(&tail, ep),
+                None => {
+                    for e in &tail {
+                        match e.op {
+                            OpKind::Insert => tree.insert(e.key, e.value)?,
+                            OpKind::Update => tree.update(e.key, e.value)?,
+                            OpKind::Delete => tree.delete(e.key)?,
+                        }
+                    }
+                    Ok(0)
+                }
+            };
+            let delta = tree.io_elapsed_us() - before;
+            drop(tree);
+            self.charge(delta);
+            out?
+        };
+        // Retire everything that may live in the moved range on `src`: the
+        // snapshot keys plus every mirrored key (a delete of an absent key is
+        // a harmless tombstone).
+        let mut retire: Vec<Key> = moving.iter().map(|&(k, _)| k).collect();
+        retire.extend(tail.iter().map(|e| e.key));
+        retire.sort_unstable();
+        retire.dedup();
+        let src_lsn = {
+            let mut tree = self.shards[src].tree.lock();
+            let before = tree.io_elapsed_us();
+            let out = match epoch {
+                Some(ep) => tree.retire_region(&retire, ep),
+                None => {
+                    for &k in &retire {
+                        tree.delete(k)?;
+                    }
+                    Ok(0)
+                }
+            };
+            let delta = tree.io_elapsed_us() - before;
+            drop(tree);
+            self.charge(delta);
+            out?
+        };
+        if let (Some(ep), Some(coord)) = (epoch, &self.epoch) {
+            coord.log.ack_all(ep, &[(src, src_lsn), (dst, dst_lsn)])?;
+            // The durable boundary swap: before this force the migration rolls
+            // back on recovery, after it the new boundary is re-applied.
+            coord.log.migrate_commit(ep)?;
+        }
+        let idx = src.min(dst);
+        routing.bounds[idx] = if dst > src { lo } else { hi };
+        routing.version += 1;
+        drop(routing);
+        let moved_keys = retire.len() as u64;
+        self.migrated_keys.fetch_add(moved_keys, Ordering::Relaxed);
+        match kind {
+            MoveKind::MergeAll => self.merges.fetch_add(1, Ordering::Relaxed),
+            _ => self.splits.fetch_add(1, Ordering::Relaxed),
+        };
+        self.sync_manifest()?;
+        Ok(Some(RebalanceOutcome {
+            kind,
+            src,
+            dst,
+            lo,
+            hi,
+            moved_keys,
+            epoch,
+        }))
+    }
+
     fn stats(&self) -> EngineStats {
         // Snapshot the makespan BEFORE sweeping the shards: work is charged only
         // after its device time has accrued in a shard's counters, so everything in
@@ -1108,6 +1607,13 @@ impl EngineInner {
         // snapshot preserves `scheduled_io_us <= total_io_us` even while the
         // background worker (or other clients) keep operating mid-sweep.
         let scheduled_io_us = *self.scheduled_us.lock();
+        // A brief routing read: bounds for the per-shard key ranges, plus the
+        // migration flag. Dropped before the shard sweep so stats never holds
+        // routing across tree locks longer than needed.
+        let (bounds, active_migration, routing_version) = {
+            let routing = self.routing.read();
+            (routing.bounds.clone(), routing.migration.is_some(), routing.version)
+        };
         let mut shards = Vec::with_capacity(self.shards.len());
         let mut rollup = PioStats::default();
         let mut total_io = 0.0;
@@ -1118,10 +1624,15 @@ impl EngineInner {
         let mut batched_calls = 0u64;
         let mut batched_ops = 0u64;
         for (i, shard) in self.shards.iter().enumerate() {
+            let (key_lo, key_hi) = shard_range(&bounds, i, self.shards.len());
             let shard_batched_calls = shard.batched_calls.load(Ordering::Relaxed);
             let shard_batched_ops = shard.batched_ops.load(Ordering::Relaxed);
             batched_calls += shard_batched_calls;
             batched_ops += shard_batched_ops;
+            // Window counters: reset on read, so each snapshot reports the
+            // activity since the previous one.
+            let routed_ops = shard.routed_since.swap(0, Ordering::Relaxed);
+            let queue_peak_pct = shard.queue_peak_pct.swap(0, Ordering::Relaxed);
             let tree = shard.tree.lock();
             let pio = tree.stats();
             let pool = tree.store().pool_stats();
@@ -1135,14 +1646,16 @@ impl EngineInner {
             pipeline_depth = pipeline_depth.max(tree.pipeline_depth());
             shards.push(ShardSnapshot {
                 shard: i,
-                key_lo: shard.lo,
-                key_hi: shard.hi,
+                key_lo,
+                key_hi,
                 height: tree.height(),
                 pipeline_depth: tree.pipeline_depth(),
                 opq_len: tree.opq_len(),
                 opq_capacity: tree.opq_capacity(),
                 batched_calls: shard_batched_calls,
                 batched_ops: shard_batched_ops,
+                routed_ops,
+                queue_peak_pct,
                 pio,
                 pool,
                 store,
@@ -1168,6 +1681,13 @@ impl EngineInner {
             committed_epochs: self.committed_epochs.load(Ordering::Relaxed),
             recovered_epochs: self.recovered_epochs.load(Ordering::Relaxed),
             discarded_epochs: self.discarded_epochs.load(Ordering::Relaxed),
+            splits: self.splits.load(Ordering::Relaxed),
+            merges: self.merges.load(Ordering::Relaxed),
+            migrated_keys: self.migrated_keys.load(Ordering::Relaxed),
+            committed_migrations: self.committed_migrations.load(Ordering::Relaxed),
+            rolled_back_migrations: self.rolled_back_migrations.load(Ordering::Relaxed),
+            active_migration,
+            routing_version,
             maintenance_flushes: self.maintenance_flushes.load(Ordering::Relaxed),
             maintenance_errors: self.maintenance_errors.load(Ordering::Relaxed),
             last_maintenance_error: self.last_maintenance_error.lock().clone(),

@@ -30,6 +30,14 @@ pub struct ShardSnapshot {
     /// Point requests those sub-batches carried in total;
     /// `batched_ops / batched_calls` is the shard's average batch occupancy.
     pub batched_ops: u64,
+    /// Requests routed to this shard (reads and writes alike, batched or not)
+    /// since the previous [`crate::ShardedPioEngine::stats`] snapshot — the
+    /// load half of the rebalancer's per-shard signal. Reset on read.
+    pub routed_ops: u64,
+    /// Peak OPQ fill observed after any write since the previous snapshot, as
+    /// a percentage of capacity — the queue-pressure half of the rebalancer's
+    /// signal. Reset on read.
+    pub queue_peak_pct: u64,
     /// The shard tree's operation counters.
     pub pio: PioStats,
     /// Buffer-pool counters of the shard's cached store.
@@ -85,6 +93,26 @@ pub struct EngineStats {
     pub recovered_epochs: u64,
     /// Uncommitted epochs that recovery discarded on every member shard.
     pub discarded_epochs: u64,
+    /// Hot shards split at a median key since the engine was built (see the
+    /// `rebalance` module).
+    pub splits: u64,
+    /// Cold shard ranges merged into a neighbour since the engine was built.
+    pub merges: u64,
+    /// Keys moved between shards by migrations in total.
+    pub migrated_keys: u64,
+    /// Migrations whose `MigrateCommit` recovery found durable and whose
+    /// boundary swap it re-applied.
+    pub committed_migrations: u64,
+    /// Uncommitted migrations recovery rolled back (discarded on both shards;
+    /// a migration epoch is never re-driven).
+    pub rolled_back_migrations: u64,
+    /// Whether a shard migration was in flight when this snapshot was taken
+    /// (shard key ranges then overlap transiently; the old shard stays
+    /// authoritative until commit).
+    pub active_migration: bool,
+    /// Bumped on every boundary change; front ends compare it across
+    /// snapshots to notice a rebalance without diffing bound vectors.
+    pub routing_version: u64,
     /// Maintenance passes that flushed at least one shard.
     pub maintenance_flushes: u64,
     /// Background maintenance passes that failed with an I/O error. A non-zero

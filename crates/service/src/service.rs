@@ -31,6 +31,20 @@
 //!
 //! Locking order is `admission → job queue`; no path takes them in the other
 //! order.
+//!
+//! ## Live shard boundaries
+//!
+//! The builders bin requests by [`ShardedPioEngine::shard_for`], which is
+//! **advisory**: an elastic rebalance (the engine's `rebalance` module) may
+//! move a boundary between binning and execution. That is safe by
+//! construction — the engine re-partitions every batch internally under its
+//! own routing lock, so a "mis-binned" batch is simply split across the right
+//! shards when it executes; no request errors, none is stalled beyond its
+//! batch budget, and the batch's group-commit epoch still covers all of it.
+//! The binning merely decides *which builder coalesces with which*, so at
+//! most one batch per shard rides with stale affinity; from the next flush
+//! epoch on, the builders bin against the committed boundaries
+//! (`routing_version` in [`engine::EngineStats`] tracks the change-over).
 
 use crate::histogram::{HistogramSnapshot, LatencyHistogram};
 use crate::protocol::{Request, RequestTiming, Response, ResponseBody, ServiceError};

@@ -80,8 +80,10 @@ impl SsdConfig {
     /// package count already saturates the gangs, so extra shards then only add
     /// host-side stream parallelism; conversely a small `PioMax` needs
     /// `⌈packages / PioMax⌉` independent psync streams to keep every package
-    /// busy. This is the first slice of workload-aware shard-count tuning: it
-    /// considers only device geometry, not the workload mix.
+    /// busy. This is the *geometric* half of shard-count tuning — it considers
+    /// only the device, not the workload; feed the result into the cost
+    /// model's `recommended_shards` (the `pio-btree` crate) as the stream
+    /// capacity to get the workload-aware recommendation on top.
     pub fn recommended_shard_count(&self, pio_max: usize) -> usize {
         self.total_packages().div_ceil(pio_max.max(1)).max(1)
     }

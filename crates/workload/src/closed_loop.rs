@@ -171,16 +171,21 @@ fn client_loop<T: ServiceTarget>(
     let put_cut = spec.mix.put.max(0.0);
     let scan_cut = put_cut + spec.mix.scan.max(0.0);
     for seq in 0..spec.ops_per_client {
-        let key = keys.next_key();
         let dice: f64 = rng.gen();
+        // Writes and reads draw through different generator entry points so
+        // `Latest` can append on puts while skewing gets/scans to recent keys
+        // (for every other distribution the two are the same stream).
         if dice < put_cut {
+            let key = keys.next_insert_key();
             target.put(key, ((client as u64) << 32) | seq as u64)?;
             report.puts += 1;
         } else if dice < scan_cut {
+            let key = keys.next_key();
             let hi = key.saturating_add(spec.mix.scan_span.max(1));
             report.scanned_entries += target.scan(key, hi)? as u64;
             report.scans += 1;
         } else {
+            let key = keys.next_key();
             if target.get(key)?.is_some() {
                 report.get_hits += 1;
             }

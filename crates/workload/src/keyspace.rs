@@ -27,6 +27,17 @@ pub enum KeyDistribution {
         /// skew). Values outside `(0, 1)` are clamped at construction.
         theta: f64,
     },
+    /// YCSB's "latest" pattern — the append/recency torture workload for a
+    /// range-partitioned engine: *inserts* ([`KeyGenerator::next_insert_key`])
+    /// take monotonically increasing keys from an append head, while *reads*
+    /// ([`KeyGenerator::next_key`]) draw a Zipfian recency rank `r` and access
+    /// `head - 1 - r` — the most recently written keys are the hottest. Both
+    /// the appends and the read mass chase the same tail of the key space, so
+    /// static shard boundaries pile the whole workload onto the last shard.
+    Latest {
+        /// Recency-skew exponent in `(0, 1)`, as in [`KeyDistribution::Zipfian`].
+        theta: f64,
+    },
 }
 
 /// Precomputed state of the Zipfian sampler (Gray et al.'s "quickly generating
@@ -101,7 +112,9 @@ impl KeyGenerator {
     pub fn new(seed: u64, key_space: u64, distribution: KeyDistribution) -> Self {
         assert!(key_space > 0);
         let zipf = match distribution {
-            KeyDistribution::Zipfian { theta } => Some(ZipfianState::new(key_space, theta)),
+            KeyDistribution::Zipfian { theta } | KeyDistribution::Latest { theta } => {
+                Some(ZipfianState::new(key_space, theta))
+            }
             _ => None,
         };
         Self {
@@ -118,6 +131,21 @@ impl KeyGenerator {
         self.key_space
     }
 
+    /// Draws the next key for an *insert*. Identical to [`Self::next_key`]
+    /// except under [`KeyDistribution::Latest`], where inserts take the next
+    /// key off the monotonic append head (wrapping at the key space) while
+    /// reads skew towards the recently appended keys.
+    pub fn next_insert_key(&mut self) -> u64 {
+        match self.distribution {
+            KeyDistribution::Latest { .. } => {
+                let k = self.next_sequential;
+                self.next_sequential = (self.next_sequential + 1) % self.key_space;
+                k
+            }
+            _ => self.next_key(),
+        }
+    }
+
     /// Draws the next key.
     pub fn next_key(&mut self) -> u64 {
         match self.distribution {
@@ -126,6 +154,18 @@ impl KeyGenerator {
                 let k = self.next_sequential;
                 self.next_sequential = (self.next_sequential + 1) % self.key_space;
                 k
+            }
+            KeyDistribution::Latest { .. } => {
+                // Recency rank 0 = the most recently appended key. Before the
+                // first append there is no "latest" yet, so reads cluster at
+                // the bottom of the key space (rank straight through), which
+                // is where the head is about to write anyway.
+                let state = self.zipf.as_ref().expect("zipf state built at construction");
+                let rank = state.next_rank(&mut self.rng, self.key_space);
+                match self.next_sequential {
+                    0 => rank,
+                    head => (head - 1).saturating_sub(rank),
+                }
             }
             KeyDistribution::Zipfian { .. } => {
                 let state = self.zipf.as_ref().expect("zipf state built at construction");
@@ -222,6 +262,53 @@ mod tests {
             let hi = (q + 1) * space / 4;
             let share = a.iter().filter(|&&k| k >= lo && k < hi).count();
             assert!(share > 500, "quartile {q} got only {share} of 20k accesses");
+        }
+    }
+
+    #[test]
+    fn latest_inserts_append_and_reads_chase_the_head() {
+        let space = 1_000_000u64;
+        let mut g = KeyGenerator::new(42, space, KeyDistribution::Latest { theta: 0.99 });
+        // Inserts are a pure monotonic append.
+        let inserts: Vec<u64> = (0..10_000).map(|_| g.next_insert_key()).collect();
+        assert!(inserts.windows(2).all(|w| w[1] == w[0] + 1), "monotonic");
+        assert_eq!(*inserts.last().unwrap(), 9_999);
+        // Reads skew towards the most recently appended keys: the vast
+        // majority land within the last 1% of what has been written.
+        let head = 10_000u64;
+        let reads: Vec<u64> = (0..10_000).map(|_| g.next_key()).collect();
+        assert!(reads.iter().all(|&k| k < head), "never beyond the head");
+        // Uniform reads would put ~1% here; the recency skew concentrates
+        // over a third of all accesses on the newest percent of the data.
+        let recent = reads.iter().filter(|&&k| k >= head - head / 100).count();
+        assert!(
+            recent > 2_500,
+            "expected recency skew, got {recent}/10000 in the last 1%"
+        );
+        // Determinism: same seed, same interleaved stream.
+        let mut a = KeyGenerator::new(9, space, KeyDistribution::Latest { theta: 0.9 });
+        let mut b = KeyGenerator::new(9, space, KeyDistribution::Latest { theta: 0.9 });
+        for i in 0..1_000 {
+            if i % 3 == 0 {
+                assert_eq!(a.next_insert_key(), b.next_insert_key());
+            } else {
+                assert_eq!(a.next_key(), b.next_key());
+            }
+        }
+    }
+
+    #[test]
+    fn next_insert_key_is_next_key_for_non_latest_distributions() {
+        for dist in [
+            KeyDistribution::Uniform,
+            KeyDistribution::Sequential,
+            KeyDistribution::Zipfian { theta: 0.99 },
+        ] {
+            let mut a = KeyGenerator::new(5, 10_000, dist);
+            let mut b = KeyGenerator::new(5, 10_000, dist);
+            for _ in 0..200 {
+                assert_eq!(a.next_insert_key(), b.next_key(), "{dist:?}");
+            }
         }
     }
 

@@ -122,13 +122,16 @@ impl OperationGenerator {
     /// Generates the next operation.
     pub fn next_op(&mut self) -> Operation {
         let roll: f64 = self.rng.gen();
-        let key = self.keys.next_key();
         let mut acc = self.mix.insert;
         if roll < acc {
+            // Inserts draw through the write entry point so `Latest` appends
+            // monotonically; for every other distribution it is `next_key`.
+            let key = self.keys.next_insert_key();
             let value = self.next_value;
             self.next_value += 1;
             return Operation::Insert { key, value };
         }
+        let key = self.keys.next_key();
         acc += self.mix.delete;
         if roll < acc {
             return Operation::Delete { key };

@@ -117,4 +117,20 @@ fn main() {
         engine_stats.overlap_factor(),
         engine_stats.pool_hit_ratio * 100.0
     );
+
+    // The rebalancer's input, visible per shard: how the Zipfian mass actually
+    // landed (routed ops since the last snapshot) and how hard each OPQ was
+    // pushed (peak fill). A skew-shifted run would show one shard dominating —
+    // the signal `rebalance_once` acts on.
+    println!("\n--- per-shard load (routed ops / OPQ peak since last snapshot) ---");
+    for shard in &engine_stats.shards {
+        println!(
+            "shard {} [{:>12}, {:>20}): {:>6} routed, OPQ peak {:>3}%",
+            shard.shard, shard.key_lo, shard.key_hi, shard.routed_ops, shard.queue_peak_pct
+        );
+    }
+    println!(
+        "routing version {} ({} splits, {} merges, {} keys migrated)",
+        engine_stats.routing_version, engine_stats.splits, engine_stats.merges, engine_stats.migrated_keys
+    );
 }

@@ -7,9 +7,9 @@
 //!
 //! Run with: `cargo run --example tuning_advisor`
 
-use pio_btree::cost::{auto_tune, optimal_btree_node_size, WorkloadMix};
+use pio_btree::cost::{auto_tune, optimal_btree_node_size, recommended_shards, CostModel, WorkloadMix};
 use pio_btree::PioConfig;
-use ssd_sim::bench::characterise;
+use ssd_sim::bench::{characterise, leaf_read_latency};
 use ssd_sim::{DeviceProfile, SsdDevice};
 
 fn main() {
@@ -76,12 +76,41 @@ fn main() {
                 64,
                 42,
             );
+            // The workload-aware half of the shard recommendation: evaluate
+            // eq. (9) per shard of an s-way engine (entries and pool split,
+            // OPQ multiplied) against the geometric stream capacity above.
+            let leaf_read_us = leaf_read_latency(
+                &mut device,
+                page_size as u64,
+                tuning.leaf_pages as u64,
+                42 ^ tuning.leaf_pages as u64,
+            );
+            let model = CostModel {
+                entries: entries as f64,
+                fanout: ((page_size / 16) as f64 * 0.7).max(2.0),
+                page_read_us: chars.page_read_us,
+                page_write_us: chars.page_write_us,
+                psync_read_us: chars.psync_read_us,
+                psync_write_us: chars.psync_write_us,
+                leaf_read_us,
+                leaf_pages: tuning.leaf_pages as f64,
+                pool_pages: memory_budget_pages as f64,
+                opq_pages: tuning.opq_pages as f64,
+                opq_entries_per_page: (page_size / pio_btree::entry::ENTRY_BYTES) as f64,
+                bcnt: 5000.0,
+            };
+            let streams = config.recommended_shard_count(64);
+            let shard_tuning = recommended_shards(&model, mix, streams, 16);
             println!(
-                "  {label}: leaf = {} pages ({} KiB), OPQ = {} pages, predicted {:.0} us/op",
+                "  {label}: leaf = {} pages ({} KiB), OPQ = {} pages, predicted {:.0} us/op; \
+                 workload-aware shards = {} ({:.0} us effective/op at {} device stream(s))",
                 tuning.leaf_pages,
                 tuning.leaf_pages * page_size / 1024,
                 tuning.opq_pages,
-                tuning.predicted_cost_us
+                tuning.predicted_cost_us,
+                shard_tuning.shards,
+                shard_tuning.predicted_cost_us,
+                streams,
             );
         }
     }
