@@ -119,8 +119,9 @@ impl ConcurrentPioBTree {
         self.inner.write().range_search(lo, hi)
     }
 
-    /// Flushes the whole OPQ (checkpoint) under the exclusive lock.
-    pub fn checkpoint(&self) -> IoResult<()> {
+    /// Flushes the whole OPQ (checkpoint) under the exclusive lock. Returns
+    /// the checkpoint record's LSN (0 without a WAL).
+    pub fn checkpoint(&self) -> IoResult<storage::Lsn> {
         self.inner.write().checkpoint()
     }
 }

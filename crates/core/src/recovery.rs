@@ -262,9 +262,93 @@ impl LogRecord {
     }
 }
 
+/// One completed, non-aborted flush as the attribution pass sees it: the key
+/// range its `FlushStart` record declared, plus the caller's tag for it.
+#[derive(Debug, Clone, Copy)]
+pub struct FlushSpan {
+    /// Opaque caller identifier, handed back in the attribution result (the
+    /// tree passes its index into its flush table).
+    pub tag: usize,
+    /// LSN of the flush's `FlushStart` record: only records logged strictly
+    /// before it can have been in the OPQ batch the flush took.
+    pub start_lsn: u64,
+    /// Smallest key in the flushed batch.
+    pub key_lo: Key,
+    /// Largest key in the flushed batch (inclusive).
+    pub key_hi: Key,
+    /// How many of the oldest still-queued ties at `key_hi` the batch held
+    /// (see [`LogRecord::FlushStart`]).
+    pub hi_ties: u32,
+}
+
+/// Attributes every logical record to the completed flush that certainly
+/// applied it, if any — the indexed core of recovery's attribution pass.
+///
+/// `logical` is `(lsn, key)` per logical record in log order; `flushes` must be
+/// sorted by `start_lsn` ascending (the order the flushes drained the OPQ).
+/// Returns, per record, `Some(tag)` of the consuming flush.
+///
+/// This simulates the OPQ the way `take_batch` drained it, in one merged walk:
+/// records enter a pending index (ordered by key, then LSN) as the walk passes
+/// their LSN, and each flush *removes* the pending records inside its key range
+/// — strictly-inside keys wholesale, ties at `key_hi` oldest-first up to
+/// `hi_ties`. Every record is inserted once and removed at most once, so the
+/// pass visits each record O(1) times regardless of how many flushes the log
+/// holds (`visits` counts those touches; a test pins the bound). The naive
+/// per-flush rescan this replaces was O(flushes × records), which stopped
+/// mattering only while logs were never truncated — with checkpoint-anchored
+/// truncation the log is short, but recovery cost must stay proportional to it.
+pub fn attribute_flushed_records(
+    logical: &[(u64, Key)],
+    flushes: &[FlushSpan],
+    visits: &mut usize,
+) -> Vec<Option<usize>> {
+    debug_assert!(
+        flushes.windows(2).all(|w| w[0].start_lsn <= w[1].start_lsn),
+        "flush spans must be sorted by start LSN"
+    );
+    let mut consumed_by: Vec<Option<usize>> = vec![None; logical.len()];
+    // Pending (unconsumed, already-logged) records: (key, lsn) → record index.
+    // Within one key the LSN orders entries oldest-first, matching the order
+    // `take_batch` removes ties from the sorted OPQ.
+    let mut pending: std::collections::BTreeMap<(Key, u64), usize> = std::collections::BTreeMap::new();
+    let mut next = 0usize; // first logical record not yet in `pending`
+    for f in flushes {
+        while next < logical.len() && logical[next].0 < f.start_lsn {
+            let (lsn, key) = logical[next];
+            pending.insert((key, lsn), next);
+            *visits += 1;
+            next += 1;
+        }
+        // Strictly inside the range: certainly in the batch.
+        let inside: Vec<(Key, u64)> = pending.range((f.key_lo, 0)..(f.key_hi, 0)).map(|(&k, _)| k).collect();
+        for k in inside {
+            let i = pending.remove(&k).expect("key just seen in range");
+            consumed_by[i] = Some(f.tag);
+            *visits += 1;
+        }
+        // Ties at the upper bound: the batch held the oldest `hi_ties` of them.
+        let ties: Vec<(Key, u64)> = pending
+            .range((f.key_hi, 0)..=(f.key_hi, u64::MAX))
+            .take(f.hi_ties as usize)
+            .map(|(&k, _)| k)
+            .collect();
+        for k in ties {
+            let i = pending.remove(&k).expect("tie just seen in range");
+            consumed_by[i] = Some(f.tag);
+            *visits += 1;
+        }
+    }
+    consumed_by
+}
+
 /// Outcome of a recovery pass, for inspection by callers and tests.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RecoveryReport {
+    /// Intact log records the analysis pass scanned. With checkpoint-anchored
+    /// truncation this is bounded by what was logged since the last truncation
+    /// — the quantity the bounded-recovery guarantee is stated in.
+    pub scanned: usize,
     /// Logical records re-applied to the OPQ.
     pub redone: usize,
     /// Logical records skipped because a completed flush already covered them.
@@ -408,6 +492,83 @@ mod tests {
             }
             assert_eq!(LogRecord::decode(&full), Some(r));
         }
+    }
+
+    /// The indexed attribution must agree with the obvious per-flush rescan on
+    /// a workload with overlapping ranges and upper-bound ties — and must visit
+    /// each record a bounded number of times, independent of the flush count.
+    #[test]
+    fn indexed_attribution_matches_the_naive_scan_and_bounds_visits() {
+        // Deterministic pseudo-random workload: keys collide often enough to
+        // exercise the hi-tie path.
+        let mut state = 0x1234_5678_u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let logical: Vec<(u64, Key)> = (0..400u64).map(|i| (i * 16, rng() % 40)).collect();
+        let mut flushes: Vec<FlushSpan> = (0..60usize)
+            .map(|tag| {
+                let lo = rng() % 40;
+                let hi = lo + rng() % 8;
+                FlushSpan {
+                    tag,
+                    start_lsn: rng() % (400 * 16),
+                    key_lo: lo,
+                    key_hi: hi,
+                    hi_ties: (rng() % 3) as u32,
+                }
+            })
+            .collect();
+        flushes.sort_by_key(|f| f.start_lsn);
+
+        // Reference implementation: the O(flushes × records) loop this helper
+        // replaced in `PioBTree::recover_with`.
+        let mut expect: Vec<Option<usize>> = vec![None; logical.len()];
+        for f in &flushes {
+            let mut ties_left = f.hi_ties as usize;
+            for (i, &(lsn, key)) in logical.iter().enumerate() {
+                if lsn >= f.start_lsn || expect[i].is_some() {
+                    continue;
+                }
+                if key >= f.key_lo && key < f.key_hi {
+                    expect[i] = Some(f.tag);
+                } else if key == f.key_hi && ties_left > 0 {
+                    expect[i] = Some(f.tag);
+                    ties_left -= 1;
+                }
+            }
+        }
+
+        let mut visits = 0usize;
+        let got = attribute_flushed_records(&logical, &flushes, &mut visits);
+        assert_eq!(got, expect);
+        // Each record is visited at most twice (entering the pending index,
+        // leaving it when consumed) — never once per flush.
+        assert!(
+            visits <= 2 * logical.len(),
+            "{visits} visits for {} records × {} flushes breaks the O(records) bound",
+            logical.len(),
+            flushes.len()
+        );
+    }
+
+    #[test]
+    fn attribution_consumes_the_oldest_ties_first() {
+        // Three ties at key 9; the flush held the oldest two.
+        let logical = vec![(0u64, 9), (16, 9), (32, 9), (48, 5)];
+        let flushes = [FlushSpan {
+            tag: 7,
+            start_lsn: 100,
+            key_lo: 5,
+            key_hi: 9,
+            hi_ties: 2,
+        }];
+        let mut visits = 0;
+        let got = attribute_flushed_records(&logical, &flushes, &mut visits);
+        assert_eq!(got, vec![Some(7), Some(7), None, Some(7)]);
     }
 
     #[test]

@@ -170,6 +170,14 @@ pub struct PioBTree {
     /// Ticket-pipeline depth of the batched hot paths, resolved at construction
     /// from `config.pipeline_depth` and the store backend's queue-depth hint.
     pipeline_depth: usize,
+    /// Earliest `BatchBegin` LSN of every cross-shard epoch whose verdict the
+    /// engine has not delivered yet ([`PioBTree::resolve_epoch`]). WAL
+    /// truncation must never pass the minimum of these: recovery needs the
+    /// whole bracket to keep or discard the epoch atomically.
+    open_brackets: BTreeMap<u64, storage::Lsn>,
+    /// Operations accepted since the last checkpoint — the engine's dirty-shard
+    /// test (a clean shard's checkpoint would be pure overhead).
+    dirty_ops: u64,
 }
 
 impl std::fmt::Debug for PioBTree {
@@ -333,6 +341,8 @@ impl PioBTree {
             next_flush_id: 1,
             next_tx: 1,
             pipeline_depth,
+            open_brackets: BTreeMap::new(),
+            dirty_ops: 0,
             config,
         })
     }
@@ -377,6 +387,8 @@ impl PioBTree {
             next_flush_id: 1,
             next_tx: 1,
             pipeline_depth,
+            open_brackets: BTreeMap::new(),
+            dirty_ops: 0,
             config,
         })
     }
@@ -653,7 +665,10 @@ impl PioBTree {
     /// unrelated records.
     pub fn insert_batch_epoch(&mut self, entries: &[(Key, Value)], epoch: u64) -> IoResult<storage::Lsn> {
         if let Some(wal) = &self.wal {
-            wal.append(&LogRecord::BatchBegin { epoch }.encode());
+            let lsn = wal.append(&LogRecord::BatchBegin { epoch }.encode());
+            // Pin WAL truncation below this bracket until the engine delivers
+            // the epoch's verdict (the earliest bracket of an epoch wins).
+            self.open_brackets.entry(epoch).or_insert(lsn);
         }
         let result = self.insert_batch(entries);
         let Some(wal) = &self.wal else {
@@ -682,7 +697,8 @@ impl PioBTree {
     /// durable LSN.
     pub fn apply_batch_epoch(&mut self, ops: &[OpEntry], epoch: u64) -> IoResult<storage::Lsn> {
         if let Some(wal) = &self.wal {
-            wal.append(&LogRecord::BatchBegin { epoch }.encode());
+            let lsn = wal.append(&LogRecord::BatchBegin { epoch }.encode());
+            self.open_brackets.entry(epoch).or_insert(lsn);
         }
         let mut result = Ok(());
         for &op in ops {
@@ -753,6 +769,7 @@ impl PioBTree {
 
     fn enqueue(&mut self, entry: OpEntry) -> IoResult<()> {
         self.stats.opq_appends += 1;
+        self.dirty_ops += 1;
         if let Some(wal) = &self.wal {
             let tx = self.next_tx;
             self.next_tx += 1;
@@ -837,15 +854,58 @@ impl PioBTree {
     /// Flushes the entire OPQ (checkpoint / shutdown), then writes a checkpoint record
     /// if a WAL is attached. On error the failing batch stays queued (see
     /// [`PioBTree::flush_once`]).
-    pub fn checkpoint(&mut self) -> IoResult<()> {
+    ///
+    /// Returns the durable LSN of the `Checkpoint` record (0 without a WAL): at
+    /// that LSN the OPQ was empty and every flush it describes is complete, so
+    /// once the caller has persisted the tree's root snapshot it is a safe WAL
+    /// truncation floor ([`PioBTree::truncate_wal`]).
+    pub fn checkpoint(&mut self) -> IoResult<storage::Lsn> {
         while !self.opq.is_empty() {
             self.flush_once()?;
         }
-        if let Some(wal) = &self.wal {
-            wal.append(&LogRecord::Checkpoint.encode());
-            wal.force()?;
-        }
-        Ok(())
+        self.dirty_ops = 0;
+        let Some(wal) = &self.wal else {
+            return Ok(0);
+        };
+        let lsn = wal.append(&LogRecord::Checkpoint.encode());
+        wal.force()?;
+        Ok(lsn)
+    }
+
+    /// Operations accepted since the last checkpoint. The engine's incremental
+    /// checkpoint skips shards where this is 0 and the OPQ is empty — nothing
+    /// new would become durable.
+    pub fn dirty_ops(&self) -> u64 {
+        self.dirty_ops
+    }
+
+    /// Delivers the engine's verdict for cross-shard epoch `epoch`: its bracket
+    /// no longer pins WAL truncation. Unknown epochs are ignored (the shard may
+    /// never have seen the epoch, or a restart already cleared the bracket).
+    pub fn resolve_epoch(&mut self, epoch: u64) {
+        self.open_brackets.remove(&epoch);
+    }
+
+    /// Truncates the attached WAL to `upto` (normally a checkpoint LSN from
+    /// [`PioBTree::checkpoint`]), floored below the earliest still-unresolved
+    /// epoch bracket — dropping an open bracket's `BatchBegin` would break the
+    /// all-or-nothing replay of a batch whose verdict is still pending. Returns
+    /// the logical bytes dropped (0 without a WAL).
+    pub fn truncate_wal(&mut self, upto: storage::Lsn) -> IoResult<u64> {
+        let Some(wal) = &self.wal else {
+            return Ok(0);
+        };
+        let floor = match self.open_brackets.values().min() {
+            Some(&pinned) => upto.min(pinned),
+            None => upto,
+        };
+        wal.truncate_to(floor)
+    }
+
+    /// Bytes of durable WAL a recovery of this tree would replay (0 without a
+    /// WAL) — the quantity checkpoint-anchored truncation keeps bounded.
+    pub fn wal_replayable_bytes(&self) -> u64 {
+        self.wal.as_ref().map_or(0, |w| w.replayable_bytes())
     }
 
     // -------------------------------------------------------------------- bupdate --
@@ -1262,6 +1322,9 @@ impl PioBTree {
         self.opq.clear();
         self.store.drop_cache();
         self.lsmap.clear();
+        // In-flight epoch verdicts die with the process; recovery re-derives
+        // every epoch's fate from the engine log before truncation resumes.
+        self.open_brackets.clear();
         if let Some(wal) = &self.wal {
             wal.simulate_crash();
         }
@@ -1312,12 +1375,14 @@ impl PioBTree {
     /// 4. **Redo** — surviving records not attributed to a surviving flush are
     ///    re-appended to the OPQ in log order; discarded records are dropped.
     pub fn recover_with(&mut self, keep_epoch: &mut dyn FnMut(u64) -> bool) -> IoResult<RecoveryReport> {
+        self.open_brackets.clear();
         let Some(wal) = &self.wal else {
             return Ok(RecoveryReport::default());
         };
         let mut report = RecoveryReport::default();
         let (rescan, scan) = wal.recover_scan()?;
         report.torn_tail = rescan.torn_tail || scan.torn_tail;
+        report.scanned = scan.records.len();
 
         // ------------------------------------------------------------- analysis --
         #[derive(Debug)]
@@ -1469,11 +1534,10 @@ impl PioBTree {
         // ---------------------------------------------------------- attribution --
         // Walk the completed flushes in start order; each consumes the records it
         // certainly applied (a record is consumed at most once — by the first
-        // flush that took it out of the OPQ). This pass is O(flushes × records):
-        // acceptable because recovery is a restart-only path and the log only
-        // holds what accumulated since the store was created — bounding it for
-        // truly long-lived logs is the job of WAL truncation at checkpoints
-        // (ROADMAP), not of a cleverer scan.
+        // flush that took it out of the OPQ). The indexed pass in
+        // `recovery::attribute_flushed_records` visits each record O(1) times,
+        // keeping recovery proportional to the truncated log's length rather
+        // than flushes × records.
         let mut order: Vec<usize> = (0..flushes.len())
             .filter(|&f| flushes[f].1.complete && !flushes[f].1.aborted)
             .collect();
@@ -1492,22 +1556,22 @@ impl PioBTree {
                 self.height = new_height;
             }
         }
-        let mut consumed_by: Vec<Option<usize>> = vec![None; logical.len()];
-        for &f in &order {
-            let info = &flushes[f].1;
-            let mut ties_left = info.hi_ties as usize;
-            for (i, &(lsn, entry, _)) in logical.iter().enumerate() {
-                if lsn >= info.start_lsn || consumed_by[i].is_some() {
-                    continue;
+        let spans: Vec<crate::recovery::FlushSpan> = order
+            .iter()
+            .map(|&f| {
+                let info = &flushes[f].1;
+                crate::recovery::FlushSpan {
+                    tag: f,
+                    start_lsn: info.start_lsn,
+                    key_lo: info.key_lo,
+                    key_hi: info.key_hi,
+                    hi_ties: info.hi_ties,
                 }
-                if entry.key >= info.key_lo && entry.key < info.key_hi {
-                    consumed_by[i] = Some(f);
-                } else if entry.key == info.key_hi && ties_left > 0 {
-                    consumed_by[i] = Some(f);
-                    ties_left -= 1;
-                }
-            }
-        }
+            })
+            .collect();
+        let keyed: Vec<(u64, Key)> = logical.iter().map(|&(lsn, entry, _)| (lsn, entry.key)).collect();
+        let mut visits = 0usize;
+        let consumed_by = crate::recovery::attribute_flushed_records(&keyed, &spans, &mut visits);
 
         // ----------------------------------------------------------------- undo --
         // The undo set: the incomplete flush, every poisoned flush (a completed

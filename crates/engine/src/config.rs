@@ -38,6 +38,22 @@ pub struct EngineConfig {
     /// [`crate::ShardedPioEngine::maintain_once`] calls — the deterministic mode
     /// used by tests and benches).
     pub maintenance_interval_ms: Option<u64>,
+    /// Interval of the background checkpoint tick in milliseconds: the
+    /// maintenance worker runs a full [`crate::ShardedPioEngine::checkpoint`]
+    /// (incremental flush + manifest sync + log truncation) whenever this much
+    /// time has passed since the last one. `None` (the default) runs no
+    /// automatic checkpoints — callers checkpoint explicitly. Requires
+    /// [`EngineConfig::maintenance_interval_ms`] to be set (there is no other
+    /// thread to drive the cadence).
+    pub checkpoint_interval_ms: Option<u64>,
+    /// Log-retention floor for checkpoint-anchored truncation, in logical
+    /// bytes: a log (each shard WAL, and the engine epoch log) is only
+    /// truncated while its replayable tail exceeds this many bytes, so recent
+    /// history stays available for post-mortem inspection. `0` (the default)
+    /// truncates at every checkpoint. Must stay below `wal_capacity_bytes`
+    /// when the WAL is enabled — retaining more than the device holds would
+    /// disable truncation entirely.
+    pub log_retention_bytes: u64,
     /// Latency budget of the service front end's admission controller, in
     /// microseconds: a request never waits in an open per-shard batch builder
     /// longer than this before the builder is flushed to the engine. Smaller
@@ -138,6 +154,8 @@ impl Default for EngineConfig {
             base: PioConfig::default(),
             flush_threshold: 0.5,
             maintenance_interval_ms: None,
+            checkpoint_interval_ms: None,
+            log_retention_bytes: 0,
             max_batch_delay_us: 200,
             max_batch_size: 64,
             rebalance: RebalanceConfig::default(),
@@ -173,6 +191,16 @@ impl EngineConfig {
         if self.maintenance_interval_ms == Some(0) {
             return Err("maintenance_interval_ms must be at least 1 (0 would busy-spin the worker)".into());
         }
+        if self.checkpoint_interval_ms == Some(0) {
+            return Err("checkpoint_interval_ms must be at least 1 (0 would checkpoint on every sweep)".into());
+        }
+        if self.checkpoint_interval_ms.is_some() && self.maintenance_interval_ms.is_none() {
+            return Err(
+                "checkpoint_interval_ms requires maintenance_interval_ms — the maintenance worker \
+                 is the thread that drives the checkpoint cadence"
+                    .into(),
+            );
+        }
         if self.max_batch_delay_us == 0 {
             return Err(
                 "max_batch_delay_us must be at least 1 — a zero latency budget would flush every \
@@ -196,6 +224,13 @@ impl EngineConfig {
                 return Err(format!(
                     "wal_capacity_bytes ({}) must hold at least 64 pages of {page} bytes",
                     self.wal_capacity_bytes
+                ));
+            }
+            if self.log_retention_bytes >= self.wal_capacity_bytes {
+                return Err(format!(
+                    "log_retention_bytes ({}) must stay below wal_capacity_bytes ({}) — retaining \
+                     more than the device holds would never allow truncation",
+                    self.log_retention_bytes, self.wal_capacity_bytes
                 ));
             }
         }
@@ -251,6 +286,20 @@ impl EngineConfigBuilder {
     /// Enables the background maintenance worker with the given period.
     pub fn maintenance_interval_ms(mut self, ms: u64) -> Self {
         self.config.maintenance_interval_ms = Some(ms);
+        self
+    }
+
+    /// Enables the background checkpoint tick with the given period (needs the
+    /// maintenance worker: also set
+    /// [`EngineConfigBuilder::maintenance_interval_ms`]).
+    pub fn checkpoint_interval_ms(mut self, ms: u64) -> Self {
+        self.config.checkpoint_interval_ms = Some(ms);
+        self
+    }
+
+    /// Sets the log-retention floor for checkpoint-anchored truncation.
+    pub fn log_retention_bytes(mut self, bytes: u64) -> Self {
+        self.config.log_retention_bytes = bytes;
         self
     }
 
@@ -427,6 +476,60 @@ mod tests {
         .unwrap_err();
         assert!(err.contains("hot_queue_pct"), "{err}");
         assert!(with(RebalanceConfig::default()).validate().is_ok());
+    }
+
+    #[test]
+    fn checkpoint_knobs_are_validated() {
+        // A zero interval is as degenerate as a zero maintenance interval.
+        let config = EngineConfig {
+            maintenance_interval_ms: Some(5),
+            checkpoint_interval_ms: Some(0),
+            ..EngineConfig::default()
+        };
+        assert!(config.validate().unwrap_err().contains("checkpoint_interval_ms"));
+        // The checkpoint cadence rides on the maintenance worker.
+        let config = EngineConfig {
+            maintenance_interval_ms: None,
+            checkpoint_interval_ms: Some(100),
+            ..EngineConfig::default()
+        };
+        assert!(config
+            .validate()
+            .unwrap_err()
+            .contains("requires maintenance_interval_ms"));
+        let config = EngineConfig {
+            maintenance_interval_ms: Some(5),
+            checkpoint_interval_ms: Some(100),
+            ..EngineConfig::default()
+        };
+        assert!(config.validate().is_ok());
+        // Retention must leave the truncation machinery something to do.
+        let config = EngineConfig {
+            wal_capacity_bytes: 4096 * 64,
+            log_retention_bytes: 4096 * 64,
+            base: PioConfig {
+                wal_enabled: true,
+                ..PioConfig::default()
+            },
+            ..EngineConfig::default()
+        };
+        assert!(config.validate().unwrap_err().contains("log_retention_bytes"));
+        let config = EngineConfig {
+            wal_capacity_bytes: 4096 * 64,
+            log_retention_bytes: 4096 * 16,
+            base: PioConfig {
+                wal_enabled: true,
+                ..PioConfig::default()
+            },
+            ..EngineConfig::default()
+        };
+        assert!(config.validate().is_ok());
+        // Without a WAL the retention floor is inert: any value passes.
+        let config = EngineConfig {
+            log_retention_bytes: u64::MAX,
+            ..EngineConfig::default()
+        };
+        assert!(config.validate().is_ok());
     }
 
     #[test]

@@ -225,6 +225,10 @@ pub struct EpochAnalysis {
     pub max_epoch: u64,
     /// Whether the engine log ended in a torn record.
     pub torn_tail: bool,
+    /// Intact records the scan visited — with checkpoint-anchored truncation
+    /// this is proportional to activity since the last checkpoint, not to the
+    /// engine's lifetime.
+    pub records: usize,
 }
 
 /// The engine-level epoch log: a thin protocol layer over [`storage::Wal`].
@@ -239,16 +243,18 @@ impl EpochLog {
     }
 
     /// Forces the `Begin` record of `epoch` (phase one: nothing may reach a
-    /// shard before this returns).
-    pub fn begin(&self, epoch: u64, shards: &[usize]) -> IoResult<()> {
-        self.wal.append(
+    /// shard before this returns). Returns the `Begin` record's LSN so the
+    /// caller can pin log truncation while the epoch is undecided.
+    pub fn begin(&self, epoch: u64, shards: &[usize]) -> IoResult<Lsn> {
+        let lsn = self.wal.append(
             &EpochRecord::Begin {
                 epoch,
                 shards: shards.iter().map(|&s| s as u32).collect(),
             }
             .encode(),
         );
-        self.wal.force()
+        self.wal.force()?;
+        Ok(lsn)
     }
 
     /// Forces the member shards' `Ack` records (phase two, first half).
@@ -274,11 +280,14 @@ impl EpochLog {
     }
 
     /// Forces the `MigrateBegin` record: nothing may be copied between shards
-    /// before this returns.
-    pub fn migrate_begin(&self, epoch: u64, migration: MigrationSpec) -> IoResult<()> {
-        self.wal
+    /// before this returns. Returns the record's LSN (the epoch's truncation
+    /// pin, as for [`EpochLog::begin`]).
+    pub fn migrate_begin(&self, epoch: u64, migration: MigrationSpec) -> IoResult<Lsn> {
+        let lsn = self
+            .wal
             .append(&EpochRecord::MigrateBegin { epoch, migration }.encode());
-        self.wal.force()
+        self.wal.force()?;
+        Ok(lsn)
     }
 
     /// Forces the `MigrateCommit` record — the durable boundary swap.
@@ -292,6 +301,37 @@ impl EpochLog {
         self.wal.simulate_crash();
     }
 
+    /// Next LSN the log will hand out — the append cursor. A checkpoint snapshots
+    /// this *before* forcing so it can later truncate everything the checkpoint
+    /// made redundant.
+    pub fn cursor(&self) -> Lsn {
+        self.wal.next_lsn()
+    }
+
+    /// Durable high-water mark of the underlying WAL.
+    pub fn durable_lsn(&self) -> Lsn {
+        self.wal.durable_lsn()
+    }
+
+    /// Drops every record below `upto` (see [`storage::Wal::truncate_to`]).
+    /// Returns the logical bytes dropped. `upto` must be a record boundary the
+    /// caller observed — in practice either [`EpochLog::cursor`] taken between
+    /// forces, or an epoch's `Begin` LSN.
+    pub fn truncate_to(&self, upto: Lsn) -> IoResult<u64> {
+        self.wal.truncate_to(upto)
+    }
+
+    /// Logical bytes a recovery scan would still replay (durable minus
+    /// truncated).
+    pub fn replayable_bytes(&self) -> u64 {
+        self.wal.replayable_bytes()
+    }
+
+    /// Total logical bytes dropped by truncation over the log's lifetime.
+    pub fn truncated_bytes(&self) -> u64 {
+        self.wal.truncated_bytes()
+    }
+
     /// Rescans the device (salvaging records completed by a torn force) and
     /// classifies every epoch found in the log.
     pub fn analyze(&self) -> IoResult<EpochAnalysis> {
@@ -302,6 +342,7 @@ impl EpochLog {
         };
         let mut index: HashMap<u64, usize> = HashMap::new();
         for rec in &scan.records {
+            analysis.records += 1;
             let Some(record) = EpochRecord::decode(&rec.payload) else {
                 // Corrupt record: everything after it is untrustworthy.
                 analysis.torn_tail = true;

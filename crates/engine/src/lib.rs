@@ -96,6 +96,38 @@
 //! crash points and hundreds of randomized ones against an in-memory oracle,
 //! using the [`pio::fault`] crash-injection harness.
 //!
+//! ## Log lifecycle
+//!
+//! Left alone, the shard WALs and the engine epoch log grow without bound and
+//! every recovery rescans the store's whole history. The engine closes the
+//! loop with **checkpoint-anchored truncation**
+//! ([`ShardedPioEngine::checkpoint`]):
+//!
+//! 1. **Incremental checkpoint** — per-shard dirty tracking
+//!    ([`pio_btree::PioBTree::dirty_ops`]) selects only the shards that logged
+//!    or queued work since their last checkpoint; clean shards are untouched,
+//!    so the maintenance worker can run the whole thing on a timer
+//!    ([`EngineConfig::checkpoint_interval_ms`]) under live traffic.
+//! 2. **Anchored truncation** — once the flushes are durable and the manifest
+//!    is synced (the superblocks recovery would need), each flushed shard's
+//!    WAL drops everything below its new `Checkpoint` record via
+//!    [`storage::Wal::truncate_to`] (an alternating-slot, checksummed header
+//!    flip: a crash mid-truncation leaves the old head or the new one, never
+//!    a torn in-between), and the engine log drops everything below the
+//!    pre-flush cursor. Undecided epochs pin both: the coordinator floors the
+//!    engine-log cut at the oldest in-flight `Begin`, and each tree floors
+//!    its own cut at its oldest open epoch bracket.
+//!    [`EngineConfig::log_retention_bytes`] keeps a configurable tail around.
+//! 3. **Bounded recovery** — [`ShardedPioEngine::recover`] seeks each log to
+//!    its truncation marker instead of byte 0, so the records it scans
+//!    ([`EngineStats::recovery_replayed_records`]) track the work done since
+//!    the last checkpoint, not the store's age. On [`RealFiles`], truncation
+//!    also compacts the log region and shrinks the files on disk.
+//!
+//! `tests/log_lifecycle.rs` pins all three properties; the crash sweeps in
+//! `tests/engine_recovery.rs` land crash points before, during and after the
+//! truncation-marker writes and verify no acked write is ever lost.
+//!
 //! ## Elastic shard management
 //!
 //! Boundaries picked from a build-time key sample go stale under append-heavy

@@ -13,7 +13,7 @@ use crate::sharded::EngineInner;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Handle to the background maintenance thread; stopping is handled by `Drop`.
 pub(crate) struct MaintenanceWorker {
@@ -29,6 +29,8 @@ impl MaintenanceWorker {
         let handle = std::thread::Builder::new()
             .name("engine-maintenance".into())
             .spawn(move || {
+                let checkpoint_every = inner.engine_config().checkpoint_interval_ms.map(Duration::from_millis);
+                let mut last_checkpoint = Instant::now();
                 while !stop_flag.load(Ordering::Acquire) {
                     // A failed flush keeps its batch queued (flush_once restores
                     // it), but partially applied node writes may need WAL recovery,
@@ -45,6 +47,18 @@ impl MaintenanceWorker {
                     if inner.engine_config().rebalance.auto {
                         if let Err(e) = inner.auto_rebalance_tick() {
                             inner.note_maintenance_error(&e);
+                        }
+                    }
+                    // Checkpoint cadence: dirty-shard tracking makes the
+                    // checkpoint incremental, so running it from the sweep
+                    // costs only what actually changed since the last tick
+                    // (plus the log truncation it anchors).
+                    if let Some(every) = checkpoint_every {
+                        if last_checkpoint.elapsed() >= every {
+                            if let Err(e) = inner.checkpoint() {
+                                inner.note_maintenance_error(&e);
+                            }
+                            last_checkpoint = Instant::now();
                         }
                     }
                     std::thread::park_timeout(interval);

@@ -146,6 +146,26 @@ pub(crate) struct EpochCoordinator {
     log: EpochLog,
     /// Next epoch id to assign (continued past the log's maximum on recovery).
     next_epoch: AtomicU64,
+    /// `Begin`-record LSN of every epoch that is still undecided (begun but not
+    /// yet committed or abandoned). Checkpoint truncation of the engine log may
+    /// not pass the minimum of these pins: dropping an undecided epoch's
+    /// `Begin` would make recovery treat its shard-side brackets as orphans.
+    /// Registered *before* `EpochLog::begin` forces the record and removed
+    /// after the commit force, so the pin conservatively covers the whole
+    /// undecided window.
+    in_flight: Mutex<std::collections::BTreeMap<u64, Lsn>>,
+}
+
+impl EpochCoordinator {
+    /// The LSN below which the engine log may be truncated without losing an
+    /// undecided epoch, given a candidate checkpoint cut `upto`.
+    fn truncation_floor(&self, upto: Lsn) -> Lsn {
+        let pins = self.in_flight.lock();
+        match pins.values().next() {
+            Some(&pin) => upto.min(pin),
+            None => upto,
+        }
+    }
 }
 
 /// Shared state between the engine handle, the per-shard workers, the scheduler
@@ -195,6 +215,14 @@ pub(crate) struct EngineInner {
     /// The rebalance monitor's per-shard `routed_total` baseline: the window a
     /// policy decision sees is the delta since the previous decision.
     rebalance_baseline: Mutex<Vec<u64>>,
+    /// Checkpoints completed over the engine's lifetime.
+    checkpoints: AtomicU64,
+    /// Logical log bytes dropped by checkpoint-anchored truncation over the
+    /// lifetime (shard WALs + engine epoch log).
+    truncated_bytes: AtomicU64,
+    /// Log records scanned by the most recent `recover` (shard WAL analysis
+    /// passes plus the epoch-log scan) — the bounded-recovery observable.
+    recovery_replayed_records: AtomicU64,
     /// Maintenance passes that flushed at least one shard.
     maintenance_flushes: AtomicU64,
     /// Background maintenance passes that returned an I/O error.
@@ -506,6 +534,7 @@ impl ShardedPioEngine {
             EpochCoordinator {
                 log: EpochLog::new(Wal::new(wal_io, 0, shard_cfg.page_size)),
                 next_epoch: AtomicU64::new(1),
+                in_flight: Mutex::new(std::collections::BTreeMap::new()),
             }
         })
     }
@@ -676,6 +705,9 @@ impl ShardedPioEngine {
             committed_migrations: AtomicU64::new(0),
             rolled_back_migrations: AtomicU64::new(0),
             rebalance_baseline: Mutex::new(vec![0; shard_count]),
+            checkpoints: AtomicU64::new(0),
+            truncated_bytes: AtomicU64::new(0),
+            recovery_replayed_records: AtomicU64::new(0),
             maintenance_flushes: AtomicU64::new(0),
             maintenance_errors: AtomicU64::new(0),
             last_maintenance_error: Mutex::new(None),
@@ -786,8 +818,14 @@ impl ShardedPioEngine {
         self.inner.range_search(lo, hi)
     }
 
-    /// Flushes every shard's OPQ completely (checkpoint / shutdown), all shards in
-    /// parallel.
+    /// Incremental checkpoint: drains the OPQ of every shard that changed since
+    /// its last checkpoint (dirty shards in parallel, clean shards untouched),
+    /// persists the manifest, and then truncates the shard WALs and the engine
+    /// epoch log up to the checkpoint — bounding both on-disk log size and the
+    /// work the next [`ShardedPioEngine::recover`] must do. Truncation honours
+    /// [`crate::EngineConfig::log_retention_bytes`] and never drops an
+    /// undecided epoch's records. The background maintenance worker calls this
+    /// on the [`crate::EngineConfig::checkpoint_interval_ms`] cadence.
     pub fn checkpoint(&self) -> IoResult<()> {
         self.inner.checkpoint()
     }
@@ -1054,7 +1092,14 @@ impl EngineInner {
         let epoch = match &self.epoch {
             Some(coord) => {
                 let epoch = coord.next_epoch.fetch_add(1, Ordering::Relaxed);
-                coord.log.begin(epoch, &members)?;
+                // Hold the pin map across the Begin force: a concurrent
+                // checkpoint computes its truncation floor under this lock, so
+                // it either sees the pin or runs before the record is durable
+                // (and truncation clamps to the durable frontier).
+                let mut pins = coord.in_flight.lock();
+                let begin_lsn = coord.log.begin(epoch, &members)?;
+                pins.insert(epoch, begin_lsn);
+                drop(pins);
                 Some(epoch)
             }
             None => None,
@@ -1116,6 +1161,14 @@ impl EngineInner {
                 .collect();
             coord.log.ack_all(epoch, &acks)?;
             coord.log.commit(epoch)?;
+            // Decided: release the truncation pins — the engine log's (this
+            // epoch's records are now redundant for recovery) and each member
+            // shard's bracket pin. An error return above keeps both pins, so
+            // an undecided epoch can never be truncated away.
+            coord.in_flight.lock().remove(&epoch);
+            for &(shard, _) in &acks {
+                self.shards[shard].tree.lock().resolve_epoch(epoch);
+            }
             self.committed_epochs.fetch_add(1, Ordering::Relaxed);
         }
         Ok(())
@@ -1155,12 +1208,70 @@ impl EngineInner {
         Ok(out)
     }
 
-    fn checkpoint(&self) -> IoResult<()> {
+    /// Incremental checkpoint: flushes only the shards that logged or queued
+    /// work since their last checkpoint, persists the manifest, then truncates
+    /// the logs the checkpoint made redundant (shard WALs up to their new
+    /// `Checkpoint` records, the engine epoch log up to the pre-flush cursor).
+    /// Truncation is anchored on the *committed* checkpoint — the manifest sync
+    /// happens first, so the superblocks recovery would need are durable before
+    /// any `FlushRoot`/`FlushAlloc` record is dropped — and honours
+    /// `log_retention_bytes` plus the undecided-epoch pins (engine-log
+    /// `in_flight`, per-shard open brackets).
+    pub(crate) fn checkpoint(&self) -> IoResult<()> {
         let begun_before = self.dirty.lock().begun;
-        self.fan_out_all(|tree| tree.checkpoint().map(|()| TaskOutput::Unit))?;
-        // The checkpoint moved every shard's durable frontier: refresh the
-        // persisted manifest so a WAL-less reopen sees the checkpointed state.
+        // Snapshot the engine-log cut BEFORE flushing: epoch records appended
+        // after this point may belong to batches the flushes do not capture.
+        let engine_cut = self.epoch.as_ref().map(|c| c.log.cursor());
+        // Incremental selection: a shard pays a flush (and even the Checkpoint
+        // record append) only when something reached its log or queue since
+        // the last checkpoint. Clean shards are untouched.
+        let work: Vec<(usize, ShardTask)> = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| {
+                let tree = s.tree.lock();
+                tree.dirty_ops() > 0 || tree.opq_len() > 0
+            })
+            .map(|(i, _)| {
+                let task: ShardTask = Box::new(|tree: &mut PioBTree| tree.checkpoint().map(TaskOutput::Durable));
+                (i, task)
+            })
+            .collect();
+        let flushed: Vec<(usize, Lsn)> = if work.is_empty() {
+            Vec::new()
+        } else {
+            self.fan_out_tasks(work)?
+                .into_iter()
+                .map(|(shard, out)| {
+                    let TaskOutput::Durable(lsn) = out else {
+                        unreachable!("checkpoint tasks return Durable")
+                    };
+                    (shard, lsn)
+                })
+                .collect()
+        };
+        // The checkpoint moved the flushed shards' durable frontiers: refresh
+        // the persisted manifest so a WAL-less reopen sees the checkpointed
+        // state. This MUST precede truncation — once FlushRoot records are
+        // gone, the manifest is the only carrier of the rolled-forward roots.
         self.sync_manifest()?;
+        // Checkpoint-anchored truncation, gated by the retention window.
+        let retention = self.config.log_retention_bytes;
+        let mut dropped: u64 = 0;
+        for &(shard, ckpt_lsn) in &flushed {
+            let mut tree = self.shards[shard].tree.lock();
+            if tree.wal_replayable_bytes() > retention {
+                dropped += tree.truncate_wal(ckpt_lsn)?;
+            }
+        }
+        if let (Some(cut), Some(coord)) = (engine_cut, &self.epoch) {
+            if coord.log.replayable_bytes() > retention {
+                dropped += coord.log.truncate_to(coord.truncation_floor(cut))?;
+            }
+        }
+        self.truncated_bytes.fetch_add(dropped, Ordering::Relaxed);
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
         // Clear the dirty marker only when provably nothing raced the flush: no
         // mutation began since before the fan-out and none is still in flight.
         // The OPQ/manifest re-check runs while the dirty lock is held, so a new
@@ -1182,8 +1293,14 @@ impl EngineInner {
         let mut report = EngineRecoveryReport::default();
         let mut discard: HashSet<u64> = HashSet::new();
         let mut boundary_replay: Vec<MigrationSpec> = Vec::new();
+        let mut scanned: u64 = 0;
         if let Some(coord) = &self.epoch {
+            // Pre-crash pins are meaningless now: every epoch in the log gets
+            // a verdict below, and the shard-side brackets are re-registered
+            // (or dropped) by the per-shard replay.
+            coord.in_flight.lock().clear();
             let analysis = coord.log.analyze()?;
+            scanned += analysis.records as u64;
             for state in &analysis.epochs {
                 if let Some(migration) = state.migration {
                     if state.committed {
@@ -1267,6 +1384,12 @@ impl EngineInner {
         // committed counter includes it (as its documentation promises).
         self.committed_epochs
             .fetch_add(report.recovered_epochs, Ordering::Relaxed);
+        // The bounded-recovery observable: total log records the analysis
+        // passes visited (epoch log + every shard WAL). With checkpoint-
+        // anchored truncation this tracks activity since the last checkpoint,
+        // not the engine's age.
+        scanned += report.shards.iter().map(|r| r.scanned as u64).sum::<u64>();
+        self.recovery_replayed_records.store(scanned, Ordering::Relaxed);
         // Recovery may have rolled roots forward (reopen) or rewound them
         // (undone flushes): persist the post-recovery superblocks.
         self.sync_manifest()?;
@@ -1493,7 +1616,10 @@ impl EngineInner {
         let epoch = match &self.epoch {
             Some(coord) => {
                 let ep = coord.next_epoch.fetch_add(1, Ordering::Relaxed);
-                coord.log.migrate_begin(
+                // Pin the epoch against engine-log truncation for its whole
+                // undecided window (same discipline as `insert_batch`).
+                let mut pins = coord.in_flight.lock();
+                let begin_lsn = coord.log.migrate_begin(
                     ep,
                     MigrationSpec {
                         src: src as u32,
@@ -1502,6 +1628,8 @@ impl EngineInner {
                         hi,
                     },
                 )?;
+                pins.insert(ep, begin_lsn);
+                drop(pins);
                 Some(ep)
             }
             None => None,
@@ -1577,11 +1705,18 @@ impl EngineInner {
             // The durable boundary swap: before this force the migration rolls
             // back on recovery, after it the new boundary is re-applied.
             coord.log.migrate_commit(ep)?;
+            coord.in_flight.lock().remove(&ep);
         }
         let idx = src.min(dst);
         routing.bounds[idx] = if dst > src { lo } else { hi };
         routing.version += 1;
         drop(routing);
+        // Decided: release both shards' bracket pins so the next checkpoint
+        // may truncate past the migration's records.
+        if let Some(ep) = epoch {
+            self.shards[src].tree.lock().resolve_epoch(ep);
+            self.shards[dst].tree.lock().resolve_epoch(ep);
+        }
         let moved_keys = retire.len() as u64;
         self.migrated_keys.fetch_add(moved_keys, Ordering::Relaxed);
         match kind {
@@ -1660,6 +1795,7 @@ impl EngineInner {
                 pool,
                 store,
                 io_elapsed_us: io_us,
+                wal_replayable_bytes: tree.wal_replayable_bytes(),
             });
         }
         EngineStats {
@@ -1688,6 +1824,10 @@ impl EngineInner {
             rolled_back_migrations: self.rolled_back_migrations.load(Ordering::Relaxed),
             active_migration,
             routing_version,
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            truncated_bytes: self.truncated_bytes.load(Ordering::Relaxed),
+            recovery_replayed_records: self.recovery_replayed_records.load(Ordering::Relaxed),
+            epoch_log_bytes: self.epoch.as_ref().map_or(0, |c| c.log.replayable_bytes()),
             maintenance_flushes: self.maintenance_flushes.load(Ordering::Relaxed),
             maintenance_errors: self.maintenance_errors.load(Ordering::Relaxed),
             last_maintenance_error: self.last_maintenance_error.lock().clone(),

@@ -46,6 +46,10 @@ pub struct ShardSnapshot {
     pub store: StoreStats,
     /// Simulated I/O time this shard's store has consumed, µs.
     pub io_elapsed_us: f64,
+    /// Logical WAL bytes a recovery of this shard would still scan (durable
+    /// minus truncated; 0 without a WAL). Checkpoint-anchored truncation keeps
+    /// this proportional to activity since the shard's last checkpoint.
+    pub wal_replayable_bytes: u64,
 }
 
 /// Roll-up of every shard plus engine-level schedule accounting.
@@ -113,6 +117,21 @@ pub struct EngineStats {
     /// Bumped on every boundary change; front ends compare it across
     /// snapshots to notice a rebalance without diffing bound vectors.
     pub routing_version: u64,
+    /// Checkpoints completed over the engine's lifetime (foreground calls and
+    /// the maintenance worker's `checkpoint_interval_ms` ticks alike).
+    pub checkpoints: u64,
+    /// Logical log bytes dropped by checkpoint-anchored truncation over the
+    /// lifetime, across the shard WALs and the engine epoch log.
+    pub truncated_bytes: u64,
+    /// Log records scanned by the most recent
+    /// [`crate::ShardedPioEngine::recover`] (every shard's WAL analysis pass
+    /// plus the epoch-log scan; 0 before any recovery). The bounded-recovery
+    /// observable: with checkpointing active it tracks the work done since the
+    /// last checkpoint, not the engine's age.
+    pub recovery_replayed_records: u64,
+    /// Logical bytes a recovery would still scan in the engine epoch log
+    /// (0 without WALs).
+    pub epoch_log_bytes: u64,
     /// Maintenance passes that flushed at least one shard.
     pub maintenance_flushes: u64,
     /// Background maintenance passes that failed with an I/O error. A non-zero
@@ -131,6 +150,13 @@ impl EngineStats {
             return 1.0;
         }
         self.total_io_us / self.scheduled_io_us
+    }
+
+    /// Total logical log bytes a full engine recovery would still scan: every
+    /// shard's replayable WAL bytes plus the engine epoch log's. The quantity
+    /// checkpoint-anchored truncation bounds.
+    pub fn replayable_log_bytes(&self) -> u64 {
+        self.epoch_log_bytes + self.shards.iter().map(|s| s.wal_replayable_bytes).sum::<u64>()
     }
 
     /// Average point requests per per-shard sub-batch across the engine's

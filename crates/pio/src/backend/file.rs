@@ -353,6 +353,19 @@ impl IoQueue for FileThreadPoolIo {
     fn queue_depth_hint(&self) -> Option<usize> {
         Some(self.workers)
     }
+
+    /// Physically returns the file's tail beyond `len` to the filesystem.
+    /// Shrink-only: a `len` at or past the current size is a no-op, so a caller
+    /// whose live data still reaches the end never accidentally grows (or
+    /// zero-extends) the file. Reads past the new end keep reporting zeros,
+    /// exactly like the never-written tail of a sparse file.
+    fn reclaim_to(&self, len: u64) -> IoResult<()> {
+        let current = self.shared.file.metadata().map_err(IoError::Os)?.len();
+        if len < current {
+            self.shared.file.set_len(len).map_err(IoError::Os)?;
+        }
+        Ok(())
+    }
 }
 
 impl Drop for FileThreadPoolIo {

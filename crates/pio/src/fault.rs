@@ -290,6 +290,13 @@ impl IoQueue for FaultIo {
     fn queue_depth_hint(&self) -> Option<usize> {
         self.inner.queue_depth_hint()
     }
+
+    /// Reclaim passes straight through: it is advisory space bookkeeping, not a
+    /// logged write, so it neither advances the fault clock nor trips a plan —
+    /// crash points stay aligned with the writes the plans were profiled on.
+    fn reclaim_to(&self, len: u64) -> IoResult<()> {
+        self.inner.reclaim_to(len)
+    }
 }
 
 #[cfg(test)]

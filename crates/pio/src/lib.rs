@@ -137,6 +137,14 @@ pub trait ParallelIo: Send + Sync {
 
     /// Resets the cumulative statistics.
     fn reset_stats(&self);
+
+    /// Advisory: everything at or beyond byte `len` is dead and may be
+    /// physically reclaimed (see [`IoQueue::reclaim_to`]). A no-op on backends
+    /// without a real notion of file length.
+    fn reclaim_to(&self, len: u64) -> IoResult<()> {
+        let _ = len;
+        Ok(())
+    }
 }
 
 /// The compatibility shim: every submission/completion queue is a blocking psync
@@ -157,6 +165,10 @@ impl<Q: IoQueue + ?Sized> ParallelIo for Q {
 
     fn reset_stats(&self) {
         self.reset_io_stats()
+    }
+
+    fn reclaim_to(&self, len: u64) -> IoResult<()> {
+        IoQueue::reclaim_to(self, len)
     }
 }
 

@@ -143,6 +143,17 @@ pub trait IoQueue: Send + Sync {
     fn queue_depth_hint(&self) -> Option<usize> {
         None
     }
+
+    /// Advisory hint that everything at or beyond byte `len` is dead: the log
+    /// lifecycle calls this after a physical WAL compaction so backends with a
+    /// real notion of file length ([`crate::FileThreadPoolIo`]) can return the
+    /// space to the filesystem. Backends without one (the simulators, shared
+    /// partitions) ignore it — the default is a no-op, and implementations must
+    /// only ever *shrink* (growing is the writer's job).
+    fn reclaim_to(&self, len: u64) -> IoResult<()> {
+        let _ = len;
+        Ok(())
+    }
 }
 
 /// Forwarding so `Arc<Q>` can be used wherever a queue is expected.
@@ -173,6 +184,10 @@ impl<Q: IoQueue + ?Sized> IoQueue for Arc<Q> {
 
     fn queue_depth_hint(&self) -> Option<usize> {
         (**self).queue_depth_hint()
+    }
+
+    fn reclaim_to(&self, len: u64) -> IoResult<()> {
+        (**self).reclaim_to(len)
     }
 }
 

@@ -20,6 +20,25 @@
 //! The log occupies its own region of a [`pio::ParallelIo`] backend (its own file in
 //! the paper's terms), so log writes are sequential and never interleave with index
 //! node I/O inside a single psync call.
+//!
+//! ## Truncation and the log lifecycle
+//!
+//! Without truncation the log grows for the lifetime of the store and restart
+//! cost grows with it. [`Wal::truncate_to`] drops every record below a
+//! checkpoint-anchored floor: the floor (and the mapping from LSNs to region
+//! bytes after a physical compaction) is persisted in **two alternating header
+//! slot pages** at the region start, each versioned and checksummed. A
+//! truncation writes the slot the previous one did *not* use, so a crash that
+//! tears the write leaves the other slot valid — recovery always lands on
+//! either the old head or the new head, never a torn hybrid. The first two
+//! pages of the region are reserved for these slots; record data begins at the
+//! third page, and LSNs remain stable logical offsets for the log's whole
+//! lifetime (truncation never renumbers surviving records).
+//!
+//! [`Wal::recover_scan`] reads the newest valid slot first and seeks straight
+//! to the floor instead of scanning from byte 0 — the bounded-recovery seek:
+//! replay work is proportional to the records written since the last
+//! checkpoint, never to the store's age.
 
 use parking_lot::Mutex;
 use pio::{IoResult, ParallelIo, ReadRequest, WriteRequest};
@@ -68,6 +87,17 @@ struct WalInner {
     next_lsn: Lsn,
     /// LSN up to which everything is durable.
     durable_lsn: Lsn,
+    /// Truncation floor: every record below this LSN has been dropped.
+    trunc_lsn: Lsn,
+    /// Page-aligned LSN mapped to the first data page of the region. Physical
+    /// compaction advances it so the surviving tail slides back to the region
+    /// start; LSNs themselves never change.
+    phys_start: u64,
+    /// Lifetime bytes of records dropped by truncation (persisted in the
+    /// truncation header, so it survives restarts).
+    truncated: u64,
+    /// Version of the newest durable truncation-header slot (0 = none yet).
+    header_version: u64,
 }
 
 /// An append-only, force-on-demand log over a psync I/O backend.
@@ -86,6 +116,55 @@ pub struct Wal {
 
 /// Record header: 4-byte little-endian payload length + 4-byte payload checksum.
 const HEADER: usize = 8;
+
+/// Pages reserved at the region start for the two truncation-header slots.
+const HEADER_PAGES: u64 = 2;
+
+/// Magic prefix of a truncation-header slot.
+const HEADER_MAGIC: &[u8; 8] = b"PIOWALT1";
+
+/// Encoded bytes of one truncation-header slot: magic + version + trunc_lsn +
+/// phys_start + truncated total + checksum of everything before it.
+const SLOT_LEN: usize = 8 + 8 + 8 + 8 + 8 + 4;
+
+/// The durable truncation state of a log, as stored in a header slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct TruncHeader {
+    version: u64,
+    trunc_lsn: Lsn,
+    phys_start: u64,
+    truncated: u64,
+}
+
+fn encode_slot(h: &TruncHeader) -> [u8; SLOT_LEN] {
+    let mut out = [0u8; SLOT_LEN];
+    out[..8].copy_from_slice(HEADER_MAGIC);
+    out[8..16].copy_from_slice(&h.version.to_le_bytes());
+    out[16..24].copy_from_slice(&h.trunc_lsn.to_le_bytes());
+    out[24..32].copy_from_slice(&h.phys_start.to_le_bytes());
+    out[32..40].copy_from_slice(&h.truncated.to_le_bytes());
+    let sum = checksum(&out[..SLOT_LEN - 4]);
+    out[SLOT_LEN - 4..].copy_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Decodes a header slot; `None` for never-written space and torn writes alike
+/// (both fail the magic or checksum test).
+fn decode_slot(raw: &[u8]) -> Option<TruncHeader> {
+    if raw.len() < SLOT_LEN || &raw[..8] != HEADER_MAGIC {
+        return None;
+    }
+    let stored = u32::from_le_bytes(raw[SLOT_LEN - 4..SLOT_LEN].try_into().expect("4 bytes"));
+    if checksum(&raw[..SLOT_LEN - 4]) != stored {
+        return None;
+    }
+    Some(TruncHeader {
+        version: u64::from_le_bytes(raw[8..16].try_into().expect("8 bytes")),
+        trunc_lsn: u64::from_le_bytes(raw[16..24].try_into().expect("8 bytes")),
+        phys_start: u64::from_le_bytes(raw[24..32].try_into().expect("8 bytes")),
+        truncated: u64::from_le_bytes(raw[32..40].try_into().expect("8 bytes")),
+    })
+}
 
 /// Upper bound on a record payload (enforced at append): a declared length
 /// beyond this is garbage from a torn header, not a record, so scans stop
@@ -153,6 +232,17 @@ impl Wal {
         }
     }
 
+    /// Physical byte offset where record data begins (past the header slots).
+    fn data_base(&self) -> u64 {
+        self.base_offset + HEADER_PAGES * self.page_size as u64
+    }
+
+    /// Physical offset of the byte at LSN `lsn` under the mapping `phys_start`.
+    fn phys(&self, lsn: u64, phys_start: u64) -> u64 {
+        debug_assert!(lsn >= phys_start, "LSN {lsn} below the mapped region ({phys_start})");
+        self.data_base() + (lsn - phys_start)
+    }
+
     /// Appends a record and returns its LSN. The record is **not** durable until
     /// [`Wal::force`] returns. Empty payloads are rejected (a zero length is how
     /// the scanner recognises never-written space), as are payloads beyond the
@@ -191,9 +281,11 @@ impl Wal {
     /// picked up by the next one.
     pub fn force(&self) -> IoResult<()> {
         let _serialised = self.force_lock.lock();
-        let pending: Vec<(Lsn, Vec<u8>)> = {
+        // The mapping is stable for the whole force: truncation also holds the
+        // force lock, so `phys_start` cannot move under the writes below.
+        let (pending, phys_start): (Vec<(Lsn, Vec<u8>)>, u64) = {
             let mut inner = self.inner.lock();
-            std::mem::take(&mut inner.pending)
+            (std::mem::take(&mut inner.pending), inner.phys_start)
         };
         if pending.is_empty() {
             return Ok(());
@@ -219,7 +311,7 @@ impl Wal {
             // Preserve the earlier bytes of the first page.
             let existing = self
                 .io
-                .read_at(self.base_offset + page_base, (first_lsn - page_base) as usize)?;
+                .read_at(self.phys(page_base, phys_start), (first_lsn - page_base) as usize)?;
             region[..existing.len()].copy_from_slice(&existing);
         }
         let off = (first_lsn - page_base) as usize;
@@ -228,7 +320,7 @@ impl Wal {
         let reqs: Vec<WriteRequest> = region
             .chunks(self.page_size)
             .enumerate()
-            .map(|(i, chunk)| WriteRequest::new(self.base_offset + page_base + (i * self.page_size) as u64, chunk))
+            .map(|(i, chunk)| WriteRequest::new(self.phys(page_base, phys_start) + (i * self.page_size) as u64, chunk))
             .collect();
         if let Err(e) = self.io.psync_write(&reqs) {
             // Put the records back (ahead of any appended meanwhile, which hold
@@ -260,25 +352,36 @@ impl Wal {
     /// Reads every durable record back from the device and reports whether the
     /// log ends in a torn record.
     pub fn scan(&self) -> IoResult<WalScan> {
-        let durable = self.durable_lsn();
-        if durable == 0 {
+        // The force lock keeps the LSN→byte mapping stable: a concurrent
+        // truncation could otherwise compact pages out from under the reads.
+        let _serialised = self.force_lock.lock();
+        let (durable, trunc, phys_start) = {
+            let inner = self.inner.lock();
+            (inner.durable_lsn, inner.trunc_lsn, inner.phys_start)
+        };
+        if durable <= trunc {
             return Ok(WalScan {
                 records: Vec::new(),
                 torn_tail: false,
             });
         }
-        // Read the durable prefix in page-sized psync batches.
-        let n_pages = durable.div_ceil(self.page_size as u64);
-        let reqs: Vec<ReadRequest> = (0..n_pages)
-            .map(|p| ReadRequest::new(self.base_offset + p * self.page_size as u64, self.page_size))
+        // Read the durable tail past the truncation floor in page-sized psync
+        // batches (records below the floor are gone — logically always,
+        // physically after a compaction).
+        let ps = self.page_size as u64;
+        let first_page = trunc / ps;
+        let end_page = durable.div_ceil(ps);
+        let reqs: Vec<ReadRequest> = (first_page..end_page)
+            .map(|p| ReadRequest::new(self.phys(p * ps, phys_start), self.page_size))
             .collect();
         let (bufs, _) = self.io.psync_read(&reqs)?;
-        let mut all = Vec::with_capacity((n_pages as usize) * self.page_size);
+        let mut all = Vec::with_capacity(((end_page - first_page) as usize) * self.page_size);
         for b in bufs {
             all.extend_from_slice(&b);
         }
-        all.truncate(durable as usize);
-        Ok(parse_records(&all, 0))
+        let window_base = first_page * ps;
+        all.truncate((durable - window_base) as usize);
+        Ok(parse_records(&all[(trunc - window_base) as usize..], trunc))
     }
 
     /// Re-derives the durable LSN from the device and returns every intact
@@ -296,21 +399,42 @@ impl Wal {
         fn is_edge(e: &pio::IoError) -> bool {
             matches!(e, pio::IoError::OutOfBounds { .. })
         }
+        let _serialised = self.force_lock.lock();
         let known = self.durable_lsn();
+        // The bounded-recovery seek: adopt the newest durable truncation header
+        // (a restarted handle has none in memory) and start the forward scan at
+        // the floor it records instead of at byte 0 — replay work is then
+        // proportional to the records written since the last truncation, not to
+        // the log's lifetime.
+        if let Some(h) = self.load_header()? {
+            let mut inner = self.inner.lock();
+            if h.version > inner.header_version {
+                inner.header_version = h.version;
+                inner.trunc_lsn = h.trunc_lsn;
+                inner.phys_start = h.phys_start;
+                inner.truncated = h.truncated;
+            }
+        }
+        let (trunc, phys_start) = {
+            let inner = self.inner.lock();
+            (inner.trunc_lsn, inner.phys_start)
+        };
+        let ps = self.page_size as u64;
+        let window_base = (trunc / ps) * ps;
         // Read forward one page-aligned chunk at a time until the scan stops
         // making progress (clean end, torn record, or the device's edge). The
         // parse is incremental — each iteration parses only the bytes beyond
-        // the last complete record — so the whole scan is O(log size).
+        // the last complete record — so the whole scan is O(replayable bytes).
         const CHUNK_PAGES: u64 = 16;
         let chunk_len = (CHUNK_PAGES * self.page_size as u64) as usize;
         let mut window: Vec<u8> = Vec::new();
         let mut records: Vec<WalRecord> = Vec::new();
-        // Byte offset of the first not-yet-consumed record (== the log LSN,
-        // since the window starts at LSN 0).
-        let mut parse_from: usize = 0;
+        // Window offset of the first not-yet-consumed record (LSN −
+        // `window_base`; the floor itself may sit mid-page).
+        let mut parse_from: usize = (trunc - window_base) as usize;
         let mut torn_tail = false;
         loop {
-            let read_off = self.base_offset + window.len() as u64;
+            let read_off = self.phys(window_base + window.len() as u64, phys_start);
             let before = window.len();
             let mut edge = false;
             match self.io.read_at(read_off, chunk_len) {
@@ -319,7 +443,7 @@ impl Wal {
                     // The chunk overshoots the device's edge: take the pages
                     // that still fit, then finish with what the window holds.
                     while window.len() - before < chunk_len {
-                        let off = self.base_offset + window.len() as u64;
+                        let off = self.phys(window_base + window.len() as u64, phys_start);
                         match self.io.read_at(off, self.page_size) {
                             Ok(page) => window.extend_from_slice(&page),
                             Err(e) if is_edge(&e) => break,
@@ -330,9 +454,18 @@ impl Wal {
                 }
                 Err(e) => return Err(e),
             }
-            let tail_scan = parse_records(&window[parse_from..], parse_from as u64);
+            if window.len() <= parse_from {
+                // The window has not reached the floor yet (the floor sits
+                // mid-page and the device's edge — or a short chunk — cut the
+                // window before it).
+                if edge {
+                    break;
+                }
+                continue;
+            }
+            let tail_scan = parse_records(&window[parse_from..], window_base + parse_from as u64);
             if let Some(last) = tail_scan.records.last() {
-                parse_from = (last.lsn as usize) + HEADER + last.payload.len();
+                parse_from = (last.lsn - window_base) as usize + HEADER + last.payload.len();
             }
             records.extend(tail_scan.records);
             if edge {
@@ -364,7 +497,7 @@ impl Wal {
             // The window ended exactly at a record boundary; the next chunk may
             // hold more records.
         }
-        let end = parse_from as u64;
+        let end = window_base + parse_from as u64;
         let mut inner = self.inner.lock();
         inner.durable_lsn = end;
         inner.next_lsn = inner.next_lsn.max(end);
@@ -377,6 +510,150 @@ impl Wal {
             },
             WalScan { records, torn_tail },
         ))
+    }
+
+    /// Reads both truncation-header slots and returns the newest valid one, if
+    /// any. Never-written slots, torn slot writes and slots past the device's
+    /// edge all read as absent.
+    fn load_header(&self) -> IoResult<Option<TruncHeader>> {
+        let mut best: Option<TruncHeader> = None;
+        for slot in 0..HEADER_PAGES {
+            let off = self.base_offset + slot * self.page_size as u64;
+            let raw = match self.io.read_at(off, SLOT_LEN) {
+                Ok(raw) => raw,
+                Err(pio::IoError::OutOfBounds { .. }) => continue,
+                Err(e) => return Err(e),
+            };
+            if let Some(h) = decode_slot(&raw) {
+                if best.is_none_or(|b| h.version > b.version) {
+                    best = Some(h);
+                }
+            }
+        }
+        Ok(best)
+    }
+
+    /// Durably writes `h` into its slot page. The slot index is the version's
+    /// parity, so consecutive truncations alternate slots: a crash that tears
+    /// this write leaves the *other* slot's older-but-valid header intact, and
+    /// recovery lands on either the old head or the new head — never a torn
+    /// hybrid.
+    fn write_header(&self, h: &TruncHeader) -> IoResult<()> {
+        let mut page = vec![0u8; self.page_size];
+        page[..SLOT_LEN].copy_from_slice(&encode_slot(h));
+        let off = self.base_offset + (h.version % HEADER_PAGES) * self.page_size as u64;
+        self.io.write_at(off, &page)
+    }
+
+    /// Drops every record below `lsn` from the log and returns the number of
+    /// logical bytes dropped. `lsn` must be a record boundary (an LSN returned
+    /// by [`Wal::append`], or [`Wal::durable_lsn`]); it is clamped to the
+    /// durable LSN, and a floor at or below the current one is a no-op.
+    ///
+    /// Truncation is logical first: the floor is persisted in a header slot and
+    /// scans simply start at it. When the dead prefix has grown large enough to
+    /// hold the surviving tail, the truncation also **compacts** the region
+    /// physically — the survivors' pages are copied down to the region start
+    /// (into space that holds only dead records, so a crash at any point leaves
+    /// the old head recoverable), a zero page is written after them so scans
+    /// stop deterministically instead of walking into stale bytes, and only
+    /// then is the header flipped. Compaction therefore alternates with
+    /// logical-only rounds (a fresh compaction leaves no dead prefix), bounding
+    /// physical usage at roughly twice the bytes written per truncation round.
+    /// After a compaction the backend is told the space past the survivors is
+    /// dead ([`pio::ParallelIo::reclaim_to`]), which real-file backends turn
+    /// into a filesystem-level shrink.
+    ///
+    /// Crash safety: the header write is the *only* commit point. Everything
+    /// before it writes into dead space; a torn header write leaves the other
+    /// slot valid (see `Wal::write_header`).
+    pub fn truncate_to(&self, lsn: Lsn) -> IoResult<u64> {
+        // The force lock keeps the LSN→byte mapping stable under concurrent
+        // forces (same order as `force`: force lock, then inner).
+        let _serialised = self.force_lock.lock();
+        let (durable, old) = {
+            let inner = self.inner.lock();
+            (
+                inner.durable_lsn,
+                TruncHeader {
+                    version: inner.header_version,
+                    trunc_lsn: inner.trunc_lsn,
+                    phys_start: inner.phys_start,
+                    truncated: inner.truncated,
+                },
+            )
+        };
+        let target = lsn.min(durable);
+        if target <= old.trunc_lsn {
+            return Ok(0);
+        }
+        let ps = self.page_size as u64;
+        let new_phys = (target / ps) * ps;
+        // Bytes at the region start that hold only dead records under the old
+        // mapping — the space a compaction may write into.
+        let freed_prefix = (old.trunc_lsn / ps) * ps - old.phys_start;
+        // Pages that survive the truncation (the page holding the floor through
+        // the page holding the durable tail), rounded up whole.
+        let survivors = (durable - new_phys).div_ceil(ps) * ps;
+        let compact = new_phys > old.phys_start && survivors + ps <= freed_prefix;
+        let phys_start = if compact {
+            // Copy the survivors down to the region start. Destination end
+            // (survivors + terminator page) ≤ freed prefix ≤ source start, so
+            // the copy never overlaps itself and never touches live data.
+            let mut copied = 0u64;
+            while copied < survivors {
+                let page = self
+                    .io
+                    .read_at(self.phys(new_phys + copied, old.phys_start), self.page_size)?;
+                self.io.write_at(self.phys(new_phys + copied, new_phys), &page)?;
+                copied += ps;
+            }
+            // One zero page after the survivors: the scan's deterministic stop,
+            // in place of whatever stale record bytes the old mapping left there.
+            let zeros = vec![0u8; self.page_size];
+            self.io.write_at(self.data_base() + survivors, &zeros)?;
+            new_phys
+        } else {
+            old.phys_start
+        };
+        let header = TruncHeader {
+            version: old.version + 1,
+            trunc_lsn: target,
+            phys_start,
+            truncated: old.truncated + (target - old.trunc_lsn),
+        };
+        self.write_header(&header)?;
+        {
+            let mut inner = self.inner.lock();
+            inner.trunc_lsn = header.trunc_lsn;
+            inner.phys_start = header.phys_start;
+            inner.truncated = header.truncated;
+            inner.header_version = header.version;
+        }
+        if compact {
+            // Everything past the survivors and their terminator page is dead;
+            // backends with a real file can give it back to the filesystem.
+            self.io.reclaim_to(self.data_base() + survivors + ps)?;
+        }
+        Ok(target - old.trunc_lsn)
+    }
+
+    /// The truncation floor: the LSN of the oldest record the log still holds.
+    pub fn start_lsn(&self) -> Lsn {
+        self.inner.lock().trunc_lsn
+    }
+
+    /// Lifetime logical bytes dropped by truncation (survives restarts — it is
+    /// persisted in the truncation header).
+    pub fn truncated_bytes(&self) -> u64 {
+        self.inner.lock().truncated
+    }
+
+    /// Durable bytes a recovery would replay: everything between the
+    /// truncation floor and the durable LSN.
+    pub fn replayable_bytes(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.durable_lsn.saturating_sub(inner.trunc_lsn)
     }
 
     /// [`Wal::recover_scan`] without the record list (durability re-derivation
@@ -402,6 +679,9 @@ impl std::fmt::Debug for Wal {
             .field("base_offset", &self.base_offset)
             .field("next_lsn", &inner.next_lsn)
             .field("durable_lsn", &inner.durable_lsn)
+            .field("trunc_lsn", &inner.trunc_lsn)
+            .field("phys_start", &inner.phys_start)
+            .field("truncated", &inner.truncated)
             .field("pending", &inner.pending.len())
             .finish()
     }
@@ -639,5 +919,204 @@ mod tests {
         let recs = w2.read_all().unwrap();
         assert_eq!(recs.len(), 2);
         assert_eq!(recs[1].payload, b"lost-bookkeeping");
+    }
+
+    #[test]
+    fn truncate_drops_records_below_the_floor() {
+        let w = wal();
+        let mut lsns = Vec::new();
+        for i in 0..20u32 {
+            lsns.push(w.append(format!("rec-{i:02}").as_bytes()));
+        }
+        w.force().unwrap();
+        let floor = lsns[12];
+        let dropped = w.truncate_to(floor).unwrap();
+        assert_eq!(dropped, floor, "every byte below the floor is dropped");
+        assert_eq!(w.start_lsn(), floor);
+        assert_eq!(w.truncated_bytes(), floor);
+        assert_eq!(w.replayable_bytes(), w.durable_lsn() - floor);
+        let recs = w.read_all().unwrap();
+        assert_eq!(recs.len(), 8);
+        assert_eq!(recs[0].lsn, floor);
+        assert_eq!(recs[0].payload, b"rec-12");
+        // Truncating to (or below) the current floor is a no-op.
+        assert_eq!(w.truncate_to(lsns[5]).unwrap(), 0);
+        assert_eq!(w.truncate_to(floor).unwrap(), 0);
+        // The log stays appendable and LSNs keep increasing monotonically.
+        let tail = w.append(b"after-truncation");
+        assert!(tail > floor);
+        w.force().unwrap();
+        let recs = w.read_all().unwrap();
+        assert_eq!(recs.len(), 9);
+        assert_eq!(recs.last().unwrap().payload, b"after-truncation");
+    }
+
+    #[test]
+    fn truncation_survives_a_restart() {
+        let io: Arc<dyn ParallelIo> = Arc::new(SimPsyncIo::with_profile(DeviceProfile::F120, 64 << 20));
+        let w1 = Wal::new(Arc::clone(&io), 0, 4096);
+        let mut lsns = Vec::new();
+        for i in 0..30u32 {
+            lsns.push(w1.append(format!("persist-{i:02}").as_bytes()));
+        }
+        w1.force().unwrap();
+        let floor = lsns[17];
+        w1.truncate_to(floor).unwrap();
+        // A restarted handle with no in-memory state: the header slot tells it
+        // the floor and the recovery scan starts there, not at byte 0.
+        let w2 = Wal::new(io, 0, 4096);
+        let (report, scan) = w2.recover_scan().unwrap();
+        assert!(!report.torn_tail);
+        assert_eq!(report.durable_lsn, w1.durable_lsn());
+        assert_eq!(w2.start_lsn(), floor);
+        assert_eq!(w2.truncated_bytes(), floor);
+        assert_eq!(scan.records.len(), 13);
+        assert_eq!(scan.records[0].lsn, floor);
+        assert_eq!(scan.records[0].payload, b"persist-17");
+        // And the restarted handle appends where the old one left off.
+        w2.append(b"continues");
+        w2.force().unwrap();
+        assert_eq!(w2.read_all().unwrap().last().unwrap().payload, b"continues");
+    }
+
+    /// Round after round of append → force → truncate must bound the log's
+    /// *physical* footprint, not just its logical replay window: the dead
+    /// prefix is periodically compacted away by sliding the survivors back to
+    /// the region start.
+    #[test]
+    fn repeated_truncation_compacts_the_region_physically() {
+        let io: Arc<dyn ParallelIo> = Arc::new(SimPsyncIo::with_profile(DeviceProfile::F120, 64 << 20));
+        let w = Wal::new(Arc::clone(&io), 0, 4096);
+        let mut last_tail = 0;
+        for round in 0..6u32 {
+            for i in 0..60u32 {
+                w.append(&vec![(round * 60 + i) as u8; 1000]);
+            }
+            last_tail = w.append(format!("tail-{round}").as_bytes());
+            w.force().unwrap();
+            w.truncate_to(last_tail).unwrap();
+            assert!(
+                w.replayable_bytes() < 2 * 4096,
+                "round {round}: the replay window stays bounded at the tail record"
+            );
+        }
+        let (durable, phys_start) = {
+            let inner = w.inner.lock();
+            (inner.durable_lsn, inner.phys_start)
+        };
+        assert!(phys_start > 0, "six rounds must have compacted at least once");
+        let physical_extent = durable - phys_start;
+        assert!(
+            physical_extent * 2 < durable,
+            "physical footprint ({physical_extent} B) stays far below lifetime bytes ({durable} B)"
+        );
+        // The surviving tail reads back through the moved mapping...
+        let recs = w.read_all().unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].payload, b"tail-5");
+        // ...and a restarted handle agrees byte for byte.
+        let w2 = Wal::new(io, 0, 4096);
+        let (report, scan) = w2.recover_scan().unwrap();
+        assert!(!report.torn_tail);
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.records[0].lsn, last_tail);
+        assert_eq!(scan.records[0].payload, b"tail-5");
+    }
+
+    /// A crash that tears the truncation-header write must leave the log on
+    /// exactly the old head or the new head — the slots alternate, so the
+    /// previous header always survives a torn write of the next one.
+    #[test]
+    fn torn_truncation_header_leaves_old_or_new_head() {
+        // Below 44 bytes the new slot's checksum cannot be complete → old
+        // head; at 44+ the slot is whole (the rest of its page is zeros
+        // anyway) → new head. Both are legal; torn hybrids are not.
+        for keep_bytes in [0usize, 7, 43, 44, 100] {
+            let clock = FaultClock::new();
+            let sim: Arc<dyn IoQueue> = Arc::new(SimPsyncIo::with_profile(DeviceProfile::F120, 64 << 20));
+            let faulty: Arc<dyn ParallelIo> = Arc::new(FaultIo::new(sim, Arc::clone(&clock)));
+            let w = Wal::new(Arc::clone(&faulty), 0, 4096);
+            let mut lsns = Vec::new();
+            for i in 0..12u32 {
+                lsns.push(w.append(format!("t-{i:02}").as_bytes()));
+            }
+            w.force().unwrap();
+            let first_floor = lsns[4];
+            w.truncate_to(first_floor).unwrap();
+            // Tear the second truncation's header write mid-page. (Both
+            // truncations are logical-only — everything fits in page 0 — so
+            // the header is the truncation's sole write.)
+            let second_floor = lsns[9];
+            clock.arm(CrashPlan::at_write(clock.writes_seen()).with_torn(TornWrite {
+                keep_requests: 0,
+                keep_bytes_of_next: keep_bytes,
+            }));
+            assert!(w.truncate_to(second_floor).is_err(), "keep_bytes={keep_bytes}");
+            clock.heal();
+
+            // A restarted handle must land on exactly one of the two heads.
+            let w2 = Wal::new(faulty, 0, 4096);
+            let (report, scan) = w2.recover_scan().unwrap();
+            assert!(!report.torn_tail, "keep_bytes={keep_bytes}");
+            let floor = w2.start_lsn();
+            assert!(
+                floor == first_floor || floor == second_floor,
+                "keep_bytes={keep_bytes}: floor {floor} is neither the old nor the new head"
+            );
+            let from = lsns.iter().position(|&l| l == floor).unwrap();
+            assert_eq!(scan.records.len(), 12 - from, "keep_bytes={keep_bytes}");
+            assert_eq!(scan.records[0].lsn, floor);
+            for (r, &lsn) in scan.records.iter().zip(&lsns[from..]) {
+                assert_eq!(r.lsn, lsn, "keep_bytes={keep_bytes}: surviving records are intact");
+            }
+        }
+    }
+
+    /// A crash in the middle of a compaction's copy phase is harmless: the
+    /// copies only ever write into space that holds dead records, and the
+    /// header — the sole commit point — was never flipped.
+    #[test]
+    fn crash_during_compaction_copy_preserves_the_old_head() {
+        let clock = FaultClock::new();
+        let sim: Arc<dyn IoQueue> = Arc::new(SimPsyncIo::with_profile(DeviceProfile::F120, 64 << 20));
+        let faulty: Arc<dyn ParallelIo> = Arc::new(FaultIo::new(sim, Arc::clone(&clock)));
+        let w = Wal::new(Arc::clone(&faulty), 0, 4096);
+        // Round 1: ~5 pages of records, then a logical-only truncation (the
+        // floor advances but the bytes stay where they are).
+        let mut lsns = Vec::new();
+        for i in 0..20u32 {
+            lsns.push(w.append(&vec![i as u8 + 1; 1000]));
+        }
+        w.force().unwrap();
+        let first_floor = lsns[18];
+        w.truncate_to(first_floor).unwrap();
+        // Round 2: this truncation has a dead prefix to compact into. Crash
+        // on its first copy write.
+        for i in 20..24u32 {
+            lsns.push(w.append(&vec![i as u8 + 1; 1000]));
+        }
+        w.force().unwrap();
+        let second_floor = lsns[22];
+        clock.arm(CrashPlan::at_write(clock.writes_seen()).transient());
+        assert!(w.truncate_to(second_floor).is_err(), "the compaction copy write fails");
+        clock.heal();
+
+        // The header was never flipped: a restarted handle sees the old head,
+        // records intact.
+        let w2 = Wal::new(faulty, 0, 4096);
+        let (report, scan) = w2.recover_scan().unwrap();
+        assert!(!report.torn_tail);
+        assert_eq!(w2.start_lsn(), first_floor);
+        assert_eq!(scan.records.len(), lsns.len() - 18);
+        for (r, &lsn) in scan.records.iter().zip(&lsns[18..]) {
+            assert_eq!(r.lsn, lsn, "old-head records are intact");
+        }
+        // Healed, the retried truncation succeeds — and compacts.
+        let moved = w2.truncate_to(second_floor).unwrap();
+        assert!(moved > 0);
+        assert!(w2.inner.lock().phys_start > 0, "the retried truncation compacts");
+        let recs = w2.read_all().unwrap();
+        assert_eq!(recs.first().unwrap().lsn, second_floor);
+        assert_eq!(recs.len(), 2);
     }
 }

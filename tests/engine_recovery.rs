@@ -13,7 +13,7 @@ mod common;
 
 use common::crash::{crashy_engine, per_backend_clocks, seeded_rng};
 use engine::{EngineBuilder, EngineConfig, ShardedPioEngine};
-use pio::{CrashPlan, FaultClock};
+use pio::{CrashPlan, FaultClock, TornWrite};
 use pio_btree::PioConfig;
 use rand::Rng;
 use ssd_sim::DeviceProfile;
@@ -63,7 +63,10 @@ fn workload() -> Vec<Op> {
             })
             .collect();
         ops.push(Op::Batch(batch));
-        if b == 3 || b == 8 {
+        // Three mid-stream checkpoints: each one truncates the shard WALs and
+        // the engine log, so the randomized sweep's crash points also land
+        // before, during and after truncation-marker writes.
+        if b == 3 || b == 5 || b == 8 {
             ops.push(Op::Checkpoint);
         }
     }
@@ -230,6 +233,72 @@ fn crash_after_commit_replays_the_batch() {
     engine.checkpoint().unwrap();
     assert_eq!(engine_state(&engine), oracle(&seed_entries(), &[Op::Batch(batch)]));
     engine.check_invariants().unwrap();
+}
+
+// ------------------------------------------------------- truncation crash sweep --
+
+/// Every write position inside a log-truncating checkpoint, plus torn-write
+/// variants of those positions: the crash lands before, during and after the
+/// truncation-marker writes — on the shard WALs and the engine epoch log alike
+/// (the shared clock counts every backend's submissions). All data was acked
+/// before the checkpoint started, so NOTHING may be lost: a half-truncated log
+/// must recover exactly like an untruncated one.
+#[test]
+fn crash_points_inside_checkpoint_truncation_lose_nothing() {
+    let cfg = config();
+    let seeds = seed_entries();
+    let ops = workload();
+    let expected = oracle(&seeds, &ops);
+
+    // Profiling run: count the writes of the final checkpoint, which both
+    // flushes every dirty shard and truncates all four logs.
+    let clock = FaultClock::new();
+    let engine = crashy_engine(&cfg, &seeds, &clock);
+    run_ops(&engine, &ops).expect("clean run must not fail");
+    let before = clock.writes_seen();
+    engine.checkpoint().expect("profiling checkpoint");
+    let ckpt_writes = clock.writes_seen() - before;
+    drop(engine);
+    assert!(
+        ckpt_writes >= 8,
+        "the checkpoint must write flush pages AND truncation markers: {ckpt_writes}"
+    );
+
+    // Sweep every position at least once; keep going with torn-write variants
+    // (a prefix of the marker page survives) until >= 150 points ran.
+    let trials = (ckpt_writes as usize).max(150);
+    for t in 0..trials {
+        let k = (t as u64) % ckpt_writes;
+        let clock = FaultClock::new();
+        let engine = crashy_engine(&cfg, &seeds, &clock);
+        run_ops(&engine, &ops).expect("clean prefix must not fail");
+        let mut plan = CrashPlan::at_write(clock.writes_seen() + k);
+        if t >= ckpt_writes as usize {
+            plan = plan.with_torn(TornWrite {
+                keep_requests: 0,
+                keep_bytes_of_next: t % 97,
+            });
+        }
+        clock.arm(plan);
+        // The checkpoint may or may not surface the injected error (a crash
+        // after its last write succeeds); either way the on-disk state is the
+        // armed cut.
+        let _ = engine.checkpoint();
+        clock.heal();
+        engine.simulate_crash();
+        let report = engine
+            .recover()
+            .unwrap_or_else(|e| panic!("trial {t} (ckpt write {k}): recovery failed: {e}"));
+        assert_eq!(
+            engine_state(&engine),
+            expected,
+            "trial {t} (ckpt write {k}): acked data lost or resurrected across a \
+             half-truncated log (report {report:?})"
+        );
+        engine
+            .check_invariants()
+            .unwrap_or_else(|e| panic!("trial {t} (ckpt write {k}): invariants violated: {e}"));
+    }
 }
 
 // ---------------------------------------------------------- randomized sweep --
