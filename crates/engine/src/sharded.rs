@@ -161,7 +161,9 @@ impl EpochCoordinator {
     /// undecided epoch, given a candidate checkpoint cut `upto`.
     fn truncation_floor(&self, upto: Lsn) -> Lsn {
         let pins = self.in_flight.lock();
-        match pins.values().next() {
+        // Minimum pinned LSN, not the first map entry: epoch ids are allocated
+        // outside this lock, so id order need not match Begin-LSN order.
+        match pins.values().min() {
             Some(&pin) => upto.min(pin),
             None => upto,
         }
@@ -1857,6 +1859,27 @@ mod tests {
                     .build(),
             )
             .build()
+    }
+
+    /// Epoch ids are allocated outside the pin lock, so a smaller id can pin a
+    /// HIGHER Begin-LSN than a larger one. The truncation floor must be the
+    /// minimum pinned LSN, not the smallest-id entry's pin — taking the latter
+    /// would let a checkpoint truncate a still-undecided epoch's Begin record.
+    #[test]
+    fn truncation_floor_uses_the_minimum_pin_not_the_smallest_epoch_id() {
+        let io: Arc<dyn ParallelIo> = Arc::new(pio::SimPsyncIo::with_profile(DeviceProfile::F120, 16 << 20));
+        let coord = EpochCoordinator {
+            log: EpochLog::new(Wal::new(io, 0, 2048)),
+            next_epoch: AtomicU64::new(7),
+            in_flight: Mutex::new(std::collections::BTreeMap::new()),
+        };
+        assert_eq!(coord.truncation_floor(1000), 1000, "no pins: the cut passes through");
+        // Inverted order: epoch 5 began at LSN 900, epoch 6 at LSN 400.
+        coord.in_flight.lock().extend([(5u64, 900u64), (6u64, 400u64)]);
+        assert_eq!(coord.truncation_floor(1000), 400, "the floor is the minimum pin");
+        assert_eq!(coord.truncation_floor(300), 300, "a cut below every pin is unaffected");
+        coord.in_flight.lock().remove(&6);
+        assert_eq!(coord.truncation_floor(1000), 900, "the floor follows the surviving pin");
     }
 
     #[test]

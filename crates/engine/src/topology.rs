@@ -94,8 +94,13 @@ pub struct EngineManifest {
 impl EngineManifest {
     /// Serialises the manifest into its line-based text form (the build
     /// environment has no serde; the format is a versioned `key=value` list).
+    ///
+    /// v2 marks the WAL on-disk layout that reserves the first two pages of
+    /// every log region for truncation-header slots (record data starts at the
+    /// third page). v1 directories — whose WAL records start at byte 0 — are
+    /// rejected at decode rather than having their logs silently mis-parsed.
     pub fn encode(&self) -> String {
-        let mut out = String::from("pio-engine-manifest v1\n");
+        let mut out = String::from("pio-engine-manifest v2\n");
         out.push_str(&format!("shards={}\n", self.shards));
         out.push_str(&format!("page_size={}\n", self.page_size));
         out.push_str(&format!("wal={}\n", u8::from(self.wal_enabled)));
@@ -108,10 +113,12 @@ impl EngineManifest {
     }
 
     /// Parses the text form produced by [`EngineManifest::encode`]. Returns
-    /// `None` for unknown versions or malformed content.
+    /// `None` for unknown versions or malformed content — including v1
+    /// manifests, whose WAL regions use the pre-truncation layout this code
+    /// can no longer read (see [`EngineManifest::encode`]).
     pub fn decode(text: &str) -> Option<Self> {
         let mut lines = text.lines();
-        if lines.next()? != "pio-engine-manifest v1" {
+        if lines.next()? != "pio-engine-manifest v2" {
             return None;
         }
         let mut shards = None;
