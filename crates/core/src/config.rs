@@ -52,6 +52,14 @@ pub struct PioConfig {
     /// leaf fetch, bupdate prefetch, bulk-load writes, the `locate_leaves`
     /// descent): how many `PioMax`-bounded batches stay in flight at once.
     pub pipeline_depth: PipelineDepth,
+    /// Page budget of the in-memory inner-node tier
+    /// ([`crate::inner_tier::InnerTier`]); 0 (the default) disables the tier
+    /// and every descent takes the store wavefront.
+    pub inner_tier_pages: u64,
+    /// Page budget of the scan-resistant leaf-region cache installed on the
+    /// tree's store ([`storage::LeafCache`]); 0 (the default) disables it and
+    /// leaf-region reads always go to the device.
+    pub leaf_cache_pages: u64,
 }
 
 impl Default for PioConfig {
@@ -67,6 +75,8 @@ impl Default for PioConfig {
             fill_factor: 0.7,
             wal_enabled: false,
             pipeline_depth: PipelineDepth::Auto,
+            inner_tier_pages: 0,
+            leaf_cache_pages: 0,
         }
     }
 }
@@ -192,6 +202,19 @@ impl PioConfigBuilder {
         self
     }
 
+    /// Sets the in-memory inner-node tier budget in pages (0 disables it).
+    pub fn inner_tier_pages(mut self, pages: u64) -> Self {
+        self.config.inner_tier_pages = pages;
+        self
+    }
+
+    /// Sets the scan-resistant leaf-region cache budget in pages (0 disables
+    /// it).
+    pub fn leaf_cache_pages(mut self, pages: u64) -> Self {
+        self.config.leaf_cache_pages = pages;
+        self
+    }
+
     /// Finalises the configuration.
     ///
     /// # Panics
@@ -229,6 +252,8 @@ mod tests {
             .pool_pages(64)
             .fill_factor(0.9)
             .wal(true)
+            .inner_tier_pages(256)
+            .leaf_cache_pages(512)
             .build();
         assert_eq!(c.page_size, 2048);
         assert_eq!(c.leaf_segments, 4);
@@ -238,6 +263,8 @@ mod tests {
         assert_eq!(c.bcnt, 200);
         assert_eq!(c.pool_pages, 64);
         assert!(c.wal_enabled);
+        assert_eq!(c.inner_tier_pages, 256);
+        assert_eq!(c.leaf_cache_pages, 512);
         assert_eq!(c.leaf_bytes(), 8192);
     }
 

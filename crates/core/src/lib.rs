@@ -39,6 +39,22 @@
 //! `PioMax · (treeHeight − 1)` buffer bound, and every pipeline drains its
 //! in-flight tickets before surfacing an error.
 //!
+//! ## The in-memory inner tier
+//!
+//! With [`PioConfig::inner_tier_pages`] set, the tree pins an immutable
+//! snapshot of all internal levels in memory ([`inner_tier::InnerTier`]) and
+//! every descent — point search, multi-search, prange, bupdate — probes it
+//! first, falling back to the ticketed `locate_leaves` wavefront only when the
+//! tier is cold or stale (startup, recovery, migration import). Snapshots are
+//! republished at the only points where the structure can change (flush
+//! commit, recovery, bulk load) through a seqlock-style version counter, so
+//! concurrent readers validate optimistically and retry instead of taking
+//! latches. [`PioConfig::leaf_cache_pages`] independently installs a
+//! scan-resistant leaf-region cache ([`storage::LeafCache`]) on the store, so
+//! a warm tree can serve hot point lookups without any descent I/O while
+//! `range_search` streams bypass the cache's admission. Both default to 0
+//! (off), preserving the paper-faithful I/O pattern.
+//!
 //! ## Quick example
 //!
 //! ```
@@ -68,6 +84,7 @@ pub mod concurrent;
 pub mod config;
 pub mod cost;
 pub mod entry;
+pub mod inner_tier;
 pub mod leaf;
 pub mod lsmap;
 pub mod mpsearch;
@@ -79,6 +96,7 @@ pub use concurrent::ConcurrentPioBTree;
 pub use config::{PioConfig, PioConfigBuilder, PipelineDepth};
 pub use cost::{recommended_shards, CostModel, ShardTuning, WorkloadMix};
 pub use entry::{OpEntry, OpKind};
+pub use inner_tier::{InnerSnapshot, InnerTier, InnerTierStats};
 pub use leaf::PioLeaf;
 pub use lsmap::LsMap;
 pub use opq::OperationQueue;

@@ -17,6 +17,7 @@
 
 use crate::config::PioConfig;
 use crate::entry::{OpEntry, OpKind};
+use crate::inner_tier::InnerTier;
 use crate::leaf::PioLeaf;
 use crate::lsmap::LsMap;
 use crate::mpsearch::{locate_leaves, locate_leaves_in_range, LeafLocation};
@@ -61,6 +62,15 @@ pub struct PioStats {
     pub internal_splits: u64,
     /// Times the tree grew a level.
     pub height_growths: u64,
+    /// Descents fully served by the in-memory inner tier (no inner-node I/O).
+    pub inner_tier_hits: u64,
+    /// Descents that fell back to the store wavefront (tier cold/stale/over
+    /// budget).
+    pub inner_tier_misses: u64,
+    /// Inner-tier snapshots rebuilt and published.
+    pub inner_tier_rebuilds: u64,
+    /// Optimistic-read retries against the inner tier's snapshot epoch.
+    pub inner_tier_retries: u64,
 }
 
 impl PioStats {
@@ -84,6 +94,10 @@ impl PioStats {
             leaf_splits,
             internal_splits,
             height_growths,
+            inner_tier_hits,
+            inner_tier_misses,
+            inner_tier_rebuilds,
+            inner_tier_retries,
         } = *other;
         self.searches += searches;
         self.multi_searches += multi_searches;
@@ -99,6 +113,10 @@ impl PioStats {
         self.leaf_splits += leaf_splits;
         self.internal_splits += internal_splits;
         self.height_growths += height_growths;
+        self.inner_tier_hits += inner_tier_hits;
+        self.inner_tier_misses += inner_tier_misses;
+        self.inner_tier_rebuilds += inner_tier_rebuilds;
+        self.inner_tier_retries += inner_tier_retries;
     }
 
     /// Total update-type operations accepted (inserts + deletes + updates).
@@ -178,6 +196,11 @@ pub struct PioBTree {
     /// Operations accepted since the last checkpoint — the engine's dirty-shard
     /// test (a clean shard's checkpoint would be pure overhead).
     dirty_ops: u64,
+    /// The in-memory inner-node tier: probed before every descent, rebuilt at
+    /// the flush-commit points where the structure can change, invalidated on
+    /// crash/rollback. Disabled (always cold) when
+    /// `config.inner_tier_pages == 0`.
+    tier: InnerTier,
 }
 
 impl std::fmt::Debug for PioBTree {
@@ -330,7 +353,9 @@ impl PioBTree {
         }
 
         let root = level[0].1;
-        Ok(Self {
+        store.set_leaf_cache(config.leaf_cache_pages);
+        let tier = InnerTier::new(config.inner_tier_pages);
+        let tree = Self {
             store,
             opq: OperationQueue::new(config.opq_pages, config.page_size, config.speriod),
             lsmap,
@@ -344,7 +369,12 @@ impl PioBTree {
             open_brackets: BTreeMap::new(),
             dirty_ops: 0,
             config,
-        })
+            tier,
+        };
+        // Warm the tier from the freshly written internal levels (pool-hot, so
+        // this is a memory walk, not device I/O).
+        tree.tier.rebuild_from(&tree.store, tree.root, tree.height)?;
+        Ok(tree)
     }
 
     /// Reopens a tree over a store that already holds its pages — the restart
@@ -376,6 +406,12 @@ impl PioBTree {
             )));
         }
         let pipeline_depth = config.resolve_pipeline_depth(store.queue_depth_hint());
+        store.set_leaf_cache(config.leaf_cache_pages);
+        let tier = InnerTier::new(config.inner_tier_pages);
+        // The tier stays cold here on purpose: the manifest snapshot may be
+        // stale (a WAL attached afterwards rolls the root forward), so the
+        // rebuild happens at the end of recovery — or on the first
+        // `refresh_inner_tier` tick for WAL-less reopens.
         Ok(Self {
             store,
             opq: OperationQueue::new(config.opq_pages, config.page_size, config.speriod),
@@ -390,6 +426,7 @@ impl PioBTree {
             open_brackets: BTreeMap::new(),
             dirty_ops: 0,
             config,
+            tier,
         })
     }
 
@@ -454,9 +491,47 @@ impl PioBTree {
         self.height - 1
     }
 
-    /// Operation counters.
+    /// Operation counters, with the inner tier's atomics folded in.
     pub fn stats(&self) -> PioStats {
-        self.stats
+        let mut stats = self.stats;
+        let tier = self.tier.stats();
+        stats.inner_tier_hits = tier.hits;
+        stats.inner_tier_misses = tier.misses;
+        stats.inner_tier_rebuilds = tier.rebuilds;
+        stats.inner_tier_retries = tier.retries;
+        stats
+    }
+
+    /// The in-memory inner-node tier (cold and disabled unless
+    /// [`PioConfig::inner_tier_pages`] is set).
+    pub fn inner_tier(&self) -> &InnerTier {
+        &self.tier
+    }
+
+    /// Rebuilds the inner tier's snapshot from the store if the tier is
+    /// enabled and not already warm for the current root — the engine's
+    /// maintenance tick and post-migration refresh. Returns whether a rebuild
+    /// ran. A failed rebuild leaves the tier cold (every descent falls back),
+    /// never stale.
+    pub fn refresh_inner_tier(&mut self) -> IoResult<bool> {
+        if !self.tier.enabled() {
+            return Ok(false);
+        }
+        if let Some(snap) = self.tier.load() {
+            if snap.root == self.root && snap.height == self.height {
+                return Ok(false);
+            }
+        }
+        self.tier.rebuild_from(&self.store, self.root, self.height)
+    }
+
+    /// Rebuild variant for the flush hot path: an I/O error during the rebuild
+    /// must not fail the flush that already committed, so it only leaves the
+    /// tier cold (correctness never depends on the tier).
+    fn rebuild_tier_after_structural_change(&mut self) {
+        if self.tier.enabled() {
+            let _ = self.tier.rebuild_from(&self.store, self.root, self.height);
+        }
     }
 
     /// Number of operations currently buffered in the OPQ.
@@ -494,11 +569,18 @@ impl PioBTree {
         if let Some(verdict) = self.opq.lookup(key) {
             return Ok(verdict);
         }
-        let mut page = self.root;
-        for _ in 0..self.internal_levels() {
-            let node = Node::decode(&self.store.read_page(page)?).expect_internal();
-            page = node.children[node.child_for(key)];
-        }
+        let page = match self.tier.probe_leaf(self.root, self.height, key) {
+            Some(leaf) => leaf,
+            None => {
+                // Tier cold or stale: page-at-a-time descent through the store.
+                let mut page = self.root;
+                for _ in 0..self.internal_levels() {
+                    let node = Node::decode(&self.store.read_page(page)?).expect_internal();
+                    page = node.children[node.child_for(key)];
+                }
+                page
+            }
+        };
         let image = self.store.read_region(page, self.config.leaf_segments as u64)?;
         let leaf = PioLeaf::decode(&image, self.config.leaf_segments, self.config.page_size);
         Ok(leaf.lookup(key).unwrap_or(None))
@@ -516,14 +598,19 @@ impl PioBTree {
         let mut order: Vec<usize> = (0..keys.len()).collect();
         order.sort_by_key(|&i| keys[i]);
         let sorted_keys: Vec<Key> = order.iter().map(|&i| keys[i]).collect();
-        let locs = locate_leaves(
-            &self.store,
-            self.root,
-            self.internal_levels(),
-            &sorted_keys,
-            self.config.pio_max,
-            self.pipeline_depth,
-        )?;
+        let locs = match self.tier.probe_leaves(self.root, self.height, &sorted_keys) {
+            Some(locs) => locs,
+            // Fallback: the ticketed store wavefront, which keeps the paper's
+            // `PioMax · (treeHeight − 1)` buffer bound.
+            None => locate_leaves(
+                &self.store,
+                self.root,
+                self.internal_levels(),
+                &sorted_keys,
+                self.config.pio_max,
+                self.pipeline_depth,
+            )?,
+        };
 
         let mut results = vec![None; keys.len()];
         let l = self.config.leaf_segments as u64;
@@ -586,15 +673,18 @@ impl PioBTree {
         if lo >= hi {
             return Ok(Vec::new());
         }
-        let leaves = locate_leaves_in_range(
-            &self.store,
-            self.root,
-            self.internal_levels(),
-            lo,
-            hi,
-            self.config.pio_max,
-            self.pipeline_depth,
-        )?;
+        let leaves = match self.tier.probe_range(self.root, self.height, lo, hi) {
+            Some(leaves) => leaves,
+            None => locate_leaves_in_range(
+                &self.store,
+                self.root,
+                self.internal_levels(),
+                lo,
+                hi,
+                self.config.pio_max,
+                self.pipeline_depth,
+            )?,
+        };
         let l = self.config.leaf_segments as u64;
         let mut merged: BTreeMap<Key, Value> = BTreeMap::new();
         // Leaf regions are fetched through the same depth-N ticket pipeline as
@@ -606,7 +696,10 @@ impl PioBTree {
             batches.len(),
             |batch_idx| {
                 let regions: Vec<(PageId, u64)> = batches[batch_idx].iter().map(|&p| (p, l)).collect();
-                self.store.submit_read_regions(&regions)
+                // Scan-hinted: the stream may hit resident leaf-cache entries
+                // but never evicts the point-lookup working set.
+                self.store
+                    .submit_read_regions_hinted(&regions, storage::AccessHint::Scan)
             },
             |ticket| self.store.complete_read_regions(ticket),
             |_, images| {
@@ -849,6 +942,11 @@ impl PioBTree {
         }
         self.root = root;
         self.height = height;
+        // The store may hold partially rolled-back pages if any rollback write
+        // failed (errors are swallowed above); the tier must not keep serving a
+        // snapshot the store no longer matches. It warms again at the next
+        // flush commit or maintenance refresh.
+        self.tier.invalidate();
     }
 
     /// Flushes the entire OPQ (checkpoint / shutdown), then writes a checkpoint record
@@ -940,16 +1038,21 @@ impl PioBTree {
             wal.force()?;
         }
 
-        // 1. Locate the target leaf of every entry with an MPSearch-style descent.
+        // 1. Locate the target leaf of every entry with an MPSearch-style descent,
+        // probing the pinned inner tier first; the store wavefront fallback keeps
+        // the paper's PioMax·(treeHeight−1) buffer bound.
         let keys: Vec<Key> = ops.iter().map(|e| e.key).collect();
-        let locs = locate_leaves(
-            &self.store,
-            self.root,
-            self.internal_levels(),
-            &keys,
-            self.config.pio_max,
-            self.pipeline_depth,
-        )?;
+        let locs = match self.tier.probe_leaves(self.root, self.height, &keys) {
+            Some(locs) => locs,
+            None => locate_leaves(
+                &self.store,
+                self.root,
+                self.internal_levels(),
+                &keys,
+                self.config.pio_max,
+                self.pipeline_depth,
+            )?,
+        };
         let jobs = Self::group_jobs(ops, &locs);
 
         // 2. Apply the operations leaf by leaf, in PioMax-sized psync batches.
@@ -997,12 +1100,22 @@ impl PioBTree {
         }
 
         // 3. Propagate fence keys upward, level by level.
+        let had_fences = !fences.is_empty();
         self.propagate_fences(fences, flush_id, undo)?;
 
         // WAL: flush completed.
         if let Some(wal) = &self.wal {
             wal.append(&LogRecord::FlushEnd { flush_id }.encode());
             wal.force()?;
+        }
+
+        // 4. Republish the inner tier at the flush-commit point. The key→leaf
+        // mapping and the separators can only change through the fence
+        // propagation above (split leaves keep their first page; appends and
+        // in-place rewrites do not move keys between leaves), so a fence-free
+        // flush leaves the existing snapshot exact.
+        if had_fences {
+            self.rebuild_tier_after_structural_change();
         }
         Ok(())
     }
@@ -1321,6 +1434,7 @@ impl PioBTree {
         let lost = self.opq.len();
         self.opq.clear();
         self.store.drop_cache();
+        self.tier.invalidate();
         self.lsmap.clear();
         // In-flight epoch verdicts die with the process; recovery re-derives
         // every epoch's fate from the engine log before truncation resumes.
@@ -1376,6 +1490,9 @@ impl PioBTree {
     ///    re-appended to the OPQ in log order; discarded records are dropped.
     pub fn recover_with(&mut self, keep_epoch: &mut dyn FnMut(u64) -> bool) -> IoResult<RecoveryReport> {
         self.open_brackets.clear();
+        // The pre-crash snapshot may describe structure the crash rolled back;
+        // stay cold until the pass settles on the recovered root.
+        self.tier.invalidate();
         let Some(wal) = &self.wal else {
             return Ok(RecoveryReport::default());
         };
@@ -1643,6 +1760,9 @@ impl PioBTree {
                 self.opq.append(*entry);
             }
         }
+        // The recovered structure is now authoritative; re-pin the inner tier
+        // (best effort — a failed rebuild just leaves it cold).
+        self.rebuild_tier_after_structural_change();
         Ok(report)
     }
 

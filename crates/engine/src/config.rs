@@ -69,6 +69,16 @@ pub struct EngineConfig {
     pub max_batch_size: usize,
     /// Knobs of the elastic shard rebalancer (see [`crate::rebalance`]).
     pub rebalance: RebalanceConfig,
+    /// Engine-wide memory budget, in bytes, of the pinned in-memory inner-node
+    /// tier (divided across shards like the pool; each shard keeps at least one
+    /// page). `None` (the default) disables the tier; `Some(0)` is rejected —
+    /// spell "off" as `None`. Must be a multiple of `base.page_size`.
+    pub inner_tier_bytes: Option<u64>,
+    /// Engine-wide memory budget, in bytes, of the scan-resistant leaf-region
+    /// cache (divided across shards; at least one page each). `None` (the
+    /// default) disables it; `Some(0)` is rejected; must be a multiple of
+    /// `base.page_size`.
+    pub leaf_cache_bytes: Option<u64>,
 }
 
 /// Policy knobs of the elastic shard rebalancer (the [`crate::rebalance`]
@@ -159,6 +169,8 @@ impl Default for EngineConfig {
             max_batch_delay_us: 200,
             max_batch_size: 64,
             rebalance: RebalanceConfig::default(),
+            inner_tier_bytes: None,
+            leaf_cache_bytes: None,
         }
     }
 }
@@ -175,8 +187,17 @@ impl EngineConfig {
     /// each shard owns its own full-size queue.
     pub fn shard_config(&self) -> PioConfig {
         let shards = self.shards.max(1) as u64;
+        let page = self.base.page_size as u64;
         let mut cfg = self.base.clone();
         cfg.pool_pages = (self.base.pool_pages / shards).max(1);
+        // The engine-level byte budgets are authoritative: they override
+        // whatever the base template carries, including its 0 default.
+        if let Some(bytes) = self.inner_tier_bytes {
+            cfg.inner_tier_pages = (bytes / page / shards).max(1);
+        }
+        if let Some(bytes) = self.leaf_cache_bytes {
+            cfg.leaf_cache_pages = (bytes / page / shards).max(1);
+        }
         cfg
     }
 
@@ -212,8 +233,27 @@ impl EngineConfig {
             return Err("max_batch_size must be at least 1 (1 is the request-at-a-time baseline)".into());
         }
         self.rebalance.validate()?;
+        let page = self.base.page_size as u64;
+        for (name, budget) in [
+            ("inner_tier_bytes", self.inner_tier_bytes),
+            ("leaf_cache_bytes", self.leaf_cache_bytes),
+        ] {
+            if let Some(bytes) = budget {
+                if bytes == 0 {
+                    return Err(format!(
+                        "{name} must be non-zero when set — a zero budget caches nothing; \
+                         use None to disable it explicitly"
+                    ));
+                }
+                if !bytes.is_multiple_of(page) {
+                    return Err(format!(
+                        "{name} ({bytes}) must be a multiple of base.page_size ({page}) — the \
+                         budget is carved into whole pages per shard"
+                    ));
+                }
+            }
+        }
         if self.base.wal_enabled {
-            let page = self.base.page_size as u64;
             if !self.wal_capacity_bytes.is_multiple_of(page) {
                 return Err(format!(
                     "wal_capacity_bytes ({}) must be a multiple of base.page_size ({page}) — the WAL forces whole pages",
@@ -315,6 +355,20 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Sets the engine-wide in-memory inner-tier budget in bytes (must be a
+    /// non-zero multiple of the page size; skip the call to leave it off).
+    pub fn inner_tier_bytes(mut self, bytes: u64) -> Self {
+        self.config.inner_tier_bytes = Some(bytes);
+        self
+    }
+
+    /// Sets the engine-wide scan-resistant leaf-cache budget in bytes (must be
+    /// a non-zero multiple of the page size; skip the call to leave it off).
+    pub fn leaf_cache_bytes(mut self, bytes: u64) -> Self {
+        self.config.leaf_cache_bytes = Some(bytes);
+        self
+    }
+
     /// Replaces the elastic-rebalancer knobs wholesale.
     pub fn rebalance(mut self, rebalance: RebalanceConfig) -> Self {
         self.config.rebalance = rebalance;
@@ -365,6 +419,56 @@ mod tests {
         let per_shard = cfg.shard_config();
         assert_eq!(per_shard.pool_pages, 1);
         assert_eq!(per_shard.opq_pages, 1);
+    }
+
+    #[test]
+    fn memory_budgets_divide_across_shards_and_override_the_base() {
+        let cfg = EngineConfig::builder()
+            .shards(4)
+            .inner_tier_bytes(4096 * 64)
+            .leaf_cache_bytes(4096 * 128)
+            .build();
+        let per_shard = cfg.shard_config();
+        assert_eq!(per_shard.inner_tier_pages, 16);
+        assert_eq!(per_shard.leaf_cache_pages, 32);
+        // Engine budgets are authoritative over the base template.
+        let base = PioConfig::builder().inner_tier_pages(999).build();
+        let cfg = EngineConfig::builder()
+            .shards(2)
+            .base(base)
+            .inner_tier_bytes(4096 * 8)
+            .build();
+        assert_eq!(cfg.shard_config().inner_tier_pages, 4);
+        // Unset budgets leave the base template alone (defaults stay off).
+        let cfg = EngineConfig::default();
+        assert_eq!(cfg.shard_config().inner_tier_pages, 0);
+        assert_eq!(cfg.shard_config().leaf_cache_pages, 0);
+        // A tiny budget still pins at least one page per shard.
+        let cfg = EngineConfig::builder().shards(8).leaf_cache_bytes(4096).build();
+        assert_eq!(cfg.shard_config().leaf_cache_pages, 1);
+    }
+
+    #[test]
+    fn degenerate_memory_budgets_are_rejected() {
+        let config = EngineConfig {
+            inner_tier_bytes: Some(0),
+            ..EngineConfig::default()
+        };
+        let err = config.validate().unwrap_err();
+        assert!(err.contains("inner_tier_bytes must be non-zero"), "{err}");
+        assert!(err.contains("use None"), "{err}");
+        let config = EngineConfig {
+            leaf_cache_bytes: Some(4096 * 2 + 1),
+            ..EngineConfig::default()
+        };
+        let err = config.validate().unwrap_err();
+        assert!(err.contains("multiple of base.page_size"), "{err}");
+        let config = EngineConfig {
+            inner_tier_bytes: Some(4096 * 16),
+            leaf_cache_bytes: Some(4096 * 64),
+            ..EngineConfig::default()
+        };
+        assert!(config.validate().is_ok());
     }
 
     #[test]

@@ -43,7 +43,7 @@ use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::Arc;
-use storage::{CachedStore, Lsn, PageStore, Wal, WritePolicy};
+use storage::{CachedStore, LeafCacheStats, Lsn, PageStore, Wal, WritePolicy};
 
 /// One key-range shard: an independent PIO B-tree. Its key range is *not*
 /// stored here — ranges live in the engine's [`RoutingState`] so a boundary
@@ -1412,6 +1412,17 @@ impl EngineInner {
     }
 
     pub(crate) fn maintain_once(&self) -> IoResult<usize> {
+        // Re-pin any cold inner tier off the foreground path (a cheap no-op
+        // for warm or disabled tiers; a failed rebuild just stays cold —
+        // descents keep falling back to the store wavefront).
+        for shard in self.shards.iter() {
+            let mut tree = shard.tree.lock();
+            let before = tree.io_elapsed_us();
+            let _ = tree.refresh_inner_tier();
+            let delta = tree.io_elapsed_us() - before;
+            drop(tree);
+            self.charge(delta);
+        }
         let threshold = self.config.flush_threshold;
         let work: Vec<(usize, ShardTask)> = self
             .shards
@@ -1719,6 +1730,17 @@ impl EngineInner {
             self.shards[src].tree.lock().resolve_epoch(ep);
             self.shards[dst].tree.lock().resolve_epoch(ep);
         }
+        // The boundary swap is durable: re-pin both shards' inner tiers so no
+        // pre-migration snapshot can serve a descent across the new boundary
+        // (best effort — a failed rebuild leaves the tier cold, not stale).
+        for &i in &[src, dst] {
+            let mut tree = self.shards[i].tree.lock();
+            let before = tree.io_elapsed_us();
+            let _ = tree.refresh_inner_tier();
+            let delta = tree.io_elapsed_us() - before;
+            drop(tree);
+            self.charge(delta);
+        }
         let moved_keys = retire.len() as u64;
         self.migrated_keys.fetch_add(moved_keys, Ordering::Relaxed);
         match kind {
@@ -1760,6 +1782,7 @@ impl EngineInner {
         let mut pipeline_depth = 0usize;
         let mut batched_calls = 0u64;
         let mut batched_ops = 0u64;
+        let mut leaf_cache = LeafCacheStats::default();
         for (i, shard) in self.shards.iter().enumerate() {
             let (key_lo, key_hi) = shard_range(&bounds, i, self.shards.len());
             let shard_batched_calls = shard.batched_calls.load(Ordering::Relaxed);
@@ -1773,9 +1796,11 @@ impl EngineInner {
             let tree = shard.tree.lock();
             let pio = tree.stats();
             let pool = tree.store().pool_stats();
+            let shard_leaf_cache = tree.store().leaf_cache_stats();
             let store = tree.store().store().stats();
             let io_us = tree.io_elapsed_us();
             rollup.merge(&pio);
+            leaf_cache.merge(&shard_leaf_cache);
             total_io += io_us;
             hits += pool.hits;
             misses += pool.misses;
@@ -1795,6 +1820,7 @@ impl EngineInner {
                 queue_peak_pct,
                 pio,
                 pool,
+                leaf_cache: shard_leaf_cache,
                 store,
                 io_elapsed_us: io_us,
                 wal_replayable_bytes: tree.wal_replayable_bytes(),
@@ -1815,6 +1841,7 @@ impl EngineInner {
             } else {
                 hits as f64 / (hits + misses) as f64
             },
+            leaf_cache,
             queued_ops: queued,
             committed_epochs: self.committed_epochs.load(Ordering::Relaxed),
             recovered_epochs: self.recovered_epochs.load(Ordering::Relaxed),

@@ -2,7 +2,7 @@
 
 use btree::Key;
 use pio_btree::PioStats;
-use storage::{BufferPoolStats, StoreStats};
+use storage::{BufferPoolStats, LeafCacheStats, StoreStats};
 
 /// A point-in-time snapshot of one shard.
 #[derive(Debug, Clone)]
@@ -42,6 +42,10 @@ pub struct ShardSnapshot {
     pub pio: PioStats,
     /// Buffer-pool counters of the shard's cached store.
     pub pool: BufferPoolStats,
+    /// Scan-resistant leaf-cache counters of the shard's cached store (all
+    /// zero when [`crate::EngineConfig::leaf_cache_bytes`] is unset). The
+    /// shard's inner-tier counters ride in [`ShardSnapshot::pio`].
+    pub leaf_cache: LeafCacheStats,
     /// Page-store counters (psync batches, page reads/writes, allocation).
     pub store: StoreStats,
     /// Simulated I/O time this shard's store has consumed, µs.
@@ -87,6 +91,9 @@ pub struct EngineStats {
     pub pipeline_depth: usize,
     /// Aggregate buffer-pool hit ratio across shards in `[0, 1]`.
     pub pool_hit_ratio: f64,
+    /// Sum of all shards' scan-resistant leaf-cache counters (all zero when
+    /// [`crate::EngineConfig::leaf_cache_bytes`] is unset).
+    pub leaf_cache: LeafCacheStats,
     /// Total operations buffered in shard OPQs.
     pub queued_ops: usize,
     /// Cross-shard flush epochs committed (one per `insert_batch` with WALs
@@ -168,5 +175,23 @@ impl EngineStats {
             return 0.0;
         }
         self.batched_ops as f64 / self.batched_calls as f64
+    }
+
+    /// Fraction of descent probes the pinned inner tier answered without any
+    /// store I/O, across all shards (`rollup.inner_tier_hits / (hits+misses)`;
+    /// 0.0 when the tier is disabled or never probed).
+    pub fn inner_tier_hit_rate(&self) -> f64 {
+        let total = self.rollup.inner_tier_hits + self.rollup.inner_tier_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.rollup.inner_tier_hits as f64 / total as f64
+    }
+
+    /// Aggregate scan-resistant leaf-cache hit ratio across shards (point
+    /// lookups only — scan-hinted traffic is excluded by construction; 0.0
+    /// when the cache is disabled or never probed).
+    pub fn leaf_cache_hit_rate(&self) -> f64 {
+        self.leaf_cache.hit_ratio()
     }
 }

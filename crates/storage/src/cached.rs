@@ -13,6 +13,7 @@
 //! behaviour the cost model of Section 3.5 assumes.
 
 use crate::bufpool::{BufferPool, BufferPoolStats, WritePolicy};
+use crate::leaf_cache::{AccessHint, LeafCache, LeafCacheStats};
 use crate::page::PageId;
 use crate::store::{PageStore, ReadTicket, WriteTicket};
 use parking_lot::Mutex;
@@ -32,15 +33,20 @@ pub struct CachedReadTicket {
 }
 
 /// An in-flight multi-region read. Region reads bypass the pool (see
-/// [`CachedStore::read_region`]); all-single-page batches are served through the
-/// page cache at submission and complete immediately.
+/// [`CachedStore::read_region`]) but consult the optional [`LeafCache`]:
+/// leaf-cache hits (and all-single-page batches, which go through the page
+/// cache) are captured at submission; only the misses travel to the device.
 #[derive(Debug)]
 #[must_use = "an in-flight read must be completed to obtain its buffers"]
-pub enum RegionReadTicket {
-    /// Served from the page-cache path at submission.
-    Ready(Vec<Vec<u8>>),
-    /// In flight on the device.
-    Pending(ReadTicket),
+pub struct RegionReadTicket {
+    /// Slots filled at submission (page-cache path or leaf-cache hits).
+    results: Vec<Option<Vec<u8>>>,
+    /// `(slot, first page, page count)` of every region sent to the device.
+    missing: Vec<(usize, PageId, u64)>,
+    /// The in-flight device batch for `missing`; `None` when everything hit.
+    ticket: Option<ReadTicket>,
+    /// Admission hint applied when the misses are installed at completion.
+    hint: AccessHint,
 }
 
 /// An in-flight multi-region write. Cached copies of the overlapped pages are
@@ -55,22 +61,59 @@ pub enum RegionWriteTicket {
     Pending(WriteTicket),
 }
 
-/// A [`PageStore`] fronted by an LRU [`BufferPool`].
+/// A [`PageStore`] fronted by an LRU [`BufferPool`] for single pages and an
+/// optional scan-resistant [`LeafCache`] for the multi-page leaf regions that
+/// bypass the pool.
 #[derive(Debug)]
 pub struct CachedStore {
     store: PageStore,
     pool: Mutex<BufferPool>,
     policy: WritePolicy,
+    /// Disabled (`None`) unless [`CachedStore::set_leaf_cache`] installs one,
+    /// so default construction keeps the historic region-read behaviour.
+    leaf: Mutex<Option<LeafCache>>,
 }
 
 impl CachedStore {
     /// Creates a cached store with a pool of `capacity_pages` pages and the given
-    /// write policy.
+    /// write policy. The leaf-region cache starts disabled; see
+    /// [`CachedStore::set_leaf_cache`].
     pub fn new(store: PageStore, capacity_pages: u64, policy: WritePolicy) -> Self {
         Self {
             store,
             pool: Mutex::new(BufferPool::new(capacity_pages)),
             policy,
+            leaf: Mutex::new(None),
+        }
+    }
+
+    /// Installs (or, with `capacity_pages == 0`, removes) the scan-resistant
+    /// leaf-region cache. Replaces any existing cache, discarding its contents
+    /// and counters.
+    pub fn set_leaf_cache(&self, capacity_pages: u64) {
+        *self.leaf.lock() = if capacity_pages == 0 {
+            None
+        } else {
+            Some(LeafCache::new(capacity_pages))
+        };
+    }
+
+    /// Leaf-cache statistics (zeros while the cache is disabled).
+    pub fn leaf_cache_stats(&self) -> LeafCacheStats {
+        self.leaf.lock().as_ref().map(|c| c.stats()).unwrap_or_default()
+    }
+
+    /// Drops the leaf-cache region (if any) containing `page`.
+    fn invalidate_leaf_page(&self, page: PageId) {
+        if let Some(cache) = self.leaf.lock().as_mut() {
+            cache.invalidate_page(page);
+        }
+    }
+
+    /// Drops every leaf-cache region intersecting `[first, first + n)`.
+    fn invalidate_leaf_range(&self, first: PageId, n: u64) {
+        if let Some(cache) = self.leaf.lock().as_mut() {
+            cache.invalidate_range(first, n);
         }
     }
 
@@ -126,6 +169,7 @@ impl CachedStore {
     /// intentionally discarded — the page no longer belongs to the caller.
     pub fn free(&self, page: PageId) {
         self.pool.lock().remove(page);
+        self.invalidate_leaf_page(page);
         self.store.free(page);
     }
 
@@ -206,8 +250,11 @@ impl CachedStore {
         Ok(results.into_iter().map(|r| r.expect("filled above")).collect())
     }
 
-    /// Writes one page according to the write policy.
+    /// Writes one page according to the write policy. A leaf-cache region
+    /// covering the page goes stale and is invalidated (bupdate's leaf-segment
+    /// appends land *inside* cached regions).
     pub fn write_page(&self, page: PageId, data: &[u8]) -> IoResult<()> {
+        self.invalidate_leaf_page(page);
         match self.policy {
             WritePolicy::WriteThrough => {
                 self.store.write_page(page, data)?;
@@ -222,8 +269,17 @@ impl CachedStore {
     }
 
     /// Writes many pages according to the write policy; write-through issues a single
-    /// psync call for the whole group.
+    /// psync call for the whole group. Leaf-cache regions covering any of the
+    /// pages are invalidated.
     pub fn write_pages(&self, pages: &[(PageId, &[u8])]) -> IoResult<()> {
+        {
+            let mut leaf = self.leaf.lock();
+            if let Some(cache) = leaf.as_mut() {
+                for (p, _) in pages {
+                    cache.invalidate_page(*p);
+                }
+            }
+        }
         match self.policy {
             WritePolicy::WriteThrough => {
                 self.store.write_pages(pages)?;
@@ -249,19 +305,37 @@ impl CachedStore {
         }
     }
 
-    /// Reads a multi-page region. Regions bypass the pool entirely: a region and its
-    /// constituent pages would otherwise be cached under different keys and go stale
-    /// with respect to each other. Because the pool is write-through (for the callers
-    /// that use regions), the device always holds the latest data.
+    /// Reads a multi-page region with the default [`AccessHint::Point`] hint.
+    /// Regions bypass the *pool* entirely: a region and its constituent pages
+    /// would otherwise be cached under different keys and go stale with respect
+    /// to each other. Because the pool is write-through (for the callers that
+    /// use regions), the device always holds the latest data. The optional
+    /// [`LeafCache`] *is* consulted — it caches whole regions under the first
+    /// page and is invalidated by every write path that overlaps it.
     pub fn read_region(&self, first: PageId, n_pages: u64) -> IoResult<Vec<u8>> {
+        self.read_region_hinted(first, n_pages, AccessHint::Point)
+    }
+
+    /// Reads a multi-page region, consulting the leaf cache with the given
+    /// hint: `Point` misses are admitted after the fetch, `Scan` misses bypass
+    /// admission so streams cannot evict the point working set.
+    pub fn read_region_hinted(&self, first: PageId, n_pages: u64, hint: AccessHint) -> IoResult<Vec<u8>> {
         if n_pages == 1 {
             // A single-page region is just a page: serve it through the page cache.
             return self.read_page(first);
         }
-        // Individually cached pages inside the region may be *newer* only under the
-        // write-back policy; region users run write-through, where device data is
-        // always current, so a direct read is coherent.
-        self.store.read_region(first, n_pages)
+        if let Some(cache) = self.leaf.lock().as_mut() {
+            if let Some(data) = cache.get(first, hint) {
+                return Ok(data);
+            }
+        }
+        let data = self.store.read_region(first, n_pages)?;
+        if hint == AccessHint::Point {
+            if let Some(cache) = self.leaf.lock().as_mut() {
+                cache.insert(first, n_pages, data.clone());
+            }
+        }
+        Ok(data)
     }
 
     /// Reads several multi-page regions with a single psync call (bypassing the pool,
@@ -271,24 +345,82 @@ impl CachedStore {
         self.complete_read_regions(self.submit_read_regions(regions)?)
     }
 
+    /// Submits a multi-region read with the default [`AccessHint::Point`] hint.
+    pub fn submit_read_regions(&self, regions: &[(PageId, u64)]) -> IoResult<RegionReadTicket> {
+        self.submit_read_regions_hinted(regions, AccessHint::Point)
+    }
+
     /// Submits a multi-region read without waiting for it. All-single-page batches
     /// are served through the page cache at submission (their ticket completes
-    /// immediately); everything else goes to the device as one in-flight batch.
-    pub fn submit_read_regions(&self, regions: &[(PageId, u64)]) -> IoResult<RegionReadTicket> {
+    /// immediately). Otherwise leaf-cache hits are captured at submission and
+    /// only the missing regions go to the device as one in-flight batch.
+    pub fn submit_read_regions_hinted(
+        &self,
+        regions: &[(PageId, u64)],
+        hint: AccessHint,
+    ) -> IoResult<RegionReadTicket> {
         if regions.iter().all(|&(_, n)| n == 1) {
             let pages: Vec<PageId> = regions.iter().map(|&(p, _)| p).collect();
-            return Ok(RegionReadTicket::Ready(self.read_pages(&pages)?));
+            return Ok(RegionReadTicket {
+                results: self.read_pages(&pages)?.into_iter().map(Some).collect(),
+                missing: Vec::new(),
+                ticket: None,
+                hint,
+            });
         }
-        Ok(RegionReadTicket::Pending(self.store.submit_read_regions(regions)?))
+        let mut results: Vec<Option<Vec<u8>>> = vec![None; regions.len()];
+        let mut missing: Vec<(usize, PageId, u64)> = Vec::new();
+        {
+            let mut leaf = self.leaf.lock();
+            match leaf.as_mut() {
+                Some(cache) => {
+                    for (i, &(p, n)) in regions.iter().enumerate() {
+                        match cache.get(p, hint) {
+                            Some(data) => results[i] = Some(data),
+                            None => missing.push((i, p, n)),
+                        }
+                    }
+                }
+                None => missing.extend(regions.iter().enumerate().map(|(i, &(p, n))| (i, p, n))),
+            }
+        }
+        let ticket = if missing.is_empty() {
+            None
+        } else {
+            let to_fetch: Vec<(PageId, u64)> = missing.iter().map(|&(_, p, n)| (p, n)).collect();
+            Some(self.store.submit_read_regions(&to_fetch)?)
+        };
+        Ok(RegionReadTicket {
+            results,
+            missing,
+            ticket,
+            hint,
+        })
     }
 
     /// Waits for an in-flight multi-region read and returns one buffer per region,
-    /// in submission order.
+    /// in submission order. Device-fetched regions are admitted to the leaf
+    /// cache according to the submission hint (`Scan` fetches bypass it).
     pub fn complete_read_regions(&self, ticket: RegionReadTicket) -> IoResult<Vec<Vec<u8>>> {
-        match ticket {
-            RegionReadTicket::Ready(bufs) => Ok(bufs),
-            RegionReadTicket::Pending(ticket) => self.store.complete_read(ticket),
+        let RegionReadTicket {
+            mut results,
+            missing,
+            ticket,
+            hint,
+        } = ticket;
+        if let Some(ticket) = ticket {
+            let fetched = self.store.complete_read(ticket)?;
+            let mut leaf = self.leaf.lock();
+            for ((i, p, n), data) in missing.into_iter().zip(fetched) {
+                if hint == AccessHint::Point {
+                    if let Some(cache) = leaf.as_mut() {
+                        cache.insert(p, n, data.clone());
+                    }
+                }
+                results[i] = Some(data);
+            }
         }
+        Ok(results.into_iter().map(|r| r.expect("filled above")).collect())
     }
 
     /// Writes a multi-page region straight through (regions are never kept dirty) and
@@ -299,6 +431,7 @@ impl CachedStore {
         }
         self.store.write_region(first, data)?;
         let n = (data.len() / self.page_size()) as u64;
+        self.invalidate_leaf_range(first, n);
         let mut pool = self.pool.lock();
         for p in first..first + n {
             pool.remove(p);
@@ -328,6 +461,10 @@ impl CachedStore {
             return Ok(RegionWriteTicket::Ready);
         }
         let ticket = self.store.submit_write_regions(regions)?;
+        for (p, data) in regions {
+            let n = (data.len() / self.page_size()) as u64;
+            self.invalidate_leaf_range(*p, n);
+        }
         let mut pool = self.pool.lock();
         for (p, data) in regions {
             let n = (data.len() / self.page_size()) as u64;
@@ -357,10 +494,14 @@ impl CachedStore {
         self.store.write_pages(&refs)
     }
 
-    /// Drops every cached entry without writing anything (used between experiment
-    /// phases to start from a cold cache).
+    /// Drops every cached entry — pool pages and leaf regions — without writing
+    /// anything (used between experiment phases and by crash simulation to
+    /// start from a cold cache).
     pub fn drop_cache(&self) {
         self.pool.lock().clear();
+        if let Some(cache) = self.leaf.lock().as_mut() {
+            cache.clear();
+        }
     }
 
     /// Resizes the buffer pool, writing back any dirty entries that no longer fit.
@@ -518,6 +659,80 @@ mod tests {
             c.store().stats().page_writes,
             0,
             "freed dirty page must not be written back"
+        );
+    }
+
+    #[test]
+    fn leaf_cache_serves_repeat_point_reads_without_device_io() {
+        let c = cached(WritePolicy::WriteThrough, 16);
+        c.set_leaf_cache(16);
+        let first = c.allocate_contiguous(4);
+        let img: Vec<u8> = (0..4 * 4096u32).map(|i| (i % 251) as u8).collect();
+        c.write_region(first, &img).unwrap();
+        assert_eq!(c.read_region(first, 4).unwrap(), img);
+        let before = c.store().stats().page_reads;
+        assert_eq!(c.read_region(first, 4).unwrap(), img);
+        assert_eq!(
+            c.store().stats().page_reads,
+            before,
+            "second point read must hit the leaf cache"
+        );
+        assert_eq!(c.leaf_cache_stats().hits, 1);
+        // Batched region reads hit too: the whole batch resolves at submission.
+        let out = c.read_regions(&[(first, 4)]).unwrap();
+        assert_eq!(out[0], img);
+        assert_eq!(c.store().stats().page_reads, before);
+    }
+
+    #[test]
+    fn scan_hinted_reads_bypass_admission_but_hit_residents() {
+        let c = cached(WritePolicy::WriteThrough, 16);
+        c.set_leaf_cache(16);
+        let a = c.allocate_contiguous(2);
+        let b = c.allocate_contiguous(2);
+        c.write_region(a, &vec![1u8; 2 * 4096]).unwrap();
+        c.write_region(b, &vec![2u8; 2 * 4096]).unwrap();
+        // Scan miss: fetched but not admitted.
+        c.read_region_hinted(a, 2, AccessHint::Scan).unwrap();
+        assert_eq!(c.leaf_cache_stats().scan_bypasses, 1);
+        let before = c.store().stats().page_reads;
+        c.read_region_hinted(a, 2, AccessHint::Scan).unwrap();
+        assert_eq!(c.store().stats().page_reads, before + 2, "scan read was not admitted");
+        // Point read admits; a later scan then hits the resident copy.
+        c.read_region(b, 2).unwrap();
+        let before = c.store().stats().page_reads;
+        c.read_region_hinted(b, 2, AccessHint::Scan).unwrap();
+        assert_eq!(c.store().stats().page_reads, before, "scan hits resident entries");
+    }
+
+    #[test]
+    fn leaf_cache_is_invalidated_by_every_write_path() {
+        let c = cached(WritePolicy::WriteThrough, 16);
+        c.set_leaf_cache(32);
+        let r = c.allocate_contiguous(2);
+        c.write_region(r, &vec![1u8; 2 * 4096]).unwrap();
+        c.read_region(r, 2).unwrap(); // admit
+                                      // A single-page write *inside* the region (bupdate's segment append).
+        c.write_page(r + 1, &vec![9u8; 4096]).unwrap();
+        let img = c.read_region(r, 2).unwrap();
+        assert_eq!(img[4096], 9, "stale region served after page write");
+        // A region overwrite.
+        c.write_region(r, &vec![7u8; 2 * 4096]).unwrap();
+        assert_eq!(c.read_region(r, 2).unwrap()[0], 7);
+        // write_pages (the batched page path).
+        c.read_region(r, 2).unwrap();
+        let data = vec![5u8; 4096];
+        c.write_pages(&[(r, data.as_slice())]).unwrap();
+        assert_eq!(c.read_region(r, 2).unwrap()[0], 5);
+        // drop_cache empties it.
+        c.read_region(r, 2).unwrap();
+        c.drop_cache();
+        let before = c.store().stats().page_reads;
+        c.read_region(r, 2).unwrap();
+        assert_eq!(
+            c.store().stats().page_reads,
+            before + 2,
+            "drop_cache must clear leaf regions"
         );
     }
 

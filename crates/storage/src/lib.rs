@@ -12,6 +12,10 @@
 //!   write-back and write-through policies; the paper's experiments sweep its size
 //!   (Figure 9) and trade it off against the operation queue (Figure 11).
 //! * [`CachedStore`] — the composition of the two that index code talks to.
+//! * [`LeafCache`] — an optional scan-resistant (segmented-LRU) cache for the
+//!   multi-page leaf regions that bypass the buffer pool; region reads carry an
+//!   [`AccessHint`] so `range_search` streams cannot evict the point-lookup
+//!   working set.
 //! * [`Wal`] — an append-only write-ahead log used by the PIO B-tree's crash
 //!   recovery (Section 3.4).
 //!
@@ -24,12 +28,14 @@
 
 pub mod bufpool;
 pub mod cached;
+pub mod leaf_cache;
 pub mod page;
 pub mod store;
 pub mod wal;
 
 pub use bufpool::{BufferPool, BufferPoolStats, WritePolicy};
 pub use cached::{CachedReadTicket, CachedStore, RegionReadTicket, RegionWriteTicket};
+pub use leaf_cache::{AccessHint, LeafCache, LeafCacheStats};
 pub use page::{PageId, INVALID_PAGE};
 pub use store::{PageStore, ReadTicket, StoreStats, WriteTicket};
 pub use wal::{Lsn, RescanReport, Wal, WalRecord, WalScan};

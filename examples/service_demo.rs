@@ -36,6 +36,11 @@ fn main() {
                 .pool_pages(1024)
                 .build(),
         )
+        // Pin the inner levels in memory and give leaf regions a
+        // scan-resistant cache: warm descents then skip the store entirely
+        // and the Zipfian working set survives the clients' scans.
+        .inner_tier_bytes(2048 * 256)
+        .leaf_cache_bytes(2048 * 1024)
         .build();
 
     let entries: Vec<(u64, u64)> = (0..200_000u64).map(|k| (k * 19, k)).collect();
@@ -116,6 +121,15 @@ fn main() {
         engine_stats.total_io_us / 1e3,
         engine_stats.overlap_factor(),
         engine_stats.pool_hit_ratio * 100.0
+    );
+    println!(
+        "inner tier hit rate {:.1}% ({} rebuilds, {} optimistic retries), \
+         leaf cache hit rate {:.1}% ({} scan bypasses)",
+        engine_stats.inner_tier_hit_rate() * 100.0,
+        engine_stats.rollup.inner_tier_rebuilds,
+        engine_stats.rollup.inner_tier_retries,
+        engine_stats.leaf_cache_hit_rate() * 100.0,
+        engine_stats.leaf_cache.scan_bypasses
     );
 
     // The rebalancer's input, visible per shard: how the Zipfian mass actually
