@@ -1434,6 +1434,10 @@ impl PioBTree {
         let lost = self.opq.len();
         self.opq.clear();
         self.store.drop_cache();
+        // The checksum sidecar dies with the process: after a torn write the
+        // device holds pre-crash bytes that the recorded checksum would
+        // wrongly indict.
+        self.store.reset_integrity();
         self.tier.invalidate();
         self.lsmap.clear();
         // In-flight epoch verdicts die with the process; recovery re-derives

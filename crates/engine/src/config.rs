@@ -79,6 +79,37 @@ pub struct EngineConfig {
     /// default) disables it; `Some(0)` is rejected; must be a multiple of
     /// `base.page_size`.
     pub leaf_cache_bytes: Option<u64>,
+    /// Bounded-retry budget of each shard's resilient I/O wrapper
+    /// ([`pio::ResilientIo`]): a psync batch that fails with a *retryable*
+    /// error (`EINTR`-class transients) is resubmitted up to this many times
+    /// with exponential backoff before the attempt is abandoned. `0` disables
+    /// the wrapper entirely — every transient error surfaces immediately, the
+    /// raw-error mode fault-injection tests use to observe the device.
+    pub retry_limit: u32,
+    /// Deadline of one logical I/O attempt in microseconds: once the backoff
+    /// accrued across retries would exceed this budget, the resilient wrapper
+    /// gives up even if `retry_limit` is not yet exhausted. Bounds the tail
+    /// latency a stuck device can inflict on one request. Must be non-zero
+    /// while `retry_limit` is non-zero.
+    pub io_deadline_us: u64,
+    /// Interval of the background checksum scrub in milliseconds: every this
+    /// often the maintenance worker re-reads and verifies a bounded slice of
+    /// each shard's checksummed pages, healing rot from clean pooled copies
+    /// where possible. `None` (the default) runs no scrub; requires
+    /// [`EngineConfig::maintenance_interval_ms`] (the maintenance worker is
+    /// the thread that drives the cadence).
+    pub scrub_interval_ms: Option<u64>,
+    /// Per-request deadline of the service front end in milliseconds: a
+    /// request whose reply does not arrive within this budget fails with a
+    /// retryable timeout instead of blocking its client forever. `None` (the
+    /// default) waits indefinitely; `Some(0)` is rejected.
+    pub request_deadline_ms: Option<u64>,
+    /// Bound of the service front end's admission queue, in queued batches:
+    /// when the executor backlog reaches this depth, new requests are shed
+    /// immediately with a retryable *overloaded* error instead of growing the
+    /// queue (and every queued request's latency) without bound. `None` (the
+    /// default) admits everything; `Some(0)` is rejected.
+    pub admission_queue_limit: Option<usize>,
 }
 
 /// Policy knobs of the elastic shard rebalancer (the [`crate::rebalance`]
@@ -171,6 +202,11 @@ impl Default for EngineConfig {
             rebalance: RebalanceConfig::default(),
             inner_tier_bytes: None,
             leaf_cache_bytes: None,
+            retry_limit: 3,
+            io_deadline_us: 50_000,
+            scrub_interval_ms: None,
+            request_deadline_ms: None,
+            admission_queue_limit: None,
         }
     }
 }
@@ -201,6 +237,19 @@ impl EngineConfig {
         cfg
     }
 
+    /// The retry policy each shard's I/O is wrapped with, or `None` when
+    /// `retry_limit` is 0 (the wrapper is skipped entirely). Backoff on the
+    /// simulated backends is *accounted, not slept*: it is charged into the
+    /// completion's simulated latency, so retries cost simulated time without
+    /// stalling the calling thread.
+    pub fn retry_policy(&self) -> Option<pio::RetryPolicy> {
+        (self.retry_limit > 0).then(|| pio::RetryPolicy {
+            retry_limit: self.retry_limit,
+            deadline_us: self.io_deadline_us,
+            ..pio::RetryPolicy::default()
+        })
+    }
+
     /// Validates the configuration.
     pub fn validate(&self) -> Result<(), String> {
         if self.shards == 0 {
@@ -219,6 +268,37 @@ impl EngineConfig {
             return Err(
                 "checkpoint_interval_ms requires maintenance_interval_ms — the maintenance worker \
                  is the thread that drives the checkpoint cadence"
+                    .into(),
+            );
+        }
+        if self.retry_limit > 0 && self.io_deadline_us == 0 {
+            return Err(
+                "io_deadline_us must be non-zero while retry_limit is non-zero — a zero deadline \
+                 would abandon every retried attempt before its first backoff"
+                    .into(),
+            );
+        }
+        if self.scrub_interval_ms == Some(0) {
+            return Err("scrub_interval_ms must be at least 1 (0 would scrub on every sweep)".into());
+        }
+        if self.scrub_interval_ms.is_some() && self.maintenance_interval_ms.is_none() {
+            return Err(
+                "scrub_interval_ms requires maintenance_interval_ms — the maintenance worker is \
+                 the thread that drives the scrub cadence"
+                    .into(),
+            );
+        }
+        if self.request_deadline_ms == Some(0) {
+            return Err(
+                "request_deadline_ms must be at least 1 when set — a zero deadline times every \
+                 request out before the engine can touch it; use None to wait indefinitely"
+                    .into(),
+            );
+        }
+        if self.admission_queue_limit == Some(0) {
+            return Err(
+                "admission_queue_limit must be at least 1 when set — a zero bound sheds every \
+                 request at admission; use None for an unbounded queue"
                     .into(),
             );
         }
@@ -366,6 +446,41 @@ impl EngineConfigBuilder {
     /// a non-zero multiple of the page size; skip the call to leave it off).
     pub fn leaf_cache_bytes(mut self, bytes: u64) -> Self {
         self.config.leaf_cache_bytes = Some(bytes);
+        self
+    }
+
+    /// Sets the bounded-retry budget of the resilient I/O wrapper (0 disables
+    /// the wrapper).
+    pub fn retry_limit(mut self, retries: u32) -> Self {
+        self.config.retry_limit = retries;
+        self
+    }
+
+    /// Sets the per-attempt I/O deadline in microseconds (caps backoff accrued
+    /// across retries).
+    pub fn io_deadline_us(mut self, us: u64) -> Self {
+        self.config.io_deadline_us = us;
+        self
+    }
+
+    /// Enables the background checksum scrub with the given period (needs the
+    /// maintenance worker: also set
+    /// [`EngineConfigBuilder::maintenance_interval_ms`]).
+    pub fn scrub_interval_ms(mut self, ms: u64) -> Self {
+        self.config.scrub_interval_ms = Some(ms);
+        self
+    }
+
+    /// Sets the service front end's per-request deadline in milliseconds.
+    pub fn request_deadline_ms(mut self, ms: u64) -> Self {
+        self.config.request_deadline_ms = Some(ms);
+        self
+    }
+
+    /// Bounds the service front end's admission queue (requests beyond the
+    /// bound are shed with a retryable overloaded error).
+    pub fn admission_queue_limit(mut self, batches: usize) -> Self {
+        self.config.admission_queue_limit = Some(batches);
         self
     }
 
@@ -634,6 +749,61 @@ mod tests {
             ..EngineConfig::default()
         };
         assert!(config.validate().is_ok());
+    }
+
+    #[test]
+    fn resilience_knobs_are_validated() {
+        let config = EngineConfig {
+            retry_limit: 2,
+            io_deadline_us: 0,
+            ..EngineConfig::default()
+        };
+        assert!(config.validate().unwrap_err().contains("io_deadline_us"));
+        // Turning retries off makes the deadline inert.
+        let config = EngineConfig {
+            retry_limit: 0,
+            io_deadline_us: 0,
+            ..EngineConfig::default()
+        };
+        assert!(config.validate().is_ok());
+        assert!(config.retry_policy().is_none());
+        let config = EngineConfig {
+            maintenance_interval_ms: Some(5),
+            scrub_interval_ms: Some(0),
+            ..EngineConfig::default()
+        };
+        assert!(config.validate().unwrap_err().contains("scrub_interval_ms"));
+        let config = EngineConfig {
+            maintenance_interval_ms: None,
+            scrub_interval_ms: Some(50),
+            ..EngineConfig::default()
+        };
+        assert!(config
+            .validate()
+            .unwrap_err()
+            .contains("requires maintenance_interval_ms"));
+        let config = EngineConfig {
+            request_deadline_ms: Some(0),
+            ..EngineConfig::default()
+        };
+        assert!(config.validate().unwrap_err().contains("request_deadline_ms"));
+        let config = EngineConfig {
+            admission_queue_limit: Some(0),
+            ..EngineConfig::default()
+        };
+        assert!(config.validate().unwrap_err().contains("admission_queue_limit"));
+        let config = EngineConfig::builder()
+            .retry_limit(5)
+            .io_deadline_us(10_000)
+            .maintenance_interval_ms(5)
+            .scrub_interval_ms(50)
+            .request_deadline_ms(250)
+            .admission_queue_limit(128)
+            .build();
+        let policy = config.retry_policy().expect("retries enabled");
+        assert_eq!(policy.retry_limit, 5);
+        assert_eq!(policy.deadline_us, 10_000);
+        assert!(!policy.wall_clock_backoff, "engine backoff is accounted, not slept");
     }
 
     #[test]

@@ -153,6 +153,26 @@
 //! [`EngineConfig::rebalance`] and are validated with the rest of the
 //! configuration. See the [`rebalance`] module docs for the lifecycle diagram.
 //!
+//! ## Transient-fault tolerance
+//!
+//! Every shard queue — store, WAL, and the engine epoch log — is wrapped in
+//! [`pio::ResilientIo`]: transient failures are retried with deterministic
+//! exponential backoff, bounded by [`EngineConfig::retry_limit`] and the
+//! per-ticket budget [`EngineConfig::io_deadline_us`] (backoff is *accounted*
+//! into simulated latency, never slept). Page checksums are verified on every
+//! device fetch, and the maintenance worker re-verifies a bounded slice of
+//! each shard's pages per [`EngineConfig::scrub_interval_ms`] tick, healing
+//! persistent rot from pooled copies that still verify. Three consecutive
+//! device-class failures open a shard's **health breaker** — writes are
+//! rejected with a clean retryable error, reads still try the caches — and
+//! the next maintenance probe closes it once the device answers again. The
+//! service front end adds per-request deadlines
+//! ([`EngineConfig::request_deadline_ms`]) and bounded-admission load
+//! shedding ([`EngineConfig::admission_queue_limit`]). Observability:
+//! [`EngineStats::io_retries`], [`EngineStats::io_give_ups`],
+//! [`EngineStats::integrity`], [`EngineStats::degraded_shards`],
+//! [`EngineStats::breaker_opens`] / [`EngineStats::breaker_closes`].
+//!
 //! ## Quick example
 //!
 //! ```

@@ -15,6 +15,11 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// Pages each shard verifies per scrub tick: enough to cycle a multi-thousand
+/// page shard in minutes at default cadences, small enough that one tick's
+/// read burst never crowds out foreground traffic.
+const SCRUB_PAGES_PER_TICK: usize = 128;
+
 /// Handle to the background maintenance thread; stopping is handled by `Drop`.
 pub(crate) struct MaintenanceWorker {
     stop: Arc<AtomicBool>,
@@ -30,7 +35,9 @@ impl MaintenanceWorker {
             .name("engine-maintenance".into())
             .spawn(move || {
                 let checkpoint_every = inner.engine_config().checkpoint_interval_ms.map(Duration::from_millis);
+                let scrub_every = inner.engine_config().scrub_interval_ms.map(Duration::from_millis);
                 let mut last_checkpoint = Instant::now();
+                let mut last_scrub = Instant::now();
                 while !stop_flag.load(Ordering::Acquire) {
                     // A failed flush keeps its batch queued (flush_once restores
                     // it), but partially applied node writes may need WAL recovery,
@@ -59,6 +66,17 @@ impl MaintenanceWorker {
                                 inner.note_maintenance_error(&e);
                             }
                             last_checkpoint = Instant::now();
+                        }
+                    }
+                    // Scrub cadence: each tick verifies a bounded slice of
+                    // every healthy shard's checksummed pages, so a full pass
+                    // amortises over many sweeps instead of stalling one.
+                    if let Some(every) = scrub_every {
+                        if last_scrub.elapsed() >= every {
+                            if let Err(e) = inner.scrub_tick(SCRUB_PAGES_PER_TICK) {
+                                inner.note_maintenance_error(&e);
+                            }
+                            last_scrub = Instant::now();
                         }
                     }
                     std::thread::park_timeout(interval);

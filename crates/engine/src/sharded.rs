@@ -69,6 +69,88 @@ pub(crate) struct Shard {
     /// signal. Behind an `Arc` so batched-write task closures can update it
     /// from the worker threads.
     queue_peak_pct: Arc<AtomicU64>,
+    /// Health breaker of this shard's device (see [`ShardHealth`]).
+    health: ShardHealth,
+}
+
+/// Consecutive device failures that trip a shard's breaker open. Transient
+/// errors below this are already being absorbed by the retry wrapper — a run
+/// of failures that *survives* retrying means the device is sick, not noisy.
+const BREAKER_THRESHOLD: u64 = 3;
+
+/// Circuit breaker over one shard's device health. Device-class failures
+/// (OS errors, worker crashes, checksum corruption) on the shard's foreground
+/// path feed a consecutive-failure counter; at [`BREAKER_THRESHOLD`] the
+/// breaker opens and the shard is *degraded*: writes are rejected immediately
+/// with a retryable error (instead of queueing work onto a sick device), reads
+/// are still attempted — the inner tier, buffer pool and leaf cache keep
+/// serving whatever they hold. The background maintenance worker probes a
+/// degraded shard's device each sweep and closes the breaker when a probe
+/// succeeds.
+#[derive(Default)]
+pub(crate) struct ShardHealth {
+    /// Device-class failures observed in a row (reset by any success).
+    consecutive_failures: AtomicU64,
+    /// Whether the breaker is open (shard degraded).
+    open: std::sync::atomic::AtomicBool,
+    /// Times the breaker opened, lifetime.
+    opens: AtomicU64,
+    /// Times a maintenance probe closed it, lifetime.
+    closes: AtomicU64,
+    /// Checksum-corruption errors observed on this shard, lifetime.
+    corruption_errors: AtomicU64,
+}
+
+impl ShardHealth {
+    fn is_open(&self) -> bool {
+        self.open.load(Ordering::Relaxed)
+    }
+
+    /// Whether `error` indicts the device (as opposed to a caller mistake like
+    /// an out-of-bounds request, which says nothing about device health).
+    fn indicts_device(error: &pio::IoError) -> bool {
+        matches!(
+            error,
+            pio::IoError::Os(_) | pio::IoError::WorkerFailed(_) | pio::IoError::Corruption { .. }
+        )
+    }
+
+    /// Feeds one operation outcome into the breaker. Successes heal the
+    /// consecutive-failure count; device-class failures grow it and trip the
+    /// breaker at the threshold.
+    fn observe<T>(&self, result: &IoResult<T>) {
+        match result {
+            Ok(_) => {
+                self.consecutive_failures.store(0, Ordering::Relaxed);
+            }
+            Err(e) if Self::indicts_device(e) => {
+                if matches!(e, pio::IoError::Corruption { .. }) {
+                    self.corruption_errors.fetch_add(1, Ordering::Relaxed);
+                }
+                let run = self.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+                if run >= BREAKER_THRESHOLD && !self.open.swap(true, Ordering::Relaxed) {
+                    self.opens.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(_) => {}
+        }
+    }
+
+    /// Closes the breaker after a successful probe.
+    fn close(&self) {
+        self.consecutive_failures.store(0, Ordering::Relaxed);
+        if self.open.swap(false, Ordering::Relaxed) {
+            self.closes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The retryable rejection a degraded shard answers writes with.
+    fn rejection(shard: usize) -> pio::IoError {
+        pio::IoError::Os(std::io::Error::new(
+            std::io::ErrorKind::WouldBlock,
+            format!("shard {shard} is degraded (circuit breaker open); retry after the next maintenance probe"),
+        ))
+    }
 }
 
 impl Shard {
@@ -80,6 +162,7 @@ impl Shard {
             routed_since: AtomicU64::new(0),
             routed_total: AtomicU64::new(0),
             queue_peak_pct: Arc::new(AtomicU64::new(0)),
+            health: ShardHealth::default(),
         }
     }
 
@@ -446,8 +529,15 @@ fn shard_of(bounds: &[Key], key: Key) -> usize {
     bounds.partition_point(|&b| b <= key)
 }
 
-/// Builds a fresh cached store over a provisioned backend.
-fn build_store(cfg: &PioConfig, store_io: Arc<dyn IoQueue>) -> Arc<CachedStore> {
+/// Builds a fresh cached store over a provisioned backend. With a retry policy
+/// the backend is wrapped in [`pio::ResilientIo`], so transient device errors
+/// are retried with backoff below the store (backoff is charged into simulated
+/// latency, never slept — the engine's backends simulate time).
+fn build_store(cfg: &PioConfig, retry: Option<pio::RetryPolicy>, store_io: Arc<dyn IoQueue>) -> Arc<CachedStore> {
+    let store_io: Arc<dyn IoQueue> = match retry {
+        Some(policy) => Arc::new(pio::ResilientIo::new(store_io, policy)),
+        None => store_io,
+    };
     Arc::new(CachedStore::new(
         PageStore::new(store_io, cfg.page_size),
         cfg.pool_pages,
@@ -456,8 +546,14 @@ fn build_store(cfg: &PioConfig, store_io: Arc<dyn IoQueue>) -> Arc<CachedStore> 
 }
 
 /// Attaches a WAL over a provisioned backend: the log gets its own queue so log
-/// appends never interleave with index-node I/O inside one psync call.
-fn attach_shard_wal(tree: &mut PioBTree, cfg: &PioConfig, wal_io: Arc<dyn IoQueue>) {
+/// appends never interleave with index-node I/O inside one psync call. The same
+/// retry policy that guards the store wraps the log queue — a dropped WAL
+/// append would fail an otherwise healthy flush epoch.
+fn attach_shard_wal(tree: &mut PioBTree, cfg: &PioConfig, retry: Option<pio::RetryPolicy>, wal_io: Arc<dyn IoQueue>) {
+    let wal_io: Arc<dyn IoQueue> = match retry {
+        Some(policy) => Arc::new(pio::ResilientIo::new(wal_io, policy)),
+        None => wal_io,
+    };
     tree.attach_wal(Wal::new(Arc::new(wal_io) as Arc<dyn ParallelIo>, 0, cfg.page_size));
 }
 
@@ -466,14 +562,15 @@ fn attach_shard_wal(tree: &mut PioBTree, cfg: &PioConfig, wal_io: Arc<dyn IoQueu
 /// real file, per the topology).
 fn build_shard_tree(
     cfg: &PioConfig,
+    retry: Option<pio::RetryPolicy>,
     entries: &[(Key, Value)],
     store_io: Arc<dyn IoQueue>,
     wal_io: Option<Arc<dyn IoQueue>>,
 ) -> IoResult<PioBTree> {
-    let mut tree = PioBTree::bulk_load(build_store(cfg, store_io), entries, cfg.clone())?;
+    let mut tree = PioBTree::bulk_load(build_store(cfg, retry, store_io), entries, cfg.clone())?;
     if cfg.wal_enabled {
         let wal_io = wal_io.expect("validated: one WAL backend per shard when the WAL is enabled");
-        attach_shard_wal(&mut tree, cfg, wal_io);
+        attach_shard_wal(&mut tree, cfg, retry, wal_io);
     }
     Ok(tree)
 }
@@ -525,14 +622,23 @@ impl ShardedPioEngine {
 
     /// The cross-shard epoch coordinator exists exactly when the shards log:
     /// without per-shard WALs there is nothing to make atomic.
-    fn build_epoch_coordinator(shard_cfg: &PioConfig, backends: &mut EngineBackends) -> Option<EpochCoordinator> {
+    fn build_epoch_coordinator(
+        shard_cfg: &PioConfig,
+        retry: Option<pio::RetryPolicy>,
+        backends: &mut EngineBackends,
+    ) -> Option<EpochCoordinator> {
         shard_cfg.wal_enabled.then(|| {
-            let wal_io: Arc<dyn ParallelIo> = Arc::new(
-                backends
-                    .engine_wal
-                    .take()
-                    .expect("validated: engine WAL backend present"),
-            );
+            let engine_wal = backends
+                .engine_wal
+                .take()
+                .expect("validated: engine WAL backend present");
+            // The epoch log anchors cross-shard atomicity; it gets the same
+            // transient-error shielding as every other engine queue.
+            let engine_wal: Arc<dyn IoQueue> = match retry {
+                Some(policy) => Arc::new(pio::ResilientIo::new(engine_wal, policy)),
+                None => engine_wal,
+            };
+            let wal_io: Arc<dyn ParallelIo> = Arc::new(engine_wal);
             EpochCoordinator {
                 log: EpochLog::new(Wal::new(wal_io, 0, shard_cfg.page_size)),
                 next_epoch: AtomicU64::new(1),
@@ -575,6 +681,7 @@ impl ShardedPioEngine {
             rest = others;
             let tree = build_shard_tree(
                 &shard_cfg,
+                config.retry_policy(),
                 mine,
                 Arc::clone(&backends.shard_stores[i]),
                 backends.shard_wals.get(i).cloned(),
@@ -584,7 +691,7 @@ impl ShardedPioEngine {
             build_makespan_us = build_makespan_us.max(tree.io_elapsed_us());
             shards.push(Shard::new(tree));
         }
-        let epoch = Self::build_epoch_coordinator(&shard_cfg, &mut backends);
+        let epoch = Self::build_epoch_coordinator(&shard_cfg, config.retry_policy(), &mut backends);
         // A freshly built engine is clean: clear any stale marker left in the
         // topology's durable state by a previous incarnation.
         topology.set_dirty(false)?;
@@ -642,15 +749,20 @@ impl ShardedPioEngine {
         let bounds = manifest.bounds.clone();
         let mut shards = Vec::with_capacity(config.shards);
         for (i, meta) in manifest.shard_meta.iter().enumerate() {
-            let store = build_store(&shard_cfg, Arc::clone(&backends.shard_stores[i]));
+            let store = build_store(&shard_cfg, config.retry_policy(), Arc::clone(&backends.shard_stores[i]));
             store.ensure_high_water(meta.high_water);
             let mut tree = PioBTree::open(store, shard_cfg.clone(), meta.root, meta.height as usize)?;
             if shard_cfg.wal_enabled {
-                attach_shard_wal(&mut tree, &shard_cfg, Arc::clone(&backends.shard_wals[i]));
+                attach_shard_wal(
+                    &mut tree,
+                    &shard_cfg,
+                    config.retry_policy(),
+                    Arc::clone(&backends.shard_wals[i]),
+                );
             }
             shards.push(Shard::new(tree));
         }
-        let epoch = Self::build_epoch_coordinator(&shard_cfg, &mut backends);
+        let epoch = Self::build_epoch_coordinator(&shard_cfg, config.retry_policy(), &mut backends);
         // Keep the durable dirty marker as-is (the WAL replay that follows does
         // not change what it means) and mirror it in memory.
         let dirty = topology.load_dirty()?;
@@ -834,9 +946,20 @@ impl ShardedPioEngine {
 
     /// One maintenance pass: every shard whose OPQ fill is at or above the
     /// configured threshold is drained below it (in parallel). Returns the number
-    /// of shards flushed. The background worker calls exactly this.
+    /// of shards flushed. The background worker calls exactly this. Degraded
+    /// shards get a healing probe first and are excluded from the flush.
     pub fn maintain_once(&self) -> IoResult<usize> {
         self.inner.maintain_once()
+    }
+
+    /// One checksum-scrub pass: every healthy shard re-reads and verifies up
+    /// to `max_pages_per_shard` of its checksummed pages, healing rot from
+    /// clean pooled copies where possible. Returns the total pages scanned.
+    /// The background worker drives this on the
+    /// [`EngineConfig::scrub_interval_ms`] cadence; call it directly in
+    /// deterministic (no-worker) setups.
+    pub fn scrub_once(&self, max_pages_per_shard: usize) -> IoResult<usize> {
+        self.inner.scrub_tick(max_pages_per_shard)
     }
 
     /// Simulates a crash of the whole engine: every shard loses its OPQ, buffer
@@ -948,6 +1071,8 @@ impl EngineInner {
         let routing = self.routing.read();
         let shard = &self.shards[shard_of(&routing.bounds, key)];
         shard.note_routed(1);
+        // Reads are attempted even on a degraded shard: the inner tier, buffer
+        // pool and leaf cache answer without touching the sick device.
         let mut tree = shard.tree.lock();
         let before = tree.io_elapsed_us();
         let result = op(&mut tree);
@@ -955,6 +1080,7 @@ impl EngineInner {
         // elapsed time and the makespan must stay in lockstep with it.
         let delta = tree.io_elapsed_us() - before;
         drop(tree);
+        shard.health.observe(&result);
         drop(routing);
         self.charge(delta);
         result
@@ -970,6 +1096,12 @@ impl EngineInner {
         let idx = shard_of(&routing.bounds, entry.key);
         let shard = &self.shards[idx];
         shard.note_routed(1);
+        // A degraded shard rejects writes up front: queueing more work onto a
+        // sick device only grows the backlog that has to replay once it heals,
+        // and the rejection is retryable — callers back off and resubmit.
+        if shard.health.is_open() {
+            return Err(ShardHealth::rejection(idx));
+        }
         let mirror = routing
             .migration
             .as_ref()
@@ -991,6 +1123,7 @@ impl EngineInner {
         let delta = tree.io_elapsed_us() - before;
         note_queue_peak(&shard.queue_peak_pct, &tree);
         drop(tree);
+        shard.health.observe(&result);
         drop(routing);
         self.charge(delta);
         result
@@ -1411,7 +1544,50 @@ impl EngineInner {
             .sum())
     }
 
+    /// Probes every degraded shard's device with one direct page read (the
+    /// root page, bypassing all caches) and closes the breaker on success.
+    /// Called from the maintenance path so shards heal without foreground
+    /// traffic having to risk the sick device first.
+    pub(crate) fn probe_degraded(&self) -> usize {
+        let mut healed = 0;
+        for shard in self.shards.iter().filter(|s| s.health.is_open()) {
+            let tree = shard.tree.lock();
+            let root = tree.root_page();
+            let before = tree.io_elapsed_us();
+            let probe = tree.store().store().read_page(root);
+            let delta = tree.io_elapsed_us() - before;
+            drop(tree);
+            self.charge(delta);
+            if probe.is_ok() {
+                shard.health.close();
+                healed += 1;
+            }
+        }
+        healed
+    }
+
+    /// One scrub tick: every healthy shard verifies a bounded slice of its
+    /// checksummed pages (see [`storage::CachedStore::scrub_step`]). Degraded
+    /// shards are skipped — scrub reads would only hammer a device the breaker
+    /// just decided to rest.
+    pub(crate) fn scrub_tick(&self, max_pages_per_shard: usize) -> IoResult<usize> {
+        let mut scanned = 0;
+        for shard in self.shards.iter().filter(|s| !s.health.is_open()) {
+            let tree = shard.tree.lock();
+            let before = tree.io_elapsed_us();
+            let result = tree.store().scrub_step(max_pages_per_shard);
+            let delta = tree.io_elapsed_us() - before;
+            drop(tree);
+            self.charge(delta);
+            scanned += result?.scanned;
+        }
+        Ok(scanned)
+    }
+
     pub(crate) fn maintain_once(&self) -> IoResult<usize> {
+        // Give degraded shards their healing probe before anything else — the
+        // flush pass below deliberately leaves them alone.
+        self.probe_degraded();
         // Re-pin any cold inner tier off the foreground path (a cheap no-op
         // for warm or disabled tiers; a failed rebuild just stays cold —
         // descents keep falling back to the store wavefront).
@@ -1428,6 +1604,9 @@ impl EngineInner {
             .shards
             .iter()
             .enumerate()
+            // A degraded shard's OPQ stays queued: flushing it would drive a
+            // bupdate into the device the breaker is resting.
+            .filter(|(_, s)| !s.health.is_open())
             .filter_map(|(i, s)| {
                 let tree = s.tree.lock();
                 let floor = ((tree.opq_capacity() as f64) * threshold).ceil() as usize;
@@ -1783,6 +1962,12 @@ impl EngineInner {
         let mut batched_calls = 0u64;
         let mut batched_ops = 0u64;
         let mut leaf_cache = LeafCacheStats::default();
+        let mut degraded_shards = 0usize;
+        let mut breaker_opens = 0u64;
+        let mut breaker_closes = 0u64;
+        let mut integrity = storage::IntegrityStats::default();
+        let mut io_retries = 0u64;
+        let mut io_give_ups = 0u64;
         for (i, shard) in self.shards.iter().enumerate() {
             let (key_lo, key_hi) = shard_range(&bounds, i, self.shards.len());
             let shard_batched_calls = shard.batched_calls.load(Ordering::Relaxed);
@@ -1793,14 +1978,34 @@ impl EngineInner {
             // activity since the previous one.
             let routed_ops = shard.routed_since.swap(0, Ordering::Relaxed);
             let queue_peak_pct = shard.queue_peak_pct.swap(0, Ordering::Relaxed);
+            let degraded = shard.health.is_open();
+            let consecutive_failures = shard.health.consecutive_failures.load(Ordering::Relaxed);
+            let shard_breaker_opens = shard.health.opens.load(Ordering::Relaxed);
+            let shard_breaker_closes = shard.health.closes.load(Ordering::Relaxed);
+            let corruption_errors = shard.health.corruption_errors.load(Ordering::Relaxed);
             let tree = shard.tree.lock();
             let pio = tree.stats();
             let pool = tree.store().pool_stats();
             let shard_leaf_cache = tree.store().leaf_cache_stats();
             let store = tree.store().store().stats();
+            let shard_integrity = tree.store().integrity_stats();
+            let mut backend_io = tree.store().store().io().io_stats();
+            // The shard WAL appends through its own retry-wrapped queue; its
+            // retries and give-ups belong in the same resilience rollup.
+            if let Some(wal) = tree.wal() {
+                let wal_io = wal.io().stats();
+                backend_io.retries += wal_io.retries;
+                backend_io.give_ups += wal_io.give_ups;
+            }
             let io_us = tree.io_elapsed_us();
             rollup.merge(&pio);
             leaf_cache.merge(&shard_leaf_cache);
+            degraded_shards += degraded as usize;
+            breaker_opens += shard_breaker_opens;
+            breaker_closes += shard_breaker_closes;
+            integrity.merge(&shard_integrity);
+            io_retries += backend_io.retries;
+            io_give_ups += backend_io.give_ups;
             total_io += io_us;
             hits += pool.hits;
             misses += pool.misses;
@@ -1824,6 +2029,14 @@ impl EngineInner {
                 store,
                 io_elapsed_us: io_us,
                 wal_replayable_bytes: tree.wal_replayable_bytes(),
+                degraded,
+                consecutive_failures,
+                breaker_opens: shard_breaker_opens,
+                breaker_closes: shard_breaker_closes,
+                corruption_errors,
+                integrity: shard_integrity,
+                io_retries: backend_io.retries,
+                io_give_ups: backend_io.give_ups,
             });
         }
         EngineStats {
@@ -1857,6 +2070,12 @@ impl EngineInner {
             truncated_bytes: self.truncated_bytes.load(Ordering::Relaxed),
             recovery_replayed_records: self.recovery_replayed_records.load(Ordering::Relaxed),
             epoch_log_bytes: self.epoch.as_ref().map_or(0, |c| c.log.replayable_bytes()),
+            degraded_shards,
+            breaker_opens,
+            breaker_closes,
+            integrity,
+            io_retries,
+            io_give_ups,
             maintenance_flushes: self.maintenance_flushes.load(Ordering::Relaxed),
             maintenance_errors: self.maintenance_errors.load(Ordering::Relaxed),
             last_maintenance_error: self.last_maintenance_error.lock().clone(),

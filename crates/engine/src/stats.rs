@@ -2,7 +2,7 @@
 
 use btree::Key;
 use pio_btree::PioStats;
-use storage::{BufferPoolStats, LeafCacheStats, StoreStats};
+use storage::{BufferPoolStats, IntegrityStats, LeafCacheStats, StoreStats};
 
 /// A point-in-time snapshot of one shard.
 #[derive(Debug, Clone)]
@@ -54,6 +54,27 @@ pub struct ShardSnapshot {
     /// minus truncated; 0 without a WAL). Checkpoint-anchored truncation keeps
     /// this proportional to activity since the shard's last checkpoint.
     pub wal_replayable_bytes: u64,
+    /// Whether the shard's health breaker is open: writes are being rejected
+    /// with a retryable error until a maintenance probe heals the device.
+    pub degraded: bool,
+    /// Device-class failures observed in a row on the shard's foreground path
+    /// (reset by any success; the breaker opens at 3).
+    pub consecutive_failures: u64,
+    /// Times this shard's breaker opened over the engine's lifetime.
+    pub breaker_opens: u64,
+    /// Times a maintenance probe closed this shard's breaker.
+    pub breaker_closes: u64,
+    /// Checksum-corruption errors this shard's foreground path returned.
+    pub corruption_errors: u64,
+    /// Page-checksum counters of the shard's store: verify failures and
+    /// recoveries on the read path, plus background-scrub progress.
+    pub integrity: IntegrityStats,
+    /// Batches the shard's resilient I/O wrapper resubmitted after a
+    /// transient failure (0 when [`crate::EngineConfig::retry_limit`] is 0).
+    pub io_retries: u64,
+    /// Attempts the wrapper abandoned after the retry budget or deadline ran
+    /// out — each one surfaced to the caller as a retryable timeout.
+    pub io_give_ups: u64,
 }
 
 /// Roll-up of every shard plus engine-level schedule accounting.
@@ -139,6 +160,22 @@ pub struct EngineStats {
     /// Logical bytes a recovery would still scan in the engine epoch log
     /// (0 without WALs).
     pub epoch_log_bytes: u64,
+    /// Shards whose health breaker is currently open (degraded: writes
+    /// rejected with a retryable error until a maintenance probe heals them).
+    pub degraded_shards: usize,
+    /// Breaker-open events across all shards, lifetime.
+    pub breaker_opens: u64,
+    /// Breaker-close (probe-healed) events across all shards, lifetime.
+    pub breaker_closes: u64,
+    /// Sum of all shards' page-checksum counters (read-verify failures and
+    /// recoveries, scrub progress and heals).
+    pub integrity: IntegrityStats,
+    /// Batches resubmitted by the shards' resilient I/O wrappers after
+    /// transient failures, summed.
+    pub io_retries: u64,
+    /// Attempts those wrappers abandoned (retry budget or deadline exhausted),
+    /// summed.
+    pub io_give_ups: u64,
     /// Maintenance passes that flushed at least one shard.
     pub maintenance_flushes: u64,
     /// Background maintenance passes that failed with an I/O error. A non-zero

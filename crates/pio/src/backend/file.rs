@@ -437,6 +437,45 @@ mod tests {
         let _ = std::fs::remove_file(&path);
     }
 
+    /// Retry classification depends on the worker pool preserving the failing
+    /// syscall's `ErrorKind` end-to-end: a job failure must surface as
+    /// `IoError::Os` carrying the original OS error, never stringified into
+    /// `IoError::WorkerFailed` (which is reserved for a dead worker). `/dev/full`
+    /// makes every write fail with ENOSPC — a hard, non-retryable kind that has
+    /// to arrive intact through submit → job → ticket → wait.
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn job_failures_preserve_the_os_error_kind() {
+        let io = FileThreadPoolIo::open("/dev/full", 2).unwrap();
+        let data = vec![0u8; 4096];
+        let ticket = io.submit_write(&[WriteRequest::new(0, &data)]).unwrap();
+        let err = io.wait(ticket).unwrap_err();
+        match &err {
+            IoError::Os(os) => {
+                assert_eq!(os.raw_os_error(), Some(28), "ENOSPC must survive the pool: {os}");
+            }
+            other => panic!("expected IoError::Os, got {other}"),
+        }
+        assert!(!err.is_retryable(), "ENOSPC is a hard failure, not a transient one");
+    }
+
+    /// One failing request poisons its whole ticket with the *first* error, and
+    /// the first error's kind is the one reported — later successes of the same
+    /// batch do not mask it.
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn first_job_error_of_a_batch_is_reported() {
+        let io = FileThreadPoolIo::open("/dev/full", 1).unwrap();
+        let a = vec![1u8; 512];
+        let b = vec![2u8; 512];
+        let reqs = [WriteRequest::new(0, &a), WriteRequest::new(4096, &b)];
+        let ticket = io.submit_write(&reqs).unwrap();
+        match io.wait(ticket).unwrap_err() {
+            IoError::Os(os) => assert_eq!(os.raw_os_error(), Some(28)),
+            other => panic!("expected IoError::Os, got {other}"),
+        }
+    }
+
     #[test]
     fn workers_is_at_least_one() {
         let path = temp_path("workers");

@@ -28,6 +28,38 @@ pub enum IoError {
     /// A completion was requested for a ticket this backend never issued (or one
     /// that was already reaped).
     UnknownTicket(u64),
+    /// Data returned by a read failed checksum verification: the device handed
+    /// back bytes whose checksum does not match the one recorded when the range
+    /// was last written. Either the transfer was corrupted in flight (a re-read
+    /// may succeed) or the stored page has rotted (scrub / recovery territory).
+    Corruption {
+        /// First byte of the corrupt range.
+        offset: u64,
+        /// Length of the corrupt range.
+        len: u64,
+    },
+}
+
+impl IoError {
+    /// Whether retrying the same operation can plausibly succeed.
+    ///
+    /// Transient conditions — an interrupted syscall, a backend that is
+    /// momentarily saturated or degraded (`WouldBlock`), a deadline that fired
+    /// under a latency spike (`TimedOut`) — are worth retrying, possibly after
+    /// a backoff. Everything else is deterministic on retry: caller bugs
+    /// ([`IoError::OutOfBounds`], [`IoError::EmptyRequest`],
+    /// [`IoError::InvalidConfig`], [`IoError::UnknownTicket`]), crashed
+    /// workers, hard OS failures, and [`IoError::Corruption`] (which the
+    /// storage layer has already re-read once before propagating).
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            IoError::Os(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::Interrupted | std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ),
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for IoError {
@@ -43,6 +75,11 @@ impl fmt::Display for IoError {
             IoError::WorkerFailed(msg) => write!(f, "I/O worker failed: {msg}"),
             IoError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             IoError::UnknownTicket(id) => write!(f, "unknown or already-completed I/O ticket {id}"),
+            IoError::Corruption { offset, len } => write!(
+                f,
+                "checksum mismatch reading [{offset}, {}): device returned corrupt data",
+                offset + len
+            ),
         }
     }
 }
@@ -82,6 +119,24 @@ mod tests {
         assert!(IoError::InvalidConfig("bcnt must be at least 1".into())
             .to_string()
             .contains("bcnt"));
+    }
+
+    #[test]
+    fn retryability_is_structural() {
+        use std::io::ErrorKind;
+        for kind in [ErrorKind::Interrupted, ErrorKind::WouldBlock, ErrorKind::TimedOut] {
+            assert!(IoError::Os(std::io::Error::new(kind, "transient")).is_retryable());
+        }
+        assert!(!IoError::Os(std::io::Error::new(ErrorKind::PermissionDenied, "hard")).is_retryable());
+        assert!(!IoError::EmptyRequest.is_retryable());
+        assert!(!IoError::WorkerFailed("gone".into()).is_retryable());
+        assert!(!IoError::Corruption { offset: 0, len: 4096 }.is_retryable());
+        let corrupt = IoError::Corruption {
+            offset: 2048,
+            len: 2048,
+        };
+        assert!(corrupt.to_string().contains("[2048, 4096)"));
+        assert!(corrupt.to_string().contains("checksum"));
     }
 
     #[test]

@@ -22,14 +22,94 @@
 //!    [`CrashPlan::at_write`]`(k)`, run until the injected failure surfaces,
 //!    [`FaultClock::heal`] the clock, run recovery, and compare the recovered
 //!    state against an oracle.
+//!
+//! ## Transient (non-fatal) faults
+//!
+//! Real SSDs misbehave without dying: transient EIOs, GC-induced latency
+//! spikes, and silent bit rot. [`FaultClock::arm_transient`] arms a seeded
+//! [`TransientFaults`] plan alongside (or instead of) a crash plan: every
+//! submission rolls a deterministic splitmix64 stream to decide whether it
+//! fails with a *retryable* error (`ErrorKind::Interrupted`, so
+//! [`IoError::is_retryable`] classifies it without string sniffing), completes
+//! with an inflated `elapsed_us` (a straggler ticket), or — reads only —
+//! returns a payload with one bit flipped (the device data stays intact, so a
+//! checksum-triggered re-read recovers). Injections are counted in
+//! [`TransientCounts`] so soaks can assert the plan actually exercised the
+//! system. Combined with [`crate::ResilientIo`] this turns the crash harness
+//! into a full transient-fault harness.
 
 use crate::error::{IoError, IoResult};
 use crate::queue::{Completion, IoQueue, Ticket, TryComplete};
 use crate::request::{ReadRequest, WriteRequest};
 use crate::stats::IoStats;
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Advances a splitmix64 state and returns the next value of the stream —
+/// deterministic, seedable, and dependency-free (this crate deliberately has no
+/// RNG dependency).
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in `[0, 1)` from the splitmix64 stream.
+fn unit(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A seeded plan of *non-fatal* device misbehaviour, armed with
+/// [`FaultClock::arm_transient`]. All rates are probabilities in `[0, 1]`
+/// evaluated per submission on one deterministic stream, so a fixed seed and a
+/// fixed submission order reproduce the exact same fault schedule.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TransientFaults {
+    /// Seed of the deterministic fault stream.
+    pub seed: u64,
+    /// Probability that a read submission fails with a retryable error.
+    pub read_error_rate: f64,
+    /// Probability that a write submission fails with a retryable error.
+    pub write_error_rate: f64,
+    /// Probability that a submission becomes a straggler ticket whose
+    /// completion reports `spike_us` extra `elapsed_us` (models GC pauses).
+    pub spike_rate: f64,
+    /// Extra latency charged to a straggler ticket, in µs.
+    pub spike_us: f64,
+    /// Probability that a read completion returns a payload with one bit
+    /// flipped (the stored data is untouched — a re-read returns clean bytes).
+    pub flip_rate: f64,
+}
+
+/// How many faults an armed [`TransientFaults`] plan has actually injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransientCounts {
+    /// Read submissions failed with a retryable error.
+    pub read_errors: u64,
+    /// Write submissions failed with a retryable error.
+    pub write_errors: u64,
+    /// Read completions returned with one bit flipped.
+    pub bit_flips: u64,
+    /// Completions charged the straggler latency spike.
+    pub latency_spikes: u64,
+}
+
+struct TransientState {
+    cfg: TransientFaults,
+    rng: u64,
+}
+
+/// Faults decided at submission time but applied at completion time.
+#[derive(Debug, Clone, Copy)]
+struct Decoration {
+    spike_us: f64,
+    /// `(request index, byte offset, bit)` of a read-payload bit flip.
+    flip: Option<(usize, usize, u8)>,
+}
 
 /// A predicate over a write batch, used by [`Trigger::OnPayload`].
 pub type PayloadPredicate = Box<dyn Fn(&[WriteRequest<'_>]) -> bool + Send>;
@@ -121,6 +201,7 @@ struct ClockState {
     plan: Option<CrashPlan>,
     halted: bool,
     tripped: bool,
+    transient: Option<TransientState>,
 }
 
 /// The shared trigger state of a set of [`FaultIo`] wrappers.
@@ -134,6 +215,10 @@ pub struct FaultClock {
     writes: AtomicU64,
     reads: AtomicU64,
     state: Mutex<ClockState>,
+    transient_read_errors: AtomicU64,
+    transient_write_errors: AtomicU64,
+    bit_flips: AtomicU64,
+    latency_spikes: AtomicU64,
 }
 
 impl FaultClock {
@@ -180,6 +265,34 @@ impl FaultClock {
     pub fn halted(&self) -> bool {
         self.state.lock().halted
     }
+
+    /// Arms a seeded transient-fault plan (replacing any previous one). Unlike
+    /// a [`CrashPlan`] it never halts the clock: every injected failure is
+    /// one-shot and retryable, and injection continues until
+    /// [`FaultClock::disarm_transient`]. Coexists with an armed crash plan —
+    /// the crash trigger is checked first.
+    pub fn arm_transient(&self, faults: TransientFaults) {
+        self.state.lock().transient = Some(TransientState {
+            rng: faults.seed ^ 0x5DEE_CE66_D175_11E5,
+            cfg: faults,
+        });
+    }
+
+    /// Removes the transient-fault plan (already-decorated in-flight tickets
+    /// still complete with their faults applied).
+    pub fn disarm_transient(&self) {
+        self.state.lock().transient = None;
+    }
+
+    /// How many transient faults have been injected since the clock was built.
+    pub fn transient_counts(&self) -> TransientCounts {
+        TransientCounts {
+            read_errors: self.transient_read_errors.load(Ordering::Relaxed),
+            write_errors: self.transient_write_errors.load(Ordering::Relaxed),
+            bit_flips: self.bit_flips.load(Ordering::Relaxed),
+            latency_spikes: self.latency_spikes.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// An [`IoQueue`] wrapper that injects the shared [`FaultClock`]'s crash plan
@@ -187,12 +300,19 @@ impl FaultClock {
 pub struct FaultIo {
     inner: Arc<dyn IoQueue>,
     clock: Arc<FaultClock>,
+    /// Completion-time faults keyed by the inner ticket id (each `FaultIo`
+    /// wraps exactly one backend, so inner ids are unique within this map).
+    pending: Mutex<HashMap<u64, Decoration>>,
 }
 
 impl FaultIo {
     /// Wraps `inner`, observing (and obeying) `clock`.
     pub fn new(inner: Arc<dyn IoQueue>, clock: Arc<FaultClock>) -> Self {
-        Self { inner, clock }
+        Self {
+            inner,
+            clock,
+            pending: Mutex::new(HashMap::new()),
+        }
     }
 
     /// The shared clock.
@@ -202,6 +322,95 @@ impl FaultIo {
 
     fn injected(what: &str) -> IoError {
         IoError::WorkerFailed(format!("injected crash: {what}"))
+    }
+
+    /// A retryable injected failure: `Interrupted` keeps
+    /// [`IoError::is_retryable`] structural (no string sniffing) and matches
+    /// what a signal-interrupted syscall looks like from the file backend.
+    fn transient(what: &str) -> IoError {
+        IoError::Os(std::io::Error::new(
+            std::io::ErrorKind::Interrupted,
+            format!("injected transient {what} error"),
+        ))
+    }
+
+    /// Rolls the armed transient plan for one read submission. `Err` fails the
+    /// submission; `Ok(Some(..))` decorates its completion.
+    fn roll_read(state: &mut ClockState, reqs: &[ReadRequest]) -> Result<Option<Decoration>, ()> {
+        let Some(t) = state.transient.as_mut() else {
+            return Ok(None);
+        };
+        let cfg = t.cfg;
+        if cfg.read_error_rate > 0.0 && unit(&mut t.rng) < cfg.read_error_rate {
+            return Err(());
+        }
+        let spike_us = if cfg.spike_rate > 0.0 && unit(&mut t.rng) < cfg.spike_rate {
+            cfg.spike_us
+        } else {
+            0.0
+        };
+        let flip = if cfg.flip_rate > 0.0 && unit(&mut t.rng) < cfg.flip_rate && !reqs.is_empty() {
+            let req = (splitmix64(&mut t.rng) as usize) % reqs.len();
+            let len = reqs[req].len;
+            (len > 0).then(|| {
+                let byte = (splitmix64(&mut t.rng) as usize) % len;
+                let bit = (splitmix64(&mut t.rng) % 8) as u8;
+                (req, byte, bit)
+            })
+        } else {
+            None
+        };
+        if spike_us > 0.0 || flip.is_some() {
+            Ok(Some(Decoration { spike_us, flip }))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Rolls the armed transient plan for one write submission (no bit flips —
+    /// flipping what lands on the device would be *persistent* corruption,
+    /// which scrub tests inject explicitly by writing raw bytes instead).
+    fn roll_write(state: &mut ClockState) -> Result<Option<Decoration>, ()> {
+        let Some(t) = state.transient.as_mut() else {
+            return Ok(None);
+        };
+        let cfg = t.cfg;
+        if cfg.write_error_rate > 0.0 && unit(&mut t.rng) < cfg.write_error_rate {
+            return Err(());
+        }
+        let spike_us = if cfg.spike_rate > 0.0 && unit(&mut t.rng) < cfg.spike_rate {
+            cfg.spike_us
+        } else {
+            0.0
+        };
+        if spike_us > 0.0 {
+            Ok(Some(Decoration { spike_us, flip: None }))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Remembers completion-time faults for a freshly issued ticket.
+    fn decorate(&self, ticket: &Ticket, decor: Option<Decoration>) {
+        if let Some(d) = decor {
+            if d.spike_us > 0.0 {
+                self.clock.latency_spikes.fetch_add(1, Ordering::Relaxed);
+            }
+            if d.flip.is_some() {
+                self.clock.bit_flips.fetch_add(1, Ordering::Relaxed);
+            }
+            self.pending.lock().insert(ticket.id(), d);
+        }
+    }
+
+    /// Applies a ticket's remembered faults to its completion.
+    fn apply_decoration(completion: &mut Completion, decor: Decoration) {
+        completion.stats.elapsed_us += decor.spike_us;
+        if let Some((req, byte, bit)) = decor.flip {
+            if let Some(b) = completion.buffers.get_mut(req).and_then(|buf| buf.get_mut(byte)) {
+                *b ^= 1 << bit;
+            }
+        }
     }
 
     /// Applies the torn prefix of a failing write batch to the wrapped backend.
@@ -227,6 +436,13 @@ impl FaultIo {
 
 impl IoQueue for FaultIo {
     fn submit_read(&self, reqs: &[ReadRequest]) -> IoResult<Ticket> {
+        // An empty batch never touches the device: every backend answers it
+        // with `Ticket::empty()` without doing I/O, so there is nothing to
+        // crash or to fault (and retry wrappers deliberately pass the empty
+        // case straight through, so an injected error here would bypass them).
+        if reqs.is_empty() {
+            return self.inner.submit_read(reqs);
+        }
         let n = self.clock.reads.fetch_add(1, Ordering::Relaxed);
         let mut state = self.clock.state.lock();
         if state.halted {
@@ -234,8 +450,18 @@ impl IoQueue for FaultIo {
         }
         let fire = matches!(&state.plan, Some(plan) if matches!(&plan.trigger, Trigger::AtRead(k) if n == *k));
         if !fire {
+            let decor = match Self::roll_read(&mut state, reqs) {
+                Ok(d) => d,
+                Err(()) => {
+                    drop(state);
+                    self.clock.transient_read_errors.fetch_add(1, Ordering::Relaxed);
+                    return Err(Self::transient("read"));
+                }
+            };
             drop(state);
-            return self.inner.submit_read(reqs);
+            let ticket = self.inner.submit_read(reqs)?;
+            self.decorate(&ticket, decor);
+            return Ok(ticket);
         }
         let plan = state.plan.take().expect("fired plan exists");
         state.tripped = true;
@@ -244,6 +470,10 @@ impl IoQueue for FaultIo {
     }
 
     fn submit_write(&self, reqs: &[WriteRequest<'_>]) -> IoResult<Ticket> {
+        // See `submit_read`: an empty batch is a device no-op.
+        if reqs.is_empty() {
+            return self.inner.submit_write(reqs);
+        }
         let n = self.clock.writes.fetch_add(1, Ordering::Relaxed);
         let mut state = self.clock.state.lock();
         if state.halted {
@@ -258,8 +488,18 @@ impl IoQueue for FaultIo {
             None => false,
         };
         if !fire {
+            let decor = match Self::roll_write(&mut state) {
+                Ok(d) => d,
+                Err(()) => {
+                    drop(state);
+                    self.clock.transient_write_errors.fetch_add(1, Ordering::Relaxed);
+                    return Err(Self::transient("write"));
+                }
+            };
             drop(state);
-            return self.inner.submit_write(reqs);
+            let ticket = self.inner.submit_write(reqs)?;
+            self.decorate(&ticket, decor);
+            return Ok(ticket);
         }
         let plan = state.plan.take().expect("fired plan exists");
         state.tripped = true;
@@ -272,11 +512,25 @@ impl IoQueue for FaultIo {
     }
 
     fn wait(&self, ticket: Ticket) -> IoResult<Completion> {
-        self.inner.wait(ticket)
+        let decor = self.pending.lock().remove(&ticket.id());
+        let mut completion = self.inner.wait(ticket)?;
+        if let Some(d) = decor {
+            Self::apply_decoration(&mut completion, d);
+        }
+        Ok(completion)
     }
 
     fn try_complete(&self, ticket: Ticket) -> IoResult<TryComplete> {
-        self.inner.try_complete(ticket)
+        let id = ticket.id();
+        match self.inner.try_complete(ticket)? {
+            TryComplete::Ready(mut completion) => {
+                if let Some(d) = self.pending.lock().remove(&id) {
+                    Self::apply_decoration(&mut completion, d);
+                }
+                Ok(TryComplete::Ready(completion))
+            }
+            pending => Ok(pending),
+        }
     }
 
     fn io_stats(&self) -> IoStats {
@@ -371,6 +625,104 @@ mod tests {
         io.write_at(0, b"plain").unwrap();
         assert!(io.write_at(4096, b"xxMAGICxx").is_err());
         assert!(clock.tripped());
+    }
+
+    #[test]
+    fn transient_read_errors_are_seeded_and_retryable() {
+        let (io, clock) = wrapped();
+        io.write_at(0, &[7u8; 4096]).unwrap();
+        clock.arm_transient(TransientFaults {
+            seed: 42,
+            read_error_rate: 0.5,
+            ..TransientFaults::default()
+        });
+        let mut errors = 0;
+        for _ in 0..64 {
+            match io.read_at(0, 4096) {
+                Ok(data) => assert_eq!(data, vec![7u8; 4096], "payload must be clean"),
+                Err(e) => {
+                    assert!(
+                        e.is_retryable(),
+                        "injected transient error must classify retryable: {e}"
+                    );
+                    errors += 1;
+                }
+            }
+        }
+        assert!(errors > 0, "0.5 rate over 64 reads must inject");
+        assert_eq!(clock.transient_counts().read_errors, errors);
+        clock.disarm_transient();
+        io.read_at(0, 4096).unwrap();
+    }
+
+    #[test]
+    fn transient_schedule_is_deterministic_for_a_seed() {
+        let outcomes = |seed: u64| -> Vec<bool> {
+            let (io, clock) = wrapped();
+            io.write_at(0, &[1u8; 512]).unwrap();
+            clock.arm_transient(TransientFaults {
+                seed,
+                read_error_rate: 0.3,
+                write_error_rate: 0.3,
+                ..TransientFaults::default()
+            });
+            (0..40)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        io.read_at(0, 512).is_ok()
+                    } else {
+                        io.write_at(0, &[1u8; 512]).is_ok()
+                    }
+                })
+                .collect()
+        };
+        assert_eq!(outcomes(7), outcomes(7), "same seed, same schedule");
+        assert_ne!(outcomes(7), outcomes(8), "different seed, different schedule");
+    }
+
+    #[test]
+    fn bit_flips_corrupt_the_returned_copy_not_the_device() {
+        let (io, clock) = wrapped();
+        let page = vec![0xA5u8; 4096];
+        io.write_at(0, &page).unwrap();
+        clock.arm_transient(TransientFaults {
+            seed: 3,
+            flip_rate: 1.0,
+            ..TransientFaults::default()
+        });
+        let corrupt = io.read_at(0, 4096).unwrap();
+        assert_ne!(corrupt, page, "flip must corrupt the returned payload");
+        let diff: u32 = corrupt.iter().zip(&page).map(|(a, b)| (a ^ b).count_ones()).sum();
+        assert_eq!(diff, 1, "exactly one bit flips");
+        assert_eq!(clock.transient_counts().bit_flips, 1);
+        clock.disarm_transient();
+        assert_eq!(io.read_at(0, 4096).unwrap(), page, "device data was never touched");
+    }
+
+    #[test]
+    fn latency_spikes_inflate_completion_time_only() {
+        let (io, clock) = wrapped();
+        io.write_at(0, &[2u8; 4096]).unwrap();
+        let baseline = {
+            let t = io.submit_read(&[ReadRequest::new(0, 4096)]).unwrap();
+            io.wait(t).unwrap().stats.elapsed_us
+        };
+        clock.arm_transient(TransientFaults {
+            seed: 9,
+            spike_rate: 1.0,
+            spike_us: 50_000.0,
+            ..TransientFaults::default()
+        });
+        let t = io.submit_read(&[ReadRequest::new(0, 4096)]).unwrap();
+        let c = io.wait(t).unwrap();
+        assert!(
+            c.stats.elapsed_us >= baseline + 50_000.0,
+            "straggler must report the spike: {} vs baseline {}",
+            c.stats.elapsed_us,
+            baseline
+        );
+        assert_eq!(c.buffers[0], vec![2u8; 4096], "spike leaves the payload alone");
+        assert_eq!(clock.transient_counts().latency_spikes, 1);
     }
 
     #[test]

@@ -73,6 +73,7 @@ pub mod memdisk;
 pub mod partition;
 pub mod queue;
 pub mod request;
+pub mod resilient;
 pub mod ring;
 pub mod stats;
 
@@ -82,11 +83,12 @@ pub use backend::psync::SimPsyncIo;
 pub use backend::sync::SimSyncIo;
 pub use backend::threaded::{FileLayout, SimThreadedIo};
 pub use error::{IoError, IoResult};
-pub use fault::{CrashPlan, FaultClock, FaultIo, TornWrite};
+pub use fault::{CrashPlan, FaultClock, FaultIo, TornWrite, TransientCounts, TransientFaults};
 pub use memdisk::MemDisk;
 pub use partition::PartitionIo;
 pub use queue::{Completion, IoQueue, Ticket, TryComplete};
 pub use request::{ReadRequest, WriteRequest};
+pub use resilient::{ResilientIo, RetryPolicy};
 pub use ring::TicketRing;
 pub use stats::{BatchStats, IoStats};
 

@@ -51,6 +51,12 @@ pub struct IoStats {
     /// work still in flight. This is a backend-level notion: [`IoStats::absorb`]
     /// does not carry it into per-partition roll-ups.
     pub overlap_groups: u64,
+    /// Batches resubmitted after a retryable failure (only the `ResilientIo`
+    /// wrapper increments this; raw backends leave it 0).
+    pub retries: u64,
+    /// Batches abandoned after the retry budget or deadline ran out (only the
+    /// `ResilientIo` wrapper increments this; raw backends leave it 0).
+    pub give_ups: u64,
 }
 
 impl IoStats {

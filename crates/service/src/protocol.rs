@@ -117,11 +117,33 @@ impl Response {
 }
 
 /// Errors a request can fail with.
+///
+/// Every variant is classified as retryable or fatal by
+/// [`ServiceError::is_retryable`]: a retryable failure means the request was
+/// *cleanly rejected or abandoned* — resubmitting it is safe and has a fresh
+/// chance (a degraded shard healing, load draining, a transient device error
+/// passing). A fatal error means retrying the same request is pointless.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServiceError {
     /// The engine call carrying the request failed; every request of the batch
-    /// receives the same rendered error.
-    Engine(String),
+    /// receives the same rendered error. `retryable` preserves the underlying
+    /// [`pio::IoError::is_retryable`] classification across the
+    /// rendered-message boundary (the raw error is not `Clone`).
+    Engine {
+        /// The rendered engine error.
+        message: String,
+        /// Whether the underlying I/O error was transient (resubmit-safe).
+        retryable: bool,
+    },
+    /// The request's deadline expired before its reply arrived. The operation
+    /// may still complete — like [`ServiceError::Lost`], the outcome is
+    /// unknown — but the *request* is cleanly over and may be retried
+    /// (idempotent puts make the retry safe).
+    Timeout,
+    /// The admission controller shed the request because the executor backlog
+    /// reached the configured bound. Nothing was enqueued; retry after
+    /// backing off.
+    Overloaded,
     /// The service is shut down (or shut down before the request was admitted).
     Closed,
     /// The request was admitted but its reply channel was dropped before an
@@ -130,10 +152,28 @@ pub enum ServiceError {
     Lost,
 }
 
+impl ServiceError {
+    /// Whether resubmitting the failed request is reasonable: `true` for
+    /// transient engine errors, deadline expiries and load shedding; `false`
+    /// for fatal engine errors, shutdown and lost replies.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ServiceError::Engine { retryable, .. } => *retryable,
+            ServiceError::Timeout | ServiceError::Overloaded => true,
+            ServiceError::Closed | ServiceError::Lost => false,
+        }
+    }
+}
+
 impl fmt::Display for ServiceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ServiceError::Engine(msg) => write!(f, "engine error: {msg}"),
+            ServiceError::Engine { message, retryable } => {
+                let class = if *retryable { "transient" } else { "fatal" };
+                write!(f, "engine error ({class}): {message}")
+            }
+            ServiceError::Timeout => write!(f, "request deadline expired (outcome unknown; safe to retry)"),
+            ServiceError::Overloaded => write!(f, "service overloaded: admission queue full, request shed"),
             ServiceError::Closed => write!(f, "service is closed"),
             ServiceError::Lost => write!(f, "request was lost (executor failed mid-batch)"),
         }
@@ -144,7 +184,10 @@ impl std::error::Error for ServiceError {}
 
 impl From<pio::IoError> for ServiceError {
     fn from(e: pio::IoError) -> Self {
-        ServiceError::Engine(e.to_string())
+        ServiceError::Engine {
+            retryable: e.is_retryable(),
+            message: e.to_string(),
+        }
     }
 }
 
@@ -179,8 +222,33 @@ mod tests {
     #[test]
     fn errors_render_and_convert() {
         let e: ServiceError = pio::IoError::EmptyRequest.into();
-        assert!(matches!(&e, ServiceError::Engine(m) if m.contains("zero length")));
+        assert!(matches!(&e, ServiceError::Engine { message, .. } if message.contains("zero length")));
         assert!(ServiceError::Closed.to_string().contains("closed"));
         assert!(ServiceError::Lost.to_string().contains("lost"));
+        assert!(ServiceError::Timeout.to_string().contains("deadline"));
+        assert!(ServiceError::Overloaded.to_string().contains("overloaded"));
+    }
+
+    #[test]
+    fn retryability_survives_the_conversion() {
+        // A transient OS error stays retryable through the rendered boundary.
+        let transient = pio::IoError::Os(std::io::Error::new(std::io::ErrorKind::Interrupted, "blip"));
+        assert!(transient.is_retryable());
+        let e: ServiceError = transient.into();
+        assert!(e.is_retryable());
+        // A structural error stays fatal.
+        let fatal = pio::IoError::OutOfBounds {
+            offset: 0,
+            len: 8,
+            capacity: 4,
+        };
+        assert!(!fatal.is_retryable());
+        let e: ServiceError = fatal.into();
+        assert!(!e.is_retryable());
+        // The service-level outcomes classify themselves.
+        assert!(ServiceError::Timeout.is_retryable());
+        assert!(ServiceError::Overloaded.is_retryable());
+        assert!(!ServiceError::Closed.is_retryable());
+        assert!(!ServiceError::Lost.is_retryable());
     }
 }

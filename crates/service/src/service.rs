@@ -135,6 +135,8 @@ struct Counters {
     budget_expired_flushes: AtomicU64,
     drain_flushes: AtomicU64,
     errors: AtomicU64,
+    timeouts: AtomicU64,
+    sheds: AtomicU64,
 }
 
 /// Everything the service's threads and handles share.
@@ -142,6 +144,12 @@ struct ServiceShared {
     engine: Arc<ShardedPioEngine>,
     max_batch_size: usize,
     max_batch_delay: Duration,
+    /// Per-request deadline ([`engine::EngineConfig::request_deadline_ms`]);
+    /// `None` waits indefinitely.
+    request_deadline: Option<Duration>,
+    /// Admission bound on the executor backlog
+    /// ([`engine::EngineConfig::admission_queue_limit`]); `None` admits all.
+    queue_limit: Option<usize>,
     admission: Mutex<Admission>,
     /// Woken when a builder opens (new deadline) or the service closes.
     admission_wake: Condvar,
@@ -155,8 +163,25 @@ struct ServiceShared {
 }
 
 impl ServiceShared {
+    /// Sheds the request up front when the executor backlog has reached the
+    /// configured bound: admitting more work would only stretch every queued
+    /// request's latency, and the client gets a clean retryable signal to back
+    /// off on instead. Takes the queue lock alone (never nested under
+    /// admission), so the established `admission → queue` order is untouched.
+    fn admit_or_shed(&self) -> Result<(), ServiceError> {
+        if let Some(limit) = self.queue_limit {
+            let backlog = self.queue.lock().expect("queue poisoned").jobs.len();
+            if backlog >= limit {
+                self.counters.sheds.fetch_add(1, Ordering::Relaxed);
+                return Err(ServiceError::Overloaded);
+            }
+        }
+        Ok(())
+    }
+
     /// Admits one request, blocks until its batch executed, returns its response.
     fn submit(&self, request: Request) -> Result<Response, ServiceError> {
+        self.admit_or_shed()?;
         let (ack, reply) = mpsc::channel();
         let waiter = Waiter {
             enqueued: Instant::now(),
@@ -188,10 +213,24 @@ impl ServiceShared {
                 });
             }
         }
-        match reply.recv() {
-            Ok(outcome) => outcome,
-            // The waiter was dropped unanswered — an executor died mid-batch.
-            Err(_) => Err(ServiceError::Lost),
+        match self.request_deadline {
+            Some(deadline) => match reply.recv_timeout(deadline) {
+                Ok(outcome) => outcome,
+                // The deadline expired with the request still in flight. The
+                // batch will still execute and answer into the dropped channel
+                // — the *outcome* is unknown, but the client's wait is
+                // cleanly over and the request is safe to resubmit.
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                    Err(ServiceError::Timeout)
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServiceError::Lost),
+            },
+            None => match reply.recv() {
+                Ok(outcome) => outcome,
+                // The waiter was dropped unanswered — an executor died mid-batch.
+                Err(_) => Err(ServiceError::Lost),
+            },
         }
     }
 
@@ -292,6 +331,8 @@ impl ServiceShared {
             budget_expired_flushes: self.counters.budget_expired_flushes.load(Ordering::Relaxed),
             drain_flushes: self.counters.drain_flushes.load(Ordering::Relaxed),
             errors: self.counters.errors.load(Ordering::Relaxed),
+            timeouts: self.counters.timeouts.load(Ordering::Relaxed),
+            sheds: self.counters.sheds.load(Ordering::Relaxed),
             e2e: self.e2e.snapshot(),
             queue_wait: self.queue_wait.snapshot(),
             batch_service: self.batch_service.snapshot(),
@@ -471,11 +512,15 @@ impl EngineService {
     pub fn start(engine: Arc<ShardedPioEngine>) -> Self {
         let max_batch_size = engine.config().max_batch_size;
         let max_batch_delay = Duration::from_micros(engine.config().max_batch_delay_us);
+        let request_deadline = engine.config().request_deadline_ms.map(Duration::from_millis);
+        let queue_limit = engine.config().admission_queue_limit;
         let shards = engine.shard_count();
         let shared = Arc::new(ServiceShared {
             engine,
             max_batch_size,
             max_batch_delay,
+            request_deadline,
+            queue_limit,
             admission: Mutex::new(Admission {
                 reads: (0..shards).map(|_| None).collect(),
                 writes: (0..shards).map(|_| None).collect(),
@@ -612,6 +657,18 @@ impl workload::ServiceTarget for ServiceHandle {
     fn scan(&self, lo: u64, hi: u64) -> Result<usize, ServiceError> {
         Ok(ServiceHandle::scan(self, lo, hi)?.entries().len())
     }
+
+    /// Maps the service's error vocabulary onto the closed loop's coarse
+    /// classes, so a soak under transient faults tallies blips instead of
+    /// aborting on the first one.
+    fn classify(&self, error: &ServiceError) -> workload::ErrorClass {
+        match error {
+            ServiceError::Timeout => workload::ErrorClass::Timeout,
+            ServiceError::Overloaded => workload::ErrorClass::Overloaded,
+            e if e.is_retryable() => workload::ErrorClass::Retryable,
+            _ => workload::ErrorClass::Fatal,
+        }
+    }
 }
 
 /// Aggregated service accounting: request counts, batching behaviour, and the
@@ -642,6 +699,12 @@ pub struct ServiceStats {
     pub drain_flushes: u64,
     /// Engine calls that failed (each fails every request of its batch).
     pub errors: u64,
+    /// Requests whose deadline expired before the reply arrived (each also
+    /// surfaced to its client as [`ServiceError::Timeout`]).
+    pub timeouts: u64,
+    /// Requests shed at admission because the executor backlog reached
+    /// [`engine::EngineConfig::admission_queue_limit`].
+    pub sheds: u64,
     /// End-to-end latency per request: admission → ack.
     pub e2e: HistogramSnapshot,
     /// Queue wait per request: admission → its batch starts executing.

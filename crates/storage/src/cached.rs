@@ -11,13 +11,94 @@
 //! Batched reads check the pool first and fetch only the missing pages, in one psync
 //! call, so a warm pool automatically reduces the outstanding-I/O level — exactly the
 //! behaviour the cost model of Section 3.5 assumes.
+//!
+//! ## Page integrity
+//!
+//! Flash rots silently: a page can come back from the device with flipped bits
+//! and no error. The cached store therefore keeps an **in-memory checksum
+//! sidecar**: every write path that reaches the device records an FNV-1a
+//! checksum per page, and every read that fetches from the device verifies the
+//! returned bytes against the recorded value. A mismatch is counted, re-read
+//! **once** (in-flight corruption — a bad transfer, an injected bit flip —
+//! clears on the second read), and only a *persistent* mismatch surfaces as
+//! [`pio::IoError::Corruption`]; corrupt bytes are never returned to a caller.
+//! [`CachedStore::scrub_step`] walks the tracked pages incrementally off the
+//! foreground path (the engine's maintenance tick drives it), re-reading and
+//! verifying each, and heals a rotted page from a clean pooled copy when one
+//! exists. The sidecar is per-store-handle state, not an on-disk format: after
+//! a restart it repopulates as pages are rewritten, so verification covers
+//! everything written through this handle since open.
 
 use crate::bufpool::{BufferPool, BufferPoolStats, WritePolicy};
 use crate::leaf_cache::{AccessHint, LeafCache, LeafCacheStats};
 use crate::page::PageId;
 use crate::store::{PageStore, ReadTicket, WriteTicket};
 use parking_lot::Mutex;
-use pio::IoResult;
+use pio::{IoError, IoResult};
+use std::collections::BTreeMap;
+
+/// FNV-1a over a page image — the same checksum the WAL uses for its records:
+/// cheap, deterministic, and plenty to catch bit rot (this is integrity
+/// checking, not cryptography).
+fn page_checksum(data: &[u8]) -> u32 {
+    let mut hash: u32 = 0x811c_9dc5;
+    for &b in data {
+        hash ^= u32::from(b);
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
+}
+
+/// Counters of the checksum sidecar (see the [module docs](self)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IntegrityStats {
+    /// Device reads whose payload failed checksum verification.
+    pub corruption_detected: u64,
+    /// Detected mismatches that cleared on the single re-read (in-flight
+    /// corruption: the stored data was fine).
+    pub corruption_recovered: u64,
+    /// Pages validated by [`CachedStore::scrub_step`] since open.
+    pub scrubbed_pages: u64,
+    /// Persistent mismatches found by scrub (the stored page is rotted).
+    pub scrub_corruptions: u64,
+    /// Rotted pages scrub repaired by rewriting a verified cached copy.
+    pub scrub_healed: u64,
+}
+
+impl IntegrityStats {
+    /// Folds another store's counters into this one (engine-level roll-ups).
+    pub fn merge(&mut self, other: &IntegrityStats) {
+        self.corruption_detected += other.corruption_detected;
+        self.corruption_recovered += other.corruption_recovered;
+        self.scrubbed_pages += other.scrubbed_pages;
+        self.scrub_corruptions += other.scrub_corruptions;
+        self.scrub_healed += other.scrub_healed;
+    }
+}
+
+/// The outcome of one [`CachedStore::scrub_step`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Pages read back and verified this step.
+    pub scanned: usize,
+    /// Persistent mismatches found this step (after the one re-read).
+    pub corrupt: usize,
+    /// Of those, pages repaired from a verified cached copy.
+    pub healed: usize,
+    /// `true` when the cursor wrapped past the last tracked page — one full
+    /// pass over the store has completed.
+    pub wrapped: bool,
+}
+
+/// The checksum sidecar: recorded page checksums, the scrub cursor, and the
+/// integrity counters, all behind one short-lived lock (never held across
+/// device I/O).
+#[derive(Debug, Default)]
+struct IntegrityState {
+    checksums: BTreeMap<PageId, u32>,
+    scrub_cursor: PageId,
+    stats: IntegrityStats,
+}
 
 /// An in-flight cache-aware page-batch read: pool hits are captured at submission,
 /// the misses travel as one in-flight batch. Redeemed with
@@ -72,6 +153,7 @@ pub struct CachedStore {
     /// Disabled (`None`) unless [`CachedStore::set_leaf_cache`] installs one,
     /// so default construction keeps the historic region-read behaviour.
     leaf: Mutex<Option<LeafCache>>,
+    integrity: Mutex<IntegrityState>,
 }
 
 impl CachedStore {
@@ -84,6 +166,111 @@ impl CachedStore {
             pool: Mutex::new(BufferPool::new(capacity_pages)),
             policy,
             leaf: Mutex::new(None),
+            integrity: Mutex::new(IntegrityState::default()),
+        }
+    }
+
+    /// The checksum sidecar's counters.
+    pub fn integrity_stats(&self) -> IntegrityStats {
+        self.integrity.lock().stats
+    }
+
+    /// Pages currently covered by a recorded checksum (scrub's working set).
+    pub fn tracked_pages(&self) -> usize {
+        self.integrity.lock().checksums.len()
+    }
+
+    /// Records the checksum of every full page of a region image that just
+    /// reached (or is in flight to) the device. A trailing partial page gets
+    /// its entry *removed* — its device content is no longer fully known.
+    fn record_region(&self, first: PageId, data: &[u8]) {
+        let page_size = self.page_size();
+        let mut integrity = self.integrity.lock();
+        let mut chunks = data.chunks_exact(page_size);
+        let mut page = first;
+        for chunk in chunks.by_ref() {
+            integrity.checksums.insert(page, page_checksum(chunk));
+            page += 1;
+        }
+        if !chunks.remainder().is_empty() {
+            integrity.checksums.remove(&page);
+        }
+    }
+
+    /// Records the checksums of single-page writes reaching the device.
+    fn record_pages(&self, pages: &[(PageId, &[u8])]) {
+        let mut integrity = self.integrity.lock();
+        for (p, data) in pages {
+            integrity.checksums.insert(*p, page_checksum(data));
+        }
+    }
+
+    /// Verifies one device-fetched page against its recorded checksum,
+    /// re-reading once on a mismatch. Returns the verified bytes (the re-read
+    /// copy when the first transfer was corrupt). Pages without a recorded
+    /// checksum — written before this handle opened — pass through unverified.
+    fn verify_page(&self, page: PageId, data: Vec<u8>) -> IoResult<Vec<u8>> {
+        let Some(expected) = self.integrity.lock().checksums.get(&page).copied() else {
+            return Ok(data);
+        };
+        if page_checksum(&data) == expected {
+            return Ok(data);
+        }
+        self.integrity.lock().stats.corruption_detected += 1;
+        let reread = self.store.read_page(page)?;
+        // A concurrent writer may have replaced the page (and its checksum)
+        // between the read and the verify; judge the re-read against the
+        // checksum recorded *now*.
+        let expected = self.integrity.lock().checksums.get(&page).copied();
+        if expected.is_none_or(|e| page_checksum(&reread) == e) {
+            self.integrity.lock().stats.corruption_recovered += 1;
+            return Ok(reread);
+        }
+        Err(Self::corruption_at(page, self.page_size()))
+    }
+
+    /// Verifies a device-fetched multi-page region, re-reading the whole
+    /// region once if any covered page mismatches.
+    fn verify_region(&self, first: PageId, n_pages: u64, data: Vec<u8>) -> IoResult<Vec<u8>> {
+        if self.region_matches(first, &data) {
+            return Ok(data);
+        }
+        self.integrity.lock().stats.corruption_detected += 1;
+        let reread = self.store.read_region(first, n_pages)?;
+        if self.region_matches(first, &reread) {
+            self.integrity.lock().stats.corruption_recovered += 1;
+            return Ok(reread);
+        }
+        let bad = self
+            .first_region_mismatch(first, &reread)
+            .expect("region failed verification");
+        Err(Self::corruption_at(bad, self.page_size()))
+    }
+
+    /// Whether every *tracked* page covered by a region image matches its
+    /// recorded checksum.
+    fn region_matches(&self, first: PageId, data: &[u8]) -> bool {
+        self.first_region_mismatch(first, data).is_none()
+    }
+
+    fn first_region_mismatch(&self, first: PageId, data: &[u8]) -> Option<PageId> {
+        let page_size = self.page_size();
+        let integrity = self.integrity.lock();
+        for (i, chunk) in data.chunks_exact(page_size).enumerate() {
+            let page = first + i as u64;
+            if let Some(&expected) = integrity.checksums.get(&page) {
+                if page_checksum(chunk) != expected {
+                    return Some(page);
+                }
+            }
+        }
+        None
+    }
+
+    fn corruption_at(page: PageId, page_size: usize) -> IoError {
+        IoError::Corruption {
+            offset: page * page_size as u64,
+            len: page_size as u64,
         }
     }
 
@@ -170,6 +357,7 @@ impl CachedStore {
     pub fn free(&self, page: PageId) {
         self.pool.lock().remove(page);
         self.invalidate_leaf_page(page);
+        self.integrity.lock().checksums.remove(&page);
         self.store.free(page);
     }
 
@@ -183,15 +371,17 @@ impl CachedStore {
             return Ok(());
         }
         let refs: Vec<(PageId, &[u8])> = dirty.iter().map(|(p, d)| (*p, d.as_slice())).collect();
+        self.record_pages(&refs);
         self.store.write_pages(&refs)
     }
 
-    /// Reads one page through the cache.
+    /// Reads one page through the cache. Device fetches are verified against
+    /// the checksum sidecar (see the [module docs](self)).
     pub fn read_page(&self, page: PageId) -> IoResult<Vec<u8>> {
         if let Some(hit) = self.pool.lock().get(page) {
             return Ok(hit);
         }
-        let data = self.store.read_page(page)?;
+        let data = self.verify_page(page, self.store.read_page(page)?)?;
         let victims = self.pool.lock().insert(page, data.clone(), false, 1);
         self.write_back(victims)?;
         Ok(data)
@@ -237,10 +427,15 @@ impl CachedStore {
         } = ticket;
         let fetched = self.store.complete_read(ticket)?;
         if !missing.is_empty() {
+            let verified: Vec<(usize, PageId, Vec<u8>)> = missing
+                .into_iter()
+                .zip(fetched)
+                .map(|((i, p), data)| Ok((i, p, self.verify_page(p, data)?)))
+                .collect::<IoResult<_>>()?;
             let mut victims = Vec::new();
             {
                 let mut pool = self.pool.lock();
-                for ((i, p), data) in missing.into_iter().zip(fetched) {
+                for (i, p, data) in verified {
                     victims.extend(pool.insert(p, data.clone(), false, 1));
                     results[i] = Some(data);
                 }
@@ -257,6 +452,7 @@ impl CachedStore {
         self.invalidate_leaf_page(page);
         match self.policy {
             WritePolicy::WriteThrough => {
+                self.record_pages(&[(page, data)]);
                 self.store.write_page(page, data)?;
                 let victims = self.pool.lock().insert(page, data.to_vec(), false, 1);
                 self.write_back(victims)
@@ -282,6 +478,7 @@ impl CachedStore {
         }
         match self.policy {
             WritePolicy::WriteThrough => {
+                self.record_pages(pages);
                 self.store.write_pages(pages)?;
                 let mut victims = Vec::new();
                 {
@@ -329,7 +526,7 @@ impl CachedStore {
                 return Ok(data);
             }
         }
-        let data = self.store.read_region(first, n_pages)?;
+        let data = self.verify_region(first, n_pages, self.store.read_region(first, n_pages)?)?;
         if hint == AccessHint::Point {
             if let Some(cache) = self.leaf.lock().as_mut() {
                 cache.insert(first, n_pages, data.clone());
@@ -410,8 +607,13 @@ impl CachedStore {
         } = ticket;
         if let Some(ticket) = ticket {
             let fetched = self.store.complete_read(ticket)?;
+            let verified: Vec<(usize, PageId, u64, Vec<u8>)> = missing
+                .into_iter()
+                .zip(fetched)
+                .map(|((i, p, n), data)| Ok((i, p, n, self.verify_region(p, n, data)?)))
+                .collect::<IoResult<_>>()?;
             let mut leaf = self.leaf.lock();
-            for ((i, p, n), data) in missing.into_iter().zip(fetched) {
+            for (i, p, n, data) in verified {
                 if hint == AccessHint::Point {
                     if let Some(cache) = leaf.as_mut() {
                         cache.insert(p, n, data.clone());
@@ -429,6 +631,7 @@ impl CachedStore {
         if data.len() == self.page_size() {
             return self.write_page(first, data);
         }
+        self.record_region(first, data);
         self.store.write_region(first, data)?;
         let n = (data.len() / self.page_size()) as u64;
         self.invalidate_leaf_range(first, n);
@@ -459,6 +662,14 @@ impl CachedStore {
         if regions.iter().all(|(_, d)| d.len() == self.page_size()) {
             self.write_pages(regions)?;
             return Ok(RegionWriteTicket::Ready);
+        }
+        // Checksums are recorded at submission: the image is captured here and
+        // this is the last moment the bytes are in hand. A completion failure
+        // leaves the device state unknown either way — the stale checksum then
+        // makes the next read of the range fail verification, which is the
+        // conservative outcome.
+        for (p, data) in regions {
+            self.record_region(*p, data);
         }
         let ticket = self.store.submit_write_regions(regions)?;
         for (p, data) in regions {
@@ -491,6 +702,7 @@ impl CachedStore {
             return Ok(());
         }
         let refs: Vec<(PageId, &[u8])> = dirty.iter().map(|(p, d)| (*p, d.as_slice())).collect();
+        self.record_pages(&refs);
         self.store.write_pages(&refs)
     }
 
@@ -504,11 +716,107 @@ impl CachedStore {
         }
     }
 
+    /// Forgets every recorded page checksum (the scrub cursor resets with
+    /// them; the cumulative [`IntegrityStats`] survive). The sidecar is
+    /// process-volatile state: a crash loses it, so restart simulation must
+    /// too — after a torn or dropped write, the device legitimately holds
+    /// *older* bytes than the checksum recorded at submission, and keeping
+    /// the stale entry would indict pages the WAL replay is about to make
+    /// consistent anyway. Tracking restarts from scratch as recovery and new
+    /// writes re-record.
+    pub fn reset_integrity(&self) {
+        let mut integrity = self.integrity.lock();
+        integrity.checksums.clear();
+        integrity.scrub_cursor = 0;
+    }
+
     /// Resizes the buffer pool, writing back any dirty entries that no longer fit.
     /// Used by the experiments that sweep the pool size over one loaded index.
     pub fn resize_pool(&self, capacity_pages: u64) -> IoResult<()> {
         let victims = self.pool.lock().resize(capacity_pages);
         self.write_back(victims)
+    }
+
+    /// One incremental scrub step: reads back and verifies up to `max_pages`
+    /// tracked pages from the scrub cursor (one psync batch), wrapping to the
+    /// lowest page when the end of the tracked set is reached. A mismatch is
+    /// re-read once; a *persistent* mismatch is counted as rot and — when the
+    /// buffer pool still holds a copy that verifies — **healed** by rewriting
+    /// that copy to the device. Unhealable rot keeps its recorded checksum, so
+    /// a foreground read of the page still fails verification rather than
+    /// serving bad bytes. Designed to ride a maintenance tick: each call does a
+    /// bounded slice of work off the foreground path.
+    pub fn scrub_step(&self, max_pages: usize) -> IoResult<ScrubReport> {
+        let (batch, wrapped) = {
+            let mut integrity = self.integrity.lock();
+            if max_pages == 0 || integrity.checksums.is_empty() {
+                return Ok(ScrubReport {
+                    wrapped: true,
+                    ..ScrubReport::default()
+                });
+            }
+            let cursor = integrity.scrub_cursor;
+            let mut batch: Vec<PageId> = integrity
+                .checksums
+                .range(cursor..)
+                .take(max_pages)
+                .map(|(p, _)| *p)
+                .collect();
+            let mut wrapped = batch.len() < max_pages;
+            if wrapped {
+                // Wrap to the lowest tracked pages; the two ranges are disjoint.
+                let room = max_pages - batch.len();
+                let wrap: Vec<PageId> = integrity
+                    .checksums
+                    .range(..cursor)
+                    .take(room)
+                    .map(|(p, _)| *p)
+                    .collect();
+                batch.extend(wrap);
+            }
+            integrity.scrub_cursor = batch.last().map_or(0, |&p| p + 1);
+            // A step that lands exactly on the end of the tracked set also
+            // completes the cycle.
+            if integrity.checksums.range(integrity.scrub_cursor..).next().is_none() {
+                wrapped = true;
+            }
+            (batch, wrapped)
+        };
+        let images = self.store.read_pages(&batch)?;
+        let mut report = ScrubReport {
+            scanned: batch.len(),
+            wrapped,
+            ..ScrubReport::default()
+        };
+        for (page, image) in batch.into_iter().zip(images) {
+            // Judge against the checksum recorded *now* — the page may have
+            // been rewritten (or freed) since the batch was selected.
+            let Some(expected) = self.integrity.lock().checksums.get(&page).copied() else {
+                continue;
+            };
+            if page_checksum(&image) == expected {
+                continue;
+            }
+            self.integrity.lock().stats.corruption_detected += 1;
+            let reread = self.store.read_page(page)?;
+            if page_checksum(&reread) == expected {
+                self.integrity.lock().stats.corruption_recovered += 1;
+                continue;
+            }
+            // Persistent rot. Heal from a pooled copy when one verifies.
+            self.integrity.lock().stats.scrub_corruptions += 1;
+            report.corrupt += 1;
+            let pooled = self.pool.lock().get(page);
+            if let Some(copy) = pooled {
+                if page_checksum(&copy) == expected {
+                    self.store.write_page(page, &copy)?;
+                    self.integrity.lock().stats.scrub_healed += 1;
+                    report.healed += 1;
+                }
+            }
+        }
+        self.integrity.lock().stats.scrubbed_pages += report.scanned as u64;
+        Ok(report)
     }
 }
 
@@ -743,5 +1051,135 @@ mod tests {
         c.write_page(p, &vec![4u8; 4096]).unwrap();
         assert_eq!(c.read_page(p).unwrap()[0], 4);
         assert_eq!(c.pool_stats().hits, 0);
+    }
+
+    /// Rot the device copy of `page` behind the sidecar's back.
+    fn rot(c: &CachedStore, page: PageId, byte: usize) {
+        let mut img = c.store().read_page(page).unwrap();
+        img[byte] ^= 0x40;
+        c.store().write_page(page, &img).unwrap();
+    }
+
+    #[test]
+    fn persistent_rot_surfaces_as_corruption_not_bad_data() {
+        let c = cached(WritePolicy::WriteThrough, 4);
+        let p = c.allocate();
+        c.write_page(p, &vec![7u8; 4096]).unwrap();
+        c.drop_cache();
+        rot(&c, p, 100);
+        let err = c.read_page(p).unwrap_err();
+        match err {
+            pio::IoError::Corruption { offset, len } => {
+                assert_eq!(offset, p * 4096);
+                assert_eq!(len, 4096);
+            }
+            other => panic!("expected Corruption, got {other:?}"),
+        }
+        let stats = c.integrity_stats();
+        assert_eq!(stats.corruption_detected, 1);
+        assert_eq!(stats.corruption_recovered, 0);
+    }
+
+    #[test]
+    fn rewriting_a_rotted_page_clears_the_fault() {
+        let c = cached(WritePolicy::WriteThrough, 4);
+        let p = c.allocate();
+        c.write_page(p, &vec![7u8; 4096]).unwrap();
+        c.drop_cache();
+        rot(&c, p, 0);
+        assert!(c.read_page(p).is_err());
+        c.write_page(p, &vec![8u8; 4096]).unwrap();
+        c.drop_cache();
+        assert_eq!(c.read_page(p).unwrap()[0], 8);
+    }
+
+    #[test]
+    fn region_reads_verify_checksums_too() {
+        let c = cached(WritePolicy::WriteThrough, 4);
+        let first = c.allocate_contiguous(3);
+        c.write_region(first, &vec![3u8; 3 * 4096]).unwrap();
+        rot(&c, first + 1, 17);
+        let err = c.read_region(first, 3).unwrap_err();
+        match err {
+            pio::IoError::Corruption { offset, .. } => {
+                assert_eq!(offset, (first + 1) * 4096, "should name the rotted page")
+            }
+            other => panic!("expected Corruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_back_records_checksums_when_pages_reach_the_device() {
+        let c = cached(WritePolicy::WriteBack, 4);
+        let p = c.allocate();
+        c.write_page(p, &vec![5u8; 4096]).unwrap();
+        assert_eq!(c.tracked_pages(), 0, "dirty page not on the device yet");
+        c.flush().unwrap();
+        assert_eq!(c.tracked_pages(), 1);
+        c.drop_cache();
+        rot(&c, p, 9);
+        assert!(matches!(c.read_page(p), Err(pio::IoError::Corruption { .. })));
+    }
+
+    #[test]
+    fn free_drops_the_checksum_entry() {
+        let c = cached(WritePolicy::WriteThrough, 4);
+        let p = c.allocate();
+        c.write_page(p, &vec![1u8; 4096]).unwrap();
+        assert_eq!(c.tracked_pages(), 1);
+        c.free(p);
+        assert_eq!(c.tracked_pages(), 0);
+    }
+
+    #[test]
+    fn scrub_detects_rot_and_heals_from_the_pool() {
+        let c = cached(WritePolicy::WriteThrough, 8);
+        let pages: Vec<PageId> = (0..4).map(|_| c.allocate()).collect();
+        for &p in &pages {
+            c.write_page(p, &vec![p as u8 + 1; 4096]).unwrap();
+        }
+        // The pool still holds clean copies of everything; rot one device copy.
+        rot(&c, pages[2], 40);
+        let mut scanned = 0;
+        let mut healed = 0;
+        loop {
+            let r = c.scrub_step(2).unwrap();
+            scanned += r.scanned;
+            healed += r.healed;
+            if r.wrapped {
+                break;
+            }
+        }
+        assert_eq!(scanned, 4, "one full cycle visits every tracked page");
+        assert_eq!(healed, 1);
+        let stats = c.integrity_stats();
+        assert_eq!(stats.scrub_corruptions, 1);
+        assert_eq!(stats.scrub_healed, 1);
+        assert_eq!(stats.scrubbed_pages, 4);
+        // The heal must have actually fixed the device copy.
+        c.drop_cache();
+        assert_eq!(c.read_page(pages[2]).unwrap()[0], pages[2] as u8 + 1);
+    }
+
+    #[test]
+    fn scrub_flags_unhealable_rot_but_keeps_the_checksum() {
+        let c = cached(WritePolicy::WriteThrough, 4);
+        let p = c.allocate();
+        c.write_page(p, &vec![6u8; 4096]).unwrap();
+        c.drop_cache(); // no pooled copy → nothing to heal from
+        rot(&c, p, 0);
+        let r = c.scrub_step(8).unwrap();
+        assert_eq!(r.corrupt, 1);
+        assert_eq!(r.healed, 0);
+        // A foreground read must still refuse to serve the bad bytes.
+        assert!(matches!(c.read_page(p), Err(pio::IoError::Corruption { .. })));
+    }
+
+    #[test]
+    fn scrub_on_an_empty_store_is_a_no_op() {
+        let c = cached(WritePolicy::WriteThrough, 4);
+        let r = c.scrub_step(16).unwrap();
+        assert_eq!(r.scanned, 0);
+        assert!(r.wrapped);
     }
 }

@@ -34,7 +34,7 @@ pub mod store;
 pub mod wal;
 
 pub use bufpool::{BufferPool, BufferPoolStats, WritePolicy};
-pub use cached::{CachedReadTicket, CachedStore, RegionReadTicket, RegionWriteTicket};
+pub use cached::{CachedReadTicket, CachedStore, IntegrityStats, RegionReadTicket, RegionWriteTicket, ScrubReport};
 pub use leaf_cache::{AccessHint, LeafCache, LeafCacheStats};
 pub use page::{PageId, INVALID_PAGE};
 pub use store::{PageStore, ReadTicket, StoreStats, WriteTicket};

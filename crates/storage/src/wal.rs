@@ -232,6 +232,13 @@ impl Wal {
         }
     }
 
+    /// The backend the log appends to — read-only access for observability
+    /// (e.g. engine stats folding the log queue's retry counters into its
+    /// per-shard rollup).
+    pub fn io(&self) -> &Arc<dyn ParallelIo> {
+        &self.io
+    }
+
     /// Physical byte offset where record data begins (past the header slots).
     fn data_base(&self) -> u64 {
         self.base_offset + HEADER_PAGES * self.page_size as u64

@@ -23,7 +23,7 @@ pub mod keyspace;
 pub mod ops;
 pub mod tpcc;
 
-pub use closed_loop::{run_closed_loop, ClientMix, ClosedLoopReport, ClosedLoopSpec, ServiceTarget};
+pub use closed_loop::{run_closed_loop, ClientMix, ClosedLoopReport, ClosedLoopSpec, ErrorClass, ServiceTarget};
 pub use driver::{replay, replay_trace, IndexTarget, ReplayStats};
 pub use keyspace::{KeyDistribution, KeyGenerator};
 pub use ops::{MixSpec, Operation, OperationGenerator};

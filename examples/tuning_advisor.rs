@@ -84,6 +84,25 @@ fn main() {
             leaf_cache_bytes / 1024,
             per_shard.leaf_cache_pages,
         );
+        // The resolved resilience policy: what every shard queue (store, WAL,
+        // epoch log) will actually do on a transient device error with this
+        // configuration.
+        match mem_cfg.retry_policy() {
+            Some(policy) => println!(
+                "  retry policy: up to {} retries, backoff {} µs doubling, {} µs deadline/ticket \
+                 (accounted into simulated latency); request deadline {}, admission queue {}",
+                policy.retry_limit,
+                policy.backoff_base_us,
+                policy.deadline_us,
+                mem_cfg
+                    .request_deadline_ms
+                    .map_or("unbounded".into(), |ms| format!("{ms} ms")),
+                mem_cfg
+                    .admission_queue_limit
+                    .map_or("unbounded".into(), |n| format!("≤ {n} requests")),
+            ),
+            None => println!("  retry policy: disabled (retry_limit = 0) — transient errors surface to callers"),
+        }
         for (label, mix) in [
             ("search-heavy (10% inserts)", WorkloadMix::with_insert_ratio(0.1)),
             ("balanced     (50% inserts)", WorkloadMix::with_insert_ratio(0.5)),
